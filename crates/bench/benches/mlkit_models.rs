@@ -1,0 +1,44 @@
+//! Criterion benchmarks for the from-scratch ML models (§4.5/§5.3/§6.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_mlkit::dataset::Dataset;
+use fiveg_mlkit::gbdt::{GbdtConfig, GbdtRegressor};
+use fiveg_mlkit::tree::{DecisionTreeRegressor, TreeConfig};
+use fiveg_simcore::RngStream;
+
+fn dataset(n: usize) -> Dataset {
+    let mut rng = RngStream::new(1, "bench");
+    let mut d = Dataset::new(vec!["a".into(), "b".into()], vec![], vec![]);
+    for _ in 0..n {
+        let a = rng.uniform();
+        let b = rng.uniform();
+        d.push(vec![a, b], (a * 6.0).sin() + b);
+    }
+    d
+}
+
+fn bench(c: &mut Criterion) {
+    let data = dataset(4000);
+    c.bench_function("dtr_fit_4k", |b| {
+        b.iter(|| DecisionTreeRegressor::fit(&data, &TreeConfig::default()))
+    });
+    let small = dataset(1000);
+    c.bench_function("gbdt_fit_1k_x40", |b| {
+        b.iter(|| {
+            GbdtRegressor::fit(
+                &small,
+                &GbdtConfig {
+                    n_estimators: 40,
+                    ..GbdtConfig::default()
+                },
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

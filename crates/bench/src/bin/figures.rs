@@ -1,0 +1,77 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures                  # list available experiments
+//! figures all              # run everything, in paper order
+//! figures fig3 fig9        # run specific experiments
+//! figures --seed 7 all     # re-roll the simulated world
+//! figures --out results/ all   # also write one .txt per experiment
+//! ```
+
+use fiveg_bench::experiments;
+use fiveg_bench::CAMPAIGN_SEED;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = CAMPAIGN_SEED;
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        args.remove(pos);
+        seed = args
+            .get(pos)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--seed needs an integer");
+                std::process::exit(2);
+            });
+        args.remove(pos);
+    }
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        args.remove(pos);
+        let dir = args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--out needs a directory");
+            std::process::exit(2);
+        });
+        args.remove(pos);
+        let path = std::path::PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&path) {
+            eprintln!("cannot create {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        out_dir = Some(path);
+    }
+
+    let registry = experiments::registry();
+    if args.is_empty() {
+        println!("available experiments (run `figures all` or name them):");
+        for (id, _) in &registry {
+            println!("  {id}");
+        }
+        return;
+    }
+
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        registry.iter().map(|(id, _)| *id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for id in ids {
+        match experiments::run(id, seed) {
+            Some(report) => {
+                println!("{}", report.render());
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{id}.txt"));
+                    if let Err(e) = std::fs::write(&path, report.render()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment: {id}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Ablations of the design choices DESIGN.md calls out: what each modelled
+//! mechanism contributes to the paper's findings.
+
+use crate::report::{f, Report, Table};
+use fiveg_geo::mobility::MobilityModel;
+use fiveg_radio::cell::NetworkLayout;
+use fiveg_radio::handoff::{simulate_drive, BandSetting, HandoffConfig};
+use fiveg_simcore::stats::mean;
+use fiveg_traces::lumos::TraceGenerator;
+use fiveg_transport::path::PathModel;
+use fiveg_transport::tcp::{measure_throughput, CcAlgo, TcpSimConfig};
+use fiveg_video::abr::Mpc;
+use fiveg_video::asset::VideoAsset;
+use fiveg_video::pensieve;
+use fiveg_video::player::{stream, PlayerConfig};
+
+fn mmwave_path(rtt_ms: f64, dist_km: f64) -> PathModel {
+    PathModel {
+        rtt_ms,
+        loss_per_pkt: fiveg_transport::path::BASE_LOSS
+            + fiveg_transport::path::LOSS_PER_KM * dist_km,
+        capacity_mbps: 3400.0,
+        mss_bytes: 1460.0,
+    }
+}
+
+/// CUBIC vs Reno for a single flow as the path lengthens: why the paper's
+/// carriers (and our transport model) run CUBIC.
+pub fn ablation_cc(seed: u64) -> Report {
+    let mut t = Table::new(vec!["RTT ms", "CUBIC Mbps", "Reno Mbps", "CUBIC/Reno"]);
+    for (rtt, km) in [(8.0, 100.0), (20.0, 800.0), (35.0, 1600.0), (50.0, 2500.0)] {
+        let cubic = measure_throughput(mmwave_path(rtt, km), TcpSimConfig::single_tuned(), seed);
+        let reno = measure_throughput(
+            mmwave_path(rtt, km),
+            TcpSimConfig {
+                algo: CcAlgo::Reno,
+                ..TcpSimConfig::single_tuned()
+            },
+            seed,
+        );
+        t.row(vec![f(rtt, 0), f(cubic, 0), f(reno, 0), f(cubic / reno, 2)]);
+    }
+    Report {
+        id: "ablation-cc",
+        title: "Ablation: congestion control on big-BDP mmWave paths".into(),
+        body: t.render(),
+    }
+}
+
+/// `tcp_wmem` sweep: the Fig 8 mechanism isolated.
+pub fn ablation_wmem(seed: u64) -> Report {
+    let mut t = Table::new(vec!["wmem MB", "1-TCP Mbps @20ms"]);
+    for mb in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+        let thr = measure_throughput(
+            mmwave_path(20.0, 800.0),
+            TcpSimConfig {
+                wmem_bytes: mb * 1e6,
+                ..TcpSimConfig::single_default()
+            },
+            seed,
+        );
+        t.row(vec![f(mb, 1), f(thr, 0)]);
+    }
+    Report {
+        id: "ablation-wmem",
+        title: "Ablation: sender-buffer cap vs single-connection throughput".into(),
+        body: t.render(),
+    }
+}
+
+/// Handoff hysteresis sweep: ping-pong suppression vs responsiveness.
+pub fn ablation_hysteresis(seed: u64) -> Report {
+    let layout = NetworkLayout::tmobile_drive_corridor(seed);
+    let mobility = MobilityModel::driving_10km();
+    let mut t = Table::new(vec!["hysteresis dB", "LTE-only handoffs", "NSA total"]);
+    for hyst in [1.0, 2.0, 3.0, 4.0, 6.0] {
+        let cfg = HandoffConfig {
+            hysteresis_db: hyst,
+            ..HandoffConfig::default()
+        };
+        let lte = simulate_drive(&layout, &mobility, BandSetting::LteOnly, &cfg, seed);
+        let nsa = simulate_drive(&layout, &mobility, BandSetting::NsaPlusLte, &cfg, seed);
+        t.row(vec![
+            f(hyst, 0),
+            lte.total_handoffs().to_string(),
+            nsa.total_handoffs().to_string(),
+        ]);
+    }
+    Report {
+        id: "ablation-hysteresis",
+        title: "Ablation: reselection hysteresis vs handoff counts".into(),
+        body: t.render(),
+    }
+}
+
+/// Blockage on/off: how much of mmWave's ABR pain is blockage.
+pub fn ablation_blockage(seed: u64) -> Report {
+    let gen = TraceGenerator::new(seed);
+    let asset = VideoAsset::five_g_default();
+    let cfg = PlayerConfig::default();
+    let run = |traces: Vec<fiveg_transport::shaper::BandwidthTrace>| {
+        let sessions: Vec<_> = traces
+            .iter()
+            .map(|t| stream(&asset, t, &mut Mpc::fast(), &cfg, 0.0))
+            .collect();
+        (
+            mean(&sessions.iter().map(|s| s.stall_pct()).collect::<Vec<_>>()),
+            mean(&sessions.iter().map(|s| s.avg_norm_bitrate).collect::<Vec<_>>()),
+        )
+    };
+    let (stall_on, br_on) = run((0..16).map(|i| gen.lumos5g_trace(i)).collect());
+    let (stall_off, br_off) = run((0..16).map(|i| gen.lumos5g_trace_no_blockage(i)).collect());
+    let mut t = Table::new(vec!["blockage", "stall %", "bitrate"]);
+    t.row(vec!["on (default)".to_string(), f(stall_on, 2), f(br_on, 3)]);
+    t.row(vec!["off (pure LoS)".to_string(), f(stall_off, 2), f(br_off, 3)]);
+    Report {
+        id: "ablation-blockage",
+        title: "Ablation: mmWave blockage vs ABR QoE (fastMPC)".into(),
+        body: t.render(),
+    }
+}
+
+/// Pensieve trained on 5G traces — the paper's "a larger (5G) dataset is
+/// needed" hypothesis, §5.2.
+pub fn ablation_pensieve(seed: u64) -> Report {
+    let gen = TraceGenerator::new(seed);
+    let g5_train = gen.lumos5g_corpus(36);
+    let g4_train = gen.lte_corpus(36);
+    let g5_eval: Vec<_> = (36..56).map(|i| gen.lumos5g_trace(i)).collect();
+    let asset5 = VideoAsset::five_g_default();
+    let asset4 = VideoAsset::four_g_default();
+    let cfg = PlayerConfig::default();
+    let eval = |abr: &mut pensieve::PensieveAbr| {
+        let sessions: Vec<_> = g5_eval
+            .iter()
+            .map(|t| stream(&asset5, t, abr, &cfg, 0.0))
+            .collect();
+        (
+            mean(&sessions.iter().map(|s| s.stall_pct()).collect::<Vec<_>>()),
+            mean(&sessions.iter().map(|s| s.avg_norm_bitrate).collect::<Vec<_>>()),
+        )
+    };
+    let mut on_4g = pensieve::train(&g4_train, &asset4, seed);
+    let mut on_5g = pensieve::train(&g5_train, &asset5, seed);
+    let (stall_4g_trained, br_4g_trained) = eval(&mut on_4g);
+    let (stall_5g_trained, br_5g_trained) = eval(&mut on_5g);
+    let mut t = Table::new(vec!["training corpus", "5G stall %", "5G bitrate"]);
+    t.row(vec!["4G traces (paper's setup)".to_string(), f(stall_4g_trained, 2), f(br_4g_trained, 3)]);
+    t.row(vec!["5G traces (hypothesis)".to_string(), f(stall_5g_trained, 2), f(br_5g_trained, 3)]);
+    Report {
+        id: "ablation-pensieve",
+        title: "Ablation: Pensieve's training distribution vs 5G QoE".into(),
+        body: t.render(),
+    }
+}

@@ -1,0 +1,53 @@
+//! Extension experiments beyond the paper's figures, quantifying its
+//! prose-level recommendations.
+
+use crate::report::{f, Report, Table};
+use fiveg_power::rrcpower::{periodic_traffic_energy_mj, RrcPowerParams};
+use fiveg_rrc::profile::{RrcConfigId, RrcProfile};
+
+/// §4.2's advice, quantified: radio energy of a 10-minute keep-alive
+/// workload (one tiny transfer every T seconds) per configuration.
+pub fn ext_periodic(_seed: u64) -> Report {
+    let periods = [1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0];
+    let mut header = vec!["config".to_string()];
+    header.extend(periods.iter().map(|p| format!("T={p:.0}s (J)")));
+    let mut t = Table::new(header);
+    for config in RrcConfigId::all() {
+        let profile = RrcProfile::for_config(config);
+        let params = RrcPowerParams::for_config(config);
+        let mut row = vec![config.label().to_string()];
+        for &p in &periods {
+            row.push(f(
+                periodic_traffic_energy_mj(&profile, &params, p, 600.0) / 1e3,
+                1,
+            ));
+        }
+        t.row(row);
+    }
+    let mut body = t.render();
+    body.push_str(
+        "\nIntermittent traffic is poison on 5G: NSA mmWave burns the tail at\n\
+         ~1.1 W between transfers and re-pays the 4G→5G switch each cycle,\n\
+         while SA's RRC_INACTIVE resume keeps the same workload far cheaper\n\
+         — §4.2's recommendation, in joules.\n",
+    );
+    Report {
+        id: "ext-periodic",
+        title: "Extension: energy of periodic keep-alive traffic (10 min)".into(),
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_all_configs_and_periods() {
+        let r = ext_periodic(0);
+        for config in RrcConfigId::all() {
+            assert!(r.body.contains(config.label()));
+        }
+        assert!(r.body.contains("T=300s"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Fig 9: handoff frequency while driving, across five band settings.
+
+use crate::report::{f, Report, Table};
+use fiveg_geo::mobility::MobilityModel;
+use fiveg_probes::drivetest::summarize;
+use fiveg_radio::cell::NetworkLayout;
+use fiveg_radio::handoff::{simulate_drive, BandSetting, HandoffConfig};
+
+/// Fig 9: drive the 10 km route under each band configuration.
+pub fn fig9(seed: u64) -> Report {
+    let layout = NetworkLayout::tmobile_drive_corridor(seed);
+    let mobility = MobilityModel::driving_10km();
+    let cfg = HandoffConfig::default();
+    let mut t = Table::new(vec![
+        "setting",
+        "total",
+        "vertical",
+        "horizontal",
+        "LTE %",
+        "NSA %",
+        "SA %",
+        "segments",
+    ]);
+    for setting in BandSetting::all() {
+        let result = simulate_drive(&layout, &mobility, setting, &cfg, seed);
+        let s = summarize(&result);
+        let (lte, nsa, sa, _outage) = s.share;
+        t.row(vec![
+            setting.label().to_string(),
+            s.total.to_string(),
+            s.vertical.to_string(),
+            s.horizontal.to_string(),
+            f(lte * 100.0, 1),
+            f(nsa * 100.0, 1),
+            f(sa * 100.0, 1),
+            s.segments.len().to_string(),
+        ]);
+    }
+    Report {
+        id: "fig9",
+        title: "[T-Mobile] handoff frequency while driving, per band setting".into(),
+        body: t.render(),
+    }
+}

@@ -1,0 +1,71 @@
+//! One module per experiment family; every public function regenerates one
+//! table or figure of the paper and returns a [`Report`].
+
+pub mod ablations;
+pub mod extensions;
+pub mod handoff;
+pub mod modeling;
+pub mod perf;
+pub mod power;
+pub mod rrc;
+pub mod table1;
+pub mod video;
+pub mod web;
+
+use crate::report::Report;
+
+/// An experiment generator: seed in, rendered report out.
+pub type Experiment = fn(u64) -> Report;
+
+/// Every experiment id, in paper order, with its generator.
+pub fn registry() -> Vec<(&'static str, Experiment)> {
+    vec![
+        ("table1", table1::table1 as Experiment),
+        ("fig1", perf::fig1),
+        ("fig2", perf::fig2),
+        ("fig3", perf::fig3),
+        ("fig4", perf::fig4),
+        ("fig5", perf::fig5),
+        ("fig6", perf::fig6),
+        ("fig7", perf::fig7),
+        ("fig8", perf::fig8),
+        ("fig9", handoff::fig9),
+        ("fig10", rrc::fig10),
+        ("table2", rrc::table2),
+        ("table7", rrc::table7),
+        ("fig11", power::fig11),
+        ("fig12", power::fig12),
+        ("table8", power::table8),
+        ("fig13", power::fig13),
+        ("fig14", power::fig14),
+        ("fig26", power::fig26),
+        ("fig15", modeling::fig15),
+        ("fig16", modeling::fig16),
+        ("table3", modeling::table3),
+        ("table9", modeling::table9),
+        ("fig17", video::fig17),
+        ("fig18a", video::fig18a),
+        ("fig18b", video::fig18b),
+        ("fig18c", video::fig18c_table4),
+        ("fig19", web::fig19),
+        ("fig20", web::fig20),
+        ("fig21", web::fig21),
+        ("table6", web::table6_fig22),
+        ("fig23", perf::fig23),
+        ("fig24", perf::fig24),
+        ("ablation-cc", ablations::ablation_cc),
+        ("ablation-wmem", ablations::ablation_wmem),
+        ("ablation-hysteresis", ablations::ablation_hysteresis),
+        ("ablation-blockage", ablations::ablation_blockage),
+        ("ablation-pensieve", ablations::ablation_pensieve),
+        ("ext-periodic", extensions::ext_periodic),
+    ]
+}
+
+/// Runs one experiment by id.
+pub fn run(id: &str, seed: u64) -> Option<Report> {
+    registry()
+        .into_iter()
+        .find(|(rid, _)| *rid == id)
+        .map(|(_, f)| f(seed))
+}

@@ -1,0 +1,197 @@
+//! §4.5/§4.6 modelling experiments: Fig 15 (power-model MAPE), Fig 16
+//! (software-monitor calibration), Table 3 (sampling overhead), Table 9
+//! (SW/HW benchmark).
+
+use crate::report::{f, Report, Table};
+use fiveg_mlkit::dataset::Dataset;
+use fiveg_mlkit::tree::{DecisionTreeRegressor, TreeConfig};
+use fiveg_power::monitor::{Activity, HardwareMonitor, SoftwareMonitor};
+use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
+use fiveg_radio::band::Direction;
+use fiveg_radio::ue::UeModel;
+use fiveg_simcore::stats::mape;
+use fiveg_simcore::RngStream;
+use fiveg_traces::walking::{to_dataset, PowerFeatures, WalkingCampaign};
+
+/// Trains a DTR on 70% and reports test MAPE.
+fn dtr_mape(data: &Dataset, seed: u64) -> f64 {
+    let mut rng = RngStream::new(seed, "fig15/split");
+    let (train, test) = data.split(0.7, &mut rng);
+    let model = DecisionTreeRegressor::fit(&train, &TreeConfig::default());
+    mape(&test.targets, &model.predict_all(&test))
+}
+
+/// Fig 15: TH+SS vs TH vs SS model error across the five settings.
+pub fn fig15(seed: u64) -> Report {
+    let mut t = Table::new(vec!["setting", "TH+SS %", "TH %", "SS %"]);
+    for campaign in WalkingCampaign::fig15_settings() {
+        let samples = campaign.campaign(10, seed);
+        let errs: Vec<f64> = [
+            PowerFeatures::ThroughputAndSignal,
+            PowerFeatures::ThroughputOnly,
+            PowerFeatures::SignalOnly,
+        ]
+        .into_iter()
+        .map(|feat| dtr_mape(&to_dataset(&samples, campaign.network, feat), seed))
+        .collect();
+        t.row(vec![
+            campaign.label(),
+            f(errs[0], 2),
+            f(errs[1], 2),
+            f(errs[2], 2),
+        ]);
+    }
+    // §4.5 validation on "real applications": hold out a fresh walk and
+    // predict it with the TH+SS model (stand-ins for the video/web runs).
+    let campaign = WalkingCampaign::fig15_settings()[1];
+    let train_samples = campaign.campaign(10, seed);
+    let train = to_dataset(&train_samples, campaign.network, PowerFeatures::ThroughputAndSignal);
+    let model = DecisionTreeRegressor::fit(&train, &TreeConfig::default());
+    let fresh = campaign.walk(99, seed, 10.0);
+    let val = to_dataset(&fresh, campaign.network, PowerFeatures::ThroughputAndSignal);
+    let val_err = mape(&val.targets, &model.predict_all(&val));
+    let body = format!(
+        "{}\nvalidation on a held-out session (S20U mmWave): MAPE {}%\n",
+        t.render(),
+        f(val_err, 1)
+    );
+    Report {
+        id: "fig15",
+        title: "Power-model MAPE: TH+SS vs TH-only vs SS-only (DTR)".into(),
+        body,
+    }
+}
+
+/// The benchmark's true total-device power for an activity, mW (idle base
+/// of Table 3 plus radio activity).
+fn activity_power_mw(activity: Activity) -> f64 {
+    let idle_screen_on = 2014.3;
+    let radio = |mbps: f64| {
+        DataPowerModel::lookup(UeModel::GalaxyS20Ultra, NetworkKind::MmWave)
+            .power_mw(Direction::Downlink, mbps)
+    };
+    match activity {
+        Activity::IdleScreenOn => idle_screen_on,
+        Activity::IdleScreenOff => idle_screen_on - fiveg_power::SCREEN_POWER_MW,
+        Activity::RandomInteraction => idle_screen_on + 600.0,
+        Activity::UdpDl50 => idle_screen_on + radio(50.0),
+        Activity::UdpDl400 => idle_screen_on + radio(400.0),
+        Activity::UdpDl800 => idle_screen_on + radio(800.0),
+        Activity::UdpDl1200 => idle_screen_on + radio(1200.0),
+        Activity::VideoStreaming => idle_screen_on + 1200.0 + radio(80.0),
+    }
+}
+
+/// Table 9: SW/HW relative error per activity and sampling rate.
+pub fn table9(seed: u64) -> Report {
+    let hw = HardwareMonitor::default();
+    let mut t = Table::new(vec!["test case", "@1Hz %", "@10Hz %"]);
+    for activity in Activity::all() {
+        let truth = activity_power_mw(activity);
+        let mut cells = Vec::new();
+        for rate in [1.0, 10.0] {
+            let sw = SoftwareMonitor::new(rate);
+            let rng = RngStream::new(seed, &format!("t9/{activity:?}/{rate}"));
+            // The monitor's own overhead raises the UE's true draw.
+            let true_fn = |_t: f64| truth + sw.overhead_mw();
+            let hw_trace = hw.record(true_fn, 120.0, &mut rng.fork("hw"));
+            let sw_trace = sw.record(true_fn, activity, 120.0, &mut rng.fork("sw"));
+            let ratio = sw_trace.time_weighted_mean() / hw_trace.time_weighted_mean();
+            cells.push(f(ratio * 100.0, 1));
+        }
+        t.row(vec![activity.label().to_string(), cells[0].clone(), cells[1].clone()]);
+    }
+    Report {
+        id: "table9",
+        title: "Software/hardware power monitor relative error".into(),
+        body: t.render(),
+    }
+}
+
+/// Table 3: sampling-rate overhead.
+pub fn table3(_seed: u64) -> Report {
+    let idle = 2014.3;
+    let mut t = Table::new(vec!["activity", "average power mW"]);
+    t.row(vec!["Idle".to_string(), f(idle, 1)]);
+    t.row(vec![
+        "Monitor on (1Hz)".to_string(),
+        f(idle + SoftwareMonitor::new(1.0).overhead_mw(), 1),
+    ]);
+    t.row(vec![
+        "Monitor on (10Hz)".to_string(),
+        f(idle + SoftwareMonitor::new(10.0).overhead_mw(), 1),
+    ]);
+    Report {
+        id: "table3",
+        title: "A higher sampling rate incurs more overhead".into(),
+        body: t.render(),
+    }
+}
+
+/// Fig 16: DTR calibration of the software monitor vs the TH+SS model.
+pub fn fig16(seed: u64) -> Report {
+    // Build a mixed-activity session: the UE runs each activity in turn;
+    // features are (sw reading, throughput) and the target is the hardware
+    // reading.
+    let hw = HardwareMonitor::default();
+    let activities = Activity::all();
+    let mut t = Table::new(vec!["estimator", "MAPE %"]);
+
+    // Baseline: TH+SS model error on the walking data (same as Fig 15).
+    let campaign = WalkingCampaign::fig15_settings()[1];
+    let samples = campaign.campaign(10, seed);
+    let thss = dtr_mape(
+        &to_dataset(&samples, campaign.network, PowerFeatures::ThroughputAndSignal),
+        seed,
+    );
+    t.row(vec!["TH+SS".to_string(), f(thss, 2)]);
+
+    for rate in [1.0, 10.0] {
+        let sw = SoftwareMonitor::new(rate);
+        let mut data = Dataset::new(
+            vec!["sw_reading_mw".into(), "throughput_mbps".into()],
+            vec![],
+            vec![],
+        );
+        let mut raw_actual = Vec::new();
+        let mut raw_sw = Vec::new();
+        for (ai, activity) in activities.iter().enumerate() {
+            let truth = activity_power_mw(*activity);
+            let tput = match activity {
+                Activity::UdpDl50 => 50.0,
+                Activity::UdpDl400 => 400.0,
+                Activity::UdpDl800 => 800.0,
+                Activity::UdpDl1200 => 1200.0,
+                Activity::VideoStreaming => 80.0,
+                _ => 0.0,
+            };
+            let rng = RngStream::new(seed, &format!("fig16/{ai}/{rate}"));
+            // Real device power fluctuates within an activity (DVFS, screen
+            // content, scheduler bursts) — that is what makes calibration a
+            // learning problem rather than a lookup.
+            let true_fn = |t: f64| {
+                truth * (1.0 + 0.08 * (t * std::f64::consts::TAU / 7.3).sin())
+                    + sw.overhead_mw()
+            };
+            let hw_trace = hw.record(true_fn, 60.0, &mut rng.fork("hw"));
+            let sw_trace = sw.record(true_fn, *activity, 60.0, &mut rng.fork("sw"));
+            for (t_sw, reading) in sw_trace.iter() {
+                // Pair each software reading with the hardware reading of
+                // the same instant.
+                let hw_now = hw_trace.sample_at(t_sw).unwrap_or(truth);
+                data.push(vec![reading, tput], hw_now);
+                raw_actual.push(hw_now);
+                raw_sw.push(reading);
+            }
+        }
+        let uncal = mape(&raw_actual, &raw_sw);
+        let cal = dtr_mape(&data, seed ^ rate as u64);
+        t.row(vec![format!("SW-{rate:.0}Hz uncalibrated"), f(uncal, 2)]);
+        t.row(vec![format!("SW-{rate:.0}Hz calibrated (DTR)"), f(cal, 2)]);
+    }
+    Report {
+        id: "fig16",
+        title: "Software power monitor calibration".into(),
+        body: t.render(),
+    }
+}

@@ -1,0 +1,280 @@
+//! §3 network-performance experiments: Figs 1–8, 23, 24.
+
+use crate::report::{f, Report, Table};
+use fiveg_geo::servers::{azure_regions, carrier_pool, default_ue_location, minnesota_pool, Carrier};
+use fiveg_geo::LatLon;
+use fiveg_probes::speedtest::{ConnMode, SpeedtestHarness};
+use fiveg_radio::band::{Band, Direction};
+use fiveg_radio::link::LinkState;
+use fiveg_radio::ue::UeModel;
+
+/// Repeats per `<server, mode>` setting ("at least 10 times" in §3.1; we
+/// use a smaller count per setting and rely on determinism).
+const REPEATS: usize = 6;
+
+fn harness(ue: UeModel, band: Band, rsrp: f64, sa: bool, seed: u64) -> SpeedtestHarness {
+    SpeedtestHarness {
+        ue,
+        link: LinkState {
+            band,
+            rsrp_dbm: rsrp,
+            sa,
+        },
+        ue_location: default_ue_location(),
+        seed,
+    }
+}
+
+/// Stationary-LoS links used across §3: mmWave panel nearby, strong
+/// low-band macro, LTE macro.
+fn vz_mmwave(seed: u64) -> SpeedtestHarness {
+    harness(UeModel::GalaxyS20Ultra, Band::N261, -70.0, false, seed)
+}
+fn vz_lowband(seed: u64) -> SpeedtestHarness {
+    harness(UeModel::GalaxyS20Ultra, Band::N5Dss, -85.0, false, seed)
+}
+fn vz_lte(seed: u64) -> SpeedtestHarness {
+    harness(UeModel::GalaxyS20Ultra, Band::LteMidBand, -82.0, false, seed)
+}
+fn tm_low(seed: u64, sa: bool) -> SpeedtestHarness {
+    harness(UeModel::GalaxyS20Ultra, Band::N71, -85.0, sa, seed)
+}
+
+/// Carrier servers sorted by distance from the UE.
+fn sorted_pool(carrier: Carrier, ue: LatLon) -> Vec<fiveg_geo::servers::ServerInfo> {
+    let mut pool = carrier_pool(carrier);
+    pool.sort_by(|a, b| {
+        a.distance_km(ue)
+            .partial_cmp(&b.distance_km(ue))
+            .expect("finite")
+    });
+    pool
+}
+
+/// Fig 1: RTT to every Verizon carrier server from the Minneapolis UE.
+pub fn fig1(seed: u64) -> Report {
+    let ue = default_ue_location();
+    let h = vz_mmwave(seed);
+    let mut t = Table::new(vec!["server", "km", "RTT ms"]);
+    for s in sorted_pool(Carrier::Verizon, ue) {
+        t.row(vec![
+            s.name.clone(),
+            f(s.distance_km(ue), 0),
+            f(h.latency_ms(&s, 10), 1),
+        ]);
+    }
+    Report {
+        id: "fig1",
+        title: "Impact of UE-Server distance on RTT (Verizon mmWave)".into(),
+        body: t.render(),
+    }
+}
+
+/// Fig 2: Verizon RTT vs distance for mmWave / low-band / LTE.
+pub fn fig2(seed: u64) -> Report {
+    let ue = default_ue_location();
+    let (mm, lb, lte) = (vz_mmwave(seed), vz_lowband(seed), vz_lte(seed));
+    let mut t = Table::new(vec!["km", "mmWave ms", "low-band ms", "LTE ms"]);
+    for s in sorted_pool(Carrier::Verizon, ue) {
+        t.row(vec![
+            f(s.distance_km(ue), 0),
+            f(mm.latency_ms(&s, 10), 1),
+            f(lb.latency_ms(&s, 10), 1),
+            f(lte.latency_ms(&s, 10), 1),
+        ]);
+    }
+    Report {
+        id: "fig2",
+        title: "[Verizon] latency by band vs UE-server distance".into(),
+        body: t.render(),
+    }
+}
+
+fn throughput_vs_distance(
+    h: &SpeedtestHarness,
+    carrier: Carrier,
+    dir: Direction,
+    with_rtt: bool,
+) -> String {
+    let ue = default_ue_location();
+    let mut header = vec!["km", "multi-conn Mbps", "single-conn Mbps"];
+    if with_rtt {
+        header.push("RTT ms");
+    }
+    let mut t = Table::new(header);
+    for s in sorted_pool(carrier, ue) {
+        let multi = h.run(&s, dir, ConnMode::Multi, REPEATS);
+        let single = h.run(&s, dir, ConnMode::SingleTuned, REPEATS);
+        let mut row = vec![
+            f(s.distance_km(ue), 0),
+            f(multi.p95_mbps, 0),
+            f(single.p95_mbps, 0),
+        ];
+        if with_rtt {
+            row.push(f(multi.rtt_ms, 1));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Fig 3: Verizon mmWave downlink throughput vs distance.
+pub fn fig3(seed: u64) -> Report {
+    Report {
+        id: "fig3",
+        title: "[Verizon mmWave] downlink throughput vs distance".into(),
+        body: throughput_vs_distance(&vz_mmwave(seed), Carrier::Verizon, Direction::Downlink, true),
+    }
+}
+
+/// Fig 4: Verizon mmWave uplink throughput vs distance.
+pub fn fig4(seed: u64) -> Report {
+    Report {
+        id: "fig4",
+        title: "[Verizon mmWave] uplink throughput vs distance".into(),
+        body: throughput_vs_distance(&vz_mmwave(seed), Carrier::Verizon, Direction::Uplink, false),
+    }
+}
+
+/// Fig 5: T-Mobile SA vs NSA low-band latency.
+pub fn fig5(seed: u64) -> Report {
+    let ue = default_ue_location();
+    let (sa, nsa) = (tm_low(seed, true), tm_low(seed, false));
+    let mut t = Table::new(vec!["km", "SA ms", "NSA ms"]);
+    for s in sorted_pool(Carrier::TMobile, ue) {
+        t.row(vec![
+            f(s.distance_km(ue), 0),
+            f(sa.latency_ms(&s, 10), 1),
+            f(nsa.latency_ms(&s, 10), 1),
+        ]);
+    }
+    Report {
+        id: "fig5",
+        title: "[T-Mobile] SA vs NSA low-band latency vs distance".into(),
+        body: t.render(),
+    }
+}
+
+fn tmobile_updown(seed: u64, dir: Direction, id: &'static str, what: &str) -> Report {
+    let ue = default_ue_location();
+    let (sa, nsa) = (tm_low(seed, true), tm_low(seed, false));
+    let mut t = Table::new(vec![
+        "km",
+        "SA multi",
+        "SA single",
+        "NSA multi",
+        "NSA single",
+    ]);
+    for s in sorted_pool(Carrier::TMobile, ue) {
+        t.row(vec![
+            f(s.distance_km(ue), 0),
+            f(sa.run(&s, dir, ConnMode::Multi, REPEATS).p95_mbps, 0),
+            f(sa.run(&s, dir, ConnMode::SingleTuned, REPEATS).p95_mbps, 0),
+            f(nsa.run(&s, dir, ConnMode::Multi, REPEATS).p95_mbps, 0),
+            f(nsa.run(&s, dir, ConnMode::SingleTuned, REPEATS).p95_mbps, 0),
+        ]);
+    }
+    Report {
+        id,
+        title: format!("[T-Mobile] SA vs NSA low-band {what} vs distance (Mbps)"),
+        body: t.render(),
+    }
+}
+
+/// Fig 6: T-Mobile downlink, SA vs NSA.
+pub fn fig6(seed: u64) -> Report {
+    tmobile_updown(seed, Direction::Downlink, "fig6", "downlink")
+}
+
+/// Fig 7: T-Mobile uplink, SA vs NSA.
+pub fn fig7(seed: u64) -> Report {
+    tmobile_updown(seed, Direction::Uplink, "fig7", "uplink")
+}
+
+/// Fig 8: single-connection downlink across all US Azure regions under
+/// different transport settings (rooted PX5).
+pub fn fig8(seed: u64) -> Report {
+    let h = harness(UeModel::Pixel5, Band::N261, -70.0, false, seed);
+    let ue = default_ue_location();
+    let mut t = Table::new(vec!["region", "km", "UDP", "TCP-8", "1-TCP tuned", "1-TCP default"]);
+    for s in azure_regions() {
+        t.row(vec![
+            s.name.clone(),
+            f(s.distance_km(ue), 0),
+            f(h.run(&s, Direction::Downlink, ConnMode::Udp, 3).p95_mbps, 0),
+            f(h.run(&s, Direction::Downlink, ConnMode::TcpN(8), REPEATS).p95_mbps, 0),
+            f(
+                h.run(&s, Direction::Downlink, ConnMode::SingleTuned, REPEATS)
+                    .p95_mbps,
+                0,
+            ),
+            f(
+                h.run(&s, Direction::Downlink, ConnMode::SingleDefault, REPEATS)
+                    .p95_mbps,
+                0,
+            ),
+        ]);
+    }
+    Report {
+        id: "fig8",
+        title: "Single-conn DL across Azure regions under transport settings (Mbps)".into(),
+        body: t.render(),
+    }
+}
+
+/// Fig 23: carrier aggregation — PX5 (4CC) vs S20U (8CC).
+pub fn fig23(seed: u64) -> Report {
+    let ue = default_ue_location();
+    let local = sorted_pool(Carrier::Verizon, ue)
+        .into_iter()
+        .next()
+        .expect("non-empty pool");
+    let mut t = Table::new(vec!["UE", "CC", "single DL", "multi DL", "multi UL"]);
+    for (ue_model, cc) in [(UeModel::Pixel5, "4CC"), (UeModel::GalaxyS20Ultra, "8CC")] {
+        let h = harness(ue_model, Band::N261, -70.0, false, seed);
+        t.row(vec![
+            ue_model.short_name().to_string(),
+            cc.to_string(),
+            f(
+                h.run(&local, Direction::Downlink, ConnMode::SingleTuned, REPEATS)
+                    .p95_mbps,
+                0,
+            ),
+            f(
+                h.run(&local, Direction::Downlink, ConnMode::Multi, REPEATS)
+                    .p95_mbps,
+                0,
+            ),
+            f(
+                h.run(&local, Direction::Uplink, ConnMode::Multi, REPEATS)
+                    .p95_mbps,
+                0,
+            ),
+        ]);
+    }
+    Report {
+        id: "fig23",
+        title: "Carrier aggregation: 4CC vs 8CC throughput (Mbps)".into(),
+        body: t.render(),
+    }
+}
+
+/// Fig 24: downlink throughput across the 37 in-state Speedtest servers.
+pub fn fig24(seed: u64) -> Report {
+    let h = vz_mmwave(seed);
+    let mut t = Table::new(vec!["server", "km", "DL Mbps", "cap"]);
+    for s in minnesota_pool() {
+        let r = h.run(&s, Direction::Downlink, ConnMode::Multi, REPEATS);
+        t.row(vec![
+            s.name.clone(),
+            f(r.distance_km, 0),
+            f(r.p95_mbps, 0),
+            s.cap_mbps.map_or("-".to_string(), |c| f(c, 0)),
+        ]);
+    }
+    Report {
+        id: "fig24",
+        title: "[Verizon mmWave] DL throughput across Minnesota Speedtest servers".into(),
+        body: t.render(),
+    }
+}

@@ -1,0 +1,299 @@
+//! §4.3/§4.4 power experiments: Figs 11–14, 26/27, Table 8.
+
+use crate::report::{f, Report, Table};
+use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
+use fiveg_power::efficiency::{crossover_mbps, energy_efficiency_uj_per_bit};
+use fiveg_radio::band::Direction;
+use fiveg_radio::ue::UeModel;
+use fiveg_simcore::stats::{linear_fit, mean};
+use fiveg_traces::walking::{WalkingCampaign, WalkingSample};
+use fiveg_radio::Carrier;
+
+/// The controlled iPerf3 target sweep of §4.3, per network.
+fn sweep_targets(network: NetworkKind, dir: Direction) -> Vec<f64> {
+    let max = match (network, dir) {
+        (NetworkKind::MmWave, Direction::Downlink) => 2000.0,
+        (NetworkKind::MmWave, Direction::Uplink) => 220.0,
+        (NetworkKind::LowBandNsa, Direction::Downlink) => 400.0,
+        (NetworkKind::LowBandNsa, Direction::Uplink) => 110.0,
+        (NetworkKind::LowBandSa, Direction::Downlink) => 110.0,
+        (NetworkKind::LowBandSa, Direction::Uplink) => 55.0,
+        (NetworkKind::Lte, Direction::Downlink) => 200.0,
+        (NetworkKind::Lte, Direction::Uplink) => 100.0,
+    };
+    (1..=10).map(|i| max * i as f64 / 10.0).collect()
+}
+
+/// One throughput-vs-power table for a UE over the three §4.3 networks.
+fn throughput_power_table(ue: UeModel, networks: &[NetworkKind]) -> String {
+    let mut out = String::new();
+    for dir in [Direction::Downlink, Direction::Uplink] {
+        let mut t = Table::new(vec!["Mbps", "net", "power W"]);
+        for &nk in networks {
+            let m = DataPowerModel::lookup(ue, nk);
+            for tput in sweep_targets(nk, dir) {
+                t.row(vec![
+                    f(tput, 0),
+                    nk.label().to_string(),
+                    f(m.power_mw(dir, tput) / 1e3, 2),
+                ]);
+            }
+        }
+        out.push_str(&format!("-- {dir:?} --\n{}", t.render()));
+    }
+    // Crossover annotations (the dashed verticals of Fig 11).
+    if networks.contains(&NetworkKind::MmWave) {
+        let mm = DataPowerModel::lookup(ue, NetworkKind::MmWave);
+        for dir in [Direction::Downlink, Direction::Uplink] {
+            for &other in networks.iter().filter(|&&n| n != NetworkKind::MmWave) {
+                let o = DataPowerModel::lookup(ue, other);
+                if let Some(x) = crossover_mbps(&o.curve(dir), &mm.curve(dir)) {
+                    out.push_str(&format!(
+                        "crossover ({dir:?}): mmWave beats {} above {} Mbps\n",
+                        o.network.label(),
+                        f(x, 1)
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Fig 11: throughput vs power for 4G and 5G (S20U, Verizon).
+pub fn fig11(_seed: u64) -> Report {
+    Report {
+        id: "fig11",
+        title: "Throughput vs power, S20U: 4G vs low-band 5G vs mmWave 5G".into(),
+        body: throughput_power_table(
+            UeModel::GalaxyS20Ultra,
+            &[NetworkKind::MmWave, NetworkKind::LowBandNsa, NetworkKind::Lte],
+        ),
+    }
+}
+
+/// Fig 26/27: the S10 version (Ann Arbor) — power curves plus the Fig 27
+/// energy-efficiency series.
+pub fn fig26(_seed: u64) -> Report {
+    let mut body = throughput_power_table(
+        UeModel::GalaxyS10,
+        &[NetworkKind::MmWave, NetworkKind::Lte],
+    );
+    // Fig 27: µJ/bit at log-spaced throughputs.
+    let mm = DataPowerModel::lookup(UeModel::GalaxyS10, NetworkKind::MmWave);
+    let lte = DataPowerModel::lookup(UeModel::GalaxyS10, NetworkKind::Lte);
+    for dir in [Direction::Downlink, Direction::Uplink] {
+        let mut t = Table::new(vec!["Mbps", "5G uJ/bit", "4G uJ/bit"]);
+        for &p in &[1.0, 10.0, 100.0, 1000.0] {
+            let lte_max = sweep_targets(NetworkKind::Lte, dir).last().copied().expect("non-empty");
+            let mm_max = sweep_targets(NetworkKind::MmWave, dir).last().copied().expect("non-empty");
+            t.row(vec![
+                f(p, 0),
+                if p <= mm_max {
+                    f(energy_efficiency_uj_per_bit(&mm.curve(dir), p), 3)
+                } else {
+                    "-".to_string()
+                },
+                if p <= lte_max {
+                    f(energy_efficiency_uj_per_bit(&lte.curve(dir), p), 3)
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+        body.push_str(&format!("-- Fig 27 {dir:?} efficiency --\n{}", t.render()));
+    }
+    Report {
+        id: "fig26",
+        title: "Throughput vs power (Fig 26) and energy efficiency (Fig 27), S10".into(),
+        body,
+    }
+}
+
+/// Fig 12: throughput vs energy efficiency (µJ/bit, log–log shape).
+pub fn fig12(_seed: u64) -> Report {
+    let ue = UeModel::GalaxyS20Ultra;
+    let mut out = String::new();
+    for dir in [Direction::Downlink, Direction::Uplink] {
+        let mut t = Table::new(vec!["Mbps", "mmWave uJ/bit", "low-band uJ/bit", "4G uJ/bit"]);
+        let points = [1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 2000.0];
+        for &p in &points {
+            let cell = |nk: NetworkKind| {
+                let max = sweep_targets(nk, dir).last().copied().expect("non-empty");
+                if p > max {
+                    "-".to_string()
+                } else {
+                    let m = DataPowerModel::lookup(ue, nk);
+                    f(energy_efficiency_uj_per_bit(&m.curve(dir), p), 3)
+                }
+            };
+            t.row(vec![
+                f(p, 0),
+                cell(NetworkKind::MmWave),
+                cell(NetworkKind::LowBandNsa),
+                cell(NetworkKind::Lte),
+            ]);
+        }
+        out.push_str(&format!("-- {dir:?} --\n{}", t.render()));
+    }
+    // The §4.3 headline ratios.
+    let mm = DataPowerModel::lookup(ue, NetworkKind::MmWave);
+    let lte = DataPowerModel::lookup(ue, NetworkKind::Lte);
+    let low_dl = 1.0
+        - energy_efficiency_uj_per_bit(&lte.downlink, 1.0)
+            / energy_efficiency_uj_per_bit(&mm.downlink, 1.0);
+    let high_dl = energy_efficiency_uj_per_bit(&lte.downlink, 200.0)
+        / energy_efficiency_uj_per_bit(&mm.downlink, 2000.0);
+    out.push_str(&format!(
+        "DL: 5G is {}% less efficient at 1 Mbps; {}x more efficient at its high rate\n",
+        f(low_dl * 100.0, 0),
+        f(high_dl, 1)
+    ));
+    Report {
+        id: "fig12",
+        title: "Throughput vs energy efficiency, S20U".into(),
+        body: out,
+    }
+}
+
+/// Table 8: slopes of the throughput–power curves, recovered by linear
+/// regression over the simulated sweeps (with measurement noise).
+pub fn table8(seed: u64) -> Report {
+    let mut rng = fiveg_simcore::RngStream::new(seed, "table8");
+    let mut t = Table::new(vec!["device", "network", "DL mW/Mbps (truth)", "UL mW/Mbps (truth)"]);
+    let settings = [
+        (UeModel::GalaxyS10, NetworkKind::Lte),
+        (UeModel::GalaxyS10, NetworkKind::MmWave),
+        (UeModel::GalaxyS20Ultra, NetworkKind::Lte),
+        (UeModel::GalaxyS20Ultra, NetworkKind::LowBandNsa),
+        (UeModel::GalaxyS20Ultra, NetworkKind::MmWave),
+    ];
+    for (ue, nk) in settings {
+        let m = DataPowerModel::lookup(ue, nk);
+        let fit_dir = |dir: Direction, rng: &mut fiveg_simcore::RngStream| {
+            let xs = sweep_targets(nk, dir);
+            let ys: Vec<f64> = xs
+                .iter()
+                .map(|&x| m.power_mw(dir, x) * (1.0 + rng.normal(0.0, 0.02)))
+                .collect();
+            linear_fit(&xs, &ys).0
+        };
+        let dl = fit_dir(Direction::Downlink, &mut rng);
+        let ul = fit_dir(Direction::Uplink, &mut rng);
+        t.row(vec![
+            ue.short_name().to_string(),
+            nk.label().to_string(),
+            format!("{} ({})", f(dl, 2), f(m.downlink.slope_mw_per_mbps, 2)),
+            format!("{} ({})", f(ul, 2), f(m.uplink.slope_mw_per_mbps, 2)),
+        ]);
+    }
+    Report {
+        id: "table8",
+        title: "Slopes of throughput-power curves — regressed (ground truth)".into(),
+        body: t.render(),
+    }
+}
+
+fn campaign_samples(c: &WalkingCampaign, seed: u64) -> Vec<WalkingSample> {
+    c.campaign(10, seed)
+}
+
+/// Fig 13: the power–RSRP–throughput relationship from the walking data.
+pub fn fig13(seed: u64) -> Report {
+    let mut out = String::new();
+    for (label, campaign) in [
+        (
+            "Ann Arbor, MI (UE: S10)",
+            WalkingCampaign {
+                ue: UeModel::GalaxyS10,
+                carrier: Carrier::Verizon,
+                network: NetworkKind::MmWave,
+            },
+        ),
+        (
+            "Minneapolis, MN (UE: S20U)",
+            WalkingCampaign {
+                ue: UeModel::GalaxyS20Ultra,
+                carrier: Carrier::Verizon,
+                network: NetworkKind::MmWave,
+            },
+        ),
+    ] {
+        let samples = campaign_samples(&campaign, seed);
+        let mut t = Table::new(vec!["RSRP bin dBm", "net", "n", "mean tput Mbps", "mean power W"]);
+        for nk in [NetworkKind::MmWave, NetworkKind::LowBandNsa] {
+            for bin_lo in (-110..-70).step_by(10) {
+                let in_bin: Vec<&WalkingSample> = samples
+                    .iter()
+                    .filter(|s| {
+                        s.network == nk
+                            && s.rsrp_dbm >= bin_lo as f64
+                            && s.rsrp_dbm < (bin_lo + 10) as f64
+                    })
+                    .collect();
+                if in_bin.is_empty() {
+                    continue;
+                }
+                let tput = mean(&in_bin.iter().map(|s| s.throughput_mbps).collect::<Vec<_>>());
+                let power = mean(&in_bin.iter().map(|s| s.power_mw).collect::<Vec<_>>());
+                t.row(vec![
+                    format!("[{},{})", bin_lo, bin_lo + 10),
+                    nk.label().to_string(),
+                    in_bin.len().to_string(),
+                    f(tput, 0),
+                    f(power / 1e3, 2),
+                ]);
+            }
+        }
+        out.push_str(&format!("-- {label} --\n{}", t.render()));
+    }
+    Report {
+        id: "fig13",
+        title: "Power-RSRP-throughput relationship (walking campaigns)".into(),
+        body: out,
+    }
+}
+
+/// Fig 14: energy efficiency vs RSRP bins (mmWave).
+pub fn fig14(seed: u64) -> Report {
+    let mut out = String::new();
+    for (label, ue) in [
+        ("Ann Arbor, MI (UE: S10)", UeModel::GalaxyS10),
+        ("Minneapolis, MN (UE: S20U)", UeModel::GalaxyS20Ultra),
+    ] {
+        let campaign = WalkingCampaign {
+            ue,
+            carrier: Carrier::Verizon,
+            network: NetworkKind::MmWave,
+        };
+        let samples = campaign_samples(&campaign, seed);
+        let mut t = Table::new(vec!["NR-SS-RSRP bin", "uJ/bit"]);
+        for bin_lo in (-110..-75).step_by(5) {
+            let in_bin: Vec<&WalkingSample> = samples
+                .iter()
+                .filter(|s| {
+                    s.network == NetworkKind::MmWave
+                        && s.rsrp_dbm >= bin_lo as f64
+                        && s.rsrp_dbm < (bin_lo + 5) as f64
+                        && s.throughput_mbps > 1.0
+                })
+                .collect();
+            if in_bin.len() < 5 {
+                continue;
+            }
+            let eff = mean(
+                &in_bin
+                    .iter()
+                    .map(|s| fiveg_simcore::units::energy_per_bit_uj(s.power_mw, s.throughput_mbps))
+                    .collect::<Vec<_>>(),
+            );
+            t.row(vec![format!("[{},{})", bin_lo, bin_lo + 5), f(eff, 4)]);
+        }
+        out.push_str(&format!("-- {label} --\n{}", t.render()));
+    }
+    Report {
+        id: "fig14",
+        title: "Energy efficiency vs RSRP (mmWave walking data)".into(),
+        body: out,
+    }
+}

@@ -1,0 +1,130 @@
+//! RRC experiments: Fig 10 (state staircases), Table 7 (inferred
+//! parameters), Table 2 (tail & switch power).
+
+use crate::report::{f, Report, Table};
+use fiveg_power::monitor::HardwareMonitor;
+use fiveg_power::rrcpower::{measure_tail_power_mw, promotion_scenario_trace, RrcPowerParams};
+use fiveg_probes::rrcprobe::RrcProbe;
+use fiveg_rrc::profile::{RrcConfigId, RrcProfile, RrcState};
+use fiveg_simcore::{RngStream, SimDuration, SimTime};
+
+/// Nearby probing server path RTT in ms (carrier edge).
+const SERVER_RTT_MS: f64 = 3.0;
+
+/// Fig 10 / Fig 25: the RTT-vs-idle-interval staircase for each config.
+pub fn fig10(seed: u64) -> Report {
+    let grid: Vec<f64> = (1..=16).map(|i| i as f64).collect();
+    let mut body = String::new();
+    for config in RrcConfigId::all() {
+        let profile = RrcProfile::for_config(config);
+        let probe = RrcProbe::new(profile, SERVER_RTT_MS, seed);
+        let samples = probe.staircase(&grid);
+        let mut t = Table::new(vec!["idle s", "mean RTT ms", "radio", "state"]);
+        for &g in &grid {
+            let at: Vec<_> = samples
+                .iter()
+                .filter(|s| (s.interval_ms - g * 1e3).abs() < 1.0)
+                .collect();
+            let mean =
+                at.iter().map(|s| s.rtt_ms).sum::<f64>() / at.len().max(1) as f64;
+            let state = at.first().map(|s| s.state);
+            let radio = at.first().map(|s| s.radio);
+            t.row(vec![
+                f(g, 0),
+                f(mean, 0),
+                format!("{radio:?}"),
+                match state {
+                    Some(RrcState::Connected) => "RRC_CONNECTED",
+                    Some(RrcState::ConnectedLte) => "CONNECTED (LTE leg)",
+                    Some(RrcState::Inactive) => "RRC_INACTIVE",
+                    Some(RrcState::Idle) => "RRC_IDLE",
+                    None => "-",
+                }
+                .to_string(),
+            ]);
+        }
+        body.push_str(&format!("-- {} --\n{}", config.label(), t.render()));
+    }
+    Report {
+        id: "fig10",
+        title: "RRC state inference staircases (RRC-Probe)".into(),
+        body,
+    }
+}
+
+/// Table 7: RRC parameters inferred by RRC-Probe vs ground truth.
+pub fn table7(seed: u64) -> Report {
+    let mut t = Table::new(vec![
+        "config",
+        "tail ms (truth)",
+        "LTE-tail ms",
+        "long DRX ms",
+        "idle DRX ms",
+        "4G promo ms",
+        "5G promo ms",
+    ]);
+    let opt = |v: Option<f64>| v.map_or("N/A".to_string(), |x| f(x, 0));
+    for config in RrcConfigId::all() {
+        let truth = RrcProfile::for_config(config);
+        let got = RrcProbe::new(truth, SERVER_RTT_MS, seed).infer();
+        t.row(vec![
+            config.label().to_string(),
+            format!("{} ({})", f(got.tail_ms, 0), f(truth.tail_ms, 0)),
+            opt(got.lte_tail_ms),
+            f(got.long_drx_ms, 0),
+            f(got.idle_drx_ms, 0),
+            opt(got.promo_4g_ms),
+            opt(got.promo_5g_ms),
+        ]);
+    }
+    Report {
+        id: "table7",
+        title: "Inferred 4G/5G RRC parameters (RRC-Probe) — inferred (ground truth)".into(),
+        body: t.render(),
+    }
+}
+
+/// Table 2: power during RRC state transitions, measured off the hardware
+/// monitor trace of the §4.1 promotion scenario.
+pub fn table2(seed: u64) -> Report {
+    let hw = HardwareMonitor::default();
+    let mut t = Table::new(vec!["config", "tail mW (truth)", "4G->5G switch mW (truth)"]);
+    for config in RrcConfigId::all() {
+        let profile = RrcProfile::for_config(config);
+        let params = RrcPowerParams::for_config(config);
+        let truth_trace = promotion_scenario_trace(&profile, &params);
+        // Record through the 5 kHz monitor (measurement noise included).
+        let duration = truth_trace.end().expect("non-empty").as_secs_f64();
+        let mut rng = RngStream::new(seed, &format!("t2/{config:?}"));
+        let recorded = hw.record(
+            |t_s| {
+                truth_trace
+                    .sample_at(SimTime::from_secs_f64(t_s))
+                    .unwrap_or(params.idle_mw)
+            },
+            duration,
+            &mut rng,
+        );
+        let tail = measure_tail_power_mw(&profile, &recorded);
+        // Switch window measurement (NSA: between the 4G and 5G promos; SA:
+        // the direct NR promotion window; DSS: the nominal sharing switch).
+        let switch = params.switch_4g_to_5g_mw.and_then(|truth_mw| {
+            let (from_ms, to_ms) =
+                fiveg_power::rrcpower::switch_window_abs_ms(&profile)?;
+            let from = SimTime::from_millis(from_ms as u64) + SimDuration::from_millis(5);
+            let to = SimTime::from_millis(to_ms as u64);
+            let measured = recorded.integrate_between(from, to) / to.since(from).as_secs_f64();
+            Some((measured, truth_mw))
+        });
+        t.row(vec![
+            config.label().to_string(),
+            format!("{} ({})", f(tail, 0), f(params.tail_mw, 0)),
+            switch.map_or("N/A".to_string(), |(m, tr)| format!("{} ({})", f(m, 0), f(tr, 0))),
+        ]);
+    }
+    Report {
+        id: "table2",
+        title: "Power during RRC state transitions — measured (ground truth)".into(),
+        body: t.render(),
+    }
+}

@@ -1,0 +1,55 @@
+//! Table 1: the statistics of the (simulated) measurement campaign.
+//!
+//! The paper reports the raw scale of its field effort; we report the
+//! corresponding scale of the regenerated campaign, computed from the same
+//! experiment parameters the other modules use.
+
+use crate::report::{f, Report, Table};
+use fiveg_geo::mobility::MobilityModel;
+use fiveg_geo::servers::{azure_regions, carrier_pool, minnesota_pool, Carrier};
+
+/// Table 1: dataset statistics of the campaign this harness runs.
+pub fn table1(_seed: u64) -> Report {
+    // Speedtest-style tests: Figs 1–7 (carrier pools × modes × repeats ×
+    // bands), Fig 8 (Azure × 4 settings), Figs 23/24.
+    let carrier_servers = carrier_pool(Carrier::Verizon).len() + carrier_pool(Carrier::TMobile).len();
+    let unique_servers = carrier_servers + minnesota_pool().len() + azure_regions().len();
+    let repeats = 6;
+    let vz_tests = carrier_pool(Carrier::Verizon).len() * 3 /* bands */ * 2 /* modes */ * repeats
+        + carrier_pool(Carrier::Verizon).len() * 2 * 2 * repeats /* UL */;
+    let tm_tests = carrier_pool(Carrier::TMobile).len() * 2 /* SA/NSA */ * 2 * 2 * repeats;
+    let azure_tests = azure_regions().len() * 4 * repeats;
+    let mn_tests = minnesota_pool().len() * repeats;
+    let perf_tests = vz_tests + tm_tests + azure_tests + mn_tests;
+
+    // Power campaigns: 5 settings × 10 walking loops.
+    let walk = MobilityModel::walking_loop();
+    let loops = 5 * 10;
+    let walk_km = loops as f64 * 1.6;
+    let walk_minutes = loops as f64 * walk.duration_s() / 60.0;
+    // Monsoon-style traces: walking + RRC scenarios + Table 9 benchmarks.
+    let power_minutes = walk_minutes + 6.0 * 1.0 + 8.0 * 2.0 * 2.0;
+
+    // Web page loads: 1500 sites × 2 radios × 8 repetitions.
+    let web_loads = 1500 * 2 * 8;
+
+    let mut t = Table::new(vec!["dataset statistic", "value"]);
+    t.row(vec!["5G network performance tests".to_string(), perf_tests.to_string()]);
+    t.row(vec!["unique servers tested with".to_string(), unique_servers.to_string()]);
+    t.row(vec![
+        "cumulative measurement trace minutes".to_string(),
+        f(perf_tests as f64 * 15.0 / 60.0 + walk_minutes, 0),
+    ]);
+    t.row(vec![
+        "power measurements @5000 Hz (minutes)".to_string(),
+        f(power_minutes, 0),
+    ]);
+    t.row(vec!["total kilometres walked".to_string(), f(walk_km, 1)]);
+    t.row(vec!["# of web page load tests".to_string(), web_loads.to_string()]);
+    t.row(vec!["# of 5G smartphones (and models)".to_string(), "3 (3)".to_string()]);
+    Report {
+        id: "table1",
+        title: "Statistics of the simulated measurement campaign".into(),
+        body: t.render(),
+    }
+}

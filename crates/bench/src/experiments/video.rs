@@ -1,0 +1,244 @@
+//! §5 video experiments: Fig 17 (ABR QoE on 5G vs 4G), Fig 18a
+//! (predictors), Fig 18b (chunk length), Fig 18c + Table 4 (interface
+//! selection).
+
+use crate::report::{f, Report, Table};
+use fiveg_simcore::stats::mean;
+use fiveg_traces::lumos::TraceGenerator;
+use fiveg_transport::shaper::BandwidthTrace;
+use fiveg_video::abr::{self, Abr, AbrAlgo, Mpc};
+use fiveg_video::asset::VideoAsset;
+use fiveg_video::ifselect::{stream_with_selection, IfSelectConfig};
+use fiveg_video::pensieve;
+use fiveg_video::player::{stream, PlayerConfig, SessionResult};
+use fiveg_video::predictor::{ContextGbdtPredictor, HarmonicMeanPredictor, OraclePredictor};
+
+/// Evaluation corpus sizes (the paper: 121 5G + 175 4G traces; we hold
+/// most for training the learned components).
+const EVAL_TRACES: usize = 24;
+
+struct Corpora {
+    /// Kept for symmetry with the 4G split (fig18a re-derives its
+    /// training pairs with RSRP context directly from the generator).
+    #[allow(dead_code)]
+    g5_train: Vec<BandwidthTrace>,
+    g5_eval: Vec<BandwidthTrace>,
+    g4_train: Vec<BandwidthTrace>,
+    g4_eval: Vec<BandwidthTrace>,
+}
+
+fn corpora(seed: u64) -> Corpora {
+    let gen = TraceGenerator::new(seed);
+    let mut g5 = gen.lumos5g_corpus(60);
+    let mut g4 = gen.lte_corpus(60);
+    let g5_eval = g5.split_off(g5.len() - EVAL_TRACES);
+    let g4_eval = g4.split_off(g4.len() - EVAL_TRACES);
+    Corpora {
+        g5_train: g5,
+        g5_eval,
+        g4_train: g4,
+        g4_eval,
+    }
+}
+
+fn run_sessions(
+    asset: &VideoAsset,
+    traces: &[BandwidthTrace],
+    mut make_abr: impl FnMut() -> Box<dyn Abr>,
+) -> Vec<SessionResult> {
+    traces
+        .iter()
+        .map(|t| {
+            let mut abr = make_abr();
+            stream(asset, t, abr.as_mut(), &PlayerConfig::default(), 0.0)
+        })
+        .collect()
+}
+
+fn summarize(sessions: &[SessionResult]) -> (f64, f64, f64) {
+    (
+        mean(&sessions.iter().map(|s| s.stall_pct()).collect::<Vec<_>>()),
+        mean(&sessions.iter().map(|s| s.avg_norm_bitrate).collect::<Vec<_>>()),
+        mean(&sessions.iter().map(|s| s.qoe).collect::<Vec<_>>()),
+    )
+}
+
+/// Fig 17: the seven ABRs on 5G and 4G.
+pub fn fig17(seed: u64) -> Report {
+    let c = corpora(seed);
+    let asset5 = VideoAsset::five_g_default();
+    let asset4 = VideoAsset::four_g_default();
+    // Pensieve trains on the 4G corpus, as in the original paper's setup.
+    let mut trained = pensieve::train(&c.g4_train, &asset4, seed);
+    let mut t = Table::new(vec![
+        "algo",
+        "5G stall %",
+        "5G bitrate",
+        "4G stall %",
+        "4G bitrate",
+        "stall increase %",
+    ]);
+    for algo in AbrAlgo::all() {
+        let (s5, s4) = if algo == AbrAlgo::Pensieve {
+            let s5: Vec<SessionResult> = c
+                .g5_eval
+                .iter()
+                .map(|tr| stream(&asset5, tr, &mut trained, &PlayerConfig::default(), 0.0))
+                .collect();
+            let s4: Vec<SessionResult> = c
+                .g4_eval
+                .iter()
+                .map(|tr| stream(&asset4, tr, &mut trained, &PlayerConfig::default(), 0.0))
+                .collect();
+            (s5, s4)
+        } else {
+            (
+                run_sessions(&asset5, &c.g5_eval, || abr::build(algo)),
+                run_sessions(&asset4, &c.g4_eval, || abr::build(algo)),
+            )
+        };
+        let (stall5, br5, _) = summarize(&s5);
+        let (stall4, br4, _) = summarize(&s4);
+        let increase = if stall4 > 0.05 {
+            (stall5 / stall4 - 1.0) * 100.0
+        } else {
+            f64::INFINITY
+        };
+        t.row(vec![
+            algo.label().to_string(),
+            f(stall5, 2),
+            f(br5, 3),
+            f(stall4, 2),
+            f(br4, 3),
+            if increase.is_finite() { f(increase, 0) } else { "inf".to_string() },
+        ]);
+    }
+    Report {
+        id: "fig17",
+        title: "ABR QoE on mmWave 5G vs 4G (stall % and normalized bitrate)".into(),
+        body: t.render(),
+    }
+}
+
+/// Fig 18a: fastMPC with harmonic-mean, GBDT, and oracle predictors.
+pub fn fig18a(seed: u64) -> Report {
+    let c = corpora(seed);
+    let asset = VideoAsset::five_g_default();
+    // The Lumos5G-style predictor trains on (trace, RSRP-context) pairs;
+    // indices 0..36 are the training split of the same generator.
+    let gen = TraceGenerator::new(seed);
+    let train_pairs: Vec<_> = (0..36).map(|i| gen.lumos5g_trace_with_context(i)).collect();
+    let eval_contexts: Vec<Vec<f64>> = (36..60)
+        .map(|i| gen.lumos5g_trace_with_context(i).1)
+        .collect();
+    let gbdt = ContextGbdtPredictor::train(&train_pairs, &asset, 5);
+    let eval_iter = std::cell::Cell::new(0usize);
+    let mut results: Vec<(String, f64)> = Vec::new();
+    // hmMPC and MPC_GDBT.
+    for (name, make) in [
+        (
+            "hmMPC",
+            Box::new(|_t: &BandwidthTrace| {
+                Mpc::with_predictor(Box::new(HarmonicMeanPredictor::default()), false, "hmMPC")
+            }) as Box<dyn Fn(&BandwidthTrace) -> Mpc>,
+        ),
+        (
+            "MPC_GDBT",
+            Box::new(|_t: &BandwidthTrace| {
+                let idx = eval_iter.get();
+                eval_iter.set(idx + 1);
+                Mpc::with_predictor(
+                    Box::new(gbdt.bind(eval_contexts[idx].clone())),
+                    false,
+                    "MPC_GDBT",
+                )
+            }),
+        ),
+        (
+            "truthMPC",
+            Box::new(|t: &BandwidthTrace| {
+                Mpc::with_predictor(Box::new(OraclePredictor::new(t.clone(), 8.0)), false, "truthMPC")
+            }),
+        ),
+    ] {
+        let sessions: Vec<SessionResult> = c
+            .g5_eval
+            .iter()
+            .map(|t| {
+                let mut mpc = make(t);
+                stream(&asset, t, &mut mpc, &PlayerConfig::default(), 0.0)
+            })
+            .collect();
+        let (_, _, qoe) = summarize(&sessions);
+        results.push((name.to_string(), qoe));
+    }
+    let oracle_qoe = results.last().expect("non-empty").1;
+    let mut t = Table::new(vec!["predictor", "QoE", "normalized"]);
+    for (name, qoe) in &results {
+        t.row(vec![name.clone(), f(*qoe, 1), f(qoe / oracle_qoe, 3)]);
+    }
+    Report {
+        id: "fig18a",
+        title: "QoE impact of throughput predictors (fastMPC base, 5G)".into(),
+        body: t.render(),
+    }
+}
+
+/// Fig 18b: chunk length 4 s / 2 s / 1 s with fastMPC on 5G.
+pub fn fig18b(seed: u64) -> Report {
+    let c = corpora(seed);
+    let mut t = Table::new(vec!["chunk len", "bitrate", "stall %"]);
+    for len in [4.0, 2.0, 1.0] {
+        let asset = VideoAsset::ladder(160.0, 6, len, 240.0);
+        let sessions = run_sessions(&asset, &c.g5_eval, || Box::new(Mpc::fast()));
+        let (stall, br, _) = summarize(&sessions);
+        t.row(vec![format!("{len}s"), f(br, 3), f(stall, 2)]);
+    }
+    Report {
+        id: "fig18b",
+        title: "QoE impact of chunk length (fastMPC, 5G)".into(),
+        body: t.render(),
+    }
+}
+
+/// Fig 18c + Table 4: interface-selection schemes — bitrate, stall, energy.
+pub fn fig18c_table4(seed: u64) -> Report {
+    let c = corpora(seed);
+    let asset = VideoAsset::five_g_default();
+    let four_g_avg = mean(
+        &c.g4_train
+            .iter()
+            .map(|t| t.mean_mbps())
+            .collect::<Vec<_>>(),
+    );
+    let mut t = Table::new(vec!["scheme", "bitrate", "stall %", "energy J"]);
+    for (name, cfg) in [
+        ("5G-only MPC", IfSelectConfig::five_g_only()),
+        ("5G-aware MPC", IfSelectConfig::aware(four_g_avg)),
+        ("5G-aware MPC NO", IfSelectConfig::aware_no_overhead(four_g_avg)),
+    ] {
+        let results: Vec<_> = c
+            .g5_eval
+            .iter()
+            .zip(c.g4_eval.iter().cycle())
+            .map(|(t5, t4)| {
+                let mut mpc = Mpc::fast();
+                stream_with_selection(&asset, t5, t4, &mut mpc, &cfg, &PlayerConfig::default())
+            })
+            .collect();
+        let stall = mean(&results.iter().map(|r| r.session.stall_pct()).collect::<Vec<_>>());
+        let br = mean(
+            &results
+                .iter()
+                .map(|r| r.session.avg_norm_bitrate)
+                .collect::<Vec<_>>(),
+        );
+        let energy = mean(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>());
+        t.row(vec![name.to_string(), f(br, 3), f(stall, 2), f(energy, 1)]);
+    }
+    Report {
+        id: "fig18c",
+        title: "Interface selection for 5G video: QoE (Fig 18c) and energy (Table 4)".into(),
+        body: t.render(),
+    }
+}

@@ -1,0 +1,189 @@
+//! §6 web experiments: Fig 19 (factor impact), Fig 20 (CDFs), Fig 21
+//! (penalty vs saving), Table 6 + Fig 22 (DT interface selection).
+
+use crate::report::{f, Report, Table};
+use fiveg_radio::ue::UeModel;
+use fiveg_simcore::stats::{mean, Ecdf};
+use fiveg_web::ifselect::{label, measure_corpus, ModelSpec, SelectionModel, SiteMeasurement};
+use fiveg_web::loader::PageLoader;
+use fiveg_web::site::WebsiteCorpus;
+
+/// The paper's corpus scale and repetitions.
+const CORPUS_SIZE: usize = 1500;
+const REPS: usize = 8;
+
+fn measurements(seed: u64) -> Vec<SiteMeasurement> {
+    let corpus = WebsiteCorpus::generate(CORPUS_SIZE, seed);
+    let loader = PageLoader::new(UeModel::Pixel5, seed);
+    measure_corpus(&corpus, &loader, REPS)
+}
+
+/// Fig 19: PLT and energy binned by object count and page size.
+pub fn fig19(seed: u64) -> Report {
+    let ms = measurements(seed);
+    let mut out = String::new();
+
+    let mut by_objects = Table::new(vec!["objects", "4G PLT s", "5G PLT s", "4G J", "5G J"]);
+    for (label_txt, lo, hi) in [("0-10", 0.0, 10.0), ("11-100", 11.0, 100.0), ("100-1000", 100.0, 1000.0)]
+    {
+        let bin: Vec<&SiteMeasurement> = ms
+            .iter()
+            .filter(|m| m.features[2] >= lo && m.features[2] <= hi)
+            .collect();
+        if bin.is_empty() {
+            continue;
+        }
+        by_objects.row(vec![
+            label_txt.to_string(),
+            f(mean(&bin.iter().map(|m| m.lte.plt_s).collect::<Vec<_>>()), 2),
+            f(mean(&bin.iter().map(|m| m.mmwave.plt_s).collect::<Vec<_>>()), 2),
+            f(mean(&bin.iter().map(|m| m.lte.energy_j).collect::<Vec<_>>()), 2),
+            f(mean(&bin.iter().map(|m| m.mmwave.energy_j).collect::<Vec<_>>()), 2),
+        ]);
+    }
+    out.push_str(&format!("-- impact of # of objects --\n{}", by_objects.render()));
+
+    let mut by_size = Table::new(vec!["page size", "4G PLT s", "5G PLT s", "4G J", "5G J"]);
+    for (label_txt, lo, hi) in [("<1MB", 0.0, 1.0), ("1-10MB", 1.0, 10.0), (">10MB", 10.0, 1e9)] {
+        let bin: Vec<&SiteMeasurement> = ms
+            .iter()
+            .filter(|m| m.features[5] >= lo && m.features[5] < hi)
+            .collect();
+        if bin.is_empty() {
+            continue;
+        }
+        by_size.row(vec![
+            label_txt.to_string(),
+            f(mean(&bin.iter().map(|m| m.lte.plt_s).collect::<Vec<_>>()), 2),
+            f(mean(&bin.iter().map(|m| m.mmwave.plt_s).collect::<Vec<_>>()), 2),
+            f(mean(&bin.iter().map(|m| m.lte.energy_j).collect::<Vec<_>>()), 2),
+            f(mean(&bin.iter().map(|m| m.mmwave.energy_j).collect::<Vec<_>>()), 2),
+        ]);
+    }
+    out.push_str(&format!("-- impact of total page size --\n{}", by_size.render()));
+    Report {
+        id: "fig19",
+        title: "How page factors affect PLT and energy under 4G vs mmWave 5G".into(),
+        body: out,
+    }
+}
+
+/// Fig 20: CDFs of PLT and energy.
+pub fn fig20(seed: u64) -> Report {
+    let ms = measurements(seed);
+    let plt4 = Ecdf::new(&ms.iter().map(|m| m.lte.plt_s).collect::<Vec<_>>());
+    let plt5 = Ecdf::new(&ms.iter().map(|m| m.mmwave.plt_s).collect::<Vec<_>>());
+    let e4 = Ecdf::new(&ms.iter().map(|m| m.lte.energy_j).collect::<Vec<_>>());
+    let e5 = Ecdf::new(&ms.iter().map(|m| m.mmwave.energy_j).collect::<Vec<_>>());
+    let mut t = Table::new(vec!["quantile", "4G PLT s", "5G PLT s", "4G J", "5G J"]);
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        t.row(vec![
+            f(q, 2),
+            f(plt4.quantile(q), 2),
+            f(plt5.quantile(q), 2),
+            f(e4.quantile(q), 2),
+            f(e5.quantile(q), 2),
+        ]);
+    }
+    Report {
+        id: "fig20",
+        title: "CDFs of page load time and energy, 4G vs 5G".into(),
+        body: t.render(),
+    }
+}
+
+/// Fig 21: energy saving of choosing 4G, bucketed by the PLT penalty.
+pub fn fig21(seed: u64) -> Report {
+    let ms = measurements(seed);
+    let mut t = Table::new(vec!["PLT penalty %", "n sites", "energy saving %"]);
+    for (lo, hi) in [(0.0, 10.0), (10.0, 20.0), (20.0, 30.0), (30.0, 40.0), (40.0, 50.0), (50.0, 60.0)] {
+        let bin: Vec<&SiteMeasurement> = ms
+            .iter()
+            .filter(|m| {
+                let penalty = (m.lte.plt_s / m.mmwave.plt_s - 1.0) * 100.0;
+                penalty >= lo && penalty < hi
+            })
+            .collect();
+        if bin.is_empty() {
+            continue;
+        }
+        let saving = mean(
+            &bin.iter()
+                .map(|m| (1.0 - m.lte.energy_j / m.mmwave.energy_j) * 100.0)
+                .collect::<Vec<_>>(),
+        );
+        t.row(vec![
+            format!("{lo:.0}-{hi:.0}"),
+            bin.len().to_string(),
+            f(saving, 1),
+        ]);
+    }
+    Report {
+        id: "fig21",
+        title: "4G's PLT penalty vs energy saving over 5G".into(),
+        body: t.render(),
+    }
+}
+
+/// Table 6 + Fig 22: the five DT interface-selection models.
+pub fn table6_fig22(seed: u64) -> Report {
+    let mut ms = measurements(seed);
+    // The paper's 7:3 split: 420 test sites out of 1400-ish.
+    let test = ms.split_off(ms.len() * 7 / 10);
+    let mut t = Table::new(vec![
+        "model",
+        "desired QoE",
+        "alpha",
+        "beta",
+        "use 4G",
+        "use 5G",
+        "acc %",
+        "energy saving %",
+        "PLT penalty %",
+    ]);
+    let mut splits_out = String::new();
+    for spec in ModelSpec::table6() {
+        let model = SelectionModel::train(&ms, spec, seed);
+        let counts = model.evaluate(&test);
+        let (saving, penalty) = model.savings_vs_5g(&test);
+        t.row(vec![
+            spec.id.to_string(),
+            spec.desired.to_string(),
+            f(spec.alpha, 1),
+            f(spec.beta, 1),
+            counts.use_4g.to_string(),
+            counts.use_5g.to_string(),
+            f(counts.accuracy * 100.0, 1),
+            f(saving * 100.0, 1),
+            f(penalty * 100.0, 1),
+        ]);
+        let splits = model.splits();
+        splits_out.push_str(&format!(
+            "{} tree: {}\n",
+            spec.id,
+            if splits.is_empty() {
+                "majority leaf (use 4G)".to_string()
+            } else {
+                splits
+                    .iter()
+                    .map(|s| format!("[d{}] {} < {:.2}", s.depth, s.feature, s.threshold))
+                    .collect::<Vec<_>>()
+                    .join("; ")
+            }
+        ));
+    }
+    // Sanity line mirroring the label balance (ground truth).
+    let truth_5g: usize = label(&test, &ModelSpec::table6()[0]).iter().sum();
+    let body = format!(
+        "{}\n-- Fig 22: pruned tree structures --\n{}\n(M1 ground-truth 5G share of test: {}/{})\n",
+        t.render(),
+        splits_out,
+        truth_5g,
+        test.len()
+    );
+    Report {
+        id: "table6",
+        title: "DT radio-interface selection (Table 6) and tree structure (Fig 22)".into(),
+        body,
+    }
+}

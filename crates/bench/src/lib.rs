@@ -1,0 +1,14 @@
+//! The experiment harness: every table and figure of the paper as a
+//! regenerable report.
+//!
+//! Each function in [`experiments`] runs one experiment against the
+//! simulated field and renders the same rows/series the paper reports.
+//! The `figures` binary dispatches on experiment ids (`figures fig3`,
+//! `figures table2`, `figures all`); `EXPERIMENTS.md` records
+//! paper-vs-measured for each.
+
+pub mod experiments;
+pub mod report;
+
+/// The default campaign seed used by every experiment (reproducible runs).
+pub const CAMPAIGN_SEED: u64 = 2021;

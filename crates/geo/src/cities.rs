@@ -1,0 +1,107 @@
+//! The US cities of the measurement campaign.
+//!
+//! `MINNEAPOLIS` and `ANN_ARBOR` are the two UE locations. The rest host
+//! carrier Speedtest servers (the paper notes Verizon hosts 48 and T-Mobile
+//! 47 servers, "mainly located in major metropolitan U.S. cities"); we carry
+//! a representative pool of 33 metros matching the density of Fig 1.
+
+use crate::coord::LatLon;
+
+/// A named city with its coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct City {
+    /// City name.
+    pub name: &'static str,
+    /// Two-letter state code.
+    pub state: &'static str,
+    /// Coordinates.
+    pub loc: LatLon,
+}
+
+const fn city(name: &'static str, state: &'static str, lat: f64, lon: f64) -> City {
+    City {
+        name,
+        state,
+        loc: LatLon { lat, lon },
+    }
+}
+
+/// UE location for the Minneapolis campaigns (Verizon mmWave/low-band,
+/// T-Mobile NSA/SA low-band).
+pub const MINNEAPOLIS: City = city("Minneapolis", "MN", 44.9778, -93.2650);
+
+/// UE location for the Ann Arbor campaigns (Verizon mmWave, S10).
+pub const ANN_ARBOR: City = city("Ann Arbor", "MI", 42.2808, -83.7430);
+
+/// Metro areas hosting carrier Speedtest servers across the conterminous US.
+pub const METROS: &[City] = &[
+    city("Minneapolis", "MN", 44.9778, -93.2650),
+    city("Chicago", "IL", 41.8781, -87.6298),
+    city("Milwaukee", "WI", 43.0389, -87.9065),
+    city("Kansas City", "MO", 39.0997, -94.5786),
+    city("St. Louis", "MO", 38.6270, -90.1994),
+    city("Omaha", "NE", 41.2565, -95.9345),
+    city("Denver", "CO", 39.7392, -104.9903),
+    city("Dallas", "TX", 32.7767, -96.7970),
+    city("Houston", "TX", 29.7604, -95.3698),
+    city("San Antonio", "TX", 29.4241, -98.4936),
+    city("Oklahoma City", "OK", 35.4676, -97.5164),
+    city("New Orleans", "LA", 29.9511, -90.0715),
+    city("Memphis", "TN", 35.1495, -90.0490),
+    city("Nashville", "TN", 36.1627, -86.7816),
+    city("Atlanta", "GA", 33.7490, -84.3880),
+    city("Miami", "FL", 25.7617, -80.1918),
+    city("Tampa", "FL", 27.9506, -82.4572),
+    city("Charlotte", "NC", 35.2271, -80.8431),
+    city("Washington", "DC", 38.9072, -77.0369),
+    city("Philadelphia", "PA", 39.9526, -75.1652),
+    city("New York", "NY", 40.7128, -74.0060),
+    city("Boston", "MA", 42.3601, -71.0589),
+    city("Pittsburgh", "PA", 40.4406, -79.9959),
+    city("Cleveland", "OH", 41.4993, -81.6944),
+    city("Columbus", "OH", 39.9612, -82.9988),
+    city("Detroit", "MI", 42.3314, -83.0458),
+    city("Indianapolis", "IN", 39.7684, -86.1581),
+    city("Phoenix", "AZ", 33.4484, -112.0740),
+    city("Las Vegas", "NV", 36.1699, -115.1398),
+    city("Salt Lake City", "UT", 40.7608, -111.8910),
+    city("Seattle", "WA", 47.6062, -122.3321),
+    city("Portland", "OR", 45.5152, -122.6784),
+    city("San Francisco", "CA", 37.7749, -122.4194),
+    city("Los Angeles", "CA", 34.0522, -118.2437),
+    city("San Diego", "CA", 32.7157, -117.1611),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::haversine_km;
+
+    #[test]
+    fn metro_pool_spans_the_conterminous_us() {
+        assert!(METROS.len() >= 30, "need a dense server map like Fig 1");
+        let max = METROS
+            .iter()
+            .map(|c| haversine_km(MINNEAPOLIS.loc, c.loc))
+            .fold(0.0, f64::max);
+        assert!(max > 2000.0, "pool must include far coasts, max {max} km");
+    }
+
+    #[test]
+    fn minneapolis_is_in_the_pool() {
+        assert!(METROS.iter().any(|c| c.name == "Minneapolis"));
+    }
+
+    #[test]
+    fn nearest_metro_to_ue_is_local() {
+        let nearest = METROS
+            .iter()
+            .min_by(|a, b| {
+                haversine_km(MINNEAPOLIS.loc, a.loc)
+                    .partial_cmp(&haversine_km(MINNEAPOLIS.loc, b.loc))
+                    .expect("distances are finite")
+            })
+            .expect("non-empty");
+        assert_eq!(nearest.name, "Minneapolis");
+    }
+}

@@ -1,0 +1,89 @@
+//! Latitude/longitude coordinates and great-circle distance.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6371.0;
+
+/// A WGS-84-ish latitude/longitude pair in degrees.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatLon {
+    /// Latitude in degrees, positive north.
+    pub lat: f64,
+    /// Longitude in degrees, positive east.
+    pub lon: f64,
+}
+
+impl LatLon {
+    /// Creates a coordinate.
+    ///
+    /// # Panics
+    /// Panics if the latitude is outside `[-90, 90]` or the longitude is
+    /// outside `[-180, 180]`.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
+        LatLon { lat, lon }
+    }
+
+    /// Great-circle distance to `other` in kilometres.
+    pub fn distance_km(self, other: LatLon) -> f64 {
+        haversine_km(self, other)
+    }
+}
+
+/// Haversine great-circle distance between two coordinates, in kilometres.
+pub fn haversine_km(a: LatLon, b: LatLon) -> f64 {
+    let (lat1, lon1) = (a.lat.to_radians(), a.lon.to_radians());
+    let (lat2, lon2) = (b.lat.to_radians(), b.lon.to_radians());
+    let dlat = lat2 - lat1;
+    let dlon = lon2 - lon1;
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_KM * h.sqrt().asin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = LatLon::new(44.98, -93.27);
+        assert_eq!(haversine_km(p, p), 0.0);
+    }
+
+    #[test]
+    fn known_distances() {
+        let msp = LatLon::new(44.9778, -93.2650);
+        let chicago = LatLon::new(41.8781, -87.6298);
+        let d = haversine_km(msp, chicago);
+        assert!((d - 570.0).abs() < 20.0, "MSP-Chicago ≈ 570 km, got {d}");
+
+        let la = LatLon::new(34.0522, -118.2437);
+        let ny = LatLon::new(40.7128, -74.0060);
+        let d = haversine_km(la, ny);
+        assert!((d - 3936.0).abs() < 50.0, "LA-NY ≈ 3936 km, got {d}");
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = LatLon::new(10.0, 20.0);
+        let b = LatLon::new(-30.0, 140.0);
+        assert!((haversine_km(a, b) - haversine_km(b, a)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn rejects_bad_latitude() {
+        LatLon::new(91.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "longitude out of range")]
+    fn rejects_bad_longitude() {
+        LatLon::new(0.0, 181.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Geography of the simulated measurement campaign.
+//!
+//! The paper's §3 results are, above all, functions of **UE–server
+//! distance**: the UE sits in Minneapolis (or Ann Arbor) and tests against
+//! Speedtest servers hosted by the carriers across the conterminous US, the
+//! Speedtest servers inside Minnesota, and Azure VMs in the eight US Azure
+//! regions. This crate provides that world:
+//!
+//! * [`coord`] — latitude/longitude and great-circle distances,
+//! * [`cities`] — the US cities that host test servers,
+//! * [`servers`] — the three server pools (carrier-hosted Speedtest,
+//!   in-state Speedtest, Azure regions) with per-server capacity caps,
+//! * [`route`] — polyline routes in local metric coordinates (the 10 km
+//!   drive of Fig 9, the 1.6 km walking loop of §4.1),
+//! * [`mobility`] — stationary / walking / driving movement along a route.
+
+pub mod cities;
+pub mod coord;
+pub mod mobility;
+pub mod route;
+pub mod servers;
+
+pub use coord::{haversine_km, LatLon};
+pub use mobility::{MobilityModel, MobilityPattern};
+pub use route::Route;
+pub use servers::{Carrier, ServerHost, ServerInfo};

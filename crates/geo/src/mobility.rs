@@ -1,0 +1,304 @@
+//! Mobility models: stationary, walking, and driving.
+//!
+//! A [`MobilityModel`] binds a [`Route`] to a speed profile and answers
+//! "where is the UE at time *t*?". The paper's three mobility patterns map
+//! directly:
+//!
+//! * **stationary** — throughput/latency tests with clear LoS to a tower,
+//! * **walking** — the 20-min, 1.6 km loop of the power campaigns,
+//! * **driving** — the 10 km route of the handoff study (0–100 kph with
+//!   downtown stops).
+
+use crate::route::{Point, Route};
+use serde::{Deserialize, Serialize};
+
+/// A constant-speed stretch of a route.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SpeedSegment {
+    /// Segment start, metres of arc length from the route origin.
+    pub from_m: f64,
+    /// Segment end, metres of arc length.
+    pub to_m: f64,
+    /// Travel speed in metres per second.
+    pub speed_mps: f64,
+}
+
+/// A full stop (traffic light, crosswalk) at a point along the route.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Stop {
+    /// Arc-length position of the stop in metres.
+    pub at_m: f64,
+    /// Stop duration in seconds.
+    pub duration_s: f64,
+}
+
+/// The three mobility patterns of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MobilityPattern {
+    /// UE held stationary (LoS throughput/latency tests).
+    Stationary,
+    /// Walking the 1.6 km loop at ~1.33 m/s (~20 min).
+    Walking,
+    /// Driving the 10 km route, 0–100 kph.
+    Driving,
+}
+
+/// Position/speed as a function of time along a route.
+#[derive(Debug, Clone)]
+pub struct MobilityModel {
+    route: Route,
+    /// Piecewise-linear `(time_s, distance_m)` breakpoints, strictly
+    /// non-decreasing in both coordinates.
+    timeline: Vec<(f64, f64)>,
+}
+
+impl MobilityModel {
+    /// A UE that never moves from `point`.
+    pub fn stationary(point: Point) -> Self {
+        // Degenerate two-point route at the same location.
+        let route = Route::new(vec![point, Point::new(point.x + 1e-9, point.y)]);
+        MobilityModel {
+            route,
+            timeline: vec![(0.0, 0.0), (f64::MAX, 0.0)],
+        }
+    }
+
+    /// Builds a model from segments and stops over `route`.
+    ///
+    /// # Panics
+    /// Panics if segments do not tile `[0, route.length_m()]` contiguously
+    /// or any speed is non-positive.
+    pub fn new(route: Route, segments: &[SpeedSegment], stops: &[Stop]) -> Self {
+        assert!(!segments.is_empty(), "need at least one speed segment");
+        assert!(
+            (segments[0].from_m).abs() < 1e-6,
+            "segments must start at the route origin"
+        );
+        assert!(
+            (segments.last().expect("non-empty").to_m - route.length_m()).abs() < 1.0,
+            "segments must cover the whole route"
+        );
+        let mut stops = stops.to_vec();
+        stops.sort_by(|a, b| a.at_m.partial_cmp(&b.at_m).expect("finite stop positions"));
+        let mut timeline = vec![(0.0, 0.0)];
+        let mut stop_iter = stops.iter().peekable();
+        let mut t = 0.0;
+        for (i, seg) in segments.iter().enumerate() {
+            assert!(seg.speed_mps > 0.0, "segment speed must be positive");
+            if i > 0 {
+                assert!(
+                    (seg.from_m - segments[i - 1].to_m).abs() < 1e-6,
+                    "segments must be contiguous"
+                );
+            }
+            let mut pos = seg.from_m;
+            // Emit sub-segments split at each stop within this segment.
+            while let Some(stop) = stop_iter.peek() {
+                if stop.at_m > seg.to_m {
+                    break;
+                }
+                let stop = *stop_iter.next().expect("peeked");
+                t += (stop.at_m - pos) / seg.speed_mps;
+                timeline.push((t, stop.at_m));
+                t += stop.duration_s;
+                timeline.push((t, stop.at_m));
+                pos = stop.at_m;
+            }
+            t += (seg.to_m - pos) / seg.speed_mps;
+            timeline.push((t, seg.to_m));
+        }
+        MobilityModel { route, timeline }
+    }
+
+    /// The walking model: the 1.6 km loop at 1.33 m/s with two crosswalk
+    /// waits — a ~20.5 minute trace, matching the paper's walking loops.
+    pub fn walking_loop() -> Self {
+        let route = Route::walking_loop_1600m();
+        let len = route.length_m();
+        MobilityModel::new(
+            route,
+            &[SpeedSegment {
+                from_m: 0.0,
+                to_m: len,
+                speed_mps: 1.33,
+            }],
+            &[
+                Stop {
+                    at_m: 500.0,
+                    duration_s: 15.0,
+                },
+                Stop {
+                    at_m: 1300.0,
+                    duration_s: 15.0,
+                },
+            ],
+        )
+    }
+
+    /// The driving model of Fig 9: downtown grid at 25 kph with four
+    /// traffic-light stops, freeway at 100 kph, arterial at 60 kph with one
+    /// light — speeds ranging 0–100 kph over ~12 minutes.
+    pub fn driving_10km() -> Self {
+        let route = Route::driving_route_10km();
+        let len = route.length_m();
+        MobilityModel::new(
+            route,
+            &[
+                SpeedSegment {
+                    from_m: 0.0,
+                    to_m: 2000.0,
+                    speed_mps: 25.0 / 3.6,
+                },
+                SpeedSegment {
+                    from_m: 2000.0,
+                    to_m: 8000.0,
+                    speed_mps: 100.0 / 3.6,
+                },
+                SpeedSegment {
+                    from_m: 8000.0,
+                    to_m: len,
+                    speed_mps: 60.0 / 3.6,
+                },
+            ],
+            &[
+                Stop {
+                    at_m: 300.0,
+                    duration_s: 25.0,
+                },
+                Stop {
+                    at_m: 800.0,
+                    duration_s: 20.0,
+                },
+                Stop {
+                    at_m: 1300.0,
+                    duration_s: 30.0,
+                },
+                Stop {
+                    at_m: 1800.0,
+                    duration_s: 20.0,
+                },
+                Stop {
+                    at_m: 9000.0,
+                    duration_s: 25.0,
+                },
+            ],
+        )
+    }
+
+    /// Builds the standard model for a [`MobilityPattern`] (stationary UEs
+    /// sit at the origin of the local frame).
+    pub fn from_pattern(pattern: MobilityPattern) -> Self {
+        match pattern {
+            MobilityPattern::Stationary => MobilityModel::stationary(Point::new(0.0, 0.0)),
+            MobilityPattern::Walking => MobilityModel::walking_loop(),
+            MobilityPattern::Driving => MobilityModel::driving_10km(),
+        }
+    }
+
+    /// Total traversal time in seconds (∞-like sentinel for stationary).
+    pub fn duration_s(&self) -> f64 {
+        self.timeline.last().expect("non-empty").0
+    }
+
+    /// Arc-length distance travelled by time `t_s`, clamped to the route.
+    pub fn distance_at(&self, t_s: f64) -> f64 {
+        let t = t_s.max(0.0);
+        let idx = self.timeline.partition_point(|&(bt, _)| bt <= t);
+        if idx == 0 {
+            return self.timeline[0].1;
+        }
+        if idx >= self.timeline.len() {
+            return self.timeline.last().expect("non-empty").1;
+        }
+        let (t0, d0) = self.timeline[idx - 1];
+        let (t1, d1) = self.timeline[idx];
+        if t1 == t0 {
+            return d1;
+        }
+        d0 + (d1 - d0) * (t - t0) / (t1 - t0)
+    }
+
+    /// UE position at time `t_s`.
+    pub fn position_at(&self, t_s: f64) -> Point {
+        self.route.position_at(self.distance_at(t_s))
+    }
+
+    /// Instantaneous speed in m/s at time `t_s` (central difference).
+    pub fn speed_at(&self, t_s: f64) -> f64 {
+        let h = 0.5;
+        (self.distance_at(t_s + h) - self.distance_at((t_s - h).max(0.0))).max(0.0)
+            / (t_s.min(h) + h)
+    }
+
+    /// The underlying route.
+    pub fn route(&self) -> &Route {
+        &self.route
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_never_moves() {
+        let m = MobilityModel::stationary(Point::new(7.0, 9.0));
+        for t in [0.0, 100.0, 1e6] {
+            let p = m.position_at(t);
+            assert!((p.x - 7.0).abs() < 1e-6 && (p.y - 9.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn walking_loop_takes_about_20_minutes() {
+        let m = MobilityModel::walking_loop();
+        let d = m.duration_s();
+        // 1600 m / 1.33 m/s + 30 s of stops ≈ 1233 s.
+        assert!((d - 1233.0).abs() < 5.0, "duration {d}");
+    }
+
+    #[test]
+    fn driving_distance_is_monotone_and_complete() {
+        let m = MobilityModel::driving_10km();
+        let total = m.duration_s();
+        let mut last = -1.0;
+        let mut t = 0.0;
+        while t <= total {
+            let d = m.distance_at(t);
+            assert!(d >= last, "distance must be monotone");
+            last = d;
+            t += 5.0;
+        }
+        assert!((m.distance_at(total) - 10_000.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn stops_hold_position() {
+        let m = MobilityModel::driving_10km();
+        // Find the first stop (at 300 m): reaching it takes 300/(25/3.6) ≈ 43.2 s.
+        let t_arrive = 300.0 / (25.0 / 3.6);
+        let d1 = m.distance_at(t_arrive + 1.0);
+        let d2 = m.distance_at(t_arrive + 20.0);
+        assert!((d1 - 300.0).abs() < 1.0, "{d1}");
+        assert!((d2 - 300.0).abs() < 1.0, "{d2}");
+    }
+
+    #[test]
+    fn freeway_speed_is_100kph() {
+        let m = MobilityModel::driving_10km();
+        // Midway along the freeway stretch (arc 5000 m). Find a time there.
+        let mut t = 0.0;
+        while m.distance_at(t) < 5000.0 {
+            t += 1.0;
+        }
+        let v = m.speed_at(t);
+        assert!((v - 100.0 / 3.6).abs() < 1.0, "speed {v} m/s");
+    }
+
+    #[test]
+    fn driving_duration_is_reasonable() {
+        let m = MobilityModel::driving_10km();
+        let d = m.duration_s();
+        assert!(d > 500.0 && d < 1000.0, "duration {d}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Polyline routes in local metric coordinates.
+//!
+//! Routes are used by the mobility models: the 10 km driving route of Fig 9
+//! (downtown → freeway → arterial) and the 1.6 km / 20-min walking loop of
+//! the power campaigns (§4.1). Coordinates are metres in a local tangent
+//! plane centred on the campaign city; tower placement (in `fiveg-radio`)
+//! uses the same frame.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the local metric frame, in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Easting in metres.
+    pub x: f64,
+    /// Northing in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other` in metres.
+    pub fn distance_m(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A polyline route with precomputed cumulative arc length.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Route {
+    points: Vec<Point>,
+    /// `cum[i]` = arc length from the start to `points[i]`, metres.
+    cum: Vec<f64>,
+}
+
+impl Route {
+    /// Builds a route from waypoints.
+    ///
+    /// # Panics
+    /// Panics if fewer than two waypoints are given.
+    pub fn new(points: Vec<Point>) -> Self {
+        assert!(points.len() >= 2, "a route needs at least two waypoints");
+        let mut cum = Vec::with_capacity(points.len());
+        cum.push(0.0);
+        for w in points.windows(2) {
+            let last = *cum.last().expect("cum starts non-empty");
+            cum.push(last + w[0].distance_m(w[1]));
+        }
+        Route { points, cum }
+    }
+
+    /// Total route length in metres.
+    pub fn length_m(&self) -> f64 {
+        *self.cum.last().expect("non-empty")
+    }
+
+    /// Position at arc-length `s` metres from the start, clamped to the
+    /// route's span.
+    pub fn position_at(&self, s: f64) -> Point {
+        let s = s.clamp(0.0, self.length_m());
+        let idx = self.cum.partition_point(|&c| c <= s);
+        if idx == 0 {
+            return self.points[0];
+        }
+        if idx >= self.points.len() {
+            return *self.points.last().expect("non-empty");
+        }
+        let (c0, c1) = (self.cum[idx - 1], self.cum[idx]);
+        let seg = c1 - c0;
+        let frac = if seg == 0.0 { 0.0 } else { (s - c0) / seg };
+        let (a, b) = (self.points[idx - 1], self.points[idx]);
+        Point::new(a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac)
+    }
+
+    /// The waypoints of the route.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The 10 km driving route of Fig 9: ~2 km of downtown grid, ~6 km of
+    /// freeway, ~2 km of arterial road back toward downtown.
+    pub fn driving_route_10km() -> Route {
+        // Downtown grid (500 m zig-zag blocks, 2 km), then a 6 km freeway
+        // run east, then 2 km of arterial north.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(500.0, 0.0),
+            Point::new(500.0, 500.0),
+            Point::new(1000.0, 500.0),
+            Point::new(1000.0, 1000.0),
+            Point::new(7000.0, 1000.0),
+            Point::new(7000.0, 3000.0),
+        ];
+        Route::new(pts)
+    }
+
+    /// The 1.6 km walking loop of the power campaigns: a rectangle through
+    /// the measured blocks, returning to the start.
+    pub fn walking_loop_1600m() -> Route {
+        Route::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(500.0, 0.0),
+            Point::new(500.0, 300.0),
+            Point::new(0.0, 300.0),
+            Point::new(0.0, 0.0),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_accumulates() {
+        let r = Route::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(3.0, 4.0),
+        ]);
+        assert!((r.length_m() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn position_interpolates_within_segments() {
+        let r = Route::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        let p = r.position_at(2.5);
+        assert!((p.x - 2.5).abs() < 1e-12 && p.y == 0.0);
+    }
+
+    #[test]
+    fn position_clamps_at_ends() {
+        let r = Route::new(vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)]);
+        assert_eq!(r.position_at(-5.0), Point::new(0.0, 0.0));
+        assert_eq!(r.position_at(500.0), Point::new(10.0, 0.0));
+    }
+
+    #[test]
+    fn driving_route_is_about_10km() {
+        let r = Route::driving_route_10km();
+        assert!((r.length_m() - 10_000.0).abs() < 100.0, "{}", r.length_m());
+    }
+
+    #[test]
+    fn walking_loop_is_1600m_and_closed() {
+        let r = Route::walking_loop_1600m();
+        assert!((r.length_m() - 1600.0).abs() < 1e-9);
+        assert_eq!(r.points().first(), r.points().last());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two waypoints")]
+    fn rejects_degenerate_routes() {
+        Route::new(vec![Point::new(0.0, 0.0)]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Server pools used by the Speedtest and Azure experiments.
+//!
+//! Three pools appear in the paper:
+//!
+//! 1. **Carrier-hosted Speedtest servers** across major US metros (§3.1):
+//!    carriers place these at the edge of their city-level ingress points, so
+//!    testing against them isolates the radio + carrier path from the wider
+//!    Internet. [`carrier_pool`] instantiates one per metro.
+//! 2. **In-state (Minnesota) Speedtest servers** (Fig 24): mostly hosted by
+//!    local ISPs and universities, some of which cap out at 1 or 2 Gbps due
+//!    to NIC/switch-port limits. [`minnesota_pool`] reproduces that mix.
+//! 3. **Azure regions** (Fig 8): eight US regions at the paper's reported
+//!    UE–server distances. [`azure_regions`].
+
+use crate::cities::{City, METROS, MINNEAPOLIS};
+use crate::coord::LatLon;
+use serde::{Deserialize, Serialize};
+
+/// The two commercial carriers of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Carrier {
+    /// Verizon: NSA mmWave (n260/n261) + NSA low-band (n5, DSS).
+    Verizon,
+    /// T-Mobile: low-band (n71) in both NSA and SA modes.
+    TMobile,
+}
+
+impl Carrier {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Carrier::Verizon => "Verizon",
+            Carrier::TMobile => "T-Mobile",
+        }
+    }
+}
+
+/// Who operates a test server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServerHost {
+    /// Hosted by a carrier at its ingress edge (minimal Internet-side path).
+    Carrier(Carrier),
+    /// Third-party Speedtest host (local ISP, university, ...).
+    ThirdParty,
+    /// A cloud VM (the paper's Azure DS4_v2 instances).
+    Cloud,
+}
+
+/// A throughput/latency test server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerInfo {
+    /// Display name, e.g. `"Verizon, Chicago"`.
+    pub name: String,
+    /// Operator class.
+    pub host: ServerHost,
+    /// Server location, if it is placed on the map.
+    pub loc: Option<LatLon>,
+    /// Fixed UE–server distance in km, overriding the coordinate-derived
+    /// distance (used for Azure regions, where the paper reports distances
+    /// directly).
+    pub distance_override_km: Option<f64>,
+    /// Server-side throughput cap in Mbps (NIC / switch-port / config
+    /// limits), if any.
+    pub cap_mbps: Option<f64>,
+    /// Multiplicative throughput efficiency of the Internet path to this
+    /// server relative to a carrier-edge server (1.0 = no extra overhead).
+    pub path_efficiency: f64,
+}
+
+impl ServerInfo {
+    /// Great-circle UE–server distance in km (or the fixed override).
+    ///
+    /// # Panics
+    /// Panics if the server has neither coordinates nor a distance override.
+    pub fn distance_km(&self, ue: LatLon) -> f64 {
+        if let Some(d) = self.distance_override_km {
+            return d;
+        }
+        let loc = self
+            .loc
+            .unwrap_or_else(|| panic!("server {} has no location", self.name));
+        crate::coord::haversine_km(ue, loc)
+    }
+}
+
+/// One carrier-hosted Speedtest server in every metro of [`METROS`].
+pub fn carrier_pool(carrier: Carrier) -> Vec<ServerInfo> {
+    METROS
+        .iter()
+        .map(|c: &City| ServerInfo {
+            name: format!("{}, {}", carrier.name(), c.name),
+            host: ServerHost::Carrier(carrier),
+            loc: Some(c.loc),
+            distance_override_km: None,
+            cap_mbps: None,
+            path_efficiency: 1.0,
+        })
+        .collect()
+}
+
+/// The Minnesota in-state Speedtest pool of Fig 24: 37 servers; the
+/// carrier's own Minneapolis server is unconstrained, most third-party
+/// servers lose ~10% to Internet-side routing, and several are bound by
+/// 2 Gbps or 1 Gbps port capacities.
+pub fn minnesota_pool() -> Vec<ServerInfo> {
+    // (name, km from Minneapolis, cap in Mbps, path efficiency)
+    const POOL: &[(&str, f64, Option<f64>, f64)] = &[
+        ("Verizon, Minneapolis", 3.0, None, 1.0),
+        ("Hennepin H., Minneapolis", 5.0, None, 0.92),
+        ("Sprint, St. Paul", 15.0, None, 0.92),
+        ("Carleton C., Northfield", 60.0, None, 0.92),
+        ("CenturyLink, St. Paul", 15.0, None, 0.91),
+        ("Midco, Cambridge", 65.0, None, 0.91),
+        ("NetINS, Minneapolis", 4.0, None, 0.92),
+        ("Fibernet M., Monticello", 55.0, None, 0.91),
+        ("US Internet, Minneapolis", 6.0, None, 0.92),
+        ("Paul Bunyan, Minneapolis", 7.0, None, 0.91),
+        ("Metronet, Rochester", 120.0, None, 0.90),
+        ("Gigabit Mi., Rosemount", 30.0, None, 0.90),
+        ("Arvig, Perham", 280.0, None, 0.90),
+        ("West Centr., Sebeka", 250.0, None, 0.90),
+        ("Spectrum, St Cloud", 100.0, None, 0.90),
+        ("CTC, Brainerd", 180.0, None, 0.89),
+        ("Hiawatha B., Winona", 170.0, None, 0.89),
+        ("CenturyLink, Rochester", 120.0, None, 0.89),
+        ("Midco, Bemidji", 330.0, None, 0.89),
+        ("Midco, Fairmont", 210.0, None, 0.89),
+        ("Midco, St. Joseph", 110.0, None, 0.88),
+        ("Paul Bunyan, Bemidji", 330.0, None, 0.88),
+        ("702 Comm., Moorhead", 380.0, None, 0.88),
+        ("fdcservers, Minneapolis", 8.0, None, 0.85),
+        ("Vibrant Br., Litchfield", 95.0, Some(2000.0), 1.0),
+        ("Midco, International F.", 460.0, Some(2000.0), 1.0),
+        ("Gustavus A., Saint Peter", 95.0, Some(2000.0), 1.0),
+        ("AcenTek-Sp., Houston", 210.0, Some(2000.0), 1.0),
+        ("RadioLink, Ellendale", 110.0, Some(1000.0), 1.0),
+        ("Albany Mut., Albany", 120.0, Some(1000.0), 1.0),
+        ("Paul Bunyan, Duluth", 250.0, Some(1000.0), 1.0),
+        ("Stellar As., Brandon", 220.0, Some(1000.0), 1.0),
+        ("Nuvera, New Ulm", 140.0, Some(1000.0), 1.0),
+        ("Halstad Te., Halstad", 390.0, Some(800.0), 1.0),
+        ("vRad, Eden Prairie", 20.0, Some(700.0), 1.0),
+        ("Northeast, Mountain Iron", 290.0, Some(600.0), 1.0),
+        ("Midco, Ely", 350.0, Some(500.0), 1.0),
+    ];
+    POOL.iter()
+        .enumerate()
+        .map(|(i, &(name, km, cap, eff))| ServerInfo {
+            name: format!("{}. {}", i + 1, name),
+            host: if i == 0 {
+                ServerHost::Carrier(Carrier::Verizon)
+            } else {
+                ServerHost::ThirdParty
+            },
+            loc: None,
+            distance_override_km: Some(km),
+            cap_mbps: cap,
+            path_efficiency: eff,
+        })
+        .collect()
+}
+
+/// The eight US Azure regions of Fig 8, at the paper's reported UE–server
+/// distances from the Minneapolis UE.
+pub fn azure_regions() -> Vec<ServerInfo> {
+    const REGIONS: &[(&str, f64)] = &[
+        ("Central", 374.0),
+        ("North Central", 563.0),
+        ("East", 1393.0),
+        ("West Central", 1444.0),
+        ("East2", 1539.0),
+        ("South Central", 1779.0),
+        ("West2", 2044.0),
+        ("West", 2532.0),
+    ];
+    REGIONS
+        .iter()
+        .map(|&(name, km)| ServerInfo {
+            name: format!("Azure {name}"),
+            host: ServerHost::Cloud,
+            loc: None,
+            distance_override_km: Some(km),
+            cap_mbps: None,
+            path_efficiency: 1.0,
+        })
+        .collect()
+}
+
+/// Convenience: the UE coordinates for the Minneapolis campaigns.
+pub fn default_ue_location() -> LatLon {
+    MINNEAPOLIS.loc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carrier_pool_covers_every_metro() {
+        let pool = carrier_pool(Carrier::Verizon);
+        assert_eq!(pool.len(), METROS.len());
+        assert!(pool.iter().all(|s| matches!(s.host, ServerHost::Carrier(Carrier::Verizon))));
+    }
+
+    #[test]
+    fn carrier_pool_distances_span_the_us() {
+        let ue = default_ue_location();
+        let pool = carrier_pool(Carrier::TMobile);
+        let dists: Vec<f64> = pool.iter().map(|s| s.distance_km(ue)).collect();
+        let min = dists.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = dists.iter().cloned().fold(0.0, f64::max);
+        assert!(min < 10.0, "a local server exists, min {min}");
+        assert!(max > 2000.0, "far-coast servers exist, max {max}");
+    }
+
+    #[test]
+    fn minnesota_pool_matches_fig24_structure() {
+        let pool = minnesota_pool();
+        assert_eq!(pool.len(), 37);
+        assert!(matches!(pool[0].host, ServerHost::Carrier(Carrier::Verizon)));
+        assert_eq!(pool[0].cap_mbps, None);
+        let capped_2g = pool.iter().filter(|s| s.cap_mbps == Some(2000.0)).count();
+        let capped_1g = pool.iter().filter(|s| s.cap_mbps == Some(1000.0)).count();
+        assert_eq!(capped_2g, 4, "servers 25-28 are 2 Gbps-bound");
+        assert_eq!(capped_1g, 5, "servers 29-33 are 1 Gbps-bound");
+    }
+
+    #[test]
+    fn azure_regions_match_paper_distances() {
+        let regions = azure_regions();
+        assert_eq!(regions.len(), 8);
+        let ue = default_ue_location();
+        assert_eq!(regions[0].distance_km(ue), 374.0);
+        assert_eq!(regions[7].distance_km(ue), 2532.0);
+        // Monotonically increasing distance, as presented in Fig 8.
+        for w in regions.windows(2) {
+            assert!(w[0].distance_km(ue) < w[1].distance_km(ue));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "has no location")]
+    fn distance_requires_loc_or_override() {
+        let s = ServerInfo {
+            name: "bad".into(),
+            host: ServerHost::ThirdParty,
+            loc: None,
+            distance_override_km: None,
+            cap_mbps: None,
+            path_efficiency: 1.0,
+        };
+        s.distance_km(default_ue_location());
+    }
+}

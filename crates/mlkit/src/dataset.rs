@@ -1,0 +1,131 @@
+//! Feature matrices and split utilities.
+
+use fiveg_simcore::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// A dense dataset: one row per sample, one target per row.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature names (column labels), used for interpretable trees.
+    pub feature_names: Vec<String>,
+    /// Row-major feature matrix.
+    pub features: Vec<Vec<f64>>,
+    /// Per-row target values (class indices as floats for classification).
+    pub targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Panics
+    /// Panics if row lengths are inconsistent with the feature names or the
+    /// target count differs from the row count.
+    pub fn new(feature_names: Vec<String>, features: Vec<Vec<f64>>, targets: Vec<f64>) -> Self {
+        assert_eq!(features.len(), targets.len(), "rows vs targets mismatch");
+        for row in &features {
+            assert_eq!(row.len(), feature_names.len(), "row width mismatch");
+        }
+        Dataset {
+            feature_names,
+            features,
+            targets,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    /// Panics on a row-width mismatch.
+    pub fn push(&mut self, row: Vec<f64>, target: f64) {
+        assert_eq!(row.len(), self.feature_names.len(), "row width mismatch");
+        self.features.push(row);
+        self.targets.push(target);
+    }
+
+    /// Splits into `(train, test)` with `train_frac` of samples in train,
+    /// shuffled deterministically by `rng` (the paper's 7:3 split).
+    ///
+    /// # Panics
+    /// Panics if `train_frac` is outside `(0, 1)`.
+    pub fn split(&self, train_frac: f64, rng: &mut RngStream) -> (Dataset, Dataset) {
+        assert!(
+            train_frac > 0.0 && train_frac < 1.0,
+            "train_frac must be in (0, 1)"
+        );
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        let n_train = ((self.len() as f64) * train_frac).round() as usize;
+        let take = |ids: &[usize]| Dataset {
+            feature_names: self.feature_names.clone(),
+            features: ids.iter().map(|&i| self.features[i].clone()).collect(),
+            targets: ids.iter().map(|&i| self.targets[i]).collect(),
+        };
+        (take(&idx[..n_train]), take(&idx[n_train..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()], vec![], vec![]);
+        for i in 0..n {
+            d.push(vec![i as f64], i as f64 * 2.0);
+        }
+        d
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let d = toy(100);
+        let mut rng = RngStream::new(1, "split");
+        let (train, test) = d.split(0.7, &mut rng);
+        assert_eq!(train.len(), 70);
+        assert_eq!(test.len(), 30);
+        let mut all: Vec<f64> = train
+            .features
+            .iter()
+            .chain(test.features.iter())
+            .map(|r| r[0])
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert_eq!(all, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = toy(50);
+        let (a, _) = d.split(0.7, &mut RngStream::new(9, "s"));
+        let (b, _) = d.split(0.7, &mut RngStream::new(9, "s"));
+        assert_eq!(a.features, b.features);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows vs targets")]
+    fn rejects_mismatched_targets() {
+        Dataset::new(vec!["x".into()], vec![vec![1.0]], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_bad_row() {
+        let mut d = toy(1);
+        d.push(vec![1.0, 2.0], 0.0);
+    }
+}

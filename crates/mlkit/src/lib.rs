@@ -1,0 +1,28 @@
+//! Machine-learning toolkit, built from scratch for the reproduction.
+//!
+//! The paper uses three model families, all re-implemented here with no
+//! external ML dependencies:
+//!
+//! * **CART decision trees** ([`tree`]) — Decision Tree Regression for the
+//!   throughput+signal-strength power model (§4.5) and for software-monitor
+//!   calibration (§4.6); a Gini classifier with bottom-up post-pruning for
+//!   the web 4G/5G interface selection models M1–M5 (§6.2, Fig 22).
+//! * **Gradient-boosted decision trees** ([`gbdt`]) — the Lumos5G-style
+//!   mmWave throughput predictor plugged into MPC (§5.3, Fig 18a).
+//! * **A small multi-layer perceptron** ([`mlp`]) — the stand-in for
+//!   Pensieve's policy network (§5.2), trained by imitation of an MPC
+//!   oracle.
+//!
+//! [`dataset`] holds feature matrices and the seeded 70/30 splits the paper
+//! uses; [`metrics`] the evaluation measures (MAPE, accuracy).
+
+pub mod dataset;
+pub mod gbdt;
+pub mod metrics;
+pub mod mlp;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use gbdt::GbdtRegressor;
+pub use mlp::Mlp;
+pub use tree::{DecisionTreeClassifier, DecisionTreeRegressor, TreeConfig};

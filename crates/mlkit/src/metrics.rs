@@ -1,0 +1,71 @@
+//! Evaluation metrics.
+//!
+//! `MAPE` (the paper's power-model metric, Fig 15/16) lives in
+//! `fiveg_simcore::stats`; this module adds classification measures.
+
+/// Fraction of matching labels.
+///
+/// # Panics
+/// Panics on length mismatch or empty inputs.
+pub fn accuracy(actual: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "accuracy: length mismatch");
+    assert!(!actual.is_empty(), "accuracy: empty inputs");
+    actual
+        .iter()
+        .zip(predicted)
+        .filter(|(a, p)| a == p)
+        .count() as f64
+        / actual.len() as f64
+}
+
+/// Confusion counts for a binary problem: `(tp, fp, tn, fn)` with class 1
+/// treated as positive.
+pub fn binary_confusion(actual: &[usize], predicted: &[usize]) -> (usize, usize, usize, usize) {
+    assert_eq!(actual.len(), predicted.len(), "confusion: length mismatch");
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut tn = 0;
+    let mut fal_n = 0;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        match (a, p) {
+            (1, 1) => tp += 1,
+            (0, 1) => fp += 1,
+            (0, 0) => tn += 1,
+            (1, 0) => fal_n += 1,
+            _ => panic!("binary_confusion expects labels in {{0, 1}}"),
+        }
+    }
+    (tp, fp, tn, fal_n)
+}
+
+/// Re-export of the regression error used throughout §4.
+pub use fiveg_simcore::stats::mape;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[1, 0, 1, 1], &[1, 1, 1, 0]), 0.5);
+        assert_eq!(accuracy(&[2, 2], &[2, 2]), 1.0);
+    }
+
+    #[test]
+    fn confusion_partitions() {
+        let (tp, fp, tn, fal_n) = binary_confusion(&[1, 1, 0, 0, 1], &[1, 0, 0, 1, 1]);
+        assert_eq!((tp, fp, tn, fal_n), (2, 1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatch() {
+        accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels in")]
+    fn confusion_rejects_multiclass() {
+        binary_confusion(&[2], &[1]);
+    }
+}

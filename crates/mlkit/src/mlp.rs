@@ -1,0 +1,254 @@
+//! A small multi-layer perceptron with SGD training.
+//!
+//! The stand-in for Pensieve's policy network (§5.2): a feed-forward net
+//! with ReLU hidden layers and a linear output, trained here by imitation
+//! (regression onto oracle action scores). Everything is plain `Vec<f64>`
+//! math — no BLAS, no autograd.
+
+use fiveg_simcore::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// One dense layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Layer {
+    /// `weights[o][i]`: input `i` → output `o`.
+    weights: Vec<Vec<f64>>,
+    biases: Vec<f64>,
+}
+
+impl Layer {
+    fn new(inputs: usize, outputs: usize, rng: &mut RngStream) -> Self {
+        // He initialization for ReLU nets.
+        let scale = (2.0 / inputs as f64).sqrt();
+        Layer {
+            weights: (0..outputs)
+                .map(|_| (0..inputs).map(|_| rng.normal(0.0, scale)).collect())
+                .collect(),
+            biases: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, input: &[f64]) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.biases)
+            .map(|(w, b)| w.iter().zip(input).map(|(wi, xi)| wi * xi).sum::<f64>() + b)
+            .collect()
+    }
+}
+
+/// A feed-forward network: ReLU hidden layers, linear output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer sizes, e.g. `&[8, 32, 16, 6]`.
+    ///
+    /// # Panics
+    /// Panics with fewer than two sizes or any zero size.
+    pub fn new(sizes: &[usize], rng: &mut RngStream) -> Self {
+        assert!(sizes.len() >= 2, "need input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        Mlp {
+            layers: sizes
+                .windows(2)
+                .map(|w| Layer::new(w[0], w[1], rng))
+                .collect(),
+        }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].weights[0].len()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").biases.len()
+    }
+
+    /// Forward pass; hidden layers ReLU, output linear.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.input_dim(), "input dimension mismatch");
+        let n = self.layers.len();
+        let mut x = input.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(&x);
+            if i + 1 < n {
+                for v in &mut x {
+                    *v = v.max(0.0);
+                }
+            }
+        }
+        x
+    }
+
+    /// The argmax of the forward pass — the policy's chosen action.
+    pub fn act(&self, input: &[f64]) -> usize {
+        let out = self.forward(input);
+        out.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite outputs"))
+            .map(|(i, _)| i)
+            .expect("non-empty output")
+    }
+
+    /// One SGD step on a single `(input, target)` pair with squared loss;
+    /// returns the loss before the update.
+    pub fn train_step(&mut self, input: &[f64], target: &[f64], lr: f64) -> f64 {
+        assert_eq!(target.len(), self.output_dim(), "target dimension mismatch");
+        // Forward, keeping activations.
+        let n = self.layers.len();
+        let mut activations = vec![input.to_vec()];
+        let mut pre_acts = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward(activations.last().expect("non-empty"));
+            pre_acts.push(z.clone());
+            let a = if i + 1 < n {
+                z.iter().map(|v| v.max(0.0)).collect()
+            } else {
+                z
+            };
+            activations.push(a);
+        }
+        let output = activations.last().expect("non-empty").clone();
+        let loss: f64 = output
+            .iter()
+            .zip(target)
+            .map(|(o, t)| (o - t).powi(2))
+            .sum::<f64>()
+            / output.len() as f64;
+
+        // Backward.
+        let mut delta: Vec<f64> = output
+            .iter()
+            .zip(target)
+            .map(|(o, t)| 2.0 * (o - t) / output.len() as f64)
+            .collect();
+        for li in (0..n).rev() {
+            // ReLU derivative for hidden layers (output layer is linear).
+            if li + 1 < n {
+                for (d, z) in delta.iter_mut().zip(&pre_acts[li]) {
+                    if *z <= 0.0 {
+                        *d = 0.0;
+                    }
+                }
+            }
+            let input_act = activations[li].clone();
+            // Gradient wrt the previous activation, before updating weights.
+            let mut prev_delta = vec![0.0; input_act.len()];
+            for (o, d) in delta.iter().enumerate() {
+                for (i, pd) in prev_delta.iter_mut().enumerate() {
+                    *pd += self.layers[li].weights[o][i] * d;
+                }
+            }
+            for (o, d) in delta.iter().enumerate() {
+                for (i, &a) in input_act.iter().enumerate() {
+                    self.layers[li].weights[o][i] -= lr * d * a;
+                }
+                self.layers[li].biases[o] -= lr * d;
+            }
+            delta = prev_delta;
+        }
+        loss
+    }
+
+    /// Trains over the dataset for `epochs` passes (deterministic shuffling
+    /// via `rng`); returns the final mean loss.
+    pub fn train(
+        &mut self,
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        epochs: usize,
+        lr: f64,
+        rng: &mut RngStream,
+    ) -> f64 {
+        assert_eq!(inputs.len(), targets.len(), "inputs vs targets mismatch");
+        assert!(!inputs.is_empty(), "cannot train on an empty dataset");
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        let mut last_loss = f64::NAN;
+        for _ in 0..epochs {
+            rng.shuffle(&mut order);
+            let mut total = 0.0;
+            for &i in &order {
+                total += self.train_step(&inputs[i], &targets[i], lr);
+            }
+            last_loss = total / inputs.len() as f64;
+        }
+        last_loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_consistent() {
+        let mut rng = RngStream::new(1, "mlp");
+        let net = Mlp::new(&[4, 8, 3], &mut rng);
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.output_dim(), 3);
+        assert_eq!(net.forward(&[0.0; 4]).len(), 3);
+    }
+
+    #[test]
+    fn learns_a_linear_map() {
+        let mut rng = RngStream::new(2, "mlp");
+        let mut net = Mlp::new(&[2, 16, 1], &mut rng);
+        let inputs: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.uniform(), rng.uniform()])
+            .collect();
+        let targets: Vec<Vec<f64>> = inputs.iter().map(|x| vec![x[0] + 2.0 * x[1]]).collect();
+        let loss = net.train(&inputs, &targets, 200, 0.01, &mut rng);
+        assert!(loss < 1e-3, "final loss {loss}");
+        let pred = net.forward(&[0.5, 0.25])[0];
+        assert!((pred - 1.0).abs() < 0.1, "pred {pred}");
+    }
+
+    #[test]
+    fn learns_xor_with_hidden_layer() {
+        let mut rng = RngStream::new(3, "mlp");
+        let mut net = Mlp::new(&[2, 16, 8, 2], &mut rng);
+        let inputs: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let targets: Vec<Vec<f64>> = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        ];
+        net.train(&inputs, &targets, 3000, 0.05, &mut rng);
+        assert_eq!(net.act(&[0.0, 0.0]), 0);
+        assert_eq!(net.act(&[1.0, 0.0]), 1);
+        assert_eq!(net.act(&[0.0, 1.0]), 1);
+        assert_eq!(net.act(&[1.0, 1.0]), 0);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let build = || {
+            let mut rng = RngStream::new(4, "mlp");
+            let mut net = Mlp::new(&[2, 8, 1], &mut rng);
+            let inputs = vec![vec![0.1, 0.9], vec![0.8, 0.2]];
+            let targets = vec![vec![1.0], vec![0.0]];
+            net.train(&inputs, &targets, 50, 0.05, &mut rng);
+            net.forward(&[0.5, 0.5])[0]
+        };
+        assert_eq!(build().to_bits(), build().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn rejects_bad_input_shape() {
+        let mut rng = RngStream::new(5, "mlp");
+        let net = Mlp::new(&[3, 2], &mut rng);
+        net.forward(&[1.0]);
+    }
+}

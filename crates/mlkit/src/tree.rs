@@ -1,0 +1,658 @@
+//! CART decision trees: regression (variance reduction) and classification
+//! (Gini), with bottom-up reduced-error post-pruning and feature
+//! importances.
+//!
+//! These power the paper's three tree applications: the TH+SS power model
+//! (Decision Tree Regression, §4.5), software-power-monitor calibration
+//! (§4.6), and the interpretable 4G/5G interface-selection classifiers
+//! M1–M5 whose pruned structure Fig 22 draws.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters shared by both tree types.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples in a leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum impurity decrease to accept a split.
+    pub min_impurity_decrease: f64,
+    /// Maximum candidate thresholds evaluated per feature (quantiles).
+    pub max_thresholds: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_leaf: 5,
+            min_impurity_decrease: 1e-9,
+            max_thresholds: 64,
+        }
+    }
+}
+
+/// A tree node (arena-indexed).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+        n: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+        /// Impurity decrease achieved by this split (for importances).
+        gain: f64,
+        /// Leaf value this node would take if pruned.
+        fallback: f64,
+        n: usize,
+    },
+}
+
+/// Shared tree structure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Tree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl Tree {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value, .. } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    idx = if row[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Indices of nodes reachable from the root (pruning orphans arena
+    /// entries, which must not be counted).
+    fn reachable(&self) -> Vec<usize> {
+        let mut stack = vec![0usize];
+        let mut out = Vec::new();
+        while let Some(idx) = stack.pop() {
+            out.push(idx);
+            if let Node::Split { left, right, .. } = &self.nodes[idx] {
+                stack.push(*left);
+                stack.push(*right);
+            }
+        }
+        out
+    }
+
+    /// Normalized total impurity decrease per feature.
+    fn importances(&self) -> Vec<f64> {
+        let mut imp = vec![0.0; self.n_features];
+        for idx in self.reachable() {
+            if let Node::Split { feature, gain, n, .. } = &self.nodes[idx] {
+                imp[*feature] += gain * *n as f64;
+            }
+        }
+        let total: f64 = imp.iter().sum();
+        if total > 0.0 {
+            for v in &mut imp {
+                *v /= total;
+            }
+        }
+        imp
+    }
+
+    fn depth_from(&self, idx: usize) -> usize {
+        match &self.nodes[idx] {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => {
+                1 + self.depth_from(*left).max(self.depth_from(*right))
+            }
+        }
+    }
+
+    fn n_leaves(&self) -> usize {
+        self.reachable()
+            .into_iter()
+            .filter(|&i| matches!(self.nodes[i], Node::Leaf { .. }))
+            .count()
+    }
+}
+
+/// Candidate split thresholds for a feature: quantiles of the observed
+/// values, midpointed.
+fn candidate_thresholds(values: &mut Vec<f64>, max_thresholds: usize) -> Vec<f64> {
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+    values.dedup();
+    if values.len() < 2 {
+        return Vec::new();
+    }
+    let n_cand = (values.len() - 1).min(max_thresholds);
+    (0..n_cand)
+        .map(|i| {
+            // Even coverage of the gap list.
+            let pos = (i as f64 + 0.5) / n_cand as f64 * (values.len() - 1) as f64;
+            let j = pos.floor() as usize;
+            (values[j] + values[j + 1]) / 2.0
+        })
+        .collect()
+}
+
+/// Leaf statistic + impurity function abstraction: regression uses
+/// (mean, variance·n); classification uses (majority, gini·n).
+trait Criterion {
+    /// Leaf prediction for the target subset.
+    fn leaf_value(targets: &[f64]) -> f64;
+    /// Total impurity (already multiplied by n) of the subset.
+    fn impurity_n(targets: &[f64]) -> f64;
+}
+
+struct VarianceCriterion;
+impl Criterion for VarianceCriterion {
+    fn leaf_value(targets: &[f64]) -> f64 {
+        fiveg_simcore::stats::mean(targets)
+    }
+    fn impurity_n(targets: &[f64]) -> f64 {
+        if targets.is_empty() {
+            return 0.0;
+        }
+        let m = fiveg_simcore::stats::mean(targets);
+        targets.iter().map(|t| (t - m).powi(2)).sum()
+    }
+}
+
+struct GiniCriterion;
+impl Criterion for GiniCriterion {
+    fn leaf_value(targets: &[f64]) -> f64 {
+        // Majority class.
+        let mut counts = std::collections::HashMap::new();
+        for &t in targets {
+            *counts.entry(t as i64).or_insert(0usize) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(k, _)| k as f64)
+            .unwrap_or(0.0)
+    }
+    fn impurity_n(targets: &[f64]) -> f64 {
+        if targets.is_empty() {
+            return 0.0;
+        }
+        let mut counts = std::collections::HashMap::new();
+        for &t in targets {
+            *counts.entry(t as i64).or_insert(0usize) += 1;
+        }
+        let n = targets.len() as f64;
+        let gini = 1.0 - counts.values().map(|&c| (c as f64 / n).powi(2)).sum::<f64>();
+        gini * n
+    }
+}
+
+fn build<C: Criterion>(
+    data: &Dataset,
+    rows: Vec<usize>,
+    depth: usize,
+    cfg: &TreeConfig,
+    nodes: &mut Vec<Node>,
+) -> usize {
+    let targets: Vec<f64> = rows.iter().map(|&i| data.targets[i]).collect();
+    let leaf_value = C::leaf_value(&targets);
+    let node_impurity = C::impurity_n(&targets);
+
+    let make_leaf = |nodes: &mut Vec<Node>| {
+        nodes.push(Node::Leaf {
+            value: leaf_value,
+            n: rows.len(),
+        });
+        nodes.len() - 1
+    };
+
+    if depth >= cfg.max_depth
+        || rows.len() < 2 * cfg.min_samples_leaf
+        || node_impurity <= f64::EPSILON
+    {
+        return make_leaf(nodes);
+    }
+
+    // Find the best split.
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    for f in 0..data.n_features() {
+        let mut vals: Vec<f64> = rows.iter().map(|&i| data.features[i][f]).collect();
+        for thr in candidate_thresholds(&mut vals, cfg.max_thresholds) {
+            let (mut lt, mut rt) = (Vec::new(), Vec::new());
+            for &i in &rows {
+                if data.features[i][f] < thr {
+                    lt.push(data.targets[i]);
+                } else {
+                    rt.push(data.targets[i]);
+                }
+            }
+            if lt.len() < cfg.min_samples_leaf || rt.len() < cfg.min_samples_leaf {
+                continue;
+            }
+            let gain = node_impurity - C::impurity_n(&lt) - C::impurity_n(&rt);
+            if gain > cfg.min_impurity_decrease * rows.len() as f64
+                && best.is_none_or(|(_, _, g)| gain > g)
+            {
+                best = Some((f, thr, gain));
+            }
+        }
+    }
+
+    let Some((feature, threshold, gain)) = best else {
+        return make_leaf(nodes);
+    };
+
+    let (mut left_rows, mut right_rows) = (Vec::new(), Vec::new());
+    for &i in &rows {
+        if data.features[i][feature] < threshold {
+            left_rows.push(i);
+        } else {
+            right_rows.push(i);
+        }
+    }
+    let n = rows.len();
+    drop(rows);
+    // Reserve our slot before children so the root stays at index 0.
+    nodes.push(Node::Leaf { value: 0.0, n: 0 });
+    let me = nodes.len() - 1;
+    let left = build::<C>(data, left_rows, depth + 1, cfg, nodes);
+    let right = build::<C>(data, right_rows, depth + 1, cfg, nodes);
+    nodes[me] = Node::Split {
+        feature,
+        threshold,
+        left,
+        right,
+        gain: gain / n as f64,
+        fallback: leaf_value,
+        n,
+    };
+    me
+}
+
+/// Bottom-up reduced-error pruning against a validation set: replace any
+/// internal node with its fallback leaf when that does not increase
+/// validation error.
+fn prune(tree: &mut Tree, val: &Dataset, classify: bool) {
+    // Route every validation row to the nodes it passes through.
+    fn routes(tree: &Tree, row: &[f64]) -> Vec<usize> {
+        let mut path = vec![0usize];
+        let mut idx = 0usize;
+        loop {
+            match &tree.nodes[idx] {
+                Node::Leaf { .. } => return path,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    idx = if row[*feature] < *threshold { *left } else { *right };
+                    path.push(idx);
+                }
+            }
+        }
+    }
+    let err = |pred: f64, actual: f64| {
+        if classify {
+            if (pred - actual).abs() > 0.5 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            (pred - actual).powi(2)
+        }
+    };
+    // Iterate until fixpoint (post-order-ish via repeated sweeps).
+    loop {
+        let mut changed = false;
+        for idx in (0..tree.nodes.len()).rev() {
+            let Node::Split { left, right, fallback, n, .. } = tree.nodes[idx].clone() else {
+                continue;
+            };
+            // Only prune nodes whose children are both leaves (bottom-up).
+            let both_leaves = matches!(tree.nodes[left], Node::Leaf { .. })
+                && matches!(tree.nodes[right], Node::Leaf { .. });
+            if !both_leaves {
+                continue;
+            }
+            // Validation rows reaching this node.
+            let mut subtree_err = 0.0;
+            let mut leaf_err = 0.0;
+            let mut hits = 0usize;
+            for (row, &target) in val.features.iter().zip(&val.targets) {
+                if routes(tree, row).contains(&idx) {
+                    subtree_err += err(tree.predict_row_from(idx, row), target);
+                    leaf_err += err(fallback, target);
+                    hits += 1;
+                }
+            }
+            if hits == 0 || leaf_err <= subtree_err {
+                tree.nodes[idx] = Node::Leaf { value: fallback, n };
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+impl Tree {
+    fn predict_row_from(&self, start: usize, row: &[f64]) -> f64 {
+        let mut idx = start;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value, .. } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    idx = if row[*feature] < *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// A human-readable split description (used to render Fig 22).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitDescription {
+    /// Feature name.
+    pub feature: String,
+    /// Threshold (`feature < threshold` goes left).
+    pub threshold: f64,
+    /// Node depth (root = 0).
+    pub depth: usize,
+}
+
+fn describe(tree: &Tree, names: &[String]) -> Vec<SplitDescription> {
+    fn walk(
+        tree: &Tree,
+        idx: usize,
+        depth: usize,
+        names: &[String],
+        out: &mut Vec<SplitDescription>,
+    ) {
+        if let Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+            ..
+        } = &tree.nodes[idx]
+        {
+            out.push(SplitDescription {
+                feature: names[*feature].clone(),
+                threshold: *threshold,
+                depth,
+            });
+            walk(tree, *left, depth + 1, names, out);
+            walk(tree, *right, depth + 1, names, out);
+        }
+    }
+    let mut out = Vec::new();
+    walk(tree, 0, 0, names, &mut out);
+    out
+}
+
+/// Decision-tree regressor (variance-reduction CART).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTreeRegressor {
+    tree: Tree,
+    feature_names: Vec<String>,
+}
+
+impl DecisionTreeRegressor {
+    /// Fits a regression tree to `data`.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset, cfg: &TreeConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit an empty dataset");
+        let mut nodes = Vec::new();
+        build::<VarianceCriterion>(data, (0..data.len()).collect(), 0, cfg, &mut nodes);
+        DecisionTreeRegressor {
+            tree: Tree {
+                nodes,
+                n_features: data.n_features(),
+            },
+            feature_names: data.feature_names.clone(),
+        }
+    }
+
+    /// Predicts a single row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.tree.predict_row(row)
+    }
+
+    /// Predicts every row of `data`.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<f64> {
+        data.features.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Normalized feature importances.
+    pub fn importances(&self) -> Vec<f64> {
+        self.tree.importances()
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        self.tree.depth_from(0)
+    }
+}
+
+/// Decision-tree classifier (Gini CART) with optional post-pruning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTreeClassifier {
+    tree: Tree,
+    feature_names: Vec<String>,
+}
+
+impl DecisionTreeClassifier {
+    /// Fits a classification tree; targets are class indices (0.0, 1.0, …).
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    pub fn fit(data: &Dataset, cfg: &TreeConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit an empty dataset");
+        let mut nodes = Vec::new();
+        build::<GiniCriterion>(data, (0..data.len()).collect(), 0, cfg, &mut nodes);
+        DecisionTreeClassifier {
+            tree: Tree {
+                nodes,
+                n_features: data.n_features(),
+            },
+            feature_names: data.feature_names.clone(),
+        }
+    }
+
+    /// Bottom-up reduced-error post-pruning against `validation`.
+    pub fn prune(&mut self, validation: &Dataset) {
+        prune(&mut self.tree, validation, true);
+    }
+
+    /// Predicted class index for one row.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        self.tree.predict_row(row).round() as usize
+    }
+
+    /// Predicts every row.
+    pub fn predict_all(&self, data: &Dataset) -> Vec<usize> {
+        data.features.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// Normalized feature (Gini) importances.
+    pub fn importances(&self) -> Vec<f64> {
+        self.tree.importances()
+    }
+
+    /// The splits of the (possibly pruned) tree, pre-order.
+    pub fn splits(&self) -> Vec<SplitDescription> {
+        describe(&self.tree, &self.feature_names)
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.tree.n_leaves()
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        self.tree.depth_from(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_simcore::RngStream;
+
+    fn linear_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = RngStream::new(seed, "data");
+        let mut d = Dataset::new(vec!["x".into(), "noise".into()], vec![], vec![]);
+        for _ in 0..n {
+            let x = rng.gen_range(0.0..10.0);
+            let noise_feature = rng.uniform();
+            d.push(vec![x, noise_feature], 3.0 * x + rng.normal(0.0, 0.1));
+        }
+        d
+    }
+
+    #[test]
+    fn regressor_fits_a_smooth_function() {
+        let data = linear_dataset(2000, 1);
+        let model = DecisionTreeRegressor::fit(&data, &TreeConfig::default());
+        let preds = model.predict_all(&data);
+        let r2 = fiveg_simcore::stats::r_squared(&data.targets, &preds);
+        assert!(r2 > 0.98, "R² {r2}");
+    }
+
+    #[test]
+    fn regressor_importance_finds_the_signal() {
+        let data = linear_dataset(2000, 2);
+        let model = DecisionTreeRegressor::fit(&data, &TreeConfig::default());
+        let imp = model.importances();
+        assert!(imp[0] > 0.95, "x dominates: {imp:?}");
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regressor_respects_max_depth() {
+        let data = linear_dataset(500, 3);
+        let cfg = TreeConfig {
+            max_depth: 3,
+            ..TreeConfig::default()
+        };
+        let model = DecisionTreeRegressor::fit(&data, &cfg);
+        assert!(model.depth() <= 3);
+    }
+
+    fn xor_dataset(n: usize, seed: u64) -> Dataset {
+        let mut rng = RngStream::new(seed, "xor");
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], vec![], vec![]);
+        for _ in 0..n {
+            let a = rng.uniform();
+            let b = rng.uniform();
+            let class = ((a > 0.5) ^ (b > 0.5)) as u8 as f64;
+            d.push(vec![a, b], class);
+        }
+        d
+    }
+
+    #[test]
+    fn classifier_learns_xor() {
+        let data = xor_dataset(2000, 4);
+        let model = DecisionTreeClassifier::fit(&data, &TreeConfig::default());
+        let preds = model.predict_all(&data);
+        let acc = preds
+            .iter()
+            .zip(&data.targets)
+            .filter(|(&p, &t)| p == t as usize)
+            .count() as f64
+            / data.len() as f64;
+        assert!(acc > 0.97, "accuracy {acc}");
+    }
+
+    #[test]
+    fn pruning_shrinks_an_overfit_tree() {
+        // Pure noise targets: any split is overfitting.
+        let mut rng = RngStream::new(5, "noise");
+        let mut d = Dataset::new(vec!["x".into()], vec![], vec![]);
+        for _ in 0..400 {
+            d.push(vec![rng.uniform()], rng.chance(0.5) as u8 as f64);
+        }
+        let (train, val) = d.split(0.5, &mut rng);
+        let cfg = TreeConfig {
+            max_depth: 10,
+            min_samples_leaf: 2,
+            ..TreeConfig::default()
+        };
+        let mut model = DecisionTreeClassifier::fit(&train, &cfg);
+        let before = model.n_leaves();
+        model.prune(&val);
+        let after = model.n_leaves();
+        assert!(after < before, "pruning must shrink: {before} -> {after}");
+    }
+
+    #[test]
+    fn pruning_preserves_a_real_signal() {
+        let data = xor_dataset(2000, 6);
+        let mut rng = RngStream::new(6, "s");
+        let (train, val) = data.split(0.7, &mut rng);
+        let mut model = DecisionTreeClassifier::fit(&train, &TreeConfig::default());
+        model.prune(&val);
+        let preds = model.predict_all(&val);
+        let acc = preds
+            .iter()
+            .zip(&val.targets)
+            .filter(|(&p, &t)| p == t as usize)
+            .count() as f64
+            / val.len() as f64;
+        assert!(acc > 0.9, "pruned accuracy {acc}");
+    }
+
+    #[test]
+    fn splits_describe_structure() {
+        let data = xor_dataset(1000, 7);
+        let model = DecisionTreeClassifier::fit(&data, &TreeConfig::default());
+        let splits = model.splits();
+        assert!(!splits.is_empty());
+        assert_eq!(splits[0].depth, 0);
+        assert!(splits.iter().all(|s| s.feature == "a" || s.feature == "b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn rejects_empty_fit() {
+        let d = Dataset::new(vec!["x".into()], vec![], vec![]);
+        DecisionTreeRegressor::fit(&d, &TreeConfig::default());
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let mut d = Dataset::new(vec!["x".into()], vec![], vec![]);
+        for i in 0..100 {
+            d.push(vec![i as f64], 7.0);
+        }
+        let model = DecisionTreeRegressor::fit(&d, &TreeConfig::default());
+        assert_eq!(model.depth(), 0);
+        assert_eq!(model.predict(&[55.0]), 7.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Energy-per-bit and power-curve crossovers.
+
+use crate::datamodel::PowerCurve;
+
+/// Energy efficiency in µJ/bit at `throughput_mbps` for a power curve.
+///
+/// Returns `+inf` at zero throughput.
+pub fn energy_efficiency_uj_per_bit(curve: &PowerCurve, throughput_mbps: f64) -> f64 {
+    fiveg_simcore::units::energy_per_bit_uj(curve.power_mw(throughput_mbps), throughput_mbps)
+}
+
+/// The throughput (Mbps) at which `b` becomes cheaper than `a`, i.e. where
+/// the two linear power curves intersect. `None` if they never cross at a
+/// positive throughput (parallel, or crossed at/below zero).
+pub fn crossover_mbps(a: &PowerCurve, b: &PowerCurve) -> Option<f64> {
+    let slope_delta = a.slope_mw_per_mbps - b.slope_mw_per_mbps;
+    if slope_delta == 0.0 {
+        return None;
+    }
+    let x = (b.intercept_mw - a.intercept_mw) / slope_delta;
+    (x > 0.0).then_some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(slope: f64, intercept: f64) -> PowerCurve {
+        PowerCurve {
+            slope_mw_per_mbps: slope,
+            intercept_mw: intercept,
+        }
+    }
+
+    #[test]
+    fn crossover_simple() {
+        // a: 10x + 0; b: 2x + 80 → cross at x = 10.
+        let x = crossover_mbps(&curve(10.0, 0.0), &curve(2.0, 80.0)).expect("crosses");
+        assert!((x - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_curves_never_cross() {
+        assert_eq!(crossover_mbps(&curve(5.0, 0.0), &curve(5.0, 10.0)), None);
+    }
+
+    #[test]
+    fn negative_crossings_are_rejected() {
+        // b cheaper everywhere: intersection at negative throughput.
+        assert_eq!(crossover_mbps(&curve(10.0, 100.0), &curve(2.0, 50.0)), None);
+    }
+
+    #[test]
+    fn efficiency_is_hyperbolic_plus_constant() {
+        let c = curve(2.0, 1000.0);
+        // 1000 mW / 1 Mbps = 1 µJ/bit plus slope 2 mW/Mbps = 0.002 µJ/bit.
+        let e1 = energy_efficiency_uj_per_bit(&c, 1.0);
+        assert!((e1 - 1.002).abs() < 1e-9, "{e1}");
+        let e1000 = energy_efficiency_uj_per_bit(&c, 1000.0);
+        assert!((e1000 - 0.003).abs() < 1e-9, "{e1000}");
+        assert!(energy_efficiency_uj_per_bit(&c, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn log_log_efficiency_is_roughly_linear() {
+        // §4.3: log E ≈ c₃·log T + c₄ when the intercept dominates.
+        let c = curve(2.0, 3000.0);
+        let points: Vec<(f64, f64)> = [1.0f64, 10.0, 100.0]
+            .iter()
+            .map(|&t| (t.ln(), energy_efficiency_uj_per_bit(&c, t).ln()))
+            .collect();
+        let slope01 = (points[1].1 - points[0].1) / (points[1].0 - points[0].0);
+        let slope12 = (points[2].1 - points[1].1) / (points[2].0 - points[1].0);
+        assert!((slope01 - slope12).abs() < 0.1, "{slope01} vs {slope12}");
+    }
+}

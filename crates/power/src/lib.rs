@@ -1,0 +1,37 @@
+//! UE power substrate.
+//!
+//! Everything §4 of the paper measures, as simulatable models:
+//!
+//! * [`datamodel`] — the ground-truth data-transfer power law per device ×
+//!   network × direction. Linear in throughput (Fig 11) with the Table 8
+//!   slopes, plus a signal-strength penalty (Fig 13/14): weak RSRP raises
+//!   transmit power and stretches radio-active time.
+//! * [`rrcpower`] — power of the RRC life cycle: connected base, the DRX
+//!   tail (Table 2), promotions, and the costly 4G→5G switch.
+//! * [`monitor`] — the two measurement instruments: a Monsoon-like hardware
+//!   monitor sampling at 5 kHz, and the Android battery-API software
+//!   monitor, which under-reports (Table 9) and burns extra power at higher
+//!   sampling rates (Table 3).
+//! * [`efficiency`] — energy-per-bit and the 4G/5G crossover points.
+//!
+//! The *models* here are ground truth for the simulated world; the paper's
+//! modelling exercise (fit a DTR on walking data, Fig 15) is reproduced on
+//! top of them by `fiveg-traces` + `fiveg-mlkit`.
+
+pub mod datamodel;
+pub mod efficiency;
+pub mod monitor;
+pub mod rrcpower;
+
+pub use datamodel::{DataPowerModel, NetworkKind};
+pub use efficiency::{crossover_mbps, energy_efficiency_uj_per_bit};
+pub use monitor::{Activity, HardwareMonitor, SoftwareMonitor};
+pub use rrcpower::RrcPowerParams;
+
+/// Screen power at maximum brightness, mW. The paper pins brightness to max
+/// and subtracts this from every measurement; so do we.
+pub const SCREEN_POWER_MW: f64 = 1150.0;
+
+/// Device base power: CPU/RAM/sensors with the screen off and the radio
+/// idle, mW.
+pub const DEVICE_BASE_MW: f64 = 850.0;

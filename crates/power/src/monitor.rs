@@ -1,0 +1,278 @@
+//! Power-measurement instruments.
+//!
+//! * [`HardwareMonitor`] — the Monsoon-style external monitor: it *powers*
+//!   the phone (battery removed), samples at 5 kHz, and is accurate to a
+//!   fraction of a percent. Ground truth, at the cost of a bench rig.
+//! * [`SoftwareMonitor`] — the Android battery API
+//!   (`current_now`/`voltage_now`): convenient, but it systematically
+//!   under-reports (Table 9: 81–92% of true power at 1 Hz, 90–95% at
+//!   10 Hz) and its sampling loop itself burns power (Table 3: +654 mW at
+//!   1 Hz, +1111 mW at 10 Hz). §4.6 shows a DTR can calibrate it back to
+//!   a few percent MAPE; `fiveg-bench` reproduces that experiment.
+
+use fiveg_simcore::{RngStream, SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// The benchmark activities of Table 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activity {
+    /// Random screen taps, app opens/closes.
+    RandomInteraction,
+    /// Idle, screen on.
+    IdleScreenOn,
+    /// Idle, screen off.
+    IdleScreenOff,
+    /// UDP downlink at 50 Mbps.
+    UdpDl50,
+    /// UDP downlink at 400 Mbps.
+    UdpDl400,
+    /// UDP downlink at 800 Mbps.
+    UdpDl800,
+    /// UDP downlink at 1200 Mbps.
+    UdpDl1200,
+    /// Video playback.
+    VideoStreaming,
+}
+
+impl Activity {
+    /// All Table 9 activities in row order.
+    pub fn all() -> [Activity; 8] {
+        [
+            Activity::RandomInteraction,
+            Activity::IdleScreenOn,
+            Activity::IdleScreenOff,
+            Activity::UdpDl50,
+            Activity::UdpDl400,
+            Activity::UdpDl800,
+            Activity::UdpDl1200,
+            Activity::VideoStreaming,
+        ]
+    }
+
+    /// Table 9 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Activity::RandomInteraction => "Random activities",
+            Activity::IdleScreenOn => "Idle (screen on)",
+            Activity::IdleScreenOff => "Idle (screen off)",
+            Activity::UdpDl50 => "UDP DL 50Mbps",
+            Activity::UdpDl400 => "UDP DL 400Mbps",
+            Activity::UdpDl800 => "UDP DL 800Mbps",
+            Activity::UdpDl1200 => "UDP DL 1200Mbps",
+            Activity::VideoStreaming => "Video streaming",
+        }
+    }
+
+    /// Ground-truth SW/HW ratio at 1 Hz sampling (Table 9 column 1).
+    pub fn sw_hw_ratio_1hz(self) -> f64 {
+        match self {
+            Activity::RandomInteraction => 0.842,
+            Activity::IdleScreenOn => 0.879,
+            Activity::IdleScreenOff => 0.809,
+            Activity::UdpDl50 => 0.871,
+            Activity::UdpDl400 => 0.874,
+            Activity::UdpDl800 => 0.875,
+            Activity::UdpDl1200 => 0.868,
+            Activity::VideoStreaming => 0.922,
+        }
+    }
+
+    /// Ground-truth SW/HW ratio at 10 Hz sampling (Table 9 column 2).
+    pub fn sw_hw_ratio_10hz(self) -> f64 {
+        match self {
+            Activity::RandomInteraction => 0.943,
+            Activity::IdleScreenOn => 0.937,
+            Activity::IdleScreenOff => 0.949,
+            Activity::UdpDl50 => 0.915,
+            Activity::UdpDl400 => 0.897,
+            Activity::UdpDl800 => 0.913,
+            Activity::UdpDl1200 => 0.912,
+            Activity::VideoStreaming => 0.929,
+        }
+    }
+}
+
+/// The Monsoon-like hardware monitor.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HardwareMonitor {
+    /// Sampling rate; the paper runs 5000 Hz.
+    pub rate_hz: f64,
+    /// Multiplicative measurement noise (σ, fraction of reading).
+    pub noise_frac: f64,
+}
+
+impl Default for HardwareMonitor {
+    fn default() -> Self {
+        HardwareMonitor {
+            rate_hz: 5000.0,
+            noise_frac: 0.003,
+        }
+    }
+}
+
+impl HardwareMonitor {
+    /// Samples the ground-truth power function `truth(t_s) -> mW` for
+    /// `duration_s` seconds.
+    pub fn record<F: Fn(f64) -> f64>(
+        &self,
+        truth: F,
+        duration_s: f64,
+        rng: &mut RngStream,
+    ) -> TimeSeries {
+        assert!(self.rate_hz > 0.0, "rate must be positive");
+        let n = (duration_s * self.rate_hz).round() as usize;
+        let mut ts = TimeSeries::new();
+        for i in 0..n {
+            let t = i as f64 / self.rate_hz;
+            let v = truth(t) * (1.0 + rng.normal(0.0, self.noise_frac));
+            ts.push(SimTime::from_secs_f64(t), v.max(0.0));
+        }
+        ts
+    }
+
+    /// Energy of a recorded trace in mJ.
+    pub fn energy_mj(trace: &TimeSeries) -> f64 {
+        trace.integrate()
+    }
+}
+
+/// The Android battery-API software monitor.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SoftwareMonitor {
+    /// Sampling rate in Hz (the paper evaluates 1 and 10).
+    pub rate_hz: f64,
+}
+
+impl SoftwareMonitor {
+    /// Creates a monitor at `rate_hz`.
+    ///
+    /// # Panics
+    /// Panics on a non-positive rate.
+    pub fn new(rate_hz: f64) -> Self {
+        assert!(rate_hz > 0.0, "rate must be positive");
+        SoftwareMonitor { rate_hz }
+    }
+
+    /// The power the monitoring loop itself adds to the UE, mW
+    /// (Table 3: +654 mW at 1 Hz, +1111 mW at 10 Hz; log-interpolated
+    /// between).
+    pub fn overhead_mw(&self) -> f64 {
+        let lo = (1.0f64, 654.2);
+        let hi = (10.0f64, 1111.4);
+        if self.rate_hz <= lo.0 {
+            return lo.1 * self.rate_hz; // scales toward 0 below 1 Hz
+        }
+        if self.rate_hz >= hi.0 {
+            return hi.1;
+        }
+        let frac = (self.rate_hz.log10() - lo.0.log10()) / (hi.0.log10() - lo.0.log10());
+        lo.1 + (hi.1 - lo.1) * frac
+    }
+
+    /// The systematic under-reporting factor for `activity`.
+    pub fn ratio(&self, activity: Activity) -> f64 {
+        if self.rate_hz >= 10.0 {
+            activity.sw_hw_ratio_10hz()
+        } else {
+            activity.sw_hw_ratio_1hz()
+        }
+    }
+
+    /// Per-sample reading noise (σ, fraction) — coarser ADC paths and
+    /// aliasing make low-rate readings noisier.
+    pub fn noise_frac(&self) -> f64 {
+        if self.rate_hz >= 10.0 {
+            0.03
+        } else {
+            0.05
+        }
+    }
+
+    /// Samples `truth(t_s) -> mW` for `duration_s` while the UE runs
+    /// `activity`. Readings are scaled by the under-reporting ratio and
+    /// perturbed by reading noise. (The *overhead* affects the UE's true
+    /// power, not the reading; callers add [`SoftwareMonitor::overhead_mw`]
+    /// to the truth function when the monitor is on.)
+    pub fn record<F: Fn(f64) -> f64>(
+        &self,
+        truth: F,
+        activity: Activity,
+        duration_s: f64,
+        rng: &mut RngStream,
+    ) -> TimeSeries {
+        let ratio = self.ratio(activity);
+        let noise = self.noise_frac();
+        let n = (duration_s * self.rate_hz).round() as usize;
+        let mut ts = TimeSeries::new();
+        for i in 0..n {
+            let t = i as f64 / self.rate_hz;
+            let v = truth(t) * ratio * (1.0 + rng.normal(0.0, noise));
+            ts.push(SimTime::from_secs_f64(t), v.max(0.0));
+        }
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardware_monitor_is_nearly_exact() {
+        let hw = HardwareMonitor::default();
+        let mut rng = RngStream::new(1, "hw");
+        let trace = hw.record(|_| 1000.0, 2.0, &mut rng);
+        assert_eq!(trace.len(), 10_000, "5 kHz × 2 s");
+        let mean = trace.time_weighted_mean();
+        assert!((mean - 1000.0).abs() < 5.0, "mean {mean}");
+    }
+
+    #[test]
+    fn software_monitor_underestimates() {
+        let sw = SoftwareMonitor::new(1.0);
+        let mut rng = RngStream::new(2, "sw");
+        let trace = sw.record(|_| 1000.0, Activity::IdleScreenOff, 600.0, &mut rng);
+        let mean = trace.time_weighted_mean();
+        assert!(
+            (mean / 1000.0 - 0.809).abs() < 0.02,
+            "Table 9: idle-screen-off @1 Hz ≈ 80.9%, got {mean}"
+        );
+    }
+
+    #[test]
+    fn higher_rate_reads_closer_to_truth() {
+        for a in Activity::all() {
+            assert!(
+                a.sw_hw_ratio_10hz() > a.sw_hw_ratio_1hz(),
+                "{a:?}: 10 Hz must beat 1 Hz"
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_grows_with_rate() {
+        let low = SoftwareMonitor::new(1.0).overhead_mw();
+        let high = SoftwareMonitor::new(10.0).overhead_mw();
+        assert!((low - 654.2).abs() < 1.0);
+        assert!((high - 1111.4).abs() < 1.0);
+        let mid = SoftwareMonitor::new(3.0).overhead_mw();
+        assert!(low < mid && mid < high);
+    }
+
+    #[test]
+    fn table3_totals_reproduce() {
+        // Idle UE at 2014.3 mW; monitor on: 2668.5 (1 Hz), 3125.7 (10 Hz).
+        let idle = 2014.3;
+        assert!((idle + SoftwareMonitor::new(1.0).overhead_mw() - 2668.5).abs() < 1.0);
+        assert!((idle + SoftwareMonitor::new(10.0).overhead_mw() - 3125.7).abs() < 1.0);
+    }
+
+    #[test]
+    fn sampling_rate_controls_trace_density() {
+        let mut rng = RngStream::new(3, "sw");
+        let t1 = SoftwareMonitor::new(1.0).record(|_| 100.0, Activity::IdleScreenOn, 10.0, &mut rng);
+        let t10 = SoftwareMonitor::new(10.0).record(|_| 100.0, Activity::IdleScreenOn, 10.0, &mut rng);
+        assert_eq!(t1.len(), 10);
+        assert_eq!(t10.len(), 100);
+    }
+}

@@ -1,0 +1,395 @@
+//! RRC life-cycle power: tails, promotions, and the 4G→5G switch (Table 2).
+//!
+//! After data activity stops, the radio lingers in CONNECTED for the tail
+//! period, waking every Long-DRX cycle — expensive, especially on mmWave
+//! (1092 mW avg). Promotions from IDLE burn a signaling burst, and NSA pays
+//! an extra "4G→5G switch" burst each time the NR leg is (re)established —
+//! which Fig 9 shows happens *constantly* while driving.
+
+use fiveg_rrc::profile::{RrcConfigId, RrcProfile, RrcState};
+use fiveg_simcore::{SimDuration, SimTime, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Radio power parameters of one carrier configuration (Table 2 ground
+/// truth plus supporting states).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RrcPowerParams {
+    /// Configuration these parameters belong to.
+    pub config: RrcConfigId,
+    /// Mean radio power over the CONNECTED tail (DRX on + off), mW.
+    pub tail_mw: f64,
+    /// Mean power during the 4G→5G switch burst, mW (NSA/SA 5G only).
+    pub switch_4g_to_5g_mw: Option<f64>,
+    /// RRC_IDLE radio power (periodic paging wake-ups), mW.
+    pub idle_mw: f64,
+    /// SA RRC_INACTIVE mean power, mW.
+    pub inactive_mw: Option<f64>,
+    /// Power during IDLE→CONNECTED promotion signaling, mW.
+    pub promo_mw: f64,
+}
+
+impl RrcPowerParams {
+    /// The calibrated parameters for a configuration (Table 2).
+    pub fn for_config(config: RrcConfigId) -> RrcPowerParams {
+        let (tail_mw, switch, inactive) = match config {
+            RrcConfigId::Vz4g => (178.0, None, None),
+            RrcConfigId::Tm4g => (66.0, None, None),
+            RrcConfigId::VzNsaLowBand => (249.0, Some(799.0), None),
+            RrcConfigId::VzNsaMmWave => (1092.0, Some(1494.0), None),
+            RrcConfigId::TmNsaLowBand => (260.0, Some(699.0), None),
+            RrcConfigId::TmSaLowBand => (593.0, Some(245.0), Some(160.0)),
+        };
+        RrcPowerParams {
+            config,
+            tail_mw,
+            switch_4g_to_5g_mw: switch,
+            idle_mw: 18.0,
+            inactive_mw: inactive,
+            promo_mw: 1250.0,
+        }
+    }
+
+    /// Mean radio power while in `state` during the tail, mW.
+    pub fn state_power_mw(&self, state: RrcState) -> f64 {
+        match state {
+            RrcState::Connected | RrcState::ConnectedLte => self.tail_mw,
+            RrcState::Inactive => self.inactive_mw.unwrap_or(self.tail_mw),
+            RrcState::Idle => self.idle_mw,
+        }
+    }
+
+    /// Radio energy of one full tail (last packet → RRC_IDLE), in mJ.
+    pub fn tail_energy_mj(&self, profile: &RrcProfile) -> f64 {
+        let mut energy = self.tail_mw * profile.tail_ms / 1e3;
+        if let Some(lte_tail) = profile.lte_tail_ms {
+            energy += self.tail_mw * (lte_tail - profile.tail_ms) / 1e3;
+        }
+        if let (Some(dur), Some(p)) = (profile.inactive_duration_ms, self.inactive_mw) {
+            energy += p * dur / 1e3;
+        }
+        energy
+    }
+}
+
+/// Radio energy (mJ) of a periodic traffic pattern: one small transfer
+/// every `period_s` seconds for `duration_s` seconds total.
+///
+/// This quantifies §4.2's advice — "traffic patterns like periodical data
+/// transmission or intermittent waking up should be avoided under 5G":
+/// every period shorter than the tail keeps the radio parked in the
+/// expensive CONNECTED tail; every period longer than it pays a promotion
+/// (and, on NSA, the 4G→5G switch) each cycle.
+pub fn periodic_traffic_energy_mj(
+    profile: &RrcProfile,
+    params: &RrcPowerParams,
+    period_s: f64,
+    duration_s: f64,
+) -> f64 {
+    assert!(period_s > 0.0 && duration_s > 0.0, "positive times required");
+    const BURST_S: f64 = 0.1;
+    const ACTIVE_BURST_MW: f64 = 1_600.0;
+    let tti_s = profile.time_to_idle_ms() / 1e3;
+    // Energy of one inter-packet cycle of length `period_s`, starting right
+    // after a transfer completes.
+    let gap = (period_s - BURST_S).max(0.0);
+    let mut cycle = ACTIVE_BURST_MW * BURST_S;
+    if gap <= tti_s {
+        // Never leaves the tail: the whole gap is spent at per-state tail
+        // power (integrated through CONNECTED → [INACTIVE] windows).
+        let mut t = 0.0;
+        let step = 0.05f64;
+        while t < gap {
+            let state = profile.state_after_idle((t * 1e3).max(1.0));
+            cycle += params.state_power_mw(state) * step.min(gap - t);
+            t += step;
+        }
+    } else {
+        // Full tail, an idle stretch, then a fresh promotion.
+        cycle += params.tail_energy_mj(profile);
+        cycle += params.idle_mw * (gap - tti_s);
+        let promo_s = if profile.standalone {
+            profile.promo_5g_ms.expect("SA") / 1e3
+        } else {
+            profile.promo_4g_ms.expect("defined") / 1e3
+        };
+        let promo_mw = if profile.standalone {
+            params.switch_4g_to_5g_mw.unwrap_or(params.promo_mw)
+        } else {
+            params.promo_mw
+        };
+        cycle += promo_mw * promo_s;
+        if let (Some((from, to)), Some(sw)) =
+            (switch_window_ms(profile), params.switch_4g_to_5g_mw)
+        {
+            if !profile.standalone {
+                cycle += sw * (to - from) / 1e3;
+            }
+        }
+    }
+    cycle * (duration_s / period_s)
+}
+
+/// The 4G→5G switch window of a profile, in milliseconds relative to the
+/// start of the promotion, or `None` for plain 4G.
+///
+/// * SA: the direct NR promotion *is* the switch (cheap, Table 2's 245 mW).
+/// * NSA with a distinct NR promotion: from the end of the LTE promotion
+///   to the end of the full 5G promotion.
+/// * NSA over DSS (no separately measurable NR promotion, Table 7's N/A):
+///   a nominal 500 ms spectrum-sharing switch after the LTE promotion.
+pub fn switch_window_ms(profile: &RrcProfile) -> Option<(f64, f64)> {
+    if profile.standalone {
+        return Some((0.0, profile.promo_5g_ms.expect("SA defines promo_5g")));
+    }
+    if !profile.is_5g() {
+        return None;
+    }
+    let p4 = profile.promo_4g_ms.expect("NSA defines promo_4g");
+    match profile.promo_5g_ms {
+        Some(p5) => Some((p4, p5)),
+        None => Some((p4, p4 + 500.0)),
+    }
+}
+
+/// The absolute switch window inside a [`promotion_scenario_trace`], ms.
+pub fn switch_window_abs_ms(profile: &RrcProfile) -> Option<(f64, f64)> {
+    switch_window_ms(profile).map(|(a, b)| (IDLE_LEAD_MS + a, IDLE_LEAD_MS + b))
+}
+
+/// The wall-clock offset (ms) at which the data burst starts in the
+/// promotion scenario: idle lead + promotion (+ switch window).
+fn burst_start_ms(profile: &RrcProfile) -> f64 {
+    let end = match switch_window_ms(profile) {
+        Some((_, to)) => to,
+        None => profile.promo_4g_ms.expect("4G defines promo_4g"),
+    };
+    IDLE_LEAD_MS + end
+}
+
+const IDLE_LEAD_MS: f64 = 20_000.0;
+const BURST_MS: f64 = 1_000.0;
+const BURST_MW: f64 = 1_600.0;
+
+/// The §4.1 measurement scenario: 20 s of idle, one downlink packet that
+/// promotes the UE, a brief activity burst, then the full tail back to
+/// IDLE. Returns the radio power trace at 1 ms resolution (the hardware
+/// monitor downsamples/integrates it).
+///
+/// The tail is rendered as a Long-DRX square wave whose *mean* equals
+/// `tail_mw`, so monitor integration recovers Table 2.
+pub fn promotion_scenario_trace(profile: &RrcProfile, params: &RrcPowerParams) -> TimeSeries {
+    let mut ts = TimeSeries::new();
+    let mut push = |t_ms: f64, mw: f64| {
+        ts.push(SimTime::from_micros((t_ms * 1e3) as u64), mw);
+    };
+
+    // Idle lead-in (sampled coarsely).
+    let mut t = 0.0;
+    while t < IDLE_LEAD_MS {
+        push(t, params.idle_mw);
+        t += 100.0;
+    }
+    // Promotion burst, then (for 5G) the 4G→5G switch window.
+    let window = switch_window_ms(profile);
+    let promo_end = IDLE_LEAD_MS
+        + match window {
+            Some((from, _)) if from > 0.0 => from, // NSA: LTE promo first
+            Some((_, to)) if profile.standalone => to, // SA: direct NR promo
+            Some(_) => 0.0,
+            None => profile.promo_4g_ms.expect("4G defines promo_4g"),
+        };
+    let promo_power = if profile.standalone {
+        // SA's direct promotion is the cheap "switch" of Table 2.
+        params.switch_4g_to_5g_mw.unwrap_or(params.promo_mw)
+    } else {
+        params.promo_mw
+    };
+    while t < promo_end {
+        push(t, promo_power);
+        t += 10.0;
+    }
+    // NSA 4G→5G switch burst.
+    let switch_end = match window {
+        Some((_, to)) if !profile.standalone => IDLE_LEAD_MS + to,
+        _ => promo_end,
+    };
+    while t < switch_end {
+        push(t, params.switch_4g_to_5g_mw.unwrap_or(params.promo_mw));
+        t += 10.0;
+    }
+    // Data burst.
+    let burst_end = switch_end + BURST_MS;
+    while t < burst_end {
+        push(t, BURST_MW);
+        t += 10.0;
+    }
+    // Tail: DRX square wave at the per-state mean.
+    let tail_end = burst_end + profile.time_to_idle_ms();
+    let drx = profile.long_drx_ms.max(1.0);
+    while t < tail_end {
+        let idle_for = t - burst_end;
+        let state = profile.state_after_idle(idle_for.max(1.0));
+        let mean = params.state_power_mw(state);
+        let phase = (idle_for / drx).fract();
+        let wave = if phase < 0.5 { 1.8 } else { 0.2 };
+        let mw = if state == RrcState::Idle { mean } else { mean * wave };
+        push(t, mw);
+        t += 1.0;
+    }
+    // Post-tail idle.
+    let end = tail_end + 5_000.0;
+    while t < end {
+        push(t, params.idle_mw);
+        t += 100.0;
+    }
+    ts
+}
+
+/// Measures the mean tail power from a scenario trace the way the paper
+/// does: average over the whole tail window (from end of activity to
+/// demotion to IDLE).
+pub fn measure_tail_power_mw(profile: &RrcProfile, trace: &TimeSeries) -> f64 {
+    let burst_end_ms = burst_start_ms(profile) + BURST_MS;
+    // Table 2 reports the CONNECTED tail; SA's subsequent RRC_INACTIVE
+    // window is not part of it.
+    let tail_end_ms = burst_end_ms + profile.tail_ms.max(profile.lte_tail_ms.unwrap_or(0.0));
+    let from = SimTime::from_micros((burst_end_ms * 1e3) as u64) + SimDuration::from_millis(1);
+    let to = SimTime::from_micros((tail_end_ms * 1e3) as u64);
+    trace.integrate_between(from, to) / to.since(from).as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_are_wired() {
+        let p = RrcPowerParams::for_config(RrcConfigId::VzNsaMmWave);
+        assert_eq!(p.tail_mw, 1092.0);
+        assert_eq!(p.switch_4g_to_5g_mw, Some(1494.0));
+        let p = RrcPowerParams::for_config(RrcConfigId::Tm4g);
+        assert_eq!(p.tail_mw, 66.0);
+        assert_eq!(p.switch_4g_to_5g_mw, None);
+    }
+
+    #[test]
+    fn five_g_tails_cost_more_than_4g() {
+        // §4.2: "5G consumes more energy than 4G during the tail period and
+        // for mmWave 5G the tail power is especially higher."
+        let vz4g = RrcPowerParams::for_config(RrcConfigId::Vz4g).tail_mw;
+        let vz_lb = RrcPowerParams::for_config(RrcConfigId::VzNsaLowBand).tail_mw;
+        let vz_mm = RrcPowerParams::for_config(RrcConfigId::VzNsaMmWave).tail_mw;
+        assert!(vz_lb > vz4g);
+        assert!(vz_mm > 4.0 * vz_lb);
+    }
+
+    #[test]
+    fn sa_switch_is_cheap() {
+        // Table 2: SA's "switch" (direct NR promotion) costs 245 mW vs
+        // 699–1494 mW for NSA's LTE-anchored switch.
+        let sa = RrcPowerParams::for_config(RrcConfigId::TmSaLowBand)
+            .switch_4g_to_5g_mw
+            .expect("SA defined");
+        for nsa in [
+            RrcConfigId::VzNsaLowBand,
+            RrcConfigId::VzNsaMmWave,
+            RrcConfigId::TmNsaLowBand,
+        ] {
+            let p = RrcPowerParams::for_config(nsa).switch_4g_to_5g_mw.expect("NSA defined");
+            assert!(sa < p / 2.0, "SA {sa} vs NSA {p}");
+        }
+    }
+
+    #[test]
+    fn scenario_trace_recovers_tail_power() {
+        for config in RrcConfigId::all() {
+            let profile = RrcProfile::for_config(config);
+            let params = RrcPowerParams::for_config(config);
+            let trace = promotion_scenario_trace(&profile, &params);
+            let measured = measure_tail_power_mw(&profile, &trace);
+            let expected = params.tail_mw;
+            let rel = (measured - expected).abs() / expected;
+            assert!(
+                rel < 0.08,
+                "{config:?}: measured {measured:.0} vs expected {expected:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_energy_accounts_for_bracket_and_inactive() {
+        let nsa = RrcProfile::for_config(RrcConfigId::VzNsaLowBand);
+        let nsa_p = RrcPowerParams::for_config(RrcConfigId::VzNsaLowBand);
+        // 18.8 s at 249 mW.
+        assert!((nsa_p.tail_energy_mj(&nsa) - 249.0 * 18.8).abs() < 1.0);
+
+        let sa = RrcProfile::for_config(RrcConfigId::TmSaLowBand);
+        let sa_p = RrcPowerParams::for_config(RrcConfigId::TmSaLowBand);
+        // 10.4 s at 593 mW + 5 s at 160 mW.
+        assert!((sa_p.tail_energy_mj(&sa) - (593.0 * 10.4 + 160.0 * 5.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_returns_to_idle() {
+        let profile = RrcProfile::for_config(RrcConfigId::TmSaLowBand);
+        let params = RrcPowerParams::for_config(RrcConfigId::TmSaLowBand);
+        let trace = promotion_scenario_trace(&profile, &params);
+        let last = trace.values().last().copied().expect("non-empty");
+        assert_eq!(last, params.idle_mw);
+    }
+}
+
+#[cfg(test)]
+mod periodic_tests {
+    use super::*;
+
+    fn energy(config: RrcConfigId, period_s: f64) -> f64 {
+        let profile = RrcProfile::for_config(config);
+        let params = RrcPowerParams::for_config(config);
+        periodic_traffic_energy_mj(&profile, &params, period_s, 600.0)
+    }
+
+    #[test]
+    fn five_g_periodic_traffic_costs_more_than_4g() {
+        // §4.2: intermittent waking up should be avoided under 5G.
+        for period in [5.0, 15.0, 30.0, 60.0] {
+            let mm = energy(RrcConfigId::VzNsaMmWave, period);
+            let lte = energy(RrcConfigId::Vz4g, period);
+            assert!(mm > 2.0 * lte, "period {period}: {mm:.0} vs {lte:.0} mJ");
+        }
+    }
+
+    #[test]
+    fn short_periods_pin_the_radio_in_the_tail() {
+        // Below the tail timer, energy per 10 min is nearly flat (always
+        // in CONNECTED); above it, promotions + idle change the slope.
+        let a = energy(RrcConfigId::VzNsaMmWave, 2.0);
+        let b = energy(RrcConfigId::VzNsaMmWave, 8.0);
+        let rel = (a - b).abs() / a;
+        assert!(rel < 0.25, "near-flat below the tail: {a:.0} vs {b:.0}");
+    }
+
+    #[test]
+    fn long_periods_amortize_toward_idle() {
+        // Very sparse traffic approaches pure idle cost.
+        let sparse = energy(RrcConfigId::Vz4g, 300.0);
+        let idle_floor = RrcPowerParams::for_config(RrcConfigId::Vz4g).idle_mw * 600.0;
+        assert!(sparse < 4.0 * idle_floor, "sparse {sparse:.0} vs idle {idle_floor:.0}");
+    }
+
+    #[test]
+    fn sa_beats_nsa_for_intermittent_traffic() {
+        // SA's cheap resume is exactly the §4.2 promise of RRC_INACTIVE.
+        let sa = energy(RrcConfigId::TmSaLowBand, 30.0);
+        let nsa_mm = energy(RrcConfigId::VzNsaMmWave, 30.0);
+        assert!(sa < nsa_mm, "SA {sa:.0} vs NSA mmWave {nsa_mm:.0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive times")]
+    fn rejects_zero_period() {
+        let profile = RrcProfile::for_config(RrcConfigId::Vz4g);
+        let params = RrcPowerParams::for_config(RrcConfigId::Vz4g);
+        periodic_traffic_energy_mj(&profile, &params, 0.0, 10.0);
+    }
+}

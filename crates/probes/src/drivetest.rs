@@ -1,0 +1,109 @@
+//! The 5G-Tracker-style drive-test logger.
+//!
+//! Condenses a [`DriveResult`] timeline into the coloured segments of
+//! Fig 9's horizontal bars and computes the per-configuration summary row.
+
+use fiveg_radio::handoff::{ActiveRadio, BandSetting, DriveResult};
+use serde::{Deserialize, Serialize};
+
+/// A maximal run of constant active radio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioSegment {
+    /// Segment start, seconds.
+    pub from_s: f64,
+    /// Segment end, seconds.
+    pub to_s: f64,
+    /// The radio active throughout (`None` = outage).
+    pub radio: Option<ActiveRadio>,
+}
+
+/// The Fig 9 row for one band setting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriveSummary {
+    /// Band configuration driven.
+    pub setting: BandSetting,
+    /// Total handoffs (the paper's headline counts).
+    pub total: usize,
+    /// Vertical (technology-change) handoffs.
+    pub vertical: usize,
+    /// Horizontal (tower-change) handoffs.
+    pub horizontal: usize,
+    /// Fraction of time on (LTE, NSA-NR, SA-NR, outage).
+    pub share: (f64, f64, f64, f64),
+    /// The coloured bar segments.
+    pub segments: Vec<RadioSegment>,
+}
+
+/// Collapses a drive timeline into maximal constant-radio segments.
+pub fn segments(result: &DriveResult) -> Vec<RadioSegment> {
+    let mut out: Vec<RadioSegment> = Vec::new();
+    for &(t, radio) in &result.timeline {
+        match out.last_mut() {
+            Some(seg) if seg.radio == radio => seg.to_s = t,
+            _ => out.push(RadioSegment {
+                from_s: t,
+                to_s: t,
+                radio,
+            }),
+        }
+    }
+    out
+}
+
+/// Builds the full Fig 9 row from a drive result.
+pub fn summarize(result: &DriveResult) -> DriveSummary {
+    DriveSummary {
+        setting: result.setting,
+        total: result.total_handoffs(),
+        vertical: result.vertical_handoffs(),
+        horizontal: result.horizontal_handoffs(),
+        share: result.radio_share(),
+        segments: segments(result),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_geo::mobility::MobilityModel;
+    use fiveg_radio::cell::NetworkLayout;
+    use fiveg_radio::handoff::{simulate_drive, HandoffConfig};
+
+    fn drive(setting: BandSetting) -> DriveResult {
+        let layout = NetworkLayout::tmobile_drive_corridor(42);
+        let mobility = MobilityModel::driving_10km();
+        simulate_drive(&layout, &mobility, setting, &HandoffConfig::default(), 42)
+    }
+
+    #[test]
+    fn segments_tile_the_timeline() {
+        let r = drive(BandSetting::NsaPlusLte);
+        let segs = segments(&r);
+        assert!(!segs.is_empty());
+        for w in segs.windows(2) {
+            assert!(w[0].to_s <= w[1].from_s);
+            assert_ne!(w[0].radio, w[1].radio, "adjacent segments must differ");
+        }
+        let first = r.timeline.first().expect("non-empty").0;
+        let last = r.timeline.last().expect("non-empty").0;
+        assert_eq!(segs.first().expect("non-empty").from_s, first);
+        assert_eq!(segs.last().expect("non-empty").to_s, last);
+    }
+
+    #[test]
+    fn nsa_produces_many_segments() {
+        // Fig 9's NSA bar is a barcode of 4G/5G flips.
+        let nsa_segs = segments(&drive(BandSetting::NsaPlusLte)).len();
+        let sa_segs = segments(&drive(BandSetting::SaOnly)).len();
+        assert!(nsa_segs > 10 * sa_segs.max(1), "{nsa_segs} vs {sa_segs}");
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let r = drive(BandSetting::AllBands);
+        let s = summarize(&r);
+        assert_eq!(s.total, s.vertical + s.horizontal);
+        let (a, b, c, d) = s.share;
+        assert!((a + b + c + d - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,18 @@
+//! Measurement tools, re-implemented against the simulated field.
+//!
+//! * [`rrcprobe`] — RRC-Probe (§4.1): a server sends UDP packets at varying
+//!   inter-packet intervals; the RTT of each reply betrays the RRC state
+//!   the packet found the UE in. Bisection over the interval axis recovers
+//!   the Table 7 timers without root access — exactly the paper's method.
+//! * [`speedtest`] — the Ookla-style harness (§3.1): latency = best of
+//!   repeated pings; throughput = p95 over ≥10 repeated 15-second
+//!   single-/multi-connection transfers against a chosen server.
+//! * [`drivetest`] — the 5G-Tracker-style logger for the Fig 9 drive,
+//!   condensing the handoff engine's timeline into radio segments.
+
+pub mod drivetest;
+pub mod rrcprobe;
+pub mod speedtest;
+
+pub use rrcprobe::{InferredRrcParams, RrcProbe};
+pub use speedtest::{ConnMode, SpeedtestHarness};

@@ -1,0 +1,400 @@
+//! RRC-Probe: inferring RRC parameters from packet-pair RTTs.
+//!
+//! The method (§4.1, improving on Huang et al. / Rosen et al.): a server
+//! sends UDP packets to the UE at a controlled inter-packet interval Δ and
+//! the UE ACKs each one. The reply latency of a packet depends on the RRC
+//! state the UE had demoted to after Δ of inactivity — connected replies
+//! are fast (at most one Long-DRX cycle), RRC_INACTIVE replies pay a light
+//! resume, IDLE replies pay paging plus a full promotion. Sweeping and
+//! bisecting over Δ recovers every timer in Table 7 *without rooting the
+//! phone*.
+//!
+//! The prober knows its own path baselines (it pings while forced onto
+//! each radio before the sweep), so subtracting the network RTT from a
+//! reply isolates the RRC-induced delay.
+
+use fiveg_radio::band::BandClass;
+use fiveg_rrc::machine::RrcMachine;
+use fiveg_rrc::profile::{RrcProfile, RrcState};
+use fiveg_simcore::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// One probe observation (a Fig 10 scatter point).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProbeSample {
+    /// Idle interval between packets, ms.
+    pub interval_ms: f64,
+    /// Observed reply RTT, ms.
+    pub rtt_ms: f64,
+    /// Radio class that carried the reply.
+    pub radio: BandClass,
+    /// The state the packet found the UE in (ground truth, for plotting
+    /// Fig 10's colour classes; the inference below never reads it).
+    pub state: RrcState,
+}
+
+/// Parameters recovered by the probe (the Table 7 row).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct InferredRrcParams {
+    /// UE-inactivity (tail) timer, ms.
+    pub tail_ms: f64,
+    /// NSA second (LTE-leg) tail, ms, if present.
+    pub lte_tail_ms: Option<f64>,
+    /// Long-DRX cycle in CONNECTED, ms.
+    pub long_drx_ms: f64,
+    /// IDLE paging DRX cycle, ms.
+    pub idle_drx_ms: f64,
+    /// 4G promotion delay, ms (4G and NSA profiles).
+    pub promo_4g_ms: Option<f64>,
+    /// 5G promotion delay, ms (5G profiles with a distinct NR promotion).
+    pub promo_5g_ms: Option<f64>,
+    /// SA: inferred end of the RRC_INACTIVE window (ms after last packet).
+    pub inactive_until_ms: Option<f64>,
+}
+
+/// The probing tool bound to one UE configuration.
+#[derive(Debug, Clone)]
+pub struct RrcProbe {
+    profile: RrcProfile,
+    /// Path RTT baseline when the reply rides LTE, ms.
+    base_lte_ms: f64,
+    /// Path RTT baseline when the reply rides the 5G data radio, ms.
+    base_5g_ms: f64,
+    seed: u64,
+}
+
+/// Probe replies per measured interval.
+const SAMPLES_PER_POINT: usize = 24;
+/// Extra samples for the IDLE sweep (min-statistics need more data).
+const IDLE_SAMPLES: usize = 64;
+
+impl RrcProbe {
+    /// Creates a probe against a UE obeying `profile`, with a probing
+    /// server `server_rtt_ms` of network path away.
+    pub fn new(profile: RrcProfile, server_rtt_ms: f64, seed: u64) -> Self {
+        RrcProbe {
+            profile,
+            base_lte_ms: BandClass::Lte.radio_rtt_ms() + server_rtt_ms,
+            base_5g_ms: profile.primary_class.radio_rtt_ms() + server_rtt_ms,
+            seed,
+        }
+    }
+
+    fn base_for(&self, radio: BandClass) -> f64 {
+        if radio == BandClass::Lte {
+            self.base_lte_ms
+        } else {
+            self.base_5g_ms
+        }
+    }
+
+    /// Sends a train of packets at interval Δ against a fresh UE and
+    /// collects `count` post-warmup samples.
+    pub fn sample_interval(&self, interval_ms: f64, count: usize, rep: u64) -> Vec<ProbeSample> {
+        let rng = RngStream::new(self.seed, &format!("probe/{interval_ms}/{rep}"));
+        let mut machine = RrcMachine::new(self.profile, rng);
+        machine.touch(0.0);
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        let warmup = 1;
+        for i in 0..count + warmup {
+            t += interval_ms;
+            let reply = machine.on_packet(t);
+            if i >= warmup {
+                out.push(ProbeSample {
+                    interval_ms,
+                    rtt_ms: reply.delay_ms + self.base_for(reply.radio),
+                    radio: reply.radio,
+                    state: reply.state,
+                });
+            }
+            // Next interval counts from the reply (the UE is active until
+            // then).
+            t += reply.delay_ms;
+        }
+        out
+    }
+
+    fn mean_rtt(&self, interval_ms: f64, rep: u64) -> f64 {
+        let s = self.sample_interval(interval_ms, SAMPLES_PER_POINT, rep);
+        fiveg_simcore::stats::mean(&s.iter().map(|x| x.rtt_ms).collect::<Vec<_>>())
+    }
+
+    fn majority_radio(&self, interval_ms: f64, rep: u64) -> BandClass {
+        let s = self.sample_interval(interval_ms, SAMPLES_PER_POINT, rep);
+        let lte = s.iter().filter(|x| x.radio == BandClass::Lte).count();
+        if lte * 2 > s.len() {
+            BandClass::Lte
+        } else {
+            self.profile.primary_class
+        }
+    }
+
+    /// The full Fig 10 staircase: samples at every interval in `grid_s`.
+    pub fn staircase(&self, grid_s: &[f64]) -> Vec<ProbeSample> {
+        grid_s
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &s)| self.sample_interval(s * 1e3, 10, i as u64))
+            .collect()
+    }
+
+    /// Bisects for the smallest Δ in `(lo_ms, hi_ms)` where `demoted`
+    /// returns true. Assumes monotonicity (true of RRC timers).
+    fn bisect<F: Fn(&Self, f64) -> bool>(&self, mut lo: f64, mut hi: f64, demoted: F) -> f64 {
+        for _ in 0..16 {
+            let mid = (lo + hi) / 2.0;
+            if demoted(self, mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        (lo + hi) / 2.0
+    }
+
+    /// Runs the full inference and returns the recovered Table 7 row.
+    pub fn infer(&self) -> InferredRrcParams {
+        let is_5g = self.profile.is_5g();
+        let primary = self.profile.primary_class;
+
+        // --- Connected-mode statistics at a short interval (1 s). ---
+        let connected = self.sample_interval(1_000.0, IDLE_SAMPLES, 1001);
+        let conn_rtts: Vec<f64> = connected.iter().map(|s| s.rtt_ms).collect();
+        let conn_mean = fiveg_simcore::stats::mean(&conn_rtts);
+        let conn_min = conn_rtts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let conn_max = conn_rtts.iter().cloned().fold(0.0, f64::max);
+        // Range of U(0, c) from n samples underestimates c by (n-1)/(n+1).
+        let n = conn_rtts.len() as f64;
+        let long_drx_ms = (conn_max - conn_min) * (n + 1.0) / (n - 1.0);
+
+        // --- IDLE-level statistics at a long interval. ---
+        let idle_probe_ms = 45_000.0;
+        let idle = self.sample_interval(idle_probe_ms, IDLE_SAMPLES, 2001);
+        let idle_rtts: Vec<f64> = idle.iter().map(|s| s.rtt_ms).collect();
+        let idle_mean = fiveg_simcore::stats::mean(&idle_rtts);
+        let idle_min = idle_rtts.iter().cloned().fold(f64::INFINITY, f64::min);
+        let idle_max = idle_rtts.iter().cloned().fold(0.0, f64::max);
+        let m = idle_rtts.len() as f64;
+        let idle_drx_ms = (idle_max - idle_min) * (m + 1.0) / (m - 1.0);
+
+        // --- Tail: first Δ that no longer behaves like CONNECTED. ---
+        let rtt_jump = conn_mean + 250.0;
+        let tail_ms = self.bisect(1_000.0, idle_probe_ms, |p, mid| {
+            p.mean_rtt(mid, 3001) > rtt_jump || p.majority_radio(mid, 3002) != primary
+        });
+
+        // --- NSA bracket: a window above the tail where replies ride LTE
+        // at connected-class latency. ---
+        let just_after = self.sample_interval(tail_ms + 250.0, SAMPLES_PER_POINT, 4001);
+        let after_rtts: Vec<f64> = just_after.iter().map(|s| s.rtt_ms).collect();
+        let after_mean = fiveg_simcore::stats::mean(&after_rtts);
+        let after_is_lte = just_after
+            .iter()
+            .filter(|s| s.radio == BandClass::Lte)
+            .count()
+            * 2
+            > just_after.len();
+        let lte_tail_ms = if is_5g
+            && !self.profile.standalone
+            && after_is_lte
+            && after_mean < idle_mean - 300.0
+        {
+            Some(self.bisect(tail_ms + 250.0, idle_probe_ms, |p, mid| {
+                p.mean_rtt(mid, 4002) > idle_mean - 300.0
+            }))
+        } else {
+            None
+        };
+
+        // --- SA RRC_INACTIVE window: a mid-latency plateau after the tail.
+        let inactive_until_ms = if self.profile.standalone && after_mean < idle_mean - 150.0 {
+            let split = (after_mean + idle_mean) / 2.0;
+            Some(self.bisect(tail_ms + 250.0, idle_probe_ms, |p, mid| {
+                p.mean_rtt(mid, 5001) > split
+            }))
+        } else {
+            None
+        };
+
+        // --- Promotion delays. ---
+        // The minimum IDLE reply caught the paging window nearly open:
+        // promo ≈ min RTT − path base.
+        let promo_4g_ms;
+        let mut promo_5g_ms = None;
+        if self.profile.standalone {
+            promo_4g_ms = None;
+            promo_5g_ms = Some(idle_min - self.base_5g_ms);
+        } else if is_5g {
+            promo_4g_ms = Some(idle_min - self.base_lte_ms);
+            promo_5g_ms = self.infer_nsa_5g_promotion(promo_4g_ms.expect("set above"));
+        } else {
+            promo_4g_ms = Some(idle_min - self.base_lte_ms);
+        }
+
+        InferredRrcParams {
+            tail_ms,
+            lte_tail_ms,
+            long_drx_ms,
+            idle_drx_ms,
+            promo_4g_ms,
+            promo_5g_ms,
+            inactive_until_ms,
+        }
+    }
+
+    /// NSA: after an idle-triggering packet, follow-up packets reveal when
+    /// the reply radio flips from LTE to NR — the end of the full 5G
+    /// promotion. Returns `None` when the flip is immediate (DSS: no
+    /// separately measurable NR promotion).
+    fn infer_nsa_5g_promotion(&self, promo_4g_ms: f64) -> Option<f64> {
+        let mut estimates = Vec::new();
+        for rep in 0..24u64 {
+            let rng = RngStream::new(self.seed, &format!("probe/nsa5g/{rep}"));
+            let mut machine = RrcMachine::new(self.profile, rng);
+            machine.touch(0.0);
+            let t0 = 60_000.0; // deep idle
+            let trigger = machine.on_packet(t0);
+            // paging = trigger delay − 4G promotion.
+            let paging = (trigger.delay_ms - promo_4g_ms).max(0.0);
+            let mut t = t0 + trigger.delay_ms;
+            loop {
+                t += 50.0;
+                let r = machine.on_packet(t);
+                if r.radio == self.profile.primary_class {
+                    estimates.push(t - t0 - paging);
+                    break;
+                }
+                if t - t0 > 20_000.0 {
+                    break;
+                }
+            }
+        }
+        if estimates.is_empty() {
+            return None;
+        }
+        let est = fiveg_simcore::stats::mean(&estimates);
+        // The flip happening within ~one follow-up of the 4G promotion
+        // means there is no distinct NR promotion (DSS).
+        if est <= promo_4g_ms + 150.0 {
+            None
+        } else {
+            Some(est)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_rrc::profile::RrcConfigId;
+
+    fn probe(id: RrcConfigId) -> (RrcProfile, InferredRrcParams) {
+        let profile = RrcProfile::for_config(id);
+        let p = RrcProbe::new(profile, 3.0, 77);
+        (profile, p.infer())
+    }
+
+    #[track_caller]
+    fn assert_close(actual: f64, expected: f64, tol_frac: f64, what: &str) {
+        let rel = (actual - expected).abs() / expected;
+        assert!(
+            rel <= tol_frac,
+            "{what}: inferred {actual:.0} vs truth {expected:.0} (rel {rel:.3})"
+        );
+    }
+
+    #[test]
+    fn infers_4g_parameters() {
+        for id in [RrcConfigId::Tm4g, RrcConfigId::Vz4g] {
+            let (truth, got) = probe(id);
+            assert_close(got.tail_ms, truth.tail_ms, 0.03, "tail");
+            assert_close(got.long_drx_ms, truth.long_drx_ms, 0.15, "long DRX");
+            assert_close(got.idle_drx_ms, truth.idle_drx_ms, 0.15, "idle DRX");
+            assert_close(
+                got.promo_4g_ms.expect("4G promo"),
+                truth.promo_4g_ms.expect("truth"),
+                0.20,
+                "4G promotion",
+            );
+            assert!(got.lte_tail_ms.is_none());
+            assert!(got.inactive_until_ms.is_none());
+        }
+    }
+
+    #[test]
+    fn infers_sa_inactive_window() {
+        let (truth, got) = probe(RrcConfigId::TmSaLowBand);
+        assert_close(got.tail_ms, truth.tail_ms, 0.03, "SA tail");
+        let inactive_until = got.inactive_until_ms.expect("SA has RRC_INACTIVE");
+        let truth_until = truth.tail_ms + truth.inactive_duration_ms.expect("truth");
+        assert_close(inactive_until, truth_until, 0.08, "inactive end");
+        assert_close(
+            got.promo_5g_ms.expect("SA promo"),
+            truth.promo_5g_ms.expect("truth"),
+            0.25,
+            "SA 5G promotion",
+        );
+    }
+
+    #[test]
+    fn infers_nsa_bracket_tail() {
+        let (truth, got) = probe(RrcConfigId::VzNsaLowBand);
+        assert_close(got.tail_ms, truth.tail_ms, 0.03, "NSA tail");
+        let bracket = got.lte_tail_ms.expect("VZ LB has an LTE-leg window");
+        assert_close(bracket, truth.lte_tail_ms.expect("truth"), 0.05, "LTE tail");
+        // DSS: no separately measurable NR promotion.
+        assert!(got.promo_5g_ms.is_none(), "got {:?}", got.promo_5g_ms);
+    }
+
+    #[test]
+    fn infers_nsa_mmwave_5g_promotion() {
+        let (truth, got) = probe(RrcConfigId::VzNsaMmWave);
+        assert_close(got.tail_ms, truth.tail_ms, 0.03, "tail");
+        assert!(got.lte_tail_ms.is_none(), "mmWave profile has no bracket");
+        assert_close(
+            got.promo_4g_ms.expect("promo4"),
+            truth.promo_4g_ms.expect("truth"),
+            0.20,
+            "4G promotion",
+        );
+        assert_close(
+            got.promo_5g_ms.expect("promo5"),
+            truth.promo_5g_ms.expect("truth"),
+            0.10,
+            "5G promotion",
+        );
+    }
+
+    #[test]
+    fn staircase_shows_the_rtt_jump() {
+        let profile = RrcProfile::for_config(RrcConfigId::Tm4g);
+        let p = RrcProbe::new(profile, 3.0, 7);
+        let samples = p.staircase(&[1.0, 2.0, 4.0, 6.0, 8.0, 12.0, 16.0]);
+        let below: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.interval_ms < 5_000.0)
+            .map(|s| s.rtt_ms)
+            .collect();
+        let above: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.interval_ms > 5_000.0)
+            .map(|s| s.rtt_ms)
+            .collect();
+        let (b, a) = (
+            fiveg_simcore::stats::mean(&below),
+            fiveg_simcore::stats::mean(&above),
+        );
+        assert!(a > b + 300.0, "idle RTTs jump: {b:.0} -> {a:.0}");
+    }
+
+    #[test]
+    fn nsa_timers_mirror_4g_finding() {
+        // §4.2's headline: NSA 5G timers are 4G-like. The *inferred* values
+        // must reproduce that conclusion.
+        let (_, nsa) = probe(RrcConfigId::VzNsaLowBand);
+        let (_, lte) = probe(RrcConfigId::Vz4g);
+        let rel = (nsa.tail_ms - lte.tail_ms).abs() / lte.tail_ms;
+        assert!(rel < 0.05, "NSA tail {} vs 4G tail {}", nsa.tail_ms, lte.tail_ms);
+    }
+}

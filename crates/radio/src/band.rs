@@ -1,0 +1,199 @@
+//! Radio bands and their first-order performance characteristics.
+//!
+//! The study covers three band classes:
+//!
+//! * **4G/LTE** — the legacy anchor (and the control plane of NSA 5G),
+//! * **low-band 5G** — T-Mobile n71 @ 600 MHz, Verizon n5 via DSS: wide
+//!   coverage, modest capacity,
+//! * **mmWave 5G** — Verizon n260/n261 @ 39/28 GHz: enormous capacity, tiny
+//!   cells, fragile propagation.
+//!
+//! Capacities and radio latencies here are the calibrated constants that
+//! drive the §3 reproductions; see `EXPERIMENTS.md` for paper-vs-measured.
+
+use serde::{Deserialize, Serialize};
+
+/// Transfer direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Server → UE.
+    Downlink,
+    /// UE → server.
+    Uplink,
+}
+
+/// A specific radio band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Band {
+    /// 4G/LTE mid-band (AWS/PCS, ~1.7–2.1 GHz).
+    LteMidBand,
+    /// Verizon low-band 5G via dynamic spectrum sharing on n5 (850 MHz).
+    N5Dss,
+    /// T-Mobile low-band 5G on n71 (600 MHz).
+    N71,
+    /// Verizon mmWave on n260 (39 GHz).
+    N260,
+    /// Verizon mmWave on n261 (28 GHz).
+    N261,
+}
+
+/// Coarse class of a band; most models depend only on the class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BandClass {
+    /// 4G/LTE.
+    Lte,
+    /// Sub-6 GHz low-band 5G.
+    LowBand,
+    /// High-band mmWave 5G.
+    MmWave,
+}
+
+impl Band {
+    /// The class of this band.
+    pub fn class(self) -> BandClass {
+        match self {
+            Band::LteMidBand => BandClass::Lte,
+            Band::N5Dss | Band::N71 => BandClass::LowBand,
+            Band::N260 | Band::N261 => BandClass::MmWave,
+        }
+    }
+
+    /// Carrier frequency in GHz (drives path loss).
+    pub fn frequency_ghz(self) -> f64 {
+        match self {
+            Band::LteMidBand => 1.9,
+            Band::N5Dss => 0.85,
+            Band::N71 => 0.6,
+            Band::N260 => 39.0,
+            Band::N261 => 28.0,
+        }
+    }
+
+    /// 3GPP band label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Band::LteMidBand => "LTE",
+            Band::N5Dss => "n5 (DSS)",
+            Band::N71 => "n71",
+            Band::N260 => "n260",
+            Band::N261 => "n261",
+        }
+    }
+}
+
+impl BandClass {
+    /// One-way radio-access latency contribution in milliseconds, i.e. the
+    /// part of RTT spent between the UE and the carrier's packet core.
+    ///
+    /// Calibration (Fig 2): the minimum mmWave RTT to a ~3 km server is
+    /// ≈6 ms; low-band adds 6–8 ms over mmWave (larger OFDM symbol duration
+    /// at narrow sub-carrier spacing); LTE adds a further 6–15 ms
+    /// (coarser TTI than 5G-NR's flexible frame).
+    pub fn radio_rtt_ms(self) -> f64 {
+        match self {
+            BandClass::MmWave => 5.0,
+            BandClass::LowBand => 12.0,
+            BandClass::Lte => 19.0,
+        }
+    }
+
+    /// Peak *cell-side* capacity in Mbps for a UE with unconstrained CA
+    /// support, before UE modem caps are applied.
+    ///
+    /// `sa` selects standalone mode, which (per §3.2) delivers about half of
+    /// NSA low-band throughput because carrier aggregation is not yet
+    /// supported on the SA core.
+    pub fn cell_capacity_mbps(self, dir: Direction, sa: bool) -> f64 {
+        match (self, dir) {
+            (BandClass::MmWave, Direction::Downlink) => 3500.0,
+            (BandClass::MmWave, Direction::Uplink) => 240.0,
+            (BandClass::LowBand, Direction::Downlink) => {
+                if sa {
+                    110.0
+                } else {
+                    220.0
+                }
+            }
+            (BandClass::LowBand, Direction::Uplink) => {
+                if sa {
+                    55.0
+                } else {
+                    110.0
+                }
+            }
+            (BandClass::Lte, Direction::Downlink) => 210.0,
+            (BandClass::Lte, Direction::Uplink) => 105.0,
+        }
+    }
+
+    /// RSRP below which the link is unusable (cell-edge), in dBm.
+    pub fn rsrp_floor_dbm(self) -> f64 {
+        match self {
+            BandClass::MmWave => -110.0,
+            BandClass::LowBand => -124.0,
+            BandClass::Lte => -122.0,
+        }
+    }
+
+    /// RSRP at and above which the link achieves full capacity, in dBm.
+    pub fn rsrp_saturation_dbm(self) -> f64 {
+        match self {
+            BandClass::MmWave => -78.0,
+            BandClass::LowBand => -92.0,
+            BandClass::Lte => -90.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_partition_bands() {
+        assert_eq!(Band::LteMidBand.class(), BandClass::Lte);
+        assert_eq!(Band::N5Dss.class(), BandClass::LowBand);
+        assert_eq!(Band::N71.class(), BandClass::LowBand);
+        assert_eq!(Band::N260.class(), BandClass::MmWave);
+        assert_eq!(Band::N261.class(), BandClass::MmWave);
+    }
+
+    #[test]
+    fn latency_ordering_matches_fig2() {
+        // mmWave < low-band < LTE (Fig 2).
+        assert!(BandClass::MmWave.radio_rtt_ms() < BandClass::LowBand.radio_rtt_ms());
+        assert!(BandClass::LowBand.radio_rtt_ms() < BandClass::Lte.radio_rtt_ms());
+        let lb_extra = BandClass::LowBand.radio_rtt_ms() - BandClass::MmWave.radio_rtt_ms();
+        assert!((6.0..=8.0).contains(&lb_extra), "low-band adds 6-8 ms");
+    }
+
+    #[test]
+    fn sa_low_band_is_half_of_nsa() {
+        for dir in [Direction::Downlink, Direction::Uplink] {
+            let nsa = BandClass::LowBand.cell_capacity_mbps(dir, false);
+            let sa = BandClass::LowBand.cell_capacity_mbps(dir, true);
+            assert!((sa / nsa - 0.5).abs() < 0.05, "SA ≈ half NSA (§3.2)");
+        }
+    }
+
+    #[test]
+    fn mmwave_dominates_downlink_capacity() {
+        let mm = BandClass::MmWave.cell_capacity_mbps(Direction::Downlink, false);
+        let lte = BandClass::Lte.cell_capacity_mbps(Direction::Downlink, false);
+        assert!(mm / lte > 10.0, "mmWave ≈ 10×+ LTE mean throughput");
+    }
+
+    #[test]
+    fn rsrp_window_is_sane() {
+        for class in [BandClass::Lte, BandClass::LowBand, BandClass::MmWave] {
+            assert!(class.rsrp_floor_dbm() < class.rsrp_saturation_dbm());
+        }
+    }
+
+    #[test]
+    fn low_band_propagates_farther_than_mmwave() {
+        assert!(Band::N71.frequency_ghz() < Band::N261.frequency_ghz());
+        // Lower floor (more negative) ⇒ usable at weaker signal.
+        assert!(BandClass::LowBand.rsrp_floor_dbm() < BandClass::MmWave.rsrp_floor_dbm());
+    }
+}

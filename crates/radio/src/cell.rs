@@ -1,0 +1,302 @@
+//! Towers, deployments, and campaign layouts.
+//!
+//! A [`NetworkLayout`] is the set of towers visible to a campaign plus the
+//! shared shadowing field. Two concrete layouts reproduce the paper's
+//! environments:
+//!
+//! * [`NetworkLayout::tmobile_drive_corridor`] — the 10 km drive of Fig 9:
+//!   dense LTE macros (≈350 m spacing) and sparser n71 NR sites (≈800 m),
+//!   a subset of which are SA-capable.
+//! * [`NetworkLayout::walking_loop_deployment`] — the 1.6 km walking loop of
+//!   §4: three mmWave sites on the loop plus low-band/LTE macro coverage.
+
+use crate::band::{Band, BandClass};
+use crate::propagation::{rsrp_dbm, ShadowingField};
+use fiveg_geo::route::{Point, Route};
+use serde::{Deserialize, Serialize};
+
+/// The radio technology of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RadioTech {
+    /// 4G LTE.
+    Lte,
+    /// 5G New Radio.
+    Nr,
+}
+
+/// One cell site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Tower {
+    /// Unique id within the layout (indexes the shadowing field).
+    pub id: u64,
+    /// Position in the local metric frame.
+    pub pos: Point,
+    /// Operating band.
+    pub band: Band,
+    /// NR only: the cell serves NSA (LTE-anchored) connections.
+    pub supports_nsa: bool,
+    /// NR only: the cell serves SA connections.
+    pub supports_sa: bool,
+}
+
+impl Tower {
+    /// The technology implied by the band.
+    pub fn tech(&self) -> RadioTech {
+        match self.band.class() {
+            BandClass::Lte => RadioTech::Lte,
+            _ => RadioTech::Nr,
+        }
+    }
+}
+
+/// A set of towers plus the environment's shadowing field.
+#[derive(Debug, Clone)]
+pub struct NetworkLayout {
+    /// All towers in the campaign area.
+    pub towers: Vec<Tower>,
+    /// Spatially correlated shadowing shared by every observer.
+    pub shadowing: ShadowingField,
+}
+
+impl NetworkLayout {
+    /// Creates a layout from explicit towers.
+    pub fn new(towers: Vec<Tower>, seed: u64) -> Self {
+        NetworkLayout {
+            towers,
+            shadowing: ShadowingField::new(seed),
+        }
+    }
+
+    /// RSRP (including shadowing) from `tower` observed at `p`.
+    /// `mmwave_blocked` applies the blockage penalty to mmWave cells only.
+    pub fn rsrp_at(&self, tower: &Tower, p: Point, mmwave_blocked: bool) -> f64 {
+        let d = tower.pos.distance_m(p);
+        let blocked = mmwave_blocked && tower.band.class() == BandClass::MmWave;
+        rsrp_dbm(tower.band, d, blocked) + self.shadowing.sample_db(tower.id, tower.band.class(), p)
+    }
+
+    /// The strongest tower satisfying `filter`, with its RSRP, or `None` if
+    /// no candidate is above its band's floor.
+    pub fn best_cell<F>(&self, p: Point, mmwave_blocked: bool, filter: F) -> Option<(usize, f64)>
+    where
+        F: Fn(&Tower) -> bool,
+    {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, t) in self.towers.iter().enumerate() {
+            if !filter(t) {
+                continue;
+            }
+            let rsrp = self.rsrp_at(t, p, mmwave_blocked);
+            if rsrp < t.band.class().rsrp_floor_dbm() {
+                continue;
+            }
+            if best.is_none_or(|(_, r)| rsrp > r) {
+                best = Some((i, rsrp));
+            }
+        }
+        best
+    }
+
+    /// Places towers every `spacing_m` along `route`, offset laterally by
+    /// `offset_m` on alternating sides.
+    fn place_along_route(
+        route: &Route,
+        spacing_m: f64,
+        offset_m: f64,
+        mut make: impl FnMut(u64, Point) -> Tower,
+        next_id: &mut u64,
+        out: &mut Vec<Tower>,
+    ) {
+        let mut s = spacing_m / 2.0;
+        let mut side = 1.0;
+        while s < route.length_m() {
+            let p = route.position_at(s);
+            // Perpendicular offset approximated by the local segment normal.
+            let ahead = route.position_at((s + 10.0).min(route.length_m()));
+            let (dx, dy) = (ahead.x - p.x, ahead.y - p.y);
+            let len = (dx * dx + dy * dy).sqrt().max(1e-9);
+            let pos = Point::new(p.x - dy / len * offset_m * side, p.y + dx / len * offset_m * side);
+            out.push(make(*next_id, pos));
+            *next_id += 1;
+            side = -side;
+            s += spacing_m;
+        }
+    }
+
+    /// The T-Mobile drive corridor of Fig 9: LTE macros every ~350 m and
+    /// n71 NR sites every ~800 m along the 10 km route; roughly 3 in 4 NR
+    /// sites are SA-capable (SA was freshly deployed).
+    pub fn tmobile_drive_corridor(seed: u64) -> Self {
+        let route = Route::driving_route_10km();
+        let mut towers = Vec::new();
+        let mut id = 0u64;
+        Self::place_along_route(
+            &route,
+            350.0,
+            90.0,
+            |id, pos| Tower {
+                id,
+                pos,
+                band: Band::LteMidBand,
+                supports_nsa: false,
+                supports_sa: false,
+            },
+            &mut id,
+            &mut towers,
+        );
+        let mut nr_index = 0usize;
+        Self::place_along_route(
+            &route,
+            800.0,
+            120.0,
+            |id, pos| {
+                let sa = nr_index % 4 != 3;
+                nr_index += 1;
+                Tower {
+                    id,
+                    pos,
+                    band: Band::N71,
+                    supports_nsa: true,
+                    supports_sa: sa,
+                }
+            },
+            &mut id,
+            &mut towers,
+        );
+        NetworkLayout::new(towers, seed)
+    }
+
+    /// The walking-loop deployment of §4.1: three mmWave sites on the loop,
+    /// plus one low-band NR site and one LTE macro several hundred metres
+    /// off-loop ("low-band connectivity was omnipresent, mmWave limited").
+    ///
+    /// `mmwave_band` selects n260/n261 (Verizon) and `low_band` n5/n71.
+    pub fn walking_loop_deployment(seed: u64, mmwave_band: Band, low_band: Band) -> Self {
+        assert_eq!(mmwave_band.class(), BandClass::MmWave, "need a mmWave band");
+        assert_eq!(low_band.class(), BandClass::LowBand, "need a low band");
+        let towers = vec![
+            Tower {
+                id: 0,
+                pos: Point::new(60.0, -40.0),
+                band: mmwave_band,
+                supports_nsa: true,
+                supports_sa: false,
+            },
+            Tower {
+                id: 1,
+                pos: Point::new(520.0, 160.0),
+                band: mmwave_band,
+                supports_nsa: true,
+                supports_sa: false,
+            },
+            Tower {
+                id: 2,
+                pos: Point::new(180.0, 340.0),
+                band: mmwave_band,
+                supports_nsa: true,
+                supports_sa: false,
+            },
+            Tower {
+                id: 3,
+                pos: Point::new(-400.0, 600.0),
+                band: low_band,
+                supports_nsa: true,
+                supports_sa: true,
+            },
+            Tower {
+                id: 4,
+                pos: Point::new(900.0, -500.0),
+                band: Band::LteMidBand,
+                supports_nsa: false,
+                supports_sa: false,
+            },
+        ];
+        NetworkLayout::new(towers, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_geo::mobility::MobilityModel;
+
+    #[test]
+    fn drive_corridor_has_expected_densities() {
+        let layout = NetworkLayout::tmobile_drive_corridor(1);
+        let lte = layout.towers.iter().filter(|t| t.tech() == RadioTech::Lte).count();
+        let nr = layout.towers.iter().filter(|t| t.tech() == RadioTech::Nr).count();
+        assert!((26..=32).contains(&lte), "LTE towers: {lte}");
+        assert!((11..=14).contains(&nr), "n71 towers: {nr}");
+        let sa = layout.towers.iter().filter(|t| t.supports_sa).count();
+        assert!(sa < nr && sa > nr / 2, "a strict subset is SA-capable: {sa}/{nr}");
+    }
+
+    #[test]
+    fn drive_corridor_has_continuous_lte_and_n71_coverage() {
+        let layout = NetworkLayout::tmobile_drive_corridor(2);
+        let m = MobilityModel::driving_10km();
+        let mut t = 0.0;
+        while t < m.duration_s() {
+            let p = m.position_at(t);
+            assert!(
+                layout.best_cell(p, false, |tw| tw.tech() == RadioTech::Lte).is_some(),
+                "LTE hole at t={t}"
+            );
+            assert!(
+                layout.best_cell(p, false, |tw| tw.supports_nsa).is_some(),
+                "n71 hole at t={t}"
+            );
+            t += 10.0;
+        }
+    }
+
+    #[test]
+    fn walking_loop_mmwave_is_spotty_under_blockage() {
+        let layout = NetworkLayout::walking_loop_deployment(3, Band::N261, Band::N5Dss);
+        let m = MobilityModel::walking_loop();
+        let mut covered = 0;
+        let mut total = 0;
+        let mut t = 0.0;
+        while t < m.duration_s() {
+            let p = m.position_at(t);
+            // Blocked mmWave should frequently lose coverage...
+            if layout
+                .best_cell(p, true, |tw| tw.band.class() == BandClass::MmWave)
+                .is_some()
+            {
+                covered += 1;
+            }
+            // ...while low-band never does.
+            assert!(
+                layout
+                    .best_cell(p, false, |tw| tw.band.class() == BandClass::LowBand)
+                    .is_some(),
+                "low band must be omnipresent"
+            );
+            total += 1;
+            t += 10.0;
+        }
+        let frac = covered as f64 / total as f64;
+        assert!(frac < 0.8, "blocked mmWave coverage should be spotty: {frac}");
+    }
+
+    #[test]
+    fn best_cell_prefers_the_nearest_tower() {
+        let layout = NetworkLayout::walking_loop_deployment(4, Band::N261, Band::N71);
+        // Right next to tower 1.
+        let p = Point::new(520.0, 150.0);
+        let (idx, rsrp) = layout
+            .best_cell(p, false, |t| t.band.class() == BandClass::MmWave)
+            .expect("coverage next to a panel");
+        assert_eq!(layout.towers[idx].id, 1);
+        assert!(rsrp > -75.0, "strong signal at 10 m: {rsrp}");
+    }
+
+    #[test]
+    fn best_cell_respects_filter() {
+        let layout = NetworkLayout::tmobile_drive_corridor(5);
+        let p = Point::new(500.0, 0.0);
+        let (idx, _) = layout.best_cell(p, false, |t| t.supports_sa).expect("SA coverage");
+        assert!(layout.towers[idx].supports_sa);
+    }
+}

@@ -1,0 +1,518 @@
+//! The handoff engine and Fig 9's drive-test simulation.
+//!
+//! The UE drives the 10 km route with one of five band configurations
+//! enabled (the paper toggles them with Samsung's `*#2263#` service code).
+//! We track the serving cell per technology with hysteresis-based
+//! reselection, the NSA secondary-cell-group (NR leg) lifecycle, and SA↔LTE
+//! fallback, and log every **horizontal** (tower change on the active data
+//! radio) and **vertical** (radio technology change) handoff.
+//!
+//! NSA's notorious vertical-handoff churn comes from two modelled causes:
+//! every LTE anchor handoff tears the NR leg down and re-establishes it, and
+//! secondary-cell-group (SCG) failures drop the leg sporadically while
+//! moving. Both are parameters of [`HandoffConfig`].
+
+use crate::cell::{NetworkLayout, RadioTech, Tower};
+use fiveg_geo::mobility::MobilityModel;
+use fiveg_simcore::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// The five band-enable settings of Fig 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BandSetting {
+    /// (i) SA n71 only.
+    SaOnly,
+    /// (ii) NSA n71 + LTE.
+    NsaPlusLte,
+    /// (iii) LTE bands only.
+    LteOnly,
+    /// (iv) SA n71 + LTE.
+    SaPlusLte,
+    /// (v) All bands (default).
+    AllBands,
+}
+
+impl BandSetting {
+    /// Display label matching Fig 9's y-axis.
+    pub fn label(self) -> &'static str {
+        match self {
+            BandSetting::SaOnly => "SA-5G only",
+            BandSetting::NsaPlusLte => "NSA-5G + LTE",
+            BandSetting::LteOnly => "LTE only",
+            BandSetting::SaPlusLte => "SA-5G + LTE",
+            BandSetting::AllBands => "All Bands",
+        }
+    }
+
+    /// All five settings in Fig 9 order.
+    pub fn all() -> [BandSetting; 5] {
+        [
+            BandSetting::SaOnly,
+            BandSetting::NsaPlusLte,
+            BandSetting::LteOnly,
+            BandSetting::SaPlusLte,
+            BandSetting::AllBands,
+        ]
+    }
+}
+
+/// Which radio carries user data right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActiveRadio {
+    /// 4G LTE.
+    Lte,
+    /// NSA 5G (NR data leg over an LTE anchor).
+    NsaNr,
+    /// SA 5G.
+    SaNr,
+}
+
+/// Horizontal (tower) vs vertical (technology) handoff.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HandoffKind {
+    /// Serving-cell change on the active data radio.
+    Horizontal,
+    /// Active-radio technology change.
+    Vertical,
+}
+
+/// One logged handoff.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HandoffEvent {
+    /// Simulation time in seconds.
+    pub t_s: f64,
+    /// Horizontal or vertical.
+    pub kind: HandoffKind,
+    /// The radio active *after* the handoff (`None` = outage).
+    pub to: Option<ActiveRadio>,
+}
+
+/// Tunables of the handoff engine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HandoffConfig {
+    /// Reselection hysteresis in dB (A3 offset).
+    pub hysteresis_db: f64,
+    /// RSRP needed to add the NSA NR leg (B1-like threshold), dBm.
+    pub nr_add_dbm: f64,
+    /// RSRP below which the NR leg is dropped (A2-like), dBm.
+    pub nr_drop_dbm: f64,
+    /// SA: prefer LTE (in SA+LTE / AllBands modes) when the SA cell is
+    /// weaker than this, dBm.
+    pub sa_prefer_dbm: f64,
+    /// Seconds the NR leg stays down after an anchor handoff tears it down.
+    pub leg_reestablish_s: f64,
+    /// SCG-failure rate while on the NSA leg, events per metre travelled.
+    pub scg_failure_per_m: f64,
+    /// Probability that an LTE anchor handoff tears the NR leg down when
+    /// the network can coordinate the change (AllBands mode).
+    pub coordinated_anchor_keep_prob: f64,
+    /// Time-to-trigger: a reselection candidate must stay better than the
+    /// serving cell (by the hysteresis) for this long, in seconds.
+    pub time_to_trigger_s: f64,
+    /// Simulation step in seconds.
+    pub step_s: f64,
+}
+
+impl Default for HandoffConfig {
+    fn default() -> Self {
+        HandoffConfig {
+            hysteresis_db: 3.0,
+            nr_add_dbm: -112.0,
+            nr_drop_dbm: -116.0,
+            sa_prefer_dbm: -82.0,
+            leg_reestablish_s: 2.0,
+            scg_failure_per_m: 1.0 / 520.0,
+            coordinated_anchor_keep_prob: 0.85,
+            time_to_trigger_s: 2.0,
+            step_s: 0.5,
+        }
+    }
+}
+
+/// Outcome of one drive.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriveResult {
+    /// The band setting driven.
+    pub setting: BandSetting,
+    /// Sampled active radio over time, one entry per step.
+    pub timeline: Vec<(f64, Option<ActiveRadio>)>,
+    /// All handoffs in time order.
+    pub events: Vec<HandoffEvent>,
+}
+
+impl DriveResult {
+    /// Total handoff count (Fig 9's headline numbers).
+    pub fn total_handoffs(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of vertical handoffs.
+    pub fn vertical_handoffs(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == HandoffKind::Vertical)
+            .count()
+    }
+
+    /// Number of horizontal handoffs.
+    pub fn horizontal_handoffs(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.kind == HandoffKind::Horizontal)
+            .count()
+    }
+
+    /// Fraction of drive time spent on each radio `(lte, nsa, sa, outage)`.
+    pub fn radio_share(&self) -> (f64, f64, f64, f64) {
+        let n = self.timeline.len().max(1) as f64;
+        let count = |r: Option<ActiveRadio>| {
+            self.timeline.iter().filter(|(_, a)| *a == r).count() as f64 / n
+        };
+        (
+            count(Some(ActiveRadio::Lte)),
+            count(Some(ActiveRadio::NsaNr)),
+            count(Some(ActiveRadio::SaNr)),
+            count(None),
+        )
+    }
+}
+
+/// Internal mutable state of the drive.
+struct DriveState {
+    lte: ReselState,
+    nr: ReselState,
+    active: Option<ActiveRadio>,
+    /// NR leg unavailable until this time (post anchor-handoff blackout).
+    leg_down_until_s: f64,
+    events: Vec<HandoffEvent>,
+}
+
+impl DriveState {
+    fn set_active(&mut self, t: f64, radio: Option<ActiveRadio>) {
+        if self.active != radio {
+            self.events.push(HandoffEvent {
+                t_s: t,
+                kind: HandoffKind::Vertical,
+                to: radio,
+            });
+            self.active = radio;
+        }
+    }
+
+    fn horizontal(&mut self, t: f64) {
+        self.events.push(HandoffEvent {
+            t_s: t,
+            kind: HandoffKind::Horizontal,
+            to: self.active,
+        });
+    }
+}
+
+/// Hysteresis + time-to-trigger reselection state for one radio.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReselState {
+    serving: Option<usize>,
+    /// A candidate that has been better than serving since the given time.
+    pending: Option<(usize, f64)>,
+}
+
+impl ReselState {
+    /// Advances reselection at time `t`; returns true if the serving cell
+    /// changed.
+    fn step<F>(
+        &mut self,
+        layout: &NetworkLayout,
+        p: fiveg_geo::route::Point,
+        t: f64,
+        cfg: &HandoffConfig,
+        filter: F,
+    ) -> bool
+    where
+        F: Fn(&Tower) -> bool,
+    {
+        let best = layout.best_cell(p, false, &filter);
+        match (self.serving, best) {
+            (None, None) => false,
+            (None, Some((idx, _))) => {
+                // Initial attach is immediate.
+                self.serving = Some(idx);
+                self.pending = None;
+                true
+            }
+            (Some(cur), None) => {
+                let tower = &layout.towers[cur];
+                let rsrp = layout.rsrp_at(tower, p, false);
+                if rsrp < tower.band.class().rsrp_floor_dbm() {
+                    self.serving = None;
+                    self.pending = None;
+                    true
+                } else {
+                    false
+                }
+            }
+            (Some(cur), Some((idx, best_rsrp))) => {
+                if idx == cur {
+                    self.pending = None;
+                    return false;
+                }
+                let cur_tower = &layout.towers[cur];
+                let cur_rsrp = layout.rsrp_at(cur_tower, p, false);
+                // Radio-link failure: switch immediately when the serving
+                // cell falls through the floor.
+                if cur_rsrp < cur_tower.band.class().rsrp_floor_dbm() {
+                    self.serving = Some(idx);
+                    self.pending = None;
+                    return true;
+                }
+                if best_rsrp > cur_rsrp + cfg.hysteresis_db {
+                    match self.pending {
+                        Some((pidx, since)) if pidx == idx => {
+                            if t - since >= cfg.time_to_trigger_s {
+                                self.serving = Some(idx);
+                                self.pending = None;
+                                true
+                            } else {
+                                false
+                            }
+                        }
+                        _ => {
+                            self.pending = Some((idx, t));
+                            false
+                        }
+                    }
+                } else {
+                    self.pending = None;
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Simulates one drive of the 10 km route under `setting`.
+pub fn simulate_drive(
+    layout: &NetworkLayout,
+    mobility: &MobilityModel,
+    setting: BandSetting,
+    cfg: &HandoffConfig,
+    seed: u64,
+) -> DriveResult {
+    let mut rng = RngStream::new(seed, "drive/scg");
+    let mut st = DriveState {
+        lte: ReselState::default(),
+        nr: ReselState::default(),
+        active: None,
+        leg_down_until_s: 0.0,
+        events: Vec::new(),
+    };
+    let mut timeline = Vec::new();
+    let duration = mobility.duration_s();
+    let mut t = 0.0;
+    let mut last_dist = 0.0;
+    // Suppress the initial attach events: the drive starts connected.
+    let mut booted = false;
+
+    while t <= duration {
+        let p = mobility.position_at(t);
+        let dist = mobility.distance_at(t);
+        let moved_m = (dist - last_dist).max(0.0);
+        last_dist = dist;
+
+        let lte_enabled = matches!(
+            setting,
+            BandSetting::NsaPlusLte
+                | BandSetting::LteOnly
+                | BandSetting::SaPlusLte
+                | BandSetting::AllBands
+        );
+        let nsa_enabled = matches!(setting, BandSetting::NsaPlusLte | BandSetting::AllBands);
+        let sa_enabled = matches!(
+            setting,
+            BandSetting::SaOnly | BandSetting::SaPlusLte | BandSetting::AllBands
+        );
+
+        // --- LTE anchor / fallback reselection ---
+        let mut anchor_changed = false;
+        if lte_enabled {
+            let had = st.lte.serving;
+            let changed = st.lte.step(layout, p, t, cfg, |tw| tw.tech() == RadioTech::Lte);
+            if changed && booted {
+                anchor_changed = st.lte.serving.is_some() && had.is_some();
+                if st.active == Some(ActiveRadio::Lte) && anchor_changed {
+                    st.horizontal(t);
+                }
+            }
+        } else {
+            st.lte = ReselState::default();
+        }
+
+        // --- NR serving cell reselection (NSA and/or SA capable) ---
+        let nr_filter = |tw: &Tower| {
+            tw.tech() == RadioTech::Nr
+                && ((nsa_enabled && tw.supports_nsa) || (sa_enabled && tw.supports_sa))
+        };
+        let had_nr = st.nr.serving;
+        let nr_changed = st.nr.step(layout, p, t, cfg, nr_filter);
+        if nr_changed
+            && booted
+            && matches!(st.active, Some(ActiveRadio::NsaNr) | Some(ActiveRadio::SaNr))
+            && st.nr.serving.is_some()
+            && had_nr.is_some()
+        {
+            st.horizontal(t);
+        }
+
+        let nr_rsrp = st
+            .nr
+            .serving
+            .map(|i| layout.rsrp_at(&layout.towers[i], p, false));
+        let nr_supports_sa = st.nr.serving.map(|i| layout.towers[i].supports_sa);
+
+        // --- NSA leg lifecycle ---
+        if nsa_enabled && booted {
+            // Anchor handoffs tear the leg down (probabilistically, when the
+            // network can coordinate — AllBands only).
+            if anchor_changed && st.active == Some(ActiveRadio::NsaNr) {
+                let keep = setting == BandSetting::AllBands
+                    && rng.chance(cfg.coordinated_anchor_keep_prob);
+                if !keep {
+                    st.leg_down_until_s = t + cfg.leg_reestablish_s;
+                }
+            }
+            // SCG failures while moving on the leg.
+            if st.active == Some(ActiveRadio::NsaNr)
+                && moved_m > 0.0
+                && rng.chance(moved_m * cfg.scg_failure_per_m)
+            {
+                st.leg_down_until_s = t + cfg.leg_reestablish_s;
+            }
+        }
+
+        // --- Active radio selection ---
+        let leg_ok = t >= st.leg_down_until_s;
+        let nsa_available = nsa_enabled
+            && st.lte.serving.is_some()
+            && leg_ok
+            && nr_rsrp.is_some_and(|r| {
+                if st.active == Some(ActiveRadio::NsaNr) {
+                    r > cfg.nr_drop_dbm
+                } else {
+                    r > cfg.nr_add_dbm
+                }
+            });
+        let sa_available =
+            sa_enabled && nr_supports_sa == Some(true) && nr_rsrp.is_some();
+        let sa_preferred = sa_available
+            && (!lte_enabled || nr_rsrp.is_some_and(|r| r > cfg.sa_prefer_dbm));
+
+        let desired = if nsa_available {
+            Some(ActiveRadio::NsaNr)
+        } else if sa_preferred {
+            Some(ActiveRadio::SaNr)
+        } else if lte_enabled && st.lte.serving.is_some() {
+            Some(ActiveRadio::Lte)
+        } else if sa_available {
+            Some(ActiveRadio::SaNr)
+        } else {
+            None
+        };
+
+        if booted {
+            st.set_active(t, desired);
+        } else {
+            st.active = desired;
+            booted = true;
+        }
+
+        timeline.push((t, st.active));
+        t += cfg.step_s;
+    }
+
+    DriveResult {
+        setting,
+        timeline,
+        events: st.events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(setting: BandSetting, seed: u64) -> DriveResult {
+        let layout = NetworkLayout::tmobile_drive_corridor(seed);
+        let mobility = MobilityModel::driving_10km();
+        simulate_drive(&layout, &mobility, setting, &HandoffConfig::default(), seed)
+    }
+
+    #[test]
+    fn sa_only_has_the_fewest_handoffs() {
+        let sa = drive(BandSetting::SaOnly, 42).total_handoffs();
+        let nsa = drive(BandSetting::NsaPlusLte, 42).total_handoffs();
+        let lte = drive(BandSetting::LteOnly, 42).total_handoffs();
+        assert!(sa < lte, "SA ({sa}) < LTE ({lte})");
+        assert!(lte < nsa, "LTE ({lte}) < NSA ({nsa})");
+    }
+
+    #[test]
+    fn nsa_handoffs_are_mostly_vertical() {
+        let r = drive(BandSetting::NsaPlusLte, 7);
+        assert!(
+            r.vertical_handoffs() > 3 * r.horizontal_handoffs(),
+            "vertical {} vs horizontal {}",
+            r.vertical_handoffs(),
+            r.horizontal_handoffs()
+        );
+    }
+
+    #[test]
+    fn handoff_counts_are_in_paper_range() {
+        // Paper: SA 13, NSA+LTE 110, LTE 30, SA+LTE 38, All 64.
+        let sa = drive(BandSetting::SaOnly, 1).total_handoffs();
+        let nsa = drive(BandSetting::NsaPlusLte, 1).total_handoffs();
+        let lte = drive(BandSetting::LteOnly, 1).total_handoffs();
+        assert!((8..=25).contains(&sa), "SA {sa}");
+        assert!((70..=150).contains(&nsa), "NSA {nsa}");
+        assert!((20..=45).contains(&lte), "LTE {lte}");
+    }
+
+    #[test]
+    fn sa_only_spends_all_time_on_sa() {
+        let r = drive(BandSetting::SaOnly, 3);
+        let (_, _, sa_share, outage) = r.radio_share();
+        assert!(sa_share > 0.95, "SA share {sa_share}");
+        assert!(outage < 0.05);
+    }
+
+    #[test]
+    fn lte_only_never_touches_nr() {
+        let r = drive(BandSetting::LteOnly, 4);
+        let (lte, nsa, sa, _) = r.radio_share();
+        assert!(lte > 0.95, "LTE share {lte}");
+        assert_eq!(nsa, 0.0);
+        assert_eq!(sa, 0.0);
+    }
+
+    #[test]
+    fn nsa_spends_most_time_on_nr_despite_churn() {
+        let r = drive(BandSetting::NsaPlusLte, 5);
+        let (_, nsa_share, _, _) = r.radio_share();
+        assert!(nsa_share > 0.5, "NSA share {nsa_share}");
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let r = drive(BandSetting::AllBands, 6);
+        for w in r.events.windows(2) {
+            assert!(w[0].t_s <= w[1].t_s);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = drive(BandSetting::NsaPlusLte, 99);
+        let b = drive(BandSetting::NsaPlusLte, 99);
+        assert_eq!(a.total_handoffs(), b.total_handoffs());
+        assert_eq!(a.vertical_handoffs(), b.vertical_handoffs());
+    }
+}

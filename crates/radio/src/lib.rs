@@ -1,0 +1,54 @@
+//! Radio substrate: bands, propagation, blockage, cells, link budget, and
+//! the NSA/SA handoff engine.
+//!
+//! This crate models everything between the UE's modem and the carrier's
+//! packet core, calibrated to the behaviours the paper measures:
+//!
+//! * [`band`] — LTE / low-band 5G / mmWave 5G characteristics (capacity,
+//!   radio latency, RSRP operating windows),
+//! * [`ue`] — the three phones and their carrier-aggregation ceilings,
+//! * [`propagation`] — path loss + correlated shadowing; mmWave's 30 dB
+//!   blockage penalty,
+//! * [`blockage`] — the LoS/NLoS semi-Markov process,
+//! * [`cell`] — towers and the two campaign layouts (drive corridor,
+//!   walking loop),
+//! * [`link`] — RSRP → achievable throughput,
+//! * [`handoff`] — the Fig 9 drive-test simulation across five band
+//!   configurations.
+
+pub mod band;
+pub mod blockage;
+pub mod cell;
+pub mod handoff;
+pub mod link;
+pub mod propagation;
+pub mod ue;
+
+pub use band::{Band, BandClass, Direction};
+pub use cell::{NetworkLayout, RadioTech, Tower};
+pub use handoff::{ActiveRadio, BandSetting, DriveResult, HandoffConfig};
+pub use link::{link_capacity_mbps, LinkState};
+pub use ue::UeModel;
+
+/// Re-export of the carrier enum (defined with the server pools in
+/// `fiveg-geo` but used pervasively alongside radio types).
+pub use fiveg_geo::servers::Carrier;
+
+/// A 5G deployment mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Deployment {
+    /// Non-Standalone: 5G data plane over the 4G control plane.
+    Nsa,
+    /// Standalone: native 5G core.
+    Sa,
+}
+
+impl Deployment {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Deployment::Nsa => "NSA",
+            Deployment::Sa => "SA",
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Link budget: RSRP → achievable PHY throughput.
+//!
+//! We map RSRP onto a fraction of the cell's peak capacity with a linear
+//! ramp in the dB domain between the band's floor and saturation points —
+//! a first-order stand-in for the MCS curve — then clamp by the UE modem's
+//! ceiling (carrier-aggregation capability, Appendix A.1).
+
+use crate::band::{Band, BandClass, Direction};
+use crate::ue::UeModel;
+use serde::{Deserialize, Serialize};
+
+/// The instantaneous radio link between a UE and its serving cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkState {
+    /// Serving band.
+    pub band: Band,
+    /// Measured RSRP in dBm (after shadowing/blockage).
+    pub rsrp_dbm: f64,
+    /// Whether the connection runs in SA mode (low-band only; halves
+    /// capacity per §3.2 since SA lacks carrier aggregation).
+    pub sa: bool,
+}
+
+/// Fraction of peak capacity available at `rsrp_dbm` for a band class:
+/// 0 at the floor, 1 at saturation, linear in dB between.
+pub fn capacity_fraction(class: BandClass, rsrp_dbm: f64) -> f64 {
+    let floor = class.rsrp_floor_dbm();
+    let sat = class.rsrp_saturation_dbm();
+    ((rsrp_dbm - floor) / (sat - floor)).clamp(0.0, 1.0)
+}
+
+/// Achievable PHY-layer throughput in Mbps for `ue` on `link` in `dir`.
+pub fn link_capacity_mbps(ue: UeModel, link: &LinkState, dir: Direction) -> f64 {
+    let class = link.band.class();
+    let cell = class.cell_capacity_mbps(dir, link.sa) * capacity_fraction(class, link.rsrp_dbm);
+    cell.min(ue.max_throughput_mbps(class, dir))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_is_clamped_ramp() {
+        let c = BandClass::MmWave;
+        assert_eq!(capacity_fraction(c, -150.0), 0.0);
+        assert_eq!(capacity_fraction(c, -40.0), 1.0);
+        let mid = (c.rsrp_floor_dbm() + c.rsrp_saturation_dbm()) / 2.0;
+        assert!((capacity_fraction(c, mid) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s20u_hits_3_4_gbps_at_strong_mmwave() {
+        let link = LinkState {
+            band: Band::N261,
+            rsrp_dbm: -70.0,
+            sa: false,
+        };
+        let c = link_capacity_mbps(UeModel::GalaxyS20Ultra, &link, Direction::Downlink);
+        assert!((c - 3400.0).abs() < 1.0, "UE-capped at 3.4 Gbps, got {c}");
+    }
+
+    #[test]
+    fn px5_is_modem_capped_at_2_2_gbps() {
+        let link = LinkState {
+            band: Band::N261,
+            rsrp_dbm: -70.0,
+            sa: false,
+        };
+        let c = link_capacity_mbps(UeModel::Pixel5, &link, Direction::Downlink);
+        assert!((c - 2200.0).abs() < 1.0, "got {c}");
+    }
+
+    #[test]
+    fn sa_halves_low_band_throughput() {
+        let nsa = LinkState {
+            band: Band::N71,
+            rsrp_dbm: -85.0,
+            sa: false,
+        };
+        let sa = LinkState { sa: true, ..nsa };
+        let ue = UeModel::GalaxyS20Ultra;
+        let c_nsa = link_capacity_mbps(ue, &nsa, Direction::Downlink);
+        let c_sa = link_capacity_mbps(ue, &sa, Direction::Downlink);
+        assert!((c_sa / c_nsa - 0.5).abs() < 0.05, "{c_sa} vs {c_nsa}");
+    }
+
+    #[test]
+    fn weak_signal_degrades_capacity() {
+        let strong = LinkState {
+            band: Band::N261,
+            rsrp_dbm: -75.0,
+            sa: false,
+        };
+        let weak = LinkState {
+            rsrp_dbm: -104.0,
+            ..strong
+        };
+        let ue = UeModel::GalaxyS10;
+        assert!(
+            link_capacity_mbps(ue, &weak, Direction::Downlink)
+                < 0.5 * link_capacity_mbps(ue, &strong, Direction::Downlink)
+        );
+    }
+
+    #[test]
+    fn uplink_is_far_below_downlink_on_mmwave() {
+        let link = LinkState {
+            band: Band::N260,
+            rsrp_dbm: -70.0,
+            sa: false,
+        };
+        let ue = UeModel::GalaxyS20Ultra;
+        let dl = link_capacity_mbps(ue, &link, Direction::Downlink);
+        let ul = link_capacity_mbps(ue, &link, Direction::Uplink);
+        assert!((200.0..=240.0).contains(&ul), "UL ≈ 220 Mbps (Fig 4): {ul}");
+        assert!(dl / ul > 10.0);
+    }
+}

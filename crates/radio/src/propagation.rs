@@ -1,0 +1,222 @@
+//! Path loss, shadowing, and RSRP.
+//!
+//! We use a close-in (CI) reference path-loss model per band class with
+//! calibrated effective transmit powers, plus a spatially correlated
+//! log-normal shadowing field. The constants are calibrated so that:
+//!
+//! * mmWave is strong only within a few hundred metres of a panel and
+//!   collapses entirely when blocked (≈30 dB penetration penalty),
+//! * low-band (600–850 MHz) covers kilometres ("omnipresent" in the paper's
+//!   walking loops),
+//! * LTE mid-band sits in between.
+
+use crate::band::{Band, BandClass};
+use fiveg_geo::route::Point;
+use fiveg_simcore::RngStream;
+
+/// Free-space path loss at the 1 m reference distance, in dB.
+fn fspl_1m_db(freq_ghz: f64) -> f64 {
+    32.4 + 20.0 * freq_ghz.log10()
+}
+
+/// Path-loss exponent for a band class (line-of-sight conditions).
+fn path_loss_exponent(class: BandClass) -> f64 {
+    match class {
+        BandClass::MmWave => 2.9,
+        BandClass::LowBand => 3.0,
+        BandClass::Lte => 3.2,
+    }
+}
+
+/// Additional loss when a mmWave link is blocked (body/foliage/building),
+/// in dB. Sub-6 bands diffract around obstacles and take no such penalty.
+pub fn blockage_loss_db(class: BandClass) -> f64 {
+    match class {
+        BandClass::MmWave => 30.0,
+        BandClass::LowBand | BandClass::Lte => 0.0,
+    }
+}
+
+/// Calibrated effective EIRP (transmit power + antenna gains, folded into a
+/// single constant) per band, in dBm.
+fn effective_eirp_dbm(band: Band) -> f64 {
+    match band.class() {
+        BandClass::MmWave => 35.0,
+        BandClass::LowBand => 33.0,
+        BandClass::Lte => 49.0,
+    }
+}
+
+/// Close-in path loss at `distance_m` metres, in dB.
+///
+/// Distances below 1 m clamp to the reference distance.
+pub fn path_loss_db(band: Band, distance_m: f64, blocked: bool) -> f64 {
+    let d = distance_m.max(1.0);
+    let class = band.class();
+    fspl_1m_db(band.frequency_ghz())
+        + 10.0 * path_loss_exponent(class) * d.log10()
+        + if blocked { blockage_loss_db(class) } else { 0.0 }
+}
+
+/// RSRP in dBm at `distance_m` from the tower, before shadowing, clamped to
+/// a physical ceiling of −44 dBm (the strongest value UEs report).
+pub fn rsrp_dbm(band: Band, distance_m: f64, blocked: bool) -> f64 {
+    (effective_eirp_dbm(band) - path_loss_db(band, distance_m, blocked)).min(-44.0)
+}
+
+/// A deterministic, spatially correlated log-normal shadowing field.
+///
+/// The field is a bilinear interpolation of i.i.d. standard normals placed
+/// on a square lattice (default 50 m pitch), scaled by a per-class σ. Values
+/// are a pure function of `(seed, tower_id, position)` so any component —
+/// the handoff engine, the trace generator, the power campaign — observes
+/// the same radio environment.
+#[derive(Debug, Clone)]
+pub struct ShadowingField {
+    seed: u64,
+    /// Lattice pitch in metres (decorrelation distance).
+    pub corr_m: f64,
+}
+
+impl ShadowingField {
+    /// Creates a field with the default 50 m correlation length.
+    pub fn new(seed: u64) -> Self {
+        ShadowingField { seed, corr_m: 50.0 }
+    }
+
+    /// Shadowing standard deviation per band class, in dB.
+    pub fn sigma_db(class: BandClass) -> f64 {
+        match class {
+            BandClass::MmWave => 8.0,
+            BandClass::LowBand => 6.0,
+            BandClass::Lte => 6.0,
+        }
+    }
+
+    /// A lattice-node unit normal, deterministic in `(seed, tower, ix, iy)`.
+    fn node(&self, tower: u64, ix: i64, iy: i64) -> f64 {
+        let name = format!("shadow/{tower}/{ix}/{iy}");
+        RngStream::new(self.seed, &name).std_normal()
+    }
+
+    /// Shadowing in dB experienced from tower `tower_id` at position `p`.
+    pub fn sample_db(&self, tower_id: u64, class: BandClass, p: Point) -> f64 {
+        let gx = p.x / self.corr_m;
+        let gy = p.y / self.corr_m;
+        let ix = gx.floor() as i64;
+        let iy = gy.floor() as i64;
+        let fx = gx - ix as f64;
+        let fy = gy - iy as f64;
+        let v00 = self.node(tower_id, ix, iy);
+        let v10 = self.node(tower_id, ix + 1, iy);
+        let v01 = self.node(tower_id, ix, iy + 1);
+        let v11 = self.node(tower_id, ix + 1, iy + 1);
+        let interp = v00 * (1.0 - fx) * (1.0 - fy)
+            + v10 * fx * (1.0 - fy)
+            + v01 * (1.0 - fx) * fy
+            + v11 * fx * fy;
+        interp * Self::sigma_db(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_loss_grows_with_distance() {
+        for band in [Band::LteMidBand, Band::N71, Band::N261] {
+            let near = path_loss_db(band, 50.0, false);
+            let far = path_loss_db(band, 500.0, false);
+            assert!(far > near + 20.0, "{band:?}: {near} -> {far}");
+        }
+    }
+
+    #[test]
+    fn mmwave_blockage_is_catastrophic() {
+        let open = rsrp_dbm(Band::N261, 150.0, false);
+        let blocked = rsrp_dbm(Band::N261, 150.0, true);
+        assert!((open - blocked - 30.0).abs() < 1e-9);
+        assert!(open > BandClass::MmWave.rsrp_floor_dbm(), "usable when LoS");
+        assert!(blocked < BandClass::MmWave.rsrp_floor_dbm(), "dead when blocked");
+    }
+
+    #[test]
+    fn blockage_does_not_affect_sub6() {
+        assert_eq!(
+            rsrp_dbm(Band::N71, 1000.0, false),
+            rsrp_dbm(Band::N71, 1000.0, true)
+        );
+    }
+
+    #[test]
+    fn low_band_covers_kilometres() {
+        // "low-band 5G connectivity was omnipresent" on the walking loop.
+        let rsrp = rsrp_dbm(Band::N71, 3000.0, false);
+        assert!(
+            rsrp > BandClass::LowBand.rsrp_floor_dbm() + 10.0,
+            "n71 at 3 km: {rsrp} dBm"
+        );
+    }
+
+    #[test]
+    fn mmwave_range_is_hundreds_of_metres() {
+        let at_200 = rsrp_dbm(Band::N261, 200.0, false);
+        assert!(at_200 > -95.0, "usable at 200 m: {at_200}");
+        let at_3000 = rsrp_dbm(Band::N261, 3000.0, false);
+        assert!(
+            at_3000 < BandClass::MmWave.rsrp_floor_dbm(),
+            "dead at 3 km: {at_3000}"
+        );
+    }
+
+    #[test]
+    fn rsrp_is_clamped_near_the_tower() {
+        assert_eq!(rsrp_dbm(Band::N71, 0.0, false), -44.0);
+    }
+
+    #[test]
+    fn shadowing_is_deterministic_and_continuous() {
+        let f = ShadowingField::new(11);
+        let p = Point::new(123.0, 456.0);
+        assert_eq!(
+            f.sample_db(3, BandClass::LowBand, p),
+            f.sample_db(3, BandClass::LowBand, p)
+        );
+        let nearby = Point::new(124.0, 456.0);
+        let dv = (f.sample_db(3, BandClass::LowBand, p) - f.sample_db(3, BandClass::LowBand, nearby)).abs();
+        assert!(dv < 2.0, "1 m apart must be correlated, delta {dv}");
+    }
+
+    #[test]
+    fn shadowing_decorrelates_across_towers_and_space() {
+        let f = ShadowingField::new(11);
+        let mut distinct = 0;
+        for i in 0..20 {
+            let p = Point::new(i as f64 * 500.0, 0.0);
+            let a = f.sample_db(1, BandClass::Lte, p);
+            let b = f.sample_db(2, BandClass::Lte, p);
+            if (a - b).abs() > 0.5 {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 10, "towers see independent fields");
+    }
+
+    #[test]
+    fn shadowing_marginal_std_is_plausible() {
+        let f = ShadowingField::new(5);
+        let samples: Vec<f64> = (0..500)
+            .map(|i| {
+                // Sample at lattice-aligned points for exact marginal σ.
+                let p = Point::new((i as f64) * 50.0, (i as f64 % 7.0) * 350.0);
+                f.sample_db(9, BandClass::MmWave, p)
+            })
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64)
+            .sqrt();
+        assert!((std - 8.0).abs() < 1.5, "σ ≈ 8 dB for mmWave, got {std}");
+    }
+}

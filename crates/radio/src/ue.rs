@@ -1,0 +1,126 @@
+//! User-equipment (smartphone) profiles.
+//!
+//! The paper uses three phones whose network-relevant differences reduce to
+//! the modem's carrier-aggregation capability (Appendix A.1, Fig 23) and
+//! per-device power-curve parameters (Table 8; modelled in `fiveg-power`):
+//!
+//! | UE  | modem  | DL CC × 100 MHz | UL CC | observed mmWave DL cap |
+//! |-----|--------|-----------------|-------|------------------------|
+//! | PX5 | QC X52 | 4               | 1     | ≈2.2 Gbps              |
+//! | S10 | QC X50 | 4               | 1     | ≈2.0 Gbps              |
+//! | S20U| QC X55 | 8               | 2     | ≈3.4 Gbps              |
+
+use crate::band::{BandClass, Direction};
+use serde::{Deserialize, Serialize};
+
+/// The smartphone models of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UeModel {
+    /// Google Pixel 5 (Snapdragon X52 modem, 4CC).
+    Pixel5,
+    /// Samsung Galaxy S10 5G (Snapdragon X50 modem, 4CC).
+    GalaxyS10,
+    /// Samsung Galaxy S20 Ultra 5G (Snapdragon X55 modem, 8CC).
+    GalaxyS20Ultra,
+}
+
+impl UeModel {
+    /// Short name used in figures ("PX5", "S10", "S20U").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            UeModel::Pixel5 => "PX5",
+            UeModel::GalaxyS10 => "S10",
+            UeModel::GalaxyS20Ultra => "S20U",
+        }
+    }
+
+    /// Modem name.
+    pub fn modem(self) -> &'static str {
+        match self {
+            UeModel::Pixel5 => "Snapdragon X52",
+            UeModel::GalaxyS10 => "Snapdragon X50",
+            UeModel::GalaxyS20Ultra => "Snapdragon X55",
+        }
+    }
+
+    /// Number of downlink component carriers on mmWave.
+    pub fn mmwave_dl_cc(self) -> u32 {
+        match self {
+            UeModel::Pixel5 | UeModel::GalaxyS10 => 4,
+            UeModel::GalaxyS20Ultra => 8,
+        }
+    }
+
+    /// Number of uplink component carriers on mmWave.
+    pub fn mmwave_ul_cc(self) -> u32 {
+        match self {
+            UeModel::Pixel5 | UeModel::GalaxyS10 => 1,
+            UeModel::GalaxyS20Ultra => 2,
+        }
+    }
+
+    /// The UE-side throughput ceiling in Mbps for a band class and
+    /// direction — the modem/chipset bottleneck that exists regardless of
+    /// how strong the cell is.
+    pub fn max_throughput_mbps(self, class: BandClass, dir: Direction) -> f64 {
+        match (class, dir) {
+            (BandClass::MmWave, Direction::Downlink) => match self {
+                // 4CC phones observed ≈2.0–2.2 Gbps; 8CC ≈3.4 Gbps (Fig 23).
+                UeModel::Pixel5 => 2200.0,
+                UeModel::GalaxyS10 => 2000.0,
+                UeModel::GalaxyS20Ultra => 3400.0,
+            },
+            (BandClass::MmWave, Direction::Uplink) => match self {
+                UeModel::Pixel5 | UeModel::GalaxyS10 => 130.0,
+                UeModel::GalaxyS20Ultra => 230.0,
+            },
+            // Sub-6 and LTE are cell-limited, not modem-limited, on all
+            // three phones; use a generous ceiling.
+            (BandClass::LowBand, Direction::Downlink) => 600.0,
+            (BandClass::LowBand, Direction::Uplink) => 150.0,
+            (BandClass::Lte, Direction::Downlink) => 400.0,
+            (BandClass::Lte, Direction::Uplink) => 120.0,
+        }
+    }
+
+    /// Whether the phone can be rooted for packet capture in our campaigns
+    /// (the paper roots PX5 for the Azure and web experiments).
+    pub fn rootable(self) -> bool {
+        matches!(self, UeModel::Pixel5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s20u_has_double_the_carriers() {
+        assert_eq!(UeModel::GalaxyS20Ultra.mmwave_dl_cc(), 8);
+        assert_eq!(UeModel::Pixel5.mmwave_dl_cc(), 4);
+        assert_eq!(UeModel::GalaxyS20Ultra.mmwave_ul_cc(), 2);
+    }
+
+    #[test]
+    fn ca_advantage_shows_in_caps() {
+        let s20 = UeModel::GalaxyS20Ultra.max_throughput_mbps(BandClass::MmWave, Direction::Downlink);
+        let px5 = UeModel::Pixel5.max_throughput_mbps(BandClass::MmWave, Direction::Downlink);
+        // Fig 23: S20U improves DL by 50-60% over PX5.
+        let gain = s20 / px5 - 1.0;
+        assert!((0.4..=0.7).contains(&gain), "CA gain {gain}");
+    }
+
+    #[test]
+    fn only_px5_is_rooted() {
+        assert!(UeModel::Pixel5.rootable());
+        assert!(!UeModel::GalaxyS20Ultra.rootable());
+        assert!(!UeModel::GalaxyS10.rootable());
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(UeModel::Pixel5.short_name(), "PX5");
+        assert_eq!(UeModel::GalaxyS10.short_name(), "S10");
+        assert_eq!(UeModel::GalaxyS20Ultra.short_name(), "S20U");
+    }
+}

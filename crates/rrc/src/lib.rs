@@ -1,0 +1,27 @@
+//! Radio Resource Control (RRC) state machines for 4G, NSA 5G, and SA 5G.
+//!
+//! Cellular radios save power by demoting through RRC states when idle:
+//!
+//! * `RRC_CONNECTED` — data flows; after a short gap the radio sleeps
+//!   between Long-DRX wake-ups,
+//! * `RRC_INACTIVE` — **SA 5G only** (TS 38.331): the radio sleeps but the
+//!   core keeps the UE context, so resuming is cheap and fast,
+//! * `RRC_IDLE` — full release; waking requires a promotion through the
+//!   control plane (hundreds of ms to seconds).
+//!
+//! NSA 5G anchors its control plane on LTE, which makes its machine 4G-like
+//! and adds a quirk the paper observes (Appendix A.3): after the NR
+//! inactivity timer fires, traffic falls back to the **LTE leg** of the dual
+//! connection for a further window before the UE finally drops to IDLE — the
+//! bracketed second tail timer of Table 7.
+//!
+//! [`RrcProfile`] carries the per-carrier parameters (Table 7);
+//! [`RrcMachine`] simulates packet arrivals against the machine, producing
+//! the access delays and radio choices that `fiveg-probes::rrcprobe` infers
+//! parameters from and `fiveg-power` turns into power traces.
+
+pub mod machine;
+pub mod profile;
+
+pub use machine::{AccessDelay, RrcMachine};
+pub use profile::{RrcConfigId, RrcProfile, RrcState};

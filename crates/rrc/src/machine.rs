@@ -1,0 +1,264 @@
+//! The stateful RRC machine: packet arrivals → access delays.
+//!
+//! [`RrcMachine::on_packet`] is the contract the probing tools measure
+//! against: given the machine's state when a downlink packet arrives, how
+//! long until the UE's ACK leaves, and over which radio?
+//!
+//! Delay composition per state:
+//!
+//! * `Connected` (gap < DRX onset): essentially immediate.
+//! * `Connected` (DRX): wait for the next Long-DRX wake-up — uniform over
+//!   the cycle.
+//! * `ConnectedLte` (NSA fallback window): LTE Long-DRX wait; the ACK rides
+//!   the LTE leg (observably higher base RTT).
+//! * `Inactive` (SA): paging wait (idle-DRX cycle) + lightweight resume.
+//! * `Idle`: paging wait + full promotion. For NSA, the first reply leaves
+//!   over LTE after the 4G promotion; NR becomes active only after the full
+//!   5G promotion delay, which subsequent packets observe.
+
+use crate::profile::{RrcProfile, RrcState};
+use fiveg_radio::band::BandClass;
+use fiveg_simcore::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// Result of a packet arrival at the UE.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessDelay {
+    /// RRC-induced delay before the UE's reply leaves, in ms (excludes the
+    /// network path RTT, which the caller adds per radio).
+    pub delay_ms: f64,
+    /// The state the packet found the UE in.
+    pub state: RrcState,
+    /// The band class of the radio carrying the reply.
+    pub radio: BandClass,
+}
+
+/// A UE's RRC machine evolving over (millisecond) time.
+#[derive(Debug, Clone)]
+pub struct RrcMachine {
+    profile: RrcProfile,
+    rng: RngStream,
+    /// Time of the last data activity (ms since epoch), or `None` before
+    /// any traffic.
+    last_activity_ms: Option<f64>,
+    /// For NSA: NR is not yet active until this time after an idle
+    /// promotion (LTE carries traffic meanwhile).
+    nr_ready_at_ms: f64,
+}
+
+impl RrcMachine {
+    /// Creates a machine in RRC_IDLE.
+    pub fn new(profile: RrcProfile, rng: RngStream) -> Self {
+        RrcMachine {
+            profile,
+            rng,
+            last_activity_ms: None,
+            nr_ready_at_ms: 0.0,
+        }
+    }
+
+    /// The profile this machine obeys.
+    pub fn profile(&self) -> RrcProfile {
+        self.profile
+    }
+
+    /// The state at `now_ms`, before any packet processing.
+    pub fn state_at(&self, now_ms: f64) -> RrcState {
+        match self.last_activity_ms {
+            None => RrcState::Idle,
+            Some(last) => self.profile.state_after_idle(now_ms - last),
+        }
+    }
+
+    /// Processes a downlink packet arriving at `now_ms` and returns the
+    /// access delay of the UE's reply. Updates activity timers.
+    ///
+    /// # Panics
+    /// Panics if time goes backwards relative to the previous packet.
+    pub fn on_packet(&mut self, now_ms: f64) -> AccessDelay {
+        if let Some(last) = self.last_activity_ms {
+            assert!(now_ms >= last, "time went backwards: {now_ms} < {last}");
+        }
+        let p = self.profile;
+        let state = self.state_at(now_ms);
+        let idle_ms = self.last_activity_ms.map_or(f64::INFINITY, |l| now_ms - l);
+
+        let (delay, radio) = match state {
+            RrcState::Connected => {
+                let delay = if idle_ms < p.drx_onset_ms {
+                    0.5
+                } else {
+                    self.rng.gen_range(0.0..p.long_drx_ms.max(1.0))
+                };
+                // NSA: if the NR leg is still being promoted, the reply
+                // rides LTE.
+                let radio = if p.is_5g() && !p.standalone && now_ms < self.nr_ready_at_ms {
+                    BandClass::Lte
+                } else {
+                    p.primary_class
+                };
+                (delay, radio)
+            }
+            RrcState::ConnectedLte => {
+                let delay = self.rng.gen_range(0.0..p.long_drx_ms.max(1.0));
+                (delay, BandClass::Lte)
+            }
+            RrcState::Inactive => {
+                let paging = self.rng.gen_range(0.0..p.idle_drx_ms);
+                let resume = p.inactive_resume_ms.expect("SA profiles define this");
+                (paging + resume, p.primary_class)
+            }
+            RrcState::Idle => {
+                let paging = self.rng.gen_range(0.0..p.idle_drx_ms);
+                if p.standalone {
+                    // SA promotes straight to NR_CONNECTED.
+                    let promo = p.promo_5g_ms.expect("SA profiles define this");
+                    (paging + promo, p.primary_class)
+                } else if p.is_5g() {
+                    // NSA: LTE comes up first and carries the reply; NR
+                    // activates after the full 5G promotion (if the band
+                    // has a distinct NR promotion at all — DSS does not).
+                    let promo4 = p.promo_4g_ms.expect("NSA profiles define this");
+                    if let Some(promo5) = p.promo_5g_ms {
+                        self.nr_ready_at_ms = now_ms + paging + promo5;
+                        (paging + promo4, BandClass::Lte)
+                    } else {
+                        (paging + promo4, p.primary_class)
+                    }
+                } else {
+                    let promo4 = p.promo_4g_ms.expect("4G profiles define this");
+                    (paging + promo4, BandClass::Lte)
+                }
+            }
+        };
+
+        self.last_activity_ms = Some(now_ms + delay);
+        AccessDelay {
+            delay_ms: delay,
+            state,
+            radio,
+        }
+    }
+
+    /// Marks continuous data activity at `now_ms` without measuring a delay
+    /// (e.g. a bulk transfer keeping the radio in CONNECTED).
+    pub fn touch(&mut self, now_ms: f64) {
+        self.last_activity_ms = Some(match self.last_activity_ms {
+            Some(last) => now_ms.max(last),
+            None => now_ms,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::RrcConfigId;
+
+    fn machine(id: RrcConfigId, seed: u64) -> RrcMachine {
+        RrcMachine::new(RrcProfile::for_config(id), RngStream::new(seed, "rrc"))
+    }
+
+    #[test]
+    fn back_to_back_packets_see_no_delay() {
+        let mut m = machine(RrcConfigId::Vz4g, 1);
+        m.touch(0.0);
+        let d = m.on_packet(50.0);
+        assert_eq!(d.state, RrcState::Connected);
+        assert!(d.delay_ms < 1.0);
+    }
+
+    #[test]
+    fn connected_drx_wait_is_bounded_by_cycle() {
+        let mut m = machine(RrcConfigId::VzNsaMmWave, 2);
+        for i in 0..200 {
+            m.touch(i as f64 * 20_000.0);
+            let d = m.on_packet(i as f64 * 20_000.0 + 5_000.0);
+            assert_eq!(d.state, RrcState::Connected);
+            assert!(d.delay_ms <= 320.0, "DRX wait {}", d.delay_ms);
+        }
+    }
+
+    #[test]
+    fn idle_access_pays_promotion() {
+        let mut m = machine(RrcConfigId::Tm4g, 3);
+        m.touch(0.0);
+        let d = m.on_packet(20_000.0);
+        assert_eq!(d.state, RrcState::Idle);
+        assert!(d.delay_ms >= 190.0, "at least the 4G promotion");
+        assert!(d.delay_ms <= 190.0 + 1_300.0, "plus at most one paging cycle");
+        assert_eq!(d.radio, BandClass::Lte);
+    }
+
+    #[test]
+    fn sa_inactive_is_cheap_and_fast() {
+        let mut m = machine(RrcConfigId::TmSaLowBand, 4);
+        m.touch(0.0);
+        // 12 s idle: inside the INACTIVE window (10.4 .. 15.4 s).
+        let d = m.on_packet(12_000.0);
+        assert_eq!(d.state, RrcState::Inactive);
+        assert!(d.delay_ms >= 120.0 && d.delay_ms <= 120.0 + 1_250.0);
+        assert_eq!(d.radio, BandClass::LowBand);
+
+        // 20 s idle: IDLE; pays the full 341 ms promotion.
+        let mut m = machine(RrcConfigId::TmSaLowBand, 5);
+        m.touch(0.0);
+        let d = m.on_packet(20_000.0);
+        assert_eq!(d.state, RrcState::Idle);
+        assert!(d.delay_ms >= 341.0);
+    }
+
+    #[test]
+    fn nsa_idle_reply_rides_lte_until_nr_promotes() {
+        let mut m = machine(RrcConfigId::VzNsaMmWave, 6);
+        m.touch(0.0);
+        let first = m.on_packet(30_000.0);
+        assert_eq!(first.state, RrcState::Idle);
+        assert_eq!(first.radio, BandClass::Lte, "first reply over LTE");
+        // At 31.9 s: after the first reply (≤ 31.68 s) but before the NR
+        // promotion completes (≥ 31.91 s) — still on LTE.
+        let second = m.on_packet(31_900.0);
+        assert_eq!(second.radio, BandClass::Lte);
+        // At 36 s: NR promotion (≤ 33.19 s) done.
+        let third = m.on_packet(36_000.0);
+        assert_eq!(third.radio, BandClass::MmWave);
+    }
+
+    #[test]
+    fn nsa_fallback_window_uses_lte() {
+        let mut m = machine(RrcConfigId::VzNsaLowBand, 7);
+        m.touch(0.0);
+        let d = m.on_packet(15_000.0); // between 10.2 s and 18.8 s
+        assert_eq!(d.state, RrcState::ConnectedLte);
+        assert_eq!(d.radio, BandClass::Lte);
+    }
+
+    #[test]
+    fn dss_idle_promotion_has_no_separate_nr_delay() {
+        let mut m = machine(RrcConfigId::VzNsaLowBand, 8);
+        m.touch(0.0);
+        let d = m.on_packet(40_000.0);
+        assert_eq!(d.state, RrcState::Idle);
+        // DSS: data continues on the shared carrier right after 4G promo.
+        assert_eq!(d.radio, BandClass::LowBand);
+    }
+
+    #[test]
+    fn activity_resets_the_tail() {
+        let mut m = machine(RrcConfigId::Vz4g, 9);
+        m.touch(0.0);
+        // Keep touching every 5 s: never idles (tail is 10.2 s).
+        for i in 1..20 {
+            m.touch(i as f64 * 5_000.0);
+        }
+        assert_eq!(m.state_at(99_000.0), RrcState::Connected);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn rejects_time_regression() {
+        let mut m = machine(RrcConfigId::Vz4g, 10);
+        m.on_packet(1_000.0);
+        m.on_packet(0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Per-carrier RRC parameter profiles (ground truth for Table 7).
+//!
+//! These are the values the paper inferred with RRC-Probe; in this
+//! reproduction they are the *ground truth* that our simulated UEs obey, and
+//! the probe tool must recover them from observed behaviour.
+
+use fiveg_radio::band::BandClass;
+use fiveg_radio::Carrier;
+use serde::{Deserialize, Serialize};
+
+/// RRC protocol states (union over 4G and 5G SA/NSA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RrcState {
+    /// Data radio up on the profile's primary radio (NR for 5G, LTE for 4G).
+    Connected,
+    /// NSA only: NR inactivity timer fired; traffic rides the LTE leg.
+    ConnectedLte,
+    /// SA only: context retained, radio asleep (TS 38.331 RRC_INACTIVE).
+    Inactive,
+    /// Fully released.
+    Idle,
+}
+
+/// The six carrier/radio configurations of Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RrcConfigId {
+    /// T-Mobile SA low-band 5G.
+    TmSaLowBand,
+    /// T-Mobile NSA low-band 5G.
+    TmNsaLowBand,
+    /// Verizon NSA mmWave 5G.
+    VzNsaMmWave,
+    /// Verizon NSA low-band 5G (DSS).
+    VzNsaLowBand,
+    /// T-Mobile 4G/LTE.
+    Tm4g,
+    /// Verizon 4G/LTE.
+    Vz4g,
+}
+
+impl RrcConfigId {
+    /// All six configurations, in Table 7 row order.
+    pub fn all() -> [RrcConfigId; 6] {
+        [
+            RrcConfigId::TmSaLowBand,
+            RrcConfigId::TmNsaLowBand,
+            RrcConfigId::VzNsaMmWave,
+            RrcConfigId::VzNsaLowBand,
+            RrcConfigId::Tm4g,
+            RrcConfigId::Vz4g,
+        ]
+    }
+
+    /// Display label matching Table 7.
+    pub fn label(self) -> &'static str {
+        match self {
+            RrcConfigId::TmSaLowBand => "T-Mobile SA low-band",
+            RrcConfigId::TmNsaLowBand => "T-Mobile NSA low-band",
+            RrcConfigId::VzNsaMmWave => "Verizon NSA mmWave",
+            RrcConfigId::VzNsaLowBand => "Verizon NSA low-band (DSS)",
+            RrcConfigId::Tm4g => "T-Mobile 4G",
+            RrcConfigId::Vz4g => "Verizon 4G",
+        }
+    }
+}
+
+/// RRC timer/delay parameters for one carrier configuration. Times in ms.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RrcProfile {
+    /// Which configuration this is.
+    pub id: RrcConfigId,
+    /// Operating carrier.
+    pub carrier: Carrier,
+    /// Band class of the primary data radio.
+    pub primary_class: BandClass,
+    /// Whether the 5G deployment is standalone.
+    pub standalone: bool,
+    /// UE-inactivity (tail) timer: time in CONNECTED after the last packet.
+    pub tail_ms: f64,
+    /// NSA only: the bracketed second tail — after `tail_ms`, traffic rides
+    /// the LTE leg until this (measured from the last packet).
+    pub lte_tail_ms: Option<f64>,
+    /// Long-DRX cycle in CONNECTED.
+    pub long_drx_ms: f64,
+    /// Paging DRX cycle in IDLE (and INACTIVE).
+    pub idle_drx_ms: f64,
+    /// IDLE → LTE_CONNECTED promotion delay (4G and NSA profiles).
+    pub promo_4g_ms: Option<f64>,
+    /// IDLE → NR_CONNECTED total promotion delay (5G profiles; for NSA this
+    /// runs *through* the 4G promotion: LTE_IDLE → LTE_CONNECTED →
+    /// NR_CONNECTED).
+    pub promo_5g_ms: Option<f64>,
+    /// SA only: how long the UE lingers in RRC_INACTIVE after the tail.
+    pub inactive_duration_ms: Option<f64>,
+    /// SA only: resume delay from RRC_INACTIVE (lightweight resume).
+    pub inactive_resume_ms: Option<f64>,
+    /// Connected-mode DRX starts after this much inactivity.
+    pub drx_onset_ms: f64,
+}
+
+impl RrcProfile {
+    /// The ground-truth profile for a configuration (Table 7 values).
+    pub fn for_config(id: RrcConfigId) -> RrcProfile {
+        let base = RrcProfile {
+            id,
+            carrier: Carrier::TMobile,
+            primary_class: BandClass::LowBand,
+            standalone: false,
+            tail_ms: 0.0,
+            lte_tail_ms: None,
+            long_drx_ms: 0.0,
+            idle_drx_ms: 0.0,
+            promo_4g_ms: None,
+            promo_5g_ms: None,
+            inactive_duration_ms: None,
+            inactive_resume_ms: None,
+            drx_onset_ms: 100.0,
+        };
+        match id {
+            RrcConfigId::TmSaLowBand => RrcProfile {
+                standalone: true,
+                tail_ms: 10_400.0,
+                long_drx_ms: 40.0,
+                idle_drx_ms: 1_250.0,
+                promo_5g_ms: Some(341.0),
+                inactive_duration_ms: Some(5_000.0),
+                inactive_resume_ms: Some(120.0),
+                ..base
+            },
+            RrcConfigId::TmNsaLowBand => RrcProfile {
+                tail_ms: 10_400.0,
+                lte_tail_ms: Some(12_120.0),
+                long_drx_ms: 320.0,
+                idle_drx_ms: 1_200.0,
+                promo_4g_ms: Some(210.0),
+                promo_5g_ms: Some(1_440.0),
+                ..base
+            },
+            RrcConfigId::VzNsaMmWave => RrcProfile {
+                carrier: Carrier::Verizon,
+                primary_class: BandClass::MmWave,
+                tail_ms: 10_500.0,
+                long_drx_ms: 320.0,
+                idle_drx_ms: 1_280.0,
+                promo_4g_ms: Some(396.0),
+                promo_5g_ms: Some(1_907.0),
+                ..base
+            },
+            RrcConfigId::VzNsaLowBand => RrcProfile {
+                carrier: Carrier::Verizon,
+                tail_ms: 10_200.0,
+                lte_tail_ms: Some(18_800.0),
+                long_drx_ms: 400.0,
+                idle_drx_ms: 1_100.0,
+                promo_4g_ms: Some(288.0),
+                // DSS shares the LTE carrier: no separately measurable NR
+                // promotion (Table 7 lists N/A).
+                promo_5g_ms: None,
+                ..base
+            },
+            RrcConfigId::Tm4g => RrcProfile {
+                primary_class: BandClass::Lte,
+                tail_ms: 5_000.0,
+                long_drx_ms: 400.0,
+                idle_drx_ms: 1_300.0,
+                promo_4g_ms: Some(190.0),
+                ..base
+            },
+            RrcConfigId::Vz4g => RrcProfile {
+                carrier: Carrier::Verizon,
+                primary_class: BandClass::Lte,
+                tail_ms: 10_200.0,
+                long_drx_ms: 300.0,
+                idle_drx_ms: 1_280.0,
+                promo_4g_ms: Some(265.0),
+                ..base
+            },
+        }
+    }
+
+    /// Whether this is a 5G profile (NSA or SA).
+    pub fn is_5g(self) -> bool {
+        self.primary_class != BandClass::Lte
+    }
+
+    /// The RRC state a UE is in after `idle_ms` of data inactivity.
+    pub fn state_after_idle(self, idle_ms: f64) -> RrcState {
+        if idle_ms <= self.tail_ms {
+            return RrcState::Connected;
+        }
+        if let Some(lte_tail) = self.lte_tail_ms {
+            if idle_ms <= lte_tail {
+                return RrcState::ConnectedLte;
+            }
+        }
+        if self.standalone {
+            let inactive_until =
+                self.tail_ms + self.inactive_duration_ms.expect("SA profiles define this");
+            if idle_ms <= inactive_until {
+                return RrcState::Inactive;
+            }
+        }
+        RrcState::Idle
+    }
+
+    /// The time after the last packet at which the UE reaches RRC_IDLE —
+    /// the end of the energy "tail".
+    pub fn time_to_idle_ms(self) -> f64 {
+        let mut t = self.tail_ms;
+        if let Some(lte_tail) = self.lte_tail_ms {
+            t = t.max(lte_tail);
+        }
+        if let Some(d) = self.inactive_duration_ms {
+            t = self.tail_ms + d.max(t - self.tail_ms);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_values_are_wired() {
+        let p = RrcProfile::for_config(RrcConfigId::VzNsaMmWave);
+        assert_eq!(p.tail_ms, 10_500.0);
+        assert_eq!(p.long_drx_ms, 320.0);
+        assert_eq!(p.idle_drx_ms, 1_280.0);
+        assert_eq!(p.promo_4g_ms, Some(396.0));
+        assert_eq!(p.promo_5g_ms, Some(1_907.0));
+        assert_eq!(p.carrier, Carrier::Verizon);
+    }
+
+    #[test]
+    fn nsa_timers_mirror_4g() {
+        // "the timers of NSA 5G and 4G LTE are very similar" (§4.2):
+        // same order of magnitude for tail, DRX cycles.
+        let nsa = RrcProfile::for_config(RrcConfigId::VzNsaLowBand);
+        let lte = RrcProfile::for_config(RrcConfigId::Vz4g);
+        assert_eq!(nsa.tail_ms, lte.tail_ms);
+        assert!((nsa.idle_drx_ms - lte.idle_drx_ms).abs() < 300.0);
+    }
+
+    #[test]
+    fn sa_walks_through_inactive() {
+        let p = RrcProfile::for_config(RrcConfigId::TmSaLowBand);
+        assert_eq!(p.state_after_idle(5_000.0), RrcState::Connected);
+        assert_eq!(p.state_after_idle(10_400.0), RrcState::Connected);
+        // "the UE remains in this state for about 5s (10s to 15s of interval)"
+        assert_eq!(p.state_after_idle(12_000.0), RrcState::Inactive);
+        assert_eq!(p.state_after_idle(15_300.0), RrcState::Inactive);
+        assert_eq!(p.state_after_idle(16_000.0), RrcState::Idle);
+    }
+
+    #[test]
+    fn nsa_falls_back_to_lte_before_idle() {
+        let p = RrcProfile::for_config(RrcConfigId::VzNsaLowBand);
+        assert_eq!(p.state_after_idle(10_000.0), RrcState::Connected);
+        assert_eq!(p.state_after_idle(11_000.0), RrcState::ConnectedLte);
+        assert_eq!(p.state_after_idle(18_000.0), RrcState::ConnectedLte);
+        assert_eq!(p.state_after_idle(19_000.0), RrcState::Idle);
+    }
+
+    #[test]
+    fn plain_4g_has_no_intermediate_states() {
+        let p = RrcProfile::for_config(RrcConfigId::Tm4g);
+        assert_eq!(p.state_after_idle(4_999.0), RrcState::Connected);
+        assert_eq!(p.state_after_idle(5_001.0), RrcState::Idle);
+    }
+
+    #[test]
+    fn time_to_idle_spans_the_full_tail() {
+        assert_eq!(
+            RrcProfile::for_config(RrcConfigId::TmSaLowBand).time_to_idle_ms(),
+            15_400.0
+        );
+        assert_eq!(
+            RrcProfile::for_config(RrcConfigId::VzNsaLowBand).time_to_idle_ms(),
+            18_800.0
+        );
+        assert_eq!(RrcProfile::for_config(RrcConfigId::Tm4g).time_to_idle_ms(), 5_000.0);
+    }
+
+    #[test]
+    fn tmobile_sa_tail_is_10s_not_20s() {
+        // Key finding vs Xu et al. [59]: the SA tail is ~10 s (like 4G),
+        // not a stacked 20 s of 5G+4G tails.
+        let p = RrcProfile::for_config(RrcConfigId::TmSaLowBand);
+        assert!(p.tail_ms < 11_000.0);
+        assert!(p.lte_tail_ms.is_none());
+    }
+
+    #[test]
+    fn is_5g_classification() {
+        assert!(RrcProfile::for_config(RrcConfigId::TmSaLowBand).is_5g());
+        assert!(RrcProfile::for_config(RrcConfigId::VzNsaMmWave).is_5g());
+        assert!(!RrcProfile::for_config(RrcConfigId::Vz4g).is_5g());
+    }
+}

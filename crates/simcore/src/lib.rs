@@ -1,0 +1,32 @@
+//! Deterministic event-driven simulation kernel for the `fiveg-wild` workspace.
+//!
+//! Every experiment in this reproduction of *"A Variegated Look at 5G in the
+//! Wild"* (SIGCOMM 2021) runs on top of this crate. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time,
+//! * [`rng::RngStream`] — named, seeded random-number streams so that every
+//!   stochastic component of the simulated "field" is reproducible,
+//! * [`event::EventQueue`] — a priority queue of timestamped events with
+//!   deterministic FIFO tie-breaking,
+//! * [`stats`] — summary statistics (means, percentiles, CDFs, regressions)
+//!   used to aggregate measurement campaigns the way the paper does
+//!   (e.g. 95th-percentile Speedtest results),
+//! * [`series::TimeSeries`] — timestamped samples with integration and
+//!   resampling, used for power traces (5 kHz "Monsoon" sampling) and
+//!   per-second throughput traces.
+//!
+//! The kernel is single-threaded and allocation-light by design: determinism
+//! is a feature, because the "field" this workspace measures is itself a
+//! simulation that must be re-runnable bit-for-bit.
+
+pub mod event;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use event::EventQueue;
+pub use rng::RngStream;
+pub use series::TimeSeries;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,206 @@
+//! Named, seeded random-number streams.
+//!
+//! Field measurement campaigns are inherently stochastic; the simulated field
+//! must be *reproducibly* stochastic. Each component (propagation shadowing,
+//! blockage, loss processes, website corpus, ...) derives its own independent
+//! [`RngStream`] from a campaign seed plus a stable component name, so that
+//! adding a new consumer of randomness never perturbs existing experiments.
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random stream derived from `(seed, name)`.
+///
+/// Cloning yields an identical stream state; use [`RngStream::fork`] to
+/// derive an independent child stream.
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    rng: SmallRng,
+    seed: u64,
+}
+
+/// FNV-1a hash of a byte string, used to fold stream names into seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+impl RngStream {
+    /// Creates the stream identified by `name` under the campaign `seed`.
+    pub fn new(seed: u64, name: &str) -> Self {
+        let mixed = seed ^ fnv1a(name.as_bytes()).rotate_left(17);
+        // SplitMix64 finalizer to decorrelate nearby seeds.
+        let mut z = mixed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        RngStream {
+            rng: SmallRng::seed_from_u64(z),
+            seed: z,
+        }
+    }
+
+    /// Derives an independent child stream; the child is a pure function of
+    /// this stream's identity and `name`, not of how much this stream has
+    /// been consumed.
+    pub fn fork(&self, name: &str) -> RngStream {
+        RngStream::new(self.seed, name)
+    }
+
+    /// Uniform sample from `range`.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.rng.gen_range(range)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.rng.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn std_normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.std_normal()
+    }
+
+    /// Exponential sample with the given rate (events per unit).
+    ///
+    /// # Panics
+    /// Panics if `rate` is not strictly positive.
+    pub fn exponential(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / rate
+    }
+
+    /// Log-normal sample parameterized by the mean/std of the underlying
+    /// normal distribution.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+
+    /// Pareto sample with scale `xm > 0` and shape `alpha > 0` (heavy-tailed
+    /// sizes, e.g. web object sizes).
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        xm / u.powf(1.0 / alpha)
+    }
+
+    /// Chooses one element of `slice` uniformly.
+    ///
+    /// # Panics
+    /// Panics if `slice` is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
+        assert!(!slice.is_empty(), "cannot choose from an empty slice");
+        &slice[self.rng.gen_range(0..slice.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_and_name_reproduce() {
+        let mut a = RngStream::new(42, "shadowing");
+        let mut b = RngStream::new(42, "shadowing");
+        for _ in 0..100 {
+            assert_eq!(a.uniform().to_bits(), b.uniform().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_names_decorrelate() {
+        let mut a = RngStream::new(42, "shadowing");
+        let mut b = RngStream::new(42, "blockage");
+        let matches = (0..64).filter(|_| a.uniform().to_bits() == b.uniform().to_bits()).count();
+        assert_eq!(matches, 0);
+    }
+
+    #[test]
+    fn fork_is_insensitive_to_consumption() {
+        let mut a = RngStream::new(7, "root");
+        let fork_before = a.fork("child");
+        for _ in 0..10 {
+            a.uniform();
+        }
+        let fork_after = a.fork("child");
+        let mut x = fork_before;
+        let mut y = fork_after;
+        assert_eq!(x.uniform().to_bits(), y.uniform().to_bits());
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut rng = RngStream::new(1, "normal");
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = RngStream::new(1, "exp");
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.exponential(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = RngStream::new(1, "chance");
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        assert!(rng.chance(2.0), "p clamps to 1");
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = RngStream::new(9, "shuffle");
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pareto_respects_scale() {
+        let mut rng = RngStream::new(3, "pareto");
+        for _ in 0..1000 {
+            assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+}

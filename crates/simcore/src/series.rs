@@ -1,0 +1,297 @@
+//! Timestamped sample series: power traces, throughput traces, RSRP logs.
+//!
+//! A [`TimeSeries`] holds `(SimTime, f64)` samples in non-decreasing time
+//! order. It supports trapezoidal integration (energy from power), uniform
+//! resampling (the paper logs network state at 10 Hz but power at 5 kHz and
+//! must align them), and windowed averaging (per-second throughput).
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A time-ordered series of scalar samples.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    times: Vec<SimTime>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the last appended sample.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t >= last, "samples must be time-ordered: {t} < {last}");
+        }
+        self.times.push(t);
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True if the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Iterates `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The raw timestamps.
+    pub fn times(&self) -> &[SimTime] {
+        &self.times
+    }
+
+    /// First timestamp, if any.
+    pub fn start(&self) -> Option<SimTime> {
+        self.times.first().copied()
+    }
+
+    /// Last timestamp, if any.
+    pub fn end(&self) -> Option<SimTime> {
+        self.times.last().copied()
+    }
+
+    /// Zero-order-hold value at time `t`: the most recent sample at or before
+    /// `t`, or `None` before the first sample.
+    pub fn sample_at(&self, t: SimTime) -> Option<f64> {
+        let idx = self.times.partition_point(|&ts| ts <= t);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.values[idx - 1])
+        }
+    }
+
+    /// Trapezoidal integral of the series over its full span, in
+    /// value·seconds (power in mW integrates to energy in mW·s = mJ).
+    pub fn integrate(&self) -> f64 {
+        self.integrate_between(
+            self.start().unwrap_or(SimTime::ZERO),
+            self.end().unwrap_or(SimTime::ZERO),
+        )
+    }
+
+    /// Trapezoidal integral over `[from, to]`, treating the series as
+    /// piecewise-linear between samples and constant beyond the ends.
+    pub fn integrate_between(&self, from: SimTime, to: SimTime) -> f64 {
+        if self.times.is_empty() || to <= from {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut prev_t = from;
+        let mut prev_v = self.interp_or_hold(from);
+        for (t, v) in self.iter() {
+            if t <= from {
+                continue;
+            }
+            let seg_end = t.min(to);
+            let seg_v = if t <= to { v } else { self.interp_or_hold(to) };
+            total += 0.5 * (prev_v + seg_v) * seg_end.since(prev_t).as_secs_f64();
+            prev_t = seg_end;
+            prev_v = seg_v;
+            if t >= to {
+                break;
+            }
+        }
+        if prev_t < to {
+            total += prev_v * to.since(prev_t).as_secs_f64();
+        }
+        total
+    }
+
+    /// Linear interpolation at `t`, holding the boundary values outside the
+    /// sampled span.
+    fn interp_or_hold(&self, t: SimTime) -> f64 {
+        debug_assert!(!self.times.is_empty());
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= *self.times.last().expect("non-empty") {
+            return *self.values.last().expect("non-empty");
+        }
+        let idx = self.times.partition_point(|&ts| ts <= t);
+        let (t0, v0) = (self.times[idx - 1], self.values[idx - 1]);
+        let (t1, v1) = (self.times[idx], self.values[idx]);
+        let span = t1.since(t0).as_secs_f64();
+        if span == 0.0 {
+            return v1;
+        }
+        let frac = t.since(t0).as_secs_f64() / span;
+        v0 + (v1 - v0) * frac
+    }
+
+    /// Mean of the series weighted by time (the integral divided by the
+    /// span); `NaN` for fewer than two samples.
+    pub fn time_weighted_mean(&self) -> f64 {
+        match (self.start(), self.end()) {
+            (Some(s), Some(e)) if e > s => self.integrate() / e.since(s).as_secs_f64(),
+            _ => f64::NAN,
+        }
+    }
+
+    /// Resamples to a uniform grid with spacing `step` using zero-order hold,
+    /// starting at the first sample. Used to downsample 5 kHz power traces to
+    /// the 10 Hz network-log rate.
+    pub fn resample(&self, step: SimDuration) -> TimeSeries {
+        let mut out = TimeSeries::new();
+        let (Some(start), Some(end)) = (self.start(), self.end()) else {
+            return out;
+        };
+        assert!(!step.is_zero(), "resample step must be positive");
+        let mut t = start;
+        while t <= end {
+            out.push(t, self.sample_at(t).expect("t >= start"));
+            t += step;
+        }
+        out
+    }
+
+    /// Averages samples into consecutive windows of width `window`, returning
+    /// one `(window_start, mean)` sample per non-empty window — e.g. the
+    /// per-second throughput traces fed to the power model.
+    pub fn window_mean(&self, window: SimDuration) -> TimeSeries {
+        assert!(!window.is_zero(), "window must be positive");
+        let mut out = TimeSeries::new();
+        let Some(start) = self.start() else {
+            return out;
+        };
+        let mut w_start = start;
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for (t, v) in self.iter() {
+            while t >= w_start + window {
+                if n > 0 {
+                    out.push(w_start, sum / n as f64);
+                }
+                w_start += window;
+                sum = 0.0;
+                n = 0;
+            }
+            sum += v;
+            n += 1;
+        }
+        if n > 0 {
+            out.push(w_start, sum / n as f64);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn push_enforces_order() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 1.0);
+        s.push(t(0), 2.0); // equal timestamps allowed
+        s.push(t(5), 3.0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn push_rejects_regression() {
+        let mut s = TimeSeries::new();
+        s.push(t(10), 1.0);
+        s.push(t(5), 2.0);
+    }
+
+    #[test]
+    fn sample_at_is_zero_order_hold() {
+        let mut s = TimeSeries::new();
+        s.push(t(10), 1.0);
+        s.push(t(20), 2.0);
+        assert_eq!(s.sample_at(t(5)), None);
+        assert_eq!(s.sample_at(t(10)), Some(1.0));
+        assert_eq!(s.sample_at(t(15)), Some(1.0));
+        assert_eq!(s.sample_at(t(25)), Some(2.0));
+    }
+
+    #[test]
+    fn integrate_constant_power() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs(0), 100.0);
+        s.push(SimTime::from_secs(10), 100.0);
+        // 100 mW over 10 s = 1000 mJ
+        assert!((s.integrate() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrate_ramp() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs(0), 0.0);
+        s.push(SimTime::from_secs(2), 2.0);
+        assert!((s.integrate() - 2.0).abs() < 1e-12);
+        // Sub-interval [0.5, 1.5]: ∫t dt = ((1.5² - 0.5²)/2) = 1.0
+        assert!(
+            (s.integrate_between(SimTime::from_secs_f64(0.5), SimTime::from_secs_f64(1.5)) - 1.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn integrate_extends_past_last_sample() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs(0), 5.0);
+        s.push(SimTime::from_secs(1), 5.0);
+        let e = s.integrate_between(SimTime::from_secs(0), SimTime::from_secs(3));
+        assert!((e - 15.0).abs() < 1e-9, "holds the last value: {e}");
+    }
+
+    #[test]
+    fn time_weighted_mean_of_ramp() {
+        let mut s = TimeSeries::new();
+        s.push(SimTime::from_secs(0), 0.0);
+        s.push(SimTime::from_secs(4), 8.0);
+        assert!((s.time_weighted_mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_downsamples() {
+        let mut s = TimeSeries::new();
+        for i in 0..100 {
+            s.push(SimTime::from_millis(i * 10), i as f64);
+        }
+        let r = s.resample(SimDuration::from_millis(100));
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.values()[1], 10.0);
+    }
+
+    #[test]
+    fn window_mean_handles_gaps() {
+        let mut s = TimeSeries::new();
+        s.push(t(0), 2.0);
+        s.push(t(100), 4.0);
+        // gap: nothing in [1s, 2s)
+        s.push(t(2500), 10.0);
+        let w = s.window_mean(SimDuration::from_secs(1));
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.values()[0], 3.0);
+        assert_eq!(w.values()[1], 10.0);
+        assert_eq!(w.times()[1], SimTime::from_secs(2));
+    }
+}

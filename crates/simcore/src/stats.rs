@@ -1,0 +1,318 @@
+//! Summary statistics used to aggregate measurement campaigns.
+//!
+//! The paper reports 95th-percentile Speedtest results, CDFs of page-load
+//! times, mean absolute percentage errors of power models, and least-squares
+//! slopes of throughput–power curves. This module provides those primitives.
+
+/// Arithmetic mean; `NaN` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; `NaN` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Harmonic mean; `NaN` for empty input, 0 if any element is ≤ 0.
+///
+/// The throughput predictor of FastMPC uses the harmonic mean of past
+/// observed chunk throughputs.
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    if xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`; `NaN` for empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Mean absolute percentage error of `predicted` against `actual`, in
+/// percent. Pairs whose actual value is zero are skipped.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "mape: length mismatch");
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if a != 0.0 {
+            sum += ((a - p) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        100.0 * sum / n as f64
+    }
+}
+
+/// Ordinary least-squares fit `y ≈ slope·x + intercept`.
+///
+/// Returns `(slope, intercept)`. Requires at least two points with distinct
+/// x values; otherwise returns `(NaN, NaN)`.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "linear_fit: length mismatch");
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return (f64::NAN, f64::NAN);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    if sxx == 0.0 {
+        return (f64::NAN, f64::NAN);
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let _ = n;
+    (slope, my - slope * mx)
+}
+
+/// Coefficient of determination R² of `predicted` against `actual`.
+pub fn r_squared(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "r_squared: length mismatch");
+    let my = mean(actual);
+    let ss_tot: f64 = actual.iter().map(|y| (y - my).powi(2)).sum();
+    let ss_res: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(y, p)| (y - p).powi(2))
+        .sum();
+    if ss_tot == 0.0 {
+        return f64::NAN;
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// An empirical CDF over a sample.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the CDF from a sample (NaNs are dropped).
+    pub fn new(xs: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+        Ecdf { sorted }
+    }
+
+    /// Fraction of the sample ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile function), `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile(&self.sorted, q * 100.0)
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the sample was empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates the CDF at `n` evenly spaced points spanning the sample
+    /// range, returning `(x, F(x))` pairs — the series the paper's CDF plots
+    /// (Fig 20) show.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n < 2 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+/// Streaming mean/min/max/count accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of observations (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+        assert!(mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert!((harmonic_mean(&[1.0, 4.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(harmonic_mean(&[1.0, 0.0]), 0.0);
+        assert!(harmonic_mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(median(&xs), 2.5);
+        assert!((percentile(&xs, 95.0) - 3.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let actual = [100.0, 0.0, 200.0];
+        let predicted = [110.0, 42.0, 180.0];
+        assert!((mape(&actual, &predicted) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_recovers_line() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 7.0).collect();
+        let (slope, intercept) = linear_fit(&xs, &ys);
+        assert!((slope - 3.0).abs() < 1e-9);
+        assert!((intercept - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_inputs() {
+        let (s, i) = linear_fit(&[1.0], &[2.0]);
+        assert!(s.is_nan() && i.is_nan());
+        let (s, i) = linear_fit(&[2.0, 2.0], &[1.0, 3.0]);
+        assert!(s.is_nan() && i.is_nan());
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean() {
+        let a = [1.0, 2.0, 3.0];
+        assert!((r_squared(&a, &a) - 1.0).abs() < 1e-12);
+        assert!((r_squared(&a, &[2.0, 2.0, 2.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_eval_and_quantile() {
+        let cdf = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(2.0), 0.5);
+        assert_eq!(cdf.eval(10.0), 1.0);
+        assert_eq!(cdf.quantile(0.5), 2.5);
+        let curve = cdf.curve(4);
+        assert_eq!(curve.len(), 4);
+        assert_eq!(curve[0].0, 1.0);
+        assert_eq!(curve[3], (4.0, 1.0));
+    }
+
+    #[test]
+    fn accumulator_tracks_extremes() {
+        let mut acc = Accumulator::new();
+        for x in [3.0, -1.0, 5.0] {
+            acc.push(x);
+        }
+        assert_eq!(acc.count(), 3);
+        assert_eq!(acc.min(), -1.0);
+        assert_eq!(acc.max(), 5.0);
+        assert!((acc.mean() - 7.0 / 3.0).abs() < 1e-12);
+    }
+}

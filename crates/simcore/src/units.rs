@@ -1,0 +1,105 @@
+//! Unit conventions and conversion helpers.
+//!
+//! The workspace uses plain `f64` quantities with documented units rather
+//! than newtypes for every physical dimension (the smoltcp philosophy:
+//! simplicity over type tricks). The conventions are:
+//!
+//! * throughput — **Mbps** (megabits per second),
+//! * latency — **milliseconds**,
+//! * power — **milliwatts**,
+//! * energy — **millijoules** (mW × s),
+//! * signal strength (RSRP) — **dBm**,
+//! * distance — **kilometres**,
+//! * data volume — **bytes** unless suffixed `_bits` / `_mb`.
+//!
+//! This module collects the handful of conversions that are easy to get
+//! wrong, with tests pinning them down.
+
+/// Bits per megabit.
+pub const BITS_PER_MEGABIT: f64 = 1_000_000.0;
+
+/// Bytes transferred in `seconds` at `mbps`.
+pub fn mbps_to_bytes(mbps: f64, seconds: f64) -> f64 {
+    mbps * BITS_PER_MEGABIT * seconds / 8.0
+}
+
+/// Throughput in Mbps given `bytes` transferred over `seconds`.
+///
+/// Returns 0 for a non-positive duration.
+pub fn bytes_to_mbps(bytes: f64, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    bytes * 8.0 / BITS_PER_MEGABIT / seconds
+}
+
+/// Energy-per-bit in µJ/bit given power in mW and throughput in Mbps.
+///
+/// `P [mW] / T [Mbps] = (10⁻³ J/s) / (10⁶ b/s) = 10⁻⁹ J/b = 10⁻³ µJ/b`.
+/// Returns `+inf` at zero throughput (radio burns power, moves no bits).
+pub fn energy_per_bit_uj(power_mw: f64, throughput_mbps: f64) -> f64 {
+    if throughput_mbps <= 0.0 {
+        return f64::INFINITY;
+    }
+    power_mw / throughput_mbps * 1e-3
+}
+
+/// Converts dBm to milliwatts.
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts milliwatts to dBm.
+///
+/// Returns `-inf` for non-positive power.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    if mw <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    10.0 * mw.log10()
+}
+
+/// Milliseconds of round-trip propagation for a one-way fiber path of
+/// `km` kilometres (speed of light in fiber ≈ 2×10⁵ km/s), multiplied by a
+/// routing-inflation factor (real Internet paths are not great circles).
+pub fn fiber_rtt_ms(km: f64, inflation: f64) -> f64 {
+    const FIBER_KM_PER_MS: f64 = 200.0; // 2e5 km/s = 200 km/ms
+    2.0 * km * inflation / FIBER_KM_PER_MS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mbps_byte_round_trip() {
+        let bytes = mbps_to_bytes(100.0, 2.0);
+        assert_eq!(bytes, 25_000_000.0);
+        assert!((bytes_to_mbps(bytes, 2.0) - 100.0).abs() < 1e-12);
+        assert_eq!(bytes_to_mbps(1000.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn energy_per_bit_units() {
+        // 1000 mW at 1 Mbps = 1 W / 1e6 bps = 1 µJ/bit.
+        assert!((energy_per_bit_uj(1000.0, 1.0) - 1.0).abs() < 1e-12);
+        // 5 W at 1000 Mbps = 5e-3 µJ/bit.
+        assert!((energy_per_bit_uj(5000.0, 1000.0) - 0.005).abs() < 1e-12);
+        assert!(energy_per_bit_uj(100.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn dbm_round_trip() {
+        assert!((dbm_to_mw(0.0) - 1.0).abs() < 1e-12);
+        assert!((dbm_to_mw(-30.0) - 0.001).abs() < 1e-15);
+        assert!((mw_to_dbm(dbm_to_mw(-95.5)) - -95.5).abs() < 1e-9);
+        assert!(mw_to_dbm(0.0).is_infinite());
+    }
+
+    #[test]
+    fn fiber_rtt_scale() {
+        // 1000 km one-way, no inflation: 2000 km / 200 km/ms = 10 ms RTT.
+        assert!((fiber_rtt_ms(1000.0, 1.0) - 10.0).abs() < 1e-12);
+        assert!((fiber_rtt_ms(1000.0, 1.5) - 15.0).abs() < 1e-12);
+    }
+}

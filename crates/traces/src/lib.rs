@@ -1,0 +1,22 @@
+//! Synthetic dataset substitutes, generated from the radio substrate.
+//!
+//! The paper's application studies replay two field datasets we cannot
+//! download into a simulator verbatim, so we regenerate their statistical
+//! shape from the modelled world:
+//!
+//! * [`lumos`] — Lumos5G-style throughput traces (121 mmWave-5G + 175 4G
+//!   traces at 1-second granularity, §5.1): a virtual UE walks the loop
+//!   deployment while a bulk transfer runs; mmWave throughput collapses
+//!   under blockage and out-of-coverage stretches, 4G stays modest and
+//!   smooth. Key preserved statistics: 5G mean ≈ 10× 4G mean, 5G median
+//!   near the paper's 160 Mbps top video track, deep 5G fades.
+//! * [`walking`] — the §4 walking power campaigns: joint
+//!   (throughput, RSRP, active network, true radio power) samples for the
+//!   five device/carrier/network settings of Fig 15, from which the power
+//!   models are trained.
+
+pub mod lumos;
+pub mod walking;
+
+pub use lumos::TraceGenerator;
+pub use walking::{WalkingCampaign, WalkingSample};

@@ -1,0 +1,350 @@
+//! Walking power campaigns (§4.1): joint throughput/RSRP/power traces.
+//!
+//! The paper walks a fixed 20-minute loop with a bulk transfer running,
+//! logging network state at 10 Hz and power at 5 kHz, for five
+//! device/carrier/network settings (Fig 15's x-axis). Here a virtual walk
+//! produces the same joint samples; the *true* power comes from the
+//! ground-truth [`DataPowerModel`] with the RSRP penalty plus measurement
+//! noise, which is exactly what makes the paper's modelling question
+//! non-trivial: can a learner recover power from (throughput, RSRP) alone?
+
+use fiveg_geo::mobility::MobilityModel;
+use fiveg_mlkit::dataset::Dataset;
+use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
+use fiveg_radio::band::{Band, BandClass, Direction};
+use fiveg_radio::blockage::{BlockageConfig, BlockageProcess};
+use fiveg_radio::cell::NetworkLayout;
+use fiveg_radio::link::{link_capacity_mbps, LinkState};
+use fiveg_radio::ue::UeModel;
+use fiveg_radio::Carrier;
+use fiveg_simcore::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// One 10 Hz-logged walking sample.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct WalkingSample {
+    /// Seconds since the walk started.
+    pub t_s: f64,
+    /// Application throughput on the active radio, Mbps.
+    pub throughput_mbps: f64,
+    /// Serving-cell RSRP, dBm.
+    pub rsrp_dbm: f64,
+    /// The network the sample was taken on.
+    pub network: NetworkKind,
+    /// True radio power (what the hardware monitor would integrate), mW.
+    pub power_mw: f64,
+}
+
+/// A walking campaign configuration (one Fig 15 setting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkingCampaign {
+    /// Device under test.
+    pub ue: UeModel,
+    /// Carrier.
+    pub carrier: Carrier,
+    /// Network setting being measured.
+    pub network: NetworkKind,
+}
+
+impl WalkingCampaign {
+    /// The five Fig 15 settings, in x-axis order.
+    pub fn fig15_settings() -> [WalkingCampaign; 5] {
+        [
+            WalkingCampaign {
+                ue: UeModel::GalaxyS10,
+                carrier: Carrier::Verizon,
+                network: NetworkKind::MmWave,
+            },
+            WalkingCampaign {
+                ue: UeModel::GalaxyS20Ultra,
+                carrier: Carrier::Verizon,
+                network: NetworkKind::MmWave,
+            },
+            WalkingCampaign {
+                ue: UeModel::GalaxyS20Ultra,
+                carrier: Carrier::Verizon,
+                network: NetworkKind::LowBandNsa,
+            },
+            WalkingCampaign {
+                ue: UeModel::GalaxyS20Ultra,
+                carrier: Carrier::TMobile,
+                network: NetworkKind::LowBandNsa,
+            },
+            WalkingCampaign {
+                ue: UeModel::GalaxyS20Ultra,
+                carrier: Carrier::TMobile,
+                network: NetworkKind::LowBandSa,
+            },
+        ]
+    }
+
+    /// Display label matching Fig 15, e.g. `"S20/VZ/NSA-LB"`.
+    pub fn label(&self) -> String {
+        let dev = match self.ue {
+            UeModel::GalaxyS10 => "S10",
+            UeModel::GalaxyS20Ultra => "S20",
+            UeModel::Pixel5 => "PX5",
+        };
+        let car = match self.carrier {
+            Carrier::Verizon => "VZ",
+            Carrier::TMobile => "TM",
+        };
+        let net = match self.network {
+            NetworkKind::MmWave => "NSA-HB",
+            NetworkKind::LowBandNsa => "NSA-LB",
+            NetworkKind::LowBandSa => "SA-LB",
+            NetworkKind::Lte => "LTE",
+        };
+        format!("{dev}/{car}/{net}")
+    }
+
+    /// The bands this campaign's carrier deploys.
+    fn bands(&self) -> (Band, Band) {
+        match self.carrier {
+            Carrier::Verizon => (Band::N261, Band::N5Dss),
+            Carrier::TMobile => (Band::N261, Band::N71),
+        }
+    }
+
+    /// Simulates one walk of the loop, logging at `log_hz`.
+    ///
+    /// mmWave campaigns emit the active network per sample: mmWave when a
+    /// panel is usable, low-band otherwise (the Fig 13 Minneapolis plot
+    /// shows exactly these two clusters). Low-band campaigns lock to the
+    /// low band.
+    pub fn walk(&self, trace_idx: usize, seed: u64, log_hz: f64) -> Vec<WalkingSample> {
+        assert!(log_hz > 0.0, "log rate must be positive");
+        let mut rng = RngStream::new(seed, &format!("walk/{}/{trace_idx}", self.label()));
+        let (mm_band, lb_band) = self.bands();
+        let layout = NetworkLayout::walking_loop_deployment(
+            seed.wrapping_add(trace_idx as u64 * 15485863),
+            mm_band,
+            lb_band,
+        );
+        let mobility = MobilityModel::walking_loop();
+        let mut blockage = BlockageProcess::new(BlockageConfig::default(), rng.fork("blk"));
+        let dt = 1.0 / log_hz;
+        // Application share of the PHY, drifting as an AR(1): at a given
+        // RSRP the observed throughput varies widely (scheduler load, app
+        // demand), which is what forces a power model to see *both*
+        // features (Fig 15).
+        let mut share = rng.gen_range(0.3..0.9);
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        while t < mobility.duration_s() {
+            let p = mobility.position_at(t);
+            let speed = mobility.speed_at(t);
+            let blocked = blockage.advance(dt, speed);
+            let sa = self.network == NetworkKind::LowBandSa;
+            // Pick the active cell for this campaign.
+            let (network, cell) = if self.network == NetworkKind::MmWave {
+                match layout.best_cell(p, blocked, |tw| tw.band.class() == BandClass::MmWave) {
+                    Some(hit) => (NetworkKind::MmWave, Some(hit)),
+                    None => (
+                        NetworkKind::LowBandNsa,
+                        layout.best_cell(p, false, |tw| tw.band.class() == BandClass::LowBand),
+                    ),
+                }
+            } else {
+                (
+                    self.network,
+                    layout.best_cell(p, false, |tw| tw.band.class() == BandClass::LowBand),
+                )
+            };
+            share = (share + rng.normal(0.0, 0.03)).clamp(0.15, 0.95);
+            if let Some((idx, rsrp)) = cell {
+                let link = LinkState {
+                    band: layout.towers[idx].band,
+                    rsrp_dbm: rsrp,
+                    sa,
+                };
+                let tput = link_capacity_mbps(self.ue, &link, Direction::Downlink) * share;
+                let model = DataPowerModel::lookup(self.ue, network);
+                let power = model.power_mw_with_rsrp(Direction::Downlink, tput, rsrp)
+                    * (1.0 + rng.normal(0.0, 0.03));
+                out.push(WalkingSample {
+                    t_s: t,
+                    throughput_mbps: tput,
+                    rsrp_dbm: rsrp,
+                    network,
+                    power_mw: power,
+                });
+            }
+            t += dt;
+        }
+        out
+    }
+
+    /// Runs `n_walks` loops (the paper collects 10 per setting) at the
+    /// paper's 10 Hz network-log rate.
+    pub fn campaign(&self, n_walks: usize, seed: u64) -> Vec<WalkingSample> {
+        (0..n_walks)
+            .flat_map(|i| self.walk(i, seed, 10.0))
+            .collect()
+    }
+}
+
+/// Which features a power model sees (Fig 15's three variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerFeatures {
+    /// Throughput + signal strength (the paper's model).
+    ThroughputAndSignal,
+    /// Throughput only (prior work, e.g. Huang et al.).
+    ThroughputOnly,
+    /// Signal strength only (prior work, e.g. Ding et al.).
+    SignalOnly,
+}
+
+impl PowerFeatures {
+    /// Display label matching Fig 15's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            PowerFeatures::ThroughputAndSignal => "TH+SS",
+            PowerFeatures::ThroughputOnly => "TH",
+            PowerFeatures::SignalOnly => "SS",
+        }
+    }
+}
+
+/// Builds a model-training dataset from walking samples restricted to
+/// `network`, with the chosen feature set; targets are true power in mW.
+pub fn to_dataset(
+    samples: &[WalkingSample],
+    network: NetworkKind,
+    features: PowerFeatures,
+) -> Dataset {
+    let names: Vec<String> = match features {
+        PowerFeatures::ThroughputAndSignal => vec!["throughput_mbps".into(), "rsrp_dbm".into()],
+        PowerFeatures::ThroughputOnly => vec!["throughput_mbps".into()],
+        PowerFeatures::SignalOnly => vec!["rsrp_dbm".into()],
+    };
+    let mut d = Dataset::new(names, vec![], vec![]);
+    for s in samples.iter().filter(|s| s.network == network) {
+        let row = match features {
+            PowerFeatures::ThroughputAndSignal => vec![s.throughput_mbps, s.rsrp_dbm],
+            PowerFeatures::ThroughputOnly => vec![s.throughput_mbps],
+            PowerFeatures::SignalOnly => vec![s.rsrp_dbm],
+        };
+        d.push(row, s.power_mw);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_mlkit::tree::{DecisionTreeRegressor, TreeConfig};
+    use fiveg_simcore::stats::mape;
+
+    #[test]
+    fn mmwave_campaign_sees_both_clusters() {
+        // Fig 13 (Minneapolis): mmWave and low-band clusters in one walk.
+        let c = WalkingCampaign {
+            ue: UeModel::GalaxyS20Ultra,
+            carrier: Carrier::Verizon,
+            network: NetworkKind::MmWave,
+        };
+        let samples = c.campaign(3, 42);
+        let mm = samples.iter().filter(|s| s.network == NetworkKind::MmWave).count();
+        let lb = samples.iter().filter(|s| s.network == NetworkKind::LowBandNsa).count();
+        assert!(mm > 0 && lb > 0, "mm {mm}, lb {lb}");
+        assert!(mm as f64 / (mm + lb) as f64 > 0.3, "mmWave should dominate LoS walks");
+    }
+
+    #[test]
+    fn low_band_campaign_is_homogeneous() {
+        let c = WalkingCampaign {
+            ue: UeModel::GalaxyS20Ultra,
+            carrier: Carrier::TMobile,
+            network: NetworkKind::LowBandSa,
+        };
+        let samples = c.campaign(2, 42);
+        assert!(!samples.is_empty());
+        assert!(samples.iter().all(|s| s.network == NetworkKind::LowBandSa));
+    }
+
+    #[test]
+    fn power_respects_the_ground_truth_model() {
+        let c = WalkingCampaign {
+            ue: UeModel::GalaxyS10,
+            carrier: Carrier::Verizon,
+            network: NetworkKind::MmWave,
+        };
+        let samples = c.campaign(2, 7);
+        let model = DataPowerModel::lookup(UeModel::GalaxyS10, NetworkKind::MmWave);
+        for s in samples.iter().filter(|s| s.network == NetworkKind::MmWave).take(200) {
+            let expected =
+                model.power_mw_with_rsrp(Direction::Downlink, s.throughput_mbps, s.rsrp_dbm);
+            assert!(
+                (s.power_mw - expected).abs() / expected < 0.15,
+                "sample within noise of truth"
+            );
+        }
+    }
+
+    #[test]
+    fn th_ss_model_beats_single_feature_models() {
+        // The heart of Fig 15.
+        let c = WalkingCampaign {
+            ue: UeModel::GalaxyS20Ultra,
+            carrier: Carrier::Verizon,
+            network: NetworkKind::MmWave,
+        };
+        let samples = c.campaign(4, 11);
+        let mut errors = Vec::new();
+        for features in [
+            PowerFeatures::ThroughputAndSignal,
+            PowerFeatures::ThroughputOnly,
+            PowerFeatures::SignalOnly,
+        ] {
+            let data = to_dataset(&samples, NetworkKind::MmWave, features);
+            let mut rng = RngStream::new(11, "split");
+            let (train, test) = data.split(0.7, &mut rng);
+            let model = DecisionTreeRegressor::fit(&train, &TreeConfig::default());
+            let preds = model.predict_all(&test);
+            errors.push(mape(&test.targets, &preds));
+        }
+        let (thss, th, ss) = (errors[0], errors[1], errors[2]);
+        assert!(thss < th, "TH+SS {thss} must beat TH {th}");
+        assert!(th < ss, "TH {th} must beat SS {ss} on mmWave");
+        assert!(thss < 8.0, "TH+SS MAPE should be single-digit: {thss}");
+        assert!(ss > 12.0, "SS-only should be poor on mmWave: {ss}");
+    }
+
+    #[test]
+    fn fig15_settings_have_the_right_labels() {
+        let labels: Vec<String> = WalkingCampaign::fig15_settings()
+            .iter()
+            .map(|c| c.label())
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                "S10/VZ/NSA-HB",
+                "S20/VZ/NSA-HB",
+                "S20/VZ/NSA-LB",
+                "S20/TM/NSA-LB",
+                "S20/TM/SA-LB"
+            ]
+        );
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let c = WalkingCampaign::fig15_settings()[0];
+        let a = c.campaign(1, 5);
+        let b = c.campaign(1, 5);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].power_mw, b[0].power_mw);
+    }
+
+    #[test]
+    fn dataset_builder_filters_by_network() {
+        let c = WalkingCampaign::fig15_settings()[1];
+        let samples = c.campaign(2, 3);
+        let d = to_dataset(&samples, NetworkKind::MmWave, PowerFeatures::ThroughputAndSignal);
+        let total_mm = samples.iter().filter(|s| s.network == NetworkKind::MmWave).count();
+        assert_eq!(d.len(), total_mm);
+        assert_eq!(d.n_features(), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! Transport substrate: end-to-end paths, fluid-model TCP, UDP, shaping.
+//!
+//! The paper's §3 dissects how TCP behaves over mmWave's ultra-high
+//! bandwidth: multiple connections saturate the radio, a single connection
+//! decays with UE–server distance, the default `tcp_wmem` send-buffer cap
+//! pins single-connection throughput near 500 Mbps, and even a tuned buffer
+//! trails UDP. This crate reproduces those mechanisms:
+//!
+//! * [`path`] — composes radio RTT, fiber propagation, and per-path loss
+//!   into a [`path::PathModel`],
+//! * [`tcp`] — a fluid-flow congestion-control simulation (CUBIC and Reno)
+//!   with slow start, send-buffer caps, shared-bottleneck fairness, and
+//!   Poisson loss,
+//! * [`udp`] — constant-bit-rate flows (the iPerf3 workloads of §4),
+//! * [`shaper`] — a `tc`-like trace-driven bandwidth shaper used by the
+//!   video experiments.
+
+pub mod path;
+pub mod shaper;
+pub mod tcp;
+pub mod udp;
+
+pub use path::PathModel;
+pub use shaper::BandwidthTrace;
+pub use tcp::{CcAlgo, TcpSim, TcpSimConfig};
+pub use udp::UdpFlow;

@@ -1,0 +1,166 @@
+//! Trace-driven bandwidth shaping (the paper's client-side `tc` emulation).
+//!
+//! The video experiments (§5.1) replay Lumos5G/4G throughput traces: "Using
+//! the throughput traces, we use Linux tc on the client side and control the
+//! instantaneous bandwidth." A [`BandwidthTrace`] holds one such trace at
+//! 1-second granularity and answers the question a DASH player asks: *how
+//! long does this chunk take to download starting at time t?*
+
+use serde::{Deserialize, Serialize};
+
+/// A throughput trace with uniform sample granularity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandwidthTrace {
+    /// Throughput samples in Mbps.
+    samples: Vec<f64>,
+    /// Sample granularity in seconds.
+    granularity_s: f64,
+}
+
+impl BandwidthTrace {
+    /// Creates a trace from samples at `granularity_s` spacing.
+    ///
+    /// # Panics
+    /// Panics on an empty trace, non-positive granularity, or negative
+    /// samples.
+    pub fn new(samples: Vec<f64>, granularity_s: f64) -> Self {
+        assert!(!samples.is_empty(), "trace must have samples");
+        assert!(granularity_s > 0.0, "granularity must be positive");
+        assert!(
+            samples.iter().all(|&s| s >= 0.0 && s.is_finite()),
+            "samples must be finite and non-negative"
+        );
+        BandwidthTrace {
+            samples,
+            granularity_s,
+        }
+    }
+
+    /// Trace duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.samples.len() as f64 * self.granularity_s
+    }
+
+    /// Raw samples in Mbps.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Sample granularity in seconds.
+    pub fn granularity_s(&self) -> f64 {
+        self.granularity_s
+    }
+
+    /// Mean throughput over the whole trace, Mbps.
+    pub fn mean_mbps(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Instantaneous bandwidth at `t_s` (the trace loops past its end, as
+    /// in the paper's trace replay).
+    pub fn bandwidth_at(&self, t_s: f64) -> f64 {
+        let idx = (t_s.max(0.0) / self.granularity_s) as usize % self.samples.len();
+        self.samples[idx]
+    }
+
+    /// Seconds needed to transfer `bytes` starting at `start_s`, honouring
+    /// the time-varying bandwidth. Dead air (zero-throughput stretches) is
+    /// waited out. Returns `f64::INFINITY` if the whole looped trace carries
+    /// zero bandwidth.
+    pub fn transfer_time_s(&self, bytes: f64, start_s: f64) -> f64 {
+        assert!(bytes >= 0.0, "bytes must be non-negative");
+        if bytes == 0.0 {
+            return 0.0;
+        }
+        if self.samples.iter().all(|&s| s == 0.0) {
+            return f64::INFINITY;
+        }
+        let mut remaining_bits = bytes * 8.0;
+        let mut t = start_s.max(0.0);
+        loop {
+            let idx = (t / self.granularity_s) as usize % self.samples.len();
+            let slot_end = ((t / self.granularity_s).floor() + 1.0) * self.granularity_s;
+            let window = slot_end - t;
+            let rate_bps = self.samples[idx] * 1e6;
+            let can_send = rate_bps * window;
+            if can_send >= remaining_bits {
+                let dt = if rate_bps > 0.0 {
+                    remaining_bits / rate_bps
+                } else {
+                    window
+                };
+                return t + dt - start_s.max(0.0);
+            }
+            remaining_bits -= can_send;
+            t = slot_end;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_transfer() {
+        let tr = BandwidthTrace::new(vec![8.0; 10], 1.0); // 8 Mbps = 1 MB/s
+        let t = tr.transfer_time_s(2_000_000.0, 0.0);
+        assert!((t - 2.0).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn transfer_straddles_rate_changes() {
+        // 1 s at 8 Mbps (1 MB), then 16 Mbps.
+        let tr = BandwidthTrace::new(vec![8.0, 16.0, 16.0], 1.0);
+        // 3 MB: 1 MB in the first second, 2 MB in the next 1 s.
+        let t = tr.transfer_time_s(3_000_000.0, 0.0);
+        assert!((t - 2.0).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn mid_slot_start() {
+        let tr = BandwidthTrace::new(vec![8.0, 8.0], 1.0);
+        let t = tr.transfer_time_s(500_000.0, 0.5);
+        assert!((t - 0.5).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn zero_throughput_stretch_stalls_the_transfer() {
+        let tr = BandwidthTrace::new(vec![8.0, 0.0, 0.0, 8.0], 1.0);
+        // 2 MB: 1 MB in second 0, dead air for 2 s, 1 MB in second 3.
+        let t = tr.transfer_time_s(2_000_000.0, 0.0);
+        assert!((t - 4.0).abs() < 1e-9, "{t}");
+    }
+
+    #[test]
+    fn trace_loops() {
+        let tr = BandwidthTrace::new(vec![8.0], 1.0);
+        assert_eq!(tr.bandwidth_at(123.4), 8.0);
+        let t = tr.transfer_time_s(10_000_000.0, 0.0); // 10 MB at 1 MB/s
+        assert!((t - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_zero_trace_is_infinite() {
+        let tr = BandwidthTrace::new(vec![0.0, 0.0], 1.0);
+        assert!(tr.transfer_time_s(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn zero_bytes_is_instant() {
+        let tr = BandwidthTrace::new(vec![1.0], 1.0);
+        assert_eq!(tr.transfer_time_s(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn mean_is_arithmetic() {
+        let tr = BandwidthTrace::new(vec![10.0, 20.0, 30.0], 1.0);
+        assert_eq!(tr.mean_mbps(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have samples")]
+    fn rejects_empty() {
+        BandwidthTrace::new(vec![], 1.0);
+    }
+}

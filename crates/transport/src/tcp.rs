@@ -1,0 +1,405 @@
+//! Fluid-flow TCP simulation with CUBIC and Reno congestion control.
+//!
+//! Rather than a packet-level stack, flows are advanced analytically in
+//! small time steps: the congestion window follows the control law in real
+//! time, loss events arrive as a Poisson process (random path loss plus
+//! bottleneck-overflow loss), and delivered throughput is the minimum of the
+//! window-limited rate, the send-buffer-limited rate (`tcp_wmem`), and the
+//! flow's fair share of the bottleneck. This reproduces the §3 phenomena:
+//!
+//! * multi-connection tests saturate the radio regardless of distance,
+//! * a single connection degrades with RTT (loss recovery epochs cost more,
+//!   and longer paths lose more packets),
+//! * the default send buffer pins one flow at `buf/RTT`,
+//! * even a tuned buffer trails UDP because loss recovery keeps biting.
+
+use crate::path::PathModel;
+use fiveg_simcore::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// Congestion-control algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CcAlgo {
+    /// Linux CUBIC (the paper's default).
+    Cubic,
+    /// Classic Reno (ablation baseline).
+    Reno,
+}
+
+/// CUBIC constants (RFC 8312).
+const CUBIC_C: f64 = 0.4;
+const CUBIC_BETA: f64 = 0.7;
+/// Reno multiplicative decrease.
+const RENO_BETA: f64 = 0.5;
+/// Initial window in packets.
+const INIT_CWND: f64 = 10.0;
+
+/// Effective default sender buffer in bytes (Linux `tcp_wmem` default
+/// autotuning ceiling as observed end-to-end; Fig 8 "1-TCP Default").
+pub const WMEM_DEFAULT_BYTES: f64 = 1.0e6;
+
+/// Tuned sender buffer (Fig 8 "1-TCP Tuned": `tcp_wmem` raised so the
+/// buffer is never the bottleneck at these BDPs).
+pub const WMEM_TUNED_BYTES: f64 = 16.0e6;
+
+/// Configuration of a TCP simulation run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TcpSimConfig {
+    /// Number of parallel connections.
+    pub connections: usize,
+    /// Congestion control.
+    pub algo: CcAlgo,
+    /// Sender buffer cap in bytes (per connection).
+    pub wmem_bytes: f64,
+    /// Simulation step in seconds.
+    pub dt_s: f64,
+}
+
+impl TcpSimConfig {
+    /// A single default-buffer CUBIC connection.
+    pub fn single_default() -> Self {
+        TcpSimConfig {
+            connections: 1,
+            algo: CcAlgo::Cubic,
+            wmem_bytes: WMEM_DEFAULT_BYTES,
+            dt_s: 0.01,
+        }
+    }
+
+    /// A single tuned-buffer CUBIC connection.
+    pub fn single_tuned() -> Self {
+        TcpSimConfig {
+            wmem_bytes: WMEM_TUNED_BYTES,
+            ..Self::single_default()
+        }
+    }
+
+    /// `n` tuned-buffer CUBIC connections (Speedtest multi-connection mode
+    /// uses 15–25; Fig 8's "TCP-8" uses 8).
+    pub fn multi(n: usize) -> Self {
+        TcpSimConfig {
+            connections: n,
+            ..Self::single_tuned()
+        }
+    }
+}
+
+/// One flow's congestion state.
+#[derive(Debug, Clone)]
+struct Flow {
+    cwnd_pkts: f64,
+    ssthresh_pkts: f64,
+    in_slow_start: bool,
+    /// CUBIC: window before the last reduction.
+    w_max_pkts: f64,
+    /// CUBIC: seconds since the last loss (epoch time).
+    epoch_s: f64,
+}
+
+impl Flow {
+    fn new() -> Self {
+        Flow {
+            cwnd_pkts: INIT_CWND,
+            ssthresh_pkts: f64::INFINITY,
+            in_slow_start: true,
+            w_max_pkts: INIT_CWND,
+            epoch_s: 0.0,
+        }
+    }
+
+    /// Advances the window by `dt` seconds without loss.
+    fn grow(&mut self, dt_s: f64, rtt_s: f64, algo: CcAlgo) {
+        if self.in_slow_start {
+            // Double per RTT.
+            self.cwnd_pkts *= 2f64.powf(dt_s / rtt_s);
+            if self.cwnd_pkts >= self.ssthresh_pkts {
+                self.cwnd_pkts = self.ssthresh_pkts;
+                self.in_slow_start = false;
+                self.w_max_pkts = self.cwnd_pkts;
+                self.epoch_s = 0.0;
+            }
+            return;
+        }
+        self.epoch_s += dt_s;
+        match algo {
+            CcAlgo::Cubic => {
+                let k = (self.w_max_pkts * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+                let w_cubic = CUBIC_C * (self.epoch_s - k).powi(3) + self.w_max_pkts;
+                // TCP-friendly region (RFC 8312 §4.2).
+                let w_tcp = self.w_max_pkts * CUBIC_BETA
+                    + 3.0 * (1.0 - CUBIC_BETA) / (1.0 + CUBIC_BETA) * (self.epoch_s / rtt_s);
+                self.cwnd_pkts = w_cubic.max(w_tcp).max(1.0);
+            }
+            CcAlgo::Reno => {
+                // One packet per RTT.
+                self.cwnd_pkts += dt_s / rtt_s;
+            }
+        }
+    }
+
+    /// Applies one loss event.
+    fn on_loss(&mut self, algo: CcAlgo) {
+        let beta = match algo {
+            CcAlgo::Cubic => CUBIC_BETA,
+            CcAlgo::Reno => RENO_BETA,
+        };
+        self.w_max_pkts = self.cwnd_pkts;
+        self.cwnd_pkts = (self.cwnd_pkts * beta).max(1.0);
+        self.ssthresh_pkts = self.cwnd_pkts;
+        self.in_slow_start = false;
+        self.epoch_s = 0.0;
+    }
+}
+
+/// Result of a TCP simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TcpRunResult {
+    /// Mean goodput over the measurement window, Mbps.
+    pub mean_mbps: f64,
+    /// Total loss events across flows.
+    pub loss_events: u64,
+    /// Per-second goodput samples, Mbps.
+    pub per_second_mbps: Vec<f64>,
+}
+
+/// A multi-flow TCP simulation over one path.
+pub struct TcpSim {
+    path: PathModel,
+    cfg: TcpSimConfig,
+    flows: Vec<Flow>,
+    rng: RngStream,
+}
+
+impl TcpSim {
+    /// Creates a simulation of `cfg.connections` flows over `path`.
+    ///
+    /// # Panics
+    /// Panics if the configuration has zero connections or a non-positive
+    /// step.
+    pub fn new(path: PathModel, cfg: TcpSimConfig, rng: RngStream) -> Self {
+        assert!(cfg.connections > 0, "need at least one connection");
+        assert!(cfg.dt_s > 0.0, "step must be positive");
+        TcpSim {
+            path,
+            cfg,
+            flows: (0..cfg.connections).map(|_| Flow::new()).collect(),
+            rng,
+        }
+    }
+
+    /// Instantaneous aggregate goodput given current windows, in Mbps, and
+    /// the per-flow demands (window- and buffer-limited).
+    fn demands_mbps(&self) -> Vec<f64> {
+        let rtt_s = self.path.rtt_ms / 1e3;
+        let buf_limit = self.cfg.wmem_bytes * 8.0 / 1e6 / rtt_s;
+        self.flows
+            .iter()
+            .map(|f| {
+                let wnd_mbps = f.cwnd_pkts * self.path.mss_bytes * 8.0 / 1e6 / rtt_s;
+                wnd_mbps.min(buf_limit)
+            })
+            .collect()
+    }
+
+    /// Runs for `duration_s`, measuring goodput over the whole run.
+    pub fn run(&mut self, duration_s: f64) -> TcpRunResult {
+        let rtt_s = self.path.rtt_ms / 1e3;
+        let dt = self.cfg.dt_s;
+        let mut t = 0.0;
+        let mut delivered_mb = 0.0;
+        let mut loss_events = 0u64;
+        let mut per_second = Vec::new();
+        let mut second_acc = 0.0;
+        let mut next_second = 1.0;
+
+        while t < duration_s {
+            let demands = self.demands_mbps();
+            let total: f64 = demands.iter().sum();
+            // Fair sharing at the bottleneck: proportional scale-down.
+            let scale = if total > self.path.capacity_mbps {
+                self.path.capacity_mbps / total
+            } else {
+                1.0
+            };
+            let over = total > self.path.capacity_mbps * 1.02;
+            // The sender can never have more unacked data than its send
+            // buffer holds: cwnd is hard-capped at wmem/MSS.
+            let cwnd_cap = self.cfg.wmem_bytes / self.path.mss_bytes;
+            for (i, f) in self.flows.iter_mut().enumerate() {
+                let thr = demands[i] * scale;
+                delivered_mb += thr * dt;
+                second_acc += thr * dt;
+                // Random path loss: Poisson over delivered packets.
+                let pkts = self.path.packets_per_sec(thr) * dt;
+                let p_loss = 1.0 - (-pkts * self.path.loss_per_pkt).exp();
+                // Bottleneck overflow: flows pushing beyond their share get
+                // cut with a rate proportional to the overload.
+                let p_overflow = if over {
+                    (1.0 - scale).min(0.5) * dt * 8.0
+                } else {
+                    0.0
+                };
+                if self.rng.chance(p_loss + p_overflow) {
+                    f.on_loss(self.cfg.algo);
+                    loss_events += 1;
+                } else {
+                    f.grow(dt, rtt_s, self.cfg.algo);
+                }
+                if f.cwnd_pkts >= cwnd_cap {
+                    f.cwnd_pkts = cwnd_cap;
+                    if f.in_slow_start || f.w_max_pkts < cwnd_cap {
+                        // Hit the buffer ceiling from below: treat it as the
+                        // new saturation point.
+                        f.in_slow_start = false;
+                        f.w_max_pkts = cwnd_cap;
+                        f.epoch_s = 0.0;
+                    }
+                }
+            }
+            t += dt;
+            if t >= next_second {
+                per_second.push(second_acc);
+                second_acc = 0.0;
+                next_second += 1.0;
+            }
+        }
+
+        TcpRunResult {
+            mean_mbps: delivered_mb / duration_s,
+            loss_events,
+            per_second_mbps: per_second,
+        }
+    }
+}
+
+/// Convenience: run one Speedtest-style 15 s transfer and report the mean
+/// goodput of the steady half (skipping slow start's first seconds).
+pub fn measure_throughput(path: PathModel, cfg: TcpSimConfig, seed: u64) -> f64 {
+    let mut sim = TcpSim::new(path, cfg, RngStream::new(seed, "tcp"));
+    let res = sim.run(15.0);
+    // Speedtest reports exclude the ramp; average seconds 5..15.
+    let steady: Vec<f64> = res.per_second_mbps.iter().skip(5).copied().collect();
+    if steady.is_empty() {
+        res.mean_mbps
+    } else {
+        steady.iter().sum::<f64>() / steady.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(rtt_ms: f64, capacity: f64, dist_km: f64) -> PathModel {
+        PathModel {
+            rtt_ms,
+            loss_per_pkt: crate::path::BASE_LOSS + crate::path::LOSS_PER_KM * dist_km,
+            capacity_mbps: capacity,
+            mss_bytes: 1460.0,
+        }
+    }
+
+    #[test]
+    fn multi_connection_saturates_near_and_far() {
+        for (rtt, km) in [(6.0, 3.0), (55.0, 2500.0)] {
+            let thr = measure_throughput(path(rtt, 3400.0, km), TcpSimConfig::multi(20), 1);
+            assert!(
+                thr > 0.85 * 3400.0,
+                "20 conns must saturate at rtt={rtt}: {thr}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_connection_decays_with_distance() {
+        let near = measure_throughput(path(6.0, 3400.0, 3.0), TcpSimConfig::single_tuned(), 2);
+        let far = measure_throughput(path(55.0, 3400.0, 2500.0), TcpSimConfig::single_tuned(), 2);
+        assert!(near > 2.0 * far, "near {near} vs far {far} (Fig 3 shape)");
+        assert!(near > 2000.0, "near-server single conn approaches capacity: {near}");
+    }
+
+    #[test]
+    fn default_wmem_pins_throughput() {
+        // Azure nearest region: 374 km ≈ 14 ms RTT. Default buffer must pin
+        // a single flow near 1 MB × 8 / 14 ms ≈ 570 Mbps (Fig 8 ≤ 500 Mbps
+        // at the farther regions).
+        let thr = measure_throughput(path(14.0, 2200.0, 374.0), TcpSimConfig::single_default(), 3);
+        assert!((300.0..650.0).contains(&thr), "default 1-TCP: {thr}");
+        let far = measure_throughput(path(40.0, 2200.0, 2044.0), TcpSimConfig::single_default(), 3);
+        assert!(far < 500.0, "far default 1-TCP ≤ 500 Mbps: {far}");
+    }
+
+    #[test]
+    fn tuned_wmem_multiplies_default() {
+        // Fig 8: tuning tcp_wmem lifts single-conn throughput 2.1–3×.
+        for (rtt, km, seed) in [(14.0, 374.0, 4), (21.0, 1444.0, 5)] {
+            let default = measure_throughput(path(rtt, 2200.0, km), TcpSimConfig::single_default(), seed);
+            let tuned = measure_throughput(path(rtt, 2200.0, km), TcpSimConfig::single_tuned(), seed);
+            let ratio = tuned / default;
+            assert!(
+                (1.8..4.5).contains(&ratio),
+                "tuned/default at rtt={rtt}: {ratio} ({tuned}/{default})"
+            );
+        }
+    }
+
+    #[test]
+    fn tuned_single_still_trails_capacity() {
+        // Fig 8: tuned 1-TCP falls short of UDP by a large margin on
+        // distant paths.
+        let thr = measure_throughput(path(30.0, 2200.0, 1539.0), TcpSimConfig::single_tuned(), 6);
+        assert!(thr < 0.85 * 2200.0, "tuned single conn gap vs UDP: {thr}");
+    }
+
+    #[test]
+    fn cubic_beats_reno_on_big_bdp() {
+        let p = path(40.0, 2200.0, 1500.0);
+        let cubic = measure_throughput(p, TcpSimConfig::single_tuned(), 7);
+        let reno = measure_throughput(
+            p,
+            TcpSimConfig {
+                algo: CcAlgo::Reno,
+                ..TcpSimConfig::single_tuned()
+            },
+            7,
+        );
+        assert!(cubic > reno, "cubic {cubic} vs reno {reno}");
+    }
+
+    #[test]
+    fn loss_events_stay_plausible() {
+        let mut sim = TcpSim::new(
+            path(20.0, 2000.0, 1000.0),
+            TcpSimConfig::single_tuned(),
+            RngStream::new(8, "tcp"),
+        );
+        let res = sim.run(15.0);
+        assert!(res.loss_events > 0, "some losses over 15 s at 2 Gbps");
+        assert!(res.loss_events < 500, "but not a storm: {}", res.loss_events);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let p = path(20.0, 2000.0, 1000.0);
+        let a = measure_throughput(p, TcpSimConfig::multi(8), 9);
+        let b = measure_throughput(p, TcpSimConfig::multi(8), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one connection")]
+    fn rejects_zero_connections() {
+        let cfg = TcpSimConfig {
+            connections: 0,
+            ..TcpSimConfig::single_default()
+        };
+        TcpSim::new(path(10.0, 100.0, 10.0), cfg, RngStream::new(1, "t"));
+    }
+}
+
+impl TcpSim {
+    /// Test/debug helper: the current cwnd (packets) of flow `i`.
+    pub fn debug_cwnd(&self, i: usize) -> f64 {
+        self.flows[i].cwnd_pkts
+    }
+}

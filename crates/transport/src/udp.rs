@@ -1,0 +1,104 @@
+//! Constant-bit-rate UDP flows.
+//!
+//! The paper uses UDP via iPerf3 both as the ceiling in Fig 8 ("UDP achieves
+//! peak observable throughput across all server locations") and to hold the
+//! UE at controlled throughput targets for the power experiments (§4.3).
+
+use crate::path::PathModel;
+use serde::{Deserialize, Serialize};
+
+/// A CBR UDP flow pushed at a target rate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct UdpFlow {
+    /// Sender's target rate, Mbps.
+    pub target_mbps: f64,
+}
+
+/// Outcome of a UDP run over a path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UdpResult {
+    /// Receiver-side goodput, Mbps.
+    pub achieved_mbps: f64,
+    /// Fraction of datagrams lost.
+    pub loss_fraction: f64,
+}
+
+impl UdpFlow {
+    /// Creates a flow with the given target rate.
+    ///
+    /// # Panics
+    /// Panics if the target is negative.
+    pub fn new(target_mbps: f64) -> Self {
+        assert!(target_mbps >= 0.0, "target must be non-negative");
+        UdpFlow { target_mbps }
+    }
+
+    /// Runs the flow over `path`: goodput is capacity-clipped, and overload
+    /// manifests as datagram loss (on top of the path's random loss).
+    pub fn run(&self, path: &PathModel) -> UdpResult {
+        if self.target_mbps == 0.0 {
+            return UdpResult {
+                achieved_mbps: 0.0,
+                loss_fraction: 0.0,
+            };
+        }
+        let delivered = self.target_mbps.min(path.capacity_mbps);
+        let overload_loss = if self.target_mbps > 0.0 {
+            1.0 - delivered / self.target_mbps
+        } else {
+            0.0
+        };
+        // Random loss applies to what got through the bottleneck.
+        let achieved = delivered * (1.0 - path.loss_per_pkt);
+        UdpResult {
+            achieved_mbps: achieved,
+            loss_fraction: (overload_loss + path.loss_per_pkt * (1.0 - overload_loss)).min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(capacity: f64) -> PathModel {
+        PathModel {
+            rtt_ms: 20.0,
+            loss_per_pkt: 1e-6,
+            capacity_mbps: capacity,
+            mss_bytes: 1460.0,
+        }
+    }
+
+    #[test]
+    fn udp_reaches_capacity() {
+        let r = UdpFlow::new(5000.0).run(&path(2200.0));
+        assert!((r.achieved_mbps - 2200.0).abs() < 1.0, "{}", r.achieved_mbps);
+    }
+
+    #[test]
+    fn under_target_passes_through() {
+        let r = UdpFlow::new(100.0).run(&path(2200.0));
+        assert!((r.achieved_mbps - 100.0).abs() < 0.01);
+        assert!(r.loss_fraction < 1e-5);
+    }
+
+    #[test]
+    fn overload_shows_as_loss() {
+        let r = UdpFlow::new(4400.0).run(&path(2200.0));
+        assert!((r.loss_fraction - 0.5).abs() < 0.01, "{}", r.loss_fraction);
+    }
+
+    #[test]
+    fn zero_target_is_silent() {
+        let r = UdpFlow::new(0.0).run(&path(2200.0));
+        assert_eq!(r.achieved_mbps, 0.0);
+        assert_eq!(r.loss_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_target() {
+        UdpFlow::new(-1.0);
+    }
+}

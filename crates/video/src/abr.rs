@@ -1,0 +1,567 @@
+//! The seven ABR algorithms of §5.1.
+//!
+//! | category          | algorithms            |
+//! |-------------------|-----------------------|
+//! | buffer-based      | BBA, BOLA             |
+//! | throughput-based  | RB, FESTIVE           |
+//! | control-theoretic | FastMPC, RobustMPC    |
+//! | learning-based    | Pensieve ([`crate::pensieve`]) |
+
+use crate::asset::VideoAsset;
+use crate::predictor::{HarmonicMeanPredictor, ThroughputPredictor};
+use serde::{Deserialize, Serialize};
+
+/// Everything an ABR sees when choosing the next chunk's track.
+#[derive(Debug, Clone, Copy)]
+pub struct AbrContext<'a> {
+    /// The asset being streamed.
+    pub asset: &'a VideoAsset,
+    /// Current buffer level, seconds.
+    pub buffer_s: f64,
+    /// Track of the previous chunk.
+    pub last_track: usize,
+    /// Measured per-chunk throughputs, most recent last (Mbps).
+    pub past_tput_mbps: &'a [f64],
+    /// Chunks left to download (including this one).
+    pub chunks_remaining: usize,
+    /// Wall-clock time, seconds (oracle predictors key on this).
+    pub wall_t_s: f64,
+}
+
+/// An adaptive-bitrate algorithm.
+pub trait Abr {
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+    /// Chooses the track index for the next chunk.
+    fn choose(&mut self, ctx: &AbrContext) -> usize;
+}
+
+/// The algorithm identifiers of Fig 17.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbrAlgo {
+    /// Buffer-based BBA.
+    Bba,
+    /// Simple rate-based.
+    Rb,
+    /// BOLA.
+    Bola,
+    /// FastMPC (harmonic-mean predictor).
+    FastMpc,
+    /// Pensieve (learned policy).
+    Pensieve,
+    /// RobustMPC.
+    RobustMpc,
+    /// FESTIVE.
+    Festive,
+}
+
+impl AbrAlgo {
+    /// All seven, in Fig 17c order.
+    pub fn all() -> [AbrAlgo; 7] {
+        [
+            AbrAlgo::Bba,
+            AbrAlgo::Rb,
+            AbrAlgo::Bola,
+            AbrAlgo::FastMpc,
+            AbrAlgo::Pensieve,
+            AbrAlgo::RobustMpc,
+            AbrAlgo::Festive,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbrAlgo::Bba => "BBA",
+            AbrAlgo::Rb => "RB",
+            AbrAlgo::Bola => "BOLA",
+            AbrAlgo::FastMpc => "fastMPC",
+            AbrAlgo::Pensieve => "Pensieve",
+            AbrAlgo::RobustMpc => "robustMPC",
+            AbrAlgo::Festive => "FESTIVE",
+        }
+    }
+}
+
+/// Highest track whose bitrate is at most `budget_mbps`.
+fn highest_affordable(asset: &VideoAsset, budget_mbps: f64) -> usize {
+    let mut pick = 0;
+    for (i, &b) in asset.bitrates_mbps.iter().enumerate() {
+        if b <= budget_mbps {
+            pick = i;
+        }
+    }
+    pick
+}
+
+// ---------------------------------------------------------------- BBA ----
+
+/// Buffer-Based Adaptation (Huang et al., SIGCOMM'14): a linear map from
+/// buffer occupancy to bitrate between a reservoir and a cushion.
+#[derive(Debug, Clone, Copy)]
+pub struct Bba {
+    /// Below this buffer level, pick the lowest track.
+    pub reservoir_s: f64,
+    /// Width of the linear region above the reservoir.
+    pub cushion_s: f64,
+}
+
+impl Default for Bba {
+    fn default() -> Self {
+        Bba {
+            reservoir_s: 5.0,
+            cushion_s: 12.0,
+        }
+    }
+}
+
+impl Abr for Bba {
+    fn name(&self) -> &'static str {
+        "BBA"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let min = ctx.asset.bitrates_mbps[0];
+        let max = ctx.asset.top_bitrate();
+        if ctx.buffer_s <= self.reservoir_s {
+            return 0;
+        }
+        if ctx.buffer_s >= self.reservoir_s + self.cushion_s {
+            return ctx.asset.n_tracks() - 1;
+        }
+        let f = (ctx.buffer_s - self.reservoir_s) / self.cushion_s;
+        highest_affordable(ctx.asset, min + f * (max - min))
+    }
+}
+
+// --------------------------------------------------------------- BOLA ----
+
+/// BOLA (Spiteri et al., INFOCOM'16): Lyapunov-drift-plus-penalty control
+/// on the buffer, maximizing a log utility per byte.
+#[derive(Debug, Clone, Copy)]
+pub struct Bola {
+    /// Utility weight γp.
+    pub gamma_p: f64,
+    /// Target (maximum) buffer in chunks for the V parameter.
+    pub buffer_target_chunks: f64,
+}
+
+impl Default for Bola {
+    fn default() -> Self {
+        Bola {
+            gamma_p: 5.0,
+            buffer_target_chunks: 7.0,
+        }
+    }
+}
+
+impl Abr for Bola {
+    fn name(&self) -> &'static str {
+        "BOLA"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let sizes = &ctx.asset.bitrates_mbps;
+        let s_min = sizes[0];
+        let utilities: Vec<f64> = sizes.iter().map(|s| (s / s_min).ln()).collect();
+        let u_max = *utilities.last().expect("non-empty");
+        let v = (self.buffer_target_chunks - 1.0) / (u_max + self.gamma_p);
+        let q_chunks = ctx.buffer_s / ctx.asset.chunk_len_s;
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (m, &s) in sizes.iter().enumerate() {
+            let score = (v * (utilities[m] + self.gamma_p) - q_chunks) / s;
+            if score > best_score {
+                best_score = score;
+                best = m;
+            }
+        }
+        best
+    }
+}
+
+// ----------------------------------------------------------------- RB ----
+
+/// Simple rate-based: highest track under a safety factor times the last
+/// measured throughput.
+#[derive(Debug, Clone, Copy)]
+pub struct RateBased {
+    /// Fraction of the estimate considered safe to spend.
+    pub safety: f64,
+}
+
+impl Default for RateBased {
+    fn default() -> Self {
+        RateBased { safety: 0.9 }
+    }
+}
+
+impl Abr for RateBased {
+    fn name(&self) -> &'static str {
+        "RB"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let est = ctx
+            .past_tput_mbps
+            .last()
+            .copied()
+            .filter(|x| x.is_finite())
+            .unwrap_or(ctx.asset.bitrates_mbps[0]);
+        highest_affordable(ctx.asset, est * self.safety)
+    }
+}
+
+// ------------------------------------------------------------- FESTIVE ----
+
+/// FESTIVE (Jiang et al., CoNEXT'12): harmonic-mean estimation with
+/// gradual, stability-biased switching (one level at a time; upswitch only
+/// after several consistent chunks).
+#[derive(Debug, Clone)]
+pub struct Festive {
+    predictor: HarmonicMeanPredictor,
+    up_streak: usize,
+    /// Chunks of consistent headroom required before stepping up.
+    pub up_patience: usize,
+}
+
+impl Default for Festive {
+    fn default() -> Self {
+        Festive {
+            predictor: HarmonicMeanPredictor::default(),
+            up_streak: 0,
+            up_patience: 2,
+        }
+    }
+}
+
+impl Abr for Festive {
+    fn name(&self) -> &'static str {
+        "FESTIVE"
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        let est = self.predictor.predict_mbps(ctx.past_tput_mbps, ctx.wall_t_s);
+        let target = highest_affordable(ctx.asset, est / 1.2);
+        let cur = ctx.last_track;
+        if ctx.past_tput_mbps.is_empty() {
+            return 0;
+        }
+        if target > cur {
+            self.up_streak += 1;
+            if self.up_streak >= self.up_patience {
+                self.up_streak = 0;
+                return cur + 1;
+            }
+            cur
+        } else if target < cur {
+            self.up_streak = 0;
+            cur - 1
+        } else {
+            self.up_streak = 0;
+            cur
+        }
+    }
+}
+
+// ---------------------------------------------------------------- MPC ----
+
+/// Model Predictive Control (Yin et al., SIGCOMM'15): pick the first step
+/// of the track sequence maximizing predicted QoE over a lookahead window.
+/// `robust` discounts the prediction by the recent maximum error
+/// (RobustMPC); otherwise the raw prediction is trusted (FastMPC).
+pub struct Mpc {
+    /// Throughput predictor.
+    pub predictor: Box<dyn ThroughputPredictor>,
+    /// Lookahead depth in chunks.
+    pub lookahead: usize,
+    /// RobustMPC's error discounting.
+    pub robust: bool,
+    /// Rebuffer penalty (µ) in normalized-bitrate units.
+    pub rebuf_penalty: f64,
+    /// Smoothness penalty.
+    pub smooth_penalty: f64,
+    /// (prediction, actual) pairs for the robust error bound.
+    history: Vec<(f64, f64)>,
+    pending_prediction: Option<f64>,
+    name: &'static str,
+}
+
+impl Mpc {
+    /// FastMPC with its default harmonic-mean predictor.
+    pub fn fast() -> Self {
+        Mpc::with_predictor(Box::new(HarmonicMeanPredictor::default()), false, "fastMPC")
+    }
+
+    /// RobustMPC with its default harmonic-mean predictor.
+    pub fn robust() -> Self {
+        Mpc::with_predictor(Box::new(HarmonicMeanPredictor::default()), true, "robustMPC")
+    }
+
+    /// An MPC with an arbitrary predictor (Fig 18a plugs in GBDT and the
+    /// oracle here).
+    pub fn with_predictor(
+        predictor: Box<dyn ThroughputPredictor>,
+        robust: bool,
+        name: &'static str,
+    ) -> Self {
+        Mpc {
+            predictor,
+            lookahead: 5,
+            robust,
+            rebuf_penalty: 1.0,
+            smooth_penalty: 1.0,
+            history: Vec::new(),
+            pending_prediction: None,
+            name,
+        }
+    }
+
+    /// The robust discount: 1/(1 + max recent relative error).
+    fn robust_discount(&self) -> f64 {
+        if !self.robust {
+            return 1.0;
+        }
+        let max_err = self
+            .history
+            .iter()
+            .rev()
+            .take(5)
+            .map(|&(pred, actual)| ((pred - actual) / actual.max(0.01)).max(0.0))
+            .fold(0.0, f64::max);
+        1.0 / (1.0 + max_err)
+    }
+
+    /// Simulated QoE of playing `seq` starting from the context state with
+    /// constant predicted throughput.
+    fn eval_sequence(&self, ctx: &AbrContext, pred_mbps: f64, seq: &[usize]) -> f64 {
+        let asset = ctx.asset;
+        let mut buffer = ctx.buffer_s;
+        let mut qoe = 0.0;
+        let mut prev_q = asset.norm_bitrate(ctx.last_track);
+        let first = ctx.past_tput_mbps.is_empty();
+        for &track in seq {
+            let dl = asset.chunk_bytes(track) * 8.0 / 1e6 / pred_mbps.max(0.01);
+            let stall = (dl - buffer).max(0.0);
+            buffer = (buffer - dl).max(0.0) + asset.chunk_len_s;
+            buffer = buffer.min(30.0);
+            let q = asset.norm_bitrate(track);
+            qoe += q - self.smooth_penalty * (q - prev_q).abs();
+            if !first {
+                qoe -= self.rebuf_penalty * stall;
+            }
+            prev_q = q;
+        }
+        qoe
+    }
+}
+
+impl Abr for Mpc {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn choose(&mut self, ctx: &AbrContext) -> usize {
+        // Book-keeping for the robust error bound.
+        if let (Some(pred), Some(&actual)) =
+            (self.pending_prediction.take(), ctx.past_tput_mbps.last())
+        {
+            if actual.is_finite() {
+                self.history.push((pred, actual));
+            }
+        }
+        let raw = self.predictor.predict_mbps(ctx.past_tput_mbps, ctx.wall_t_s);
+        let pred = raw * self.robust_discount();
+        self.pending_prediction = Some(raw);
+
+        let n_tracks = ctx.asset.n_tracks();
+        let depth = self.lookahead.min(ctx.chunks_remaining).max(1);
+        // Exhaustive search over track sequences.
+        let mut best_first = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        let mut seq = vec![0usize; depth];
+        loop {
+            let score = self.eval_sequence(ctx, pred, &seq);
+            if score > best_score {
+                best_score = score;
+                best_first = seq[0];
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == depth {
+                    return best_first;
+                }
+                seq[i] += 1;
+                if seq[i] < n_tracks {
+                    break;
+                }
+                seq[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- helpers ----
+
+/// A trivial ABR pinned to one track (tests/baselines).
+pub fn fixed_track_abr(track: usize) -> impl Abr {
+    struct Fixed(usize);
+    impl Abr for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn choose(&mut self, _ctx: &AbrContext) -> usize {
+            self.0
+        }
+    }
+    Fixed(track)
+}
+
+/// Builds a boxed instance of one of the seven algorithms.
+///
+/// `Pensieve` requires a trained policy; use
+/// [`crate::pensieve::PensieveAbr`] directly for it.
+///
+/// # Panics
+/// Panics when asked for `Pensieve` (it cannot be built without training).
+pub fn build(algo: AbrAlgo) -> Box<dyn Abr> {
+    match algo {
+        AbrAlgo::Bba => Box::new(Bba::default()),
+        AbrAlgo::Rb => Box::new(RateBased::default()),
+        AbrAlgo::Bola => Box::new(Bola::default()),
+        AbrAlgo::FastMpc => Box::new(Mpc::fast()),
+        AbrAlgo::RobustMpc => Box::new(Mpc::robust()),
+        AbrAlgo::Festive => Box::new(Festive::default()),
+        AbrAlgo::Pensieve => panic!("Pensieve requires a trained policy; see pensieve::PensieveAbr"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asset::VideoAsset;
+
+    fn ctx<'a>(
+        asset: &'a VideoAsset,
+        buffer_s: f64,
+        last: usize,
+        past: &'a [f64],
+    ) -> AbrContext<'a> {
+        AbrContext {
+            asset,
+            buffer_s,
+            last_track: last,
+            past_tput_mbps: past,
+            chunks_remaining: 30,
+            wall_t_s: 0.0,
+        }
+    }
+
+    #[test]
+    fn bba_maps_buffer_to_bitrate() {
+        let asset = VideoAsset::five_g_default();
+        let mut bba = Bba::default();
+        assert_eq!(bba.choose(&ctx(&asset, 2.0, 0, &[])), 0, "reservoir");
+        assert_eq!(
+            bba.choose(&ctx(&asset, 25.0, 0, &[])),
+            asset.n_tracks() - 1,
+            "cushion top"
+        );
+        let mid = bba.choose(&ctx(&asset, 11.0, 0, &[]));
+        assert!(mid > 0 && mid < asset.n_tracks() - 1, "linear region: {mid}");
+    }
+
+    #[test]
+    fn bola_grows_with_buffer() {
+        let asset = VideoAsset::five_g_default();
+        let mut bola = Bola::default();
+        let low = bola.choose(&ctx(&asset, 2.0, 0, &[]));
+        let high = bola.choose(&ctx(&asset, 24.0, 0, &[]));
+        assert!(high > low, "{low} -> {high}");
+    }
+
+    #[test]
+    fn rb_follows_the_last_sample() {
+        let asset = VideoAsset::five_g_default();
+        let mut rb = RateBased::default();
+        assert_eq!(rb.choose(&ctx(&asset, 10.0, 0, &[500.0])), 5);
+        assert_eq!(rb.choose(&ctx(&asset, 10.0, 5, &[10.0])), 0);
+    }
+
+    #[test]
+    fn festive_moves_one_level_at_a_time() {
+        let asset = VideoAsset::five_g_default();
+        let mut f = Festive::default();
+        let past = vec![1000.0; 5];
+        // Huge headroom, but the first call only banks a streak…
+        let first = f.choose(&ctx(&asset, 10.0, 2, &past));
+        assert_eq!(first, 2);
+        // …and the second steps up exactly one level.
+        let second = f.choose(&ctx(&asset, 10.0, 2, &past));
+        assert_eq!(second, 3);
+    }
+
+    #[test]
+    fn festive_downswitches_immediately() {
+        let asset = VideoAsset::five_g_default();
+        let mut f = Festive::default();
+        let past = vec![5.0; 5];
+        assert_eq!(f.choose(&ctx(&asset, 10.0, 3, &past)), 2);
+    }
+
+    #[test]
+    fn mpc_prefers_affordable_quality() {
+        let asset = VideoAsset::five_g_default();
+        let mut mpc = Mpc::fast();
+        // Plenty of bandwidth (500 Mbps) and buffer: go top.
+        let past = vec![500.0; 5];
+        assert_eq!(mpc.choose(&ctx(&asset, 20.0, 5, &past)), 5);
+        // Starved (10 Mbps < lowest track) and low buffer: go bottom.
+        let mut mpc = Mpc::fast();
+        let past = vec![10.0; 5];
+        assert_eq!(mpc.choose(&ctx(&asset, 4.0, 5, &past)), 0);
+    }
+
+    #[test]
+    fn robust_mpc_is_more_conservative_after_errors() {
+        let asset = VideoAsset::five_g_default();
+        let mut fast = Mpc::fast();
+        let mut robust = Mpc::robust();
+        // Feed both a history where predictions exceeded reality:
+        // chunk 1 measured 400, chunk 2 measured 40 (prediction was ~400).
+        let seq: Vec<Vec<f64>> = vec![vec![400.0], vec![400.0, 40.0], vec![400.0, 40.0, 120.0]];
+        let mut last_fast = 0;
+        let mut last_robust = 0;
+        for past in &seq {
+            last_fast = fast.choose(&ctx(&asset, 8.0, last_fast, past));
+            last_robust = robust.choose(&ctx(&asset, 8.0, last_robust, past));
+        }
+        assert!(
+            last_robust <= last_fast,
+            "robust {last_robust} vs fast {last_fast}"
+        );
+    }
+
+    #[test]
+    fn build_covers_six_algorithms() {
+        for algo in AbrAlgo::all() {
+            if algo == AbrAlgo::Pensieve {
+                continue;
+            }
+            let mut abr = build(algo);
+            let asset = VideoAsset::four_g_default();
+            let past = vec![15.0; 5];
+            let track = abr.choose(&ctx(&asset, 10.0, 0, &past));
+            assert!(track < asset.n_tracks());
+            assert_eq!(abr.name(), algo.label());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "trained policy")]
+    fn build_rejects_pensieve() {
+        build(AbrAlgo::Pensieve);
+    }
+}

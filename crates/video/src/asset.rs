@@ -1,0 +1,115 @@
+//! Video assets and encoding ladders.
+//!
+//! §5.1: the custom 4K video is encoded into 6 tracks with an adjacent
+//! bitrate ratio of ~1.5 (following Flare); the top track is set to the
+//! median of the network-trace corpus — 160 Mbps for 5G, 20 Mbps for 4G —
+//! "to identify rate adaptation challenges … avoiding any trivial bitrate
+//! selection."
+
+use serde::{Deserialize, Serialize};
+
+/// An encoded video: a bitrate ladder plus chunking parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VideoAsset {
+    /// Track bitrates in Mbps, ascending.
+    pub bitrates_mbps: Vec<f64>,
+    /// Chunk duration in seconds.
+    pub chunk_len_s: f64,
+    /// Total video duration in seconds.
+    pub duration_s: f64,
+}
+
+impl VideoAsset {
+    /// Builds a ladder of `tracks` tracks topping out at `top_mbps`, with
+    /// adjacent-track ratio 1.5, chunked at `chunk_len_s`.
+    ///
+    /// # Panics
+    /// Panics on zero tracks, non-positive bitrate/length/duration.
+    pub fn ladder(top_mbps: f64, tracks: usize, chunk_len_s: f64, duration_s: f64) -> Self {
+        assert!(tracks > 0, "need at least one track");
+        assert!(top_mbps > 0.0 && chunk_len_s > 0.0 && duration_s > 0.0);
+        let mut bitrates: Vec<f64> = (0..tracks)
+            .map(|i| top_mbps / 1.5f64.powi((tracks - 1 - i) as i32))
+            .collect();
+        bitrates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        VideoAsset {
+            bitrates_mbps: bitrates,
+            chunk_len_s,
+            duration_s,
+        }
+    }
+
+    /// The paper's 5G asset: 6 tracks topping at 160 Mbps, 4 s chunks.
+    pub fn five_g_default() -> Self {
+        VideoAsset::ladder(160.0, 6, 4.0, 240.0)
+    }
+
+    /// The paper's 4G asset: 6 tracks topping at 20 Mbps, 4 s chunks.
+    pub fn four_g_default() -> Self {
+        VideoAsset::ladder(20.0, 6, 4.0, 240.0)
+    }
+
+    /// Number of tracks.
+    pub fn n_tracks(&self) -> usize {
+        self.bitrates_mbps.len()
+    }
+
+    /// Number of chunks (rounded up).
+    pub fn n_chunks(&self) -> usize {
+        (self.duration_s / self.chunk_len_s).ceil() as usize
+    }
+
+    /// Top-track bitrate, Mbps.
+    pub fn top_bitrate(&self) -> f64 {
+        *self.bitrates_mbps.last().expect("non-empty")
+    }
+
+    /// Chunk size in bytes for a track.
+    pub fn chunk_bytes(&self, track: usize) -> f64 {
+        self.bitrates_mbps[track] * 1e6 / 8.0 * self.chunk_len_s
+    }
+
+    /// Bitrate normalized by the top track.
+    pub fn norm_bitrate(&self, track: usize) -> f64 {
+        self.bitrates_mbps[track] / self.top_bitrate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_ratios_are_1_5() {
+        let a = VideoAsset::five_g_default();
+        assert_eq!(a.n_tracks(), 6);
+        assert_eq!(a.top_bitrate(), 160.0);
+        for w in a.bitrates_mbps.windows(2) {
+            assert!((w[1] / w[0] - 1.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn four_g_ladder_tops_at_20() {
+        let a = VideoAsset::four_g_default();
+        assert_eq!(a.top_bitrate(), 20.0);
+        // Lowest track ≈ 20 / 1.5⁵ ≈ 2.6 Mbps.
+        assert!((a.bitrates_mbps[0] - 2.63).abs() < 0.05);
+    }
+
+    #[test]
+    fn chunk_accounting() {
+        let a = VideoAsset::five_g_default();
+        assert_eq!(a.n_chunks(), 60);
+        // Top track: 160 Mbps × 4 s = 80 MB… bits / 8 = 80 MB.
+        assert!((a.chunk_bytes(5) - 80e6).abs() < 1.0);
+        assert_eq!(a.norm_bitrate(5), 1.0);
+        assert!(a.norm_bitrate(0) < 0.14);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one track")]
+    fn rejects_empty_ladder() {
+        VideoAsset::ladder(100.0, 0, 4.0, 240.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! 5G-aware video streaming: 4G/5G interface selection (§5.4).
+//!
+//! The insight: mmWave 5G burns far more power than 4G at low throughput
+//! (§4) *and* its throughput collapses unpredictably. So: when the
+//! predicted 5G throughput sinks below the 4G average, ride out the fade
+//! on 4G (stable, cheap), and return to 5G once the buffer has recovered
+//! past a threshold (10 s). Switching costs a real delay (the NSA 4G↔5G
+//! promotion, §4.2), which the paper emulates with `tc` — and so do we.
+
+use crate::abr::{Abr, AbrContext};
+use crate::asset::VideoAsset;
+use crate::player::{ChunkRecord, PlayerConfig, SessionResult};
+use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
+use fiveg_radio::band::Direction;
+use fiveg_radio::ue::UeModel;
+use fiveg_simcore::stats::harmonic_mean;
+use fiveg_transport::shaper::BandwidthTrace;
+use serde::{Deserialize, Serialize};
+
+/// Interface-selection policy configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct IfSelectConfig {
+    /// Enable the 5G-aware policy ("5G-only MPC" when false).
+    pub enabled: bool,
+    /// Switch to 4G when predicted 5G throughput falls below this (the 4G
+    /// corpus average).
+    pub to_4g_below_mbps: f64,
+    /// Return to 5G once the buffer exceeds this (paper: empirically 10 s).
+    pub return_buffer_s: f64,
+    /// 4G↔5G switch delay, seconds (0 for the "no overhead" variant).
+    pub switch_delay_s: f64,
+}
+
+impl IfSelectConfig {
+    /// Always-5G baseline.
+    pub fn five_g_only() -> Self {
+        IfSelectConfig {
+            enabled: false,
+            to_4g_below_mbps: 25.0,
+            return_buffer_s: 10.0,
+            switch_delay_s: 1.5,
+        }
+    }
+
+    /// The 5G-aware policy with realistic switch overhead.
+    pub fn aware(to_4g_below_mbps: f64) -> Self {
+        IfSelectConfig {
+            enabled: true,
+            to_4g_below_mbps,
+            return_buffer_s: 10.0,
+            switch_delay_s: 1.5,
+        }
+    }
+
+    /// The idealized no-overhead variant.
+    pub fn aware_no_overhead(to_4g_below_mbps: f64) -> Self {
+        IfSelectConfig {
+            switch_delay_s: 0.0,
+            ..Self::aware(to_4g_below_mbps)
+        }
+    }
+}
+
+/// Result of an interface-selected session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IfSelectResult {
+    /// The streaming session outcome.
+    pub session: SessionResult,
+    /// Fraction of chunks fetched over 5G.
+    pub on_5g_fraction: f64,
+    /// Radio energy over the session, joules.
+    pub energy_j: f64,
+    /// Number of interface switches.
+    pub iface_switches: usize,
+}
+
+/// Streams `asset` with ABR `abr`, switching between a 5G and a 4G link.
+pub fn stream_with_selection(
+    asset: &VideoAsset,
+    trace_5g: &BandwidthTrace,
+    trace_4g: &BandwidthTrace,
+    abr: &mut dyn Abr,
+    cfg: &IfSelectConfig,
+    player: &PlayerConfig,
+) -> IfSelectResult {
+    let n_chunks = asset.n_chunks();
+    let mut wall = 0.0f64;
+    let mut buffer_s = 0.0f64;
+    let mut past_tput: Vec<f64> = Vec::new();
+    let mut past_5g: Vec<f64> = Vec::new();
+    let mut last_track = 0usize;
+    let mut on_5g = true;
+    let mut chunks: Vec<ChunkRecord> = Vec::new();
+    let mut chunk_iface_5g: Vec<bool> = Vec::new();
+    let mut stall_total = 0.0;
+    let mut startup = 0.0;
+    let mut switches = 0usize;
+    let mut iface_switches = 0usize;
+    let mut qoe = 0.0;
+    let mut prev_q: Option<f64> = None;
+    let mut energy_mj = 0.0;
+    let ue = UeModel::GalaxyS20Ultra;
+    let p5 = DataPowerModel::lookup(ue, NetworkKind::MmWave);
+    let p4 = DataPowerModel::lookup(ue, NetworkKind::Lte);
+
+    for index in 0..n_chunks {
+        // --- Interface policy. ---
+        if cfg.enabled {
+            if on_5g && past_5g.len() >= 3 {
+                let recent: Vec<f64> = past_5g.iter().rev().take(5).cloned().collect();
+                if harmonic_mean(&recent) < cfg.to_4g_below_mbps {
+                    on_5g = false;
+                    iface_switches += 1;
+                    // The switch stalls playback if the buffer can't cover it.
+                    let d = cfg.switch_delay_s;
+                    stall_total += (d - buffer_s).max(0.0);
+                    buffer_s = (buffer_s - d).max(0.0);
+                    wall += d;
+                    energy_mj += p4.power_mw(Direction::Downlink, 0.0) * d;
+                }
+            } else if !on_5g && buffer_s > cfg.return_buffer_s {
+                on_5g = true;
+                iface_switches += 1;
+                let d = cfg.switch_delay_s;
+                stall_total += (d - buffer_s).max(0.0);
+                buffer_s = (buffer_s - d).max(0.0);
+                wall += d;
+                energy_mj += p5.power_mw(Direction::Downlink, 0.0) * d;
+            }
+        }
+
+        let ctx = AbrContext {
+            asset,
+            buffer_s,
+            last_track,
+            past_tput_mbps: &past_tput,
+            chunks_remaining: n_chunks - index,
+            wall_t_s: wall,
+        };
+        let track = abr.choose(&ctx).min(asset.n_tracks() - 1);
+        let bytes = asset.chunk_bytes(track);
+        let trace = if on_5g { trace_5g } else { trace_4g };
+        let dl = trace.transfer_time_s(bytes, wall);
+        let dl = if dl.is_finite() { dl } else { 1e6 };
+
+        let stall = (dl - buffer_s).max(0.0);
+        if index == 0 {
+            startup = dl;
+        } else {
+            stall_total += stall;
+        }
+        buffer_s = (buffer_s - dl).max(0.0) + asset.chunk_len_s;
+        wall += dl;
+
+        let tput = if dl > 0.0 { bytes * 8.0 / 1e6 / dl } else { f64::INFINITY };
+        // Radio energy: active download at `tput` over `dl` seconds.
+        let model = if on_5g { &p5 } else { &p4 };
+        energy_mj += model.power_mw(Direction::Downlink, tput.min(1e4)) * dl;
+
+        if buffer_s > player.max_buffer_s {
+            let wait = buffer_s - player.max_buffer_s;
+            wall += wait;
+            buffer_s = player.max_buffer_s;
+            // Connected-idle power while paced.
+            energy_mj += model.power_mw(Direction::Downlink, 0.0) * wait;
+        }
+
+        past_tput.push(tput);
+        if on_5g {
+            past_5g.push(tput);
+        }
+        if index > 0 && track != last_track {
+            switches += 1;
+        }
+        let q = asset.norm_bitrate(track);
+        qoe += q;
+        if index > 0 {
+            qoe -= player.rebuf_penalty * stall;
+        }
+        if let Some(pq) = prev_q {
+            qoe -= player.smooth_penalty * (q - pq).abs();
+        }
+        prev_q = Some(q);
+        chunks.push(ChunkRecord {
+            index,
+            track,
+            bitrate_mbps: asset.bitrates_mbps[track],
+            start_s: wall - dl,
+            download_s: dl,
+            tput_mbps: tput,
+            stall_s: if index == 0 { 0.0 } else { stall },
+        });
+        chunk_iface_5g.push(on_5g);
+        last_track = track;
+    }
+
+    let avg_norm = chunks
+        .iter()
+        .map(|c| c.bitrate_mbps / asset.top_bitrate())
+        .sum::<f64>()
+        / chunks.len().max(1) as f64;
+    let on_5g_fraction =
+        chunk_iface_5g.iter().filter(|&&x| x).count() as f64 / chunk_iface_5g.len().max(1) as f64;
+
+    IfSelectResult {
+        session: SessionResult {
+            avg_norm_bitrate: avg_norm,
+            stall_time_s: stall_total,
+            play_time_s: asset.duration_s,
+            startup_s: startup,
+            switches,
+            qoe,
+            chunks,
+        },
+        on_5g_fraction,
+        energy_j: energy_mj / 1e3,
+        iface_switches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abr::Mpc;
+
+    /// A 5G trace with a long mid-stream fade (weak but not dead, so the
+    /// player keeps making per-chunk decisions inside it), and a steady 4G
+    /// trace.
+    fn fade_traces() -> (BandwidthTrace, BandwidthTrace) {
+        let mut s5 = vec![400.0; 60];
+        s5.extend(vec![8.0; 150]);
+        s5.extend(vec![400.0; 290]);
+        let s4 = vec![40.0; 500];
+        (BandwidthTrace::new(s5, 1.0), BandwidthTrace::new(s4, 1.0))
+    }
+
+    #[test]
+    fn aware_policy_reduces_stalls_through_a_fade() {
+        let asset = VideoAsset::five_g_default();
+        let (t5, t4) = fade_traces();
+        let only = stream_with_selection(
+            &asset,
+            &t5,
+            &t4,
+            &mut Mpc::fast(),
+            &IfSelectConfig::five_g_only(),
+            &PlayerConfig::default(),
+        );
+        let aware = stream_with_selection(
+            &asset,
+            &t5,
+            &t4,
+            &mut Mpc::fast(),
+            &IfSelectConfig::aware(40.0),
+            &PlayerConfig::default(),
+        );
+        assert!(
+            aware.session.stall_time_s < only.session.stall_time_s,
+            "aware {} vs only {}",
+            aware.session.stall_time_s,
+            only.session.stall_time_s
+        );
+        assert!(aware.iface_switches >= 2, "switched out and back");
+        assert!(aware.on_5g_fraction > 0.2 && aware.on_5g_fraction < 1.0);
+    }
+
+    #[test]
+    fn aware_policy_saves_energy() {
+        let asset = VideoAsset::five_g_default();
+        let (t5, t4) = fade_traces();
+        let only = stream_with_selection(
+            &asset,
+            &t5,
+            &t4,
+            &mut Mpc::fast(),
+            &IfSelectConfig::five_g_only(),
+            &PlayerConfig::default(),
+        );
+        let aware = stream_with_selection(
+            &asset,
+            &t5,
+            &t4,
+            &mut Mpc::fast(),
+            &IfSelectConfig::aware(40.0),
+            &PlayerConfig::default(),
+        );
+        assert!(
+            aware.energy_j < only.energy_j,
+            "aware {} vs only {}",
+            aware.energy_j,
+            only.energy_j
+        );
+    }
+
+    #[test]
+    fn no_overhead_variant_stalls_no_more_than_realistic() {
+        let asset = VideoAsset::five_g_default();
+        let (t5, t4) = fade_traces();
+        let real = stream_with_selection(
+            &asset,
+            &t5,
+            &t4,
+            &mut Mpc::fast(),
+            &IfSelectConfig::aware(40.0),
+            &PlayerConfig::default(),
+        );
+        let ideal = stream_with_selection(
+            &asset,
+            &t5,
+            &t4,
+            &mut Mpc::fast(),
+            &IfSelectConfig::aware_no_overhead(40.0),
+            &PlayerConfig::default(),
+        );
+        assert!(ideal.session.stall_time_s <= real.session.stall_time_s + 1e-9);
+    }
+
+    #[test]
+    fn disabled_policy_never_leaves_5g() {
+        let asset = VideoAsset::five_g_default();
+        let (t5, t4) = fade_traces();
+        let r = stream_with_selection(
+            &asset,
+            &t5,
+            &t4,
+            &mut Mpc::fast(),
+            &IfSelectConfig::five_g_only(),
+            &PlayerConfig::default(),
+        );
+        assert_eq!(r.on_5g_fraction, 1.0);
+        assert_eq!(r.iface_switches, 0);
+    }
+}

@@ -1,0 +1,368 @@
+//! Throughput predictors pluggable into MPC (§5.3, Fig 18a).
+
+use fiveg_mlkit::dataset::Dataset;
+use fiveg_mlkit::gbdt::{GbdtConfig, GbdtRegressor};
+use fiveg_transport::shaper::BandwidthTrace;
+use serde::{Deserialize, Serialize};
+
+/// Predicts near-future throughput from recent observations.
+pub trait ThroughputPredictor {
+    /// Predicted throughput in Mbps for the next chunk download starting
+    /// at wall time `wall_t_s`, given past per-chunk measurements (most
+    /// recent last).
+    fn predict_mbps(&self, past: &[f64], wall_t_s: f64) -> f64;
+
+    /// Display name ("hmMPC", "MPC_GDBT", "truthMPC").
+    fn name(&self) -> &'static str;
+}
+
+/// FastMPC's default: harmonic mean of the last `window` chunk
+/// throughputs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HarmonicMeanPredictor {
+    /// Number of past samples to average.
+    pub window: usize,
+}
+
+impl Default for HarmonicMeanPredictor {
+    fn default() -> Self {
+        HarmonicMeanPredictor { window: 5 }
+    }
+}
+
+impl ThroughputPredictor for HarmonicMeanPredictor {
+    fn predict_mbps(&self, past: &[f64], _wall_t_s: f64) -> f64 {
+        if past.is_empty() {
+            return 1.0;
+        }
+        let start = past.len().saturating_sub(self.window);
+        let window: Vec<f64> = past[start..]
+            .iter()
+            .map(|&x| if x.is_finite() { x.max(0.01) } else { 1e4 })
+            .collect();
+        fiveg_simcore::stats::harmonic_mean(&window).max(0.01)
+    }
+
+    fn name(&self) -> &'static str {
+        "hmMPC"
+    }
+}
+
+/// The ground-truth oracle: reads the future of the actual trace
+/// ("truthMPC", the upper bound on what prediction can buy).
+#[derive(Debug, Clone)]
+pub struct OraclePredictor {
+    trace: BandwidthTrace,
+    /// Averaging horizon in seconds.
+    pub horizon_s: f64,
+}
+
+impl OraclePredictor {
+    /// Creates an oracle over `trace`.
+    pub fn new(trace: BandwidthTrace, horizon_s: f64) -> Self {
+        assert!(horizon_s > 0.0, "horizon must be positive");
+        OraclePredictor { trace, horizon_s }
+    }
+}
+
+impl ThroughputPredictor for OraclePredictor {
+    fn predict_mbps(&self, _past: &[f64], wall_t_s: f64) -> f64 {
+        let step = self.trace.granularity_s();
+        let n = (self.horizon_s / step).ceil() as usize;
+        let mut sum = 0.0;
+        for i in 0..n {
+            sum += self.trace.bandwidth_at(wall_t_s + i as f64 * step);
+        }
+        (sum / n as f64).max(0.01)
+    }
+
+    fn name(&self) -> &'static str {
+        "truthMPC"
+    }
+}
+
+/// The Lumos5G-style learned predictor: gradient-boosted trees over the
+/// recent throughput window ("MPC_GDBT").
+#[derive(Debug, Clone)]
+pub struct GbdtPredictor {
+    model: GbdtRegressor,
+    window: usize,
+}
+
+impl GbdtPredictor {
+    /// Trains on *chunk-aligned* sequences: each training trace is walked
+    /// by downloading mid-ladder chunks back to back, producing the same
+    /// per-chunk throughput observations MPC will feed the predictor at
+    /// run time. Features are the last `window` chunk throughputs; the
+    /// target is the next chunk's throughput.
+    ///
+    /// # Panics
+    /// Panics on an empty corpus or zero window.
+    pub fn train_on_chunks(
+        corpus: &[BandwidthTrace],
+        asset: &crate::asset::VideoAsset,
+        window: usize,
+    ) -> Self {
+        assert!(!corpus.is_empty(), "need training traces");
+        assert!(window > 0, "window must be positive");
+        let names: Vec<String> = (0..window).map(|i| format!("tput_m{}", window - i)).collect();
+        let mut data = Dataset::new(names, vec![], vec![]);
+        let mid_bytes = asset.chunk_bytes(asset.n_tracks() / 2);
+        for trace in corpus {
+            let mut wall = 0.0;
+            let mut tputs: Vec<f64> = Vec::new();
+            while wall < trace.duration_s() {
+                let dl = trace.transfer_time_s(mid_bytes, wall);
+                if !dl.is_finite() {
+                    break;
+                }
+                let tput = (mid_bytes * 8.0 / 1e6 / dl.max(1e-6)).min(1e4);
+                if tputs.len() >= window {
+                    // Log-space target: squared loss becomes *relative*
+                    // error, so the model stays honest in low regimes —
+                    // exactly where optimistic predictions cause stalls.
+                    data.push(tputs[tputs.len() - window..].to_vec(), (1.0 + tput).ln());
+                }
+                tputs.push(tput);
+                // A steady-state player is paced by playback: one chunk per
+                // chunk duration unless the link is the bottleneck.
+                wall += dl.max(asset.chunk_len_s);
+            }
+        }
+        assert!(!data.is_empty(), "traces too short for the window");
+        let model = GbdtRegressor::fit(
+            &data,
+            &GbdtConfig {
+                n_estimators: 120,
+                tree_depth: 5,
+                ..GbdtConfig::default()
+            },
+        );
+        GbdtPredictor { model, window }
+    }
+
+    /// Trains on a trace corpus: features are the last `window` seconds of
+    /// throughput, the target is the mean over the next 4 s.
+    ///
+    /// # Panics
+    /// Panics on an empty corpus or zero window.
+    pub fn train(corpus: &[BandwidthTrace], window: usize) -> Self {
+        assert!(!corpus.is_empty(), "need training traces");
+        assert!(window > 0, "window must be positive");
+        let names: Vec<String> = (0..window).map(|i| format!("tput_m{}", window - i)).collect();
+        let mut data = Dataset::new(names, vec![], vec![]);
+        for trace in corpus {
+            let s = trace.samples();
+            let horizon = 4usize;
+            if s.len() < window + horizon {
+                continue;
+            }
+            for i in window..s.len() - horizon {
+                let row: Vec<f64> = s[i - window..i].to_vec();
+                let target = s[i..i + horizon].iter().sum::<f64>() / horizon as f64;
+                data.push(row, (1.0 + target).ln());
+            }
+        }
+        let model = GbdtRegressor::fit(
+            &data,
+            &GbdtConfig {
+                n_estimators: 60,
+                tree_depth: 4,
+                ..GbdtConfig::default()
+            },
+        );
+        GbdtPredictor { model, window }
+    }
+}
+
+impl ThroughputPredictor for GbdtPredictor {
+    fn predict_mbps(&self, past: &[f64], _wall_t_s: f64) -> f64 {
+        if past.len() < self.window {
+            return fiveg_simcore::stats::harmonic_mean(
+                &past.iter().map(|&x| x.max(0.01)).collect::<Vec<_>>(),
+            )
+            .clamp(0.01, 1e4);
+        }
+        let row: Vec<f64> = past[past.len() - self.window..]
+            .iter()
+            .map(|&x| if x.is_finite() { x.min(1e4) } else { 1e4 })
+            .collect();
+        (self.model.predict(&row).exp() - 1.0).max(0.01)
+    }
+
+    fn name(&self) -> &'static str {
+        "MPC_GDBT"
+    }
+}
+
+/// The full Lumos5G-style predictor: gradient-boosted trees over the
+/// recent throughput window **plus UE-side radio context** (the serving
+/// NR-SS-RSRP), which is what lets the learned model beat the harmonic
+/// mean — signal strength leads throughput by seconds.
+#[derive(Debug, Clone)]
+pub struct ContextGbdtPredictor {
+    model: GbdtRegressor,
+    window: usize,
+    /// Pessimism margin in log space: the prediction is shifted down to a
+    /// lower quantile before MPC consumes it, because rebuffering is far
+    /// costlier than under-selecting one track. 0.7 ≈ predict ~50% below
+    /// the conditional geometric mean.
+    pub pessimism_log: f64,
+}
+
+/// A [`ContextGbdtPredictor`] bound to one session's per-second RSRP log
+/// (UE-observable at run time — this is *not* future information).
+#[derive(Debug, Clone)]
+pub struct BoundContextPredictor {
+    inner: ContextGbdtPredictor,
+    rsrp_per_s: Vec<f64>,
+}
+
+impl ContextGbdtPredictor {
+    /// Trains on `(trace, per-second RSRP)` pairs, chunk-aligned like
+    /// [`GbdtPredictor::train_on_chunks`].
+    ///
+    /// # Panics
+    /// Panics on an empty corpus or zero window.
+    pub fn train(
+        corpus: &[(BandwidthTrace, Vec<f64>)],
+        asset: &crate::asset::VideoAsset,
+        window: usize,
+    ) -> Self {
+        assert!(!corpus.is_empty(), "need training traces");
+        assert!(window > 0, "window must be positive");
+        let mut names: Vec<String> =
+            (0..window).map(|i| format!("tput_m{}", window - i)).collect();
+        names.push("rsrp_now".into());
+        let mut data = Dataset::new(names, vec![], vec![]);
+        let mid_bytes = asset.chunk_bytes(asset.n_tracks() / 2);
+        for (trace, rsrp) in corpus {
+            let mut wall = 0.0;
+            let mut tputs: Vec<f64> = Vec::new();
+            while wall < trace.duration_s() {
+                // The trace replay loops past its end; so does the log.
+                let rsrp_now = if rsrp.is_empty() {
+                    -130.0
+                } else {
+                    rsrp[(wall as usize) % rsrp.len()]
+                };
+                let dl = trace.transfer_time_s(mid_bytes, wall);
+                if !dl.is_finite() {
+                    break;
+                }
+                let tput = (mid_bytes * 8.0 / 1e6 / dl.max(1e-6)).min(1e4);
+                if tputs.len() >= window {
+                    let mut row = tputs[tputs.len() - window..].to_vec();
+                    row.push(rsrp_now);
+                    data.push(row, (1.0 + tput).ln());
+                }
+                tputs.push(tput);
+                wall += dl.max(asset.chunk_len_s);
+            }
+        }
+        assert!(!data.is_empty(), "traces too short for the window");
+        let model = GbdtRegressor::fit(
+            &data,
+            &GbdtConfig {
+                n_estimators: 120,
+                tree_depth: 5,
+                ..GbdtConfig::default()
+            },
+        );
+        ContextGbdtPredictor {
+            model,
+            window,
+            pessimism_log: 0.7,
+        }
+    }
+
+    /// Binds the predictor to one session's RSRP log.
+    pub fn bind(&self, rsrp_per_s: Vec<f64>) -> BoundContextPredictor {
+        BoundContextPredictor {
+            inner: self.clone(),
+            rsrp_per_s,
+        }
+    }
+}
+
+impl ThroughputPredictor for BoundContextPredictor {
+    fn predict_mbps(&self, past: &[f64], wall_t_s: f64) -> f64 {
+        let rsrp_now = if self.rsrp_per_s.is_empty() {
+            -130.0
+        } else {
+            self.rsrp_per_s[(wall_t_s.max(0.0) as usize) % self.rsrp_per_s.len()]
+        };
+        if past.len() < self.inner.window {
+            return fiveg_simcore::stats::harmonic_mean(
+                &past.iter().map(|&x| x.max(0.01)).collect::<Vec<_>>(),
+            )
+            .clamp(0.01, 1e4);
+        }
+        let mut row: Vec<f64> = past[past.len() - self.inner.window..]
+            .iter()
+            .map(|&x| if x.is_finite() { x.min(1e4) } else { 1e4 })
+            .collect();
+        row.push(rsrp_now);
+        ((self.inner.model.predict(&row) - self.inner.pessimism_log).exp() - 1.0).max(0.01)
+    }
+
+    fn name(&self) -> &'static str {
+        "MPC_GDBT"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_is_pessimistic_about_dips() {
+        let p = HarmonicMeanPredictor::default();
+        let past = vec![100.0, 100.0, 100.0, 100.0, 1.0];
+        let pred = p.predict_mbps(&past, 0.0);
+        // Harmonic mean is pulled hard toward the dip.
+        assert!(pred < 10.0, "{pred}");
+    }
+
+    #[test]
+    fn harmonic_mean_handles_empty_and_infinite() {
+        let p = HarmonicMeanPredictor::default();
+        assert!(p.predict_mbps(&[], 0.0) > 0.0);
+        assert!(p.predict_mbps(&[f64::INFINITY, 10.0], 0.0).is_finite());
+    }
+
+    #[test]
+    fn oracle_reads_the_future() {
+        let trace = BandwidthTrace::new(vec![10.0, 10.0, 100.0, 100.0, 100.0, 100.0], 1.0);
+        let p = OraclePredictor::new(trace, 4.0);
+        // Standing at t=2, the next 4 s are all 100.
+        assert!((p.predict_mbps(&[10.0], 2.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gbdt_learns_fade_persistence() {
+        // Traces alternate long high/low regimes: after seeing five ~0
+        // samples the next seconds stay ~0 — harmonic mean knows this too,
+        // but GBDT must also learn the *high* regime persistence.
+        let mut corpus = Vec::new();
+        for k in 0..8 {
+            let mut s = Vec::new();
+            for i in 0..300 {
+                let high = ((i / 20) + k) % 2 == 0;
+                s.push(if high { 200.0 } else { 2.0 });
+            }
+            corpus.push(BandwidthTrace::new(s, 1.0));
+        }
+        let p = GbdtPredictor::train(&corpus, 5);
+        let high_pred = p.predict_mbps(&[200.0, 200.0, 200.0, 200.0, 200.0], 0.0);
+        let low_pred = p.predict_mbps(&[2.0, 2.0, 2.0, 2.0, 2.0], 0.0);
+        assert!(high_pred > 100.0, "{high_pred}");
+        assert!(low_pred < 40.0, "{low_pred}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need training traces")]
+    fn gbdt_rejects_empty_corpus() {
+        GbdtPredictor::train(&[], 5);
+    }
+}

@@ -1,0 +1,336 @@
+//! Interpretable 4G/5G interface selection for web browsing (§6.2).
+//!
+//! For each operating point `(α, β)` the ground-truth label of a site is
+//! the radio minimizing the utility `QoE = α·EC + β·PLT` (both min–max
+//! normalized over the corpus). A post-pruned Gini decision tree over the
+//! Table 5 factors then *predicts* that label — cheap to train, and its
+//! splits explain themselves (Fig 22): performance-oriented models split
+//! on total page size and dynamic-object share; energy-oriented models
+//! send almost everything to 4G except extremely dynamic pages.
+
+use crate::loader::{LoadResult, PageLoader, WebRadio};
+use crate::site::{Website, WebsiteCorpus};
+use fiveg_mlkit::dataset::Dataset;
+use fiveg_mlkit::tree::{DecisionTreeClassifier, SplitDescription, TreeConfig};
+use fiveg_simcore::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// One (α, β) operating point — a row of Table 6.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Model id, "M1" … "M5".
+    pub id: &'static str,
+    /// Desired-QoE description.
+    pub desired: &'static str,
+    /// Energy weight α.
+    pub alpha: f64,
+    /// PLT weight β.
+    pub beta: f64,
+}
+
+impl ModelSpec {
+    /// The five Table 6 operating points.
+    pub fn table6() -> [ModelSpec; 5] {
+        [
+            ModelSpec {
+                id: "M1",
+                desired: "High Performance",
+                alpha: 0.2,
+                beta: 0.8,
+            },
+            ModelSpec {
+                id: "M2",
+                desired: "Performance Oriented",
+                alpha: 0.4,
+                beta: 0.6,
+            },
+            ModelSpec {
+                id: "M3",
+                desired: "Balanced",
+                alpha: 0.5,
+                beta: 0.5,
+            },
+            ModelSpec {
+                id: "M4",
+                desired: "Better Energy Saving",
+                alpha: 0.6,
+                beta: 0.4,
+            },
+            ModelSpec {
+                id: "M5",
+                desired: "High Energy Saving",
+                alpha: 0.8,
+                beta: 0.2,
+            },
+        ]
+    }
+}
+
+/// Per-site measurements over both radios.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteMeasurement {
+    /// The site's Table 5 features.
+    pub features: Vec<f64>,
+    /// 4G outcome.
+    pub lte: LoadResult,
+    /// 5G outcome.
+    pub mmwave: LoadResult,
+}
+
+/// Measures the whole corpus over both radios.
+pub fn measure_corpus(corpus: &WebsiteCorpus, loader: &PageLoader, reps: usize) -> Vec<SiteMeasurement> {
+    corpus
+        .sites
+        .iter()
+        .map(|site| SiteMeasurement {
+            features: site.features(),
+            lte: loader.load_mean(site, WebRadio::Lte, reps),
+            mmwave: loader.load_mean(site, WebRadio::MmWave5g, reps),
+        })
+        .collect()
+}
+
+/// Min–max normalization bounds over the measurement set.
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    (lo, (hi - lo).max(1e-12))
+}
+
+/// Labels each measurement with the utility-minimizing radio under `spec`:
+/// class 0 = 4G, class 1 = 5G.
+pub fn label(measurements: &[SiteMeasurement], spec: &ModelSpec) -> Vec<usize> {
+    let (e_lo, e_span) = bounds(
+        measurements
+            .iter()
+            .flat_map(|m| [m.lte.energy_j, m.mmwave.energy_j]),
+    );
+    let (p_lo, p_span) = bounds(
+        measurements
+            .iter()
+            .flat_map(|m| [m.lte.plt_s, m.mmwave.plt_s]),
+    );
+    measurements
+        .iter()
+        .map(|m| {
+            let u = |r: &LoadResult| {
+                spec.alpha * (r.energy_j - e_lo) / e_span + spec.beta * (r.plt_s - p_lo) / p_span
+            };
+            usize::from(u(&m.mmwave) < u(&m.lte))
+        })
+        .collect()
+}
+
+/// A trained selection model.
+pub struct SelectionModel {
+    /// The operating point.
+    pub spec: ModelSpec,
+    /// The post-pruned tree.
+    pub tree: DecisionTreeClassifier,
+}
+
+/// Table 6 evaluation counts on a test set.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SelectionCounts {
+    /// Sites routed to 4G.
+    pub use_4g: usize,
+    /// Sites routed to 5G.
+    pub use_5g: usize,
+    /// Agreement with the ground-truth labels.
+    pub accuracy: f64,
+}
+
+impl SelectionModel {
+    /// Trains (70% train incl. pruning validation, per the paper's 7:3
+    /// split handled by the caller) a post-pruned tree for `spec`.
+    pub fn train(measurements: &[SiteMeasurement], spec: ModelSpec, seed: u64) -> SelectionModel {
+        let labels = label(measurements, &spec);
+        let mut data = Dataset::new(Website::feature_names(), vec![], vec![]);
+        for (m, &l) in measurements.iter().zip(&labels) {
+            data.push(m.features.clone(), l as f64);
+        }
+        let mut rng = RngStream::new(seed, "web-dt");
+        let (train, val) = data.split(0.8, &mut rng);
+        let mut tree = DecisionTreeClassifier::fit(
+            &train,
+            &TreeConfig {
+                max_depth: 6,
+                min_samples_leaf: 8,
+                ..TreeConfig::default()
+            },
+        );
+        tree.prune(&val);
+        SelectionModel { spec, tree }
+    }
+
+    /// Routes a site.
+    pub fn select(&self, site_features: &[f64]) -> WebRadio {
+        if self.tree.predict(site_features) == 1 {
+            WebRadio::MmWave5g
+        } else {
+            WebRadio::Lte
+        }
+    }
+
+    /// Evaluates on a test set: Table 6's Use-4G/Use-5G counts.
+    pub fn evaluate(&self, test: &[SiteMeasurement]) -> SelectionCounts {
+        let truth = label(test, &self.spec);
+        let mut use_4g = 0;
+        let mut use_5g = 0;
+        let mut correct = 0;
+        for (m, &t) in test.iter().zip(&truth) {
+            let pred = self.tree.predict(&m.features);
+            if pred == 1 {
+                use_5g += 1;
+            } else {
+                use_4g += 1;
+            }
+            if pred == t {
+                correct += 1;
+            }
+        }
+        SelectionCounts {
+            use_4g,
+            use_5g,
+            accuracy: correct as f64 / test.len().max(1) as f64,
+        }
+    }
+
+    /// Mean energy saved by following the model instead of always-5G, as a
+    /// fraction, and the mean PLT penalty incurred, as a fraction.
+    pub fn savings_vs_5g(&self, test: &[SiteMeasurement]) -> (f64, f64) {
+        let mut e_model = 0.0;
+        let mut e_5g = 0.0;
+        let mut plt_model = 0.0;
+        let mut plt_5g = 0.0;
+        for m in test {
+            let r = match self.select(&m.features) {
+                WebRadio::Lte => &m.lte,
+                WebRadio::MmWave5g => &m.mmwave,
+            };
+            e_model += r.energy_j;
+            e_5g += m.mmwave.energy_j;
+            plt_model += r.plt_s;
+            plt_5g += m.mmwave.plt_s;
+        }
+        (1.0 - e_model / e_5g, plt_model / plt_5g - 1.0)
+    }
+
+    /// The tree's split structure (Fig 22).
+    pub fn splits(&self) -> Vec<SplitDescription> {
+        self.tree.splits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_radio::ue::UeModel;
+
+    fn measured(n: usize) -> Vec<SiteMeasurement> {
+        let corpus = WebsiteCorpus::generate(n, 3);
+        let loader = PageLoader::new(UeModel::Pixel5, 42);
+        measure_corpus(&corpus, &loader, 4)
+    }
+
+    fn split_data(ms: Vec<SiteMeasurement>) -> (Vec<SiteMeasurement>, Vec<SiteMeasurement>) {
+        // 70/30 like the paper (30% of 1400 = 420 test sites).
+        let cut = ms.len() * 7 / 10;
+        let mut ms = ms;
+        let test = ms.split_off(cut);
+        (ms, test)
+    }
+
+    #[test]
+    fn selection_shifts_toward_4g_as_alpha_grows() {
+        let (train, test) = split_data(measured(700));
+        let mut last_4g = 0usize;
+        for spec in ModelSpec::table6() {
+            let model = SelectionModel::train(&train, spec, 1);
+            let counts = model.evaluate(&test);
+            assert!(
+                counts.use_4g + 3 >= last_4g,
+                "{}: 4G count must not shrink much: {} -> {}",
+                spec.id,
+                last_4g,
+                counts.use_4g
+            );
+            last_4g = counts.use_4g.max(last_4g);
+        }
+    }
+
+    #[test]
+    fn extreme_models_match_table6_poles() {
+        let (train, test) = split_data(measured(700));
+        let specs = ModelSpec::table6();
+        // M1 (high performance): overwhelmingly 5G.
+        let m1 = SelectionModel::train(&train, specs[0], 1).evaluate(&test);
+        assert!(
+            m1.use_5g > 3 * m1.use_4g,
+            "M1 mostly 5G: {}/{}",
+            m1.use_4g,
+            m1.use_5g
+        );
+        // M5 (high energy saving): (nearly) everything to 4G.
+        let m5 = SelectionModel::train(&train, specs[4], 1).evaluate(&test);
+        assert!(
+            m5.use_4g > 20 * m5.use_5g.max(1),
+            "M5 mostly 4G: {}/{}",
+            m5.use_4g,
+            m5.use_5g
+        );
+    }
+
+    #[test]
+    fn models_are_accurate() {
+        let (train, test) = split_data(measured(700));
+        for spec in ModelSpec::table6() {
+            let model = SelectionModel::train(&train, spec, 1);
+            let counts = model.evaluate(&test);
+            assert!(
+                counts.accuracy > 0.80,
+                "{} accuracy {}",
+                spec.id,
+                counts.accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn interface_selection_saves_energy_with_bounded_penalty() {
+        // §6.2: "interface selection helps save 15–66% energy."
+        let (train, test) = split_data(measured(700));
+        let balanced = SelectionModel::train(&train, ModelSpec::table6()[2], 1);
+        let (saving, penalty) = balanced.savings_vs_5g(&test);
+        assert!(
+            (0.15..0.85).contains(&saving),
+            "energy saving {saving}"
+        );
+        assert!(penalty < 1.0, "PLT penalty {penalty}");
+    }
+
+    #[test]
+    fn trees_split_on_meaningful_factors() {
+        // Fig 22: the non-degenerate models split on size/object-count/
+        // dynamic-share factors. (M4/M5 may legitimately prune to a
+        // majority stump when almost every label is 4G.)
+        let (train, _) = split_data(measured(1400));
+        let mut meaningful = 0;
+        for spec in &ModelSpec::table6()[..3] {
+            let model = SelectionModel::train(&train, *spec, 1);
+            let names: Vec<String> =
+                model.splits().iter().map(|s| s.feature.clone()).collect();
+            if names
+                .iter()
+                .any(|n| ["PS_MB", "NO", "DNO", "DSO", "AOS_KB"].contains(&n.as_str()))
+            {
+                meaningful += 1;
+            }
+        }
+        assert!(meaningful >= 2, "only {meaningful} interpretable models");
+    }
+}

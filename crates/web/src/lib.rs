@@ -1,0 +1,19 @@
+//! Web browsing over 4G and mmWave 5G (§6 of the paper).
+//!
+//! * [`site`] — a synthetic stand-in for the Alexa-top-1500 corpus, with
+//!   the Table 5 factor distributions (object counts, sizes, dynamic
+//!   fraction, images/videos),
+//! * [`loader`] — a wave-based page-load simulator producing HAR-like
+//!   records: PLT and radio energy per `<site, radio>` pair,
+//! * [`ifselect`] — §6.2's interpretable 4G/5G selection: label each site
+//!   by the utility `QoE = α·EC + β·PLT`, train a post-pruned Gini
+//!   decision tree per (α, β) operating point (models M1–M5), and read the
+//!   chosen split factors off the tree (Fig 22).
+
+pub mod ifselect;
+pub mod loader;
+pub mod site;
+
+pub use ifselect::{ModelSpec, SelectionModel};
+pub use loader::{LoadResult, PageLoader, WebRadio};
+pub use site::{Website, WebsiteCorpus};

@@ -1,0 +1,266 @@
+//! The page-load simulator: PLT and radio energy per `<site, radio>`.
+//!
+//! A wave-based browser model (6 parallel connections, as Chrome uses per
+//! host group): connection setup, HTML fetch, then object waves; dynamic
+//! objects add server think time, and client-side parse/render adds
+//! per-object CPU time. Radio energy integrates the ground-truth power
+//! model over the load window (the paper feeds captured packet traces into
+//! its §4 model the same way).
+//!
+//! Two calibration facts drive the 4G/5G contrast (§6.1):
+//!
+//! * a single page load never saturates mmWave — web servers/CDNs cap
+//!   per-page bandwidth well below the radio's 2+ Gbps,
+//! * mmWave's power floor (~3 W in CONNECTED) towers over LTE's (~0.6 W),
+//!   so 5G pays an energy premium on *every* page, big or small.
+
+use crate::site::Website;
+use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
+use fiveg_radio::band::{BandClass, Direction};
+use fiveg_radio::ue::UeModel;
+use fiveg_simcore::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// The radio a page is loaded over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WebRadio {
+    /// 4G/LTE.
+    Lte,
+    /// Verizon mmWave 5G.
+    MmWave5g,
+}
+
+impl WebRadio {
+    /// Page-level effective bandwidth in Mbps (server/CDN bound, not radio
+    /// bound) and base RTT in ms to the web server.
+    fn medians(self) -> (f64, f64) {
+        match self {
+            // 4G: radio is the bottleneck for big pages.
+            WebRadio::Lte => (60.0, 55.0),
+            // mmWave: CDN-side limits dominate; still ~8× faster pipes and
+            // ~14 ms less RTT (Fig 2's radio gap).
+            WebRadio::MmWave5g => (480.0, 41.0),
+        }
+    }
+
+    /// The power model network for energy accounting.
+    fn network(self) -> NetworkKind {
+        match self {
+            WebRadio::Lte => NetworkKind::Lte,
+            WebRadio::MmWave5g => NetworkKind::MmWave,
+        }
+    }
+
+    /// Band class (for tail power lookups by callers).
+    pub fn band_class(self) -> BandClass {
+        match self {
+            WebRadio::Lte => BandClass::Lte,
+            WebRadio::MmWave5g => BandClass::MmWave,
+        }
+    }
+}
+
+/// One page-load outcome (a HAR-record summary).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LoadResult {
+    /// Page load time, seconds.
+    pub plt_s: f64,
+    /// Radio energy over the load window, joules.
+    pub energy_j: f64,
+    /// Mean goodput over the load, Mbps.
+    pub mean_tput_mbps: f64,
+}
+
+/// The page loader bound to a UE (the paper roots a PX5 for this study).
+#[derive(Debug, Clone)]
+pub struct PageLoader {
+    /// Device under test.
+    pub ue: UeModel,
+    /// Parallel connections per page.
+    pub parallel_conns: usize,
+    /// Per-object client parse/render CPU time, seconds.
+    pub render_per_object_s: f64,
+    /// Server think time per dynamic object, seconds.
+    pub dynamic_think_s: f64,
+    seed: u64,
+}
+
+impl PageLoader {
+    /// Creates a loader with Chrome-like defaults.
+    pub fn new(ue: UeModel, seed: u64) -> Self {
+        PageLoader {
+            ue,
+            parallel_conns: 6,
+            render_per_object_s: 0.004,
+            dynamic_think_s: 0.08,
+            seed,
+        }
+    }
+
+    /// Loads `site` over `radio`, repetition `rep` (the paper repeats ≥8×
+    /// per radio and site; network conditions vary per repetition).
+    pub fn load(&self, site: &Website, radio: WebRadio, rep: u64) -> LoadResult {
+        let mut rng = RngStream::new(self.seed, &format!("load/{}/{radio:?}/{rep}", site.id));
+        let (bw_median, rtt_median) = radio.medians();
+        // Per-load network draw: CDN variance.
+        let bw = bw_median * rng.log_normal(0.0, 0.15).clamp(0.6, 1.7);
+        let rtt_s = rtt_median * rng.log_normal(0.0, 0.10).clamp(0.7, 1.5) / 1e3;
+
+        // Connection setup (DNS + TCP + TLS ≈ 2 RTT) + HTML fetch (1 RTT +
+        // transfer).
+        let html_bytes = 60e3;
+        let mut t = 2.0 * rtt_s + rtt_s + html_bytes * 8.0 / (bw * 1e6);
+
+        // Object waves over the parallel connections: each wave pays one
+        // request RTT, then transfers its objects sharing the pipe.
+        let conns = self.parallel_conns.max(1);
+        let n_waves = site.n_objects.div_ceil(conns);
+        let per_wave_bytes = site.total_bytes() / n_waves.max(1) as f64;
+        for _ in 0..n_waves {
+            t += rtt_s + per_wave_bytes * 8.0 / (bw * 1e6);
+        }
+        // Dynamic objects: server think time plus two extra round trips
+        // each (redirect/XHR chains), amortized across connections — this
+        // is where 5G's lower radio RTT compounds (and why Fig 22b routes
+        // extremely dynamic pages to 5G even in energy-saving mode).
+        t += site.n_dynamic as f64 * (self.dynamic_think_s + 2.0 * rtt_s) / conns as f64;
+        // Client-side parse/render.
+        t += 0.15 + site.n_objects as f64 * self.render_per_object_s;
+
+        let mean_tput = (site.total_bytes() + html_bytes) * 8.0 / 1e6 / t;
+        let model = DataPowerModel::lookup(self.ue, radio.network());
+        let power_mw = model.power_mw(Direction::Downlink, mean_tput);
+        LoadResult {
+            plt_s: t,
+            energy_j: power_mw * t / 1e3,
+            mean_tput_mbps: mean_tput,
+        }
+    }
+
+    /// Mean of `reps` repeated loads (the per-site figure the paper uses).
+    pub fn load_mean(&self, site: &Website, radio: WebRadio, reps: usize) -> LoadResult {
+        assert!(reps > 0, "need at least one repetition");
+        let mut plt = 0.0;
+        let mut energy = 0.0;
+        let mut tput = 0.0;
+        for rep in 0..reps {
+            let r = self.load(site, radio, rep as u64);
+            plt += r.plt_s;
+            energy += r.energy_j;
+            tput += r.mean_tput_mbps;
+        }
+        let n = reps as f64;
+        LoadResult {
+            plt_s: plt / n,
+            energy_j: energy / n,
+            mean_tput_mbps: tput / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::WebsiteCorpus;
+
+    fn loader() -> PageLoader {
+        PageLoader::new(UeModel::Pixel5, 42)
+    }
+
+    #[test]
+    fn five_g_plt_is_always_better() {
+        // §6.1: "PLT performance in 5G is always better than 4G."
+        let corpus = WebsiteCorpus::generate(120, 3);
+        let l = loader();
+        for site in &corpus.sites {
+            let g5 = l.load_mean(site, WebRadio::MmWave5g, 8);
+            let g4 = l.load_mean(site, WebRadio::Lte, 8);
+            assert!(
+                g5.plt_s < g4.plt_s,
+                "site {}: 5G {} vs 4G {}",
+                site.id,
+                g5.plt_s,
+                g4.plt_s
+            );
+        }
+    }
+
+    #[test]
+    fn four_g_energy_is_always_lower() {
+        let corpus = WebsiteCorpus::generate(120, 3);
+        let l = loader();
+        for site in &corpus.sites {
+            let g5 = l.load_mean(site, WebRadio::MmWave5g, 8);
+            let g4 = l.load_mean(site, WebRadio::Lte, 8);
+            assert!(
+                g4.energy_j < g5.energy_j,
+                "site {}: 4G {} vs 5G {}",
+                site.id,
+                g4.energy_j,
+                g5.energy_j
+            );
+        }
+    }
+
+    #[test]
+    fn plt_magnitudes_match_fig20() {
+        // Fig 20: PLT CDF spans ~1–30 s; typical values a few seconds.
+        let corpus = WebsiteCorpus::generate(300, 5);
+        let l = loader();
+        let plts: Vec<f64> = corpus
+            .sites
+            .iter()
+            .map(|s| l.load_mean(s, WebRadio::Lte, 4).plt_s)
+            .collect();
+        let med = fiveg_simcore::stats::median(&plts);
+        assert!((1.0..8.0).contains(&med), "median 4G PLT {med}");
+        let p99 = fiveg_simcore::stats::percentile(&plts, 99.0);
+        assert!(p99 < 40.0, "p99 {p99}");
+    }
+
+    #[test]
+    fn energy_magnitudes_match_fig19() {
+        // Fig 19: binned mean energies of a few joules.
+        let corpus = WebsiteCorpus::generate(300, 5);
+        let l = loader();
+        let e5: Vec<f64> = corpus
+            .sites
+            .iter()
+            .map(|s| l.load_mean(s, WebRadio::MmWave5g, 4).energy_j)
+            .collect();
+        let med = fiveg_simcore::stats::median(&e5);
+        assert!((2.0..10.0).contains(&med), "median 5G energy {med} J");
+    }
+
+    #[test]
+    fn plt_gap_widens_with_object_count() {
+        // Fig 19a: the 4G–5G PLT gap grows with the number of objects.
+        let corpus = WebsiteCorpus::generate(600, 7);
+        let l = loader();
+        let mut small_gap = Vec::new();
+        let mut large_gap = Vec::new();
+        for site in &corpus.sites {
+            let gap = l.load_mean(site, WebRadio::Lte, 4).plt_s
+                - l.load_mean(site, WebRadio::MmWave5g, 4).plt_s;
+            if site.n_objects <= 10 {
+                small_gap.push(gap);
+            } else if site.n_objects > 100 {
+                large_gap.push(gap);
+            }
+        }
+        let s = fiveg_simcore::stats::mean(&small_gap);
+        let g = fiveg_simcore::stats::mean(&large_gap);
+        assert!(g > 2.0 * s, "gap grows: {s} -> {g}");
+    }
+
+    #[test]
+    fn loads_are_deterministic_per_rep() {
+        let corpus = WebsiteCorpus::generate(3, 11);
+        let l = loader();
+        let a = l.load(&corpus.sites[0], WebRadio::MmWave5g, 0);
+        let b = l.load(&corpus.sites[0], WebRadio::MmWave5g, 0);
+        assert_eq!(a.plt_s, b.plt_s);
+        let c = l.load(&corpus.sites[0], WebRadio::MmWave5g, 1);
+        assert_ne!(a.plt_s, c.plt_s, "repetitions vary");
+    }
+}

@@ -1,0 +1,183 @@
+//! The synthetic website corpus (Table 5 factors).
+//!
+//! The paper instruments Alexa's top 1500 websites; we generate a corpus
+//! whose factor distributions match what HTTP-Archive-scale studies report:
+//! log-normal object counts (tens to hundreds), Pareto object sizes,
+//! a beta-like dynamic-object fraction, and a handful of images/videos.
+
+use fiveg_simcore::RngStream;
+use serde::{Deserialize, Serialize};
+
+/// One website's load-relevant factors (Table 5).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Website {
+    /// Site index in the corpus (rank stand-in).
+    pub id: usize,
+    /// Number of objects (NO).
+    pub n_objects: usize,
+    /// Number of dynamic objects (DNO numerator).
+    pub n_dynamic: usize,
+    /// Number of images (NI).
+    pub n_images: usize,
+    /// Number of videos (NV).
+    pub n_videos: usize,
+    /// Per-object sizes in bytes, `sizes[i]`; dynamic objects are the first
+    /// `n_dynamic` entries.
+    pub object_sizes: Vec<f64>,
+}
+
+impl Website {
+    /// Total page size in bytes (PS).
+    pub fn total_bytes(&self) -> f64 {
+        self.object_sizes.iter().sum()
+    }
+
+    /// Average object size in bytes (AOS).
+    pub fn avg_object_size(&self) -> f64 {
+        if self.object_sizes.is_empty() {
+            return 0.0;
+        }
+        self.total_bytes() / self.object_sizes.len() as f64
+    }
+
+    /// Fraction of objects that are dynamic (DNO).
+    pub fn dynamic_fraction(&self) -> f64 {
+        if self.n_objects == 0 {
+            return 0.0;
+        }
+        self.n_dynamic as f64 / self.n_objects as f64
+    }
+
+    /// Bytes in dynamic objects over total bytes (DSO).
+    pub fn dynamic_size_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.object_sizes[..self.n_dynamic].iter().sum::<f64>() / total
+    }
+
+    /// The Table 5 feature vector, in a fixed order.
+    pub fn features(&self) -> Vec<f64> {
+        vec![
+            self.dynamic_fraction(),
+            self.dynamic_size_fraction(),
+            self.n_objects as f64,
+            self.n_images as f64,
+            self.n_videos as f64,
+            self.total_bytes() / 1e6,
+            self.avg_object_size() / 1e3,
+        ]
+    }
+
+    /// Names for [`Website::features`], matching Table 5 abbreviations.
+    pub fn feature_names() -> Vec<String> {
+        ["DNO", "DSO", "NO", "NI", "NV", "PS_MB", "AOS_KB"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+}
+
+/// A generated corpus of websites.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WebsiteCorpus {
+    /// The sites.
+    pub sites: Vec<Website>,
+}
+
+impl WebsiteCorpus {
+    /// Generates `n` sites deterministically from `seed` (the paper's
+    /// corpus has 1500).
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = RngStream::new(seed, "web-corpus");
+        let sites = (0..n)
+            .map(|id| {
+                // Object count: log-normal, median ≈ 55, long tail to ~1000.
+                let n_objects = rng.log_normal(4.0, 0.9).clamp(3.0, 1000.0).round() as usize;
+                // Dynamic fraction: mostly 10–50%, some ad-heavy outliers.
+                let dyn_frac = rng.gen_range(0.02..0.95f64).powf(1.4);
+                let n_dynamic = ((n_objects as f64) * dyn_frac).round() as usize;
+                // Sizes: Pareto with 12 KB scale (median web object).
+                let object_sizes: Vec<f64> = (0..n_objects)
+                    .map(|_| rng.pareto(6_000.0, 1.2).min(8e6))
+                    .collect();
+                let n_images = ((n_objects as f64) * rng.gen_range(0.2..0.5)).round() as usize;
+                let n_videos = if rng.chance(0.15) { rng.gen_range(1..4) } else { 0 };
+                Website {
+                    id,
+                    n_objects,
+                    n_dynamic: n_dynamic.min(n_objects),
+                    n_images,
+                    n_videos,
+                    object_sizes,
+                }
+            })
+            .collect();
+        WebsiteCorpus { sites }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiveg_simcore::stats::{median, percentile};
+
+    #[test]
+    fn corpus_has_realistic_object_counts() {
+        let corpus = WebsiteCorpus::generate(1500, 1);
+        let counts: Vec<f64> = corpus.sites.iter().map(|s| s.n_objects as f64).collect();
+        let med = median(&counts);
+        assert!((30.0..90.0).contains(&med), "median object count {med}");
+        assert!(percentile(&counts, 99.0) > 200.0, "long tail exists");
+    }
+
+    #[test]
+    fn page_sizes_span_the_fig19_buckets() {
+        // Fig 19b buckets: <1 MB, 1–10 MB, >10 MB — all must be populated.
+        let corpus = WebsiteCorpus::generate(1500, 1);
+        let small = corpus.sites.iter().filter(|s| s.total_bytes() < 1e6).count();
+        let mid = corpus
+            .sites
+            .iter()
+            .filter(|s| (1e6..10e6).contains(&s.total_bytes()))
+            .count();
+        let large = corpus.sites.iter().filter(|s| s.total_bytes() >= 10e6).count();
+        assert!(small > 50, "small {small}");
+        assert!(mid > 300, "mid {mid}");
+        assert!(large > 25, "large {large}");
+    }
+
+    #[test]
+    fn factor_accessors_are_consistent() {
+        let corpus = WebsiteCorpus::generate(100, 2);
+        for s in &corpus.sites {
+            assert!(s.n_dynamic <= s.n_objects);
+            assert!((0.0..=1.0).contains(&s.dynamic_fraction()));
+            assert!((0.0..=1.0).contains(&s.dynamic_size_fraction()));
+            assert_eq!(s.object_sizes.len(), s.n_objects);
+            assert_eq!(s.features().len(), Website::feature_names().len());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = WebsiteCorpus::generate(50, 9);
+        let b = WebsiteCorpus::generate(50, 9);
+        assert_eq!(a.sites[17].object_sizes, b.sites[17].object_sizes);
+    }
+
+    #[test]
+    fn dynamic_fractions_cover_the_m4_split_range() {
+        // Fig 22b: M4 sends sites with DNO > ~0.76 to 5G — such sites must
+        // exist but be a minority.
+        let corpus = WebsiteCorpus::generate(1500, 1);
+        let heavy = corpus
+            .sites
+            .iter()
+            .filter(|s| s.dynamic_fraction() > 0.76)
+            .count();
+        assert!(heavy > 15, "ad-heavy sites exist: {heavy}");
+        assert!(heavy < 300, "but are a minority: {heavy}");
+    }
+}

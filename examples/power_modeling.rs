@@ -1,0 +1,46 @@
+//! Building the throughput+signal-strength power model (§4.3–4.5).
+//!
+//! Runs a walking power campaign, trains the three Fig 15 model variants,
+//! and prints their errors plus the Fig 11 crossover points.
+//!
+//! ```sh
+//! cargo run --release --example power_modeling
+//! ```
+
+use fiveg_wild::mlkit::tree::{DecisionTreeRegressor, TreeConfig};
+use fiveg_wild::power::datamodel::{DataPowerModel, NetworkKind};
+use fiveg_wild::power::efficiency::crossover_mbps;
+use fiveg_wild::radio::band::Direction;
+use fiveg_wild::radio::ue::UeModel;
+use fiveg_wild::simcore::stats::mape;
+use fiveg_wild::simcore::RngStream;
+use fiveg_wild::traces::walking::{to_dataset, PowerFeatures, WalkingCampaign};
+
+fn main() {
+    println!("== Fig 11 crossovers (S20U, calibrated ground truth) ==");
+    let mm = DataPowerModel::lookup(UeModel::GalaxyS20Ultra, NetworkKind::MmWave);
+    let lte = DataPowerModel::lookup(UeModel::GalaxyS20Ultra, NetworkKind::Lte);
+    for (dir, label) in [(Direction::Downlink, "downlink"), (Direction::Uplink, "uplink")] {
+        if let Some(x) = crossover_mbps(&lte.curve(dir), &mm.curve(dir)) {
+            println!("  mmWave beats 4G above {x:.0} Mbps ({label})");
+        }
+    }
+
+    println!("\n== Fig 15: power-model MAPE from a walking campaign ==");
+    let campaign = WalkingCampaign::fig15_settings()[1]; // S20/VZ/NSA-HB
+    let samples = campaign.campaign(10, 42);
+    println!("  campaign {} collected {} samples", campaign.label(), samples.len());
+    for features in [
+        PowerFeatures::ThroughputAndSignal,
+        PowerFeatures::ThroughputOnly,
+        PowerFeatures::SignalOnly,
+    ] {
+        let data = to_dataset(&samples, campaign.network, features);
+        let mut rng = RngStream::new(42, "split");
+        let (train, test) = data.split(0.7, &mut rng);
+        let model = DecisionTreeRegressor::fit(&train, &TreeConfig::default());
+        let err = mape(&test.targets, &model.predict_all(&test));
+        println!("  {:<6} features -> MAPE {err:.2}%", features.label());
+    }
+    println!("\nBoth throughput AND signal strength are needed (§4.5).");
+}

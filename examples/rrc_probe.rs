@@ -1,0 +1,37 @@
+//! RRC-Probe: inferring a carrier's RRC timers without root (§4.1–4.2).
+//!
+//! Probes all six carrier configurations and prints the inferred Table 7
+//! parameters next to the ground truth the simulated UEs obey.
+//!
+//! ```sh
+//! cargo run --release --example rrc_probe
+//! ```
+
+use fiveg_wild::probes::rrcprobe::RrcProbe;
+use fiveg_wild::rrc::profile::{RrcConfigId, RrcProfile};
+
+fn main() {
+    println!(
+        "{:<27} {:>14} {:>12} {:>10} {:>10} {:>10}",
+        "config", "tail s (true)", "LTE-tail s", "longDRX ms", "4G promo", "5G promo"
+    );
+    for config in RrcConfigId::all() {
+        let truth = RrcProfile::for_config(config);
+        let got = RrcProbe::new(truth, 3.0, 7).infer();
+        let opt = |v: Option<f64>, scale: f64| {
+            v.map_or("N/A".to_string(), |x| format!("{:.1}", x / scale))
+        };
+        println!(
+            "{:<27} {:>6.1} ({:.1}) {:>12} {:>10.0} {:>10} {:>10}",
+            config.label(),
+            got.tail_ms / 1e3,
+            truth.tail_ms / 1e3,
+            opt(got.lte_tail_ms, 1e3),
+            got.long_drx_ms,
+            opt(got.promo_4g_ms, 1.0),
+            opt(got.promo_5g_ms, 1.0),
+        );
+    }
+    println!("\nNSA timers mirror 4G (the control plane *is* 4G); SA adds the");
+    println!("RRC_INACTIVE state and promotes in ~a third of a second (§4.2).");
+}

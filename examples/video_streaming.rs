@@ -1,0 +1,72 @@
+//! DASH streaming over a generated mmWave 5G trace (§5).
+//!
+//! Streams the paper's 160 Mbps-top ladder over one Lumos5G-style trace
+//! with three ABR algorithms, then shows the 5G-aware interface-selection
+//! policy riding out fades on 4G.
+//!
+//! ```sh
+//! cargo run --release --example video_streaming
+//! ```
+
+use fiveg_wild::traces::lumos::TraceGenerator;
+use fiveg_wild::video::abr::{Bba, Mpc};
+use fiveg_wild::video::asset::VideoAsset;
+use fiveg_wild::video::ifselect::{stream_with_selection, IfSelectConfig};
+use fiveg_wild::video::player::{stream, PlayerConfig};
+
+fn main() {
+    let gen = TraceGenerator::new(7);
+    let trace_5g = gen.lumos5g_trace(3);
+    let trace_4g = gen.lte_trace(3);
+    let asset = VideoAsset::five_g_default();
+    let cfg = PlayerConfig::default();
+
+    println!(
+        "trace: mean {:.0} Mbps over {:.0} s; ladder top {:.0} Mbps, {} tracks, {}s chunks",
+        trace_5g.mean_mbps(),
+        trace_5g.duration_s(),
+        asset.top_bitrate(),
+        asset.n_tracks(),
+        asset.chunk_len_s,
+    );
+
+    println!("\n== ABR comparison on the 5G trace ==");
+    let sessions: Vec<(&str, _)> = vec![
+        ("BBA", stream(&asset, &trace_5g, &mut Bba::default(), &cfg, 0.0)),
+        ("fastMPC", stream(&asset, &trace_5g, &mut Mpc::fast(), &cfg, 0.0)),
+        ("robustMPC", stream(&asset, &trace_5g, &mut Mpc::robust(), &cfg, 0.0)),
+    ];
+    for (name, r) in &sessions {
+        println!(
+            "  {:<10} bitrate {:.2}  stall {:>5.1}% ({:>5.1} s)  switches {}",
+            name,
+            r.avg_norm_bitrate,
+            r.stall_pct(),
+            r.stall_time_s,
+            r.switches
+        );
+    }
+
+    println!("\n== 5G-aware interface selection (fastMPC base) ==");
+    for (name, cfg_sel) in [
+        ("5G-only", IfSelectConfig::five_g_only()),
+        ("5G-aware", IfSelectConfig::aware(trace_4g.mean_mbps())),
+    ] {
+        let r = stream_with_selection(
+            &asset,
+            &trace_5g,
+            &trace_4g,
+            &mut Mpc::fast(),
+            &cfg_sel,
+            &cfg,
+        );
+        println!(
+            "  {:<9} stall {:>5.1} s  energy {:>5.0} J  on-5G {:>4.0}%  switches {}",
+            name,
+            r.session.stall_time_s,
+            r.energy_j,
+            r.on_5g_fraction * 100.0,
+            r.iface_switches
+        );
+    }
+}

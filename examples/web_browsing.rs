@@ -1,0 +1,59 @@
+//! Web browsing over 4G vs mmWave 5G, and decision-tree radio selection (§6).
+//!
+//! Loads a synthetic top-sites corpus over both radios, prints the
+//! performance/energy trade-off, then trains the Table 6 selection models
+//! and shows their routing decisions and tree structure.
+//!
+//! ```sh
+//! cargo run --release --example web_browsing
+//! ```
+
+use fiveg_wild::radio::ue::UeModel;
+use fiveg_wild::simcore::stats::mean;
+use fiveg_wild::web::ifselect::{measure_corpus, ModelSpec, SelectionModel};
+use fiveg_wild::web::loader::PageLoader;
+use fiveg_wild::web::site::WebsiteCorpus;
+
+fn main() {
+    let corpus = WebsiteCorpus::generate(900, 11);
+    let loader = PageLoader::new(UeModel::Pixel5, 11);
+    let mut measurements = measure_corpus(&corpus, &loader, 6);
+
+    let plt4 = mean(&measurements.iter().map(|m| m.lte.plt_s).collect::<Vec<_>>());
+    let plt5 = mean(&measurements.iter().map(|m| m.mmwave.plt_s).collect::<Vec<_>>());
+    let e4 = mean(&measurements.iter().map(|m| m.lte.energy_j).collect::<Vec<_>>());
+    let e5 = mean(&measurements.iter().map(|m| m.mmwave.energy_j).collect::<Vec<_>>());
+    println!("== corpus means over {} sites ==", corpus.sites.len());
+    println!("  4G:  PLT {plt4:.2} s   energy {e4:.2} J");
+    println!("  5G:  PLT {plt5:.2} s   energy {e5:.2} J");
+    println!(
+        "  5G is {:.0}% faster but costs {:.1}x the energy\n",
+        (1.0 - plt5 / plt4) * 100.0,
+        e5 / e4
+    );
+
+    let test = measurements.split_off(measurements.len() * 7 / 10);
+    println!("== Table 6: DT interface selection on {} test sites ==", test.len());
+    for spec in ModelSpec::table6() {
+        let model = SelectionModel::train(&measurements, spec, 1);
+        let counts = model.evaluate(&test);
+        let (saving, penalty) = model.savings_vs_5g(&test);
+        println!(
+            "  {} ({:<20}) use4G={:<3} use5G={:<3} | energy -{:.0}%, PLT +{:.0}%",
+            spec.id,
+            spec.desired,
+            counts.use_4g,
+            counts.use_5g,
+            saving * 100.0,
+            penalty * 100.0
+        );
+        let splits = model.splits();
+        if !splits.is_empty() {
+            let desc: Vec<String> = splits
+                .iter()
+                .map(|s| format!("{} < {:.2}", s.feature, s.threshold))
+                .collect();
+            println!("      tree: {}", desc.join("; "));
+        }
+    }
+}

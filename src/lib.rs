@@ -1,0 +1,21 @@
+//! # fiveg-wild
+//!
+//! A simulation-based reproduction of *"A Variegated Look at 5G in the Wild:
+//! Performance, Power, and QoE Implications"* (Narayanan, Zhang, et al.,
+//! SIGCOMM 2021).
+//!
+//! This facade crate re-exports the workspace crates under short names. See
+//! `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every regenerated table and figure.
+
+pub use fiveg_geo as geo;
+pub use fiveg_mlkit as mlkit;
+pub use fiveg_power as power;
+pub use fiveg_probes as probes;
+pub use fiveg_radio as radio;
+pub use fiveg_rrc as rrc;
+pub use fiveg_simcore as simcore;
+pub use fiveg_traces as traces;
+pub use fiveg_transport as transport;
+pub use fiveg_video as video;
+pub use fiveg_web as web;

@@ -1,0 +1,135 @@
+//! Cross-crate integration tests for the §3 performance pipeline:
+//! geo (server pools) → radio (link budget) → transport (TCP/UDP) →
+//! probes (Speedtest harness).
+
+use fiveg_wild::geo::servers::{azure_regions, carrier_pool, default_ue_location, Carrier};
+use fiveg_wild::probes::speedtest::{ConnMode, SpeedtestHarness};
+use fiveg_wild::radio::band::{Band, Direction};
+use fiveg_wild::radio::link::LinkState;
+use fiveg_wild::radio::ue::UeModel;
+
+fn harness(ue: UeModel, band: Band, sa: bool) -> SpeedtestHarness {
+    let rsrp = match band {
+        Band::N260 | Band::N261 => -70.0,
+        _ => -85.0,
+    };
+    SpeedtestHarness {
+        ue,
+        link: LinkState {
+            band,
+            rsrp_dbm: rsrp,
+            sa,
+        },
+        ue_location: default_ue_location(),
+        seed: 4242,
+    }
+}
+
+fn sorted_pool(carrier: Carrier) -> Vec<fiveg_wild::geo::servers::ServerInfo> {
+    let ue = default_ue_location();
+    let mut pool = carrier_pool(carrier);
+    pool.sort_by(|a, b| {
+        a.distance_km(ue)
+            .partial_cmp(&b.distance_km(ue))
+            .expect("finite")
+    });
+    pool
+}
+
+#[test]
+fn fig2_latency_ordering_holds_at_every_server() {
+    // mmWave < low-band < LTE for every server (Fig 2), and RTT grows with
+    // distance for every band.
+    let mm = harness(UeModel::GalaxyS20Ultra, Band::N261, false);
+    let lb = harness(UeModel::GalaxyS20Ultra, Band::N5Dss, false);
+    let lte = harness(UeModel::GalaxyS20Ultra, Band::LteMidBand, false);
+    let pool = sorted_pool(Carrier::Verizon);
+    let mut last_mm = 0.0;
+    for s in pool.iter().step_by(4) {
+        let (r_mm, r_lb, r_lte) = (
+            mm.latency_ms(s, 10),
+            lb.latency_ms(s, 10),
+            lte.latency_ms(s, 10),
+        );
+        assert!(r_mm < r_lb && r_lb < r_lte, "{}: {r_mm} {r_lb} {r_lte}", s.name);
+        assert!(
+            (5.0..10.0).contains(&(r_lb - r_mm)),
+            "low-band adds 6-8 ms: {}",
+            r_lb - r_mm
+        );
+        assert!(r_mm >= last_mm - 2.0, "RTT must grow with distance");
+        last_mm = r_mm;
+    }
+}
+
+#[test]
+fn fig3_multi_conn_flat_single_conn_decays() {
+    let h = harness(UeModel::GalaxyS20Ultra, Band::N261, false);
+    let pool = sorted_pool(Carrier::Verizon);
+    let near = &pool[0];
+    let far = pool.last().expect("non-empty");
+    let near_multi = h.run(near, Direction::Downlink, ConnMode::Multi, 4).p95_mbps;
+    let far_multi = h.run(far, Direction::Downlink, ConnMode::Multi, 4).p95_mbps;
+    assert!(near_multi > 3_000.0 && far_multi > 3_000.0);
+    assert!((near_multi - far_multi).abs() / near_multi < 0.1, "flat vs distance");
+    let near_single = h.run(near, Direction::Downlink, ConnMode::SingleTuned, 4).p95_mbps;
+    let far_single = h.run(far, Direction::Downlink, ConnMode::SingleTuned, 4).p95_mbps;
+    assert!(near_single > 2.0 * far_single, "{near_single} vs {far_single}");
+}
+
+#[test]
+fn fig6_sa_throughput_is_half_of_nsa() {
+    let sa = harness(UeModel::GalaxyS20Ultra, Band::N71, true);
+    let nsa = harness(UeModel::GalaxyS20Ultra, Band::N71, false);
+    let pool = sorted_pool(Carrier::TMobile);
+    let near = &pool[0];
+    let r_sa = sa.run(near, Direction::Downlink, ConnMode::Multi, 4).p95_mbps;
+    let r_nsa = nsa.run(near, Direction::Downlink, ConnMode::Multi, 4).p95_mbps;
+    let ratio = r_sa / r_nsa;
+    assert!((0.4..0.6).contains(&ratio), "SA/NSA = {ratio}");
+}
+
+#[test]
+fn fig8_transport_setting_ordering() {
+    // UDP ≥ TCP-8 > 1-TCP tuned > 1-TCP default at every Azure region.
+    let h = harness(UeModel::Pixel5, Band::N261, false);
+    for region in azure_regions() {
+        let udp = h.run(&region, Direction::Downlink, ConnMode::Udp, 2).p95_mbps;
+        let tcp8 = h.run(&region, Direction::Downlink, ConnMode::TcpN(8), 4).p95_mbps;
+        let tuned = h
+            .run(&region, Direction::Downlink, ConnMode::SingleTuned, 4)
+            .p95_mbps;
+        let default = h
+            .run(&region, Direction::Downlink, ConnMode::SingleDefault, 4)
+            .p95_mbps;
+        assert!(udp >= tcp8 * 0.98, "{}: udp {udp} vs tcp8 {tcp8}", region.name);
+        assert!(tcp8 > tuned, "{}: tcp8 {tcp8} vs tuned {tuned}", region.name);
+        assert!(tuned > default, "{}: tuned {tuned} vs default {default}", region.name);
+    }
+}
+
+#[test]
+fn fig23_carrier_aggregation_gain() {
+    let pool = sorted_pool(Carrier::Verizon);
+    let near = &pool[0];
+    let px5 = harness(UeModel::Pixel5, Band::N261, false)
+        .run(near, Direction::Downlink, ConnMode::Multi, 4)
+        .p95_mbps;
+    let s20 = harness(UeModel::GalaxyS20Ultra, Band::N261, false)
+        .run(near, Direction::Downlink, ConnMode::Multi, 4)
+        .p95_mbps;
+    let gain = s20 / px5 - 1.0;
+    assert!((0.4..0.7).contains(&gain), "8CC over 4CC: {gain}");
+}
+
+#[test]
+fn fig24_capped_servers_are_bound() {
+    let h = harness(UeModel::GalaxyS20Ultra, Band::N261, false);
+    for s in fiveg_wild::geo::servers::minnesota_pool() {
+        let r = h.run(&s, Direction::Downlink, ConnMode::Multi, 3);
+        if let Some(cap) = s.cap_mbps {
+            assert!(r.p95_mbps <= cap * 1.01, "{}: {} > cap {}", s.name, r.p95_mbps, cap);
+            assert!(r.p95_mbps > cap * 0.9, "{}: should reach its cap", s.name);
+        }
+    }
+}

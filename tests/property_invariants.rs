@@ -1,0 +1,107 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use fiveg_wild::power::datamodel::{DataPowerModel, NetworkKind};
+use fiveg_wild::radio::band::{Band, Direction};
+use fiveg_wild::radio::link::{link_capacity_mbps, LinkState};
+use fiveg_wild::radio::propagation::rsrp_dbm;
+use fiveg_wild::radio::ue::UeModel;
+use fiveg_wild::simcore::stats;
+use fiveg_wild::simcore::{SimDuration, SimTime, TimeSeries};
+use fiveg_wild::transport::shaper::BandwidthTrace;
+use proptest::prelude::*;
+
+proptest! {
+    /// RSRP is monotonically non-increasing in distance for every band.
+    #[test]
+    fn rsrp_decreases_with_distance(
+        d1 in 1.0f64..5_000.0,
+        delta in 1.0f64..5_000.0,
+        band_idx in 0usize..5,
+    ) {
+        let band = [Band::LteMidBand, Band::N5Dss, Band::N71, Band::N260, Band::N261][band_idx];
+        let near = rsrp_dbm(band, d1, false);
+        let far = rsrp_dbm(band, d1 + delta, false);
+        prop_assert!(far <= near + 1e-9);
+    }
+
+    /// Link capacity is monotone in RSRP and never exceeds the UE cap.
+    #[test]
+    fn capacity_monotone_in_rsrp(r1 in -125.0f64..-44.0, bump in 0.0f64..40.0) {
+        let ue = UeModel::GalaxyS20Ultra;
+        let weak = LinkState { band: Band::N261, rsrp_dbm: r1, sa: false };
+        let strong = LinkState { rsrp_dbm: (r1 + bump).min(-44.0), ..weak };
+        let c_weak = link_capacity_mbps(ue, &weak, Direction::Downlink);
+        let c_strong = link_capacity_mbps(ue, &strong, Direction::Downlink);
+        prop_assert!(c_strong + 1e-9 >= c_weak);
+        prop_assert!(c_strong <= ue.max_throughput_mbps(Band::N261.class(), Direction::Downlink) + 1e-9);
+    }
+
+    /// Power curves are monotone in throughput, and the RSRP penalty never
+    /// makes power cheaper.
+    #[test]
+    fn power_monotone_and_penalized(
+        t1 in 0.0f64..2_000.0,
+        dt in 0.0f64..500.0,
+        rsrp in -120.0f64..-60.0,
+    ) {
+        let m = DataPowerModel::lookup(UeModel::GalaxyS20Ultra, NetworkKind::MmWave);
+        prop_assert!(m.power_mw(Direction::Downlink, t1 + dt) >= m.power_mw(Direction::Downlink, t1));
+        prop_assert!(
+            m.power_mw_with_rsrp(Direction::Downlink, t1, rsrp)
+                >= m.power_mw(Direction::Downlink, t1) - 1e-9
+        );
+    }
+
+    /// Transfer time over a shaped trace is additive: sending A bytes then
+    /// B bytes takes exactly as long as sending A+B.
+    #[test]
+    fn transfer_time_is_additive(
+        a in 1_000.0f64..5e6,
+        b in 1_000.0f64..5e6,
+        start in 0.0f64..50.0,
+        rates in proptest::collection::vec(0.5f64..500.0, 4..16),
+    ) {
+        let trace = BandwidthTrace::new(rates, 1.0);
+        let t_ab = trace.transfer_time_s(a + b, start);
+        let t_a = trace.transfer_time_s(a, start);
+        let t_b = trace.transfer_time_s(b, start + t_a);
+        prop_assert!((t_ab - (t_a + t_b)).abs() < 1e-6, "{t_ab} vs {}", t_a + t_b);
+    }
+
+    /// Trapezoidal energy integration is additive over adjacent windows.
+    #[test]
+    fn energy_integration_is_additive(
+        values in proptest::collection::vec(0.0f64..5_000.0, 3..40),
+        cut_frac in 0.1f64..0.9,
+    ) {
+        let mut ts = TimeSeries::new();
+        for (i, v) in values.iter().enumerate() {
+            ts.push(SimTime::from_millis(i as u64 * 100), *v);
+        }
+        let start = ts.start().expect("non-empty");
+        let end = ts.end().expect("non-empty");
+        let span = end.since(start);
+        let cut = start + SimDuration::from_micros((span.as_micros() as f64 * cut_frac) as u64);
+        let whole = ts.integrate_between(start, end);
+        let parts = ts.integrate_between(start, cut) + ts.integrate_between(cut, end);
+        prop_assert!((whole - parts).abs() < 1e-6 * whole.max(1.0), "{whole} vs {parts}");
+    }
+
+    /// p95 lies between min and max, and percentiles are monotone.
+    #[test]
+    fn percentiles_are_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let p50 = stats::percentile(&xs, 50.0);
+        let p95 = stats::percentile(&xs, 95.0);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p50 <= p95 + 1e-9);
+        prop_assert!(p95 >= lo - 1e-9 && p95 <= hi + 1e-9);
+    }
+
+    /// Harmonic mean never exceeds the arithmetic mean.
+    #[test]
+    fn harmonic_le_arithmetic(xs in proptest::collection::vec(0.01f64..1e4, 1..50)) {
+        prop_assert!(stats::harmonic_mean(&xs) <= stats::mean(&xs) + 1e-9);
+    }
+}

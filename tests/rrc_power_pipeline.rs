@@ -1,0 +1,73 @@
+//! Integration of the RRC machine, the probing tool, the power models, and
+//! the monitors: §4's full measurement pipeline.
+
+use fiveg_wild::power::monitor::HardwareMonitor;
+use fiveg_wild::power::rrcpower::{
+    measure_tail_power_mw, promotion_scenario_trace, RrcPowerParams,
+};
+use fiveg_wild::probes::rrcprobe::RrcProbe;
+use fiveg_wild::rrc::profile::{RrcConfigId, RrcProfile};
+use fiveg_wild::simcore::{RngStream, SimTime};
+
+#[test]
+fn probe_recovers_every_table7_tail_within_3_percent() {
+    for config in RrcConfigId::all() {
+        let truth = RrcProfile::for_config(config);
+        let inferred = RrcProbe::new(truth, 3.0, 99).infer();
+        let rel = (inferred.tail_ms - truth.tail_ms).abs() / truth.tail_ms;
+        assert!(rel < 0.03, "{config:?}: tail {} vs {}", inferred.tail_ms, truth.tail_ms);
+    }
+}
+
+#[test]
+fn monitored_tail_power_matches_table2_for_all_configs() {
+    let hw = HardwareMonitor::default();
+    for config in RrcConfigId::all() {
+        let profile = RrcProfile::for_config(config);
+        let params = RrcPowerParams::for_config(config);
+        let truth_trace = promotion_scenario_trace(&profile, &params);
+        let duration = truth_trace.end().expect("non-empty").as_secs_f64();
+        let mut rng = RngStream::new(5, "itest");
+        let recorded = hw.record(
+            |t| {
+                truth_trace
+                    .sample_at(SimTime::from_secs_f64(t))
+                    .unwrap_or(params.idle_mw)
+            },
+            duration,
+            &mut rng,
+        );
+        let measured = measure_tail_power_mw(&profile, &recorded);
+        let rel = (measured - params.tail_mw).abs() / params.tail_mw;
+        assert!(
+            rel < 0.08,
+            "{config:?}: measured {measured:.0} vs Table 2 {}",
+            params.tail_mw
+        );
+    }
+}
+
+#[test]
+fn nsa_churn_makes_5g_tails_expensive_end_to_end() {
+    // The §4.2 narrative: NSA switches 4G↔5G constantly (Fig 9) and each
+    // switch + tail costs real energy. One full tail of mmWave NSA must
+    // dwarf a 4G tail.
+    let mm = RrcConfigId::VzNsaMmWave;
+    let lte = RrcConfigId::Vz4g;
+    let e_mm = RrcPowerParams::for_config(mm).tail_energy_mj(&RrcProfile::for_config(mm));
+    let e_lte = RrcPowerParams::for_config(lte).tail_energy_mj(&RrcProfile::for_config(lte));
+    assert!(e_mm > 5.0 * e_lte, "mmWave tail {e_mm:.0} mJ vs 4G {e_lte:.0} mJ");
+}
+
+#[test]
+fn sa_promotes_faster_than_nsa_reaches_nr() {
+    // §4.2: SA's direct promotion beats NSA's LTE-anchored two-step.
+    let sa = RrcProbe::new(RrcProfile::for_config(RrcConfigId::TmSaLowBand), 3.0, 1).infer();
+    let nsa = RrcProbe::new(RrcProfile::for_config(RrcConfigId::TmNsaLowBand), 3.0, 1).infer();
+    let sa_promo = sa.promo_5g_ms.expect("SA promo");
+    let nsa_promo = nsa.promo_5g_ms.expect("NSA promo");
+    assert!(
+        sa_promo < nsa_promo / 3.0,
+        "SA {sa_promo:.0} ms vs NSA {nsa_promo:.0} ms"
+    );
+}

@@ -1,0 +1,131 @@
+//! Additional cross-crate invariants: conservation laws and monotonicities
+//! the simulators must satisfy regardless of calibration.
+
+use fiveg_wild::geo::mobility::MobilityModel;
+use fiveg_wild::geo::servers::{carrier_pool, default_ue_location, Carrier};
+use fiveg_wild::probes::speedtest::{ConnMode, SpeedtestHarness};
+use fiveg_wild::radio::band::{Band, Direction};
+use fiveg_wild::radio::cell::NetworkLayout;
+use fiveg_wild::radio::handoff::{simulate_drive, BandSetting, HandoffConfig};
+use fiveg_wild::radio::link::LinkState;
+use fiveg_wild::radio::ue::UeModel;
+use fiveg_wild::simcore::stats::{mean, percentile};
+use fiveg_wild::traces::lumos::TraceGenerator;
+use fiveg_wild::video::abr::{fixed_track_abr, Mpc};
+use fiveg_wild::video::asset::VideoAsset;
+use fiveg_wild::video::player::{stream, PlayerConfig};
+use fiveg_wild::web::loader::{PageLoader, WebRadio};
+use fiveg_wild::web::site::WebsiteCorpus;
+
+#[test]
+fn player_stall_accounting_is_conserved() {
+    // The per-chunk stall records must sum to the session's stall total,
+    // and chunk wall times must be non-overlapping and ordered.
+    let trace = TraceGenerator::new(5).lumos5g_trace(2);
+    let asset = VideoAsset::five_g_default();
+    let r = stream(&asset, &trace, &mut Mpc::fast(), &PlayerConfig::default(), 0.0);
+    let sum: f64 = r.chunks.iter().map(|c| c.stall_s).sum();
+    assert!((sum - r.stall_time_s).abs() < 1e-9, "{sum} vs {}", r.stall_time_s);
+    for w in r.chunks.windows(2) {
+        assert!(w[1].start_s >= w[0].start_s + w[0].download_s - 1e-9);
+    }
+}
+
+#[test]
+fn player_wall_clock_accounts_for_content_plus_stalls() {
+    // End of the last download ≥ startup + stalls + (played content −
+    // final buffer): the player cannot create time.
+    let trace = TraceGenerator::new(6).lumos5g_trace(4);
+    let asset = VideoAsset::five_g_default();
+    let r = stream(&asset, &trace, &mut fixed_track_abr(2), &PlayerConfig::default(), 0.0);
+    let last = r.chunks.last().expect("non-empty");
+    let wall_span = last.start_s + last.download_s;
+    assert!(
+        wall_span + 1e-6 >= r.startup_s + r.stall_time_s,
+        "wall {wall_span} vs startup+stall {}",
+        r.startup_s + r.stall_time_s
+    );
+}
+
+#[test]
+fn speedtest_p95_bounds_and_capacity_ceiling() {
+    let h = SpeedtestHarness {
+        ue: UeModel::GalaxyS20Ultra,
+        link: LinkState {
+            band: Band::N261,
+            rsrp_dbm: -70.0,
+            sa: false,
+        },
+        ue_location: default_ue_location(),
+        seed: 9,
+    };
+    let pool = carrier_pool(Carrier::Verizon);
+    let r = h.run(&pool[3], Direction::Downlink, ConnMode::Multi, 6);
+    // p95 of repeats can never exceed the UE's modem ceiling.
+    assert!(r.p95_mbps <= 3_400.0 + 1e-6, "{}", r.p95_mbps);
+    assert!(r.p95_mbps > 0.0);
+}
+
+#[test]
+fn handoff_step_size_does_not_change_the_story() {
+    // Halving the simulation step must preserve the qualitative ordering
+    // (it may change exact counts — different sampling of the same world).
+    let layout = NetworkLayout::tmobile_drive_corridor(11);
+    let mobility = MobilityModel::driving_10km();
+    for step in [0.5, 0.25] {
+        let cfg = HandoffConfig {
+            step_s: step,
+            ..HandoffConfig::default()
+        };
+        let sa = simulate_drive(&layout, &mobility, BandSetting::SaOnly, &cfg, 11);
+        let nsa = simulate_drive(&layout, &mobility, BandSetting::NsaPlusLte, &cfg, 11);
+        assert!(
+            nsa.total_handoffs() > 3 * sa.total_handoffs(),
+            "step {step}: NSA {} vs SA {}",
+            nsa.total_handoffs(),
+            sa.total_handoffs()
+        );
+    }
+}
+
+#[test]
+fn page_load_time_is_monotone_in_payload() {
+    // Same site, same radio: doubling every object's size cannot make the
+    // page load faster.
+    let corpus = WebsiteCorpus::generate(40, 13);
+    let loader = PageLoader::new(UeModel::Pixel5, 13);
+    for site in &corpus.sites[..20] {
+        let base = loader.load(site, WebRadio::Lte, 0).plt_s;
+        let mut bigger = site.clone();
+        for s in &mut bigger.object_sizes {
+            *s *= 2.0;
+        }
+        let slower = loader.load(&bigger, WebRadio::Lte, 0).plt_s;
+        assert!(slower >= base - 1e-9, "site {}: {base} -> {slower}", site.id);
+    }
+}
+
+#[test]
+fn trace_corpus_statistics_are_seed_stable() {
+    // Different seeds give different traces but the same corpus character:
+    // the 5G/4G mean ratio stays in a tight band.
+    let mut ratios = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let gen = TraceGenerator::new(seed);
+        let g5: Vec<f64> = (0..12).map(|i| gen.lumos5g_trace(i).mean_mbps()).collect();
+        let g4: Vec<f64> = (0..12).map(|i| gen.lte_trace(i).mean_mbps()).collect();
+        ratios.push(mean(&g5) / mean(&g4));
+    }
+    let spread = percentile(&ratios, 100.0) / percentile(&ratios, 0.0);
+    assert!(spread < 1.6, "ratio spread across seeds: {ratios:?}");
+}
+
+#[test]
+fn blocked_walks_never_outperform_clear_walks() {
+    let gen = TraceGenerator::new(21);
+    for i in 0..6 {
+        let with = gen.lumos5g_trace(i).mean_mbps();
+        let without = gen.lumos5g_trace_no_blockage(i).mean_mbps();
+        assert!(without >= with, "trace {i}: {without} vs {with}");
+    }
+}

@@ -1,0 +1,69 @@
+//! Integration of the web corpus, page loader, power model, and DT
+//! interface selection: §6's pipeline.
+
+use fiveg_wild::radio::ue::UeModel;
+use fiveg_wild::web::ifselect::{label, measure_corpus, ModelSpec, SelectionModel};
+use fiveg_wild::web::loader::PageLoader;
+use fiveg_wild::web::site::WebsiteCorpus;
+
+fn measurements(n: usize) -> Vec<fiveg_wild::web::ifselect::SiteMeasurement> {
+    let corpus = WebsiteCorpus::generate(n, 77);
+    let loader = PageLoader::new(UeModel::Pixel5, 77);
+    measure_corpus(&corpus, &loader, 4)
+}
+
+#[test]
+fn ground_truth_labels_shift_monotonically_with_alpha() {
+    let ms = measurements(800);
+    let mut last_5g = usize::MAX;
+    for spec in ModelSpec::table6() {
+        let n_5g: usize = label(&ms, &spec).iter().sum();
+        assert!(
+            n_5g <= last_5g,
+            "{}: 5G labels must not grow with alpha ({n_5g} after {last_5g})",
+            spec.id
+        );
+        last_5g = n_5g;
+    }
+}
+
+#[test]
+fn trained_models_route_like_table6_poles() {
+    let mut ms = measurements(1200);
+    let test = ms.split_off(ms.len() * 7 / 10);
+    let specs = ModelSpec::table6();
+    let m1 = SelectionModel::train(&ms, specs[0], 3).evaluate(&test);
+    assert!(m1.use_5g > 2 * m1.use_4g, "M1: {}/{}", m1.use_4g, m1.use_5g);
+    let m5 = SelectionModel::train(&ms, specs[4], 3).evaluate(&test);
+    assert!(m5.use_4g > 20 * m5.use_5g.max(1), "M5: {}/{}", m5.use_4g, m5.use_5g);
+}
+
+#[test]
+fn fig21_small_penalty_buys_large_savings() {
+    // "even a 10% penalty over PLT … can reduce energy consumption by
+    // almost 70%".
+    let ms = measurements(800);
+    let small_penalty: Vec<&fiveg_wild::web::ifselect::SiteMeasurement> = ms
+        .iter()
+        .filter(|m| (m.lte.plt_s / m.mmwave.plt_s - 1.0) < 0.2)
+        .collect();
+    assert!(!small_penalty.is_empty());
+    let saving = fiveg_wild::simcore::stats::mean(
+        &small_penalty
+            .iter()
+            .map(|m| 1.0 - m.lte.energy_j / m.mmwave.energy_j)
+            .collect::<Vec<_>>(),
+    );
+    assert!((0.5..0.9).contains(&saving), "saving {saving}");
+}
+
+#[test]
+fn balanced_model_saves_energy_within_plt_budget() {
+    let mut ms = measurements(1200);
+    let test = ms.split_off(ms.len() * 7 / 10);
+    let model = SelectionModel::train(&ms, ModelSpec::table6()[2], 3);
+    let (saving, penalty) = model.savings_vs_5g(&test);
+    // §6.2: 15-66% energy saving.
+    assert!((0.15..0.85).contains(&saving), "saving {saving}");
+    assert!(penalty < 0.6, "penalty {penalty}");
+}
