@@ -1,26 +1,19 @@
-//! Criterion benchmarks for DASH sessions (Fig 17 kernel).
+//! Benchmarks for DASH sessions (Fig 17 kernel).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_bench::timing::bench;
 use fiveg_traces::lumos::TraceGenerator;
 use fiveg_video::abr::{Bba, Mpc};
 use fiveg_video::asset::VideoAsset;
 use fiveg_video::player::{stream, PlayerConfig};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let trace = TraceGenerator::new(42).lumos5g_trace(0);
     let asset = VideoAsset::five_g_default();
     let cfg = PlayerConfig::default();
-    c.bench_function("stream_bba_240s", |b| {
-        b.iter(|| stream(&asset, &trace, &mut Bba::default(), &cfg, 0.0))
+    bench("stream_bba_240s", || {
+        stream(&asset, &trace, &mut Bba::default(), &cfg, 0.0)
     });
-    c.bench_function("stream_fastmpc_240s", |b| {
-        b.iter(|| stream(&asset, &trace, &mut Mpc::fast(), &cfg, 0.0))
+    bench("stream_fastmpc_240s", || {
+        stream(&asset, &trace, &mut Mpc::fast(), &cfg, 0.0)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

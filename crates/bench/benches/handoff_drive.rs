@@ -1,25 +1,18 @@
-//! Criterion benchmark for the Fig 9 drive simulation.
+//! Benchmark for the Fig 9 drive simulation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_bench::timing::bench;
 use fiveg_geo::mobility::MobilityModel;
 use fiveg_radio::cell::NetworkLayout;
 use fiveg_radio::handoff::{simulate_drive, BandSetting, HandoffConfig};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let layout = NetworkLayout::tmobile_drive_corridor(42);
     let mobility = MobilityModel::driving_10km();
     let cfg = HandoffConfig::default();
-    c.bench_function("drive_nsa_10km", |b| {
-        b.iter(|| simulate_drive(&layout, &mobility, BandSetting::NsaPlusLte, &cfg, 42))
+    bench("drive_nsa_10km", || {
+        simulate_drive(&layout, &mobility, BandSetting::NsaPlusLte, &cfg, 42)
     });
-    c.bench_function("drive_sa_10km", |b| {
-        b.iter(|| simulate_drive(&layout, &mobility, BandSetting::SaOnly, &cfg, 42))
+    bench("drive_sa_10km", || {
+        simulate_drive(&layout, &mobility, BandSetting::SaOnly, &cfg, 42)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,6 +1,6 @@
-//! Criterion benchmarks for the from-scratch ML models (§4.5/§5.3/§6.2).
+//! Benchmarks for the from-scratch ML models (§4.5/§5.3/§6.2).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_bench::timing::bench;
 use fiveg_mlkit::dataset::Dataset;
 use fiveg_mlkit::gbdt::{GbdtConfig, GbdtRegressor};
 use fiveg_mlkit::tree::{DecisionTreeRegressor, TreeConfig};
@@ -17,28 +17,19 @@ fn dataset(n: usize) -> Dataset {
     d
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let data = dataset(4000);
-    c.bench_function("dtr_fit_4k", |b| {
-        b.iter(|| DecisionTreeRegressor::fit(&data, &TreeConfig::default()))
+    bench("dtr_fit_4k", || {
+        DecisionTreeRegressor::fit(&data, &TreeConfig::default())
     });
     let small = dataset(1000);
-    c.bench_function("gbdt_fit_1k_x40", |b| {
-        b.iter(|| {
-            GbdtRegressor::fit(
-                &small,
-                &GbdtConfig {
-                    n_estimators: 40,
-                    ..GbdtConfig::default()
-                },
-            )
-        })
+    bench("gbdt_fit_1k_x40", || {
+        GbdtRegressor::fit(
+            &small,
+            &GbdtConfig {
+                n_estimators: 40,
+                ..GbdtConfig::default()
+            },
+        )
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,30 +1,20 @@
-//! Criterion benchmark for the page-load simulator (Fig 19/20 kernel).
+//! Benchmark for the page-load simulator (Fig 19/20 kernel).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_bench::timing::bench;
 use fiveg_radio::ue::UeModel;
 use fiveg_web::loader::{PageLoader, WebRadio};
 use fiveg_web::site::WebsiteCorpus;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let corpus = WebsiteCorpus::generate(200, 42);
     let loader = PageLoader::new(UeModel::Pixel5, 42);
-    c.bench_function("page_load_200_sites_both_radios", |b| {
-        b.iter(|| {
-            corpus
-                .sites
-                .iter()
-                .map(|s| {
-                    loader.load(s, WebRadio::Lte, 0).plt_s
-                        + loader.load(s, WebRadio::MmWave5g, 0).plt_s
-                })
-                .sum::<f64>()
-        })
+    bench("page_load_200_sites_both_radios", || {
+        corpus
+            .sites
+            .iter()
+            .map(|s| {
+                loader.load(s, WebRadio::Lte, 0).plt_s + loader.load(s, WebRadio::MmWave5g, 0).plt_s
+            })
+            .sum::<f64>()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

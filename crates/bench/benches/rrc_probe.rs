@@ -1,24 +1,15 @@
-//! Criterion benchmark for RRC-Probe inference (Table 7 kernel).
+//! Benchmark for RRC-Probe inference (Table 7 kernel).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_bench::timing::bench;
 use fiveg_probes::rrcprobe::RrcProbe;
 use fiveg_rrc::profile::{RrcConfigId, RrcProfile};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let profile = RrcProfile::for_config(RrcConfigId::VzNsaMmWave);
-    c.bench_function("rrcprobe_infer_nsa_mmwave", |b| {
-        b.iter(|| RrcProbe::new(profile, 3.0, 7).infer())
+    bench("rrcprobe_infer_nsa_mmwave", || {
+        RrcProbe::new(profile, 3.0, 7).infer()
     });
-    c.bench_function("rrcprobe_staircase_16pts", |b| {
-        let probe = RrcProbe::new(profile, 3.0, 7);
-        let grid: Vec<f64> = (1..=16).map(|i| i as f64).collect();
-        b.iter(|| probe.staircase(&grid))
-    });
+    let probe = RrcProbe::new(profile, 3.0, 7);
+    let grid: Vec<f64> = (1..=16).map(|i| i as f64).collect();
+    bench("rrcprobe_staircase_16pts", || probe.staircase(&grid));
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

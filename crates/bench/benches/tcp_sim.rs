@@ -1,6 +1,6 @@
-//! Criterion benchmarks for the fluid TCP simulation (Fig 3/8 kernels).
+//! Benchmarks for the fluid TCP simulation (Fig 3/8 kernels).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fiveg_bench::timing::bench;
 use fiveg_transport::path::PathModel;
 use fiveg_transport::tcp::{measure_throughput, TcpSimConfig};
 
@@ -13,18 +13,11 @@ fn path(rtt_ms: f64, capacity: f64) -> PathModel {
     }
 }
 
-fn bench(c: &mut Criterion) {
-    c.bench_function("tcp_single_15s", |b| {
-        b.iter(|| measure_throughput(path(20.0, 2200.0), TcpSimConfig::single_tuned(), 42))
+fn main() {
+    bench("tcp_single_15s", || {
+        measure_throughput(path(20.0, 2200.0), TcpSimConfig::single_tuned(), 42)
     });
-    c.bench_function("tcp_multi20_15s", |b| {
-        b.iter(|| measure_throughput(path(20.0, 3400.0), TcpSimConfig::multi(20), 42))
+    bench("tcp_multi20_15s", || {
+        measure_throughput(path(20.0, 3400.0), TcpSimConfig::multi(20), 42)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
-}
-criterion_main!(benches);

@@ -6,10 +6,21 @@
 //! figures fig3 fig9        # run specific experiments
 //! figures --seed 7 all     # re-roll the simulated world
 //! figures --out results/ all   # also write one .txt per experiment
+//! figures --chaos chaos all    # inject a named fault scenario
 //! ```
+//!
+//! Every experiment runs under the supervised runner: a panic, runaway
+//! loop, or deadline blow-out in one experiment yields a `DEGRADED` report
+//! for that experiment and the campaign continues. With `--chaos <name>`,
+//! the named fault scenario (see `fiveg_simcore::faults::FaultScenario`)
+//! is installed on each experiment's thread; without it the fault plane
+//! stays uninstalled and the output is bit-identical to an unsupervised
+//! run. With `--out`, a `manifest.json` summarizing per-experiment status
+//! is written next to the reports.
 
-use fiveg_bench::experiments;
-use fiveg_bench::CAMPAIGN_SEED;
+use fiveg_bench::runner::{self, Supervisor};
+use fiveg_bench::{experiments, CAMPAIGN_SEED};
+use fiveg_simcore::faults::FaultScenario;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +51,25 @@ fn main() {
         }
         out_dir = Some(path);
     }
+    let mut scenario: Option<FaultScenario> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--chaos") {
+        args.remove(pos);
+        let name = args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!(
+                "--chaos needs a scenario name (one of: {})",
+                FaultScenario::names().join(", ")
+            );
+            std::process::exit(2);
+        });
+        args.remove(pos);
+        scenario = Some(FaultScenario::by_name(&name).unwrap_or_else(|| {
+            eprintln!(
+                "unknown scenario: {name} (one of: {})",
+                FaultScenario::names().join(", ")
+            );
+            std::process::exit(2);
+        }));
+    }
 
     let registry = experiments::registry();
     if args.is_empty() {
@@ -47,31 +77,69 @@ fn main() {
         for (id, _) in &registry {
             println!("  {id}");
         }
+        println!("fault scenarios for --chaos:");
+        for name in FaultScenario::names() {
+            println!("  {name}");
+        }
         return;
     }
 
-    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
-        registry.iter().map(|(id, _)| *id).collect()
+    let entries: Vec<(&'static str, experiments::Experiment)> = if args.iter().any(|a| a == "all")
+    {
+        registry
     } else {
-        args.iter().map(String::as_str).collect()
+        args.iter()
+            .map(|a| {
+                registry
+                    .iter()
+                    .find(|(id, _)| id == a)
+                    .copied()
+                    .unwrap_or_else(|| {
+                        eprintln!("unknown experiment: {a}");
+                        std::process::exit(2);
+                    })
+            })
+            .collect()
     };
 
-    for id in ids {
-        match experiments::run(id, seed) {
-            Some(report) => {
-                println!("{}", report.render());
-                if let Some(dir) = &out_dir {
-                    let path = dir.join(format!("{id}.txt"));
-                    if let Err(e) = std::fs::write(&path, report.render()) {
-                        eprintln!("cannot write {}: {e}", path.display());
-                        std::process::exit(2);
-                    }
-                }
-            }
-            None => {
-                eprintln!("unknown experiment: {id}");
+    let scenario_name = scenario.as_ref().map(|s| s.name.clone());
+    let supervisor = match scenario {
+        Some(sc) => Supervisor::with_scenario(sc),
+        None => Supervisor::default(),
+    };
+
+    let mut outcomes = Vec::new();
+    for &(id, f) in &entries {
+        let outcome = supervisor.run_one(id, f, seed);
+        println!("{}", outcome.report.render());
+        if outcome.degraded() {
+            eprintln!(
+                "warning: {id} degraded after {} attempt(s): {}",
+                outcome.attempts,
+                outcome.note.as_deref().unwrap_or("unknown failure")
+            );
+        }
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{id}.txt"));
+            if let Err(e) = std::fs::write(&path, outcome.report.render()) {
+                eprintln!("cannot write {}: {e}", path.display());
                 std::process::exit(2);
             }
         }
+        outcomes.push(outcome);
+    }
+
+    if let Some(dir) = &out_dir {
+        let manifest = runner::manifest(&outcomes, seed, scenario_name.as_deref());
+        let path = dir.join("manifest.json");
+        if let Err(e) = std::fs::write(&path, manifest.render()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+
+    let degraded = outcomes.iter().filter(|o| o.degraded()).count();
+    if degraded > 0 {
+        eprintln!("{degraded}/{} experiments degraded", outcomes.len());
     }
 }

@@ -8,7 +8,10 @@
 //! paper-vs-measured for each.
 
 pub mod experiments;
+pub mod json;
 pub mod report;
+pub mod runner;
+pub mod timing;
 
 /// The default campaign seed used by every experiment (reproducible runs).
 pub const CAMPAIGN_SEED: u64 = 2021;

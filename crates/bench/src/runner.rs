@@ -1,0 +1,377 @@
+//! The supervised experiment runner: chaos-tolerant campaign execution.
+//!
+//! `figures all` regenerates ~40 experiments in sequence; one panicking,
+//! wedged, or runaway experiment must not take the campaign down. The
+//! [`Supervisor`] runs each experiment on its own thread with:
+//!
+//! * an optional ambient [`FaultScenario`] installed for the thread (the
+//!   deterministic fault plane of `fiveg_simcore::faults`),
+//! * an armed event budget (`fiveg_simcore::budget`) so runaway loops die
+//!   by panic instead of spinning forever,
+//! * `catch_unwind` around the experiment body,
+//! * a wall-clock deadline enforced via a result channel,
+//! * one retry with a deterministically perturbed seed.
+//!
+//! An experiment that still fails yields a synthesized [`Report`] marked
+//! `DEGRADED`, so every other experiment's output is written regardless.
+
+use crate::experiments::Experiment;
+use crate::json::Json;
+use crate::report::Report;
+use fiveg_simcore::faults::{self, FaultScenario, FaultSchedule};
+use fiveg_simcore::{budget, RngStream};
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// How one supervised run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The experiment produced its report (possibly on the retry).
+    Ok,
+    /// Every attempt failed; the report is a synthesized placeholder.
+    Degraded,
+}
+
+/// The outcome of one supervised experiment.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Experiment id.
+    pub id: &'static str,
+    /// Final status.
+    pub status: RunStatus,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Failure note from the last failed attempt, if any attempt failed.
+    pub note: Option<String>,
+    /// The experiment's report, or a `DEGRADED` placeholder.
+    pub report: Report,
+}
+
+impl RunOutcome {
+    /// True iff the run is degraded.
+    pub fn degraded(&self) -> bool {
+        self.status == RunStatus::Degraded
+    }
+}
+
+/// Supervision policy for a campaign.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    /// Fault scenario installed on each experiment thread (`None` = the
+    /// plane stays uninstalled and the default path is untouched).
+    pub scenario: Option<FaultScenario>,
+    /// Event budget armed per attempt.
+    pub event_budget: u64,
+    /// Wall-clock deadline per attempt.
+    pub deadline: Duration,
+    /// Retries after the first failed attempt, each with a perturbed seed.
+    pub retries: u32,
+}
+
+impl Default for Supervisor {
+    fn default() -> Self {
+        Supervisor {
+            scenario: None,
+            // Generous: the heaviest experiment charges tens of millions of
+            // events; only a runaway loop reaches billions.
+            event_budget: 2_000_000_000,
+            deadline: Duration::from_secs(120),
+            retries: 1,
+        }
+    }
+}
+
+impl Supervisor {
+    /// A supervisor injecting `scenario` into every experiment.
+    pub fn with_scenario(scenario: FaultScenario) -> Self {
+        Supervisor {
+            scenario: Some(scenario),
+            ..Self::default()
+        }
+    }
+
+    /// The seed used for attempt `attempt` (0-based) of experiment `id`:
+    /// attempt 0 uses the campaign seed verbatim, retries perturb it through
+    /// a named stream so the retry world is different but reproducible.
+    pub fn attempt_seed(&self, id: &str, seed: u64, attempt: u32) -> u64 {
+        if attempt == 0 {
+            seed
+        } else {
+            RngStream::new(seed, &format!("runner/retry/{id}/{attempt}")).next_u64()
+        }
+    }
+
+    /// Runs one experiment under supervision.
+    pub fn run_one(&self, id: &'static str, f: Experiment, seed: u64) -> RunOutcome {
+        let mut last_note = String::new();
+        for attempt in 0..=self.retries {
+            let attempt_seed = self.attempt_seed(id, seed, attempt);
+            match self.attempt(id, f, attempt_seed) {
+                Ok(report) => {
+                    return RunOutcome {
+                        id,
+                        status: RunStatus::Ok,
+                        attempts: attempt + 1,
+                        note: (attempt > 0).then(|| last_note.clone()),
+                        report,
+                    }
+                }
+                Err(note) => last_note = note,
+            }
+        }
+        RunOutcome {
+            id,
+            status: RunStatus::Degraded,
+            attempts: self.retries + 1,
+            note: Some(last_note.clone()),
+            report: degraded_report(id, &last_note),
+        }
+    }
+
+    /// Runs every `(id, experiment)` entry, collecting one outcome per
+    /// entry. A panic, deadline blow-out, or budget exhaustion in any one
+    /// experiment cannot prevent the others from running.
+    pub fn run_registry(
+        &self,
+        entries: &[(&'static str, Experiment)],
+        seed: u64,
+    ) -> Vec<RunOutcome> {
+        entries
+            .iter()
+            .map(|&(id, f)| self.run_one(id, f, seed))
+            .collect()
+    }
+
+    /// One supervised attempt: spawn, install, arm, catch, wait.
+    fn attempt(&self, id: &str, f: Experiment, seed: u64) -> Result<Report, String> {
+        let (tx, rx) = mpsc::channel();
+        let scenario = self.scenario.clone();
+        let events = self.event_budget;
+        let spawned = std::thread::Builder::new()
+            .name(format!("exp-{id}"))
+            .spawn(move || {
+                // Thread-locals start clean on a fresh thread; install the
+                // fault plane and arm the budget for this attempt only.
+                let _plane = scenario
+                    .as_ref()
+                    .map(|sc| faults::install(FaultSchedule::generate(seed, sc)));
+                let _budget = budget::arm(events);
+                let result = std::panic::catch_unwind(|| f(seed));
+                let _ = tx.send(result.map_err(|payload| panic_note(payload.as_ref())));
+            });
+        if let Err(e) = spawned {
+            return Err(format!("spawn failed: {e}"));
+        }
+        match rx.recv_timeout(self.deadline) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(format!(
+                "deadline exceeded ({:.1} s); thread abandoned",
+                self.deadline.as_secs_f64()
+            )),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err("experiment thread died without reporting".to_string())
+            }
+        }
+    }
+}
+
+/// Extracts a readable note from a panic payload.
+fn panic_note(payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "panic with non-string payload".to_string());
+    format!("panicked: {msg}")
+}
+
+/// The placeholder report for an experiment whose every attempt failed.
+fn degraded_report(id: &'static str, note: &str) -> Report {
+    Report {
+        id,
+        title: "DEGRADED — experiment failed under supervision".to_string(),
+        body: format!(
+            "This experiment did not complete; the rest of the campaign ran on.\nlast failure: {note}\n"
+        ),
+    }
+}
+
+/// Serializes campaign outcomes as a manifest (written as `manifest.json`
+/// next to the per-experiment reports).
+pub fn manifest(outcomes: &[RunOutcome], seed: u64, scenario: Option<&str>) -> Json {
+    let degraded = outcomes.iter().filter(|o| o.degraded()).count();
+    Json::obj(vec![
+        ("seed", Json::Num(seed as f64)),
+        (
+            "scenario",
+            scenario.map_or(Json::Null, Json::str),
+        ),
+        ("experiments", Json::Num(outcomes.len() as f64)),
+        ("degraded", Json::Num(degraded as f64)),
+        (
+            "results",
+            Json::Arr(
+                outcomes
+                    .iter()
+                    .map(|o| {
+                        Json::obj(vec![
+                            ("id", Json::str(o.id)),
+                            (
+                                "status",
+                                Json::str(if o.degraded() { "degraded" } else { "ok" }),
+                            ),
+                            ("attempts", Json::Num(o.attempts as f64)),
+                            ("note", o.note.as_deref().map_or(Json::Null, Json::str)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok_exp(seed: u64) -> Report {
+        Report {
+            id: "ok",
+            title: "fine".into(),
+            body: format!("seed={seed}"),
+        }
+    }
+
+    fn panicky_exp(_seed: u64) -> Report {
+        panic!("kaboom");
+    }
+
+    fn seed_sensitive_exp(seed: u64) -> Report {
+        if seed == 123 {
+            panic!("bad seed");
+        }
+        Report {
+            id: "flaky",
+            title: "recovered".into(),
+            body: format!("seed={seed}"),
+        }
+    }
+
+    fn runaway_exp(_seed: u64) -> Report {
+        let mut q = fiveg_simcore::EventQueue::new();
+        let mut i = 0u64;
+        loop {
+            q.schedule(fiveg_simcore::SimTime::from_millis(i), i);
+            q.pop();
+            i += 1;
+        }
+    }
+
+    fn sleepy_exp(_seed: u64) -> Report {
+        std::thread::sleep(Duration::from_secs(30));
+        ok_exp(0)
+    }
+
+    #[test]
+    fn success_passes_report_through() {
+        let sup = Supervisor::default();
+        let out = sup.run_one("ok", ok_exp, 7);
+        assert_eq!(out.status, RunStatus::Ok);
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.report.body, "seed=7");
+        assert!(out.note.is_none());
+    }
+
+    #[test]
+    fn panic_degrades_after_retry() {
+        let sup = Supervisor::default();
+        let out = sup.run_one("boom", panicky_exp, 1);
+        assert_eq!(out.status, RunStatus::Degraded);
+        assert_eq!(out.attempts, 2, "one retry consumed");
+        assert!(out.note.as_deref().unwrap().contains("kaboom"));
+        assert!(out.report.title.contains("DEGRADED"));
+    }
+
+    #[test]
+    fn retry_with_perturbed_seed_can_recover() {
+        let sup = Supervisor::default();
+        let out = sup.run_one("flaky", seed_sensitive_exp, 123);
+        assert_eq!(out.status, RunStatus::Ok);
+        assert_eq!(out.attempts, 2);
+        assert!(out.note.as_deref().unwrap().contains("bad seed"));
+        assert_ne!(sup.attempt_seed("flaky", 123, 1), 123);
+    }
+
+    #[test]
+    fn budget_kills_runaway_loops() {
+        let sup = Supervisor {
+            event_budget: 10_000,
+            ..Supervisor::default()
+        };
+        let out = sup.run_one("runaway", runaway_exp, 1);
+        assert_eq!(out.status, RunStatus::Degraded);
+        assert!(
+            out.note.as_deref().unwrap().contains(budget::EXHAUSTED_MSG),
+            "note: {:?}",
+            out.note
+        );
+    }
+
+    #[test]
+    fn deadline_abandons_wedged_threads() {
+        let sup = Supervisor {
+            deadline: Duration::from_millis(50),
+            retries: 0,
+            ..Supervisor::default()
+        };
+        let out = sup.run_one("sleepy", sleepy_exp, 1);
+        assert_eq!(out.status, RunStatus::Degraded);
+        assert!(out.note.as_deref().unwrap().contains("deadline"));
+    }
+
+    #[test]
+    fn one_failure_does_not_stop_the_campaign() {
+        let sup = Supervisor::default();
+        let entries: [(&'static str, Experiment); 3] =
+            [("ok", ok_exp), ("boom", panicky_exp), ("ok2", ok_exp)];
+        let outs = sup.run_registry(&entries, 9);
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[0].status, RunStatus::Ok);
+        assert_eq!(outs[1].status, RunStatus::Degraded);
+        assert_eq!(outs[2].status, RunStatus::Ok);
+        // Every entry rendered a report.
+        for o in &outs {
+            assert!(!o.report.render().is_empty());
+        }
+    }
+
+    #[test]
+    fn manifest_counts_degraded() {
+        let sup = Supervisor::default();
+        let entries: [(&'static str, Experiment); 2] = [("ok", ok_exp), ("boom", panicky_exp)];
+        let outs = sup.run_registry(&entries, 5);
+        let m = manifest(&outs, 5, Some("chaos")).render();
+        assert!(m.contains("\"seed\":5"));
+        assert!(m.contains("\"scenario\":\"chaos\""));
+        assert!(m.contains("\"degraded\":1"));
+        assert!(m.contains("\"id\":\"boom\""));
+    }
+
+    #[test]
+    fn scenario_installs_plane_only_inside_the_experiment() {
+        fn plane_probe(_seed: u64) -> Report {
+            Report {
+                id: "probe",
+                title: "plane".into(),
+                body: format!("enabled={}", faults::enabled()),
+            }
+        }
+        let sup = Supervisor::with_scenario(FaultScenario::chaos());
+        let out = sup.run_one("probe", plane_probe, 1);
+        assert_eq!(out.report.body, "enabled=true");
+        assert!(!faults::enabled(), "plane never leaks to the caller thread");
+
+        let plain = Supervisor::default().run_one("probe", plane_probe, 1);
+        assert_eq!(plain.report.body, "enabled=false");
+    }
+}

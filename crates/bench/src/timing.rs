@@ -1,0 +1,53 @@
+//! Minimal in-tree benchmark harness.
+//!
+//! Replaces Criterion so that `cargo bench` works with zero registry/network
+//! access. Each `[[bench]]` target is a plain `harness = false` binary that
+//! calls [`bench`] for every kernel it times. The default sample count keeps
+//! `cargo bench` fast; build with `--features heavy-bench` for tighter
+//! medians.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Samples per benchmark: small by default, larger under `heavy-bench`.
+fn sample_count() -> usize {
+    if cfg!(feature = "heavy-bench") {
+        30
+    } else {
+        5
+    }
+}
+
+/// Times `f` over several samples and prints a one-line summary.
+///
+/// The closure's result is passed through [`black_box`] so the optimizer
+/// cannot delete the work.
+pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) {
+    black_box(f()); // warm-up, untimed
+    let n = sample_count();
+    let mut samples_ms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t0 = Instant::now();
+        black_box(f());
+        samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    samples_ms.sort_by(f64::total_cmp);
+    let median = samples_ms[n / 2];
+    println!(
+        "{name:<40} median {median:10.3} ms   (min {:.3}, max {:.3}, n={n})",
+        samples_ms[0],
+        samples_ms[n - 1]
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_the_closure() {
+        let mut calls = 0;
+        bench("noop", || calls += 1);
+        assert_eq!(calls as usize, 1 + sample_count());
+    }
+}

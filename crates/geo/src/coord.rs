@@ -1,12 +1,11 @@
 //! Latitude/longitude coordinates and great-circle distance.
 
-use serde::{Deserialize, Serialize};
 
 /// Mean Earth radius in kilometres.
 pub const EARTH_RADIUS_KM: f64 = 6371.0;
 
 /// A WGS-84-ish latitude/longitude pair in degrees.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatLon {
     /// Latitude in degrees, positive north.
     pub lat: f64,

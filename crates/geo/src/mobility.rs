@@ -10,10 +10,9 @@
 //!   downtown stops).
 
 use crate::route::{Point, Route};
-use serde::{Deserialize, Serialize};
 
 /// A constant-speed stretch of a route.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SpeedSegment {
     /// Segment start, metres of arc length from the route origin.
     pub from_m: f64,
@@ -24,7 +23,7 @@ pub struct SpeedSegment {
 }
 
 /// A full stop (traffic light, crosswalk) at a point along the route.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Stop {
     /// Arc-length position of the stop in metres.
     pub at_m: f64,
@@ -33,7 +32,7 @@ pub struct Stop {
 }
 
 /// The three mobility patterns of the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MobilityPattern {
     /// UE held stationary (LoS throughput/latency tests).
     Stationary,

@@ -6,10 +6,9 @@
 //! plane centred on the campaign city; tower placement (in `fiveg-radio`)
 //! uses the same frame.
 
-use serde::{Deserialize, Serialize};
 
 /// A point in the local metric frame, in metres.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// Easting in metres.
     pub x: f64,
@@ -30,7 +29,7 @@ impl Point {
 }
 
 /// A polyline route with precomputed cumulative arc length.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Route {
     points: Vec<Point>,
     /// `cum[i]` = arc length from the start to `points[i]`, metres.

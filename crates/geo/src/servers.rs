@@ -14,10 +14,9 @@
 
 use crate::cities::{City, METROS, MINNEAPOLIS};
 use crate::coord::LatLon;
-use serde::{Deserialize, Serialize};
 
 /// The two commercial carriers of the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Carrier {
     /// Verizon: NSA mmWave (n260/n261) + NSA low-band (n5, DSS).
     Verizon,
@@ -36,7 +35,7 @@ impl Carrier {
 }
 
 /// Who operates a test server.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServerHost {
     /// Hosted by a carrier at its ingress edge (minimal Internet-side path).
     Carrier(Carrier),
@@ -47,7 +46,7 @@ pub enum ServerHost {
 }
 
 /// A throughput/latency test server.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerInfo {
     /// Display name, e.g. `"Verizon, Chicago"`.
     pub name: String,

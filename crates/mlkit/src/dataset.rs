@@ -1,10 +1,9 @@
 //! Feature matrices and split utilities.
 
 use fiveg_simcore::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// A dense dataset: one row per sample, one target per row.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Dataset {
     /// Feature names (column labels), used for interpretable trees.
     pub feature_names: Vec<String>,

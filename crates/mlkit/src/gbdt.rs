@@ -5,10 +5,9 @@
 
 use crate::dataset::Dataset;
 use crate::tree::{DecisionTreeRegressor, TreeConfig};
-use serde::{Deserialize, Serialize};
 
 /// Gradient-boosting hyper-parameters.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct GbdtConfig {
     /// Number of boosting rounds.
     pub n_estimators: usize,
@@ -32,7 +31,7 @@ impl Default for GbdtConfig {
 }
 
 /// A fitted gradient-boosted regressor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GbdtRegressor {
     base: f64,
     learning_rate: f64,
@@ -105,7 +104,7 @@ mod tests {
         let mut rng = RngStream::new(seed, "gbdt");
         let mut d = Dataset::new(vec!["x".into(), "y".into()], vec![], vec![]);
         for _ in 0..n {
-            let x = rng.gen_range(0.0..6.28);
+            let x = rng.gen_range(0.0..std::f64::consts::TAU);
             let y = rng.gen_range(0.0..1.0);
             d.push(vec![x, y], x.sin() * 5.0 + y * 2.0 + rng.normal(0.0, 0.05));
         }

@@ -6,10 +6,9 @@
 //! math — no BLAS, no autograd.
 
 use fiveg_simcore::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// One dense layer.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Layer {
     /// `weights[o][i]`: input `i` → output `o`.
     weights: Vec<Vec<f64>>,
@@ -38,7 +37,7 @@ impl Layer {
 }
 
 /// A feed-forward network: ReLU hidden layers, linear output.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<Layer>,
 }

@@ -8,10 +8,9 @@
 //! M1–M5 whose pruned structure Fig 22 draws.
 
 use crate::dataset::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters shared by both tree types.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TreeConfig {
     /// Maximum tree depth (root = depth 0).
     pub max_depth: usize,
@@ -35,7 +34,7 @@ impl Default for TreeConfig {
 }
 
 /// A tree node (arena-indexed).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Node {
     Leaf {
         value: f64,
@@ -55,7 +54,7 @@ enum Node {
 }
 
 /// Shared tree structure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Tree {
     nodes: Vec<Node>,
     n_features: usize,
@@ -127,6 +126,19 @@ impl Tree {
             .filter(|&i| matches!(self.nodes[i], Node::Leaf { .. }))
             .count()
     }
+
+    /// The sample count of the smallest reachable leaf (what the
+    /// `min_samples_leaf` constraint actually produced).
+    fn min_leaf_n(&self) -> usize {
+        self.reachable()
+            .into_iter()
+            .filter_map(|i| match self.nodes[i] {
+                Node::Leaf { n, .. } => Some(n),
+                Node::Split { .. } => None,
+            })
+            .min()
+            .unwrap_or(0)
+    }
 }
 
 /// Candidate split thresholds for a feature: quantiles of the observed
@@ -174,14 +186,15 @@ impl Criterion for VarianceCriterion {
 struct GiniCriterion;
 impl Criterion for GiniCriterion {
     fn leaf_value(targets: &[f64]) -> f64 {
-        // Majority class.
-        let mut counts = std::collections::HashMap::new();
+        // Majority class; count ties break toward the smaller class id so
+        // the tree is identical run-to-run (HashMap iteration order is not).
+        let mut counts = std::collections::BTreeMap::new();
         for &t in targets {
             *counts.entry(t as i64).or_insert(0usize) += 1;
         }
         counts
             .into_iter()
-            .max_by_key(|&(_, c)| c)
+            .max_by_key(|&(k, c)| (c, std::cmp::Reverse(k)))
             .map(|(k, _)| k as f64)
             .unwrap_or(0.0)
     }
@@ -189,7 +202,7 @@ impl Criterion for GiniCriterion {
         if targets.is_empty() {
             return 0.0;
         }
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for &t in targets {
             *counts.entry(t as i64).or_insert(0usize) += 1;
         }
@@ -372,7 +385,7 @@ impl Tree {
 }
 
 /// A human-readable split description (used to render Fig 22).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SplitDescription {
     /// Feature name.
     pub feature: String,
@@ -413,7 +426,7 @@ fn describe(tree: &Tree, names: &[String]) -> Vec<SplitDescription> {
 }
 
 /// Decision-tree regressor (variance-reduction CART).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DecisionTreeRegressor {
     tree: Tree,
     feature_names: Vec<String>,
@@ -452,6 +465,16 @@ impl DecisionTreeRegressor {
         self.tree.importances()
     }
 
+    /// The splits of the fitted tree, pre-order.
+    pub fn splits(&self) -> Vec<SplitDescription> {
+        describe(&self.tree, &self.feature_names)
+    }
+
+    /// Sample count of the smallest leaf.
+    pub fn min_leaf_samples(&self) -> usize {
+        self.tree.min_leaf_n()
+    }
+
     /// Tree depth.
     pub fn depth(&self) -> usize {
         self.tree.depth_from(0)
@@ -459,7 +482,7 @@ impl DecisionTreeRegressor {
 }
 
 /// Decision-tree classifier (Gini CART) with optional post-pruning.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DecisionTreeClassifier {
     tree: Tree,
     feature_names: Vec<String>,
@@ -513,6 +536,11 @@ impl DecisionTreeClassifier {
         self.tree.n_leaves()
     }
 
+    /// Sample count of the smallest leaf.
+    pub fn min_leaf_samples(&self) -> usize {
+        self.tree.min_leaf_n()
+    }
+
     /// Tree depth.
     pub fn depth(&self) -> usize {
         self.tree.depth_from(0)
@@ -562,6 +590,20 @@ mod tests {
         };
         let model = DecisionTreeRegressor::fit(&data, &cfg);
         assert!(model.depth() <= 3);
+    }
+
+    #[test]
+    fn regressor_respects_min_samples_leaf_and_names_splits() {
+        let data = linear_dataset(500, 11);
+        let cfg = TreeConfig {
+            min_samples_leaf: 20,
+            ..TreeConfig::default()
+        };
+        let model = DecisionTreeRegressor::fit(&data, &cfg);
+        assert!(model.min_leaf_samples() >= 20, "{}", model.min_leaf_samples());
+        let splits = model.splits();
+        assert!(!splits.is_empty());
+        assert!(splits.iter().all(|s| s.feature == "x" || s.feature == "noise"));
     }
 
     fn xor_dataset(n: usize, seed: u64) -> Dataset {

@@ -10,10 +10,9 @@
 
 use fiveg_radio::band::{BandClass, Direction};
 use fiveg_radio::ue::UeModel;
-use serde::{Deserialize, Serialize};
 
 /// The network kinds with distinct power curves.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetworkKind {
     /// 4G/LTE.
     Lte,
@@ -47,7 +46,7 @@ impl NetworkKind {
 }
 
 /// A linear throughput→power curve for one direction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerCurve {
     /// mW per Mbps (Table 8).
     pub slope_mw_per_mbps: f64,
@@ -63,7 +62,7 @@ impl PowerCurve {
 }
 
 /// The ground-truth radio power model for one device × network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DataPowerModel {
     /// Device.
     pub ue: UeModel,

@@ -10,11 +10,11 @@
 //!   1 Hz, +1111 mW at 10 Hz). §4.6 shows a DTR can calibrate it back to
 //!   a few percent MAPE; `fiveg-bench` reproduces that experiment.
 
-use fiveg_simcore::{RngStream, SimTime, TimeSeries};
-use serde::{Deserialize, Serialize};
+use fiveg_simcore::faults::{self, FaultKind};
+use fiveg_simcore::{budget, RngStream, SimTime, TimeSeries};
 
 /// The benchmark activities of Table 9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Activity {
     /// Random screen taps, app opens/closes.
     RandomInteraction,
@@ -93,7 +93,7 @@ impl Activity {
 }
 
 /// The Monsoon-like hardware monitor.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct HardwareMonitor {
     /// Sampling rate; the paper runs 5000 Hz.
     pub rate_hz: f64,
@@ -113,6 +113,10 @@ impl Default for HardwareMonitor {
 impl HardwareMonitor {
     /// Samples the ground-truth power function `truth(t_s) -> mW` for
     /// `duration_s` seconds.
+    ///
+    /// Under an ambient fault plane, samples inside a power-dropout window
+    /// are skipped entirely — the instrument simply records nothing, leaving
+    /// a gap in the trace, as a wedged sampling loop would.
     pub fn record<F: Fn(f64) -> f64>(
         &self,
         truth: F,
@@ -123,7 +127,11 @@ impl HardwareMonitor {
         let n = (duration_s * self.rate_hz).round() as usize;
         let mut ts = TimeSeries::new();
         for i in 0..n {
+            budget::charge(1);
             let t = i as f64 / self.rate_hz;
+            if faults::is_active(FaultKind::PowerDropout, t) {
+                continue;
+            }
             let v = truth(t) * (1.0 + rng.normal(0.0, self.noise_frac));
             ts.push(SimTime::from_secs_f64(t), v.max(0.0));
         }
@@ -137,7 +145,7 @@ impl HardwareMonitor {
 }
 
 /// The Android battery-API software monitor.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SoftwareMonitor {
     /// Sampling rate in Hz (the paper evaluates 1 and 10).
     pub rate_hz: f64,
@@ -205,7 +213,13 @@ impl SoftwareMonitor {
         let n = (duration_s * self.rate_hz).round() as usize;
         let mut ts = TimeSeries::new();
         for i in 0..n {
+            budget::charge(1);
             let t = i as f64 / self.rate_hz;
+            // Power-dropout fault windows swallow readings (see
+            // `HardwareMonitor::record`).
+            if faults::is_active(FaultKind::PowerDropout, t) {
+                continue;
+            }
             let v = truth(t) * ratio * (1.0 + rng.normal(0.0, noise));
             ts.push(SimTime::from_secs_f64(t), v.max(0.0));
         }

@@ -8,11 +8,10 @@
 
 use fiveg_rrc::profile::{RrcConfigId, RrcProfile, RrcState};
 use fiveg_simcore::{SimDuration, SimTime, TimeSeries};
-use serde::{Deserialize, Serialize};
 
 /// Radio power parameters of one carrier configuration (Table 2 ground
 /// truth plus supporting states).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RrcPowerParams {
     /// Configuration these parameters belong to.
     pub config: RrcConfigId,

@@ -4,10 +4,9 @@
 //! Fig 9's horizontal bars and computes the per-configuration summary row.
 
 use fiveg_radio::handoff::{ActiveRadio, BandSetting, DriveResult};
-use serde::{Deserialize, Serialize};
 
 /// A maximal run of constant active radio.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RadioSegment {
     /// Segment start, seconds.
     pub from_s: f64,
@@ -18,7 +17,7 @@ pub struct RadioSegment {
 }
 
 /// The Fig 9 row for one band setting.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DriveSummary {
     /// Band configuration driven.
     pub setting: BandSetting,

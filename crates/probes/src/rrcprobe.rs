@@ -17,10 +17,9 @@ use fiveg_radio::band::BandClass;
 use fiveg_rrc::machine::RrcMachine;
 use fiveg_rrc::profile::{RrcProfile, RrcState};
 use fiveg_simcore::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// One probe observation (a Fig 10 scatter point).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ProbeSample {
     /// Idle interval between packets, ms.
     pub interval_ms: f64,
@@ -34,7 +33,7 @@ pub struct ProbeSample {
 }
 
 /// Parameters recovered by the probe (the Table 7 row).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct InferredRrcParams {
     /// UE-inactivity (tail) timer, ms.
     pub tail_ms: f64,

@@ -15,10 +15,9 @@ use fiveg_simcore::{stats, RngStream};
 use fiveg_transport::path::PathModel;
 use fiveg_transport::tcp::{measure_throughput, TcpSimConfig};
 use fiveg_transport::udp::UdpFlow;
-use serde::{Deserialize, Serialize};
 
 /// Connection mode of a throughput test.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConnMode {
     /// One TCP connection, default kernel buffers (Fig 8 "1-TCP Default").
     SingleDefault,
@@ -34,7 +33,7 @@ pub enum ConnMode {
 }
 
 /// One aggregated test result.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TestResult {
     /// Server display name.
     pub server: String,

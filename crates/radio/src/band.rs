@@ -11,10 +11,9 @@
 //! Capacities and radio latencies here are the calibrated constants that
 //! drive the §3 reproductions; see `EXPERIMENTS.md` for paper-vs-measured.
 
-use serde::{Deserialize, Serialize};
 
 /// Transfer direction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Server → UE.
     Downlink,
@@ -23,7 +22,7 @@ pub enum Direction {
 }
 
 /// A specific radio band.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Band {
     /// 4G/LTE mid-band (AWS/PCS, ~1.7–2.1 GHz).
     LteMidBand,
@@ -38,7 +37,7 @@ pub enum Band {
 }
 
 /// Coarse class of a band; most models depend only on the class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BandClass {
     /// 4G/LTE.
     Lte,

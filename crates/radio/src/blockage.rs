@@ -7,11 +7,11 @@
 //! This process drives both the Lumos5G-style trace generator (deep
 //! throughput fades) and the walking power campaigns.
 
+use fiveg_simcore::faults::{self, FaultKind};
 use fiveg_simcore::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// Transition-rate configuration for the blockage process.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BlockageConfig {
     /// Ambient LoS→NLoS rate, events per second (stationary blockers).
     pub block_rate_per_s: f64,
@@ -46,6 +46,10 @@ pub struct BlockageProcess {
     /// down at the instantaneous rate, which makes the process correct under
     /// time-varying speed.
     hazard_remaining: f64,
+    /// Cumulative simulated time, so the ambient fault plane's
+    /// blockage-storm windows can be matched without changing `advance`'s
+    /// signature.
+    elapsed_s: f64,
 }
 
 impl BlockageProcess {
@@ -57,6 +61,7 @@ impl BlockageProcess {
             rng,
             blocked: false,
             hazard_remaining: hazard,
+            elapsed_s: 0.0,
         }
     }
 
@@ -65,20 +70,35 @@ impl BlockageProcess {
         self.blocked
     }
 
+    /// Cumulative time this process has been advanced, seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
     /// Advances the process by `dt_s` seconds while moving at `speed_mps`,
     /// returning the state at the end of the step.
+    ///
+    /// During an ambient blockage-storm fault window the LoS→NLoS rates
+    /// multiply by the storm magnitude and the NLoS→LoS rates divide by it:
+    /// blockers arrive in swarms and linger. The storm only rescales the
+    /// hazard clock — no extra randomness is drawn — so with no plane
+    /// installed the trajectory is bit-identical to a plane-free build.
     ///
     /// # Panics
     /// Panics if `dt_s` is negative.
     pub fn advance(&mut self, dt_s: f64, speed_mps: f64) -> bool {
         assert!(dt_s >= 0.0, "dt must be non-negative");
+        let storm = faults::magnitude(FaultKind::BlockageStorm, self.elapsed_s)
+            .map(|m| m.max(1.0))
+            .unwrap_or(1.0);
+        self.elapsed_s += dt_s;
         let mut remaining_dt = dt_s;
         let speed = speed_mps.max(0.0);
         while remaining_dt > 0.0 {
             let rate = if self.blocked {
-                self.cfg.clear_rate_per_s + speed * self.cfg.clear_rate_per_m
+                (self.cfg.clear_rate_per_s + speed * self.cfg.clear_rate_per_m) / storm
             } else {
-                self.cfg.block_rate_per_s + speed * self.cfg.block_rate_per_m
+                (self.cfg.block_rate_per_s + speed * self.cfg.block_rate_per_m) * storm
             };
             if rate <= 0.0 {
                 break;

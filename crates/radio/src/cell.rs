@@ -13,10 +13,10 @@
 use crate::band::{Band, BandClass};
 use crate::propagation::{rsrp_dbm, ShadowingField};
 use fiveg_geo::route::{Point, Route};
-use serde::{Deserialize, Serialize};
+use fiveg_simcore::faults::{self, FaultKind};
 
 /// The radio technology of a cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RadioTech {
     /// 4G LTE.
     Lte,
@@ -25,7 +25,7 @@ pub enum RadioTech {
 }
 
 /// One cell site.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Tower {
     /// Unique id within the layout (indexes the shadowing field).
     pub id: u64,
@@ -75,16 +75,59 @@ impl NetworkLayout {
         rsrp_dbm(tower.band, d, blocked) + self.shadowing.sample_db(tower.id, tower.band.class(), p)
     }
 
+    /// Whether `tower` is dark at simulated time `t_s` under the ambient
+    /// fault plane's cell-outage windows. Always false when no plane is
+    /// installed, so the default path costs one thread-local load.
+    pub fn tower_out(&self, tower: &Tower, t_s: f64) -> bool {
+        faults::targets(FaultKind::CellOutage, t_s, tower.id, self.towers.len() as u64)
+    }
+
     /// The strongest tower satisfying `filter`, with its RSRP, or `None` if
     /// no candidate is above its band's floor.
     pub fn best_cell<F>(&self, p: Point, mmwave_blocked: bool, filter: F) -> Option<(usize, f64)>
     where
         F: Fn(&Tower) -> bool,
     {
+        self.best_cell_inner(p, mmwave_blocked, None, filter)
+    }
+
+    /// [`Self::best_cell`] at simulated time `t_s`: towers darkened by a
+    /// cell-outage fault window covering `t_s` are invisible to selection.
+    /// Identical to `best_cell` when no fault plane is installed.
+    pub fn best_cell_at<F>(
+        &self,
+        p: Point,
+        mmwave_blocked: bool,
+        t_s: f64,
+        filter: F,
+    ) -> Option<(usize, f64)>
+    where
+        F: Fn(&Tower) -> bool,
+    {
+        self.best_cell_inner(p, mmwave_blocked, Some(t_s), filter)
+    }
+
+    fn best_cell_inner<F>(
+        &self,
+        p: Point,
+        mmwave_blocked: bool,
+        t_s: Option<f64>,
+        filter: F,
+    ) -> Option<(usize, f64)>
+    where
+        F: Fn(&Tower) -> bool,
+    {
+        // Consult the plane once per call, not once per tower.
+        let outages = t_s.filter(|_| faults::enabled());
         let mut best: Option<(usize, f64)> = None;
         for (i, t) in self.towers.iter().enumerate() {
             if !filter(t) {
                 continue;
+            }
+            if let Some(t_s) = outages {
+                if self.tower_out(t, t_s) {
+                    continue;
+                }
             }
             let rsrp = self.rsrp_at(t, p, mmwave_blocked);
             if rsrp < t.band.class().rsrp_floor_dbm() {

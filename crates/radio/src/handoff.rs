@@ -14,11 +14,11 @@
 
 use crate::cell::{NetworkLayout, RadioTech, Tower};
 use fiveg_geo::mobility::MobilityModel;
-use fiveg_simcore::RngStream;
-use serde::{Deserialize, Serialize};
+use fiveg_simcore::faults::{self, FaultKind};
+use fiveg_simcore::{budget, RngStream};
 
 /// The five band-enable settings of Fig 9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BandSetting {
     /// (i) SA n71 only.
     SaOnly,
@@ -57,7 +57,7 @@ impl BandSetting {
 }
 
 /// Which radio carries user data right now.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ActiveRadio {
     /// 4G LTE.
     Lte,
@@ -68,7 +68,7 @@ pub enum ActiveRadio {
 }
 
 /// Horizontal (tower) vs vertical (technology) handoff.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HandoffKind {
     /// Serving-cell change on the active data radio.
     Horizontal,
@@ -77,7 +77,7 @@ pub enum HandoffKind {
 }
 
 /// One logged handoff.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct HandoffEvent {
     /// Simulation time in seconds.
     pub t_s: f64,
@@ -88,7 +88,7 @@ pub struct HandoffEvent {
 }
 
 /// Tunables of the handoff engine.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct HandoffConfig {
     /// Reselection hysteresis in dB (A3 offset).
     pub hysteresis_db: f64,
@@ -130,7 +130,7 @@ impl Default for HandoffConfig {
 }
 
 /// Outcome of one drive.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DriveResult {
     /// The band setting driven.
     pub setting: BandSetting,
@@ -230,7 +230,7 @@ impl ReselState {
     where
         F: Fn(&Tower) -> bool,
     {
-        let best = layout.best_cell(p, false, &filter);
+        let best = layout.best_cell_at(p, false, t, &filter);
         match (self.serving, best) {
             (None, None) => false,
             (None, Some((idx, _))) => {
@@ -242,7 +242,7 @@ impl ReselState {
             (Some(cur), None) => {
                 let tower = &layout.towers[cur];
                 let rsrp = layout.rsrp_at(tower, p, false);
-                if rsrp < tower.band.class().rsrp_floor_dbm() {
+                if rsrp < tower.band.class().rsrp_floor_dbm() || layout.tower_out(tower, t) {
                     self.serving = None;
                     self.pending = None;
                     true
@@ -258,8 +258,11 @@ impl ReselState {
                 let cur_tower = &layout.towers[cur];
                 let cur_rsrp = layout.rsrp_at(cur_tower, p, false);
                 // Radio-link failure: switch immediately when the serving
-                // cell falls through the floor.
-                if cur_rsrp < cur_tower.band.class().rsrp_floor_dbm() {
+                // cell falls through the floor — or its site goes dark under
+                // a cell-outage fault window.
+                if cur_rsrp < cur_tower.band.class().rsrp_floor_dbm()
+                    || layout.tower_out(cur_tower, t)
+                {
                     self.serving = Some(idx);
                     self.pending = None;
                     return true;
@@ -313,6 +316,7 @@ pub fn simulate_drive(
     let mut booted = false;
 
     while t <= duration {
+        budget::charge(1);
         let p = mobility.position_at(t);
         let dist = mobility.distance_at(t);
         let moved_m = (dist - last_dist).max(0.0);
@@ -386,6 +390,14 @@ pub fn simulate_drive(
             {
                 st.leg_down_until_s = t + cfg.leg_reestablish_s;
             }
+        }
+
+        // Fault plane: during an NSA anchor-loss window the LTE anchor is
+        // gone, so the NR leg stays torn down for the window plus the normal
+        // re-establish blackout. No randomness is drawn, so with no plane
+        // installed the drive is bit-identical.
+        if nsa_enabled && faults::is_active(FaultKind::AnchorLoss, t) {
+            st.leg_down_until_s = st.leg_down_until_s.max(t + cfg.leg_reestablish_s);
         }
 
         // --- Active radio selection ---

@@ -35,7 +35,7 @@ pub use ue::UeModel;
 pub use fiveg_geo::servers::Carrier;
 
 /// A 5G deployment mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Deployment {
     /// Non-Standalone: 5G data plane over the 4G control plane.
     Nsa,

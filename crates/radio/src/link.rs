@@ -7,10 +7,10 @@
 
 use crate::band::{Band, BandClass, Direction};
 use crate::ue::UeModel;
-use serde::{Deserialize, Serialize};
+use fiveg_simcore::faults::{self, FaultKind};
 
 /// The instantaneous radio link between a UE and its serving cell.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkState {
     /// Serving band.
     pub band: Band,
@@ -34,6 +34,21 @@ pub fn link_capacity_mbps(ue: UeModel, link: &LinkState, dir: Direction) -> f64 
     let class = link.band.class();
     let cell = class.cell_capacity_mbps(dir, link.sa) * capacity_fraction(class, link.rsrp_dbm);
     cell.min(ue.max_throughput_mbps(class, dir))
+}
+
+/// [`link_capacity_mbps`] at simulated time `t_s`: during an ambient
+/// blockage-storm fault window, mmWave capacity divides by the storm
+/// magnitude (beam tracking thrashes; sub-6 GHz is untouched). Identical to
+/// `link_capacity_mbps` when no fault plane is installed.
+pub fn link_capacity_mbps_at(ue: UeModel, link: &LinkState, dir: Direction, t_s: f64) -> f64 {
+    let cap = link_capacity_mbps(ue, link, dir);
+    if link.band.class() != BandClass::MmWave {
+        return cap;
+    }
+    match faults::magnitude(FaultKind::BlockageStorm, t_s) {
+        Some(m) => cap / m.max(1.0),
+        None => cap,
+    }
 }
 
 #[cfg(test)]

@@ -11,10 +11,9 @@
 //! | S20U| QC X55 | 8               | 2     | ≈3.4 Gbps              |
 
 use crate::band::{BandClass, Direction};
-use serde::{Deserialize, Serialize};
 
 /// The smartphone models of the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UeModel {
     /// Google Pixel 5 (Snapdragon X52 modem, 4CC).
     Pixel5,

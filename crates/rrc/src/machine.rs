@@ -18,11 +18,11 @@
 
 use crate::profile::{RrcProfile, RrcState};
 use fiveg_radio::band::BandClass;
+use fiveg_simcore::faults::{self, FaultKind};
 use fiveg_simcore::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// Result of a packet arrival at the UE.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccessDelay {
     /// RRC-induced delay before the UE's reply leaves, in ms (excludes the
     /// network path RTT, which the caller adds per radio).
@@ -63,7 +63,14 @@ impl RrcMachine {
     }
 
     /// The state at `now_ms`, before any packet processing.
+    ///
+    /// During an ambient RRC-reset fault window the connection is torn down:
+    /// the machine reports RRC_IDLE regardless of recent activity, so the
+    /// next packet pays the full paging + promotion cost.
     pub fn state_at(&self, now_ms: f64) -> RrcState {
+        if faults::is_active(FaultKind::RrcReset, now_ms / 1_000.0) {
+            return RrcState::Idle;
+        }
         match self.last_activity_ms {
             None => RrcState::Idle,
             Some(last) => self.profile.state_after_idle(now_ms - last),
@@ -130,6 +137,14 @@ impl RrcMachine {
                     (paging + promo4, BandClass::Lte)
                 }
             }
+        };
+
+        // Fault plane: a stuck RRC timer stretches every paging/promotion/DRX
+        // wait by the window's magnitude. Applied after the state logic so
+        // that, with no plane installed, delays are bit-identical.
+        let delay = match faults::magnitude(FaultKind::RrcStuckTimer, now_ms / 1_000.0) {
+            Some(m) => delay * m.max(1.0),
+            None => delay,
         };
 
         self.last_activity_ms = Some(now_ms + delay);

@@ -6,10 +6,9 @@
 
 use fiveg_radio::band::BandClass;
 use fiveg_radio::Carrier;
-use serde::{Deserialize, Serialize};
 
 /// RRC protocol states (union over 4G and 5G SA/NSA).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RrcState {
     /// Data radio up on the profile's primary radio (NR for 5G, LTE for 4G).
     Connected,
@@ -22,7 +21,7 @@ pub enum RrcState {
 }
 
 /// The six carrier/radio configurations of Table 7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RrcConfigId {
     /// T-Mobile SA low-band 5G.
     TmSaLowBand,
@@ -65,7 +64,7 @@ impl RrcConfigId {
 }
 
 /// RRC timer/delay parameters for one carrier configuration. Times in ms.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RrcProfile {
     /// Which configuration this is.
     pub id: RrcConfigId,

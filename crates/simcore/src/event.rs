@@ -76,9 +76,15 @@ impl<E> EventQueue<E> {
 
     /// Schedules `payload` at absolute time `at`.
     ///
+    /// Each schedule charges one event against the thread's
+    /// [`crate::budget`], so a supervised run with a runaway event loop
+    /// dies deterministically instead of hanging.
+    ///
     /// # Panics
-    /// Panics if `at` is before the current clock — the past is immutable.
+    /// Panics if `at` is before the current clock — the past is immutable —
+    /// or if an armed event budget is exhausted.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
+        crate::budget::charge(1);
         assert!(
             at >= self.now,
             "cannot schedule into the past: at={at} now={}",

@@ -13,13 +13,21 @@
 //!   (e.g. 95th-percentile Speedtest results),
 //! * [`series::TimeSeries`] — timestamped samples with integration and
 //!   resampling, used for power traces (5 kHz "Monsoon" sampling) and
-//!   per-second throughput traces.
+//!   per-second throughput traces,
+//! * [`faults`] — a deterministic fault-injection plane: seeded, named
+//!   disruption events (cell outages, blockage storms, RRC resets, loss
+//!   bursts, …) that components consult through a thread-local ambient
+//!   schedule, off by default and free when off,
+//! * [`budget`] — per-thread event budgets so a supervised runner can kill
+//!   runaway experiments deterministically.
 //!
 //! The kernel is single-threaded and allocation-light by design: determinism
 //! is a feature, because the "field" this workspace measures is itself a
 //! simulation that must be re-runnable bit-for-bit.
 
+pub mod budget;
 pub mod event;
+pub mod faults;
 pub mod rng;
 pub mod series;
 pub mod stats;

@@ -5,19 +5,22 @@
 //! blockage, loss processes, website corpus, ...) derives its own independent
 //! [`RngStream`] from a campaign seed plus a stable component name, so that
 //! adding a new consumer of randomness never perturbs existing experiments.
+//!
+//! The generator is an in-tree xoshiro256++ seeded through SplitMix64 — no
+//! external crates, so the workspace builds with zero network access. The
+//! [`SampleRange`] trait is a thin compat shim keeping the familiar
+//! `gen_range(lo..hi)` / `gen_range(lo..=hi)` call-site syntax.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
 
-/// A deterministic random stream derived from `(seed, name)`.
-///
-/// Cloning yields an identical stream state; use [`RngStream::fork`] to
-/// derive an independent child stream.
-#[derive(Debug, Clone)]
-pub struct RngStream {
-    rng: SmallRng,
-    seed: u64,
+/// SplitMix64 step: advances `state` and returns the next output. Used both
+/// to fold seeds and to expand a 64-bit seed into xoshiro's 256-bit state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// FNV-1a hash of a byte string, used to fold stream names into seeds.
@@ -30,19 +33,32 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// A deterministic random stream derived from `(seed, name)`.
+///
+/// Cloning yields an identical stream state; use [`RngStream::fork`] to
+/// derive an independent child stream.
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    /// xoshiro256++ state.
+    s: [u64; 4],
+    seed: u64,
+}
+
 impl RngStream {
     /// Creates the stream identified by `name` under the campaign `seed`.
     pub fn new(seed: u64, name: &str) -> Self {
         let mixed = seed ^ fnv1a(name.as_bytes()).rotate_left(17);
-        // SplitMix64 finalizer to decorrelate nearby seeds.
-        let mut z = mixed.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
-        RngStream {
-            rng: SmallRng::seed_from_u64(z),
-            seed: z,
-        }
+        let mut sm = mixed;
+        // Finalize once to decorrelate nearby seeds, then expand to 256 bits.
+        let z = splitmix64(&mut sm);
+        let mut expand = z;
+        let s = [
+            splitmix64(&mut expand),
+            splitmix64(&mut expand),
+            splitmix64(&mut expand),
+            splitmix64(&mut expand),
+        ];
+        RngStream { s, seed: z }
     }
 
     /// Derives an independent child stream; the child is a pure function of
@@ -52,29 +68,50 @@ impl RngStream {
         RngStream::new(self.seed, name)
     }
 
-    /// Uniform sample from `range`.
-    pub fn gen_range<T, R>(&mut self, range: R) -> T
-    where
-        T: SampleUniform,
-        R: SampleRange<T>,
-    {
-        self.rng.gen_range(range)
+    /// The next raw 64-bit output (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
-    /// Uniform sample in `[0, 1)`.
+    /// Uniform sample from `range` (`lo..hi` or `lo..=hi`).
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+
+    /// Uniform sample in `[0, 1)` with 53 bits of precision.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample in `(0, 1]` — never zero, safe to `ln()`.
+    fn uniform_open(&mut self) -> f64 {
+        ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
     pub fn chance(&mut self, p: f64) -> bool {
-        self.rng.gen::<f64>() < p.clamp(0.0, 1.0)
+        self.uniform() < p.clamp(0.0, 1.0)
     }
 
     /// Standard normal sample (Box–Muller).
     pub fn std_normal(&mut self) -> f64 {
-        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.rng.gen();
+        let u1 = self.uniform_open();
+        let u2 = self.uniform();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -89,8 +126,7 @@ impl RngStream {
     /// Panics if `rate` is not strictly positive.
     pub fn exponential(&mut self, rate: f64) -> f64 {
         assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
-        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        -u.ln() / rate
+        -self.uniform_open().ln() / rate
     }
 
     /// Log-normal sample parameterized by the mean/std of the underlying
@@ -103,8 +139,7 @@ impl RngStream {
     /// sizes, e.g. web object sizes).
     pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
         assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
-        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        xm / u.powf(1.0 / alpha)
+        xm / self.uniform_open().powf(1.0 / alpha)
     }
 
     /// Chooses one element of `slice` uniformly.
@@ -113,17 +148,60 @@ impl RngStream {
     /// Panics if `slice` is empty.
     pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
         assert!(!slice.is_empty(), "cannot choose from an empty slice");
-        &slice[self.rng.gen_range(0..slice.len())]
+        let i = self.gen_range(0..slice.len());
+        &slice[i]
     }
 
     /// Fisher–Yates shuffle in place.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.gen_range(0..=i);
             slice.swap(i, j);
         }
     }
+
+    /// Uniform integer in `[0, span)` via multiply-shift.
+    fn bounded(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0, "empty range");
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
 }
+
+/// Ranges [`RngStream::gen_range`] can sample from — the compat shim that
+/// keeps `gen_range(lo..hi)` call sites working without the `rand` crate.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut RngStream) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut RngStream) -> f64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        self.start + rng.uniform() * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut RngStream) -> $t {
+                assert!(self.start < self.end, "empty range {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut RngStream) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "empty range {lo}..={hi}");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.bounded(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, i64, i32);
 
 #[cfg(test)]
 mod tests {
@@ -201,6 +279,38 @@ mod tests {
         let mut rng = RngStream::new(3, "pareto");
         for _ in 0..1000 {
             assert!(rng.pareto(2.0, 1.5) >= 2.0);
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = RngStream::new(5, "ranges");
+        for _ in 0..2000 {
+            let x: f64 = rng.gen_range(2.5..7.5);
+            assert!((2.5..7.5).contains(&x));
+            let i: usize = rng.gen_range(3..10);
+            assert!((3..10).contains(&i));
+            let j: i32 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&j));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_inclusive_endpoints() {
+        let mut rng = RngStream::new(6, "inclusive");
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..=2)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..=2 reachable: {seen:?}");
+    }
+
+    #[test]
+    fn uniform_is_half_open() {
+        let mut rng = RngStream::new(8, "u");
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
         }
     }
 }

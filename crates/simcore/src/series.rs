@@ -6,10 +6,9 @@
 //! must align them), and windowed averaging (per-second throughput).
 
 use crate::time::{SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// A time-ordered series of scalar samples.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     times: Vec<SimTime>,
     values: Vec<f64>,

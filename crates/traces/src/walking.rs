@@ -18,10 +18,9 @@ use fiveg_radio::link::{link_capacity_mbps, LinkState};
 use fiveg_radio::ue::UeModel;
 use fiveg_radio::Carrier;
 use fiveg_simcore::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// One 10 Hz-logged walking sample.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct WalkingSample {
     /// Seconds since the walk started.
     pub t_s: f64,
@@ -36,7 +35,7 @@ pub struct WalkingSample {
 }
 
 /// A walking campaign configuration (one Fig 15 setting).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalkingCampaign {
     /// Device under test.
     pub ue: UeModel,
@@ -185,7 +184,7 @@ impl WalkingCampaign {
 }
 
 /// Which features a power model sees (Fig 15's three variants).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PowerFeatures {
     /// Throughput + signal strength (the paper's model).
     ThroughputAndSignal,

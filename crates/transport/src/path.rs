@@ -18,7 +18,6 @@ use fiveg_radio::band::Direction;
 use fiveg_radio::link::{link_capacity_mbps, LinkState};
 use fiveg_radio::ue::UeModel;
 use fiveg_simcore::units::fiber_rtt_ms;
-use serde::{Deserialize, Serialize};
 
 /// Routing inflation: real Internet paths are ~70% longer than great
 /// circles.
@@ -34,7 +33,7 @@ pub const BASE_LOSS: f64 = 2.0e-7;
 pub const LOSS_PER_KM: f64 = 1.2e-9;
 
 /// The transport-layer view of one UE↔server path.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PathModel {
     /// Base round-trip time in milliseconds (no queueing).
     pub rtt_ms: f64,

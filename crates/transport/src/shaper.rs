@@ -6,10 +6,11 @@
 //! 1-second granularity and answers the question a DASH player asks: *how
 //! long does this chunk take to download starting at time t?*
 
-use serde::{Deserialize, Serialize};
+use fiveg_simcore::budget;
+use fiveg_simcore::faults::{self, FaultKind};
 
 /// A throughput trace with uniform sample granularity.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BandwidthTrace {
     /// Throughput samples in Mbps.
     samples: Vec<f64>,
@@ -58,7 +59,13 @@ impl BandwidthTrace {
 
     /// Instantaneous bandwidth at `t_s` (the trace loops past its end, as
     /// in the paper's trace replay).
+    ///
+    /// Under an ambient fault plane, a stall window covering `t_s` zeroes
+    /// the bandwidth: the shaped link carries nothing for the duration.
     pub fn bandwidth_at(&self, t_s: f64) -> f64 {
+        if faults::is_active(FaultKind::StallWindow, t_s) {
+            return 0.0;
+        }
         let idx = (t_s.max(0.0) / self.granularity_s) as usize % self.samples.len();
         self.samples[idx]
     }
@@ -78,10 +85,11 @@ impl BandwidthTrace {
         let mut remaining_bits = bytes * 8.0;
         let mut t = start_s.max(0.0);
         loop {
-            let idx = (t / self.granularity_s) as usize % self.samples.len();
+            budget::charge(1);
             let slot_end = ((t / self.granularity_s).floor() + 1.0) * self.granularity_s;
             let window = slot_end - t;
-            let rate_bps = self.samples[idx] * 1e6;
+            // `bandwidth_at` also applies ambient stall-window faults.
+            let rate_bps = self.bandwidth_at(t) * 1e6;
             let can_send = rate_bps * window;
             if can_send >= remaining_bits {
                 let dt = if rate_bps > 0.0 {

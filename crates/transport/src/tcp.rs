@@ -14,11 +14,11 @@
 //! * even a tuned buffer trails UDP because loss recovery keeps biting.
 
 use crate::path::PathModel;
-use fiveg_simcore::RngStream;
-use serde::{Deserialize, Serialize};
+use fiveg_simcore::faults::{self, FaultKind};
+use fiveg_simcore::{budget, RngStream};
 
 /// Congestion-control algorithm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CcAlgo {
     /// Linux CUBIC (the paper's default).
     Cubic,
@@ -43,7 +43,7 @@ pub const WMEM_DEFAULT_BYTES: f64 = 1.0e6;
 pub const WMEM_TUNED_BYTES: f64 = 16.0e6;
 
 /// Configuration of a TCP simulation run.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct TcpSimConfig {
     /// Number of parallel connections.
     pub connections: usize,
@@ -152,7 +152,7 @@ impl Flow {
 }
 
 /// Result of a TCP simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TcpRunResult {
     /// Mean goodput over the measurement window, Mbps.
     pub mean_mbps: f64,
@@ -188,9 +188,9 @@ impl TcpSim {
     }
 
     /// Instantaneous aggregate goodput given current windows, in Mbps, and
-    /// the per-flow demands (window- and buffer-limited).
-    fn demands_mbps(&self) -> Vec<f64> {
-        let rtt_s = self.path.rtt_ms / 1e3;
+    /// the per-flow demands (window- and buffer-limited) at effective RTT
+    /// `rtt_s`.
+    fn demands_mbps(&self, rtt_s: f64) -> Vec<f64> {
         let buf_limit = self.cfg.wmem_bytes * 8.0 / 1e6 / rtt_s;
         self.flows
             .iter()
@@ -202,8 +202,16 @@ impl TcpSim {
     }
 
     /// Runs for `duration_s`, measuring goodput over the whole run.
+    ///
+    /// Under an ambient fault plane, per-step effective path parameters
+    /// honour three fault kinds at the step's local time: loss bursts
+    /// multiply the per-packet loss rate by the window's magnitude, RTT
+    /// spikes multiply the path RTT by `1 + magnitude`, and stall windows
+    /// freeze the flows entirely (nothing delivered, nothing ACKed, windows
+    /// held). With no plane installed the run is bit-identical to a
+    /// plane-free build.
     pub fn run(&mut self, duration_s: f64) -> TcpRunResult {
-        let rtt_s = self.path.rtt_ms / 1e3;
+        let base_rtt_s = self.path.rtt_ms / 1e3;
         let dt = self.cfg.dt_s;
         let mut t = 0.0;
         let mut delivered_mb = 0.0;
@@ -213,7 +221,30 @@ impl TcpSim {
         let mut next_second = 1.0;
 
         while t < duration_s {
-            let demands = self.demands_mbps();
+            budget::charge(1);
+            let (rtt_s, loss_per_pkt, stalled) = if faults::enabled() {
+                let rtt_mult = faults::magnitude(FaultKind::RttSpike, t)
+                    .map_or(1.0, |m| 1.0 + m.max(0.0));
+                let loss_mult =
+                    faults::magnitude(FaultKind::LossBurst, t).map_or(1.0, |m| m.max(1.0));
+                (
+                    base_rtt_s * rtt_mult,
+                    self.path.loss_per_pkt * loss_mult,
+                    faults::is_active(FaultKind::StallWindow, t),
+                )
+            } else {
+                (base_rtt_s, self.path.loss_per_pkt, false)
+            };
+            if stalled {
+                t += dt;
+                if t >= next_second {
+                    per_second.push(second_acc);
+                    second_acc = 0.0;
+                    next_second += 1.0;
+                }
+                continue;
+            }
+            let demands = self.demands_mbps(rtt_s);
             let total: f64 = demands.iter().sum();
             // Fair sharing at the bottleneck: proportional scale-down.
             let scale = if total > self.path.capacity_mbps {
@@ -231,7 +262,7 @@ impl TcpSim {
                 second_acc += thr * dt;
                 // Random path loss: Poisson over delivered packets.
                 let pkts = self.path.packets_per_sec(thr) * dt;
-                let p_loss = 1.0 - (-pkts * self.path.loss_per_pkt).exp();
+                let p_loss = 1.0 - (-pkts * loss_per_pkt).exp();
                 // Bottleneck overflow: flows pushing beyond their share get
                 // cut with a rate proportional to the overload.
                 let p_overflow = if over {
@@ -269,6 +300,13 @@ impl TcpSim {
             loss_events,
             per_second_mbps: per_second,
         }
+    }
+}
+
+impl TcpSim {
+    /// Test/debug helper: the current cwnd (packets) of flow `i`.
+    pub fn debug_cwnd(&self, i: usize) -> f64 {
+        self.flows[i].cwnd_pkts
     }
 }
 
@@ -394,12 +432,5 @@ mod tests {
             ..TcpSimConfig::single_default()
         };
         TcpSim::new(path(10.0, 100.0, 10.0), cfg, RngStream::new(1, "t"));
-    }
-}
-
-impl TcpSim {
-    /// Test/debug helper: the current cwnd (packets) of flow `i`.
-    pub fn debug_cwnd(&self, i: usize) -> f64 {
-        self.flows[i].cwnd_pkts
     }
 }

@@ -5,17 +5,17 @@
 //! UE at controlled throughput targets for the power experiments (§4.3).
 
 use crate::path::PathModel;
-use serde::{Deserialize, Serialize};
+use fiveg_simcore::faults::{self, FaultKind};
 
 /// A CBR UDP flow pushed at a target rate.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct UdpFlow {
     /// Sender's target rate, Mbps.
     pub target_mbps: f64,
 }
 
 /// Outcome of a UDP run over a path.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UdpResult {
     /// Receiver-side goodput, Mbps.
     pub achieved_mbps: f64,
@@ -36,10 +36,32 @@ impl UdpFlow {
     /// Runs the flow over `path`: goodput is capacity-clipped, and overload
     /// manifests as datagram loss (on top of the path's random loss).
     pub fn run(&self, path: &PathModel) -> UdpResult {
+        self.run_with(path, path.loss_per_pkt, false)
+    }
+
+    /// [`Self::run`] at simulated time `t_s`: under an ambient fault plane,
+    /// a loss burst multiplies the path's per-packet loss by the window's
+    /// magnitude and a stall window drops every datagram. Identical to
+    /// `run` when no plane is installed.
+    pub fn run_at(&self, path: &PathModel, t_s: f64) -> UdpResult {
+        let loss = match faults::magnitude(FaultKind::LossBurst, t_s) {
+            Some(m) => (path.loss_per_pkt * m.max(1.0)).min(1.0),
+            None => path.loss_per_pkt,
+        };
+        self.run_with(path, loss, faults::is_active(FaultKind::StallWindow, t_s))
+    }
+
+    fn run_with(&self, path: &PathModel, loss_per_pkt: f64, stalled: bool) -> UdpResult {
         if self.target_mbps == 0.0 {
             return UdpResult {
                 achieved_mbps: 0.0,
                 loss_fraction: 0.0,
+            };
+        }
+        if stalled {
+            return UdpResult {
+                achieved_mbps: 0.0,
+                loss_fraction: 1.0,
             };
         }
         let delivered = self.target_mbps.min(path.capacity_mbps);
@@ -49,10 +71,10 @@ impl UdpFlow {
             0.0
         };
         // Random loss applies to what got through the bottleneck.
-        let achieved = delivered * (1.0 - path.loss_per_pkt);
+        let achieved = delivered * (1.0 - loss_per_pkt);
         UdpResult {
             achieved_mbps: achieved,
-            loss_fraction: (overload_loss + path.loss_per_pkt * (1.0 - overload_loss)).min(1.0),
+            loss_fraction: (overload_loss + loss_per_pkt * (1.0 - overload_loss)).min(1.0),
         }
     }
 }

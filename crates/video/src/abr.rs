@@ -9,7 +9,6 @@
 
 use crate::asset::VideoAsset;
 use crate::predictor::{HarmonicMeanPredictor, ThroughputPredictor};
-use serde::{Deserialize, Serialize};
 
 /// Everything an ABR sees when choosing the next chunk's track.
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +36,7 @@ pub trait Abr {
 }
 
 /// The algorithm identifiers of Fig 17.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AbrAlgo {
     /// Buffer-based BBA.
     Bba,

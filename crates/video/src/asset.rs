@@ -6,10 +6,9 @@
 //! "to identify rate adaptation challenges … avoiding any trivial bitrate
 //! selection."
 
-use serde::{Deserialize, Serialize};
 
 /// An encoded video: a bitrate ladder plus chunking parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VideoAsset {
     /// Track bitrates in Mbps, ascending.
     pub bitrates_mbps: Vec<f64>,

@@ -15,10 +15,9 @@ use fiveg_radio::band::Direction;
 use fiveg_radio::ue::UeModel;
 use fiveg_simcore::stats::harmonic_mean;
 use fiveg_transport::shaper::BandwidthTrace;
-use serde::{Deserialize, Serialize};
 
 /// Interface-selection policy configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct IfSelectConfig {
     /// Enable the 5G-aware policy ("5G-only MPC" when false).
     pub enabled: bool,
@@ -62,7 +61,7 @@ impl IfSelectConfig {
 }
 
 /// Result of an interface-selected session.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IfSelectResult {
     /// The streaming session outcome.
     pub session: SessionResult,

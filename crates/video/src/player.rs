@@ -9,10 +9,9 @@
 use crate::abr::{Abr, AbrContext};
 use crate::asset::VideoAsset;
 use fiveg_transport::shaper::BandwidthTrace;
-use serde::{Deserialize, Serialize};
 
 /// Player configuration.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PlayerConfig {
     /// Maximum buffer level in seconds; downloads pause above it.
     pub max_buffer_s: f64,
@@ -34,7 +33,7 @@ impl Default for PlayerConfig {
 }
 
 /// Per-chunk download record.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ChunkRecord {
     /// Chunk index.
     pub index: usize,
@@ -53,7 +52,7 @@ pub struct ChunkRecord {
 }
 
 /// Outcome of one streaming session.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SessionResult {
     /// Mean normalized bitrate across chunks (Fig 17's y-axis).
     pub avg_norm_bitrate: f64,

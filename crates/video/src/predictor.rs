@@ -3,7 +3,6 @@
 use fiveg_mlkit::dataset::Dataset;
 use fiveg_mlkit::gbdt::{GbdtConfig, GbdtRegressor};
 use fiveg_transport::shaper::BandwidthTrace;
-use serde::{Deserialize, Serialize};
 
 /// Predicts near-future throughput from recent observations.
 pub trait ThroughputPredictor {
@@ -18,7 +17,7 @@ pub trait ThroughputPredictor {
 
 /// FastMPC's default: harmonic mean of the last `window` chunk
 /// throughputs.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct HarmonicMeanPredictor {
     /// Number of past samples to average.
     pub window: usize,

@@ -13,10 +13,9 @@ use crate::site::{Website, WebsiteCorpus};
 use fiveg_mlkit::dataset::Dataset;
 use fiveg_mlkit::tree::{DecisionTreeClassifier, SplitDescription, TreeConfig};
 use fiveg_simcore::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// One (α, β) operating point — a row of Table 6.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ModelSpec {
     /// Model id, "M1" … "M5".
     pub id: &'static str,
@@ -67,7 +66,7 @@ impl ModelSpec {
 }
 
 /// Per-site measurements over both radios.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SiteMeasurement {
     /// The site's Table 5 features.
     pub features: Vec<f64>,
@@ -134,7 +133,7 @@ pub struct SelectionModel {
 }
 
 /// Table 6 evaluation counts on a test set.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct SelectionCounts {
     /// Sites routed to 4G.
     pub use_4g: usize,

@@ -19,10 +19,9 @@ use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
 use fiveg_radio::band::{BandClass, Direction};
 use fiveg_radio::ue::UeModel;
 use fiveg_simcore::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// The radio a page is loaded over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WebRadio {
     /// 4G/LTE.
     Lte,
@@ -61,7 +60,7 @@ impl WebRadio {
 }
 
 /// One page-load outcome (a HAR-record summary).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct LoadResult {
     /// Page load time, seconds.
     pub plt_s: f64,

@@ -6,10 +6,9 @@
 //! a beta-like dynamic-object fraction, and a handful of images/videos.
 
 use fiveg_simcore::RngStream;
-use serde::{Deserialize, Serialize};
 
 /// One website's load-relevant factors (Table 5).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Website {
     /// Site index in the corpus (rank stand-in).
     pub id: usize,
@@ -80,7 +79,7 @@ impl Website {
 }
 
 /// A generated corpus of websites.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WebsiteCorpus {
     /// The sites.
     pub sites: Vec<Website>,
