@@ -17,4 +17,47 @@ cargo test -q --offline
 echo "==> lint: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# --- Chaos smoke matrix -----------------------------------------------------
+# Run a small campaign under every non-quiet fault scenario, against the
+# experiments that exercise that scenario's layer. `--check-manifest` is the
+# gate: it exits non-zero if the manifest is malformed or any experiment
+# degraded. Each scenario must also record at least one recovery action.
+FIG=./target/release/figures
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+
+smoke() {
+    local sc=$1; shift
+    local dir="$SMOKE_DIR/$sc"
+    echo "==> chaos smoke: $sc ($*)"
+    "$FIG" --seed 2021 --chaos "$sc" --out "$dir" "$@" > /dev/null
+    "$FIG" --check-manifest "$dir/manifest.json"
+    local events
+    events=$("$FIG" --check-manifest "$dir/manifest.json" | grep -o '[0-9]* recovery events' | cut -d' ' -f1)
+    if [ "$events" -eq 0 ]; then
+        echo "error: scenario $sc recorded no recovery actions" >&2
+        exit 1
+    fi
+}
+
+smoke blockage-storm        fig9 fig17
+smoke dead-zone-drive       fig9
+smoke rrc-flaky             fig10
+smoke transport-turbulence  fig8 fig17 fig19
+smoke power-glitch          table2
+smoke chaos                 table2 fig9 fig10
+
+# Double-run determinism: the same chaos campaign, run twice, must produce
+# byte-identical manifests (and so identical hashes).
+echo "==> chaos smoke: double-run determinism"
+"$FIG" --seed 2021 --chaos chaos --out "$SMOKE_DIR/det-a" table2 fig9 fig10 > /dev/null
+cmp "$SMOKE_DIR/chaos/manifest.json" "$SMOKE_DIR/det-a/manifest.json"
+
+# Resume determinism: a campaign continued with --resume finishes with the
+# same manifest bytes as an uninterrupted one.
+echo "==> chaos smoke: resume determinism"
+"$FIG" --seed 2021 --chaos chaos --out "$SMOKE_DIR/det-b" table2 > /dev/null
+"$FIG" --seed 2021 --chaos chaos --out "$SMOKE_DIR/det-b" --resume table2 fig9 fig10 > /dev/null
+cmp "$SMOKE_DIR/chaos/manifest.json" "$SMOKE_DIR/det-b/manifest.json"
+
 echo "==> ci: all green"

@@ -1,29 +1,208 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! figures                  # list available experiments
-//! figures all              # run everything, in paper order
-//! figures fig3 fig9        # run specific experiments
-//! figures --seed 7 all     # re-roll the simulated world
+//! figures                      # list available experiments
+//! figures all                  # run everything, in paper order
+//! figures fig3 fig9            # run specific experiments
+//! figures --seed 7 all         # re-roll the simulated world
 //! figures --out results/ all   # also write one .txt per experiment
 //! figures --chaos chaos all    # inject a named fault scenario
+//! figures --resume --out results/ all   # continue a killed campaign
+//! figures --list-scenarios     # print fault scenarios, one per line
+//! figures --check-manifest results/manifest.json   # CI gate
 //! ```
 //!
 //! Every experiment runs under the supervised runner: a panic, runaway
 //! loop, or deadline blow-out in one experiment yields a `DEGRADED` report
 //! for that experiment and the campaign continues. With `--chaos <name>`,
 //! the named fault scenario (see `fiveg_simcore::faults::FaultScenario`)
-//! is installed on each experiment's thread; without it the fault plane
-//! stays uninstalled and the output is bit-identical to an unsupervised
-//! run. With `--out`, a `manifest.json` summarizing per-experiment status
-//! is written next to the reports.
+//! is installed on each experiment's thread and a resilience table
+//! (recovery actions, outage and rebuffer time, failovers) is appended to
+//! the campaign output; without it the fault plane stays uninstalled and
+//! the output is bit-identical to an unsupervised run.
+//!
+//! Campaigns are crash-consistent: with `--out`, every report and the
+//! `manifest.json` are written atomically (temp file + rename), and the
+//! manifest is rewritten after *each* experiment, so a kill at any point
+//! leaves a parseable manifest describing exactly the work that finished.
+//! `--resume` reads that manifest back and skips experiments that already
+//! completed `ok` (their rows are re-emitted verbatim; a resumed campaign's
+//! final manifest is byte-identical to an uninterrupted one).
 
-use fiveg_bench::runner::{self, Supervisor};
+use fiveg_bench::report::{f, Table};
+use fiveg_bench::runner::{self, ManifestEntry, RunStatus, Supervisor};
 use fiveg_bench::{experiments, CAMPAIGN_SEED};
 use fiveg_simcore::faults::FaultScenario;
+use fiveg_simcore::recovery::RecoveryKind;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+fn print_scenarios() {
+    for name in FaultScenario::names() {
+        println!("{name}");
+    }
+}
+
+/// `--check-manifest <path>`: exit 0 iff the manifest parses and no
+/// experiment degraded. The CI gate for chaos campaigns.
+fn check_manifest(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (seed, scenario, entries) = match runner::parse_manifest(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{path}: malformed manifest: {e}");
+            std::process::exit(1);
+        }
+    };
+    let degraded: Vec<&ManifestEntry> = entries
+        .iter()
+        .filter(|e| e.status == RunStatus::Degraded)
+        .collect();
+    if !degraded.is_empty() {
+        for e in &degraded {
+            eprintln!(
+                "{path}: `{}` degraded: {}",
+                e.id,
+                e.note.as_deref().unwrap_or("unknown failure")
+            );
+        }
+        std::process::exit(1);
+    }
+    let recoveries: usize = entries.iter().map(|e| e.recovery.events).sum();
+    println!(
+        "{path}: ok — seed {seed}, scenario {}, {} experiments, {recoveries} recovery events",
+        scenario.as_deref().unwrap_or("none"),
+        entries.len()
+    );
+    std::process::exit(0);
+}
+
+/// Renders the campaign resilience table from finished manifest rows.
+fn resilience_table(entries: &[ManifestEntry], scenario: &str, seed: u64) -> String {
+    let mut t = Table::new(vec![
+        "experiment",
+        "events",
+        "outage(s)",
+        "detect(s)",
+        "rebuffer(s)",
+        "failovers",
+    ]);
+    let (mut ev, mut out, mut reb, mut fo) = (0usize, 0.0f64, 0.0f64, 0usize);
+    let mut detect_weighted = 0.0f64;
+    let mut by_kind: HashMap<&str, usize> = HashMap::new();
+    for e in entries {
+        let r = &e.recovery;
+        t.row(vec![
+            e.id.clone(),
+            r.events.to_string(),
+            f(r.outage_s, 2),
+            f(r.mean_detect_s, 2),
+            f(r.rebuffer_s, 2),
+            r.failovers.to_string(),
+        ]);
+        ev += r.events;
+        out += r.outage_s;
+        reb += r.rebuffer_s;
+        fo += r.failovers;
+        detect_weighted += r.mean_detect_s * r.events as f64;
+        for (k, n) in &r.by_kind {
+            for kind in RecoveryKind::ALL {
+                if kind.name() == k {
+                    *by_kind.entry(kind.name()).or_insert(0) += n;
+                }
+            }
+        }
+    }
+    let mean_detect = if ev > 0 { detect_weighted / ev as f64 } else { 0.0 };
+    t.row(vec![
+        "TOTAL".to_string(),
+        ev.to_string(),
+        f(out, 2),
+        f(mean_detect, 2),
+        f(reb, 2),
+        fo.to_string(),
+    ]);
+    let mut body = format!(
+        "==== RESILIENCE — scenario `{scenario}`, seed {seed} ====\n{}",
+        t.render()
+    );
+    body.push_str("recovery actions by kind:\n");
+    for kind in RecoveryKind::ALL {
+        if let Some(n) = by_kind.get(kind.name()) {
+            body.push_str(&format!("  {:<20} {n}\n", kind.name()));
+        }
+    }
+    body
+}
+
+/// Loads the prior manifest for `--resume`, returning rows safe to skip:
+/// status `ok` *and* the report file still on disk. A missing, malformed,
+/// or mismatched (different seed/scenario) manifest resumes nothing.
+fn resumable_entries(
+    dir: &Path,
+    seed: u64,
+    scenario: Option<&str>,
+) -> HashMap<String, ManifestEntry> {
+    let path = dir.join("manifest.json");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(_) => {
+            eprintln!("--resume: no prior {} — starting fresh", path.display());
+            return HashMap::new();
+        }
+    };
+    let (prev_seed, prev_scenario, entries) = match runner::parse_manifest(&text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!(
+                "--resume: ignoring malformed {}: {e}",
+                path.display()
+            );
+            return HashMap::new();
+        }
+    };
+    if prev_seed != seed || prev_scenario.as_deref() != scenario {
+        eprintln!(
+            "--resume: prior manifest is for seed {prev_seed} / scenario {} \
+             (this run: seed {seed} / scenario {}) — starting fresh",
+            prev_scenario.as_deref().unwrap_or("none"),
+            scenario.unwrap_or("none"),
+        );
+        return HashMap::new();
+    }
+    entries
+        .into_iter()
+        .filter(|e| e.status == RunStatus::Ok && dir.join(format!("{}.txt", e.id)).exists())
+        .map(|e| (e.id.clone(), e))
+        .collect()
+}
+
+fn write_or_die(path: &Path, contents: &str) {
+    if let Err(e) = runner::write_atomic(path, contents) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(2);
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list-scenarios") {
+        print_scenarios();
+        return;
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--check-manifest") {
+        let path = args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--check-manifest needs a manifest path");
+            std::process::exit(2);
+        });
+        check_manifest(&path);
+    }
     let mut seed = CAMPAIGN_SEED;
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
         args.remove(pos);
@@ -36,7 +215,7 @@ fn main() {
             });
         args.remove(pos);
     }
-    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
     if let Some(pos) = args.iter().position(|a| a == "--out") {
         args.remove(pos);
         let dir = args.get(pos).cloned().unwrap_or_else(|| {
@@ -44,7 +223,7 @@ fn main() {
             std::process::exit(2);
         });
         args.remove(pos);
-        let path = std::path::PathBuf::from(dir);
+        let path = PathBuf::from(dir);
         if let Err(e) = std::fs::create_dir_all(&path) {
             eprintln!("cannot create {}: {e}", path.display());
             std::process::exit(2);
@@ -54,21 +233,30 @@ fn main() {
     let mut scenario: Option<FaultScenario> = None;
     if let Some(pos) = args.iter().position(|a| a == "--chaos") {
         args.remove(pos);
-        let name = args.get(pos).cloned().unwrap_or_else(|| {
-            eprintln!(
-                "--chaos needs a scenario name (one of: {})",
-                FaultScenario::names().join(", ")
-            );
-            std::process::exit(2);
-        });
+        let name = args
+            .get(pos)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| {
+                eprintln!("--chaos needs a scenario name; available scenarios:");
+                print_scenarios();
+                std::process::exit(2);
+            });
         args.remove(pos);
         scenario = Some(FaultScenario::by_name(&name).unwrap_or_else(|| {
-            eprintln!(
-                "unknown scenario: {name} (one of: {})",
-                FaultScenario::names().join(", ")
-            );
+            eprintln!("unknown scenario: {name}; available scenarios:");
+            print_scenarios();
             std::process::exit(2);
         }));
+    }
+    let mut resume = false;
+    if let Some(pos) = args.iter().position(|a| a == "--resume") {
+        args.remove(pos);
+        resume = true;
+        if out_dir.is_none() {
+            eprintln!("--resume needs --out (the manifest lives there)");
+            std::process::exit(2);
+        }
     }
 
     let registry = experiments::registry();
@@ -108,38 +296,58 @@ fn main() {
         None => Supervisor::default(),
     };
 
-    let mut outcomes = Vec::new();
-    for &(id, f) in &entries {
-        let outcome = supervisor.run_one(id, f, seed);
-        println!("{}", outcome.report.render());
-        if outcome.degraded() {
-            eprintln!(
-                "warning: {id} degraded after {} attempt(s): {}",
-                outcome.attempts,
-                outcome.note.as_deref().unwrap_or("unknown failure")
-            );
-        }
-        if let Some(dir) = &out_dir {
-            let path = dir.join(format!("{id}.txt"));
-            if let Err(e) = std::fs::write(&path, outcome.report.render()) {
-                eprintln!("cannot write {}: {e}", path.display());
-                std::process::exit(2);
+    let prior: HashMap<String, ManifestEntry> = match (&out_dir, resume) {
+        (Some(dir), true) => resumable_entries(dir, seed, scenario_name.as_deref()),
+        _ => HashMap::new(),
+    };
+
+    let mut rows: Vec<ManifestEntry> = Vec::new();
+    let mut degraded = 0usize;
+    for &(id, exp) in &entries {
+        let row = match prior.get(id) {
+            Some(done) => {
+                println!("{id}: resumed — completed ok in a previous run");
+                done.clone()
             }
+            None => {
+                let outcome = supervisor.run_one(id, exp, seed);
+                println!("{}", outcome.report.render());
+                if outcome.degraded() {
+                    eprintln!(
+                        "warning: {id} degraded after {} attempt(s): {}",
+                        outcome.attempts,
+                        outcome.note.as_deref().unwrap_or("unknown failure")
+                    );
+                }
+                if let Some(dir) = &out_dir {
+                    write_or_die(&dir.join(format!("{id}.txt")), &outcome.report.render());
+                }
+                ManifestEntry::from_outcome(&outcome)
+            }
+        };
+        if row.status == RunStatus::Degraded {
+            degraded += 1;
         }
-        outcomes.push(outcome);
+        rows.push(row);
+        // Rewrite the manifest after every experiment: a kill mid-campaign
+        // leaves a parseable record of exactly the work that finished, which
+        // is what `--resume` picks up.
+        if let Some(dir) = &out_dir {
+            let manifest =
+                runner::manifest_from_entries(&rows, seed, scenario_name.as_deref());
+            write_or_die(&dir.join("manifest.json"), &manifest.render());
+        }
     }
 
-    if let Some(dir) = &out_dir {
-        let manifest = runner::manifest(&outcomes, seed, scenario_name.as_deref());
-        let path = dir.join("manifest.json");
-        if let Err(e) = std::fs::write(&path, manifest.render()) {
-            eprintln!("cannot write {}: {e}", path.display());
-            std::process::exit(2);
+    if let Some(name) = scenario_name.as_deref() {
+        let table = resilience_table(&rows, name, seed);
+        println!("{table}");
+        if let Some(dir) = &out_dir {
+            write_or_die(&dir.join("resilience.txt"), &table);
         }
     }
 
-    let degraded = outcomes.iter().filter(|o| o.degraded()).count();
     if degraded > 0 {
-        eprintln!("{degraded}/{} experiments degraded", outcomes.len());
+        eprintln!("{degraded}/{} experiments degraded", rows.len());
     }
 }

@@ -19,7 +19,10 @@ use crate::experiments::Experiment;
 use crate::json::Json;
 use crate::report::Report;
 use fiveg_simcore::faults::{self, FaultScenario, FaultSchedule};
+use fiveg_simcore::recovery::{self, RecoveryEvent, RecoverySummary};
 use fiveg_simcore::{budget, RngStream};
+use std::io::Write;
+use std::path::Path;
 use std::sync::mpsc;
 use std::time::Duration;
 
@@ -30,6 +33,25 @@ pub enum RunStatus {
     Ok,
     /// Every attempt failed; the report is a synthesized placeholder.
     Degraded,
+}
+
+impl RunStatus {
+    /// Manifest string for this status.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Ok => "ok",
+            RunStatus::Degraded => "degraded",
+        }
+    }
+
+    /// Parses a manifest status string.
+    pub fn parse(s: &str) -> Option<RunStatus> {
+        match s {
+            "ok" => Some(RunStatus::Ok),
+            "degraded" => Some(RunStatus::Degraded),
+            _ => None,
+        }
+    }
 }
 
 /// The outcome of one supervised experiment.
@@ -45,6 +67,10 @@ pub struct RunOutcome {
     pub note: Option<String>,
     /// The experiment's report, or a `DEGRADED` placeholder.
     pub report: Report,
+    /// Recovery events emitted by the stack's self-healing hooks during the
+    /// successful attempt (empty without a fault scenario, and for degraded
+    /// runs).
+    pub recovery: Vec<RecoveryEvent>,
 }
 
 impl RunOutcome {
@@ -107,13 +133,14 @@ impl Supervisor {
         for attempt in 0..=self.retries {
             let attempt_seed = self.attempt_seed(id, seed, attempt);
             match self.attempt(id, f, attempt_seed) {
-                Ok(report) => {
+                Ok((report, recovery)) => {
                     return RunOutcome {
                         id,
                         status: RunStatus::Ok,
                         attempts: attempt + 1,
                         note: (attempt > 0).then(|| last_note.clone()),
                         report,
+                        recovery,
                     }
                 }
                 Err(note) => last_note = note,
@@ -125,6 +152,7 @@ impl Supervisor {
             attempts: self.retries + 1,
             note: Some(last_note.clone()),
             report: degraded_report(id, &last_note),
+            recovery: Vec::new(),
         }
     }
 
@@ -143,7 +171,12 @@ impl Supervisor {
     }
 
     /// One supervised attempt: spawn, install, arm, catch, wait.
-    fn attempt(&self, id: &str, f: Experiment, seed: u64) -> Result<Report, String> {
+    fn attempt(
+        &self,
+        id: &str,
+        f: Experiment,
+        seed: u64,
+    ) -> Result<(Report, Vec<RecoveryEvent>), String> {
         let (tx, rx) = mpsc::channel();
         let scenario = self.scenario.clone();
         let events = self.event_budget;
@@ -151,13 +184,21 @@ impl Supervisor {
             .name(format!("exp-{id}"))
             .spawn(move || {
                 // Thread-locals start clean on a fresh thread; install the
-                // fault plane and arm the budget for this attempt only.
+                // fault plane, the recovery collector (only alongside a
+                // scenario, so fault-free campaigns report zero recovery
+                // events by construction), and arm the budget — all for
+                // this attempt only.
                 let _plane = scenario
                     .as_ref()
                     .map(|sc| faults::install(FaultSchedule::generate(seed, sc)));
+                let _collector = scenario.as_ref().map(|_| recovery::collect());
                 let _budget = budget::arm(events);
                 let result = std::panic::catch_unwind(|| f(seed));
-                let _ = tx.send(result.map_err(|payload| panic_note(payload.as_ref())));
+                let _ = tx.send(
+                    result
+                        .map(|report| (report, recovery::drain()))
+                        .map_err(|payload| panic_note(payload.as_ref())),
+                );
             });
         if let Err(e) = spawned {
             return Err(format!("spawn failed: {e}"));
@@ -196,38 +237,183 @@ fn degraded_report(id: &'static str, note: &str) -> Report {
     }
 }
 
-/// Serializes campaign outcomes as a manifest (written as `manifest.json`
-/// next to the per-experiment reports).
-pub fn manifest(outcomes: &[RunOutcome], seed: u64, scenario: Option<&str>) -> Json {
-    let degraded = outcomes.iter().filter(|o| o.degraded()).count();
+/// One experiment's row in the campaign manifest: the persisted form of a
+/// [`RunOutcome`] (the report text lives in its own file; the recovery
+/// event stream is persisted as its summary). Round-trips through JSON so
+/// `--resume` can rebuild completed rows from a prior manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestEntry {
+    /// Experiment id.
+    pub id: String,
+    /// Final status.
+    pub status: RunStatus,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Failure note, if any attempt failed.
+    pub note: Option<String>,
+    /// Aggregated recovery actions of the successful attempt.
+    pub recovery: RecoverySummary,
+}
+
+impl ManifestEntry {
+    /// The manifest row for a finished outcome.
+    pub fn from_outcome(o: &RunOutcome) -> ManifestEntry {
+        ManifestEntry {
+            id: o.id.to_string(),
+            status: o.status,
+            attempts: o.attempts,
+            note: o.note.clone(),
+            recovery: recovery::summarize(&o.recovery),
+        }
+    }
+
+    /// Serializes this row.
+    pub fn to_json(&self) -> Json {
+        let r = &self.recovery;
+        Json::obj(vec![
+            ("id", Json::str(self.id.as_str())),
+            ("status", Json::str(self.status.as_str())),
+            ("attempts", Json::Num(f64::from(self.attempts))),
+            ("note", self.note.as_deref().map_or(Json::Null, Json::str)),
+            (
+                "recovery",
+                Json::obj(vec![
+                    ("events", Json::Num(r.events as f64)),
+                    ("outage_s", Json::Num(r.outage_s)),
+                    ("mean_detect_s", Json::Num(r.mean_detect_s)),
+                    ("rebuffer_s", Json::Num(r.rebuffer_s)),
+                    ("failovers", Json::Num(r.failovers as f64)),
+                    (
+                        "by_kind",
+                        Json::Obj(
+                            r.by_kind
+                                .iter()
+                                .map(|(k, n)| (k.clone(), Json::Num(*n as f64)))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// Deserializes one manifest row.
+    pub fn from_json(v: &Json) -> Result<ManifestEntry, String> {
+        let id = v
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("result missing `id`")?
+            .to_string();
+        let status = v
+            .get("status")
+            .and_then(Json::as_str)
+            .and_then(RunStatus::parse)
+            .ok_or_else(|| format!("result `{id}` has a bad `status`"))?;
+        let attempts = v
+            .get("attempts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("result `{id}` missing `attempts`"))? as u32;
+        let note = match v.get("note") {
+            None | Some(Json::Null) => None,
+            Some(Json::Str(s)) => Some(s.clone()),
+            Some(_) => return Err(format!("result `{id}` has a bad `note`")),
+        };
+        let r = v
+            .get("recovery")
+            .ok_or_else(|| format!("result `{id}` missing `recovery`"))?;
+        let num = |field: &str| {
+            r.get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("result `{id}` recovery missing `{field}`"))
+        };
+        let by_kind = match r.get("by_kind") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, v)| {
+                    v.as_f64()
+                        .map(|n| (k.clone(), n as usize))
+                        .ok_or_else(|| format!("result `{id}` has a bad by_kind count"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(format!("result `{id}` recovery missing `by_kind`")),
+        };
+        let recovery = RecoverySummary {
+            events: num("events")? as usize,
+            outage_s: num("outage_s")?,
+            mean_detect_s: num("mean_detect_s")?,
+            rebuffer_s: num("rebuffer_s")?,
+            failovers: num("failovers")? as usize,
+            by_kind,
+        };
+        Ok(ManifestEntry {
+            id,
+            status,
+            attempts,
+            note,
+            recovery,
+        })
+    }
+}
+
+/// Serializes campaign rows as a manifest (written as `manifest.json` next
+/// to the per-experiment reports).
+pub fn manifest_from_entries(entries: &[ManifestEntry], seed: u64, scenario: Option<&str>) -> Json {
+    let degraded = entries
+        .iter()
+        .filter(|e| e.status == RunStatus::Degraded)
+        .count();
     Json::obj(vec![
         ("seed", Json::Num(seed as f64)),
-        (
-            "scenario",
-            scenario.map_or(Json::Null, Json::str),
-        ),
-        ("experiments", Json::Num(outcomes.len() as f64)),
+        ("scenario", scenario.map_or(Json::Null, Json::str)),
+        ("experiments", Json::Num(entries.len() as f64)),
         ("degraded", Json::Num(degraded as f64)),
         (
             "results",
-            Json::Arr(
-                outcomes
-                    .iter()
-                    .map(|o| {
-                        Json::obj(vec![
-                            ("id", Json::str(o.id)),
-                            (
-                                "status",
-                                Json::str(if o.degraded() { "degraded" } else { "ok" }),
-                            ),
-                            ("attempts", Json::Num(o.attempts as f64)),
-                            ("note", o.note.as_deref().map_or(Json::Null, Json::str)),
-                        ])
-                    })
-                    .collect(),
-            ),
+            Json::Arr(entries.iter().map(ManifestEntry::to_json).collect()),
         ),
     ])
+}
+
+/// Serializes campaign outcomes as a manifest.
+pub fn manifest(outcomes: &[RunOutcome], seed: u64, scenario: Option<&str>) -> Json {
+    let entries: Vec<ManifestEntry> = outcomes.iter().map(ManifestEntry::from_outcome).collect();
+    manifest_from_entries(&entries, seed, scenario)
+}
+
+/// Parses a manifest document back into `(seed, scenario, entries)`.
+pub fn parse_manifest(s: &str) -> Result<(u64, Option<String>, Vec<ManifestEntry>), String> {
+    let v = Json::parse(s)?;
+    let seed = v
+        .get("seed")
+        .and_then(Json::as_f64)
+        .ok_or("manifest missing `seed`")? as u64;
+    let scenario = match v.get("scenario") {
+        None | Some(Json::Null) => None,
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(_) => return Err("manifest has a bad `scenario`".to_string()),
+    };
+    let results = v
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("manifest missing `results`")?;
+    let entries = results
+        .iter()
+        .map(ManifestEntry::from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((seed, scenario, entries))
+}
+
+/// Writes `contents` to `path` atomically: write to a sibling temp file,
+/// flush, then rename over the target. A kill at any point leaves either
+/// the old file or the new one — never a truncated hybrid.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 #[cfg(test)]
@@ -355,6 +541,64 @@ mod tests {
         assert!(m.contains("\"scenario\":\"chaos\""));
         assert!(m.contains("\"degraded\":1"));
         assert!(m.contains("\"id\":\"boom\""));
+    }
+
+    #[test]
+    fn manifest_round_trips_through_parse() {
+        let sup = Supervisor::with_scenario(FaultScenario::chaos());
+        fn recovering_exp(_seed: u64) -> Report {
+            recovery::record(
+                fiveg_simcore::recovery::RecoveryKind::TcpRto,
+                3.0,
+                1.0,
+                4.0,
+                || "test".into(),
+            );
+            Report {
+                id: "rec",
+                title: "t".into(),
+                body: "b".into(),
+            }
+        }
+        let entries: [(&'static str, Experiment); 2] =
+            [("rec", recovering_exp), ("boom", panicky_exp)];
+        let outs = sup.run_registry(&entries, 5);
+        assert_eq!(outs[0].recovery.len(), 1, "collector captured the event");
+        let text = manifest(&outs, 5, Some("chaos")).render();
+        let (seed, scenario, parsed) = parse_manifest(&text).expect("parses");
+        assert_eq!(seed, 5);
+        assert_eq!(scenario.as_deref(), Some("chaos"));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].recovery.events, 1);
+        assert_eq!(parsed[0].recovery.by_kind, vec![("tcp-rto".to_string(), 1)]);
+        assert_eq!(parsed[1].status, RunStatus::Degraded);
+        // Re-rendering parsed entries is byte-identical — resume-written
+        // manifests hash the same as fresh ones.
+        assert_eq!(
+            manifest_from_entries(&parsed, seed, scenario.as_deref()).render(),
+            text
+        );
+    }
+
+    #[test]
+    fn no_scenario_collects_no_recovery_events() {
+        let sup = Supervisor::default();
+        let out = sup.run_one("ok", ok_exp, 7);
+        assert!(out.recovery.is_empty());
+        let entry = ManifestEntry::from_outcome(&out);
+        assert_eq!(entry.recovery, RecoverySummary::empty());
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("fiveg-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("manifest.json");
+        write_atomic(&path, "first").expect("write");
+        write_atomic(&path, "second").expect("overwrite");
+        assert_eq!(std::fs::read_to_string(&path).expect("read"), "second");
+        assert!(!path.with_extension("tmp").exists(), "tmp cleaned up");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!   a few percent MAPE; `fiveg-bench` reproduces that experiment.
 
 use fiveg_simcore::faults::{self, FaultKind};
+use fiveg_simcore::recovery::{self, RecoveryKind};
 use fiveg_simcore::{budget, RngStream, SimTime, TimeSeries};
 
 /// The benchmark activities of Table 9.
@@ -126,11 +127,20 @@ impl HardwareMonitor {
         assert!(self.rate_hz > 0.0, "rate must be positive");
         let n = (duration_s * self.rate_hz).round() as usize;
         let mut ts = TimeSeries::new();
+        let mut dropped_since: Option<f64> = None;
         for i in 0..n {
             budget::charge(1);
             let t = i as f64 / self.rate_hz;
             if faults::is_active(FaultKind::PowerDropout, t) {
+                dropped_since.get_or_insert(t);
                 continue;
+            }
+            if let Some(since) = dropped_since.take() {
+                // The sampling loop comes back after the dropout window:
+                // note the resync and the gap it leaves in the trace.
+                recovery::record(RecoveryKind::MonitorResync, t, 1.0 / self.rate_hz, t - since, || {
+                    format!("hw monitor gap of {:.3}s", t - since)
+                });
             }
             let v = truth(t) * (1.0 + rng.normal(0.0, self.noise_frac));
             ts.push(SimTime::from_secs_f64(t), v.max(0.0));
@@ -212,13 +222,20 @@ impl SoftwareMonitor {
         let noise = self.noise_frac();
         let n = (duration_s * self.rate_hz).round() as usize;
         let mut ts = TimeSeries::new();
+        let mut dropped_since: Option<f64> = None;
         for i in 0..n {
             budget::charge(1);
             let t = i as f64 / self.rate_hz;
             // Power-dropout fault windows swallow readings (see
             // `HardwareMonitor::record`).
             if faults::is_active(FaultKind::PowerDropout, t) {
+                dropped_since.get_or_insert(t);
                 continue;
+            }
+            if let Some(since) = dropped_since.take() {
+                recovery::record(RecoveryKind::MonitorResync, t, 1.0 / self.rate_hz, t - since, || {
+                    format!("sw monitor gap of {:.3}s", t - since)
+                });
             }
             let v = truth(t) * ratio * (1.0 + rng.normal(0.0, noise));
             ts.push(SimTime::from_secs_f64(t), v.max(0.0));

@@ -15,6 +15,7 @@
 use crate::cell::{NetworkLayout, RadioTech, Tower};
 use fiveg_geo::mobility::MobilityModel;
 use fiveg_simcore::faults::{self, FaultKind};
+use fiveg_simcore::recovery::{self, RecoveryKind};
 use fiveg_simcore::{budget, RngStream};
 
 /// The five band-enable settings of Fig 9.
@@ -109,6 +110,10 @@ pub struct HandoffConfig {
     /// Time-to-trigger: a reselection candidate must stay better than the
     /// serving cell (by the hysteresis) for this long, in seconds.
     pub time_to_trigger_s: f64,
+    /// RRC re-establishment cost after a radio link failure, seconds: once
+    /// coverage returns the UE pays this promotion delay before carrying
+    /// data again. Only exercised under an installed fault plane.
+    pub reestablish_promo_s: f64,
     /// Simulation step in seconds.
     pub step_s: f64,
 }
@@ -124,6 +129,7 @@ impl Default for HandoffConfig {
             scg_failure_per_m: 1.0 / 520.0,
             coordinated_anchor_keep_prob: 0.85,
             time_to_trigger_s: 2.0,
+            reestablish_promo_s: 1.5,
             step_s: 0.5,
         }
     }
@@ -263,6 +269,17 @@ impl ReselState {
                 if cur_rsrp < cur_tower.band.class().rsrp_floor_dbm()
                     || layout.tower_out(cur_tower, t)
                 {
+                    if layout.tower_out(cur_tower, t) {
+                        let (start, _) =
+                            faults::window_of(FaultKind::CellOutage, t).unwrap_or((t, 0.0));
+                        recovery::record(
+                            RecoveryKind::CellReselect,
+                            t,
+                            (t - start).max(0.0),
+                            0.0,
+                            || format!("tower {cur} dark, reselected to {idx}"),
+                        );
+                    }
                     self.serving = Some(idx);
                     self.pending = None;
                     return true;
@@ -314,6 +331,11 @@ pub fn simulate_drive(
     let mut last_dist = 0.0;
     // Suppress the initial attach events: the drive starts connected.
     let mut booted = false;
+    // Radio-link-failure recovery state (fault plane only): when every
+    // radio is lost the UE declares RLF, and once coverage returns it pays
+    // the RRC re-establishment promotion before carrying data again.
+    let mut rlf_since: Option<f64> = None;
+    let mut reestablish_until: Option<f64> = None;
 
     while t <= duration {
         budget::charge(1);
@@ -417,7 +439,7 @@ pub fn simulate_drive(
         let sa_preferred = sa_available
             && (!lte_enabled || nr_rsrp.is_some_and(|r| r > cfg.sa_prefer_dbm));
 
-        let desired = if nsa_available {
+        let mut desired = if nsa_available {
             Some(ActiveRadio::NsaNr)
         } else if sa_preferred {
             Some(ActiveRadio::SaNr)
@@ -428,6 +450,67 @@ pub fn simulate_drive(
         } else {
             None
         };
+
+        // --- Radio-link-failure detection & RRC re-establishment ---
+        // Only under an installed fault plane, so the default drive stays
+        // bit-identical: losing every radio declares RLF, and the first
+        // step with coverage back starts the re-establishment promotion
+        // (`reestablish_promo_s`) during which the UE still carries no data.
+        if faults::enabled() && booted {
+            if let Some(since) = rlf_since {
+                if let Some(target) = desired {
+                    let until = *reestablish_until.get_or_insert(t + cfg.reestablish_promo_s);
+                    if t < until {
+                        desired = None;
+                    } else {
+                        recovery::record(
+                            RecoveryKind::RrcReestablish,
+                            t,
+                            cfg.reestablish_promo_s,
+                            t - since,
+                            || format!("re-established on {target:?}"),
+                        );
+                        rlf_since = None;
+                        reestablish_until = None;
+                    }
+                } else {
+                    // Coverage dipped again mid-promotion: restart it when
+                    // the next window of coverage opens.
+                    reestablish_until = None;
+                }
+            } else if st.active.is_some()
+                && desired.is_none()
+                && (faults::is_active(FaultKind::CellOutage, t)
+                    || faults::is_active(FaultKind::BlockageStorm, t)
+                    || faults::is_active(FaultKind::AnchorLoss, t))
+            {
+                // RLF is only declared when a radio-affecting fault window
+                // is open — a natural coverage gap behaves exactly as it
+                // does with no plane installed, so windowless scenarios
+                // stay bit-identical.
+                let lost = st.active;
+                recovery::record(RecoveryKind::RadioLinkFailure, t, cfg.step_s, 0.0, || {
+                    format!("lost {lost:?}")
+                });
+                rlf_since = Some(t);
+            }
+
+            // NSA anchor loss: the UE rides the outage out on the LTE leg
+            // instead of going dark.
+            if st.active == Some(ActiveRadio::NsaNr)
+                && desired == Some(ActiveRadio::Lte)
+                && faults::is_active(FaultKind::AnchorLoss, t)
+            {
+                let (start, dur) = faults::window_of(FaultKind::AnchorLoss, t).unwrap_or((t, 0.0));
+                recovery::record(
+                    RecoveryKind::NsaFallback,
+                    t,
+                    (t - start).max(0.0),
+                    dur,
+                    || "anchor lost, fell back to LTE leg".to_string(),
+                );
+            }
+        }
 
         if booted {
             st.set_active(t, desired);

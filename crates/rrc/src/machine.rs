@@ -19,6 +19,7 @@
 use crate::profile::{RrcProfile, RrcState};
 use fiveg_radio::band::BandClass;
 use fiveg_simcore::faults::{self, FaultKind};
+use fiveg_simcore::recovery::{self, RecoveryKind};
 use fiveg_simcore::RngStream;
 
 /// Result of a packet arrival at the UE.
@@ -146,6 +147,25 @@ impl RrcMachine {
             Some(m) => delay * m.max(1.0),
             None => delay,
         };
+
+        // An Idle found only because an RRC-reset window tore the connection
+        // down (the natural timers would not have idled yet) means this
+        // promotion is a re-establishment.
+        if state == RrcState::Idle
+            && self
+                .last_activity_ms
+                .is_some_and(|l| p.state_after_idle(now_ms - l) != RrcState::Idle)
+        {
+            if let Some((start, dur)) = faults::window_of(FaultKind::RrcReset, now_ms / 1_000.0) {
+                recovery::record(
+                    RecoveryKind::RrcReestablish,
+                    now_ms / 1_000.0,
+                    (now_ms / 1_000.0 - start).max(0.0),
+                    dur,
+                    || format!("rrc reset window, paid {delay:.0} ms promotion"),
+                );
+            }
+        }
 
         self.last_activity_ms = Some(now_ms + delay);
         AccessDelay {

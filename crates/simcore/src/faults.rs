@@ -419,6 +419,17 @@ impl FaultSchedule {
                 .events_of(kind)
                 .any(|e| e.covers(t_s) && e.target % n_targets == id % n_targets)
     }
+
+    /// The `(start_s, duration_s)` of the `kind` window covering `t_s`, if
+    /// any; with overlapping windows, the earliest-starting one. Recovery
+    /// hooks use this to compute detection latency (`t_s - start_s`) and the
+    /// outage duration they rode out.
+    pub fn window_of(&self, kind: FaultKind, t_s: f64) -> Option<(f64, f64)> {
+        self.events_of(kind)
+            .filter(|e| e.covers(t_s))
+            .map(|e| (e.start_s, e.duration_s))
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+    }
 }
 
 thread_local! {
@@ -480,6 +491,15 @@ pub fn targets(kind: FaultKind, t_s: f64, id: u64, n_targets: u64) -> bool {
                 .as_ref()
                 .is_some_and(|s| s.targets(kind, t_s, id, n_targets))
         })
+}
+
+/// Ambient [`FaultSchedule::window_of`]; `None` when no plane is installed.
+#[inline]
+pub fn window_of(kind: FaultKind, t_s: f64) -> Option<(f64, f64)> {
+    if !enabled() {
+        return None;
+    }
+    PLANE.with(|p| p.borrow().as_ref().and_then(|s| s.window_of(kind, t_s)))
 }
 
 /// Runs `f` with the ambient schedule, if one is installed.
@@ -549,6 +569,9 @@ mod tests {
         assert!(s.is_active(FaultKind::BlockageStorm, mid));
         assert!(s.magnitude(FaultKind::BlockageStorm, mid).is_some());
         assert!(!s.is_active(FaultKind::CellOutage, mid));
+        let (start, dur) = s.window_of(FaultKind::BlockageStorm, mid).expect("covered");
+        assert!(start <= mid && mid < start + dur);
+        assert!(s.window_of(FaultKind::CellOutage, mid).is_none());
     }
 
     #[test]

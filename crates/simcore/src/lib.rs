@@ -19,7 +19,12 @@
 //!   bursts, …) that components consult through a thread-local ambient
 //!   schedule, off by default and free when off,
 //! * [`budget`] — per-thread event budgets so a supervised runner can kill
-//!   runaway experiments deterministically.
+//!   runaway experiments deterministically,
+//! * [`recovery`] — the reaction side of the fault plane: a thread-local
+//!   collector of structured recovery events (link re-establishments, TCP
+//!   RTOs, segment retries, interface failovers, …) emitted by the stack's
+//!   self-healing hooks and aggregated into per-experiment resilience
+//!   summaries.
 //!
 //! The kernel is single-threaded and allocation-light by design: determinism
 //! is a feature, because the "field" this workspace measures is itself a
@@ -28,6 +33,7 @@
 pub mod budget;
 pub mod event;
 pub mod faults;
+pub mod recovery;
 pub mod rng;
 pub mod series;
 pub mod stats;

@@ -15,6 +15,7 @@
 
 use crate::path::PathModel;
 use fiveg_simcore::faults::{self, FaultKind};
+use fiveg_simcore::recovery::{self, RecoveryKind};
 use fiveg_simcore::{budget, RngStream};
 
 /// Congestion-control algorithm.
@@ -137,6 +138,16 @@ impl Flow {
         }
     }
 
+    /// Applies one retransmission timeout (RFC 6298 shape): collapse to one
+    /// packet and restart slow start toward half the pre-RTO window.
+    fn on_rto(&mut self) {
+        self.ssthresh_pkts = (self.cwnd_pkts / 2.0).max(2.0);
+        self.cwnd_pkts = 1.0;
+        self.in_slow_start = true;
+        self.w_max_pkts = self.ssthresh_pkts;
+        self.epoch_s = 0.0;
+    }
+
     /// Applies one loss event.
     fn on_loss(&mut self, algo: CcAlgo) {
         let beta = match algo {
@@ -207,9 +218,12 @@ impl TcpSim {
     /// honour three fault kinds at the step's local time: loss bursts
     /// multiply the per-packet loss rate by the window's magnitude, RTT
     /// spikes multiply the path RTT by `1 + magnitude`, and stall windows
-    /// freeze the flows entirely (nothing delivered, nothing ACKed, windows
-    /// held). With no plane installed the run is bit-identical to a
-    /// plane-free build.
+    /// freeze delivery while the retransmission machinery reacts: RTO
+    /// timers fire with exponential backoff, collapsing every window to one
+    /// packet, and after repeated backoffs the connections are reset so the
+    /// post-stall recovery is a fresh slow-start ramp (collapse-and-ramp,
+    /// not a resumed plateau). With no plane installed the run is
+    /// bit-identical to a plane-free build.
     pub fn run(&mut self, duration_s: f64) -> TcpRunResult {
         let base_rtt_s = self.path.rtt_ms / 1e3;
         let dt = self.cfg.dt_s;
@@ -219,6 +233,12 @@ impl TcpSim {
         let mut per_second = Vec::new();
         let mut second_acc = 0.0;
         let mut next_second = 1.0;
+        // RTO state across a stall window (fault plane only).
+        let mut stall_since: Option<f64> = None;
+        let mut rto_s = 0.0;
+        let mut next_rto_at = 0.0;
+        let mut backoffs = 0u32;
+        let mut did_reset = false;
 
         while t < duration_s {
             budget::charge(1);
@@ -236,6 +256,42 @@ impl TcpSim {
                 (base_rtt_s, self.path.loss_per_pkt, false)
             };
             if stalled {
+                let since = match stall_since {
+                    Some(s) => s,
+                    None => {
+                        // Dead air begins: arm the retransmission timer at
+                        // the RFC 6298 floor.
+                        rto_s = (2.0 * base_rtt_s).max(1.0);
+                        next_rto_at = t + rto_s;
+                        backoffs = 0;
+                        did_reset = false;
+                        stall_since = Some(t);
+                        t
+                    }
+                };
+                if t >= next_rto_at {
+                    backoffs += 1;
+                    for f in self.flows.iter_mut() {
+                        f.on_rto();
+                    }
+                    recovery::record(RecoveryKind::TcpRto, t, rto_s, t - since, || {
+                        format!("backoff #{backoffs}, windows collapsed")
+                    });
+                    if backoffs >= 5 && !did_reset {
+                        // The retry budget is spent: tear the connections
+                        // down and re-establish, starting over from the
+                        // initial window.
+                        did_reset = true;
+                        for f in self.flows.iter_mut() {
+                            *f = Flow::new();
+                        }
+                        recovery::record(RecoveryKind::TcpConnReset, t, rto_s, t - since, || {
+                            format!("reset after {backoffs} backoffs")
+                        });
+                    }
+                    rto_s *= 2.0;
+                    next_rto_at = t + rto_s;
+                }
                 t += dt;
                 if t >= next_second {
                     per_second.push(second_acc);
@@ -244,6 +300,7 @@ impl TcpSim {
                 }
                 continue;
             }
+            stall_since = None;
             let demands = self.demands_mbps(rtt_s);
             let total: f64 = demands.iter().sum();
             // Fair sharing at the bottleneck: proportional scale-down.
@@ -273,6 +330,14 @@ impl TcpSim {
                 if self.rng.chance(p_loss + p_overflow) {
                     f.on_loss(self.cfg.algo);
                     loss_events += 1;
+                    // Under a loss-burst window the repair is a fast
+                    // retransmit (the decrease above) — worth surfacing as a
+                    // recovery action; recording changes no simulation state.
+                    if faults::is_active(FaultKind::LossBurst, t) {
+                        recovery::record(RecoveryKind::TcpFastRetransmit, t, rtt_s, 0.0, || {
+                            format!("flow {i}: multiplicative decrease")
+                        });
+                    }
                 } else {
                     f.grow(dt, rtt_s, self.cfg.algo);
                 }

@@ -14,6 +14,7 @@ use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
 use fiveg_radio::band::Direction;
 use fiveg_radio::ue::UeModel;
 use fiveg_simcore::stats::harmonic_mean;
+use fiveg_simcore::{faults, recovery};
 use fiveg_transport::shaper::BandwidthTrace;
 
 /// Interface-selection policy configuration.
@@ -28,6 +29,10 @@ pub struct IfSelectConfig {
     pub return_buffer_s: f64,
     /// 4G↔5G switch delay, seconds (0 for the "no overhead" variant).
     pub switch_delay_s: f64,
+    /// Stall-triggered failover (fault plane only): a chunk that stalls
+    /// playback longer than this while on 5G forces an immediate switch to
+    /// 4G, without waiting for the throughput history to sink.
+    pub failover_stall_s: f64,
 }
 
 impl IfSelectConfig {
@@ -38,6 +43,7 @@ impl IfSelectConfig {
             to_4g_below_mbps: 25.0,
             return_buffer_s: 10.0,
             switch_delay_s: 1.5,
+            failover_stall_s: 1.0,
         }
     }
 
@@ -48,6 +54,7 @@ impl IfSelectConfig {
             to_4g_below_mbps,
             return_buffer_s: 10.0,
             switch_delay_s: 1.5,
+            failover_stall_s: 1.0,
         }
     }
 
@@ -191,6 +198,34 @@ pub fn stream_with_selection(
         });
         chunk_iface_5g.push(on_5g);
         last_track = track;
+
+        // Stall-triggered failover (fault plane only): a fault-shaped 5G
+        // collapse that already stalled playback doesn't wait for the
+        // harmonic-mean history to sink — fail over to 4G now. A fault
+        // window must cover the download (a purely natural stall never
+        // fails over, so windowless scenarios stay bit-identical).
+        if faults::enabled()
+            && cfg.enabled
+            && on_5g
+            && index > 0
+            && stall > cfg.failover_stall_s
+            && (crate::player::link_faulted(wall - dl) || crate::player::link_faulted(wall))
+        {
+            on_5g = false;
+            iface_switches += 1;
+            let d = cfg.switch_delay_s;
+            stall_total += (d - buffer_s).max(0.0);
+            buffer_s = (buffer_s - d).max(0.0);
+            wall += d;
+            energy_mj += p4.power_mw(Direction::Downlink, 0.0) * d;
+            recovery::record(
+                recovery::RecoveryKind::IfaceFailover,
+                wall,
+                cfg.failover_stall_s,
+                stall,
+                || format!("chunk {index}: stalled {stall:.2}s on 5G, failing over to 4G"),
+            );
+        }
     }
 
     let avg_norm = chunks

@@ -8,6 +8,7 @@
 
 use crate::abr::{Abr, AbrContext};
 use crate::asset::VideoAsset;
+use fiveg_simcore::{faults, recovery};
 use fiveg_transport::shaper::BandwidthTrace;
 
 /// Player configuration.
@@ -20,6 +21,10 @@ pub struct PlayerConfig {
     pub rebuf_penalty: f64,
     /// Smoothness penalty per unit change of normalized bitrate.
     pub smooth_penalty: f64,
+    /// Segment-retry trigger (fault plane only): once the buffer has
+    /// drained and the stall has lasted this long, the player abandons the
+    /// in-flight chunk and refetches it at the lowest track.
+    pub panic_stall_s: f64,
 }
 
 impl Default for PlayerConfig {
@@ -28,6 +33,7 @@ impl Default for PlayerConfig {
             max_buffer_s: 30.0,
             rebuf_penalty: 1.0,
             smooth_penalty: 1.0,
+            panic_stall_s: 4.0,
         }
     }
 }
@@ -80,6 +86,19 @@ impl SessionResult {
     }
 }
 
+/// True when a fault window that can disturb the delivery path covers
+/// trace-time `t` — the trigger condition for the panic recoveries. Keying
+/// the *behaviour* on fault windows (not merely an installed plane) keeps
+/// a windowless scenario like `quiet` bit-identical to no plane at all:
+/// natural stalls never trip the recovery paths.
+pub(crate) fn link_faulted(t: f64) -> bool {
+    use fiveg_simcore::faults::FaultKind;
+    faults::is_active(FaultKind::StallWindow, t)
+        || faults::is_active(FaultKind::BlockageStorm, t)
+        || faults::is_active(FaultKind::LossBurst, t)
+        || faults::is_active(FaultKind::RttSpike, t)
+}
+
 /// Streams `asset` over `trace` under `abr`, starting the trace at
 /// `trace_offset_s`.
 pub fn stream(
@@ -110,10 +129,48 @@ pub fn stream(
             chunks_remaining: n_chunks - index,
             wall_t_s: wall,
         };
-        let track = abr.choose(&ctx).min(asset.n_tracks() - 1);
-        let bytes = asset.chunk_bytes(track);
-        let dl = trace.transfer_time_s(bytes, wall);
-        let dl = if dl.is_finite() { dl } else { 1e6 };
+        let mut track = abr.choose(&ctx).min(asset.n_tracks() - 1);
+        let mut bytes = asset.chunk_bytes(track);
+        let mut dl = trace.transfer_time_s(bytes, wall);
+        if !dl.is_finite() {
+            dl = 1e6;
+        }
+
+        // Segment retry with bitrate panic-down (fault plane only): when a
+        // mid-session chunk would stall playback past the panic threshold,
+        // dash.js-style players abandon the request and refetch the segment
+        // at the lowest track. The retry starts where the abandon happened,
+        // so the trace is consulted at the same deterministic times.
+        if faults::enabled() && index > 0 && track > 0 {
+            let abandon_after = buffer_s + cfg.panic_stall_s;
+            if dl > abandon_after && (link_faulted(wall) || link_faulted(wall + abandon_after)) {
+                let retry_bytes = asset.chunk_bytes(0);
+                let mut retry_dl = trace.transfer_time_s(retry_bytes, wall + abandon_after);
+                if !retry_dl.is_finite() {
+                    retry_dl = 1e6;
+                }
+                let total_dl = abandon_after + retry_dl;
+                let old_track = track;
+                let stall_after = (total_dl - buffer_s).max(0.0);
+                recovery::record(
+                    recovery::RecoveryKind::SegmentRetry,
+                    wall + abandon_after,
+                    cfg.panic_stall_s,
+                    stall_after,
+                    || format!("chunk {index}: abandoned track {old_track}"),
+                );
+                recovery::record(
+                    recovery::RecoveryKind::BitratePanic,
+                    wall + abandon_after,
+                    0.0,
+                    0.0,
+                    || format!("chunk {index}: track {old_track} -> 0"),
+                );
+                track = 0;
+                bytes = retry_bytes;
+                dl = total_dl;
+            }
+        }
 
         // Buffer drains while downloading.
         let stall = (dl - buffer_s).max(0.0);

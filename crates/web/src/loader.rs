@@ -18,7 +18,8 @@ use crate::site::Website;
 use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
 use fiveg_radio::band::{BandClass, Direction};
 use fiveg_radio::ue::UeModel;
-use fiveg_simcore::RngStream;
+use fiveg_simcore::faults::{self, FaultKind};
+use fiveg_simcore::{recovery, RngStream};
 
 /// The radio a page is loaded over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -68,6 +69,9 @@ pub struct LoadResult {
     pub energy_j: f64,
     /// Mean goodput over the load, Mbps.
     pub mean_tput_mbps: f64,
+    /// Objects abandoned under partial-page degradation (fault plane only;
+    /// a count per load, a mean across repetitions in [`PageLoader::load_mean`]).
+    pub objects_dropped: f64,
 }
 
 /// The page loader bound to a UE (the paper roots a PX5 for this study).
@@ -81,6 +85,9 @@ pub struct PageLoader {
     pub render_per_object_s: f64,
     /// Server think time per dynamic object, seconds.
     pub dynamic_think_s: f64,
+    /// Per-wave request timeout (fault plane only): a wave that gets no
+    /// bytes for this long is retried once, then its objects are dropped.
+    pub object_timeout_s: f64,
     seed: u64,
 }
 
@@ -92,6 +99,7 @@ impl PageLoader {
             parallel_conns: 6,
             render_per_object_s: 0.004,
             dynamic_think_s: 0.08,
+            object_timeout_s: 3.0,
             seed,
         }
     }
@@ -115,7 +123,48 @@ impl PageLoader {
         let conns = self.parallel_conns.max(1);
         let n_waves = site.n_objects.div_ceil(conns);
         let per_wave_bytes = site.total_bytes() / n_waves.max(1) as f64;
-        for _ in 0..n_waves {
+        // Fault plane only: page loads are seconds long but fault windows
+        // span the campaign hour, so anchor this load at a deterministic
+        // offset derived from (site, rep) — no randomness drawn, so the
+        // disabled path stays bit-identical.
+        let faulty = faults::enabled();
+        let t0 = if faulty {
+            ((site.id as u64)
+                .wrapping_mul(797)
+                .wrapping_add(rep.wrapping_mul(131))
+                % 3600) as f64
+        } else {
+            0.0
+        };
+        let mut objects_dropped = 0usize;
+        let mut dropped_bytes = 0.0f64;
+        for w in 0..n_waves {
+            // A wave issued into a stall window gets no bytes: time the
+            // request out and retry once; if the window still covers the
+            // retry, abandon the wave's objects (partial-page degradation).
+            if faulty && faults::is_active(FaultKind::StallWindow, t0 + t) {
+                t += self.object_timeout_s;
+                recovery::record(
+                    recovery::RecoveryKind::ObjectRetry,
+                    t0 + t,
+                    self.object_timeout_s,
+                    self.object_timeout_s,
+                    || format!("wave {w} timed out, retrying"),
+                );
+                if faults::is_active(FaultKind::StallWindow, t0 + t) {
+                    let in_wave = site.n_objects.saturating_sub(w * conns).min(conns);
+                    objects_dropped += in_wave;
+                    dropped_bytes += per_wave_bytes;
+                    recovery::record(
+                        recovery::RecoveryKind::PartialPage,
+                        t0 + t,
+                        0.0,
+                        0.0,
+                        || format!("wave {w}: dropped {in_wave} objects"),
+                    );
+                    continue;
+                }
+            }
             t += rtt_s + per_wave_bytes * 8.0 / (bw * 1e6);
         }
         // Dynamic objects: server think time plus two extra round trips
@@ -123,16 +172,17 @@ impl PageLoader {
         // is where 5G's lower radio RTT compounds (and why Fig 22b routes
         // extremely dynamic pages to 5G even in energy-saving mode).
         t += site.n_dynamic as f64 * (self.dynamic_think_s + 2.0 * rtt_s) / conns as f64;
-        // Client-side parse/render.
-        t += 0.15 + site.n_objects as f64 * self.render_per_object_s;
+        // Client-side parse/render (dropped objects are never rendered).
+        t += 0.15 + (site.n_objects - objects_dropped) as f64 * self.render_per_object_s;
 
-        let mean_tput = (site.total_bytes() + html_bytes) * 8.0 / 1e6 / t;
+        let mean_tput = (site.total_bytes() + html_bytes - dropped_bytes) * 8.0 / 1e6 / t;
         let model = DataPowerModel::lookup(self.ue, radio.network());
         let power_mw = model.power_mw(Direction::Downlink, mean_tput);
         LoadResult {
             plt_s: t,
             energy_j: power_mw * t / 1e3,
             mean_tput_mbps: mean_tput,
+            objects_dropped: objects_dropped as f64,
         }
     }
 
@@ -142,17 +192,20 @@ impl PageLoader {
         let mut plt = 0.0;
         let mut energy = 0.0;
         let mut tput = 0.0;
+        let mut dropped = 0.0;
         for rep in 0..reps {
             let r = self.load(site, radio, rep as u64);
             plt += r.plt_s;
             energy += r.energy_j;
             tput += r.mean_tput_mbps;
+            dropped += r.objects_dropped;
         }
         let n = reps as f64;
         LoadResult {
             plt_s: plt / n,
             energy_j: energy / n,
             mean_tput_mbps: tput / n,
+            objects_dropped: dropped / n,
         }
     }
 }
