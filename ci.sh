@@ -60,4 +60,33 @@ echo "==> chaos smoke: resume determinism"
 "$FIG" --seed 2021 --chaos chaos --out "$SMOKE_DIR/det-b" --resume table2 fig9 fig10 > /dev/null
 cmp "$SMOKE_DIR/chaos/manifest.json" "$SMOKE_DIR/det-b/manifest.json"
 
+# --- Parallel determinism ----------------------------------------------------
+# The scheduler contract: `--jobs 4` must produce a manifest byte-identical
+# to `--jobs 1`, quiet and under chaos. `cmp` is the hash compare — any
+# reordering, seed drift, or shared-RNG leak between workers fails the gate.
+echo "==> parallel determinism: quiet, --jobs 1 vs --jobs 4"
+"$FIG" --seed 2021 --jobs 1 --out "$SMOKE_DIR/par-s" table1 fig1 fig2 fig9 table2 fig11 > /dev/null
+"$FIG" --seed 2021 --jobs 4 --out "$SMOKE_DIR/par-j" table1 fig1 fig2 fig9 table2 fig11 > /dev/null
+cmp "$SMOKE_DIR/par-s/manifest.json" "$SMOKE_DIR/par-j/manifest.json"
+
+echo "==> parallel determinism: chaos, --jobs 1 vs --jobs 4"
+"$FIG" --seed 2021 --chaos chaos --jobs 1 --out "$SMOKE_DIR/par-cs" table2 fig9 fig10 > /dev/null
+"$FIG" --seed 2021 --chaos chaos --jobs 4 --out "$SMOKE_DIR/par-cj" table2 fig9 fig10 > /dev/null
+cmp "$SMOKE_DIR/par-cs/manifest.json" "$SMOKE_DIR/par-cj/manifest.json"
+
+# Resume + jobs: rows resumed from a partial campaign are skipped before the
+# work queue is built, and the finished manifest still matches serial bytes.
+echo "==> parallel determinism: --resume with --jobs 4"
+"$FIG" --seed 2021 --jobs 1 --out "$SMOKE_DIR/par-r" table1 fig1 > /dev/null
+"$FIG" --seed 2021 --jobs 4 --out "$SMOKE_DIR/par-r" --resume table1 fig1 fig2 fig9 table2 fig11 > /dev/null
+cmp "$SMOKE_DIR/par-s/manifest.json" "$SMOKE_DIR/par-r/manifest.json"
+
+# --- Campaign perf baseline ---------------------------------------------------
+# Record the full-campaign wall clock and events/sec on all cores into
+# results/BENCH_campaign.json (kept out of manifest.json so manifests stay
+# byte-comparable across machines).
+echo "==> perf baseline: figures all --bench-out results/BENCH_campaign.json"
+"$FIG" --seed 2021 --bench-out results/BENCH_campaign.json all > /dev/null
+grep -o '"speedup_est":[0-9.]*' results/BENCH_campaign.json
+
 echo "==> ci: all green"

@@ -8,6 +8,8 @@
 //! figures --out results/ all   # also write one .txt per experiment
 //! figures --chaos chaos all    # inject a named fault scenario
 //! figures --resume --out results/ all   # continue a killed campaign
+//! figures --jobs 4 all         # run the campaign on 4 worker threads
+//! figures --bench-out results/BENCH_campaign.json all   # record perf
 //! figures --list-scenarios     # print fault scenarios, one per line
 //! figures --check-manifest results/manifest.json   # CI gate
 //! ```
@@ -28,6 +30,17 @@
 //! `--resume` reads that manifest back and skips experiments that already
 //! completed `ok` (their rows are re-emitted verbatim; a resumed campaign's
 //! final manifest is byte-identical to an uninterrupted one).
+//!
+//! With `--jobs N` (default: the machine's available parallelism) the
+//! campaign runs on a pool of worker threads pulling experiments from a
+//! shared queue. Each experiment still gets its own fresh attempt thread
+//! with its own fault plane / recovery collector / event budget, and rows
+//! are collected in registry order, so the manifest, reports, and
+//! resilience table are byte-identical to a serial run. Resumed rows are
+//! skipped *before* the queue is built — workers never see them.
+//! `--bench-out <path>` additionally writes `BENCH_campaign.json` with
+//! per-experiment wall-clock and events/sec plus the campaign speedup
+//! estimate (timings live only in this file, never in manifest.json).
 
 use fiveg_bench::report::{f, Table};
 use fiveg_bench::runner::{self, ManifestEntry, RunStatus, Supervisor};
@@ -36,6 +49,8 @@ use fiveg_simcore::faults::FaultScenario;
 use fiveg_simcore::recovery::RecoveryKind;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
 
 fn print_scenarios() {
     for name in FaultScenario::names() {
@@ -258,6 +273,36 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let mut jobs = std::thread::available_parallelism().map_or(1, usize::from);
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        args.remove(pos);
+        jobs = args
+            .get(pos)
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            });
+        args.remove(pos);
+    }
+    let mut bench_out: Option<PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--bench-out") {
+        args.remove(pos);
+        let path = args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--bench-out needs a file path");
+            std::process::exit(2);
+        });
+        args.remove(pos);
+        let path = PathBuf::from(path);
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                std::process::exit(2);
+            }
+        }
+        bench_out = Some(path);
+    }
 
     let registry = experiments::registry();
     if args.is_empty() {
@@ -301,42 +346,76 @@ fn main() {
         _ => HashMap::new(),
     };
 
-    let mut rows: Vec<ManifestEntry> = Vec::new();
-    let mut degraded = 0usize;
-    for &(id, exp) in &entries {
-        let row = match prior.get(id) {
+    // Resumed rows are settled *before* the work queue exists: they are
+    // pre-filled into their registry-order slots and the workers only ever
+    // see the experiments that still need to run.
+    let mut slots: Vec<Option<ManifestEntry>> = vec![None; entries.len()];
+    let mut work: Vec<(&'static str, experiments::Experiment)> = Vec::new();
+    let mut work_to_slot: Vec<usize> = Vec::new();
+    for (i, &(id, exp)) in entries.iter().enumerate() {
+        match prior.get(id) {
             Some(done) => {
                 println!("{id}: resumed — completed ok in a previous run");
-                done.clone()
+                slots[i] = Some(done.clone());
             }
             None => {
-                let outcome = supervisor.run_one(id, exp, seed);
-                println!("{}", outcome.report.render());
-                if outcome.degraded() {
-                    eprintln!(
-                        "warning: {id} degraded after {} attempt(s): {}",
-                        outcome.attempts,
-                        outcome.note.as_deref().unwrap_or("unknown failure")
-                    );
-                }
-                if let Some(dir) = &out_dir {
-                    write_or_die(&dir.join(format!("{id}.txt")), &outcome.report.render());
-                }
-                ManifestEntry::from_outcome(&outcome)
+                work.push((id, exp));
+                work_to_slot.push(i);
             }
-        };
-        if row.status == RunStatus::Degraded {
-            degraded += 1;
         }
-        rows.push(row);
+    }
+
+    let rewrite_manifest = |slots: &[Option<ManifestEntry>], dir: &Path| {
+        let done: Vec<ManifestEntry> = slots.iter().flatten().cloned().collect();
+        let manifest = runner::manifest_from_entries(&done, seed, scenario_name.as_deref());
+        write_or_die(&dir.join("manifest.json"), &manifest.render());
+    };
+    if let Some(dir) = &out_dir {
+        if !slots.iter().all(Option::is_none) {
+            rewrite_manifest(&slots, dir);
+        }
+    }
+
+    let campaign_t0 = Instant::now();
+    let slots = Mutex::new(slots);
+    supervisor.run_registry_jobs(&work, seed, jobs, |wi, outcome| {
+        // The lock also serializes stdout/stderr and the manifest rewrite,
+        // so interleaved workers cannot tear a report or a manifest write.
+        let mut slots = slots.lock().expect("slots lock");
+        println!("{}", outcome.report.render());
+        if outcome.degraded() {
+            eprintln!(
+                "warning: {} degraded after {} attempt(s): {}",
+                outcome.id,
+                outcome.attempts,
+                outcome.note.as_deref().unwrap_or("unknown failure")
+            );
+        }
+        if let Some(dir) = &out_dir {
+            write_or_die(&dir.join(format!("{}.txt", outcome.id)), &outcome.report.render());
+        }
+        slots[work_to_slot[wi]] = Some(ManifestEntry::from_outcome(outcome));
         // Rewrite the manifest after every experiment: a kill mid-campaign
         // leaves a parseable record of exactly the work that finished, which
         // is what `--resume` picks up.
         if let Some(dir) = &out_dir {
-            let manifest =
-                runner::manifest_from_entries(&rows, seed, scenario_name.as_deref());
-            write_or_die(&dir.join("manifest.json"), &manifest.render());
+            rewrite_manifest(&slots, dir);
         }
+    });
+    let campaign_wall_s = campaign_t0.elapsed().as_secs_f64();
+    let rows: Vec<ManifestEntry> = slots
+        .into_inner()
+        .expect("slots lock")
+        .into_iter()
+        .map(|s| s.expect("every registry entry ran or resumed"))
+        .collect();
+    let degraded = rows.iter().filter(|r| r.status == RunStatus::Degraded).count();
+
+    if let Some(path) = &bench_out {
+        let report =
+            runner::bench_report(&rows, seed, scenario_name.as_deref(), jobs, campaign_wall_s);
+        write_or_die(path, &report.render());
+        println!("wrote campaign bench report to {}", path.display());
     }
 
     if let Some(name) = scenario_name.as_deref() {

@@ -18,13 +18,14 @@
 use crate::experiments::Experiment;
 use crate::json::Json;
 use crate::report::Report;
-use fiveg_simcore::faults::{self, FaultScenario, FaultSchedule};
+use fiveg_simcore::faults::FaultScenario;
 use fiveg_simcore::recovery::{self, RecoveryEvent, RecoverySummary};
-use fiveg_simcore::{budget, RngStream};
+use fiveg_simcore::{ambient, budget, RngStream};
 use std::io::Write;
 use std::path::Path;
-use std::sync::mpsc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
 
 /// How one supervised run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +72,15 @@ pub struct RunOutcome {
     /// successful attempt (empty without a fault scenario, and for degraded
     /// runs).
     pub recovery: Vec<RecoveryEvent>,
+    /// Wall-clock spent on this experiment across all attempts, in seconds.
+    /// Feeds the campaign perf baseline (`BENCH_campaign.json`); never
+    /// persisted into `manifest.json`, which must stay byte-identical
+    /// across serial, parallel, and resumed runs.
+    pub wall_s: f64,
+    /// Simulation events charged against the budget by the successful
+    /// attempt (0 for degraded runs and for experiments whose hot loops
+    /// don't charge the budget).
+    pub events: u64,
 }
 
 impl RunOutcome {
@@ -129,11 +139,12 @@ impl Supervisor {
 
     /// Runs one experiment under supervision.
     pub fn run_one(&self, id: &'static str, f: Experiment, seed: u64) -> RunOutcome {
+        let t0 = Instant::now();
         let mut last_note = String::new();
         for attempt in 0..=self.retries {
             let attempt_seed = self.attempt_seed(id, seed, attempt);
             match self.attempt(id, f, attempt_seed) {
-                Ok((report, recovery)) => {
+                Ok((report, recovery, events)) => {
                     return RunOutcome {
                         id,
                         status: RunStatus::Ok,
@@ -141,6 +152,8 @@ impl Supervisor {
                         note: (attempt > 0).then(|| last_note.clone()),
                         report,
                         recovery,
+                        wall_s: t0.elapsed().as_secs_f64(),
+                        events,
                     }
                 }
                 Err(note) => last_note = note,
@@ -153,20 +166,75 @@ impl Supervisor {
             note: Some(last_note.clone()),
             report: degraded_report(id, &last_note),
             recovery: Vec::new(),
+            wall_s: t0.elapsed().as_secs_f64(),
+            events: 0,
         }
     }
 
-    /// Runs every `(id, experiment)` entry, collecting one outcome per
-    /// entry. A panic, deadline blow-out, or budget exhaustion in any one
-    /// experiment cannot prevent the others from running.
+    /// Runs every `(id, experiment)` entry serially, collecting one outcome
+    /// per entry. A panic, deadline blow-out, or budget exhaustion in any
+    /// one experiment cannot prevent the others from running.
     pub fn run_registry(
         &self,
         entries: &[(&'static str, Experiment)],
         seed: u64,
     ) -> Vec<RunOutcome> {
-        entries
-            .iter()
-            .map(|&(id, f)| self.run_one(id, f, seed))
+        self.run_registry_jobs(entries, seed, 1, |_, _| {})
+    }
+
+    /// Runs every `(id, experiment)` entry on a pool of `jobs` worker
+    /// threads pulling from a shared queue, collecting outcomes **in entry
+    /// order** regardless of completion order.
+    ///
+    /// Determinism contract: each experiment's world is a pure function of
+    /// `(id, campaign seed, attempt)` — [`Supervisor::attempt_seed`] draws
+    /// from no shared RNG, and every attempt installs its own thread-local
+    /// fault/recovery/budget planes on a fresh attempt thread
+    /// ([`fiveg_simcore::ambient::install_attempt`]). Workers therefore
+    /// cannot observe each other, and the returned vector — and any
+    /// manifest rendered from it — is byte-identical to a serial run.
+    ///
+    /// `on_done(i, outcome)` fires as each entry finishes (completion
+    /// order, possibly concurrently with other workers finishing — the
+    /// callback must serialize its own side effects); the campaign driver
+    /// uses it for progress output and crash-consistent manifest rewrites.
+    pub fn run_registry_jobs<F>(
+        &self,
+        entries: &[(&'static str, Experiment)],
+        seed: u64,
+        jobs: usize,
+        on_done: F,
+    ) -> Vec<RunOutcome>
+    where
+        F: Fn(usize, &RunOutcome) + Sync,
+    {
+        let n = entries.len();
+        let workers = jobs.clamp(1, n.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Work-stealing via a shared cursor: a worker that lands
+                    // a long experiment simply claims fewer entries.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let (id, f) = entries[i];
+                    let outcome = self.run_one(id, f, seed);
+                    on_done(i, &outcome);
+                    *slots[i].lock().expect("slot lock") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every queue entry was claimed by a worker")
+            })
             .collect()
     }
 
@@ -176,7 +244,7 @@ impl Supervisor {
         id: &str,
         f: Experiment,
         seed: u64,
-    ) -> Result<(Report, Vec<RecoveryEvent>), String> {
+    ) -> Result<(Report, Vec<RecoveryEvent>, u64), String> {
         let (tx, rx) = mpsc::channel();
         let scenario = self.scenario.clone();
         let events = self.event_budget;
@@ -188,15 +256,12 @@ impl Supervisor {
                 // scenario, so fault-free campaigns report zero recovery
                 // events by construction), and arm the budget — all for
                 // this attempt only.
-                let _plane = scenario
-                    .as_ref()
-                    .map(|sc| faults::install(FaultSchedule::generate(seed, sc)));
-                let _collector = scenario.as_ref().map(|_| recovery::collect());
-                let _budget = budget::arm(events);
+                let _ambient = ambient::install_attempt(scenario.as_ref(), seed, events);
                 let result = std::panic::catch_unwind(|| f(seed));
+                let consumed = budget::consumed().unwrap_or(0);
                 let _ = tx.send(
                     result
-                        .map(|report| (report, recovery::drain()))
+                        .map(|report| (report, recovery::drain(), consumed))
                         .map_err(|payload| panic_note(payload.as_ref())),
                 );
             });
@@ -253,6 +318,18 @@ pub struct ManifestEntry {
     pub note: Option<String>,
     /// Aggregated recovery actions of the successful attempt.
     pub recovery: RecoverySummary,
+    /// Wall-clock for this experiment, seconds. **In-memory only**: timing
+    /// varies run to run, and `manifest.json` must stay byte-identical
+    /// across serial/parallel/resumed runs, so this is persisted to
+    /// `BENCH_campaign.json` (see [`bench_report`]) instead. Zero for rows
+    /// rebuilt from a prior manifest.
+    pub wall_s: f64,
+    /// Budget events charged by this experiment. In-memory only, like
+    /// `wall_s`.
+    pub events: u64,
+    /// True for rows carried over from a prior manifest by `--resume`
+    /// (their timing is unknown, not zero-cost). In-memory only.
+    pub resumed: bool,
 }
 
 impl ManifestEntry {
@@ -264,6 +341,9 @@ impl ManifestEntry {
             attempts: o.attempts,
             note: o.note.clone(),
             recovery: recovery::summarize(&o.recovery),
+            wall_s: o.wall_s,
+            events: o.events,
+            resumed: false,
         }
     }
 
@@ -351,8 +431,74 @@ impl ManifestEntry {
             attempts,
             note,
             recovery,
+            wall_s: 0.0,
+            events: 0,
+            resumed: true,
         })
     }
+}
+
+/// Serializes the campaign perf baseline as `BENCH_campaign.json`: per
+/// experiment wall-clock and event throughput plus campaign-level totals.
+/// `campaign_wall_s` is the end-to-end wall-clock of the whole campaign
+/// (with `jobs > 1` it is smaller than the sum of per-experiment times —
+/// `speedup_est` is exactly that ratio, the scheduler's parallel yield).
+/// Resumed rows are flagged and excluded from the totals, since their cost
+/// was paid by a previous run.
+pub fn bench_report(
+    entries: &[ManifestEntry],
+    seed: u64,
+    scenario: Option<&str>,
+    jobs: usize,
+    campaign_wall_s: f64,
+) -> Json {
+    let ran: Vec<&ManifestEntry> = entries.iter().filter(|e| !e.resumed).collect();
+    let serial_wall_s: f64 = ran.iter().map(|e| e.wall_s).sum();
+    let events: u64 = ran.iter().map(|e| e.events).sum();
+    let rate = |ev: u64, wall: f64| {
+        if wall > 0.0 {
+            ev as f64 / wall
+        } else {
+            0.0
+        }
+    };
+    Json::obj(vec![
+        ("seed", Json::Num(seed as f64)),
+        ("scenario", scenario.map_or(Json::Null, Json::str)),
+        ("jobs", Json::Num(jobs as f64)),
+        ("experiments", Json::Num(entries.len() as f64)),
+        ("resumed", Json::Num((entries.len() - ran.len()) as f64)),
+        ("campaign_wall_s", Json::Num(campaign_wall_s)),
+        ("serial_wall_s", Json::Num(serial_wall_s)),
+        (
+            "speedup_est",
+            Json::Num(if campaign_wall_s > 0.0 {
+                serial_wall_s / campaign_wall_s
+            } else {
+                0.0
+            }),
+        ),
+        ("events", Json::Num(events as f64)),
+        ("events_per_s", Json::Num(rate(events, campaign_wall_s))),
+        (
+            "results",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj(vec![
+                            ("id", Json::str(e.id.as_str())),
+                            ("status", Json::str(e.status.as_str())),
+                            ("resumed", Json::Bool(e.resumed)),
+                            ("wall_s", Json::Num(e.wall_s)),
+                            ("events", Json::Num(e.events as f64)),
+                            ("events_per_s", Json::Num(rate(e.events, e.wall_s))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Serializes campaign rows as a manifest (written as `manifest.json` next
@@ -419,6 +565,7 @@ pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fiveg_simcore::faults;
 
     fn ok_exp(seed: u64) -> Report {
         Report {
@@ -578,6 +725,135 @@ mod tests {
             manifest_from_entries(&parsed, seed, scenario.as_deref()).render(),
             text
         );
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_byte_for_byte() {
+        fn exp_a(seed: u64) -> Report {
+            Report {
+                id: "a",
+                title: "a".into(),
+                body: format!("seed={seed}"),
+            }
+        }
+        fn exp_b(seed: u64) -> Report {
+            // Consume some budget so events flow through the outcome.
+            fiveg_simcore::budget::charge(17);
+            Report {
+                id: "b",
+                title: "b".into(),
+                body: format!("seed={}", seed.wrapping_mul(3)),
+            }
+        }
+        fn exp_slow(seed: u64) -> Report {
+            // Finishes *after* later queue entries, exercising ordered
+            // collection under out-of-order completion.
+            std::thread::sleep(Duration::from_millis(60));
+            Report {
+                id: "slow",
+                title: "slow".into(),
+                body: format!("seed={seed}"),
+            }
+        }
+        let entries: [(&'static str, Experiment); 4] = [
+            ("slow", exp_slow),
+            ("a", exp_a),
+            ("boom", panicky_exp),
+            ("b", exp_b),
+        ];
+        for scenario in [None, Some(FaultScenario::chaos())] {
+            let sup = Supervisor {
+                scenario,
+                ..Supervisor::default()
+            };
+            let serial = manifest(&sup.run_registry(&entries, 2021), 2021, Some("x")).render();
+            let parallel = manifest(
+                &sup.run_registry_jobs(&entries, 2021, 4, |_, _| {}),
+                2021,
+                Some("x"),
+            )
+            .render();
+            assert_eq!(serial, parallel, "jobs=4 must not perturb the manifest");
+        }
+    }
+
+    #[test]
+    fn on_done_fires_once_per_entry_with_matching_ids() {
+        let entries: [(&'static str, Experiment); 3] =
+            [("ok", ok_exp), ("boom", panicky_exp), ("ok2", ok_exp)];
+        let sup = Supervisor::default();
+        let seen: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        let outs = sup.run_registry_jobs(&entries, 5, 3, |i, o| {
+            seen.lock().unwrap().push((i, o.id.to_string()));
+        });
+        assert_eq!(outs.len(), 3);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![
+                (0, "ok".to_string()),
+                (1, "boom".to_string()),
+                (2, "ok2".to_string())
+            ]
+        );
+        // Collection order is entry order even if completion was not.
+        assert_eq!(outs[0].id, "ok");
+        assert_eq!(outs[1].id, "boom");
+        assert_eq!(outs[2].id, "ok2");
+    }
+
+    #[test]
+    fn outcomes_carry_wall_clock_and_event_counts() {
+        fn charging_exp(_seed: u64) -> Report {
+            fiveg_simcore::budget::charge(123);
+            Report {
+                id: "charge",
+                title: "t".into(),
+                body: "b".into(),
+            }
+        }
+        let out = Supervisor::default().run_one("charge", charging_exp, 1);
+        assert_eq!(out.events, 123);
+        assert!(out.wall_s > 0.0);
+        let entry = ManifestEntry::from_outcome(&out);
+        assert_eq!(entry.events, 123);
+        assert!(!entry.resumed);
+        // The perf fields never leak into the persisted manifest row.
+        let rendered = entry.to_json().render();
+        assert!(!rendered.contains("wall_s"), "manifest row: {rendered}");
+        assert!(!rendered.contains("events_per_s"), "manifest row: {rendered}");
+    }
+
+    #[test]
+    fn bench_report_totals_exclude_resumed_rows() {
+        let mk = |id: &str, wall_s: f64, events: u64, resumed: bool| ManifestEntry {
+            id: id.to_string(),
+            status: RunStatus::Ok,
+            attempts: 1,
+            note: None,
+            recovery: RecoverySummary::empty(),
+            wall_s,
+            events,
+            resumed,
+        };
+        let rows = vec![
+            mk("a", 2.0, 100, false),
+            mk("b", 0.0, 0, true),
+            mk("c", 3.0, 200, false),
+        ];
+        let j = bench_report(&rows, 7, Some("chaos"), 4, 2.5);
+        assert_eq!(j.get("serial_wall_s").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(j.get("events").and_then(Json::as_f64), Some(300.0));
+        assert_eq!(j.get("speedup_est").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(j.get("resumed").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(j.get("jobs").and_then(Json::as_f64), Some(4.0));
+        let results = j.get("results").and_then(Json::as_arr).expect("results");
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[1].get("resumed"), Some(&Json::Bool(true)));
+        // events/sec for row c: 200 / 3.0.
+        let eps = results[2].get("events_per_s").and_then(Json::as_f64).unwrap();
+        assert!((eps - 200.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

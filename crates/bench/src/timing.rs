@@ -4,13 +4,23 @@
 //! access. Each `[[bench]]` target is a plain `harness = false` binary that
 //! calls [`bench`] for every kernel it times. The default sample count keeps
 //! `cargo bench` fast; build with `--features heavy-bench` for tighter
-//! medians.
+//! medians, or set `FIVEG_BENCH_SAMPLES=<n>` to override either default.
 
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Samples per benchmark: small by default, larger under `heavy-bench`.
+/// Environment variable overriding the per-benchmark sample count.
+pub const SAMPLES_ENV: &str = "FIVEG_BENCH_SAMPLES";
+
+/// Samples per benchmark: small by default, larger under `heavy-bench`,
+/// and `FIVEG_BENCH_SAMPLES` (any positive integer) beats both.
 fn sample_count() -> usize {
+    if let Ok(raw) = std::env::var(SAMPLES_ENV) {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => eprintln!("ignoring {SAMPLES_ENV}={raw:?}: expected a positive integer"),
+        }
+    }
     if cfg!(feature = "heavy-bench") {
         30
     } else {
@@ -18,7 +28,22 @@ fn sample_count() -> usize {
     }
 }
 
-/// Times `f` over several samples and prints a one-line summary.
+/// Linear-interpolated percentile of an already-sorted sample set.
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (rank - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Times `f` over several samples and prints a one-line summary with the
+/// median plus the p10/p90 spread (tail noise is what campaign scheduling
+/// cares about, not just the center).
 ///
 /// The closure's result is passed through [`black_box`] so the optimizer
 /// cannot delete the work.
@@ -33,8 +58,10 @@ pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) {
     }
     samples_ms.sort_by(f64::total_cmp);
     let median = samples_ms[n / 2];
+    let p10 = percentile_ms(&samples_ms, 10.0);
+    let p90 = percentile_ms(&samples_ms, 90.0);
     println!(
-        "{name:<40} median {median:10.3} ms   (min {:.3}, max {:.3}, n={n})",
+        "{name:<40} median {median:10.3} ms   (p10 {p10:.3}, p90 {p90:.3}, min {:.3}, max {:.3}, n={n})",
         samples_ms[0],
         samples_ms[n - 1]
     );
@@ -49,5 +76,17 @@ mod tests {
         let mut calls = 0;
         bench("noop", || calls += 1);
         assert_eq!(calls as usize, 1 + sample_count());
+    }
+
+    #[test]
+    fn percentiles_interpolate_on_sorted_samples() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_ms(&s, 0.0), 1.0);
+        assert_eq!(percentile_ms(&s, 100.0), 5.0);
+        assert_eq!(percentile_ms(&s, 50.0), 3.0);
+        // p10 of 5 samples: rank 0.4 → 1.0 + 0.4 * (2.0 - 1.0).
+        assert!((percentile_ms(&s, 10.0) - 1.4).abs() < 1e-12);
+        assert!((percentile_ms(&s, 90.0) - 4.6).abs() < 1e-12);
+        assert_eq!(percentile_ms(&[7.0], 90.0), 7.0);
     }
 }

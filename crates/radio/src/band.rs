@@ -48,6 +48,28 @@ pub enum BandClass {
 }
 
 impl Band {
+    /// Every band, in [`Band::index`] order — the index space of the
+    /// per-band lookup tables in `propagation`.
+    pub const ALL: [Band; 5] = [
+        Band::LteMidBand,
+        Band::N5Dss,
+        Band::N71,
+        Band::N260,
+        Band::N261,
+    ];
+
+    /// This band's position in [`Band::ALL`]; a dense index for per-band
+    /// lookup tables.
+    pub fn index(self) -> usize {
+        match self {
+            Band::LteMidBand => 0,
+            Band::N5Dss => 1,
+            Band::N71 => 2,
+            Band::N260 => 3,
+            Band::N261 => 4,
+        }
+    }
+
     /// The class of this band.
     pub fn class(self) -> BandClass {
         match self {

@@ -218,6 +218,11 @@ impl DriveState {
 #[derive(Debug, Clone, Copy, Default)]
 struct ReselState {
     serving: Option<usize>,
+    /// The serving cell's RSRP as of the last `step` call — every `step`
+    /// branch already evaluates it, so callers reuse this instead of paying
+    /// a second shadowing/path-loss evaluation per simulation step. Only
+    /// meaningful while `serving.is_some()`.
+    serving_rsrp: f64,
     /// A candidate that has been better than serving since the given time.
     pending: Option<(usize, f64)>,
 }
@@ -239,9 +244,10 @@ impl ReselState {
         let best = layout.best_cell_at(p, false, t, &filter);
         match (self.serving, best) {
             (None, None) => false,
-            (None, Some((idx, _))) => {
+            (None, Some((idx, rsrp))) => {
                 // Initial attach is immediate.
                 self.serving = Some(idx);
+                self.serving_rsrp = rsrp;
                 self.pending = None;
                 true
             }
@@ -253,11 +259,13 @@ impl ReselState {
                     self.pending = None;
                     true
                 } else {
+                    self.serving_rsrp = rsrp;
                     false
                 }
             }
             (Some(cur), Some((idx, best_rsrp))) => {
                 if idx == cur {
+                    self.serving_rsrp = best_rsrp;
                     self.pending = None;
                     return false;
                 }
@@ -281,14 +289,17 @@ impl ReselState {
                         );
                     }
                     self.serving = Some(idx);
+                    self.serving_rsrp = best_rsrp;
                     self.pending = None;
                     return true;
                 }
+                self.serving_rsrp = cur_rsrp;
                 if best_rsrp > cur_rsrp + cfg.hysteresis_db {
                     match self.pending {
                         Some((pidx, since)) if pidx == idx => {
                             if t - since >= cfg.time_to_trigger_s {
                                 self.serving = Some(idx);
+                                self.serving_rsrp = best_rsrp;
                                 self.pending = None;
                                 true
                             } else {
@@ -388,10 +399,10 @@ pub fn simulate_drive(
             st.horizontal(t);
         }
 
-        let nr_rsrp = st
-            .nr
-            .serving
-            .map(|i| layout.rsrp_at(&layout.towers[i], p, false));
+        // Reuse the RSRP the reselection pass just computed for the serving
+        // NR cell (same pure function of `(tower, p)`, so bit-identical)
+        // instead of paying another shadowing evaluation.
+        let nr_rsrp = st.nr.serving.map(|_| st.nr.serving_rsrp);
         let nr_supports_sa = st.nr.serving.map(|i| layout.towers[i].supports_sa);
 
         // --- NSA leg lifecycle ---

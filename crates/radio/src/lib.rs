@@ -27,7 +27,7 @@ pub mod ue;
 pub use band::{Band, BandClass, Direction};
 pub use cell::{NetworkLayout, RadioTech, Tower};
 pub use handoff::{ActiveRadio, BandSetting, DriveResult, HandoffConfig};
-pub use link::{link_capacity_mbps, LinkState};
+pub use link::{link_capacity_mbps, LinkBudget, LinkState};
 pub use ue::UeModel;
 
 /// Re-export of the carrier enum (defined with the server pools in

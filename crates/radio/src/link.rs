@@ -36,6 +36,43 @@ pub fn link_capacity_mbps(ue: UeModel, link: &LinkState, dir: Direction) -> f64 
     cell.min(ue.max_throughput_mbps(class, dir))
 }
 
+/// A precomputed link budget for a fixed `(ue, band, sa, dir)` tuple.
+///
+/// The trace generators and transport paths evaluate capacity once per
+/// sample over segments where everything but RSRP is constant;
+/// [`LinkBudget::capacity_mbps`] reuses the per-segment constants (floor,
+/// ramp span, cell peak, UE modem cap) instead of re-deriving them from the
+/// band/UE tables each call. The arithmetic mirrors [`link_capacity_mbps`]
+/// operation-for-operation, so results are bit-identical (pinned by
+/// `budget_matches_link_capacity_exactly`).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkBudget {
+    floor_dbm: f64,
+    span_db: f64,
+    cell_peak_mbps: f64,
+    ue_cap_mbps: f64,
+}
+
+impl LinkBudget {
+    /// Precomputes the budget for `ue` on `band` (`sa` mode) in `dir`.
+    pub fn new(ue: UeModel, band: Band, sa: bool, dir: Direction) -> LinkBudget {
+        let class = band.class();
+        LinkBudget {
+            floor_dbm: class.rsrp_floor_dbm(),
+            span_db: class.rsrp_saturation_dbm() - class.rsrp_floor_dbm(),
+            cell_peak_mbps: class.cell_capacity_mbps(dir, sa),
+            ue_cap_mbps: ue.max_throughput_mbps(class, dir),
+        }
+    }
+
+    /// Achievable PHY throughput at `rsrp_dbm`, identical to
+    /// [`link_capacity_mbps`] on the matching [`LinkState`].
+    pub fn capacity_mbps(&self, rsrp_dbm: f64) -> f64 {
+        let frac = ((rsrp_dbm - self.floor_dbm) / self.span_db).clamp(0.0, 1.0);
+        (self.cell_peak_mbps * frac).min(self.ue_cap_mbps)
+    }
+}
+
 /// [`link_capacity_mbps`] at simulated time `t_s`: during an ambient
 /// blockage-storm fault window, mmWave capacity divides by the storm
 /// magnitude (beam tracking thrashes; sub-6 GHz is untouched). Identical to
@@ -116,6 +153,33 @@ mod tests {
             link_capacity_mbps(ue, &weak, Direction::Downlink)
                 < 0.5 * link_capacity_mbps(ue, &strong, Direction::Downlink)
         );
+    }
+
+    #[test]
+    fn budget_matches_link_capacity_exactly() {
+        for ue in [UeModel::GalaxyS20Ultra, UeModel::Pixel5, UeModel::GalaxyS10] {
+            for band in Band::ALL {
+                for sa in [false, true] {
+                    for dir in [Direction::Downlink, Direction::Uplink] {
+                        let budget = LinkBudget::new(ue, band, sa, dir);
+                        let mut rsrp = -140.0;
+                        while rsrp <= -40.0 {
+                            let link = LinkState {
+                                band,
+                                rsrp_dbm: rsrp,
+                                sa,
+                            };
+                            assert_eq!(
+                                budget.capacity_mbps(rsrp).to_bits(),
+                                link_capacity_mbps(ue, &link, dir).to_bits(),
+                                "{ue:?} {band:?} sa={sa} {dir:?} rsrp={rsrp}"
+                            );
+                            rsrp += 0.37;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,10 +13,40 @@
 use crate::band::{Band, BandClass};
 use fiveg_geo::route::Point;
 use fiveg_simcore::RngStream;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Free-space path loss at the 1 m reference distance, in dB.
 fn fspl_1m_db(freq_ghz: f64) -> f64 {
     32.4 + 20.0 * freq_ghz.log10()
+}
+
+/// Per-band constants that the hot path would otherwise recompute on every
+/// sample (FSPL involves a `log10` per call; the radio hot paths evaluate
+/// it once per tower per step). Values are computed once, by the exact
+/// formulas the uncached path uses, so cached and uncached results are
+/// bit-identical (pinned by `lut_matches_direct_computation`).
+struct BandTables {
+    /// [`fspl_1m_db`] of each band's carrier frequency, [`Band::index`]ed.
+    fspl_1m_db: [f64; 5],
+    /// [`effective_eirp_dbm`] per band, [`Band::index`]ed.
+    eirp_dbm: [f64; 5],
+}
+
+fn band_tables() -> &'static BandTables {
+    static TABLES: OnceLock<BandTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = BandTables {
+            fspl_1m_db: [0.0; 5],
+            eirp_dbm: [0.0; 5],
+        };
+        for band in Band::ALL {
+            t.fspl_1m_db[band.index()] = fspl_1m_db(band.frequency_ghz());
+            t.eirp_dbm[band.index()] = effective_eirp_dbm(band);
+        }
+        t
+    })
 }
 
 /// Path-loss exponent for a band class (line-of-sight conditions).
@@ -49,8 +79,21 @@ fn effective_eirp_dbm(band: Band) -> f64 {
 
 /// Close-in path loss at `distance_m` metres, in dB.
 ///
-/// Distances below 1 m clamp to the reference distance.
+/// Distances below 1 m clamp to the reference distance. The per-band FSPL
+/// constant comes from the memoized [`band_tables`]; results are
+/// bit-identical to [`path_loss_db_uncached`].
 pub fn path_loss_db(band: Band, distance_m: f64, blocked: bool) -> f64 {
+    let d = distance_m.max(1.0);
+    let class = band.class();
+    band_tables().fspl_1m_db[band.index()]
+        + 10.0 * path_loss_exponent(class) * d.log10()
+        + if blocked { blockage_loss_db(class) } else { 0.0 }
+}
+
+/// [`path_loss_db`] computed from scratch, bypassing the per-band lookup
+/// tables. The equivalence suite pins `path_loss_db == path_loss_db_uncached`
+/// over a dense distance/band grid.
+pub fn path_loss_db_uncached(band: Band, distance_m: f64, blocked: bool) -> f64 {
     let d = distance_m.max(1.0);
     let class = band.class();
     fspl_1m_db(band.frequency_ghz())
@@ -61,8 +104,14 @@ pub fn path_loss_db(band: Band, distance_m: f64, blocked: bool) -> f64 {
 /// RSRP in dBm at `distance_m` from the tower, before shadowing, clamped to
 /// a physical ceiling of −44 dBm (the strongest value UEs report).
 pub fn rsrp_dbm(band: Band, distance_m: f64, blocked: bool) -> f64 {
-    (effective_eirp_dbm(band) - path_loss_db(band, distance_m, blocked)).min(-44.0)
+    (band_tables().eirp_dbm[band.index()] - path_loss_db(band, distance_m, blocked)).min(-44.0)
 }
+
+/// Lattice nodes memoized per field before wholesale eviction. A mobile
+/// observer only ever straddles a handful of tiles per tower, so even the
+/// 40-tower drive corridor stays far below this; the bound only protects
+/// pathological access patterns from unbounded growth.
+const NODE_CACHE_CAP: usize = 16 * 1024;
 
 /// A deterministic, spatially correlated log-normal shadowing field.
 ///
@@ -71,17 +120,45 @@ pub fn rsrp_dbm(band: Band, distance_m: f64, blocked: bool) -> f64 {
 /// are a pure function of `(seed, tower_id, position)` so any component —
 /// the handoff engine, the trace generator, the power campaign — observes
 /// the same radio environment.
-#[derive(Debug, Clone)]
+///
+/// Lattice nodes are memoized in a per-field tile cache: deriving a node's
+/// normal burns a string format plus an RNG stream construction, and the
+/// hot paths (handoff reselection, walking traces) re-touch the same four
+/// tiles for hundreds of consecutive samples. Because a node is a pure
+/// function of `(seed, tower, ix, iy)`, the cache is invisible —
+/// [`ShadowingField::sample_db_uncached`] pins bit-identical results — and
+/// each field owns its cache, so cloned fields and parallel campaigns never
+/// share mutable state.
+#[derive(Debug)]
 pub struct ShadowingField {
     seed: u64,
     /// Lattice pitch in metres (decorrelation distance).
     pub corr_m: f64,
+    /// Memoized lattice nodes: `(tower, ix, iy) → unit normal`.
+    nodes: RefCell<HashMap<(u64, i64, i64), f64>>,
+}
+
+impl Clone for ShadowingField {
+    /// Clones the field's identity with a fresh, empty node cache. Nodes
+    /// are a pure function of that identity, so warm-vs-cold caches are
+    /// observationally identical.
+    fn clone(&self) -> Self {
+        ShadowingField {
+            seed: self.seed,
+            corr_m: self.corr_m,
+            nodes: RefCell::new(HashMap::new()),
+        }
+    }
 }
 
 impl ShadowingField {
     /// Creates a field with the default 50 m correlation length.
     pub fn new(seed: u64) -> Self {
-        ShadowingField { seed, corr_m: 50.0 }
+        ShadowingField {
+            seed,
+            corr_m: 50.0,
+            nodes: RefCell::new(HashMap::new()),
+        }
     }
 
     /// Shadowing standard deviation per band class, in dB.
@@ -93,24 +170,57 @@ impl ShadowingField {
         }
     }
 
-    /// A lattice-node unit normal, deterministic in `(seed, tower, ix, iy)`.
-    fn node(&self, tower: u64, ix: i64, iy: i64) -> f64 {
+    /// A lattice-node unit normal computed from scratch, deterministic in
+    /// `(seed, tower, ix, iy)`.
+    fn node_uncached(&self, tower: u64, ix: i64, iy: i64) -> f64 {
         let name = format!("shadow/{tower}/{ix}/{iy}");
         RngStream::new(self.seed, &name).std_normal()
     }
 
+    /// A lattice-node unit normal, served from the tile cache.
+    fn node(&self, tower: u64, ix: i64, iy: i64) -> f64 {
+        let key = (tower, ix, iy);
+        if let Some(&v) = self.nodes.borrow().get(&key) {
+            return v;
+        }
+        let v = self.node_uncached(tower, ix, iy);
+        let mut nodes = self.nodes.borrow_mut();
+        if nodes.len() >= NODE_CACHE_CAP {
+            nodes.clear();
+        }
+        nodes.insert(key, v);
+        v
+    }
+
     /// Shadowing in dB experienced from tower `tower_id` at position `p`.
     pub fn sample_db(&self, tower_id: u64, class: BandClass, p: Point) -> f64 {
+        self.sample_inner(tower_id, class, p, Self::node)
+    }
+
+    /// [`ShadowingField::sample_db`] bypassing the node tile cache. The
+    /// equivalence suite pins `sample_db == sample_db_uncached` regardless
+    /// of cache state or access order.
+    pub fn sample_db_uncached(&self, tower_id: u64, class: BandClass, p: Point) -> f64 {
+        self.sample_inner(tower_id, class, p, Self::node_uncached)
+    }
+
+    fn sample_inner(
+        &self,
+        tower_id: u64,
+        class: BandClass,
+        p: Point,
+        node: impl Fn(&Self, u64, i64, i64) -> f64,
+    ) -> f64 {
         let gx = p.x / self.corr_m;
         let gy = p.y / self.corr_m;
         let ix = gx.floor() as i64;
         let iy = gy.floor() as i64;
         let fx = gx - ix as f64;
         let fy = gy - iy as f64;
-        let v00 = self.node(tower_id, ix, iy);
-        let v10 = self.node(tower_id, ix + 1, iy);
-        let v01 = self.node(tower_id, ix, iy + 1);
-        let v11 = self.node(tower_id, ix + 1, iy + 1);
+        let v00 = node(self, tower_id, ix, iy);
+        let v10 = node(self, tower_id, ix + 1, iy);
+        let v01 = node(self, tower_id, ix, iy + 1);
+        let v11 = node(self, tower_id, ix + 1, iy + 1);
         let interp = v00 * (1.0 - fx) * (1.0 - fy)
             + v10 * fx * (1.0 - fy)
             + v01 * (1.0 - fx) * fy
@@ -201,6 +311,84 @@ mod tests {
             }
         }
         assert!(distinct > 10, "towers see independent fields");
+    }
+
+    #[test]
+    fn lut_matches_direct_computation() {
+        for band in Band::ALL {
+            assert_eq!(
+                band_tables().fspl_1m_db[band.index()].to_bits(),
+                fspl_1m_db(band.frequency_ghz()).to_bits(),
+                "{band:?} FSPL LUT drifted"
+            );
+            assert_eq!(
+                band_tables().eirp_dbm[band.index()].to_bits(),
+                effective_eirp_dbm(band).to_bits(),
+                "{band:?} EIRP LUT drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_path_loss_is_bit_identical_to_uncached() {
+        for band in Band::ALL {
+            for blocked in [false, true] {
+                let mut d = 0.5;
+                while d < 20_000.0 {
+                    assert_eq!(
+                        path_loss_db(band, d, blocked).to_bits(),
+                        path_loss_db_uncached(band, d, blocked).to_bits(),
+                        "{band:?} at {d} m (blocked={blocked})"
+                    );
+                    d *= 1.07;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cached_shadowing_is_bit_identical_regardless_of_access_order() {
+        let warm = ShadowingField::new(2021);
+        let cold = ShadowingField::new(2021);
+        let points: Vec<Point> = (0..400)
+            .map(|i| Point::new((i % 23) as f64 * 17.0 - 60.0, (i / 23) as f64 * 31.0 - 45.0))
+            .collect();
+        // Warm the first field forward, then check both in reverse order:
+        // hits and misses must agree with the uncached reference exactly.
+        for &p in &points {
+            let _ = warm.sample_db(3, BandClass::MmWave, p);
+        }
+        for &p in points.iter().rev() {
+            let reference = warm.sample_db_uncached(3, BandClass::MmWave, p);
+            assert_eq!(warm.sample_db(3, BandClass::MmWave, p).to_bits(), reference.to_bits());
+            assert_eq!(cold.sample_db(3, BandClass::MmWave, p).to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn node_cache_eviction_does_not_change_values() {
+        let f = ShadowingField::new(7);
+        let p = Point::new(10.0, 10.0);
+        let first = f.sample_db(1, BandClass::Lte, p);
+        // Flood the cache far past its capacity to force wholesale
+        // eviction, then re-sample the original point.
+        for i in 0..(NODE_CACHE_CAP as i64 / 4 + 8) {
+            let q = Point::new(i as f64 * 50.0 + 25.0, -9_999.0);
+            let _ = f.sample_db(1, BandClass::Lte, q);
+        }
+        assert_eq!(f.sample_db(1, BandClass::Lte, p).to_bits(), first.to_bits());
+    }
+
+    #[test]
+    fn cloned_field_observes_the_same_world() {
+        let f = ShadowingField::new(13);
+        let p = Point::new(77.0, -31.0);
+        let _ = f.sample_db(5, BandClass::LowBand, p); // warm the original
+        let g = f.clone();
+        assert_eq!(
+            f.sample_db(5, BandClass::LowBand, p).to_bits(),
+            g.sample_db(5, BandClass::LowBand, p).to_bits()
+        );
     }
 
     #[test]

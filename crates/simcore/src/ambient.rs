@@ -1,0 +1,90 @@
+//! One-call installation of the per-attempt ambient planes.
+//!
+//! A supervised experiment attempt needs three thread-locals installed on
+//! its (fresh) thread before the experiment body runs: the deterministic
+//! fault plane, the recovery-event collector, and the event budget. The
+//! serial runner has always installed them inline; with the parallel
+//! campaign scheduler many worker threads spawn attempt threads
+//! concurrently, so the install sequence lives here — one helper both paths
+//! call, keeping "what an attempt's ambient world looks like" defined in
+//! exactly one place.
+//!
+//! Invariants the helper preserves:
+//!
+//! * the fault plane is generated from `(attempt_seed, scenario)` only — no
+//!   shared RNG, so attempt N of experiment E sees the same schedule no
+//!   matter which worker runs it, or in what order;
+//! * the recovery collector is installed only alongside a scenario, so
+//!   fault-free campaigns report zero recovery events by construction;
+//! * everything uninstalls when the returned guard drops, even on panic,
+//!   so a pooled worker can never leak one attempt's planes into the next.
+
+use crate::budget::{self, BudgetGuard};
+use crate::faults::{self, FaultScenario, FaultSchedule, PlaneGuard};
+use crate::recovery::{self, CollectorGuard};
+
+/// Guards for one attempt's ambient planes; dropping uninstalls all three
+/// (plane, collector, budget) in reverse install order.
+#[must_use = "the ambient planes uninstall when this guard drops"]
+pub struct AmbientGuard {
+    _budget: BudgetGuard,
+    _collector: Option<CollectorGuard>,
+    _plane: Option<PlaneGuard>,
+}
+
+/// Installs the ambient planes for one supervised attempt on the current
+/// thread: the fault plane generated from `(seed, scenario)` (skipped when
+/// `scenario` is `None`), the recovery collector (only alongside a
+/// scenario), and an armed event budget.
+pub fn install_attempt(
+    scenario: Option<&FaultScenario>,
+    seed: u64,
+    event_budget: u64,
+) -> AmbientGuard {
+    AmbientGuard {
+        _plane: scenario.map(|sc| faults::install(FaultSchedule::generate(seed, sc))),
+        _collector: scenario.map(|_| recovery::collect()),
+        _budget: budget::arm(event_budget),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_scenario_installs_budget_only() {
+        {
+            let _g = install_attempt(None, 7, 100);
+            assert!(!faults::enabled());
+            assert!(!recovery::enabled());
+            assert_eq!(budget::remaining(), Some(100));
+        }
+        assert_eq!(budget::remaining(), None);
+    }
+
+    #[test]
+    fn scenario_installs_all_three_and_uninstalls_on_drop() {
+        {
+            let _g = install_attempt(Some(&FaultScenario::chaos()), 7, 100);
+            assert!(faults::enabled());
+            assert!(recovery::enabled());
+            assert_eq!(budget::remaining(), Some(100));
+        }
+        assert!(!faults::enabled());
+        assert!(!recovery::enabled());
+        assert_eq!(budget::remaining(), None);
+    }
+
+    #[test]
+    fn plane_is_a_pure_function_of_seed_and_scenario() {
+        let sc = FaultScenario::chaos();
+        let a = FaultSchedule::generate(11, &sc);
+        let b = FaultSchedule::generate(11, &sc);
+        assert_eq!(a.events().len(), b.events().len());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.start_s, y.start_s);
+            assert_eq!(x.duration_s, y.duration_s);
+        }
+    }
+}

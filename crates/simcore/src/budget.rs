@@ -15,6 +15,10 @@ use std::cell::Cell;
 thread_local! {
     /// Remaining events; `u64::MAX` means "no budget armed".
     static REMAINING: Cell<u64> = const { Cell::new(u64::MAX) };
+    /// The amount armed, so [`consumed`] can report events charged so far;
+    /// `u64::MAX` means "no budget armed". Never read on the `charge` hot
+    /// path.
+    static ARMED: Cell<u64> = const { Cell::new(u64::MAX) };
 }
 
 /// Panic message prefix on budget exhaustion; the supervised runner matches
@@ -30,6 +34,7 @@ pub struct BudgetGuard {
 impl Drop for BudgetGuard {
     fn drop(&mut self) {
         REMAINING.with(|r| r.set(u64::MAX));
+        ARMED.with(|a| a.set(u64::MAX));
     }
 }
 
@@ -37,6 +42,7 @@ impl Drop for BudgetGuard {
 /// is replaced. Disarms when the guard drops.
 pub fn arm(events: u64) -> BudgetGuard {
     REMAINING.with(|r| r.set(events));
+    ARMED.with(|a| a.set(events));
     BudgetGuard { _private: () }
 }
 
@@ -59,6 +65,19 @@ pub fn charge(n: u64) {
         }
         r.set(left - n);
     });
+}
+
+/// Events charged against the armed budget so far, or `None` when no
+/// budget is armed. The supervised runner reads this after an experiment
+/// finishes to report event throughput (events/sec) for the campaign's
+/// perf baseline.
+pub fn consumed() -> Option<u64> {
+    let armed = ARMED.with(Cell::get);
+    if armed == u64::MAX {
+        return None;
+    }
+    let left = REMAINING.with(Cell::get);
+    Some(armed.saturating_sub(left))
 }
 
 /// Remaining events, or `None` when no budget is armed.
@@ -91,8 +110,10 @@ mod tests {
             assert_eq!(remaining(), Some(10));
             charge(4);
             assert_eq!(remaining(), Some(6));
+            assert_eq!(consumed(), Some(4));
         }
         assert_eq!(remaining(), None);
+        assert_eq!(consumed(), None);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! is a feature, because the "field" this workspace measures is itself a
 //! simulation that must be re-runnable bit-for-bit.
 
+pub mod ambient;
 pub mod budget;
 pub mod event;
 pub mod faults;

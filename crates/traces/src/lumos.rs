@@ -13,7 +13,7 @@ use fiveg_geo::mobility::MobilityModel;
 use fiveg_radio::band::{Band, BandClass, Direction};
 use fiveg_radio::blockage::{BlockageConfig, BlockageProcess};
 use fiveg_radio::cell::NetworkLayout;
-use fiveg_radio::link::{link_capacity_mbps, LinkState};
+use fiveg_radio::link::LinkBudget;
 use fiveg_radio::ue::UeModel;
 use fiveg_simcore::RngStream;
 use fiveg_transport::shaper::BandwidthTrace;
@@ -81,6 +81,9 @@ impl TraceGenerator {
         // bursts, matching the Lumos5G statistics the paper scales its
         // video ladder to.
         let mut log_share = rng.normal(-2.2, 0.7);
+        // Every mmWave tower on the loop runs the same band, so the link
+        // budget (floor/ramp/peak/UE cap) is one per-segment precompute.
+        let budget = LinkBudget::new(UeModel::GalaxyS10, Band::N261, false, Direction::Downlink);
         let mut samples = Vec::with_capacity(TRACE_LEN_S);
         let mut rsrp_context = Vec::with_capacity(TRACE_LEN_S);
         let mut was_blocked = false;
@@ -109,15 +112,10 @@ impl TraceGenerator {
             let attenuation_db = if blocked { episode_atten } else { 0.0 };
             let best = layout.best_cell(p, false, |tw| tw.band.class() == BandClass::MmWave);
             let mbps = match best {
-                Some((idx, rsrp)) => {
+                Some((_, rsrp)) => {
                     let eff_rsrp = rsrp - attenuation_db;
                     rsrp_context.push(eff_rsrp);
-                    let link = LinkState {
-                        band: layout.towers[idx].band,
-                        rsrp_dbm: eff_rsrp,
-                        sa: false,
-                    };
-                    let cap = link_capacity_mbps(UeModel::GalaxyS10, &link, Direction::Downlink);
+                    let cap = budget.capacity_mbps(eff_rsrp);
                     (cap * share).max(0.0)
                 }
                 // Fallen back to 4G: the 5G interface carries nothing.
@@ -146,6 +144,10 @@ impl TraceGenerator {
         // LTE macros serve many users: the app sees a small share, drifting
         // slowly with cell load (AR(1) utilization).
         let mut share = rng.gen_range(0.09..0.14);
+        // The only LTE-class band is the mid-band macro, so one budget
+        // covers every candidate the filter below can select.
+        let budget =
+            LinkBudget::new(UeModel::GalaxyS10, Band::LteMidBand, false, Direction::Downlink);
         let mut samples = Vec::with_capacity(TRACE_LEN_S);
         for s in 0..TRACE_LEN_S {
             let t = (start_offset + s as f64) % mobility.duration_s();
@@ -153,15 +155,7 @@ impl TraceGenerator {
             let best = layout.best_cell(p, false, |tw| tw.band.class() == BandClass::Lte);
             share = (share + rng.normal(0.0, 0.01)).clamp(0.08, 0.22);
             let mbps = match best {
-                Some((idx, rsrp)) => {
-                    let link = LinkState {
-                        band: layout.towers[idx].band,
-                        rsrp_dbm: rsrp,
-                        sa: false,
-                    };
-                    let cap = link_capacity_mbps(UeModel::GalaxyS10, &link, Direction::Downlink);
-                    (cap * share).max(0.5)
-                }
+                Some((_, rsrp)) => (budget.capacity_mbps(rsrp) * share).max(0.5),
                 None => 0.5,
             };
             samples.push(mbps);

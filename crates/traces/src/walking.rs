@@ -14,7 +14,7 @@ use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
 use fiveg_radio::band::{Band, BandClass, Direction};
 use fiveg_radio::blockage::{BlockageConfig, BlockageProcess};
 use fiveg_radio::cell::NetworkLayout;
-use fiveg_radio::link::{link_capacity_mbps, LinkState};
+use fiveg_radio::link::LinkBudget;
 use fiveg_radio::ue::UeModel;
 use fiveg_radio::Carrier;
 use fiveg_simcore::RngStream;
@@ -128,13 +128,17 @@ impl WalkingCampaign {
         // demand), which is what forces a power model to see *both*
         // features (Fig 15).
         let mut share = rng.gen_range(0.3..0.9);
+        // A sample serves from either the mmWave band or the low band; both
+        // link budgets are fixed for the whole walk, so precompute them.
+        let sa = self.network == NetworkKind::LowBandSa;
+        let mm_budget = LinkBudget::new(self.ue, mm_band, sa, Direction::Downlink);
+        let lb_budget = LinkBudget::new(self.ue, lb_band, sa, Direction::Downlink);
         let mut out = Vec::new();
         let mut t = 0.0;
         while t < mobility.duration_s() {
             let p = mobility.position_at(t);
             let speed = mobility.speed_at(t);
             let blocked = blockage.advance(dt, speed);
-            let sa = self.network == NetworkKind::LowBandSa;
             // Pick the active cell for this campaign.
             let (network, cell) = if self.network == NetworkKind::MmWave {
                 match layout.best_cell(p, blocked, |tw| tw.band.class() == BandClass::MmWave) {
@@ -152,12 +156,12 @@ impl WalkingCampaign {
             };
             share = (share + rng.normal(0.0, 0.03)).clamp(0.15, 0.95);
             if let Some((idx, rsrp)) = cell {
-                let link = LinkState {
-                    band: layout.towers[idx].band,
-                    rsrp_dbm: rsrp,
-                    sa,
+                let budget = if layout.towers[idx].band == mm_band {
+                    &mm_budget
+                } else {
+                    &lb_budget
                 };
-                let tput = link_capacity_mbps(self.ue, &link, Direction::Downlink) * share;
+                let tput = budget.capacity_mbps(rsrp) * share;
                 let model = DataPowerModel::lookup(self.ue, network);
                 let power = model.power_mw_with_rsrp(Direction::Downlink, tput, rsrp)
                     * (1.0 + rng.normal(0.0, 0.03));
