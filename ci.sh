@@ -81,6 +81,57 @@ echo "==> parallel determinism: --resume with --jobs 4"
 "$FIG" --seed 2021 --jobs 4 --out "$SMOKE_DIR/par-r" --resume table1 fig1 fig2 fig9 table2 fig11 > /dev/null
 cmp "$SMOKE_DIR/par-s/manifest.json" "$SMOKE_DIR/par-r/manifest.json"
 
+# --- Telemetry smoke -----------------------------------------------------------
+# The observability plane: per-experiment JSONL/Chrome-trace files must be
+# non-empty, deterministic across reruns, and identical serial vs --jobs 4
+# (they carry only simulated time). telemetry.txt is excluded — its runner
+# section is wall-clock by design.
+echo "==> telemetry smoke: figures --telemetry"
+"$FIG" --seed 2021 --telemetry "$SMOKE_DIR/tel-a" --out "$SMOKE_DIR/telo-a" table2 fig9 > /dev/null
+for id in table2 fig9; do
+    test -s "$SMOKE_DIR/tel-a/$id.jsonl"
+    test -s "$SMOKE_DIR/tel-a/$id.trace.json"
+done
+grep -q '"name":"radio/drive"' "$SMOKE_DIR/tel-a/fig9.jsonl"
+grep -q '"name":"power/record"' "$SMOKE_DIR/tel-a/table2.jsonl"
+grep -q '"name":"rrc/promotion"' "$SMOKE_DIR/tel-a/table2.jsonl"
+test -s "$SMOKE_DIR/tel-a/telemetry.txt"
+
+echo "==> telemetry determinism: double run"
+"$FIG" --seed 2021 --telemetry "$SMOKE_DIR/tel-b" --out "$SMOKE_DIR/telo-b" table2 fig9 > /dev/null
+for id in table2 fig9; do
+    cmp "$SMOKE_DIR/tel-a/$id.jsonl" "$SMOKE_DIR/tel-b/$id.jsonl"
+    cmp "$SMOKE_DIR/tel-a/$id.trace.json" "$SMOKE_DIR/tel-b/$id.trace.json"
+done
+
+echo "==> telemetry determinism: --jobs 4"
+"$FIG" --seed 2021 --jobs 4 --telemetry "$SMOKE_DIR/tel-j" --out "$SMOKE_DIR/telo-j" table2 fig9 > /dev/null
+for id in table2 fig9; do
+    cmp "$SMOKE_DIR/tel-a/$id.jsonl" "$SMOKE_DIR/tel-j/$id.jsonl"
+    cmp "$SMOKE_DIR/tel-a/$id.trace.json" "$SMOKE_DIR/tel-j/$id.trace.json"
+done
+
+# Observing must not change the world: the campaign run with the collector
+# installed renders the same manifest and reports as one without it.
+echo "==> telemetry off-path: manifest unchanged by --telemetry"
+"$FIG" --seed 2021 --out "$SMOKE_DIR/telo-plain" table2 fig9 > /dev/null
+cmp "$SMOKE_DIR/telo-plain/manifest.json" "$SMOKE_DIR/telo-a/manifest.json"
+for id in table2 fig9; do
+    cmp "$SMOKE_DIR/telo-plain/$id.txt" "$SMOKE_DIR/telo-a/$id.txt"
+done
+
+# Feature-off determinism: a binary built without the telemetry feature
+# compiled in at all must produce byte-identical campaign output.
+echo "==> telemetry feature gate: --no-default-features build"
+cargo build --release --offline -p fiveg-bench --no-default-features
+"$FIG" --seed 2021 --out "$SMOKE_DIR/telo-nofeat" table2 fig9 > /dev/null
+cmp "$SMOKE_DIR/telo-plain/manifest.json" "$SMOKE_DIR/telo-nofeat/manifest.json"
+for id in table2 fig9; do
+    cmp "$SMOKE_DIR/telo-plain/$id.txt" "$SMOKE_DIR/telo-nofeat/$id.txt"
+done
+# Restore the default (telemetry-enabled) binary for anything downstream.
+cargo build --release --offline -p fiveg-bench
+
 # --- Campaign perf baseline ---------------------------------------------------
 # Record the full-campaign wall clock and events/sec on all cores into
 # results/BENCH_campaign.json (kept out of manifest.json so manifests stay

@@ -10,6 +10,7 @@
 //! figures --resume --out results/ all   # continue a killed campaign
 //! figures --jobs 4 all         # run the campaign on 4 worker threads
 //! figures --bench-out results/BENCH_campaign.json all   # record perf
+//! figures --telemetry tel/ table2 fig9   # export spans/counters/hists
 //! figures --list-scenarios     # print fault scenarios, one per line
 //! figures --check-manifest results/manifest.json   # CI gate
 //! ```
@@ -41,10 +42,21 @@
 //! `--bench-out <path>` additionally writes `BENCH_campaign.json` with
 //! per-experiment wall-clock and events/sec plus the campaign speedup
 //! estimate (timings live only in this file, never in manifest.json).
+//!
+//! `--telemetry <dir>` installs the `fiveg_simcore::telemetry` collector
+//! on every attempt thread and writes, per experiment, a JSONL event
+//! stream (`<id>.jsonl`) and a Chrome `trace_event` file
+//! (`<id>.trace.json`) — both pure sim-time data, byte-identical across
+//! reruns and `--jobs N` — plus one campaign-wide `telemetry.txt` summary
+//! (the only artifact carrying wall-clock numbers). Without the flag the
+//! plane is never installed and every output byte matches an
+//! uninstrumented build.
 
+use fiveg_bench::json::Json;
 use fiveg_bench::report::{f, Table};
 use fiveg_bench::runner::{self, ManifestEntry, RunStatus, Supervisor};
-use fiveg_bench::{experiments, CAMPAIGN_SEED};
+use fiveg_bench::{experiments, telemetry as telexport, CAMPAIGN_SEED};
+use fiveg_simcore::telemetry::AttemptTelemetry;
 use fiveg_simcore::faults::FaultScenario;
 use fiveg_simcore::recovery::RecoveryKind;
 use std::collections::HashMap;
@@ -95,7 +107,64 @@ fn check_manifest(path: &str) -> ! {
         scenario.as_deref().unwrap_or("none"),
         entries.len()
     );
+    report_baseline_drift(seed, scenario.as_deref(), &entries);
     std::process::exit(0);
+}
+
+/// Warn-only companion to `--check-manifest`: when the tracked perf
+/// baseline (`results/BENCH_campaign.json`) is present, report each
+/// manifest experiment's baseline wall-clock and event count and warn
+/// about drift the manifest itself cannot show (the manifest carries no
+/// timings by design). Never changes the exit code.
+fn report_baseline_drift(seed: u64, scenario: Option<&str>, entries: &[ManifestEntry]) {
+    let base_path = Path::new("results/BENCH_campaign.json");
+    let Ok(text) = std::fs::read_to_string(base_path) else {
+        return; // no baseline tracked — nothing to compare
+    };
+    let base = match Json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("warning: {} unparseable: {e}", base_path.display());
+            return;
+        }
+    };
+    println!("-- baseline comparison ({}) --", base_path.display());
+    let base_seed = base.get("seed").and_then(Json::as_f64);
+    if base_seed != Some(seed as f64) {
+        eprintln!(
+            "warning: baseline seed {:?} != manifest seed {seed} — timings may not be comparable",
+            base_seed
+        );
+    }
+    let base_scenario = base.get("scenario").and_then(Json::as_str);
+    if base_scenario != scenario {
+        eprintln!(
+            "warning: baseline scenario {} != manifest scenario {}",
+            base_scenario.unwrap_or("none"),
+            scenario.unwrap_or("none")
+        );
+    }
+    let rows = base.get("results").and_then(Json::as_arr).unwrap_or(&[]);
+    for e in entries {
+        let row = rows
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_str) == Some(e.id.as_str()));
+        let Some(row) = row else {
+            eprintln!("warning: `{}` has no row in the perf baseline", e.id);
+            continue;
+        };
+        let wall = row.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0);
+        let events = row.get("events").and_then(Json::as_f64).unwrap_or(0.0);
+        println!("  {:<10} baseline wall {:.4} s, {} events", e.id, wall, events as u64);
+        let base_status = row.get("status").and_then(Json::as_str).unwrap_or("ok");
+        if base_status != e.status.as_str() {
+            eprintln!(
+                "warning: `{}` status drifted: baseline {base_status}, manifest {}",
+                e.id,
+                e.status.as_str()
+            );
+        }
+    }
 }
 
 /// Renders the campaign resilience table from finished manifest rows.
@@ -303,6 +372,27 @@ fn main() {
         }
         bench_out = Some(path);
     }
+    let mut telemetry_dir: Option<PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--telemetry") {
+        args.remove(pos);
+        let dir = args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--telemetry needs a directory");
+            std::process::exit(2);
+        });
+        args.remove(pos);
+        let path = PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&path) {
+            eprintln!("cannot create {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        if !fiveg_simcore::telemetry::compiled() {
+            eprintln!(
+                "warning: built without the `telemetry` feature — \
+                 telemetry files will be empty"
+            );
+        }
+        telemetry_dir = Some(path);
+    }
 
     let registry = experiments::registry();
     if args.is_empty() {
@@ -336,10 +426,11 @@ fn main() {
     };
 
     let scenario_name = scenario.as_ref().map(|s| s.name.clone());
-    let supervisor = match scenario {
+    let mut supervisor = match scenario {
         Some(sc) => Supervisor::with_scenario(sc),
         None => Supervisor::default(),
     };
+    supervisor.telemetry = telemetry_dir.is_some();
 
     let prior: HashMap<String, ManifestEntry> = match (&out_dir, resume) {
         (Some(dir), true) => resumable_entries(dir, seed, scenario_name.as_deref()),
@@ -378,7 +469,7 @@ fn main() {
 
     let campaign_t0 = Instant::now();
     let slots = Mutex::new(slots);
-    supervisor.run_registry_jobs(&work, seed, jobs, |wi, outcome| {
+    let (outcomes, worker_busy_s) = supervisor.run_registry_jobs_timed(&work, seed, jobs, |wi, outcome| {
         // The lock also serializes stdout/stderr and the manifest rewrite,
         // so interleaved workers cannot tear a report or a manifest write.
         let mut slots = slots.lock().expect("slots lock");
@@ -403,6 +494,33 @@ fn main() {
         }
     });
     let campaign_wall_s = campaign_t0.elapsed().as_secs_f64();
+
+    // Telemetry export: per-experiment sim-time artifacts (deterministic),
+    // then the campaign summary (the only file with wall-clock numbers).
+    if let Some(dir) = &telemetry_dir {
+        let mut total = AttemptTelemetry::default();
+        let mut stats = telexport::RunnerStats {
+            experiments: Vec::new(),
+            worker_busy_s,
+            campaign_wall_s,
+        };
+        for outcome in &outcomes {
+            let telem = outcome.telemetry.clone().unwrap_or_default();
+            write_or_die(
+                &dir.join(format!("{}.jsonl", outcome.id)),
+                &telexport::jsonl(&telem),
+            );
+            write_or_die(
+                &dir.join(format!("{}.trace.json", outcome.id)),
+                &telexport::chrome_trace(outcome.id, &telem),
+            );
+            total.merge_aggregates(&telem);
+            stats.experiments.push((outcome.id.to_string(), outcome.wall_s));
+        }
+        write_or_die(&dir.join("telemetry.txt"), &telexport::summary(&total, &stats));
+        println!("wrote telemetry for {} experiments to {}", outcomes.len(), dir.display());
+    }
+
     let rows: Vec<ManifestEntry> = slots
         .into_inner()
         .expect("slots lock")

@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod runner;
+pub mod telemetry;
 pub mod timing;
 
 /// The default campaign seed used by every experiment (reproducible runs).

@@ -20,6 +20,7 @@ use crate::json::Json;
 use crate::report::Report;
 use fiveg_simcore::faults::FaultScenario;
 use fiveg_simcore::recovery::{self, RecoveryEvent, RecoverySummary};
+use fiveg_simcore::telemetry::{self, AttemptTelemetry};
 use fiveg_simcore::{ambient, budget, RngStream};
 use std::io::Write;
 use std::path::Path;
@@ -81,6 +82,11 @@ pub struct RunOutcome {
     /// attempt (0 for degraded runs and for experiments whose hot loops
     /// don't charge the budget).
     pub events: u64,
+    /// Telemetry drained from the successful attempt, when the supervisor
+    /// ran with [`Supervisor::telemetry`] on (`None` otherwise, and for
+    /// degraded runs). Like `wall_s`/`events`, this never reaches
+    /// `manifest.json` — the `figures` CLI renders it into its own files.
+    pub telemetry: Option<AttemptTelemetry>,
 }
 
 impl RunOutcome {
@@ -102,6 +108,11 @@ pub struct Supervisor {
     pub deadline: Duration,
     /// Retries after the first failed attempt, each with a perturbed seed.
     pub retries: u32,
+    /// Install the telemetry collector on each attempt thread and carry
+    /// the drained [`AttemptTelemetry`] in the outcome. Off by default:
+    /// with it off the plane is never installed and campaign output is
+    /// byte-identical to an uninstrumented build.
+    pub telemetry: bool,
 }
 
 impl Default for Supervisor {
@@ -113,6 +124,7 @@ impl Default for Supervisor {
             event_budget: 2_000_000_000,
             deadline: Duration::from_secs(120),
             retries: 1,
+            telemetry: false,
         }
     }
 }
@@ -144,7 +156,7 @@ impl Supervisor {
         for attempt in 0..=self.retries {
             let attempt_seed = self.attempt_seed(id, seed, attempt);
             match self.attempt(id, f, attempt_seed) {
-                Ok((report, recovery, events)) => {
+                Ok((report, recovery, events, telemetry)) => {
                     return RunOutcome {
                         id,
                         status: RunStatus::Ok,
@@ -154,6 +166,7 @@ impl Supervisor {
                         recovery,
                         wall_s: t0.elapsed().as_secs_f64(),
                         events,
+                        telemetry,
                     }
                 }
                 Err(note) => last_note = note,
@@ -168,6 +181,7 @@ impl Supervisor {
             recovery: Vec::new(),
             wall_s: t0.elapsed().as_secs_f64(),
             events: 0,
+            telemetry: None,
         }
     }
 
@@ -208,13 +222,36 @@ impl Supervisor {
     where
         F: Fn(usize, &RunOutcome) + Sync,
     {
+        self.run_registry_jobs_timed(entries, seed, jobs, on_done).0
+    }
+
+    /// Like [`Supervisor::run_registry_jobs`], but also returns per-worker
+    /// busy time (seconds each worker spent inside `run_one`, index =
+    /// worker). The telemetry exporter folds these into the campaign
+    /// summary's worker-occupancy table; they are wall-clock measurements
+    /// and never reach any deterministic artifact.
+    pub fn run_registry_jobs_timed<F>(
+        &self,
+        entries: &[(&'static str, Experiment)],
+        seed: u64,
+        jobs: usize,
+        on_done: F,
+    ) -> (Vec<RunOutcome>, Vec<f64>)
+    where
+        F: Fn(usize, &RunOutcome) + Sync,
+    {
         let n = entries.len();
         let workers = jobs.clamp(1, n.max(1));
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<RunOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let busy: Vec<Mutex<f64>> = (0..workers).map(|_| Mutex::new(0.0)).collect();
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
+            for w in 0..workers {
+                let next = &next;
+                let slots = &slots;
+                let busy = &busy;
+                let on_done = &on_done;
+                scope.spawn(move || loop {
                     // Work-stealing via a shared cursor: a worker that lands
                     // a long experiment simply claims fewer entries.
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -222,46 +259,58 @@ impl Supervisor {
                         break;
                     }
                     let (id, f) = entries[i];
+                    let t0 = Instant::now();
                     let outcome = self.run_one(id, f, seed);
+                    *busy[w].lock().expect("busy lock") += t0.elapsed().as_secs_f64();
                     on_done(i, &outcome);
                     *slots[i].lock().expect("slot lock") = Some(outcome);
                 });
             }
         });
-        slots
+        let outcomes = slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .expect("slot lock")
                     .expect("every queue entry was claimed by a worker")
             })
-            .collect()
+            .collect();
+        let busy = busy
+            .into_iter()
+            .map(|m| m.into_inner().expect("busy lock"))
+            .collect();
+        (outcomes, busy)
     }
 
     /// One supervised attempt: spawn, install, arm, catch, wait.
+    #[allow(clippy::type_complexity)]
     fn attempt(
         &self,
         id: &str,
         f: Experiment,
         seed: u64,
-    ) -> Result<(Report, Vec<RecoveryEvent>, u64), String> {
+    ) -> Result<(Report, Vec<RecoveryEvent>, u64, Option<AttemptTelemetry>), String> {
         let (tx, rx) = mpsc::channel();
         let scenario = self.scenario.clone();
         let events = self.event_budget;
+        let telemetry_on = self.telemetry;
         let spawned = std::thread::Builder::new()
             .name(format!("exp-{id}"))
             .spawn(move || {
                 // Thread-locals start clean on a fresh thread; install the
                 // fault plane, the recovery collector (only alongside a
                 // scenario, so fault-free campaigns report zero recovery
-                // events by construction), and arm the budget — all for
+                // events by construction), the telemetry collector (only
+                // when the supervisor asks), and arm the budget — all for
                 // this attempt only.
-                let _ambient = ambient::install_attempt(scenario.as_ref(), seed, events);
+                let _ambient =
+                    ambient::install_attempt(scenario.as_ref(), seed, events, telemetry_on);
                 let result = std::panic::catch_unwind(|| f(seed));
                 let consumed = budget::consumed().unwrap_or(0);
+                let telem = telemetry_on.then(telemetry::drain);
                 let _ = tx.send(
                     result
-                        .map(|report| (report, recovery::drain(), consumed))
+                        .map(|report| (report, recovery::drain(), consumed, telem))
                         .map_err(|payload| panic_note(payload.as_ref())),
                 );
             });

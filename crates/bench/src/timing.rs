@@ -41,13 +41,32 @@ fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
     }
 }
 
+/// The timing summary [`bench`] prints and returns: sample count, min/max
+/// extremes, and the median with its p10/p90 spread, all in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingSummary {
+    /// Timed samples (the warm-up call is excluded).
+    pub n: usize,
+    /// Fastest sample.
+    pub min_ms: f64,
+    /// Slowest sample.
+    pub max_ms: f64,
+    /// Median sample.
+    pub median_ms: f64,
+    /// 10th percentile (linear interpolation).
+    pub p10_ms: f64,
+    /// 90th percentile (linear interpolation).
+    pub p90_ms: f64,
+}
+
 /// Times `f` over several samples and prints a one-line summary with the
-/// median plus the p10/p90 spread (tail noise is what campaign scheduling
-/// cares about, not just the center).
+/// median plus the p10/p90 spread and the min/max extremes (tail noise is
+/// what campaign scheduling cares about, not just the center). Returns the
+/// same numbers as a [`TimingSummary`] so callers can gate on them.
 ///
 /// The closure's result is passed through [`black_box`] so the optimizer
 /// cannot delete the work.
-pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) {
+pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> TimingSummary {
     black_box(f()); // warm-up, untimed
     let n = sample_count();
     let mut samples_ms = Vec::with_capacity(n);
@@ -57,14 +76,19 @@ pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) {
         samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
     }
     samples_ms.sort_by(f64::total_cmp);
-    let median = samples_ms[n / 2];
-    let p10 = percentile_ms(&samples_ms, 10.0);
-    let p90 = percentile_ms(&samples_ms, 90.0);
+    let summary = TimingSummary {
+        n,
+        min_ms: samples_ms[0],
+        max_ms: samples_ms[n - 1],
+        median_ms: samples_ms[n / 2],
+        p10_ms: percentile_ms(&samples_ms, 10.0),
+        p90_ms: percentile_ms(&samples_ms, 90.0),
+    };
     println!(
-        "{name:<40} median {median:10.3} ms   (p10 {p10:.3}, p90 {p90:.3}, min {:.3}, max {:.3}, n={n})",
-        samples_ms[0],
-        samples_ms[n - 1]
+        "{name:<40} median {:10.3} ms   (p10 {:.3}, p90 {:.3}, min {:.3}, max {:.3}, n={n})",
+        summary.median_ms, summary.p10_ms, summary.p90_ms, summary.min_ms, summary.max_ms
     );
+    summary
 }
 
 #[cfg(test)]
@@ -76,6 +100,23 @@ mod tests {
         let mut calls = 0;
         bench("noop", || calls += 1);
         assert_eq!(calls as usize, 1 + sample_count());
+    }
+
+    #[test]
+    fn summary_orders_its_quantiles() {
+        let s = bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert_eq!(s.n, sample_count());
+        assert!(s.min_ms >= 0.0);
+        assert!(s.min_ms <= s.p10_ms, "{s:?}");
+        assert!(s.p10_ms <= s.median_ms, "{s:?}");
+        assert!(s.median_ms <= s.p90_ms, "{s:?}");
+        assert!(s.p90_ms <= s.max_ms, "{s:?}");
     }
 
     #[test]

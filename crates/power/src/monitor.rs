@@ -12,7 +12,7 @@
 
 use fiveg_simcore::faults::{self, FaultKind};
 use fiveg_simcore::recovery::{self, RecoveryKind};
-use fiveg_simcore::{budget, RngStream, SimTime, TimeSeries};
+use fiveg_simcore::{budget, telemetry, RngStream, SimTime, TimeSeries};
 
 /// The benchmark activities of Table 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -128,9 +128,12 @@ impl HardwareMonitor {
         let n = (duration_s * self.rate_hz).round() as usize;
         let mut ts = TimeSeries::new();
         let mut dropped_since: Option<f64> = None;
+        telemetry::clock(0.0);
+        let _record_span = telemetry::span("power/record");
         for i in 0..n {
             budget::charge(1);
             let t = i as f64 / self.rate_hz;
+            telemetry::clock(t);
             if faults::is_active(FaultKind::PowerDropout, t) {
                 dropped_since.get_or_insert(t);
                 continue;
@@ -142,8 +145,10 @@ impl HardwareMonitor {
                     format!("hw monitor gap of {:.3}s", t - since)
                 });
             }
-            let v = truth(t) * (1.0 + rng.normal(0.0, self.noise_frac));
-            ts.push(SimTime::from_secs_f64(t), v.max(0.0));
+            let v = (truth(t) * (1.0 + rng.normal(0.0, self.noise_frac))).max(0.0);
+            telemetry::count("power/sample", 1);
+            telemetry::observe("power/rail_mw", v);
+            ts.push(SimTime::from_secs_f64(t), v);
         }
         ts
     }
@@ -223,9 +228,12 @@ impl SoftwareMonitor {
         let n = (duration_s * self.rate_hz).round() as usize;
         let mut ts = TimeSeries::new();
         let mut dropped_since: Option<f64> = None;
+        telemetry::clock(0.0);
+        let _record_span = telemetry::span("power/record");
         for i in 0..n {
             budget::charge(1);
             let t = i as f64 / self.rate_hz;
+            telemetry::clock(t);
             // Power-dropout fault windows swallow readings (see
             // `HardwareMonitor::record`).
             if faults::is_active(FaultKind::PowerDropout, t) {
@@ -237,8 +245,10 @@ impl SoftwareMonitor {
                     format!("sw monitor gap of {:.3}s", t - since)
                 });
             }
-            let v = truth(t) * ratio * (1.0 + rng.normal(0.0, noise));
-            ts.push(SimTime::from_secs_f64(t), v.max(0.0));
+            let v = (truth(t) * ratio * (1.0 + rng.normal(0.0, noise))).max(0.0);
+            telemetry::count("power/sample", 1);
+            telemetry::observe("power/rail_mw", v);
+            ts.push(SimTime::from_secs_f64(t), v);
         }
         ts
     }

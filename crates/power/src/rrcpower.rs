@@ -7,7 +7,7 @@
 //! which Fig 9 shows happens *constantly* while driving.
 
 use fiveg_rrc::profile::{RrcConfigId, RrcProfile, RrcState};
-use fiveg_simcore::{SimDuration, SimTime, TimeSeries};
+use fiveg_simcore::{telemetry, SimDuration, SimTime, TimeSeries};
 
 /// Radio power parameters of one carrier configuration (Table 2 ground
 /// truth plus supporting states).
@@ -235,6 +235,16 @@ pub fn promotion_scenario_trace(profile: &RrcProfile, params: &RrcPowerParams) -
         push(t, mw);
         t += 1.0;
     }
+    // The scenario phases, as RRC-layer spans: this trace *is* the §4.1
+    // promotion scenario, so the phase boundaries are per-state dwell.
+    telemetry::clock(0.0);
+    telemetry::span_closed("rrc/promotion", IDLE_LEAD_MS / 1e3, promo_end / 1e3);
+    if switch_end > promo_end {
+        telemetry::span_closed("rrc/switch", promo_end / 1e3, switch_end / 1e3);
+    }
+    telemetry::span_closed("rrc/tail", burst_end / 1e3, tail_end / 1e3);
+    telemetry::clock(tail_end / 1e3);
+    telemetry::observe("rrc/tail_s", (tail_end - burst_end) / 1e3);
     // Post-tail idle.
     let end = tail_end + 5_000.0;
     while t < end {

@@ -16,7 +16,7 @@ use crate::cell::{NetworkLayout, RadioTech, Tower};
 use fiveg_geo::mobility::MobilityModel;
 use fiveg_simcore::faults::{self, FaultKind};
 use fiveg_simcore::recovery::{self, RecoveryKind};
-use fiveg_simcore::{budget, RngStream};
+use fiveg_simcore::{budget, telemetry, RngStream};
 
 /// The five band-enable settings of Fig 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -196,6 +196,7 @@ struct DriveState {
 impl DriveState {
     fn set_active(&mut self, t: f64, radio: Option<ActiveRadio>) {
         if self.active != radio {
+            telemetry::count("radio/handoff/vertical", 1);
             self.events.push(HandoffEvent {
                 t_s: t,
                 kind: HandoffKind::Vertical,
@@ -206,6 +207,7 @@ impl DriveState {
     }
 
     fn horizontal(&mut self, t: f64) {
+        telemetry::count("radio/handoff/horizontal", 1);
         self.events.push(HandoffEvent {
             t_s: t,
             kind: HandoffKind::Horizontal,
@@ -348,8 +350,11 @@ pub fn simulate_drive(
     let mut rlf_since: Option<f64> = None;
     let mut reestablish_until: Option<f64> = None;
 
+    telemetry::clock(0.0);
+    let _drive_span = telemetry::span("radio/drive");
     while t <= duration {
         budget::charge(1);
+        telemetry::clock(t);
         let p = mobility.position_at(t);
         let dist = mobility.distance_at(t);
         let moved_m = (dist - last_dist).max(0.0);
@@ -500,6 +505,7 @@ pub fn simulate_drive(
                 // does with no plane installed, so windowless scenarios
                 // stay bit-identical.
                 let lost = st.active;
+                telemetry::count("radio/rlf", 1);
                 recovery::record(RecoveryKind::RadioLinkFailure, t, cfg.step_s, 0.0, || {
                     format!("lost {lost:?}")
                 });

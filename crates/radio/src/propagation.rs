@@ -12,7 +12,7 @@
 
 use crate::band::{Band, BandClass};
 use fiveg_geo::route::Point;
-use fiveg_simcore::RngStream;
+use fiveg_simcore::{telemetry, RngStream};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -181,8 +181,10 @@ impl ShadowingField {
     fn node(&self, tower: u64, ix: i64, iy: i64) -> f64 {
         let key = (tower, ix, iy);
         if let Some(&v) = self.nodes.borrow().get(&key) {
+            telemetry::count("radio/shadow/hit", 1);
             return v;
         }
+        telemetry::count("radio/shadow/miss", 1);
         let v = self.node_uncached(tower, ix, iy);
         let mut nodes = self.nodes.borrow_mut();
         if nodes.len() >= NODE_CACHE_CAP {

@@ -20,7 +20,7 @@ use crate::profile::{RrcProfile, RrcState};
 use fiveg_radio::band::BandClass;
 use fiveg_simcore::faults::{self, FaultKind};
 use fiveg_simcore::recovery::{self, RecoveryKind};
-use fiveg_simcore::RngStream;
+use fiveg_simcore::{telemetry, RngStream};
 
 /// Result of a packet arrival at the UE.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -167,6 +167,16 @@ impl RrcMachine {
             }
         }
 
+        // Telemetry: the packet's access interval in sim time, the state
+        // the machine was found in, and the dwell since the last packet.
+        telemetry::clock(now_ms / 1_000.0);
+        telemetry::span_closed("rrc/packet", now_ms / 1_000.0, (now_ms + delay) / 1_000.0);
+        telemetry::observe("rrc/delay_ms", delay);
+        telemetry::count(state_counter(state), 1);
+        if idle_ms.is_finite() {
+            telemetry::observe("rrc/dwell_s", idle_ms / 1_000.0);
+        }
+
         self.last_activity_ms = Some(now_ms + delay);
         AccessDelay {
             delay_ms: delay,
@@ -182,6 +192,16 @@ impl RrcMachine {
             Some(last) => now_ms.max(last),
             None => now_ms,
         });
+    }
+}
+
+/// Telemetry counter name for packets arriving in each RRC state.
+fn state_counter(state: RrcState) -> &'static str {
+    match state {
+        RrcState::Connected => "rrc/state/connected",
+        RrcState::ConnectedLte => "rrc/state/connected-lte",
+        RrcState::Inactive => "rrc/state/inactive",
+        RrcState::Idle => "rrc/state/idle",
     }
 }
 

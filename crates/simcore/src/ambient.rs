@@ -1,13 +1,13 @@
 //! One-call installation of the per-attempt ambient planes.
 //!
-//! A supervised experiment attempt needs three thread-locals installed on
-//! its (fresh) thread before the experiment body runs: the deterministic
-//! fault plane, the recovery-event collector, and the event budget. The
-//! serial runner has always installed them inline; with the parallel
-//! campaign scheduler many worker threads spawn attempt threads
-//! concurrently, so the install sequence lives here — one helper both paths
-//! call, keeping "what an attempt's ambient world looks like" defined in
-//! exactly one place.
+//! A supervised experiment attempt needs its thread-local planes installed
+//! on its (fresh) thread before the experiment body runs: the
+//! deterministic fault plane, the recovery-event collector, the telemetry
+//! collector, and the event budget. The serial runner has always installed
+//! them inline; with the parallel campaign scheduler many worker threads
+//! spawn attempt threads concurrently, so the install sequence lives here
+//! — one helper both paths call, keeping "what an attempt's ambient world
+//! looks like" defined in exactly one place.
 //!
 //! Invariants the helper preserves:
 //!
@@ -16,18 +16,23 @@
 //!   matter which worker runs it, or in what order;
 //! * the recovery collector is installed only alongside a scenario, so
 //!   fault-free campaigns report zero recovery events by construction;
+//! * the telemetry collector is installed only when asked for, so
+//!   unobserved campaigns stay byte-identical by construction;
 //! * everything uninstalls when the returned guard drops, even on panic,
 //!   so a pooled worker can never leak one attempt's planes into the next.
 
 use crate::budget::{self, BudgetGuard};
 use crate::faults::{self, FaultScenario, FaultSchedule, PlaneGuard};
 use crate::recovery::{self, CollectorGuard};
+use crate::telemetry::{self, TelemetryGuard};
 
-/// Guards for one attempt's ambient planes; dropping uninstalls all three
-/// (plane, collector, budget) in reverse install order.
+/// Guards for one attempt's ambient planes; dropping uninstalls all of
+/// them (plane, recovery collector, telemetry collector, budget) in
+/// reverse install order.
 #[must_use = "the ambient planes uninstall when this guard drops"]
 pub struct AmbientGuard {
     _budget: BudgetGuard,
+    _telemetry: Option<TelemetryGuard>,
     _collector: Option<CollectorGuard>,
     _plane: Option<PlaneGuard>,
 }
@@ -35,15 +40,19 @@ pub struct AmbientGuard {
 /// Installs the ambient planes for one supervised attempt on the current
 /// thread: the fault plane generated from `(seed, scenario)` (skipped when
 /// `scenario` is `None`), the recovery collector (only alongside a
-/// scenario), and an armed event budget.
+/// scenario), the telemetry collector (only when `telemetry` — off by
+/// default, so uninstrumented campaigns stay byte-identical by
+/// construction), and an armed event budget.
 pub fn install_attempt(
     scenario: Option<&FaultScenario>,
     seed: u64,
     event_budget: u64,
+    telemetry: bool,
 ) -> AmbientGuard {
     AmbientGuard {
         _plane: scenario.map(|sc| faults::install(FaultSchedule::generate(seed, sc))),
         _collector: scenario.map(|_| recovery::collect()),
+        _telemetry: telemetry.then(telemetry::collect),
         _budget: budget::arm(event_budget),
     }
 }
@@ -55,9 +64,10 @@ mod tests {
     #[test]
     fn no_scenario_installs_budget_only() {
         {
-            let _g = install_attempt(None, 7, 100);
+            let _g = install_attempt(None, 7, 100, false);
             assert!(!faults::enabled());
             assert!(!recovery::enabled());
+            assert!(!telemetry::enabled());
             assert_eq!(budget::remaining(), Some(100));
         }
         assert_eq!(budget::remaining(), None);
@@ -66,14 +76,26 @@ mod tests {
     #[test]
     fn scenario_installs_all_three_and_uninstalls_on_drop() {
         {
-            let _g = install_attempt(Some(&FaultScenario::chaos()), 7, 100);
+            let _g = install_attempt(Some(&FaultScenario::chaos()), 7, 100, false);
             assert!(faults::enabled());
             assert!(recovery::enabled());
+            assert!(!telemetry::enabled(), "telemetry stays opt-in");
             assert_eq!(budget::remaining(), Some(100));
         }
         assert!(!faults::enabled());
         assert!(!recovery::enabled());
         assert_eq!(budget::remaining(), None);
+    }
+
+    #[test]
+    #[cfg(feature = "telemetry")]
+    fn telemetry_flag_installs_the_collector() {
+        {
+            let _g = install_attempt(None, 7, 100, true);
+            assert!(telemetry::enabled());
+            assert!(!faults::enabled(), "telemetry does not drag faults in");
+        }
+        assert!(!telemetry::enabled());
     }
 
     #[test]

@@ -24,7 +24,12 @@
 //!   collector of structured recovery events (link re-establishments, TCP
 //!   RTOs, segment retries, interface failovers, …) emitted by the stack's
 //!   self-healing hooks and aggregated into per-experiment resilience
-//!   summaries.
+//!   summaries,
+//! * [`telemetry`] — the deterministic observability plane: sim-time
+//!   spans (RAII enter/exit), counters, gauges, and fixed-bucket
+//!   histograms, installed per attempt like the other planes, bit-identical
+//!   off, and feature-gated (`telemetry`, on by default) for a provably
+//!   uninstrumented build.
 //!
 //! The kernel is single-threaded and allocation-light by design: determinism
 //! is a feature, because the "field" this workspace measures is itself a
@@ -38,6 +43,7 @@ pub mod recovery;
 pub mod rng;
 pub mod series;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod units;
 

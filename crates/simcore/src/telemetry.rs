@@ -1,0 +1,692 @@
+//! The deterministic telemetry plane: sim-time spans, counters, gauges,
+//! and fixed-bucket histograms.
+//!
+//! The paper's contributions are measurements, and so are this
+//! reproduction's debugging needs: when a figure drifts or a chaos run
+//! degrades, the question is always *where the simulated time went* —
+//! which handoffs fired, how long the RRC machine dwelt in each state,
+//! when the congestion window collapsed, which segment stalled playback.
+//! This module records exactly that, following the same ambient-plane
+//! discipline as [`crate::faults`] and [`crate::recovery`]:
+//!
+//! * a thread-local collector, installed per experiment attempt (by
+//!   `simcore::ambient::install_attempt`) and uninstalled when the guard
+//!   drops, so parallel campaign workers never share state;
+//! * hooks that cost one thread-local boolean load when no collector is
+//!   installed, and that **never draw randomness**, so instrumentation can
+//!   not perturb simulation output — with the plane off, every manifest,
+//!   report, and figure byte matches an uninstrumented build;
+//! * timestamps in *simulated* seconds (each component advances the
+//!   thread's clock with [`clock`]), so two runs of the same experiment
+//!   produce byte-identical event streams regardless of host speed.
+//!
+//! The whole module is additionally gated behind the `telemetry` cargo
+//! feature (on by default): built without it, every hook compiles to a
+//! no-op and [`compiled`] reports `false`, which CI uses to pin the
+//! off-path determinism guarantee at the build level too.
+//!
+//! Span events stream into a bounded buffer ([`MAX_EVENTS`]); counters,
+//! gauges, and histograms aggregate in place, so even 5 kHz power-rail
+//! sampling instruments cheaply. [`drain`] snapshots everything into an
+//! [`AttemptTelemetry`] with name-sorted aggregates for stable rendering.
+
+#[cfg(feature = "telemetry")]
+use std::cell::{Cell, RefCell};
+
+/// Cap on buffered span events per attempt: enough for every figure's
+/// span volume, bounded so a pathological loop cannot eat the heap. Spans
+/// past the cap still aggregate into [`SpanStat`]s; only their stream
+/// events are dropped (and counted in [`AttemptTelemetry::dropped_events`]).
+pub const MAX_EVENTS: usize = 1 << 18;
+
+/// Number of fixed histogram buckets. Bucket `i` covers the value range
+/// `[2^(i-20), 2^(i-19))` — from about a microsecond to about 10^13, which
+/// spans every unit the stack observes (seconds, milliseconds, milliwatts,
+/// packets). Underflow and overflow clamp to the end buckets.
+pub const HIST_BUCKETS: usize = 64;
+
+/// Enter/exit marker of a span event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanPhase {
+    /// Span opened.
+    Enter,
+    /// Span closed.
+    Exit,
+}
+
+/// One buffered span event (the JSONL/Chrome-trace stream unit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEvent {
+    /// Per-attempt span id; the Enter and Exit of one span share it.
+    pub id: u64,
+    /// Static span name, e.g. `"radio/drive"`.
+    pub name: &'static str,
+    /// Enter or exit.
+    pub phase: SpanPhase,
+    /// Simulated time of the edge, seconds (component-local clock).
+    pub t_s: f64,
+}
+
+/// Aggregated statistics of one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpanStat {
+    /// Completed spans.
+    pub count: u64,
+    /// Cumulative simulated time inside the span, seconds.
+    pub total_s: f64,
+}
+
+/// Aggregated statistics of one gauge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeStat {
+    /// Most recent value.
+    pub last: f64,
+    /// Minimum observed.
+    pub min: f64,
+    /// Maximum observed.
+    pub max: f64,
+    /// Number of samples.
+    pub samples: u64,
+}
+
+/// A fixed-bucket (power-of-two edges) histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket counts; bucket `i` covers `[2^(i-20), 2^(i-19))`.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+}
+
+/// The lower edge of histogram bucket `i`.
+fn bucket_lo(i: usize) -> f64 {
+    2f64.powi(i as i32 - 20)
+}
+
+/// The bucket index of value `v` (non-positive and NaN clamp to bucket 0).
+fn bucket_of(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    (v.log2().floor() as i64 + 20).clamp(0, HIST_BUCKETS as i64 - 1) as usize
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Bucket-estimated quantile `q` in `[0, 1]`: the geometric midpoint of
+    /// the bucket holding the q-th observation, clamped to the exact
+    /// min/max so single-bucket histograms report faithfully.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil()).max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                let mid = (bucket_lo(i) * bucket_lo(i + 1)).sqrt();
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Everything one attempt recorded: the bounded span-event stream plus the
+/// name-sorted aggregates. Produced by [`drain`]; rendered by the bench
+/// crate into JSONL, Chrome `trace_event` files, and the campaign summary.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AttemptTelemetry {
+    /// Span enter/exit events in emission order (bounded by [`MAX_EVENTS`]).
+    pub events: Vec<SpanEvent>,
+    /// Span events dropped past the buffer cap (aggregates still updated).
+    pub dropped_events: u64,
+    /// Per-span-name aggregates, sorted by name.
+    pub spans: Vec<(&'static str, SpanStat)>,
+    /// Counter totals, sorted by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauge aggregates, sorted by name.
+    pub gauges: Vec<(&'static str, GaugeStat)>,
+    /// Histograms, sorted by name.
+    pub hists: Vec<(&'static str, Histogram)>,
+}
+
+impl AttemptTelemetry {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+            && self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
+    }
+
+    /// Merges `other`'s aggregates into `self` (campaign roll-up). The
+    /// event streams are per-experiment artifacts and are not merged.
+    pub fn merge_aggregates(&mut self, other: &AttemptTelemetry) {
+        fn slot<'a, T>(
+            v: &'a mut Vec<(&'static str, T)>,
+            name: &'static str,
+            mk: impl FnOnce() -> T,
+        ) -> &'a mut T {
+            if let Some(i) = v.iter().position(|(n, _)| *n == name) {
+                return &mut v[i].1;
+            }
+            v.push((name, mk()));
+            let i = v.len() - 1;
+            &mut v[i].1
+        }
+        for (name, s) in &other.spans {
+            let dst = slot(&mut self.spans, name, SpanStat::default);
+            dst.count += s.count;
+            dst.total_s += s.total_s;
+        }
+        for (name, n) in &other.counters {
+            *slot(&mut self.counters, name, || 0) += n;
+        }
+        for (name, g) in &other.gauges {
+            let dst = slot(&mut self.gauges, name, || GaugeStat {
+                last: g.last,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                samples: 0,
+            });
+            dst.last = g.last;
+            dst.min = dst.min.min(g.min);
+            dst.max = dst.max.max(g.max);
+            dst.samples += g.samples;
+        }
+        for (name, h) in &other.hists {
+            slot(&mut self.hists, name, Histogram::new).merge(h);
+        }
+        self.dropped_events += other.dropped_events;
+        self.spans.sort_by_key(|(n, _)| *n);
+        self.counters.sort_by_key(|(n, _)| *n);
+        self.gauges.sort_by_key(|(n, _)| *n);
+        self.hists.sort_by_key(|(n, _)| *n);
+    }
+}
+
+/// True when the crate was built with the `telemetry` feature; when false,
+/// every hook below is a compiled no-op and [`collect`] installs nothing.
+pub const fn compiled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+#[cfg(feature = "telemetry")]
+struct Collector {
+    events: Vec<SpanEvent>,
+    dropped: u64,
+    next_id: u64,
+    clock_s: f64,
+    spans: Vec<(&'static str, SpanStat)>,
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, GaugeStat)>,
+    hists: Vec<(&'static str, Histogram)>,
+}
+
+#[cfg(feature = "telemetry")]
+impl Collector {
+    fn new() -> Self {
+        Collector {
+            events: Vec::new(),
+            dropped: 0,
+            next_id: 0,
+            clock_s: 0.0,
+            spans: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+        }
+    }
+
+    fn push_event(&mut self, ev: SpanEvent) {
+        if self.events.len() < MAX_EVENTS {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+#[cfg(feature = "telemetry")]
+thread_local! {
+    /// Fast flag: true iff a collector is installed on this thread.
+    static ON: Cell<bool> = const { Cell::new(false) };
+    /// The installed collector.
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Uninstalls the thread's telemetry collector when dropped.
+#[must_use = "the telemetry collector uninstalls when this guard drops"]
+pub struct TelemetryGuard {
+    _private: (),
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            COLLECTOR.with(|c| *c.borrow_mut() = None);
+            ON.with(|f| f.set(false));
+        }
+    }
+}
+
+/// Installs a fresh telemetry collector on this thread, replacing any
+/// previous one. Uninstalls when the guard drops. With the `telemetry`
+/// feature compiled out this is a no-op guard.
+pub fn collect() -> TelemetryGuard {
+    #[cfg(feature = "telemetry")]
+    {
+        COLLECTOR.with(|c| *c.borrow_mut() = Some(Collector::new()));
+        ON.with(|f| f.set(true));
+    }
+    TelemetryGuard { _private: () }
+}
+
+/// True iff a collector is installed on this thread. The single load every
+/// hook pays when telemetry is off.
+pub fn enabled() -> bool {
+    #[cfg(feature = "telemetry")]
+    {
+        ON.with(|f| f.get())
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        false
+    }
+}
+
+#[cfg(feature = "telemetry")]
+fn with_collector<R>(f: impl FnOnce(&mut Collector) -> R) -> Option<R> {
+    if !enabled() {
+        return None;
+    }
+    COLLECTOR.with(|c| c.borrow_mut().as_mut().map(f))
+}
+
+#[cfg(feature = "telemetry")]
+fn agg<'a, T>(
+    v: &'a mut Vec<(&'static str, T)>,
+    name: &'static str,
+    mk: impl FnOnce() -> T,
+) -> &'a mut T {
+    if let Some(i) = v.iter().position(|(n, _)| *n == name) {
+        return &mut v[i].1;
+    }
+    v.push((name, mk()));
+    let i = v.len() - 1;
+    &mut v[i].1
+}
+
+/// Advances this thread's simulated clock to `t_s` (component-local
+/// seconds). Spans opened afterwards enter at this time; spans dropped
+/// afterwards exit at it.
+pub fn clock(t_s: f64) {
+    #[cfg(feature = "telemetry")]
+    with_collector(|c| c.clock_s = t_s);
+    #[cfg(not(feature = "telemetry"))]
+    let _ = t_s;
+}
+
+/// The thread's current simulated clock (0 when no collector is installed).
+pub fn now() -> f64 {
+    #[cfg(feature = "telemetry")]
+    {
+        with_collector(|c| c.clock_s).unwrap_or(0.0)
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        0.0
+    }
+}
+
+/// An open span; records the exit edge (at the thread clock's then-current
+/// time) and the cumulative-time aggregate when dropped.
+#[must_use = "a span measures nothing unless it lives across the work"]
+pub struct SpanGuard {
+    #[cfg(feature = "telemetry")]
+    open: Option<(u64, &'static str, f64)>,
+    #[cfg(not(feature = "telemetry"))]
+    _private: (),
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        if let Some((id, name, t0)) = self.open.take() {
+            with_collector(|c| {
+                let t1 = c.clock_s;
+                c.push_event(SpanEvent {
+                    id,
+                    name,
+                    phase: SpanPhase::Exit,
+                    t_s: t1,
+                });
+                let s = agg(&mut c.spans, name, SpanStat::default);
+                s.count += 1;
+                s.total_s += (t1 - t0).max(0.0);
+            });
+        }
+    }
+}
+
+/// Opens a span at the thread clock's current time; the returned RAII
+/// guard closes it (see [`SpanGuard`]). Call [`clock`] first to anchor the
+/// enter edge, and keep calling it inside the span so the exit edge lands
+/// at the simulated end time.
+pub fn span(name: &'static str) -> SpanGuard {
+    #[cfg(feature = "telemetry")]
+    {
+        let open = with_collector(|c| {
+            let id = c.next_id;
+            c.next_id += 1;
+            let t0 = c.clock_s;
+            c.push_event(SpanEvent {
+                id,
+                name,
+                phase: SpanPhase::Enter,
+                t_s: t0,
+            });
+            (id, name, t0)
+        });
+        SpanGuard { open }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = name;
+        SpanGuard { _private: () }
+    }
+}
+
+/// Records a span whose interval `[t0_s, t1_s]` was computed rather than
+/// lived through (e.g. a segment download duration): both edges plus the
+/// aggregate, without touching the thread clock.
+pub fn span_closed(name: &'static str, t0_s: f64, t1_s: f64) {
+    #[cfg(feature = "telemetry")]
+    with_collector(|c| {
+        let id = c.next_id;
+        c.next_id += 1;
+        c.push_event(SpanEvent {
+            id,
+            name,
+            phase: SpanPhase::Enter,
+            t_s: t0_s,
+        });
+        c.push_event(SpanEvent {
+            id,
+            name,
+            phase: SpanPhase::Exit,
+            t_s: t1_s,
+        });
+        let s = agg(&mut c.spans, name, SpanStat::default);
+        s.count += 1;
+        s.total_s += (t1_s - t0_s).max(0.0);
+    });
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (name, t0_s, t1_s);
+    }
+}
+
+/// Adds `n` to counter `name`.
+pub fn count(name: &'static str, n: u64) {
+    #[cfg(feature = "telemetry")]
+    with_collector(|c| *agg(&mut c.counters, name, || 0) += n);
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (name, n);
+    }
+}
+
+/// Sets gauge `name` to `v`, tracking min/max/sample-count.
+pub fn gauge(name: &'static str, v: f64) {
+    #[cfg(feature = "telemetry")]
+    with_collector(|c| {
+        let g = agg(&mut c.gauges, name, || GaugeStat {
+            last: v,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            samples: 0,
+        });
+        g.last = v;
+        g.min = g.min.min(v);
+        g.max = g.max.max(v);
+        g.samples += 1;
+    });
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (name, v);
+    }
+}
+
+/// Records `v` into histogram `name`.
+pub fn observe(name: &'static str, v: f64) {
+    #[cfg(feature = "telemetry")]
+    with_collector(|c| agg(&mut c.hists, name, Histogram::new).observe(v));
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (name, v);
+    }
+}
+
+/// Snapshots and clears this thread's collected telemetry. Aggregates come
+/// out sorted by name, so rendering the result is deterministic. Returns
+/// an empty [`AttemptTelemetry`] when no collector is installed (or the
+/// feature is compiled out).
+pub fn drain() -> AttemptTelemetry {
+    #[cfg(feature = "telemetry")]
+    {
+        with_collector(|c| {
+            let mut t = AttemptTelemetry {
+                events: std::mem::take(&mut c.events),
+                dropped_events: std::mem::take(&mut c.dropped),
+                spans: std::mem::take(&mut c.spans),
+                counters: std::mem::take(&mut c.counters),
+                gauges: std::mem::take(&mut c.gauges),
+                hists: std::mem::take(&mut c.hists),
+            };
+            c.next_id = 0;
+            c.clock_s = 0.0;
+            t.spans.sort_by_key(|(n, _)| *n);
+            t.counters.sort_by_key(|(n, _)| *n);
+            t.gauges.sort_by_key(|(n, _)| *n);
+            t.hists.sort_by_key(|(n, _)| *n);
+            t
+        })
+        .unwrap_or_default()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        AttemptTelemetry::default()
+    }
+}
+
+#[cfg(all(test, feature = "telemetry"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hooks_are_inert_without_a_collector() {
+        assert!(!enabled());
+        clock(5.0);
+        count("x", 3);
+        observe("y", 1.0);
+        gauge("z", 2.0);
+        span_closed("s", 0.0, 1.0);
+        {
+            let _sp = span("t");
+        }
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn collector_guard_installs_and_uninstalls() {
+        {
+            let _g = collect();
+            assert!(enabled());
+        }
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn spans_record_both_edges_and_cumulative_time() {
+        let _g = collect();
+        clock(1.0);
+        {
+            let _sp = span("radio/drive");
+            clock(4.0);
+        }
+        span_closed("video/segment", 10.0, 12.5);
+        let t = drain();
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.events[0].phase, SpanPhase::Enter);
+        assert_eq!(t.events[0].t_s, 1.0);
+        assert_eq!(t.events[1].phase, SpanPhase::Exit);
+        assert_eq!(t.events[1].t_s, 4.0);
+        // Aggregates sorted by name: radio/drive then video/segment.
+        assert_eq!(t.spans[0].0, "radio/drive");
+        assert!((t.spans[0].1.total_s - 3.0).abs() < 1e-12);
+        assert_eq!(t.spans[1].0, "video/segment");
+        assert!((t.spans[1].1.total_s - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_aggregate() {
+        let _g = collect();
+        count("a", 2);
+        count("a", 3);
+        gauge("g", 5.0);
+        gauge("g", 1.0);
+        observe("h", 10.0);
+        observe("h", 1000.0);
+        let t = drain();
+        assert_eq!(t.counters, vec![("a", 5)]);
+        assert_eq!(t.gauges[0].1.last, 1.0);
+        assert_eq!(t.gauges[0].1.max, 5.0);
+        assert_eq!(t.gauges[0].1.samples, 2);
+        let h = &t.hists[0].1;
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 10.0);
+        assert_eq!(h.max, 1000.0);
+        assert!((h.mean() - 505.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((250.0..=1000.0).contains(&p50), "p50 {p50}");
+        assert!(p99 >= p50, "p99 {p99} >= p50 {p50}");
+        assert!(p99 <= 1000.0);
+    }
+
+    #[test]
+    fn event_buffer_is_bounded_but_aggregates_continue() {
+        let _g = collect();
+        for _ in 0..(MAX_EVENTS / 2 + 10) {
+            span_closed("s", 0.0, 1.0);
+        }
+        let t = drain();
+        assert_eq!(t.events.len(), MAX_EVENTS);
+        assert_eq!(t.dropped_events, 20);
+        assert_eq!(t.spans[0].1.count as usize, MAX_EVENTS / 2 + 10);
+    }
+
+    #[test]
+    fn drain_is_deterministic_across_runs() {
+        let run = || {
+            let _g = collect();
+            clock(0.0);
+            {
+                let _sp = span("a");
+                clock(2.0);
+            }
+            count("c", 7);
+            observe("h", 3.5);
+            drain()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn merge_aggregates_rolls_up_without_events() {
+        let mk = |n: u64| {
+            let _g = collect();
+            count("c", n);
+            span_closed("s", 0.0, n as f64);
+            observe("h", n as f64);
+            drain()
+        };
+        let mut total = AttemptTelemetry::default();
+        total.merge_aggregates(&mk(2));
+        total.merge_aggregates(&mk(3));
+        assert!(total.events.is_empty());
+        assert_eq!(total.counters, vec![("c", 5)]);
+        assert_eq!(total.spans[0].1.count, 2);
+        assert!((total.spans[0].1.total_s - 5.0).abs() < 1e-12);
+        assert_eq!(total.hists[0].1.count, 2);
+    }
+
+    #[test]
+    fn compiled_reports_the_feature() {
+        assert!(compiled());
+    }
+}

@@ -16,7 +16,7 @@
 use crate::path::PathModel;
 use fiveg_simcore::faults::{self, FaultKind};
 use fiveg_simcore::recovery::{self, RecoveryKind};
-use fiveg_simcore::{budget, RngStream};
+use fiveg_simcore::{budget, telemetry, RngStream};
 
 /// Congestion-control algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -240,8 +240,11 @@ impl TcpSim {
         let mut backoffs = 0u32;
         let mut did_reset = false;
 
+        telemetry::clock(0.0);
+        let _run_span = telemetry::span("transport/run");
         while t < duration_s {
             budget::charge(1);
+            telemetry::clock(t);
             let (rtt_s, loss_per_pkt, stalled) = if faults::enabled() {
                 let rtt_mult = faults::magnitude(FaultKind::RttSpike, t)
                     .map_or(1.0, |m| 1.0 + m.max(0.0));
@@ -271,6 +274,8 @@ impl TcpSim {
                 };
                 if t >= next_rto_at {
                     backoffs += 1;
+                    telemetry::count("transport/rto", 1);
+                    telemetry::observe("transport/rto_backoff_s", rto_s);
                     for f in self.flows.iter_mut() {
                         f.on_rto();
                     }
@@ -282,6 +287,7 @@ impl TcpSim {
                         // down and re-establish, starting over from the
                         // initial window.
                         did_reset = true;
+                        telemetry::count("transport/conn_reset", 1);
                         for f in self.flows.iter_mut() {
                             *f = Flow::new();
                         }
@@ -328,6 +334,8 @@ impl TcpSim {
                     0.0
                 };
                 if self.rng.chance(p_loss + p_overflow) {
+                    telemetry::count("transport/loss", 1);
+                    telemetry::observe("transport/cwnd_pkts", f.cwnd_pkts);
                     f.on_loss(self.cfg.algo);
                     loss_events += 1;
                     // Under a loss-burst window the repair is a fast
@@ -360,6 +368,7 @@ impl TcpSim {
             }
         }
 
+        telemetry::gauge("transport/mean_mbps", delivered_mb / duration_s);
         TcpRunResult {
             mean_mbps: delivered_mb / duration_s,
             loss_events,

@@ -8,7 +8,7 @@
 
 use crate::abr::{Abr, AbrContext};
 use crate::asset::VideoAsset;
-use fiveg_simcore::{faults, recovery};
+use fiveg_simcore::{faults, recovery, telemetry};
 use fiveg_transport::shaper::BandwidthTrace;
 
 /// Player configuration.
@@ -120,6 +120,8 @@ pub fn stream(
     let mut qoe = 0.0;
     let mut prev_q: Option<f64> = None;
 
+    telemetry::clock(trace_offset_s);
+    let _session_span = telemetry::span("video/session");
     for index in 0..n_chunks {
         let ctx = AbrContext {
             asset,
@@ -178,9 +180,15 @@ pub fn stream(
             startup = dl;
         } else {
             stall_total += stall;
+            if stall > 0.0 {
+                telemetry::count("video/stall", 1);
+                telemetry::observe("video/stall_s", stall);
+            }
         }
         buffer_s = (buffer_s - dl).max(0.0) + asset.chunk_len_s;
         wall += dl;
+        telemetry::clock(wall);
+        telemetry::span_closed("video/segment", wall - dl, wall);
 
         // Full buffer: wait before the next request.
         if buffer_s > cfg.max_buffer_s {
@@ -192,6 +200,7 @@ pub fn stream(
         let tput = if dl > 0.0 { bytes * 8.0 / 1e6 / dl } else { f64::INFINITY };
         past_tput.push(tput);
         if index > 0 && track != last_track {
+            telemetry::count("video/bitrate_switch", 1);
             switches += 1;
         }
 

@@ -19,7 +19,7 @@ use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
 use fiveg_radio::band::{BandClass, Direction};
 use fiveg_radio::ue::UeModel;
 use fiveg_simcore::faults::{self, FaultKind};
-use fiveg_simcore::{recovery, RngStream};
+use fiveg_simcore::{recovery, telemetry, RngStream};
 
 /// The radio a page is loaded over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -138,7 +138,9 @@ impl PageLoader {
         };
         let mut objects_dropped = 0usize;
         let mut dropped_bytes = 0.0f64;
+        telemetry::clock(0.0);
         for w in 0..n_waves {
+            let wave_t0 = t;
             // A wave issued into a stall window gets no bytes: time the
             // request out and retry once; if the window still covers the
             // retry, abandon the wave's objects (partial-page degradation).
@@ -166,6 +168,8 @@ impl PageLoader {
                 }
             }
             t += rtt_s + per_wave_bytes * 8.0 / (bw * 1e6);
+            telemetry::clock(t);
+            telemetry::span_closed("web/object_wave", wave_t0, t);
         }
         // Dynamic objects: server think time plus two extra round trips
         // each (redirect/XHR chains), amortized across connections — this
@@ -175,6 +179,10 @@ impl PageLoader {
         // Client-side parse/render (dropped objects are never rendered).
         t += 0.15 + (site.n_objects - objects_dropped) as f64 * self.render_per_object_s;
 
+        telemetry::clock(t);
+        telemetry::span_closed("web/page", 0.0, t);
+        telemetry::count("web/object", (site.n_objects - objects_dropped) as u64);
+        telemetry::observe("web/plt_s", t);
         let mean_tput = (site.total_bytes() + html_bytes - dropped_bytes) * 8.0 / 1e6 / t;
         let model = DataPowerModel::lookup(self.ue, radio.network());
         let power_mw = model.power_mw(Direction::Downlink, mean_tput);
