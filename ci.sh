@@ -17,6 +17,9 @@ cargo test -q --offline
 echo "==> lint: cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> lint: cargo fmt --check"
+cargo fmt --check
+
 # --- Chaos smoke matrix -----------------------------------------------------
 # Run a small campaign under every non-quiet fault scenario, against the
 # experiments that exercise that scenario's layer. `--check-manifest` is the
@@ -68,6 +71,15 @@ echo "==> parallel determinism: quiet, --jobs 1 vs --jobs 4"
 "$FIG" --seed 2021 --jobs 1 --out "$SMOKE_DIR/par-s" table1 fig1 fig2 fig9 table2 fig11 > /dev/null
 "$FIG" --seed 2021 --jobs 4 --out "$SMOKE_DIR/par-j" table1 fig1 fig2 fig9 table2 fig11 > /dev/null
 cmp "$SMOKE_DIR/par-s/manifest.json" "$SMOKE_DIR/par-j/manifest.json"
+
+# The paper-fidelity gate on subset dirs: expectations whose artifact is
+# absent are skipped, so a partial campaign still validates — and the
+# validation.txt written for the serial and parallel runs must be
+# byte-identical.
+echo "==> validation gate: serial vs --jobs 4 subset dirs"
+"$FIG" --validate "$SMOKE_DIR/par-s" > /dev/null
+"$FIG" --validate "$SMOKE_DIR/par-j" > /dev/null
+cmp "$SMOKE_DIR/par-s/validation.txt" "$SMOKE_DIR/par-j/validation.txt"
 
 echo "==> parallel determinism: chaos, --jobs 1 vs --jobs 4"
 "$FIG" --seed 2021 --chaos chaos --jobs 1 --out "$SMOKE_DIR/par-cs" table2 fig9 fig10 > /dev/null
@@ -135,9 +147,24 @@ cargo build --release --offline -p fiveg-bench
 # --- Campaign perf baseline ---------------------------------------------------
 # Record the full-campaign wall clock and events/sec on all cores into
 # results/BENCH_campaign.json (kept out of manifest.json so manifests stay
-# byte-comparable across machines).
+# byte-comparable across machines). The same run renders the full quiet
+# campaign for the paper-fidelity gate below.
 echo "==> perf baseline: figures all --bench-out results/BENCH_campaign.json"
-"$FIG" --seed 2021 --bench-out results/BENCH_campaign.json all > /dev/null
+"$FIG" --seed 2021 --out "$SMOKE_DIR/quiet-all" --bench-out results/BENCH_campaign.json all > /dev/null
 grep -o '"speedup_est":[0-9.]*' results/BENCH_campaign.json
+
+# --- Paper-fidelity gate -------------------------------------------------------
+# Every artifact the quiet campaign just rendered must sit inside its
+# tolerance band from the expected-value table (bench::expect); any FAIL
+# exits non-zero. The committed goldens must pass too, and the rerun must
+# leave results/validation.txt byte-identical (the report is a pure
+# function of the artifacts).
+echo "==> validation gate: quiet campaign"
+"$FIG" --validate "$SMOKE_DIR/quiet-all"
+
+echo "==> validation gate: committed goldens"
+cp results/validation.txt "$SMOKE_DIR/validation.before"
+"$FIG" --validate results > /dev/null
+cmp results/validation.txt "$SMOKE_DIR/validation.before"
 
 echo "==> ci: all green"

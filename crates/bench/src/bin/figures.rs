@@ -13,6 +13,7 @@
 //! figures --telemetry tel/ table2 fig9   # export spans/counters/hists
 //! figures --list-scenarios     # print fault scenarios, one per line
 //! figures --check-manifest results/manifest.json   # CI gate
+//! figures --validate [dir]     # paper-fidelity gate (default: results)
 //! ```
 //!
 //! Every experiment runs under the supervised runner: a panic, runaway
@@ -56,9 +57,9 @@ use fiveg_bench::json::Json;
 use fiveg_bench::report::{f, Table};
 use fiveg_bench::runner::{self, ManifestEntry, RunStatus, Supervisor};
 use fiveg_bench::{experiments, telemetry as telexport, CAMPAIGN_SEED};
-use fiveg_simcore::telemetry::AttemptTelemetry;
 use fiveg_simcore::faults::FaultScenario;
 use fiveg_simcore::recovery::RecoveryKind;
+use fiveg_simcore::telemetry::AttemptTelemetry;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -155,7 +156,10 @@ fn report_baseline_drift(seed: u64, scenario: Option<&str>, entries: &[ManifestE
         };
         let wall = row.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0);
         let events = row.get("events").and_then(Json::as_f64).unwrap_or(0.0);
-        println!("  {:<10} baseline wall {:.4} s, {} events", e.id, wall, events as u64);
+        println!(
+            "  {:<10} baseline wall {:.4} s, {} events",
+            e.id, wall, events as u64
+        );
         let base_status = row.get("status").and_then(Json::as_str).unwrap_or("ok");
         if base_status != e.status.as_str() {
             eprintln!(
@@ -165,6 +169,20 @@ fn report_baseline_drift(seed: u64, scenario: Option<&str>, entries: &[ManifestE
             );
         }
     }
+}
+
+/// `--validate [dir]`: grade every artifact in `dir` against the
+/// expected-value table (`bench::expect`), write `<dir>/validation.txt`
+/// atomically, and exit non-zero on any FAIL. The paper-fidelity gate.
+fn validate(dir: &str) -> ! {
+    let dir = Path::new(dir);
+    let v = fiveg_bench::expect::validate_dir(dir);
+    print!("{}", v.report);
+    if let Err(e) = runner::write_atomic(&dir.join("validation.txt"), &v.report) {
+        eprintln!("cannot write {}: {e}", dir.join("validation.txt").display());
+        std::process::exit(2);
+    }
+    std::process::exit(if v.ok() { 0 } else { 1 });
 }
 
 /// Renders the campaign resilience table from finished manifest rows.
@@ -203,7 +221,11 @@ fn resilience_table(entries: &[ManifestEntry], scenario: &str, seed: u64) -> Str
             }
         }
     }
-    let mean_detect = if ev > 0 { detect_weighted / ev as f64 } else { 0.0 };
+    let mean_detect = if ev > 0 {
+        detect_weighted / ev as f64
+    } else {
+        0.0
+    };
     t.row(vec![
         "TOTAL".to_string(),
         ev.to_string(),
@@ -244,10 +266,7 @@ fn resumable_entries(
     let (prev_seed, prev_scenario, entries) = match runner::parse_manifest(&text) {
         Ok(parsed) => parsed,
         Err(e) => {
-            eprintln!(
-                "--resume: ignoring malformed {}: {e}",
-                path.display()
-            );
+            eprintln!("--resume: ignoring malformed {}: {e}", path.display());
             return HashMap::new();
         }
     };
@@ -286,6 +305,14 @@ fn main() {
             std::process::exit(2);
         });
         check_manifest(&path);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--validate") {
+        let dir = args
+            .get(pos + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "results".to_string());
+        validate(&dir);
     }
     let mut seed = CAMPAIGN_SEED;
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
@@ -407,8 +434,7 @@ fn main() {
         return;
     }
 
-    let entries: Vec<(&'static str, experiments::Experiment)> = if args.iter().any(|a| a == "all")
-    {
+    let entries: Vec<(&'static str, experiments::Experiment)> = if args.iter().any(|a| a == "all") {
         registry
     } else {
         args.iter()
@@ -469,30 +495,34 @@ fn main() {
 
     let campaign_t0 = Instant::now();
     let slots = Mutex::new(slots);
-    let (outcomes, worker_busy_s) = supervisor.run_registry_jobs_timed(&work, seed, jobs, |wi, outcome| {
-        // The lock also serializes stdout/stderr and the manifest rewrite,
-        // so interleaved workers cannot tear a report or a manifest write.
-        let mut slots = slots.lock().expect("slots lock");
-        println!("{}", outcome.report.render());
-        if outcome.degraded() {
-            eprintln!(
-                "warning: {} degraded after {} attempt(s): {}",
-                outcome.id,
-                outcome.attempts,
-                outcome.note.as_deref().unwrap_or("unknown failure")
-            );
-        }
-        if let Some(dir) = &out_dir {
-            write_or_die(&dir.join(format!("{}.txt", outcome.id)), &outcome.report.render());
-        }
-        slots[work_to_slot[wi]] = Some(ManifestEntry::from_outcome(outcome));
-        // Rewrite the manifest after every experiment: a kill mid-campaign
-        // leaves a parseable record of exactly the work that finished, which
-        // is what `--resume` picks up.
-        if let Some(dir) = &out_dir {
-            rewrite_manifest(&slots, dir);
-        }
-    });
+    let (outcomes, worker_busy_s) =
+        supervisor.run_registry_jobs_timed(&work, seed, jobs, |wi, outcome| {
+            // The lock also serializes stdout/stderr and the manifest rewrite,
+            // so interleaved workers cannot tear a report or a manifest write.
+            let mut slots = slots.lock().expect("slots lock");
+            println!("{}", outcome.report.render());
+            if outcome.degraded() {
+                eprintln!(
+                    "warning: {} degraded after {} attempt(s): {}",
+                    outcome.id,
+                    outcome.attempts,
+                    outcome.note.as_deref().unwrap_or("unknown failure")
+                );
+            }
+            if let Some(dir) = &out_dir {
+                write_or_die(
+                    &dir.join(format!("{}.txt", outcome.id)),
+                    &outcome.report.render(),
+                );
+            }
+            slots[work_to_slot[wi]] = Some(ManifestEntry::from_outcome(outcome));
+            // Rewrite the manifest after every experiment: a kill mid-campaign
+            // leaves a parseable record of exactly the work that finished, which
+            // is what `--resume` picks up.
+            if let Some(dir) = &out_dir {
+                rewrite_manifest(&slots, dir);
+            }
+        });
     let campaign_wall_s = campaign_t0.elapsed().as_secs_f64();
 
     // Telemetry export: per-experiment sim-time artifacts (deterministic),
@@ -515,10 +545,19 @@ fn main() {
                 &telexport::chrome_trace(outcome.id, &telem),
             );
             total.merge_aggregates(&telem);
-            stats.experiments.push((outcome.id.to_string(), outcome.wall_s));
+            stats
+                .experiments
+                .push((outcome.id.to_string(), outcome.wall_s));
         }
-        write_or_die(&dir.join("telemetry.txt"), &telexport::summary(&total, &stats));
-        println!("wrote telemetry for {} experiments to {}", outcomes.len(), dir.display());
+        write_or_die(
+            &dir.join("telemetry.txt"),
+            &telexport::summary(&total, &stats),
+        );
+        println!(
+            "wrote telemetry for {} experiments to {}",
+            outcomes.len(),
+            dir.display()
+        );
     }
 
     let rows: Vec<ManifestEntry> = slots
@@ -527,7 +566,10 @@ fn main() {
         .into_iter()
         .map(|s| s.expect("every registry entry ran or resumed"))
         .collect();
-    let degraded = rows.iter().filter(|r| r.status == RunStatus::Degraded).count();
+    let degraded = rows
+        .iter()
+        .filter(|r| r.status == RunStatus::Degraded)
+        .count();
 
     if let Some(path) = &bench_out {
         let report =

@@ -1,0 +1,990 @@
+//! The paper-fidelity validation plane.
+//!
+//! A machine-readable table of expected values — headline throughputs,
+//! RRC timer inferences, power-model MAPE bounds, ABR QoE orderings,
+//! interface-selection win rates — each with an id, a tolerance band, and
+//! a pointer to the paper figure/table it pins, plus in-tree parsers for
+//! every `results/*.txt` artifact format (key-value tables, fixed-width
+//! tables with sections, CDF series, prose notes, the resilience table).
+//!
+//! `figures --validate [dir]` evaluates every expectation against the
+//! artifacts in `dir`, prints per-check PASS / WARN(drift) / FAIL rows,
+//! writes an atomically-replaced `validation.txt`, and exits non-zero on
+//! any FAIL. Expectations whose artifact file is absent are *skipped*
+//! (subset campaign dirs validate cleanly); an artifact present on disk
+//! but covered by no expectation is a FAIL (the table must keep up with
+//! the registry). `resilience.txt` carries scenario-dependent values, so
+//! it is validated structurally: the TOTAL row must equal its column
+//! sums.
+
+use crate::report::Table;
+use fiveg_simcore::stats::{first_number, numbers_in, Grade, Tolerance};
+use std::path::Path;
+
+/// One parsed `results/*.txt` artifact.
+#[derive(Debug)]
+pub struct Artifact {
+    /// Upper-case id from the `==== ID — title ====` banner.
+    pub id: String,
+    /// Human title from the banner.
+    pub title: String,
+    /// Sections in file order; content before any `-- name --` marker
+    /// lands in an unnamed section.
+    pub sections: Vec<Section>,
+}
+
+/// A section: at most one fixed-width table plus any prose notes.
+#[derive(Debug, Default)]
+pub struct Section {
+    /// Name from the `-- name --` marker; empty for the preamble section.
+    pub name: String,
+    /// Table column headers (empty if the section has no table).
+    pub header: Vec<String>,
+    /// Table rows, one `Vec<String>` of cells per row.
+    pub rows: Vec<Vec<String>>,
+    /// Non-table, non-blank lines (prose notes, crossover lines...).
+    pub notes: Vec<String>,
+}
+
+/// Splits a fixed-width table line into cells. The `report::Table`
+/// renderer right-aligns cells with a 2-space column gap, so cells are
+/// separated by runs of ≥ 2 spaces while cell-internal single spaces
+/// ("5G NSA mmWave") survive.
+fn split_cells(line: &str) -> Vec<String> {
+    line.trim()
+        .split("  ")
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn is_rule(line: &str) -> bool {
+    let t = line.trim();
+    t.len() >= 3 && t.bytes().all(|b| b == b'-')
+}
+
+fn is_section_marker(line: &str) -> bool {
+    let t = line.trim();
+    t.len() > 6 && t.starts_with("-- ") && t.ends_with(" --") && !is_rule(line)
+}
+
+/// Parses one artifact. Errors carry enough context to show in a FAIL row.
+pub fn parse_artifact(text: &str) -> Result<Artifact, String> {
+    let mut lines = text.lines().peekable();
+    let banner = loop {
+        match lines.next() {
+            Some(l) if l.trim().is_empty() => continue,
+            Some(l) => break l.trim().to_string(),
+            None => return Err("empty artifact".into()),
+        }
+    };
+    if !banner.starts_with("====") || !banner.ends_with("====") {
+        return Err(format!("missing `==== id — title ====` banner: {banner}"));
+    }
+    let inner = banner.trim_matches('=').trim();
+    let (id, title) = match inner.split_once(" — ") {
+        Some((id, title)) => (id.trim().to_string(), title.trim().to_string()),
+        None => (inner.to_string(), String::new()),
+    };
+    let mut sections = vec![Section::default()];
+    let mut in_rows = false;
+    while let Some(line) = lines.next() {
+        if line.trim().is_empty() {
+            in_rows = false;
+            continue;
+        }
+        if is_section_marker(line) {
+            let name = line.trim();
+            sections.push(Section {
+                name: name[3..name.len() - 3].trim().to_string(),
+                ..Section::default()
+            });
+            in_rows = false;
+            continue;
+        }
+        let cur = sections.last_mut().expect("at least one section");
+        // A header line is recognised by the dashes rule under it.
+        if cur.header.is_empty() && matches!(lines.peek(), Some(l) if is_rule(l)) {
+            cur.header = split_cells(line);
+            lines.next(); // consume the rule
+            in_rows = true;
+            continue;
+        }
+        let cells = split_cells(line);
+        if in_rows && cells.len() == cur.header.len() {
+            cur.rows.push(cells);
+        } else {
+            in_rows = false;
+            cur.notes.push(line.trim().to_string());
+        }
+    }
+    Ok(Artifact {
+        id,
+        title,
+        sections,
+    })
+}
+
+/// Where in a parsed artifact an expectation reads its value.
+#[derive(Debug, Clone, Copy)]
+pub enum Probe {
+    /// A table cell: `section` matched by substring ("" = first section
+    /// with a table), `row` by prefix against the row's cells joined with
+    /// `|`, `col` by exact-then-substring match against the header.
+    Cell {
+        section: &'static str,
+        row: &'static str,
+        col: &'static str,
+    },
+    /// The `pick`-th number (negative = from the end) on the first note
+    /// line containing `contains`, searched across all sections.
+    Note { contains: &'static str, pick: isize },
+    /// The number of table rows in the matched section.
+    RowCount { section: &'static str },
+}
+
+/// How the probed value is judged.
+#[derive(Debug, Clone, Copy)]
+pub enum Check {
+    /// Relative-drift band around `expected` (see `stats::Tolerance`).
+    Near {
+        expected: f64,
+        tol: Tolerance,
+    },
+    /// Inclusive range; outside is FAIL (no WARN band).
+    Within {
+        lo: f64,
+        hi: f64,
+    },
+    AtLeast(f64),
+    AtMost(f64),
+    /// The probed cell must be the maximum of its column (ties pass).
+    MaxInColumn,
+    /// The probed cell must be the minimum of its column (ties pass).
+    MinInColumn,
+}
+
+/// One pinned expected value.
+pub struct Expectation {
+    /// Stable id, `<artifact>.<slug>`.
+    pub id: &'static str,
+    /// Artifact file stem (`fig1` → `results/fig1.txt`).
+    pub artifact: &'static str,
+    /// The paper figure/table this pins.
+    pub pin: &'static str,
+    /// What the value means, for humans reading the source.
+    pub what: &'static str,
+    pub probe: Probe,
+    pub check: Check,
+}
+
+fn find_section<'a>(art: &'a Artifact, want: &str) -> Result<&'a Section, String> {
+    if want.is_empty() {
+        return art
+            .sections
+            .iter()
+            .find(|s| !s.header.is_empty())
+            .ok_or_else(|| format!("{}: no table in any section", art.id));
+    }
+    art.sections
+        .iter()
+        .find(|s| s.name.contains(want))
+        .ok_or_else(|| format!("{}: no section matching `{want}`", art.id))
+}
+
+fn find_col(section: &Section, col: &str) -> Result<usize, String> {
+    if let Some(i) = section.header.iter().position(|h| h == col) {
+        return Ok(i);
+    }
+    section
+        .header
+        .iter()
+        .position(|h| h.contains(col))
+        .ok_or_else(|| format!("no column matching `{col}` in {:?}", section.header))
+}
+
+/// Resolves a `Cell` probe to its value plus every numeric value in the
+/// same column (for the Max/MinInColumn checks).
+fn resolve_cell(
+    art: &Artifact,
+    section: &str,
+    row: &str,
+    col: &str,
+) -> Result<(f64, Vec<f64>), String> {
+    let sec = find_section(art, section)?;
+    let ci = find_col(sec, col)?;
+    let ri = sec
+        .rows
+        .iter()
+        .position(|r| (r.join("|") + "|").starts_with(row))
+        .ok_or_else(|| format!("no row with prefix `{row}`"))?;
+    let value = first_number(&sec.rows[ri][ci])
+        .ok_or_else(|| format!("cell `{}` holds no number", sec.rows[ri][ci]))?;
+    let column: Vec<f64> = sec
+        .rows
+        .iter()
+        .filter_map(|r| first_number(&r[ci]))
+        .collect();
+    Ok((value, column))
+}
+
+fn resolve(art: &Artifact, probe: &Probe) -> Result<(f64, Vec<f64>), String> {
+    match probe {
+        Probe::Cell { section, row, col } => resolve_cell(art, section, row, col),
+        Probe::Note { contains, pick } => {
+            let line = art
+                .sections
+                .iter()
+                .flat_map(|s| s.notes.iter())
+                .find(|n| n.contains(contains))
+                .ok_or_else(|| format!("no note containing `{contains}`"))?;
+            let nums = numbers_in(line);
+            let idx = if *pick < 0 {
+                nums.len() as isize + pick
+            } else {
+                *pick
+            };
+            let v = (idx >= 0)
+                .then(|| nums.get(idx as usize).copied())
+                .flatten()
+                .ok_or_else(|| format!("note `{line}` has no number at index {pick}"))?;
+            Ok((v, Vec::new()))
+        }
+        Probe::RowCount { section } => {
+            let sec = find_section(art, section)?;
+            Ok((sec.rows.len() as f64, Vec::new()))
+        }
+    }
+}
+
+/// Formats a value for the report: integers plainly, otherwise up to 4
+/// decimals with trailing zeros trimmed. Purely a function of the value,
+/// so the report is byte-stable across reruns.
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return if v.is_nan() {
+            "NaN".into()
+        } else {
+            "inf".into()
+        };
+    }
+    if (v - v.round()).abs() < 1e-9 && v.abs() < 1e12 {
+        return format!("{:.0}", v);
+    }
+    let s = format!("{:.4}", v);
+    s.trim_end_matches('0').trim_end_matches('.').to_string()
+}
+
+fn describe(check: &Check) -> String {
+    match check {
+        Check::Near { expected, tol } => format!(
+            "near {} (warn {}%, fail {}%)",
+            fmt_num(*expected),
+            fmt_num(tol.warn_pct),
+            fmt_num(tol.fail_pct)
+        ),
+        Check::Within { lo, hi } => format!("in [{}, {}]", fmt_num(*lo), fmt_num(*hi)),
+        Check::AtLeast(v) => format!(">= {}", fmt_num(*v)),
+        Check::AtMost(v) => format!("<= {}", fmt_num(*v)),
+        Check::MaxInColumn => "column max".into(),
+        Check::MinInColumn => "column min".into(),
+    }
+}
+
+/// Grades `actual` (plus its `column` context) against `check`, returning
+/// the verdict and the drift column text.
+fn grade(check: &Check, actual: f64, column: &[f64]) -> (Grade, String) {
+    if !actual.is_finite() {
+        return (Grade::Fail, "-".into());
+    }
+    match check {
+        Check::Near { expected, tol } => {
+            let drift = Tolerance::drift_pct(*expected, actual);
+            (tol.grade(*expected, actual), format!("{:+.1}%", drift))
+        }
+        Check::Within { lo, hi } => {
+            let g = if actual >= *lo && actual <= *hi {
+                Grade::Pass
+            } else {
+                Grade::Fail
+            };
+            (g, "-".into())
+        }
+        Check::AtLeast(v) => {
+            let g = if actual >= *v {
+                Grade::Pass
+            } else {
+                Grade::Fail
+            };
+            (g, "-".into())
+        }
+        Check::AtMost(v) => {
+            let g = if actual <= *v {
+                Grade::Pass
+            } else {
+                Grade::Fail
+            };
+            (g, "-".into())
+        }
+        Check::MaxInColumn => {
+            let top = column.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let g = if actual >= top {
+                Grade::Pass
+            } else {
+                Grade::Fail
+            };
+            (g, "-".into())
+        }
+        Check::MinInColumn => {
+            let bottom = column.iter().cloned().fold(f64::INFINITY, f64::min);
+            let g = if actual <= bottom {
+                Grade::Pass
+            } else {
+                Grade::Fail
+            };
+            (g, "-".into())
+        }
+    }
+}
+
+/// Outcome of validating one directory of artifacts.
+pub struct Validation {
+    /// The rendered `validation.txt` body.
+    pub report: String,
+    pub passes: usize,
+    pub warns: usize,
+    pub fails: usize,
+    /// Expectations skipped because their artifact file is absent.
+    pub skipped: usize,
+}
+
+impl Validation {
+    /// True iff the gate holds (no FAIL row).
+    pub fn ok(&self) -> bool {
+        self.fails == 0
+    }
+}
+
+/// Validates every artifact in `dir` against [`expectations`], plus the
+/// structural resilience check when `resilience.txt` is present.
+pub fn validate_dir(dir: &Path) -> Validation {
+    let mut table = Table::new(vec!["result", "id", "actual", "drift", "expected", "pins"]);
+    let (mut passes, mut warns, mut fails, mut skipped) = (0usize, 0usize, 0usize, 0usize);
+    let mut artifacts: Vec<String> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    let p = e.path();
+                    let stem = p.file_stem()?.to_str()?.to_string();
+                    (p.extension()?.to_str()? == "txt" && stem != "validation").then_some(stem)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    artifacts.sort();
+
+    let mut covered: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut parsed: std::collections::BTreeMap<String, Result<Artifact, String>> =
+        std::collections::BTreeMap::new();
+    for stem in &artifacts {
+        let path = dir.join(format!("{stem}.txt"));
+        let res = std::fs::read_to_string(&path)
+            .map_err(|e| format!("unreadable: {e}"))
+            .and_then(|t| parse_artifact(&t));
+        parsed.insert(stem.clone(), res);
+    }
+
+    let mut tally = |g: Grade| match g {
+        Grade::Pass => passes += 1,
+        Grade::Warn => warns += 1,
+        Grade::Fail => fails += 1,
+    };
+
+    for e in expectations() {
+        let Some(res) = parsed.get(e.artifact) else {
+            skipped += 1;
+            continue;
+        };
+        covered.insert(e.artifact.to_string());
+        let (g, actual, drift) = match res {
+            Ok(art) => match resolve(art, &e.probe) {
+                Ok((v, column)) => {
+                    let (g, drift) = grade(&e.check, v, &column);
+                    (g, fmt_num(v), drift)
+                }
+                Err(err) => (Grade::Fail, err, "-".into()),
+            },
+            Err(err) => (Grade::Fail, err.clone(), "-".into()),
+        };
+        tally(g);
+        table.row(vec![
+            g.as_str().to_string(),
+            e.id.to_string(),
+            actual,
+            drift,
+            describe(&e.check),
+            e.pin.to_string(),
+        ]);
+    }
+
+    // The resilience table is scenario-dependent, so it is pinned
+    // structurally: TOTAL must equal the per-experiment column sums.
+    if let Some(res) = parsed.get("resilience") {
+        covered.insert("resilience".to_string());
+        for (g, id, actual, expected) in resilience_checks(res) {
+            tally(g);
+            table.row(vec![
+                g.as_str().to_string(),
+                id,
+                actual,
+                "-".into(),
+                expected,
+                "chaos campaign".into(),
+            ]);
+        }
+    }
+
+    for stem in &artifacts {
+        if !covered.contains(stem) {
+            tally(Grade::Fail);
+            table.row(vec![
+                Grade::Fail.as_str().to_string(),
+                format!("{stem}.uncovered"),
+                "-".into(),
+                "-".into(),
+                "an entry in bench::expect".into(),
+                "-".into(),
+            ]);
+        }
+    }
+    if artifacts.is_empty() {
+        tally(Grade::Fail);
+        table.row(vec![
+            Grade::Fail.as_str().to_string(),
+            "validation.no-artifacts".into(),
+            "0".into(),
+            "-".into(),
+            ">= 1 artifact in dir".into(),
+            "-".into(),
+        ]);
+    }
+
+    let mut report = format!(
+        "==== VALIDATION — paper-fidelity gate ====\n{}",
+        table.render()
+    );
+    report.push_str(&format!(
+        "\n{} checks: {passes} PASS, {warns} WARN, {fails} FAIL\n\
+         artifacts covered: {}/{}; expectations skipped (artifact absent): {skipped}\n",
+        passes + warns + fails,
+        covered.len(),
+        artifacts.len(),
+    ));
+    Validation {
+        report,
+        passes,
+        warns,
+        fails,
+        skipped,
+    }
+}
+
+type StructuralCheck = (Grade, String, String, String);
+
+/// TOTAL-row structural checks for `resilience.txt`. `detect(s)` is an
+/// event-weighted mean, not a sum, so it is not checked here.
+fn resilience_checks(res: &Result<Artifact, String>) -> Vec<StructuralCheck> {
+    let art = match res {
+        Ok(a) => a,
+        Err(e) => {
+            return vec![(
+                Grade::Fail,
+                "resilience.parse".into(),
+                e.clone(),
+                "parseable artifact".into(),
+            )]
+        }
+    };
+    let sec = match find_section(art, "") {
+        Ok(s) => s,
+        Err(e) => {
+            return vec![(
+                Grade::Fail,
+                "resilience.table".into(),
+                e,
+                "a resilience table".into(),
+            )]
+        }
+    };
+    let total = sec.rows.iter().find(|r| r[0] == "TOTAL");
+    let Some(total) = total else {
+        return vec![(
+            Grade::Fail,
+            "resilience.total-row".into(),
+            "absent".into(),
+            "a TOTAL row".into(),
+        )];
+    };
+    let body: Vec<&Vec<String>> = sec.rows.iter().filter(|r| r[0] != "TOTAL").collect();
+    let mut out = Vec::new();
+    for (slug, col) in [
+        ("events", "events"),
+        ("outage", "outage"),
+        ("rebuffer", "rebuffer"),
+        ("failovers", "failovers"),
+    ] {
+        let Ok(ci) = find_col(sec, col) else {
+            out.push((
+                Grade::Fail,
+                format!("resilience.{slug}"),
+                "column missing".into(),
+                format!("a `{col}` column"),
+            ));
+            continue;
+        };
+        let sum: f64 = body.iter().filter_map(|r| first_number(&r[ci])).sum();
+        let stated = first_number(&total[ci]).unwrap_or(f64::NAN);
+        // Each addend is printed rounded to 2 decimals, so the stated
+        // total may differ from the sum of printed values by half a ULP
+        // of the print format per row.
+        let slack = 0.005 * body.len() as f64 + 1e-9;
+        let g = if (sum - stated).abs() <= slack {
+            Grade::Pass
+        } else {
+            Grade::Fail
+        };
+        out.push((
+            g,
+            format!("resilience.{slug}"),
+            fmt_num(stated),
+            format!("sums to {}", fmt_num(sum)),
+        ));
+    }
+    out
+}
+
+fn near(expected: f64, warn_pct: f64, fail_pct: f64) -> Check {
+    Check::Near {
+        expected,
+        tol: Tolerance::pct(warn_pct, fail_pct),
+    }
+}
+
+fn cell(section: &'static str, row: &'static str, col: &'static str) -> Probe {
+    Probe::Cell { section, row, col }
+}
+
+/// The expected-value table. Values are pinned against the committed
+/// seed-2021 goldens; `pin` names the paper figure/table each one
+/// reproduces, and the bands encode how much campaign drift is tolerable
+/// before the reproduction stops supporting the paper's claim.
+#[rustfmt::skip]
+pub fn expectations() -> Vec<Expectation> {
+    let e = |id, artifact, pin, what, probe, check| Expectation { id, artifact, pin, what, probe, check };
+    vec![
+        // §3.1 — RTT vs UE-server distance (Fig 1–2).
+        e("fig1.rtt-nearest", "fig1", "Fig 1", "RTT to the co-located Minneapolis server",
+          cell("", "Verizon, Minneapolis|0|", "RTT"), near(6.0, 5.0, 15.0)),
+        e("fig1.rtt-farthest", "fig1", "Fig 1", "RTT grows linearly to the farthest server",
+          cell("", "Verizon, San Francisco|2545", "RTT"), near(49.3, 5.0, 15.0)),
+        e("fig1.servers", "fig1", "Fig 1", "one row per measured server",
+          Probe::RowCount { section: "" }, Check::Within { lo: 35.0, hi: 35.0 }),
+        e("fig2.mmwave-floor", "fig2", "Fig 2", "mmWave latency floor at 0 km",
+          cell("", "0|", "mmWave"), near(6.0, 5.0, 15.0)),
+        e("fig2.lte-floor", "fig2", "Fig 2", "LTE latency floor at 0 km",
+          cell("", "0|", "LTE"), near(20.0, 5.0, 15.0)),
+        e("fig2.mmwave-far", "fig2", "Fig 2", "mmWave stays the lowest-latency band at range",
+          cell("", "2545|", "mmWave"), near(49.3, 5.0, 15.0)),
+        // §3.2 — mmWave throughput vs distance (Fig 3–4).
+        e("fig3.multi-peak", "fig3", "Fig 3", "multi-connection DL saturates ~3.4 Gbps",
+          cell("", "0|", "multi"), near(3400.0, 2.0, 8.0)),
+        e("fig3.single-near", "fig3", "Fig 3", "single-connection DL near the server",
+          cell("", "0|", "single"), near(3201.0, 5.0, 15.0)),
+        e("fig3.single-far", "fig3", "Fig 3", "single-connection DL decays with distance",
+          cell("", "2545|", "single"), Check::Within { lo: 1000.0, hi: 2400.0 }),
+        e("fig3.rtt-far", "fig3", "Fig 3", "RTT at the farthest server",
+          cell("", "2545|", "RTT"), near(49.3, 5.0, 15.0)),
+        e("fig4.ul-cap", "fig4", "Fig 4", "mmWave UL cap ~230 Mbps",
+          cell("", "0|", "multi"), near(230.0, 2.0, 8.0)),
+        e("fig4.ul-single-far", "fig4", "Fig 4", "UL barely distance-sensitive",
+          cell("", "2545|", "single"), Check::Within { lo: 200.0, hi: 230.0 }),
+        // §3.3 — SA vs NSA low-band (Fig 5–7).
+        e("fig5.latency-floor", "fig5", "Fig 5", "low-band latency floor at 0 km",
+          cell("", "0|", "SA"), near(13.1, 5.0, 15.0)),
+        e("fig5.sa-nsa-parity", "fig5", "Fig 5", "SA and NSA latency match at range",
+          cell("", "2545|", "NSA"), near(56.3, 5.0, 15.0)),
+        e("fig6.sa-dl", "fig6", "Fig 6", "SA low-band DL cap",
+          cell("", "0|", "SA multi"), near(110.0, 2.0, 10.0)),
+        e("fig6.nsa-dl", "fig6", "Fig 6", "NSA low-band DL cap (2x SA)",
+          cell("", "0|", "NSA multi"), near(220.0, 2.0, 10.0)),
+        e("fig7.sa-ul", "fig7", "Fig 7", "SA low-band UL cap",
+          cell("", "0|", "SA multi"), near(55.0, 2.0, 10.0)),
+        e("fig7.nsa-ul", "fig7", "Fig 7", "NSA low-band UL cap (2x SA)",
+          cell("", "0|", "NSA multi"), near(110.0, 2.0, 10.0)),
+        // §3.4 — transport settings across Azure regions (Fig 8).
+        e("fig8.udp-cap", "fig8", "Fig 8", "UDP reaches the provisioned cap everywhere",
+          cell("", "Azure Central|", "UDP"), near(2200.0, 2.0, 8.0)),
+        e("fig8.default-collapse", "fig8", "Fig 8", "default single-TCP collapses at range",
+          cell("", "Azure West|", "1-TCP default"), near(163.0, 10.0, 30.0)),
+        e("fig8.tuned-recovers", "fig8", "Fig 8", "tuned single-TCP recovers most of the loss",
+          cell("", "Azure West|", "1-TCP tuned"), Check::AtLeast(800.0)),
+        // §3.5 — handoffs while driving (Fig 9).
+        e("fig9.nsa-total", "fig9", "Fig 9", "NSA+LTE setting hands off the most",
+          cell("", "NSA-5G + LTE|", "total"), near(95.0, 10.0, 30.0)),
+        e("fig9.nsa-share", "fig9", "Fig 9", "time share spent on NSA in that setting",
+          cell("", "NSA-5G + LTE|", "NSA %"), near(89.3, 5.0, 15.0)),
+        e("fig9.lte-only", "fig9", "Fig 9", "LTE-only baseline handoff count",
+          cell("", "LTE only|", "total"), near(30.0, 10.0, 30.0)),
+        // §4.1 — RRC state inference (Fig 10, Table 7).
+        e("fig10.sa-connected-rtt", "fig10", "Fig 10", "RTT while RRC_CONNECTED (SA)",
+          cell("T-Mobile SA low-band", "1|", "mean RTT"), Check::Within { lo: 25.0, hi: 60.0 }),
+        e("fig10.sa-inactive-resume", "fig10", "Fig 10", "RRC_INACTIVE resume is sub-promotion cost",
+          cell("T-Mobile SA low-band", "11|", "mean RTT"), Check::Within { lo: 300.0, hi: 1000.0 }),
+        e("fig10.sa-idle-promo", "fig10", "Fig 10", "RRC_IDLE pays the full promotion",
+          cell("T-Mobile SA low-band", "16|", "mean RTT"), Check::AtLeast(950.0)),
+        e("fig10.steps", "fig10", "Fig 10", "16 idle-gap probes per staircase",
+          Probe::RowCount { section: "Verizon NSA mmWave" }, Check::Within { lo: 16.0, hi: 16.0 }),
+        e("table7.sa-tail", "table7", "Table 7", "inferred SA RRC tail timer",
+          cell("", "T-Mobile SA low-band|", "tail ms"), near(10400.0, 2.0, 8.0)),
+        e("table7.mmwave-tail", "table7", "Table 7", "inferred mmWave RRC tail timer",
+          cell("", "Verizon NSA mmWave|", "tail ms"), near(10500.0, 2.0, 8.0)),
+        e("table7.4g-tail", "table7", "Table 7", "inferred T-Mobile 4G tail timer",
+          cell("", "T-Mobile 4G|", "tail ms"), near(5000.0, 2.0, 8.0)),
+        e("table7.mmwave-promo", "table7", "Table 7", "4G->5G promotion cost on mmWave",
+          cell("", "Verizon NSA mmWave|", "5G promo"), near(1961.0, 10.0, 25.0)),
+        // Campaign bookkeeping (Table 1).
+        e("table1.tests", "table1", "Table 1", "number of 5G performance tests",
+          cell("", "5G network performance tests|", "value"), near(4194.0, 5.0, 20.0)),
+        e("table1.servers", "table1", "Table 1", "unique servers tested",
+          cell("", "unique servers", "value"), near(115.0, 5.0, 20.0)),
+        e("table1.walked", "table1", "Table 1", "kilometres of walking campaigns",
+          cell("", "total kilometres", "value"), near(80.0, 5.0, 20.0)),
+        // §4.2 — power during RRC transitions (Table 2), monitor cost (Table 3).
+        e("table2.mmwave-tail", "table2", "Table 2", "mmWave tail power",
+          cell("", "Verizon NSA mmWave|", "tail"), near(1097.0, 3.0, 10.0)),
+        e("table2.mmwave-switch", "table2", "Table 2", "4G->5G switch power on mmWave",
+          cell("", "Verizon NSA mmWave|", "switch"), near(1494.0, 3.0, 10.0)),
+        e("table2.sa-tail", "table2", "Table 2", "SA low-band tail power",
+          cell("", "T-Mobile SA low-band|", "tail"), near(593.0, 3.0, 10.0)),
+        e("table2.4g-tail", "table2", "Table 2", "4G tail power is an order cheaper",
+          cell("", "T-Mobile 4G|", "tail"), near(68.0, 10.0, 30.0)),
+        e("table3.idle", "table3", "Table 3", "idle baseline power",
+          cell("", "Idle|", "power"), near(2014.3, 1.0, 5.0)),
+        e("table3.1hz", "table3", "Table 3", "1 Hz monitoring overhead",
+          cell("", "Monitor on (1Hz)|", "power"), near(2668.5, 1.0, 5.0)),
+        e("table3.10hz", "table3", "Table 3", "10 Hz monitoring overhead",
+          cell("", "Monitor on (10Hz)|", "power"), near(3125.7, 1.0, 5.0)),
+        // §4.3 — throughput-power curves (Fig 11–12, Fig 26, Table 8).
+        e("fig11.dl-mmwave-2gbps", "fig11", "Fig 11", "S20U mmWave power at 2 Gbps DL",
+          cell("Downlink", "2000|", "power"), near(6.64, 3.0, 10.0)),
+        e("fig11.dl-crossover-4g", "fig11", "Fig 11", "DL rate where mmWave beats 4G on power",
+          Probe::Note { contains: "crossover (Downlink): mmWave beats 4G/LTE", pick: -1 },
+          near(187.0, 5.0, 15.0)),
+        e("fig11.ul-crossover-4g", "fig11", "Fig 11", "UL rate where mmWave beats 4G on power",
+          Probe::Note { contains: "crossover (Uplink): mmWave beats 4G/LTE", pick: -1 },
+          near(40.0, 5.0, 15.0)),
+        e("fig12.dl-1mbps", "fig12", "Fig 12", "mmWave efficiency at trickle rates",
+          cell("Downlink", "1|", "mmWave"), near(3.018, 5.0, 15.0)),
+        e("fig12.efficiency-note", "fig12", "Fig 12", "5G efficiency advantage at its high rate",
+          Probe::Note { contains: "less efficient", pick: -1 }, near(5.3, 5.0, 20.0)),
+        e("fig26.dl-2gbps", "fig26", "Fig 26", "S10 mmWave power at 2 Gbps DL",
+          cell("Downlink", "2000|", "power"), near(7.17, 3.0, 10.0)),
+        e("fig26.ul-crossover", "fig26", "Fig 26", "S10 UL crossover vs 4G",
+          Probe::Note { contains: "crossover (Uplink)", pick: -1 }, near(44.0, 5.0, 15.0)),
+        e("fig26.dl-eff-1mbps", "fig26", "Fig 27", "S10 5G efficiency at 1 Mbps",
+          cell("Fig 27 Downlink", "1|", "5G uJ"), near(3.054, 5.0, 15.0)),
+        e("table8.s10-lte-dl", "table8", "Table 8", "S10 4G DL slope",
+          cell("", "S10|4G/LTE", "DL"), near(13.61, 5.0, 15.0)),
+        e("table8.s20u-mmwave-dl", "table8", "Table 8", "S20U mmWave DL slope (flattest)",
+          cell("", "S20U|5G NSA mmWave", "DL"), near(1.79, 5.0, 15.0)),
+        e("table8.s20u-lte-ul", "table8", "Table 8", "S20U 4G UL slope (steepest)",
+          cell("", "S20U|4G/LTE", "UL"), near(76.53, 10.0, 25.0)),
+        // §4.4 — walking campaigns (Fig 13–14).
+        e("fig13.mpls-strong", "fig13", "Fig 13", "Minneapolis mmWave tput at strong RSRP",
+          cell("Minneapolis", "[-80,-70)|5G NSA mmWave", "tput"), near(1967.0, 10.0, 25.0)),
+        e("fig13.mpls-weak", "fig13", "Fig 13", "Minneapolis mmWave tput at weak RSRP",
+          cell("Minneapolis", "[-110,-100)|5G NSA mmWave", "tput"), near(363.0, 15.0, 40.0)),
+        e("fig13.lowband-flat", "fig13", "Fig 13", "low-band tput barely tracks RSRP",
+          cell("Minneapolis", "[-80,-70)|5G NSA Low-Band", "tput"),
+          Check::Within { lo: 90.0, hi: 160.0 }),
+        e("fig14.weak-bin", "fig14", "Fig 14", "uJ/bit explodes in the weakest RSRP bin",
+          cell("Ann Arbor", "[-110,-105)", "uJ/bit"), near(0.1167, 15.0, 40.0)),
+        e("fig14.strong-bin", "fig14", "Fig 14", "uJ/bit at the strongest RSRP bin",
+          cell("Minneapolis", "[-80,-75)", "uJ/bit"), near(0.0039, 15.0, 40.0)),
+        // §4.5 — power modeling (Fig 15–16, Table 9).
+        e("fig15.thss-bound", "fig15", "Fig 15", "TH+SS MAPE stays under 4%",
+          cell("", "S10/VZ/NSA-HB|", "TH+SS"), Check::AtMost(4.0)),
+        e("fig15.thss-mape", "fig15", "Fig 15", "TH+SS MAPE, S10 mmWave",
+          cell("", "S10/VZ/NSA-HB|", "TH+SS"), near(2.58, 5.0, 20.0)),
+        e("fig15.ss-only-worst", "fig15", "Fig 15", "signal-strength-only model is far worse",
+          cell("", "S20/TM/NSA-LB|", "SS %"), Check::AtLeast(15.0)),
+        e("fig15.holdout", "fig15", "Fig 15", "held-out session MAPE bound",
+          Probe::Note { contains: "held-out", pick: -1 }, Check::AtMost(4.0)),
+        e("fig16.worst", "fig16", "Fig 16", "uncalibrated 1 Hz software monitor is worst",
+          cell("", "SW-1Hz uncalibrated|", "MAPE"), Check::MaxInColumn),
+        e("fig16.sw1hz-cal", "fig16", "Fig 16", "DTR calibration rescues the 1 Hz monitor",
+          cell("", "SW-1Hz calibrated (DTR)|", "MAPE"), near(3.29, 10.0, 30.0)),
+        e("fig16.sw10hz-cal", "fig16", "Fig 16", "calibrated 10 Hz monitor under 4%",
+          cell("", "SW-10Hz calibrated (DTR)|", "MAPE"), Check::AtMost(4.0)),
+        e("table9.video-1hz", "table9", "Table 9", "software monitor accuracy, video workload",
+          cell("", "Video streaming|", "@1Hz"), near(92.7, 3.0, 10.0)),
+        e("table9.udp400-10hz", "table9", "Table 9", "software monitor accuracy, bulk UDP",
+          cell("", "UDP DL 400Mbps|", "@10Hz"), near(89.6, 3.0, 10.0)),
+        e("table9.floor", "table9", "Table 9", "every workload stays above 80% accuracy",
+          cell("", "Idle (screen off)|", "@1Hz"), Check::AtLeast(75.0)),
+        // §5.2 — ABR QoE on 5G (Fig 17, Fig 18a–c).
+        e("fig17.pensieve-worst", "fig17", "Fig 17", "Pensieve stalls most on 5G (4G-trained)",
+          cell("", "Pensieve|", "5G stall"), Check::MaxInColumn),
+        e("fig17.pensieve-5g-stall", "fig17", "Fig 17", "Pensieve 5G stall percentage",
+          cell("", "Pensieve|", "5G stall"), near(34.31, 15.0, 40.0)),
+        e("fig17.pensieve-5g-bitrate", "fig17", "Fig 17", "...while chasing the top bitrate",
+          cell("", "Pensieve|", "5G bitrate"), Check::AtLeast(0.9)),
+        e("fig17.4g-benign", "fig17", "Fig 17", "4G rarely stalls any algorithm",
+          cell("", "BBA|", "4G stall"), Check::AtMost(1.0)),
+        e("fig17.festive-conservative", "fig17", "Fig 17", "FESTIVE trades bitrate for safety",
+          cell("", "FESTIVE|", "5G bitrate"), Check::MinInColumn),
+        e("fig18a.truth-top", "fig18a", "Fig 18a", "oracle prediction upper-bounds QoE",
+          cell("", "truthMPC|", "QoE"), Check::MaxInColumn),
+        e("fig18a.gdbt-normalized", "fig18a", "Fig 18a", "GBDT recovers much of the oracle gap",
+          cell("", "MPC_GDBT|", "normalized"), Check::Within { lo: 0.4, hi: 0.9 }),
+        e("fig18a.hm-gap", "fig18a", "Fig 18a", "harmonic-mean prediction lags badly on 5G",
+          cell("", "hmMPC|", "normalized"), Check::AtMost(0.5)),
+        e("fig18b.stall-4s", "fig18b", "Fig 18b", "4 s chunks stall percentage",
+          cell("", "4s|", "stall"), near(19.40, 15.0, 40.0)),
+        e("fig18b.bitrate-1s", "fig18b", "Fig 18b", "short chunks keep bitrate high",
+          cell("", "1s|", "bitrate"), Check::Within { lo: 0.75, hi: 0.95 }),
+        e("fig18c.only-worst-energy", "fig18c", "Fig 18c/Table 4", "5G-only MPC costs most energy",
+          cell("", "5G-only MPC|", "energy"), Check::MaxInColumn),
+        e("fig18c.only-energy", "fig18c", "Fig 18c/Table 4", "5G-only MPC energy",
+          cell("", "5G-only MPC|", "energy"), near(870.6, 10.0, 25.0)),
+        e("fig18c.aware-energy", "fig18c", "Fig 18c/Table 4", "5G-aware selection saves energy",
+          cell("", "5G-aware MPC|", "energy"), near(791.3, 10.0, 25.0)),
+        // §6 — web QoE (Fig 19–21) and interface selection (Table 6).
+        e("fig19.heavy-4g-plt", "fig19", "Fig 19", "4G PLT on >10MB pages",
+          cell("impact of total page size", ">10MB|", "4G PLT"), near(12.23, 10.0, 30.0)),
+        e("fig19.heavy-5g-plt", "fig19", "Fig 19", "5G loads heavy pages faster",
+          cell("impact of total page size", ">10MB|", "5G PLT"), near(8.89, 10.0, 30.0)),
+        e("fig19.heavy-5g-energy", "fig19", "Fig 19", "...but burns far more energy",
+          cell("impact of total page size", ">10MB|", "5G J"), Check::AtLeast(15.0)),
+        e("fig20.median-4g", "fig20", "Fig 20", "median 4G PLT",
+          cell("", "0.50|", "4G PLT"), near(2.01, 10.0, 25.0)),
+        e("fig20.median-5g", "fig20", "Fig 20", "median 5G PLT",
+          cell("", "0.50|", "5G PLT"), near(1.52, 10.0, 25.0)),
+        e("fig20.p99-energy", "fig20", "Fig 20", "tail 5G page energy",
+          cell("", "0.99|", "5G J"), near(35.35, 15.0, 40.0)),
+        e("fig21.modal-bucket", "fig21", "Fig 21", "most sites sit in the 20-30% penalty bucket",
+          cell("", "20-30|", "n sites"), Check::MaxInColumn),
+        e("fig21.saving-high", "fig21", "Fig 21", "4G saves ~70% energy in that bucket",
+          cell("", "20-30|", "energy saving"), near(71.2, 5.0, 15.0)),
+        e("table6.m1-5g-heavy", "table6", "Table 6", "performance-first model rides 5G",
+          cell("", "M1|", "use 5G"), Check::AtLeast(350.0)),
+        e("table6.m4-all-4g", "table6", "Table 6", "energy-first model picks 4G always",
+          cell("", "M4|", "use 4G"), near(450.0, 1.0, 5.0)),
+        e("table6.m3-acc", "table6", "Table 6", "balanced model decision accuracy",
+          cell("", "M3|", "acc"), Check::AtLeast(90.0)),
+        e("table6.m3-energy", "table6", "Table 6", "balanced model energy saving",
+          cell("", "M3|", "energy saving"), near(68.0, 5.0, 15.0)),
+        // §7 — extended experiments (Fig 23–24).
+        e("fig23.8cc-multi", "fig23", "Fig 23", "8CC multi-connection DL",
+          cell("", "S20U|", "multi DL"), near(3400.0, 2.0, 8.0)),
+        e("fig23.4cc-multi", "fig23", "Fig 23", "4CC multi-connection DL",
+          cell("", "PX5|", "multi DL"), near(2200.0, 2.0, 8.0)),
+        e("fig24.servers", "fig24", "Fig 24", "one row per Minnesota Speedtest server",
+          Probe::RowCount { section: "" }, Check::Within { lo: 37.0, hi: 37.0 }),
+        e("fig24.best", "fig24", "Fig 24", "best server saturates the radio",
+          cell("", "1. Verizon, Minneapolis|", "DL"), near(3400.0, 2.0, 8.0)),
+        e("fig24.capped-tail", "fig24", "Fig 24", "worst server is backhaul-capped",
+          cell("", "37. Midco, Ely|", "DL"), near(500.0, 2.0, 10.0)),
+        // In-repo ablations and extensions.
+        e("ablation-blockage.on-worse", "ablation-blockage", "§5.2 ablation",
+          "blockage drives the 5G stall story",
+          cell("", "on (default)|", "stall"), Check::MaxInColumn),
+        e("ablation-blockage.on-stall", "ablation-blockage", "§5.2 ablation",
+          "stall % with blockage on",
+          cell("", "on (default)|", "stall"), near(20.49, 25.0, 60.0)),
+        e("ablation-blockage.off-stall", "ablation-blockage", "§5.2 ablation",
+          "pure-LoS mmWave barely stalls",
+          cell("", "off (pure LoS)|", "stall"), Check::AtMost(5.0)),
+        e("ablation-cc.cubic-gains-35ms", "ablation-cc", "§3.4 ablation",
+          "CUBIC's edge grows with BDP",
+          cell("", "35|", "CUBIC/Reno"), Check::AtLeast(1.2)),
+        e("ablation-cc.cubic-8ms", "ablation-cc", "§3.4 ablation",
+          "short-RTT throughput is healthy either way",
+          cell("", "8|", "CUBIC Mbps"), Check::Within { lo: 2000.0, hi: 3400.0 }),
+        e("ablation-hysteresis.damping", "ablation-hysteresis", "§3.5 ablation",
+          "low hysteresis churns the most handoffs",
+          cell("", "1|", "NSA total"), Check::MaxInColumn),
+        e("ablation-hysteresis.base", "ablation-hysteresis", "§3.5 ablation",
+          "NSA handoffs at 1 dB hysteresis",
+          cell("", "1|", "NSA total"), near(104.0, 15.0, 40.0)),
+        e("ablation-pensieve.4g-trained-worse", "ablation-pensieve", "§5.2 ablation",
+          "training distribution drives Pensieve's 5G stalls",
+          cell("", "4G traces", "5G stall"), Check::MaxInColumn),
+        e("ablation-pensieve.4g-stall", "ablation-pensieve", "§5.2 ablation",
+          "4G-trained Pensieve stall % on 5G",
+          cell("", "4G traces", "5G stall"), near(38.15, 25.0, 60.0)),
+        e("ablation-wmem.small-buffer", "ablation-wmem", "§3.4 ablation",
+          "0.5 MB sender buffer throttles to ~200 Mbps",
+          cell("", "0.5|", "1-TCP"), near(200.0, 5.0, 15.0)),
+        e("ablation-wmem.saturation", "ablation-wmem", "§3.4 ablation",
+          "large buffers saturate the path",
+          cell("", "16.0|", "1-TCP"), Check::AtLeast(2500.0)),
+        e("ext-periodic.mmwave-worst", "ext-periodic", "§4.2 extension",
+          "keep-alives are most expensive on NSA mmWave",
+          cell("", "Verizon NSA mmWave|", "T=1s"), Check::MaxInColumn),
+        e("ext-periodic.mmwave-1s", "ext-periodic", "§4.2 extension",
+          "10-minute energy at 1 s keep-alive period",
+          cell("", "Verizon NSA mmWave|", "T=1s"), near(685.7, 10.0, 25.0)),
+        e("ext-periodic.4g-cheap", "ext-periodic", "§4.2 extension",
+          "the same workload on 4G",
+          cell("", "T-Mobile 4G|", "T=1s"), near(131.6, 10.0, 25.0)),
+        e("ext-periodic.sparse-cheap", "ext-periodic", "§4.2 extension",
+          "sparse keep-alives amortize the tail",
+          cell("", "Verizon NSA mmWave|", "T=300s"), Check::AtMost(100.0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+==== FIGX — a sample artifact ====
+-- Downlink --
+Mbps              net  power W
+------------------------------
+ 200    5G NSA mmWave     3.38
+ 200  5G NSA Low-Band     3.51
+2000    5G NSA mmWave     6.64
+crossover (Downlink): mmWave beats 4G/LTE above 187.0 Mbps
+
+a trailing prose note with no numbers
+";
+
+    #[test]
+    fn parses_banner_sections_tables_and_notes() {
+        let art = parse_artifact(SAMPLE).expect("parse");
+        assert_eq!(art.id, "FIGX");
+        assert_eq!(art.title, "a sample artifact");
+        let sec = &art.sections[1];
+        assert_eq!(sec.name, "Downlink");
+        assert_eq!(sec.header, vec!["Mbps", "net", "power W"]);
+        assert_eq!(sec.rows.len(), 3);
+        assert_eq!(sec.rows[1], vec!["200", "5G NSA Low-Band", "3.51"]);
+        assert_eq!(sec.notes.len(), 2, "crossover + prose are notes");
+    }
+
+    #[test]
+    fn cell_probe_disambiguates_rows_by_joined_prefix() {
+        let art = parse_artifact(SAMPLE).expect("parse");
+        let (v, column) =
+            resolve(&art, &cell("Downlink", "200|5G NSA Low-Band", "power")).expect("cell");
+        assert_eq!(v, 3.51);
+        assert_eq!(column, vec![3.38, 3.51, 6.64]);
+        // `200|` alone matches the first 200-Mbps row, not the 2000 one.
+        let (first, _) = resolve(&art, &cell("", "200|", "power")).expect("cell");
+        assert_eq!(first, 3.38);
+    }
+
+    #[test]
+    fn note_probe_picks_numbers_from_the_end() {
+        let art = parse_artifact(SAMPLE).expect("parse");
+        // numbers_in sees the `4` of `4G/LTE`; pick -1 skips it.
+        let probe = Probe::Note {
+            contains: "mmWave beats 4G/LTE",
+            pick: -1,
+        };
+        let (v, _) = resolve(&art, &probe).expect("note");
+        assert_eq!(v, 187.0);
+        assert!(resolve(
+            &art,
+            &Probe::Note {
+                contains: "no numbers",
+                pick: 0
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rowcount_and_missing_probes() {
+        let art = parse_artifact(SAMPLE).expect("parse");
+        let (n, _) = resolve(&art, &Probe::RowCount { section: "Down" }).expect("rowcount");
+        assert_eq!(n, 3.0);
+        assert!(resolve(&art, &cell("Uplink", "200|", "power")).is_err());
+        assert!(resolve(&art, &cell("Downlink", "9999|", "power")).is_err());
+        assert!(resolve(&art, &cell("Downlink", "200|", "nope")).is_err());
+    }
+
+    #[test]
+    fn checks_grade_pass_warn_fail() {
+        let near10 = near(10.0, 5.0, 20.0);
+        assert_eq!(grade(&near10, 10.2, &[]).0, Grade::Pass);
+        assert_eq!(grade(&near10, 11.0, &[]).0, Grade::Warn);
+        assert_eq!(grade(&near10, 13.0, &[]).0, Grade::Fail);
+        assert_eq!(
+            grade(&Check::Within { lo: 1.0, hi: 2.0 }, 1.5, &[]).0,
+            Grade::Pass
+        );
+        assert_eq!(
+            grade(&Check::Within { lo: 1.0, hi: 2.0 }, 2.1, &[]).0,
+            Grade::Fail
+        );
+        assert_eq!(grade(&Check::AtLeast(5.0), 5.0, &[]).0, Grade::Pass);
+        assert_eq!(grade(&Check::AtMost(5.0), 5.1, &[]).0, Grade::Fail);
+        assert_eq!(
+            grade(&Check::MaxInColumn, 6.0, &[3.0, 6.0, 5.0]).0,
+            Grade::Pass
+        );
+        assert_eq!(
+            grade(&Check::MaxInColumn, 5.0, &[3.0, 6.0, 5.0]).0,
+            Grade::Fail
+        );
+        assert_eq!(
+            grade(&Check::MinInColumn, 3.0, &[3.0, 6.0, 5.0]).0,
+            Grade::Pass
+        );
+        assert_eq!(grade(&near10, f64::NAN, &[]).0, Grade::Fail);
+    }
+
+    #[test]
+    fn expectation_ids_are_unique_and_artifacts_well_formed() {
+        let exps = expectations();
+        let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), exps.len(), "duplicate expectation id");
+        for e in &exps {
+            assert!(
+                e.id.starts_with(e.artifact),
+                "{} should be prefixed by its artifact {}",
+                e.id,
+                e.artifact
+            );
+            assert!(!e.pin.is_empty() && !e.what.is_empty());
+        }
+    }
+
+    #[test]
+    fn fmt_num_is_stable_and_trimmed() {
+        assert_eq!(fmt_num(3400.0), "3400");
+        assert_eq!(fmt_num(6.64), "6.64");
+        assert_eq!(fmt_num(0.0039), "0.0039");
+        assert_eq!(fmt_num(f64::NAN), "NaN");
+        assert_eq!(fmt_num(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn validate_dir_flags_empty_and_uncovered() {
+        let dir = std::env::temp_dir().join(format!("fiveg-expect-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let v = validate_dir(&dir);
+        assert_eq!(v.fails, 1, "empty dir is a FAIL");
+        std::fs::write(dir.join("mystery.txt"), "==== MYSTERY — x ====\n").expect("write");
+        let v = validate_dir(&dir);
+        assert_eq!(v.fails, 1);
+        assert!(v.report.contains("mystery.uncovered"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -105,14 +105,27 @@ pub fn ablation_blockage(seed: u64) -> Report {
             .collect();
         (
             mean(&sessions.iter().map(|s| s.stall_pct()).collect::<Vec<_>>()),
-            mean(&sessions.iter().map(|s| s.avg_norm_bitrate).collect::<Vec<_>>()),
+            mean(
+                &sessions
+                    .iter()
+                    .map(|s| s.avg_norm_bitrate)
+                    .collect::<Vec<_>>(),
+            ),
         )
     };
     let (stall_on, br_on) = run((0..16).map(|i| gen.lumos5g_trace(i)).collect());
     let (stall_off, br_off) = run((0..16).map(|i| gen.lumos5g_trace_no_blockage(i)).collect());
     let mut t = Table::new(vec!["blockage", "stall %", "bitrate"]);
-    t.row(vec!["on (default)".to_string(), f(stall_on, 2), f(br_on, 3)]);
-    t.row(vec!["off (pure LoS)".to_string(), f(stall_off, 2), f(br_off, 3)]);
+    t.row(vec![
+        "on (default)".to_string(),
+        f(stall_on, 2),
+        f(br_on, 3),
+    ]);
+    t.row(vec![
+        "off (pure LoS)".to_string(),
+        f(stall_off, 2),
+        f(br_off, 3),
+    ]);
     Report {
         id: "ablation-blockage",
         title: "Ablation: mmWave blockage vs ABR QoE (fastMPC)".into(),
@@ -137,7 +150,12 @@ pub fn ablation_pensieve(seed: u64) -> Report {
             .collect();
         (
             mean(&sessions.iter().map(|s| s.stall_pct()).collect::<Vec<_>>()),
-            mean(&sessions.iter().map(|s| s.avg_norm_bitrate).collect::<Vec<_>>()),
+            mean(
+                &sessions
+                    .iter()
+                    .map(|s| s.avg_norm_bitrate)
+                    .collect::<Vec<_>>(),
+            ),
         )
     };
     let mut on_4g = pensieve::train(&g4_train, &asset4, seed);
@@ -145,8 +163,16 @@ pub fn ablation_pensieve(seed: u64) -> Report {
     let (stall_4g_trained, br_4g_trained) = eval(&mut on_4g);
     let (stall_5g_trained, br_5g_trained) = eval(&mut on_5g);
     let mut t = Table::new(vec!["training corpus", "5G stall %", "5G bitrate"]);
-    t.row(vec!["4G traces (paper's setup)".to_string(), f(stall_4g_trained, 2), f(br_4g_trained, 3)]);
-    t.row(vec!["5G traces (hypothesis)".to_string(), f(stall_5g_trained, 2), f(br_5g_trained, 3)]);
+    t.row(vec![
+        "4G traces (paper's setup)".to_string(),
+        f(stall_4g_trained, 2),
+        f(br_4g_trained, 3),
+    ]);
+    t.row(vec![
+        "5G traces (hypothesis)".to_string(),
+        f(stall_5g_trained, 2),
+        f(br_5g_trained, 3),
+    ]);
     Report {
         id: "ablation-pensieve",
         title: "Ablation: Pensieve's training distribution vs 5G QoE".into(),

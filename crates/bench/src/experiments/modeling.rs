@@ -5,8 +5,8 @@
 use crate::report::{f, Report, Table};
 use fiveg_mlkit::dataset::Dataset;
 use fiveg_mlkit::tree::{DecisionTreeRegressor, TreeConfig};
-use fiveg_power::monitor::{Activity, HardwareMonitor, SoftwareMonitor};
 use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
+use fiveg_power::monitor::{Activity, HardwareMonitor, SoftwareMonitor};
 use fiveg_radio::band::Direction;
 use fiveg_radio::ue::UeModel;
 use fiveg_simcore::stats::mape;
@@ -45,7 +45,11 @@ pub fn fig15(seed: u64) -> Report {
     // predict it with the TH+SS model (stand-ins for the video/web runs).
     let campaign = WalkingCampaign::fig15_settings()[1];
     let train_samples = campaign.campaign(10, seed);
-    let train = to_dataset(&train_samples, campaign.network, PowerFeatures::ThroughputAndSignal);
+    let train = to_dataset(
+        &train_samples,
+        campaign.network,
+        PowerFeatures::ThroughputAndSignal,
+    );
     let model = DecisionTreeRegressor::fit(&train, &TreeConfig::default());
     let fresh = campaign.walk(99, seed, 10.0);
     let val = to_dataset(&fresh, campaign.network, PowerFeatures::ThroughputAndSignal);
@@ -99,7 +103,11 @@ pub fn table9(seed: u64) -> Report {
             let ratio = sw_trace.time_weighted_mean() / hw_trace.time_weighted_mean();
             cells.push(f(ratio * 100.0, 1));
         }
-        t.row(vec![activity.label().to_string(), cells[0].clone(), cells[1].clone()]);
+        t.row(vec![
+            activity.label().to_string(),
+            cells[0].clone(),
+            cells[1].clone(),
+        ]);
     }
     Report {
         id: "table9",
@@ -141,7 +149,11 @@ pub fn fig16(seed: u64) -> Report {
     let campaign = WalkingCampaign::fig15_settings()[1];
     let samples = campaign.campaign(10, seed);
     let thss = dtr_mape(
-        &to_dataset(&samples, campaign.network, PowerFeatures::ThroughputAndSignal),
+        &to_dataset(
+            &samples,
+            campaign.network,
+            PowerFeatures::ThroughputAndSignal,
+        ),
         seed,
     );
     t.row(vec!["TH+SS".to_string(), f(thss, 2)]);
@@ -170,8 +182,7 @@ pub fn fig16(seed: u64) -> Report {
             // content, scheduler bursts) — that is what makes calibration a
             // learning problem rather than a lookup.
             let true_fn = |t: f64| {
-                truth * (1.0 + 0.08 * (t * std::f64::consts::TAU / 7.3).sin())
-                    + sw.overhead_mw()
+                truth * (1.0 + 0.08 * (t * std::f64::consts::TAU / 7.3).sin()) + sw.overhead_mw()
             };
             let hw_trace = hw.record(true_fn, 60.0, &mut rng.fork("hw"));
             let sw_trace = sw.record(true_fn, *activity, 60.0, &mut rng.fork("sw"));

@@ -1,7 +1,9 @@
 //! §3 network-performance experiments: Figs 1–8, 23, 24.
 
 use crate::report::{f, Report, Table};
-use fiveg_geo::servers::{azure_regions, carrier_pool, default_ue_location, minnesota_pool, Carrier};
+use fiveg_geo::servers::{
+    azure_regions, carrier_pool, default_ue_location, minnesota_pool, Carrier,
+};
 use fiveg_geo::LatLon;
 use fiveg_probes::speedtest::{ConnMode, SpeedtestHarness};
 use fiveg_radio::band::{Band, Direction};
@@ -34,7 +36,13 @@ fn vz_lowband(seed: u64) -> SpeedtestHarness {
     harness(UeModel::GalaxyS20Ultra, Band::N5Dss, -85.0, false, seed)
 }
 fn vz_lte(seed: u64) -> SpeedtestHarness {
-    harness(UeModel::GalaxyS20Ultra, Band::LteMidBand, -82.0, false, seed)
+    harness(
+        UeModel::GalaxyS20Ultra,
+        Band::LteMidBand,
+        -82.0,
+        false,
+        seed,
+    )
 }
 fn tm_low(seed: u64, sa: bool) -> SpeedtestHarness {
     harness(UeModel::GalaxyS20Ultra, Band::N71, -85.0, sa, seed)
@@ -123,7 +131,12 @@ pub fn fig3(seed: u64) -> Report {
     Report {
         id: "fig3",
         title: "[Verizon mmWave] downlink throughput vs distance".into(),
-        body: throughput_vs_distance(&vz_mmwave(seed), Carrier::Verizon, Direction::Downlink, true),
+        body: throughput_vs_distance(
+            &vz_mmwave(seed),
+            Carrier::Verizon,
+            Direction::Downlink,
+            true,
+        ),
     }
 }
 
@@ -196,13 +209,24 @@ pub fn fig7(seed: u64) -> Report {
 pub fn fig8(seed: u64) -> Report {
     let h = harness(UeModel::Pixel5, Band::N261, -70.0, false, seed);
     let ue = default_ue_location();
-    let mut t = Table::new(vec!["region", "km", "UDP", "TCP-8", "1-TCP tuned", "1-TCP default"]);
+    let mut t = Table::new(vec![
+        "region",
+        "km",
+        "UDP",
+        "TCP-8",
+        "1-TCP tuned",
+        "1-TCP default",
+    ]);
     for s in azure_regions() {
         t.row(vec![
             s.name.clone(),
             f(s.distance_km(ue), 0),
             f(h.run(&s, Direction::Downlink, ConnMode::Udp, 3).p95_mbps, 0),
-            f(h.run(&s, Direction::Downlink, ConnMode::TcpN(8), REPEATS).p95_mbps, 0),
+            f(
+                h.run(&s, Direction::Downlink, ConnMode::TcpN(8), REPEATS)
+                    .p95_mbps,
+                0,
+            ),
             f(
                 h.run(&s, Direction::Downlink, ConnMode::SingleTuned, REPEATS)
                     .p95_mbps,

@@ -5,9 +5,9 @@ use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
 use fiveg_power::efficiency::{crossover_mbps, energy_efficiency_uj_per_bit};
 use fiveg_radio::band::Direction;
 use fiveg_radio::ue::UeModel;
+use fiveg_radio::Carrier;
 use fiveg_simcore::stats::{linear_fit, mean};
 use fiveg_traces::walking::{WalkingCampaign, WalkingSample};
-use fiveg_radio::Carrier;
 
 /// The controlled iPerf3 target sweep of §4.3, per network.
 fn sweep_targets(network: NetworkKind, dir: Direction) -> Vec<f64> {
@@ -67,7 +67,11 @@ pub fn fig11(_seed: u64) -> Report {
         title: "Throughput vs power, S20U: 4G vs low-band 5G vs mmWave 5G".into(),
         body: throughput_power_table(
             UeModel::GalaxyS20Ultra,
-            &[NetworkKind::MmWave, NetworkKind::LowBandNsa, NetworkKind::Lte],
+            &[
+                NetworkKind::MmWave,
+                NetworkKind::LowBandNsa,
+                NetworkKind::Lte,
+            ],
         ),
     }
 }
@@ -75,18 +79,22 @@ pub fn fig11(_seed: u64) -> Report {
 /// Fig 26/27: the S10 version (Ann Arbor) — power curves plus the Fig 27
 /// energy-efficiency series.
 pub fn fig26(_seed: u64) -> Report {
-    let mut body = throughput_power_table(
-        UeModel::GalaxyS10,
-        &[NetworkKind::MmWave, NetworkKind::Lte],
-    );
+    let mut body =
+        throughput_power_table(UeModel::GalaxyS10, &[NetworkKind::MmWave, NetworkKind::Lte]);
     // Fig 27: µJ/bit at log-spaced throughputs.
     let mm = DataPowerModel::lookup(UeModel::GalaxyS10, NetworkKind::MmWave);
     let lte = DataPowerModel::lookup(UeModel::GalaxyS10, NetworkKind::Lte);
     for dir in [Direction::Downlink, Direction::Uplink] {
         let mut t = Table::new(vec!["Mbps", "5G uJ/bit", "4G uJ/bit"]);
         for &p in &[1.0, 10.0, 100.0, 1000.0] {
-            let lte_max = sweep_targets(NetworkKind::Lte, dir).last().copied().expect("non-empty");
-            let mm_max = sweep_targets(NetworkKind::MmWave, dir).last().copied().expect("non-empty");
+            let lte_max = sweep_targets(NetworkKind::Lte, dir)
+                .last()
+                .copied()
+                .expect("non-empty");
+            let mm_max = sweep_targets(NetworkKind::MmWave, dir)
+                .last()
+                .copied()
+                .expect("non-empty");
             t.row(vec![
                 f(p, 0),
                 if p <= mm_max {
@@ -115,7 +123,12 @@ pub fn fig12(_seed: u64) -> Report {
     let ue = UeModel::GalaxyS20Ultra;
     let mut out = String::new();
     for dir in [Direction::Downlink, Direction::Uplink] {
-        let mut t = Table::new(vec!["Mbps", "mmWave uJ/bit", "low-band uJ/bit", "4G uJ/bit"]);
+        let mut t = Table::new(vec![
+            "Mbps",
+            "mmWave uJ/bit",
+            "low-band uJ/bit",
+            "4G uJ/bit",
+        ]);
         let points = [1.0, 3.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 2000.0];
         for &p in &points {
             let cell = |nk: NetworkKind| {
@@ -160,7 +173,12 @@ pub fn fig12(_seed: u64) -> Report {
 /// regression over the simulated sweeps (with measurement noise).
 pub fn table8(seed: u64) -> Report {
     let mut rng = fiveg_simcore::RngStream::new(seed, "table8");
-    let mut t = Table::new(vec!["device", "network", "DL mW/Mbps (truth)", "UL mW/Mbps (truth)"]);
+    let mut t = Table::new(vec![
+        "device",
+        "network",
+        "DL mW/Mbps (truth)",
+        "UL mW/Mbps (truth)",
+    ]);
     let settings = [
         (UeModel::GalaxyS10, NetworkKind::Lte),
         (UeModel::GalaxyS10, NetworkKind::MmWave),
@@ -220,7 +238,13 @@ pub fn fig13(seed: u64) -> Report {
         ),
     ] {
         let samples = campaign_samples(&campaign, seed);
-        let mut t = Table::new(vec!["RSRP bin dBm", "net", "n", "mean tput Mbps", "mean power W"]);
+        let mut t = Table::new(vec![
+            "RSRP bin dBm",
+            "net",
+            "n",
+            "mean tput Mbps",
+            "mean power W",
+        ]);
         for nk in [NetworkKind::MmWave, NetworkKind::LowBandNsa] {
             for bin_lo in (-110..-70).step_by(10) {
                 let in_bin: Vec<&WalkingSample> = samples

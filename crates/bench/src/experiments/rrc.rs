@@ -25,8 +25,7 @@ pub fn fig10(seed: u64) -> Report {
                 .iter()
                 .filter(|s| (s.interval_ms - g * 1e3).abs() < 1.0)
                 .collect();
-            let mean =
-                at.iter().map(|s| s.rtt_ms).sum::<f64>() / at.len().max(1) as f64;
+            let mean = at.iter().map(|s| s.rtt_ms).sum::<f64>() / at.len().max(1) as f64;
             let state = at.first().map(|s| s.state);
             let radio = at.first().map(|s| s.radio);
             t.row(vec![
@@ -88,7 +87,11 @@ pub fn table7(seed: u64) -> Report {
 /// monitor trace of the §4.1 promotion scenario.
 pub fn table2(seed: u64) -> Report {
     let hw = HardwareMonitor::default();
-    let mut t = Table::new(vec!["config", "tail mW (truth)", "4G->5G switch mW (truth)"]);
+    let mut t = Table::new(vec![
+        "config",
+        "tail mW (truth)",
+        "4G->5G switch mW (truth)",
+    ]);
     for config in RrcConfigId::all() {
         let profile = RrcProfile::for_config(config);
         let params = RrcPowerParams::for_config(config);
@@ -109,8 +112,7 @@ pub fn table2(seed: u64) -> Report {
         // Switch window measurement (NSA: between the 4G and 5G promos; SA:
         // the direct NR promotion window; DSS: the nominal sharing switch).
         let switch = params.switch_4g_to_5g_mw.and_then(|truth_mw| {
-            let (from_ms, to_ms) =
-                fiveg_power::rrcpower::switch_window_abs_ms(&profile)?;
+            let (from_ms, to_ms) = fiveg_power::rrcpower::switch_window_abs_ms(&profile)?;
             let from = SimTime::from_millis(from_ms as u64) + SimDuration::from_millis(5);
             let to = SimTime::from_millis(to_ms as u64);
             let measured = recorded.integrate_between(from, to) / to.since(from).as_secs_f64();
@@ -119,7 +121,9 @@ pub fn table2(seed: u64) -> Report {
         t.row(vec![
             config.label().to_string(),
             format!("{} ({})", f(tail, 0), f(params.tail_mw, 0)),
-            switch.map_or("N/A".to_string(), |(m, tr)| format!("{} ({})", f(m, 0), f(tr, 0))),
+            switch.map_or("N/A".to_string(), |(m, tr)| {
+                format!("{} ({})", f(m, 0), f(tr, 0))
+            }),
         ]);
     }
     Report {

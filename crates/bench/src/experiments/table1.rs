@@ -12,7 +12,8 @@ use fiveg_geo::servers::{azure_regions, carrier_pool, minnesota_pool, Carrier};
 pub fn table1(_seed: u64) -> Report {
     // Speedtest-style tests: Figs 1–7 (carrier pools × modes × repeats ×
     // bands), Fig 8 (Azure × 4 settings), Figs 23/24.
-    let carrier_servers = carrier_pool(Carrier::Verizon).len() + carrier_pool(Carrier::TMobile).len();
+    let carrier_servers =
+        carrier_pool(Carrier::Verizon).len() + carrier_pool(Carrier::TMobile).len();
     let unique_servers = carrier_servers + minnesota_pool().len() + azure_regions().len();
     let repeats = 6;
     let vz_tests = carrier_pool(Carrier::Verizon).len() * 3 /* bands */ * 2 /* modes */ * repeats
@@ -34,8 +35,14 @@ pub fn table1(_seed: u64) -> Report {
     let web_loads = 1500 * 2 * 8;
 
     let mut t = Table::new(vec!["dataset statistic", "value"]);
-    t.row(vec!["5G network performance tests".to_string(), perf_tests.to_string()]);
-    t.row(vec!["unique servers tested with".to_string(), unique_servers.to_string()]);
+    t.row(vec![
+        "5G network performance tests".to_string(),
+        perf_tests.to_string(),
+    ]);
+    t.row(vec![
+        "unique servers tested with".to_string(),
+        unique_servers.to_string(),
+    ]);
     t.row(vec![
         "cumulative measurement trace minutes".to_string(),
         f(perf_tests as f64 * 15.0 / 60.0 + walk_minutes, 0),
@@ -45,8 +52,14 @@ pub fn table1(_seed: u64) -> Report {
         f(power_minutes, 0),
     ]);
     t.row(vec!["total kilometres walked".to_string(), f(walk_km, 1)]);
-    t.row(vec!["# of web page load tests".to_string(), web_loads.to_string()]);
-    t.row(vec!["# of 5G smartphones (and models)".to_string(), "3 (3)".to_string()]);
+    t.row(vec![
+        "# of web page load tests".to_string(),
+        web_loads.to_string(),
+    ]);
+    t.row(vec![
+        "# of 5G smartphones (and models)".to_string(),
+        "3 (3)".to_string(),
+    ]);
     Report {
         id: "table1",
         title: "Statistics of the simulated measurement campaign".into(),

@@ -58,7 +58,12 @@ fn run_sessions(
 fn summarize(sessions: &[SessionResult]) -> (f64, f64, f64) {
     (
         mean(&sessions.iter().map(|s| s.stall_pct()).collect::<Vec<_>>()),
-        mean(&sessions.iter().map(|s| s.avg_norm_bitrate).collect::<Vec<_>>()),
+        mean(
+            &sessions
+                .iter()
+                .map(|s| s.avg_norm_bitrate)
+                .collect::<Vec<_>>(),
+        ),
         mean(&sessions.iter().map(|s| s.qoe).collect::<Vec<_>>()),
     )
 }
@@ -110,7 +115,11 @@ pub fn fig17(seed: u64) -> Report {
             f(br5, 3),
             f(stall4, 2),
             f(br4, 3),
-            if increase.is_finite() { f(increase, 0) } else { "inf".to_string() },
+            if increase.is_finite() {
+                f(increase, 0)
+            } else {
+                "inf".to_string()
+            },
         ]);
     }
     Report {
@@ -157,7 +166,11 @@ pub fn fig18a(seed: u64) -> Report {
         (
             "truthMPC",
             Box::new(|t: &BandwidthTrace| {
-                Mpc::with_predictor(Box::new(OraclePredictor::new(t.clone(), 8.0)), false, "truthMPC")
+                Mpc::with_predictor(
+                    Box::new(OraclePredictor::new(t.clone(), 8.0)),
+                    false,
+                    "truthMPC",
+                )
             }),
         ),
     ] {
@@ -205,17 +218,15 @@ pub fn fig18b(seed: u64) -> Report {
 pub fn fig18c_table4(seed: u64) -> Report {
     let c = corpora(seed);
     let asset = VideoAsset::five_g_default();
-    let four_g_avg = mean(
-        &c.g4_train
-            .iter()
-            .map(|t| t.mean_mbps())
-            .collect::<Vec<_>>(),
-    );
+    let four_g_avg = mean(&c.g4_train.iter().map(|t| t.mean_mbps()).collect::<Vec<_>>());
     let mut t = Table::new(vec!["scheme", "bitrate", "stall %", "energy J"]);
     for (name, cfg) in [
         ("5G-only MPC", IfSelectConfig::five_g_only()),
         ("5G-aware MPC", IfSelectConfig::aware(four_g_avg)),
-        ("5G-aware MPC NO", IfSelectConfig::aware_no_overhead(four_g_avg)),
+        (
+            "5G-aware MPC NO",
+            IfSelectConfig::aware_no_overhead(four_g_avg),
+        ),
     ] {
         let results: Vec<_> = c
             .g5_eval
@@ -226,7 +237,12 @@ pub fn fig18c_table4(seed: u64) -> Report {
                 stream_with_selection(&asset, t5, t4, &mut mpc, &cfg, &PlayerConfig::default())
             })
             .collect();
-        let stall = mean(&results.iter().map(|r| r.session.stall_pct()).collect::<Vec<_>>());
+        let stall = mean(
+            &results
+                .iter()
+                .map(|r| r.session.stall_pct())
+                .collect::<Vec<_>>(),
+        );
         let br = mean(
             &results
                 .iter()

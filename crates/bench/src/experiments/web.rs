@@ -24,8 +24,11 @@ pub fn fig19(seed: u64) -> Report {
     let mut out = String::new();
 
     let mut by_objects = Table::new(vec!["objects", "4G PLT s", "5G PLT s", "4G J", "5G J"]);
-    for (label_txt, lo, hi) in [("0-10", 0.0, 10.0), ("11-100", 11.0, 100.0), ("100-1000", 100.0, 1000.0)]
-    {
+    for (label_txt, lo, hi) in [
+        ("0-10", 0.0, 10.0),
+        ("11-100", 11.0, 100.0),
+        ("100-1000", 100.0, 1000.0),
+    ] {
         let bin: Vec<&SiteMeasurement> = ms
             .iter()
             .filter(|m| m.features[2] >= lo && m.features[2] <= hi)
@@ -35,16 +38,35 @@ pub fn fig19(seed: u64) -> Report {
         }
         by_objects.row(vec![
             label_txt.to_string(),
-            f(mean(&bin.iter().map(|m| m.lte.plt_s).collect::<Vec<_>>()), 2),
-            f(mean(&bin.iter().map(|m| m.mmwave.plt_s).collect::<Vec<_>>()), 2),
-            f(mean(&bin.iter().map(|m| m.lte.energy_j).collect::<Vec<_>>()), 2),
-            f(mean(&bin.iter().map(|m| m.mmwave.energy_j).collect::<Vec<_>>()), 2),
+            f(
+                mean(&bin.iter().map(|m| m.lte.plt_s).collect::<Vec<_>>()),
+                2,
+            ),
+            f(
+                mean(&bin.iter().map(|m| m.mmwave.plt_s).collect::<Vec<_>>()),
+                2,
+            ),
+            f(
+                mean(&bin.iter().map(|m| m.lte.energy_j).collect::<Vec<_>>()),
+                2,
+            ),
+            f(
+                mean(&bin.iter().map(|m| m.mmwave.energy_j).collect::<Vec<_>>()),
+                2,
+            ),
         ]);
     }
-    out.push_str(&format!("-- impact of # of objects --\n{}", by_objects.render()));
+    out.push_str(&format!(
+        "-- impact of # of objects --\n{}",
+        by_objects.render()
+    ));
 
     let mut by_size = Table::new(vec!["page size", "4G PLT s", "5G PLT s", "4G J", "5G J"]);
-    for (label_txt, lo, hi) in [("<1MB", 0.0, 1.0), ("1-10MB", 1.0, 10.0), (">10MB", 10.0, 1e9)] {
+    for (label_txt, lo, hi) in [
+        ("<1MB", 0.0, 1.0),
+        ("1-10MB", 1.0, 10.0),
+        (">10MB", 10.0, 1e9),
+    ] {
         let bin: Vec<&SiteMeasurement> = ms
             .iter()
             .filter(|m| m.features[5] >= lo && m.features[5] < hi)
@@ -54,13 +76,28 @@ pub fn fig19(seed: u64) -> Report {
         }
         by_size.row(vec![
             label_txt.to_string(),
-            f(mean(&bin.iter().map(|m| m.lte.plt_s).collect::<Vec<_>>()), 2),
-            f(mean(&bin.iter().map(|m| m.mmwave.plt_s).collect::<Vec<_>>()), 2),
-            f(mean(&bin.iter().map(|m| m.lte.energy_j).collect::<Vec<_>>()), 2),
-            f(mean(&bin.iter().map(|m| m.mmwave.energy_j).collect::<Vec<_>>()), 2),
+            f(
+                mean(&bin.iter().map(|m| m.lte.plt_s).collect::<Vec<_>>()),
+                2,
+            ),
+            f(
+                mean(&bin.iter().map(|m| m.mmwave.plt_s).collect::<Vec<_>>()),
+                2,
+            ),
+            f(
+                mean(&bin.iter().map(|m| m.lte.energy_j).collect::<Vec<_>>()),
+                2,
+            ),
+            f(
+                mean(&bin.iter().map(|m| m.mmwave.energy_j).collect::<Vec<_>>()),
+                2,
+            ),
         ]);
     }
-    out.push_str(&format!("-- impact of total page size --\n{}", by_size.render()));
+    out.push_str(&format!(
+        "-- impact of total page size --\n{}",
+        by_size.render()
+    ));
     Report {
         id: "fig19",
         title: "How page factors affect PLT and energy under 4G vs mmWave 5G".into(),
@@ -96,7 +133,14 @@ pub fn fig20(seed: u64) -> Report {
 pub fn fig21(seed: u64) -> Report {
     let ms = measurements(seed);
     let mut t = Table::new(vec!["PLT penalty %", "n sites", "energy saving %"]);
-    for (lo, hi) in [(0.0, 10.0), (10.0, 20.0), (20.0, 30.0), (30.0, 40.0), (40.0, 50.0), (50.0, 60.0)] {
+    for (lo, hi) in [
+        (0.0, 10.0),
+        (10.0, 20.0),
+        (20.0, 30.0),
+        (30.0, 40.0),
+        (40.0, 50.0),
+        (50.0, 60.0),
+    ] {
         let bin: Vec<&SiteMeasurement> = ms
             .iter()
             .filter(|m| {

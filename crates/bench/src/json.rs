@@ -244,8 +244,8 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                             .ok_or("truncated \\u escape".to_string())?;
                         let hex =
                             std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
                         // Manifests only emit control-character escapes, so
                         // plain BMP decoding (no surrogate pairs) suffices;
                         // lone surrogates map to the replacement character.
@@ -266,9 +266,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
         *pos += 1;
     }
     let text = std::str::from_utf8(&b[start..*pos]).expect("ascii digits");
@@ -344,7 +342,10 @@ mod tests {
             ("pi", Json::Num(0.1 + 0.2)),
             ("neg", Json::Num(-17.0)),
             ("none", Json::Null),
-            ("tags", Json::Arr(vec![Json::str("a\"b\\c\nd"), Json::Num(1e-9)])),
+            (
+                "tags",
+                Json::Arr(vec![Json::str("a\"b\\c\nd"), Json::Num(1e-9)]),
+            ),
             ("empty_arr", Json::Arr(vec![])),
             ("empty_obj", Json::Obj(vec![])),
         ]);
@@ -359,7 +360,10 @@ mod tests {
     #[test]
     fn parse_accepts_whitespace() {
         let v = Json::parse(" { \"a\" : [ 1 , 2 ] ,\n \"b\" : null } ").expect("parses");
-        assert_eq!(v.get("a").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
         assert_eq!(v.get("b"), Some(&Json::Null));
     }
 
@@ -382,7 +386,10 @@ mod tests {
         let v = Json::parse("{\"s\":\"x\",\"n\":4.25,\"a\":[true]}").expect("parses");
         assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
         assert_eq!(v.get("n").and_then(Json::as_f64), Some(4.25));
-        assert_eq!(v.get("a").and_then(Json::as_arr), Some(&[Json::Bool(true)][..]));
+        assert_eq!(
+            v.get("a").and_then(Json::as_arr),
+            Some(&[Json::Bool(true)][..])
+        );
         assert_eq!(v.get("missing"), None);
         assert_eq!(Json::Null.get("s"), None);
     }

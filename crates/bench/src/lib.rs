@@ -7,6 +7,7 @@
 //! `figures table2`, `figures all`); `EXPERIMENTS.md` records
 //! paper-vs-measured for each.
 
+pub mod expect;
 pub mod experiments;
 pub mod json;
 pub mod report;

@@ -438,10 +438,10 @@ impl ManifestEntry {
             .and_then(Json::as_str)
             .and_then(RunStatus::parse)
             .ok_or_else(|| format!("result `{id}` has a bad `status`"))?;
-        let attempts = v
-            .get("attempts")
-            .and_then(Json::as_f64)
-            .ok_or_else(|| format!("result `{id}` missing `attempts`"))? as u32;
+        let attempts =
+            v.get("attempts")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("result `{id}` missing `attempts`"))? as u32;
         let note = match v.get("note") {
             None | Some(Json::Null) => None,
             Some(Json::Str(s)) => Some(s.clone()),
@@ -599,16 +599,42 @@ pub fn parse_manifest(s: &str) -> Result<(u64, Option<String>, Vec<ManifestEntry
 }
 
 /// Writes `contents` to `path` atomically: write to a sibling temp file,
-/// flush, then rename over the target. A kill at any point leaves either
-/// the old file or the new one — never a truncated hybrid.
+/// flush, rename over the target, then sync the parent directory so the
+/// rename itself survives a crash. A kill at any point leaves either the
+/// old file or the new one — never a truncated hybrid.
+///
+/// The temp name is the *full* file name plus a `.tmp` suffix
+/// (`a.json` → `a.json.tmp`), never `with_extension` — swapping the
+/// extension collides for artifacts sharing a stem (`a.json` / `a.txt`
+/// both mapped to `a.tmp`), which corrupts concurrent `--jobs N` writes.
 pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("write_atomic: no file name in {}", path.display()),
+        )
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
     {
         let mut f = std::fs::File::create(&tmp)?;
         f.write_all(contents.as_bytes())?;
         f.sync_all()?;
     }
-    std::fs::rename(&tmp, path)
+    std::fs::rename(&tmp, path)?;
+    // fsync the directory entry: rename durability is a property of the
+    // parent directory, not the file (the crash-consistency contract of
+    // `--resume` depends on the renamed manifest actually being there).
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -871,7 +897,10 @@ mod tests {
         // The perf fields never leak into the persisted manifest row.
         let rendered = entry.to_json().render();
         assert!(!rendered.contains("wall_s"), "manifest row: {rendered}");
-        assert!(!rendered.contains("events_per_s"), "manifest row: {rendered}");
+        assert!(
+            !rendered.contains("events_per_s"),
+            "manifest row: {rendered}"
+        );
     }
 
     #[test]
@@ -901,7 +930,10 @@ mod tests {
         assert_eq!(results.len(), 3);
         assert_eq!(results[1].get("resumed"), Some(&Json::Bool(true)));
         // events/sec for row c: 200 / 3.0.
-        let eps = results[2].get("events_per_s").and_then(Json::as_f64).unwrap();
+        let eps = results[2]
+            .get("events_per_s")
+            .and_then(Json::as_f64)
+            .unwrap();
         assert!((eps - 200.0 / 3.0).abs() < 1e-12);
     }
 
@@ -922,8 +954,54 @@ mod tests {
         write_atomic(&path, "first").expect("write");
         write_atomic(&path, "second").expect("overwrite");
         assert_eq!(std::fs::read_to_string(&path).expect("read"), "second");
-        assert!(!path.with_extension("tmp").exists(), "tmp cleaned up");
+        assert!(!path.with_extension("tmp").exists(), "old tmp name unused");
+        assert!(
+            !dir.join("manifest.json.tmp").exists(),
+            "suffixed tmp cleaned up"
+        );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_same_stem_concurrent_writes_do_not_collide() {
+        // Regression: `path.with_extension("tmp")` mapped `exp.json` and
+        // `exp.txt` to the SAME temp file, so two workers writing the two
+        // artifacts concurrently could rename each other's half-written
+        // bytes into place (or fail the rename outright). The suffixed
+        // temp name keeps the pair disjoint; hammer it to be sure.
+        let dir = std::env::temp_dir().join(format!(
+            "fiveg-atomic-stem-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let json = dir.join("exp.json");
+        let txt = dir.join("exp.txt");
+        std::thread::scope(|scope| {
+            let j = scope.spawn(|| {
+                for _ in 0..200 {
+                    write_atomic(&json, "json-contents").expect("json write");
+                }
+            });
+            let t = scope.spawn(|| {
+                for _ in 0..200 {
+                    write_atomic(&txt, "txt-contents").expect("txt write");
+                }
+            });
+            j.join().expect("json thread");
+            t.join().expect("txt thread");
+        });
+        assert_eq!(
+            std::fs::read_to_string(&json).expect("json"),
+            "json-contents"
+        );
+        assert_eq!(std::fs::read_to_string(&txt).expect("txt"), "txt-contents");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_rejects_pathless_targets() {
+        assert!(write_atomic(Path::new("/"), "x").is_err());
     }
 
     #[test]

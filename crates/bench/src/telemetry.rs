@@ -226,7 +226,14 @@ pub fn summary(total: &AttemptTelemetry, runner: &RunnerStats) -> String {
     if !total.hists.is_empty() {
         out.push_str("\n-- Histograms (bucket-estimated quantiles) --\n");
         let mut t = Table::new(vec![
-            "histogram", "count", "mean", "p50", "p90", "p99", "min", "max",
+            "histogram",
+            "count",
+            "mean",
+            "p50",
+            "p90",
+            "p99",
+            "min",
+            "max",
         ]);
         for (name, h) in &total.hists {
             t.row(vec![
@@ -264,7 +271,10 @@ pub fn summary(total: &AttemptTelemetry, runner: &RunnerStats) -> String {
     for (w, busy) in runner.worker_busy_s.iter().enumerate() {
         t.row(vec![format!("runner/worker/{w}"), f(*busy, 3)]);
     }
-    t.row(vec!["runner/campaign".to_string(), f(runner.campaign_wall_s, 3)]);
+    t.row(vec![
+        "runner/campaign".to_string(),
+        f(runner.campaign_wall_s, 3),
+    ]);
     out.push_str(&t.render());
     if !runner.worker_busy_s.is_empty() && runner.campaign_wall_s > 0.0 {
         let busy: f64 = runner.worker_busy_s.iter().sum();
@@ -365,7 +375,9 @@ mod tests {
         assert_eq!(events[1].get("ph").and_then(Json::as_str), Some("e"));
         assert_eq!(events[1].get("ts").and_then(Json::as_f64), Some(2.5e6));
         assert_eq!(
-            v.get("otherData").and_then(|o| o.get("experiment")).and_then(Json::as_str),
+            v.get("otherData")
+                .and_then(|o| o.get("experiment"))
+                .and_then(Json::as_str),
             Some("fig9")
         );
     }

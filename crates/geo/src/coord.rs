@@ -1,6 +1,5 @@
 //! Latitude/longitude coordinates and great-circle distance.
 
-
 /// Mean Earth radius in kilometres.
 pub const EARTH_RADIUS_KM: f64 = 6371.0;
 
@@ -20,7 +19,10 @@ impl LatLon {
     /// Panics if the latitude is outside `[-90, 90]` or the longitude is
     /// outside `[-180, 180]`.
     pub fn new(lat: f64, lon: f64) -> Self {
-        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
+        assert!(
+            (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
         assert!(
             (-180.0..=180.0).contains(&lon),
             "longitude out of range: {lon}"

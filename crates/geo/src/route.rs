@@ -6,7 +6,6 @@
 //! plane centred on the campaign city; tower placement (in `fiveg-radio`)
 //! uses the same frame.
 
-
 /// A point in the local metric frame, in metres.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {

@@ -198,7 +198,9 @@ mod tests {
     fn carrier_pool_covers_every_metro() {
         let pool = carrier_pool(Carrier::Verizon);
         assert_eq!(pool.len(), METROS.len());
-        assert!(pool.iter().all(|s| matches!(s.host, ServerHost::Carrier(Carrier::Verizon))));
+        assert!(pool
+            .iter()
+            .all(|s| matches!(s.host, ServerHost::Carrier(Carrier::Verizon))));
     }
 
     #[test]
@@ -216,7 +218,10 @@ mod tests {
     fn minnesota_pool_matches_fig24_structure() {
         let pool = minnesota_pool();
         assert_eq!(pool.len(), 37);
-        assert!(matches!(pool[0].host, ServerHost::Carrier(Carrier::Verizon)));
+        assert!(matches!(
+            pool[0].host,
+            ServerHost::Carrier(Carrier::Verizon)
+        ));
         assert_eq!(pool[0].cap_mbps, None);
         let capped_2g = pool.iter().filter(|s| s.cap_mbps == Some(2000.0)).count();
         let capped_1g = pool.iter().filter(|s| s.cap_mbps == Some(1000.0)).count();

@@ -74,13 +74,7 @@ impl GbdtRegressor {
 
     /// Predicts one row.
     pub fn predict(&self, row: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(row))
-                    .sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(row)).sum::<f64>()
     }
 
     /// Predicts every row of `data`.

@@ -10,12 +10,7 @@
 pub fn accuracy(actual: &[usize], predicted: &[usize]) -> f64 {
     assert_eq!(actual.len(), predicted.len(), "accuracy: length mismatch");
     assert!(!actual.is_empty(), "accuracy: empty inputs");
-    actual
-        .iter()
-        .zip(predicted)
-        .filter(|(a, p)| a == p)
-        .count() as f64
-        / actual.len() as f64
+    actual.iter().zip(predicted).filter(|(a, p)| a == p).count() as f64 / actual.len() as f64
 }
 
 /// Confusion counts for a binary problem: `(tp, fp, tn, fn)` with class 1

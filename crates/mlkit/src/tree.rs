@@ -73,7 +73,11 @@ impl Tree {
                     right,
                     ..
                 } => {
-                    idx = if row[*feature] < *threshold { *left } else { *right };
+                    idx = if row[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -98,7 +102,10 @@ impl Tree {
     fn importances(&self) -> Vec<f64> {
         let mut imp = vec![0.0; self.n_features];
         for idx in self.reachable() {
-            if let Node::Split { feature, gain, n, .. } = &self.nodes[idx] {
+            if let Node::Split {
+                feature, gain, n, ..
+            } = &self.nodes[idx]
+            {
                 imp[*feature] += gain * *n as f64;
             }
         }
@@ -207,7 +214,11 @@ impl Criterion for GiniCriterion {
             *counts.entry(t as i64).or_insert(0usize) += 1;
         }
         let n = targets.len() as f64;
-        let gini = 1.0 - counts.values().map(|&c| (c as f64 / n).powi(2)).sum::<f64>();
+        let gini = 1.0
+            - counts
+                .values()
+                .map(|&c| (c as f64 / n).powi(2))
+                .sum::<f64>();
         gini * n
     }
 }
@@ -312,7 +323,11 @@ fn prune(tree: &mut Tree, val: &Dataset, classify: bool) {
                     right,
                     ..
                 } => {
-                    idx = if row[*feature] < *threshold { *left } else { *right };
+                    idx = if row[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                     path.push(idx);
                 }
             }
@@ -333,7 +348,14 @@ fn prune(tree: &mut Tree, val: &Dataset, classify: bool) {
     loop {
         let mut changed = false;
         for idx in (0..tree.nodes.len()).rev() {
-            let Node::Split { left, right, fallback, n, .. } = tree.nodes[idx].clone() else {
+            let Node::Split {
+                left,
+                right,
+                fallback,
+                n,
+                ..
+            } = tree.nodes[idx].clone()
+            else {
                 continue;
             };
             // Only prune nodes whose children are both leaves (bottom-up).
@@ -377,7 +399,11 @@ impl Tree {
                     right,
                     ..
                 } => {
-                    idx = if row[*feature] < *threshold { *left } else { *right };
+                    idx = if row[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -600,10 +626,16 @@ mod tests {
             ..TreeConfig::default()
         };
         let model = DecisionTreeRegressor::fit(&data, &cfg);
-        assert!(model.min_leaf_samples() >= 20, "{}", model.min_leaf_samples());
+        assert!(
+            model.min_leaf_samples() >= 20,
+            "{}",
+            model.min_leaf_samples()
+        );
         let splits = model.splits();
         assert!(!splits.is_empty());
-        assert!(splits.iter().all(|s| s.feature == "x" || s.feature == "noise"));
+        assert!(splits
+            .iter()
+            .all(|s| s.feature == "x" || s.feature == "noise"));
     }
 
     fn xor_dataset(n: usize, seed: u64) -> Dataset {

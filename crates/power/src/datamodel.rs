@@ -204,10 +204,7 @@ mod tests {
         ] {
             let m = DataPowerModel::lookup(ue, nk);
             let ratio = m.uplink.slope_mw_per_mbps / m.downlink.slope_mw_per_mbps;
-            assert!(
-                (2.0..=6.0).contains(&ratio),
-                "{ue:?}/{nk:?} ratio {ratio}"
-            );
+            assert!((2.0..=6.0).contains(&ratio), "{ue:?}/{nk:?} ratio {ratio}");
         }
     }
 

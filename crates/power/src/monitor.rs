@@ -141,9 +141,13 @@ impl HardwareMonitor {
             if let Some(since) = dropped_since.take() {
                 // The sampling loop comes back after the dropout window:
                 // note the resync and the gap it leaves in the trace.
-                recovery::record(RecoveryKind::MonitorResync, t, 1.0 / self.rate_hz, t - since, || {
-                    format!("hw monitor gap of {:.3}s", t - since)
-                });
+                recovery::record(
+                    RecoveryKind::MonitorResync,
+                    t,
+                    1.0 / self.rate_hz,
+                    t - since,
+                    || format!("hw monitor gap of {:.3}s", t - since),
+                );
             }
             let v = (truth(t) * (1.0 + rng.normal(0.0, self.noise_frac))).max(0.0);
             telemetry::count("power/sample", 1);
@@ -241,9 +245,13 @@ impl SoftwareMonitor {
                 continue;
             }
             if let Some(since) = dropped_since.take() {
-                recovery::record(RecoveryKind::MonitorResync, t, 1.0 / self.rate_hz, t - since, || {
-                    format!("sw monitor gap of {:.3}s", t - since)
-                });
+                recovery::record(
+                    RecoveryKind::MonitorResync,
+                    t,
+                    1.0 / self.rate_hz,
+                    t - since,
+                    || format!("sw monitor gap of {:.3}s", t - since),
+                );
             }
             let v = (truth(t) * ratio * (1.0 + rng.normal(0.0, noise))).max(0.0);
             telemetry::count("power/sample", 1);
@@ -311,8 +319,10 @@ mod tests {
     #[test]
     fn sampling_rate_controls_trace_density() {
         let mut rng = RngStream::new(3, "sw");
-        let t1 = SoftwareMonitor::new(1.0).record(|_| 100.0, Activity::IdleScreenOn, 10.0, &mut rng);
-        let t10 = SoftwareMonitor::new(10.0).record(|_| 100.0, Activity::IdleScreenOn, 10.0, &mut rng);
+        let t1 =
+            SoftwareMonitor::new(1.0).record(|_| 100.0, Activity::IdleScreenOn, 10.0, &mut rng);
+        let t10 =
+            SoftwareMonitor::new(10.0).record(|_| 100.0, Activity::IdleScreenOn, 10.0, &mut rng);
         assert_eq!(t1.len(), 10);
         assert_eq!(t10.len(), 100);
     }

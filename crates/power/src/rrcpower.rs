@@ -84,7 +84,10 @@ pub fn periodic_traffic_energy_mj(
     period_s: f64,
     duration_s: f64,
 ) -> f64 {
-    assert!(period_s > 0.0 && duration_s > 0.0, "positive times required");
+    assert!(
+        period_s > 0.0 && duration_s > 0.0,
+        "positive times required"
+    );
     const BURST_S: f64 = 0.1;
     const ACTIVE_BURST_MW: f64 = 1_600.0;
     let tti_s = profile.time_to_idle_ms() / 1e3;
@@ -117,8 +120,7 @@ pub fn periodic_traffic_energy_mj(
             params.promo_mw
         };
         cycle += promo_mw * promo_s;
-        if let (Some((from, to)), Some(sw)) =
-            (switch_window_ms(profile), params.switch_4g_to_5g_mw)
+        if let (Some((from, to)), Some(sw)) = (switch_window_ms(profile), params.switch_4g_to_5g_mw)
         {
             if !profile.standalone {
                 cycle += sw * (to - from) / 1e3;
@@ -231,7 +233,11 @@ pub fn promotion_scenario_trace(profile: &RrcProfile, params: &RrcPowerParams) -
         let mean = params.state_power_mw(state);
         let phase = (idle_for / drx).fract();
         let wave = if phase < 0.5 { 1.8 } else { 0.2 };
-        let mw = if state == RrcState::Idle { mean } else { mean * wave };
+        let mw = if state == RrcState::Idle {
+            mean
+        } else {
+            mean * wave
+        };
         push(t, mw);
         t += 1.0;
     }
@@ -304,7 +310,9 @@ mod tests {
             RrcConfigId::VzNsaMmWave,
             RrcConfigId::TmNsaLowBand,
         ] {
-            let p = RrcPowerParams::for_config(nsa).switch_4g_to_5g_mw.expect("NSA defined");
+            let p = RrcPowerParams::for_config(nsa)
+                .switch_4g_to_5g_mw
+                .expect("NSA defined");
             assert!(sa < p / 2.0, "SA {sa} vs NSA {p}");
         }
     }
@@ -383,7 +391,10 @@ mod periodic_tests {
         // Very sparse traffic approaches pure idle cost.
         let sparse = energy(RrcConfigId::Vz4g, 300.0);
         let idle_floor = RrcPowerParams::for_config(RrcConfigId::Vz4g).idle_mw * 600.0;
-        assert!(sparse < 4.0 * idle_floor, "sparse {sparse:.0} vs idle {idle_floor:.0}");
+        assert!(
+            sparse < 4.0 * idle_floor,
+            "sparse {sparse:.0} vs idle {idle_floor:.0}"
+        );
     }
 
     #[test]

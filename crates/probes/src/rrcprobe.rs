@@ -394,6 +394,11 @@ mod tests {
         let (_, nsa) = probe(RrcConfigId::VzNsaLowBand);
         let (_, lte) = probe(RrcConfigId::Vz4g);
         let rel = (nsa.tail_ms - lte.tail_ms).abs() / lte.tail_ms;
-        assert!(rel < 0.05, "NSA tail {} vs 4G tail {}", nsa.tail_ms, lte.tail_ms);
+        assert!(
+            rel < 0.05,
+            "NSA tail {} vs 4G tail {}",
+            nsa.tail_ms,
+            lte.tail_ms
+        );
     }
 }

@@ -190,7 +190,12 @@ mod tests {
         let (local, far) = local_and_far();
         let near = h.run(&local, Direction::Downlink, ConnMode::SingleTuned, 5);
         let far = h.run(&far, Direction::Downlink, ConnMode::SingleTuned, 5);
-        assert!(near.p95_mbps > 1.5 * far.p95_mbps, "{} vs {}", near.p95_mbps, far.p95_mbps);
+        assert!(
+            near.p95_mbps > 1.5 * far.p95_mbps,
+            "{} vs {}",
+            near.p95_mbps,
+            far.p95_mbps
+        );
     }
 
     #[test]
@@ -198,7 +203,11 @@ mod tests {
         let h = harness(UeModel::GalaxyS20Ultra);
         let (local, _) = local_and_far();
         let r = h.run(&local, Direction::Uplink, ConnMode::Multi, 5);
-        assert!((180.0..240.0).contains(&r.p95_mbps), "Fig 4: {}", r.p95_mbps);
+        assert!(
+            (180.0..240.0).contains(&r.p95_mbps),
+            "Fig 4: {}",
+            r.p95_mbps
+        );
     }
 
     #[test]
@@ -206,7 +215,11 @@ mod tests {
         let h = harness(UeModel::Pixel5);
         let (local, _) = local_and_far();
         let r = h.run(&local, Direction::Downlink, ConnMode::Udp, 3);
-        assert!((2_100.0..2_250.0).contains(&r.p95_mbps), "Fig 23: {}", r.p95_mbps);
+        assert!(
+            (2_100.0..2_250.0).contains(&r.p95_mbps),
+            "Fig 23: {}",
+            r.p95_mbps
+        );
     }
 
     #[test]

@@ -11,7 +11,6 @@
 //! Capacities and radio latencies here are the calibrated constants that
 //! drive the §3 reproductions; see `EXPERIMENTS.md` for paper-vs-measured.
 
-
 /// Transfer direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {

@@ -137,7 +137,10 @@ mod tests {
     #[test]
     fn stationary_is_even_more_los() {
         let frac = run_fraction_blocked(0.0, 2);
-        assert!(frac < run_fraction_blocked(1.33, 2), "mobility increases blockage");
+        assert!(
+            frac < run_fraction_blocked(1.33, 2),
+            "mobility increases blockage"
+        );
         assert!(frac < 0.22, "stationary blocked fraction {frac}");
     }
 

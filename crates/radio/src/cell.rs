@@ -79,7 +79,12 @@ impl NetworkLayout {
     /// fault plane's cell-outage windows. Always false when no plane is
     /// installed, so the default path costs one thread-local load.
     pub fn tower_out(&self, tower: &Tower, t_s: f64) -> bool {
-        faults::targets(FaultKind::CellOutage, t_s, tower.id, self.towers.len() as u64)
+        faults::targets(
+            FaultKind::CellOutage,
+            t_s,
+            tower.id,
+            self.towers.len() as u64,
+        )
     }
 
     /// The strongest tower satisfying `filter`, with its RSRP, or `None` if
@@ -158,7 +163,10 @@ impl NetworkLayout {
             let ahead = route.position_at((s + 10.0).min(route.length_m()));
             let (dx, dy) = (ahead.x - p.x, ahead.y - p.y);
             let len = (dx * dx + dy * dy).sqrt().max(1e-9);
-            let pos = Point::new(p.x - dy / len * offset_m * side, p.y + dx / len * offset_m * side);
+            let pos = Point::new(
+                p.x - dy / len * offset_m * side,
+                p.y + dx / len * offset_m * side,
+            );
             out.push(make(*next_id, pos));
             *next_id += 1;
             side = -side;
@@ -266,12 +274,23 @@ mod tests {
     #[test]
     fn drive_corridor_has_expected_densities() {
         let layout = NetworkLayout::tmobile_drive_corridor(1);
-        let lte = layout.towers.iter().filter(|t| t.tech() == RadioTech::Lte).count();
-        let nr = layout.towers.iter().filter(|t| t.tech() == RadioTech::Nr).count();
+        let lte = layout
+            .towers
+            .iter()
+            .filter(|t| t.tech() == RadioTech::Lte)
+            .count();
+        let nr = layout
+            .towers
+            .iter()
+            .filter(|t| t.tech() == RadioTech::Nr)
+            .count();
         assert!((26..=32).contains(&lte), "LTE towers: {lte}");
         assert!((11..=14).contains(&nr), "n71 towers: {nr}");
         let sa = layout.towers.iter().filter(|t| t.supports_sa).count();
-        assert!(sa < nr && sa > nr / 2, "a strict subset is SA-capable: {sa}/{nr}");
+        assert!(
+            sa < nr && sa > nr / 2,
+            "a strict subset is SA-capable: {sa}/{nr}"
+        );
     }
 
     #[test]
@@ -282,7 +301,9 @@ mod tests {
         while t < m.duration_s() {
             let p = m.position_at(t);
             assert!(
-                layout.best_cell(p, false, |tw| tw.tech() == RadioTech::Lte).is_some(),
+                layout
+                    .best_cell(p, false, |tw| tw.tech() == RadioTech::Lte)
+                    .is_some(),
                 "LTE hole at t={t}"
             );
             assert!(
@@ -320,7 +341,10 @@ mod tests {
             t += 10.0;
         }
         let frac = covered as f64 / total as f64;
-        assert!(frac < 0.8, "blocked mmWave coverage should be spotty: {frac}");
+        assert!(
+            frac < 0.8,
+            "blocked mmWave coverage should be spotty: {frac}"
+        );
     }
 
     #[test]
@@ -339,7 +363,9 @@ mod tests {
     fn best_cell_respects_filter() {
         let layout = NetworkLayout::tmobile_drive_corridor(5);
         let p = Point::new(500.0, 0.0);
-        let (idx, _) = layout.best_cell(p, false, |t| t.supports_sa).expect("SA coverage");
+        let (idx, _) = layout
+            .best_cell(p, false, |t| t.supports_sa)
+            .expect("SA coverage");
         assert!(layout.towers[idx].supports_sa);
     }
 }

@@ -377,7 +377,9 @@ pub fn simulate_drive(
         let mut anchor_changed = false;
         if lte_enabled {
             let had = st.lte.serving;
-            let changed = st.lte.step(layout, p, t, cfg, |tw| tw.tech() == RadioTech::Lte);
+            let changed = st
+                .lte
+                .step(layout, p, t, cfg, |tw| tw.tech() == RadioTech::Lte);
             if changed && booted {
                 anchor_changed = st.lte.serving.is_some() && had.is_some();
                 if st.active == Some(ActiveRadio::Lte) && anchor_changed {
@@ -397,7 +399,10 @@ pub fn simulate_drive(
         let nr_changed = st.nr.step(layout, p, t, cfg, nr_filter);
         if nr_changed
             && booted
-            && matches!(st.active, Some(ActiveRadio::NsaNr) | Some(ActiveRadio::SaNr))
+            && matches!(
+                st.active,
+                Some(ActiveRadio::NsaNr) | Some(ActiveRadio::SaNr)
+            )
             && st.nr.serving.is_some()
             && had_nr.is_some()
         {
@@ -450,10 +455,9 @@ pub fn simulate_drive(
                     r > cfg.nr_add_dbm
                 }
             });
-        let sa_available =
-            sa_enabled && nr_supports_sa == Some(true) && nr_rsrp.is_some();
-        let sa_preferred = sa_available
-            && (!lte_enabled || nr_rsrp.is_some_and(|r| r > cfg.sa_prefer_dbm));
+        let sa_available = sa_enabled && nr_supports_sa == Some(true) && nr_rsrp.is_some();
+        let sa_preferred =
+            sa_available && (!lte_enabled || nr_rsrp.is_some_and(|r| r > cfg.sa_prefer_dbm));
 
         let mut desired = if nsa_available {
             Some(ActiveRadio::NsaNr)

@@ -87,7 +87,11 @@ pub fn path_loss_db(band: Band, distance_m: f64, blocked: bool) -> f64 {
     let class = band.class();
     band_tables().fspl_1m_db[band.index()]
         + 10.0 * path_loss_exponent(class) * d.log10()
-        + if blocked { blockage_loss_db(class) } else { 0.0 }
+        + if blocked {
+            blockage_loss_db(class)
+        } else {
+            0.0
+        }
 }
 
 /// [`path_loss_db`] computed from scratch, bypassing the per-band lookup
@@ -98,7 +102,11 @@ pub fn path_loss_db_uncached(band: Band, distance_m: f64, blocked: bool) -> f64 
     let class = band.class();
     fspl_1m_db(band.frequency_ghz())
         + 10.0 * path_loss_exponent(class) * d.log10()
-        + if blocked { blockage_loss_db(class) } else { 0.0 }
+        + if blocked {
+            blockage_loss_db(class)
+        } else {
+            0.0
+        }
 }
 
 /// RSRP in dBm at `distance_m` from the tower, before shadowing, clamped to
@@ -250,7 +258,10 @@ mod tests {
         let blocked = rsrp_dbm(Band::N261, 150.0, true);
         assert!((open - blocked - 30.0).abs() < 1e-9);
         assert!(open > BandClass::MmWave.rsrp_floor_dbm(), "usable when LoS");
-        assert!(blocked < BandClass::MmWave.rsrp_floor_dbm(), "dead when blocked");
+        assert!(
+            blocked < BandClass::MmWave.rsrp_floor_dbm(),
+            "dead when blocked"
+        );
     }
 
     #[test]
@@ -296,7 +307,9 @@ mod tests {
             f.sample_db(3, BandClass::LowBand, p)
         );
         let nearby = Point::new(124.0, 456.0);
-        let dv = (f.sample_db(3, BandClass::LowBand, p) - f.sample_db(3, BandClass::LowBand, nearby)).abs();
+        let dv = (f.sample_db(3, BandClass::LowBand, p)
+            - f.sample_db(3, BandClass::LowBand, nearby))
+        .abs();
         assert!(dv < 2.0, "1 m apart must be correlated, delta {dv}");
     }
 
@@ -362,8 +375,14 @@ mod tests {
         }
         for &p in points.iter().rev() {
             let reference = warm.sample_db_uncached(3, BandClass::MmWave, p);
-            assert_eq!(warm.sample_db(3, BandClass::MmWave, p).to_bits(), reference.to_bits());
-            assert_eq!(cold.sample_db(3, BandClass::MmWave, p).to_bits(), reference.to_bits());
+            assert_eq!(
+                warm.sample_db(3, BandClass::MmWave, p).to_bits(),
+                reference.to_bits()
+            );
+            assert_eq!(
+                cold.sample_db(3, BandClass::MmWave, p).to_bits(),
+                reference.to_bits()
+            );
         }
     }
 
@@ -404,9 +423,8 @@ mod tests {
             })
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64)
-            .sqrt();
+        let std =
+            (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64).sqrt();
         assert!((std - 8.0).abs() < 1.5, "σ ≈ 8 dB for mmWave, got {std}");
     }
 }

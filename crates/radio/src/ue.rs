@@ -102,7 +102,8 @@ mod tests {
 
     #[test]
     fn ca_advantage_shows_in_caps() {
-        let s20 = UeModel::GalaxyS20Ultra.max_throughput_mbps(BandClass::MmWave, Direction::Downlink);
+        let s20 =
+            UeModel::GalaxyS20Ultra.max_throughput_mbps(BandClass::MmWave, Direction::Downlink);
         let px5 = UeModel::Pixel5.max_throughput_mbps(BandClass::MmWave, Direction::Downlink);
         // Fig 23: S20U improves DL by 50-60% over PX5.
         let gain = s20 / px5 - 1.0;

@@ -241,7 +241,10 @@ mod tests {
         let d = m.on_packet(20_000.0);
         assert_eq!(d.state, RrcState::Idle);
         assert!(d.delay_ms >= 190.0, "at least the 4G promotion");
-        assert!(d.delay_ms <= 190.0 + 1_300.0, "plus at most one paging cycle");
+        assert!(
+            d.delay_ms <= 190.0 + 1_300.0,
+            "plus at most one paging cycle"
+        );
         assert_eq!(d.radio, BandClass::Lte);
     }
 

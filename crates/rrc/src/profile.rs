@@ -278,7 +278,10 @@ mod tests {
             RrcProfile::for_config(RrcConfigId::VzNsaLowBand).time_to_idle_ms(),
             18_800.0
         );
-        assert_eq!(RrcProfile::for_config(RrcConfigId::Tm4g).time_to_idle_ms(), 5_000.0);
+        assert_eq!(
+            RrcProfile::for_config(RrcConfigId::Tm4g).time_to_idle_ms(),
+            5_000.0
+        );
     }
 
     #[test]

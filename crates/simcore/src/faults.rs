@@ -128,12 +128,18 @@ impl FaultScenario {
 
     /// Looks up `kind`'s process.
     pub fn process(&self, kind: FaultKind) -> &FaultProcess {
-        let idx = FaultKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL");
+        let idx = FaultKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind in ALL");
         &self.processes[idx]
     }
 
     fn with(mut self, kind: FaultKind, p: FaultProcess) -> FaultScenario {
-        let idx = FaultKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL");
+        let idx = FaultKind::ALL
+            .iter()
+            .position(|k| *k == kind)
+            .expect("kind in ALL");
         self.processes[idx] = p;
         self
     }
@@ -619,8 +625,13 @@ mod tests {
             .clone();
         let mid = e.start_s + e.duration_s / 2.0;
         let n = 40u64;
-        let hit = (0..n).filter(|&id| s.targets(FaultKind::CellOutage, mid, id, n)).count();
+        let hit = (0..n)
+            .filter(|&id| s.targets(FaultKind::CellOutage, mid, id, n))
+            .count();
         assert!(hit >= 1, "exactly the selected tower(s) are down");
-        assert!(!s.targets(FaultKind::CellOutage, mid, 0, 0), "n=0 never targets");
+        assert!(
+            !s.targets(FaultKind::CellOutage, mid, 0, 0),
+            "n=0 never targets"
+        );
     }
 }

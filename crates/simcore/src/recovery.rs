@@ -178,7 +178,12 @@ pub fn record(
 /// Takes every event collected so far, leaving the collector installed and
 /// empty. Returns an empty vector when no collector is installed.
 pub fn drain() -> Vec<RecoveryEvent> {
-    COLLECTOR.with(|c| c.borrow_mut().as_mut().map(std::mem::take).unwrap_or_default())
+    COLLECTOR.with(|c| {
+        c.borrow_mut()
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
+    })
 }
 
 /// Aggregate statistics over one experiment's recovery-event stream — the
@@ -239,7 +244,12 @@ pub fn summarize(events: &[RecoveryEvent]) -> RecoverySummary {
         + 0.0;
     let failovers = events
         .iter()
-        .filter(|e| matches!(e.kind, RecoveryKind::IfaceFailover | RecoveryKind::NsaFallback))
+        .filter(|e| {
+            matches!(
+                e.kind,
+                RecoveryKind::IfaceFailover | RecoveryKind::NsaFallback
+            )
+        })
         .count();
     let by_kind = RecoveryKind::ALL
         .iter()
@@ -330,7 +340,10 @@ mod tests {
         assert_eq!(s.failovers, 1);
         assert_eq!(
             s.by_kind,
-            vec![("tcp-rto".to_string(), 2), ("iface-failover".to_string(), 1)]
+            vec![
+                ("tcp-rto".to_string(), 2),
+                ("iface-failover".to_string(), 1)
+            ]
         );
     }
 

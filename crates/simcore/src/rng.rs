@@ -71,10 +71,7 @@ impl RngStream {
     /// The next raw 64-bit output (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -138,7 +135,10 @@ impl RngStream {
     /// Pareto sample with scale `xm > 0` and shape `alpha > 0` (heavy-tailed
     /// sizes, e.g. web object sizes).
     pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
-        assert!(xm > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         xm / self.uniform_open().powf(1.0 / alpha)
     }
 
@@ -220,7 +220,9 @@ mod tests {
     fn different_names_decorrelate() {
         let mut a = RngStream::new(42, "shadowing");
         let mut b = RngStream::new(42, "blockage");
-        let matches = (0..64).filter(|_| a.uniform().to_bits() == b.uniform().to_bits()).count();
+        let matches = (0..64)
+            .filter(|_| a.uniform().to_bits() == b.uniform().to_bits())
+            .count();
         assert_eq!(matches, 0);
     }
 

@@ -24,7 +24,10 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// Harmonic mean; `NaN` for empty input, 0 if any element is ≤ 0.
 ///
 /// The throughput predictor of FastMPC uses the harmonic mean of past
-/// observed chunk throughputs.
+/// observed chunk throughputs. Callers averaging measurement windows that
+/// may contain stall samples (zero throughput) almost always want
+/// [`harmonic_mean_positive`] instead: a single zero here collapses the
+/// whole window to 0.
 pub fn harmonic_mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return f64::NAN;
@@ -35,13 +38,37 @@ pub fn harmonic_mean(xs: &[f64]) -> f64 {
     xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
 }
 
-/// Linear-interpolated percentile, `p` in `[0, 100]`; `NaN` for empty input.
+/// Harmonic mean over the strictly positive, finite samples of `xs`;
+/// `NaN` when no sample qualifies.
+///
+/// This is the stall-tolerant window average: a zero-throughput sample (a
+/// stall under chaos) is dropped rather than collapsing the mean to 0 the
+/// way [`harmonic_mean`] does.
+pub fn harmonic_mean_positive(xs: &[f64]) -> f64 {
+    let mut n = 0usize;
+    let mut inv_sum = 0.0f64;
+    for &x in xs {
+        if x > 0.0 && x.is_finite() {
+            n += 1;
+            inv_sum += 1.0 / x;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        n as f64 / inv_sum
+    }
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`; `NaN` for empty
+/// input. NaN samples are dropped (mirroring [`Ecdf::new`]); all-NaN
+/// input yields `NaN`.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    if xs.is_empty() {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+    if sorted.is_empty() {
         return f64::NAN;
     }
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -87,7 +114,6 @@ pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
 /// x values; otherwise returns `(NaN, NaN)`.
 pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     assert_eq!(xs.len(), ys.len(), "linear_fit: length mismatch");
-    let n = xs.len() as f64;
     if xs.len() < 2 {
         return (f64::NAN, f64::NAN);
     }
@@ -99,7 +125,6 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
     }
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     let slope = sxy / sxx;
-    let _ = n;
     (slope, my - slope * mx)
 }
 
@@ -233,6 +258,124 @@ impl Accumulator {
     }
 }
 
+/// Verdict of a tolerance check (the paper-fidelity validation plane).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grade {
+    /// Within the warn band.
+    Pass,
+    /// Outside the warn band but inside the fail band: drift worth eyes,
+    /// not worth failing the build.
+    Warn,
+    /// Outside the fail band (or not a finite number at all).
+    Fail,
+}
+
+impl Grade {
+    /// Fixed-width label for report rows.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Grade::Pass => "PASS",
+            Grade::Warn => "WARN",
+            Grade::Fail => "FAIL",
+        }
+    }
+}
+
+/// A two-level relative tolerance band around an expected value.
+///
+/// Drift within `warn_pct` grades `Pass`, within `fail_pct` grades
+/// `Warn`, beyond it `Fail`. Bands are percentages of the expected value
+/// (`expected == 0` falls back to absolute drift against the bands
+/// divided by 100, so zero expectations stay checkable).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Pass/Warn boundary, percent.
+    pub warn_pct: f64,
+    /// Warn/Fail boundary, percent.
+    pub fail_pct: f64,
+}
+
+impl Tolerance {
+    /// A band pair (warn%, fail%).
+    pub fn pct(warn_pct: f64, fail_pct: f64) -> Self {
+        Tolerance { warn_pct, fail_pct }
+    }
+
+    /// Signed relative drift of `actual` from `expected`, percent.
+    /// Absolute drift × 100 when `expected` is zero.
+    pub fn drift_pct(expected: f64, actual: f64) -> f64 {
+        if expected == 0.0 {
+            (actual - expected) * 100.0
+        } else {
+            (actual - expected) / expected.abs() * 100.0
+        }
+    }
+
+    /// Grades `actual` against `expected` under this band pair.
+    pub fn grade(&self, expected: f64, actual: f64) -> Grade {
+        if !actual.is_finite() {
+            return Grade::Fail;
+        }
+        let drift = Self::drift_pct(expected, actual).abs();
+        if drift <= self.warn_pct {
+            Grade::Pass
+        } else if drift <= self.fail_pct {
+            Grade::Warn
+        } else {
+            Grade::Fail
+        }
+    }
+}
+
+/// Every decimal number embedded in `s`, in order. Tolerant of units and
+/// punctuation (`"1097 (1092)"` → `[1097.0, 1092.0]`, `"84.7%"` →
+/// `[84.7]`, `"[-110,-100)"` → `[-110.0, -100.0]`); placeholder cells
+/// (`"N/A"`, `"-"`, `"inf"`) contribute nothing.
+pub fn numbers_in(s: &str) -> Vec<f64> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let neg = c == '-'
+            && i + 1 < bytes.len()
+            && (bytes[i + 1] as char).is_ascii_digit()
+            // "10-20" is a range, not ten and minus-twenty.
+            && (i == 0 || !(bytes[i - 1] as char).is_ascii_digit());
+        if c.is_ascii_digit() || neg {
+            let start = i;
+            i += 1;
+            let mut seen_dot = false;
+            while i < bytes.len() {
+                let d = bytes[i] as char;
+                if d.is_ascii_digit() {
+                    i += 1;
+                } else if d == '.'
+                    && !seen_dot
+                    && i + 1 < bytes.len()
+                    && (bytes[i + 1] as char).is_ascii_digit()
+                {
+                    seen_dot = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            if let Ok(v) = s[start..i].parse::<f64>() {
+                out.push(v);
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// First number embedded in `s`, if any.
+pub fn first_number(s: &str) -> Option<f64> {
+    numbers_in(s).into_iter().next()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +392,30 @@ mod tests {
         assert!((harmonic_mean(&[1.0, 4.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(harmonic_mean(&[1.0, 0.0]), 0.0);
         assert!(harmonic_mean(&[]).is_nan());
+    }
+
+    #[test]
+    fn harmonic_mean_positive_drops_stall_samples() {
+        // Regression: a single zero sample used to collapse the plain
+        // harmonic mean to 0; the positive variant ignores it.
+        assert_eq!(harmonic_mean(&[100.0, 0.0, 100.0]), 0.0);
+        assert!((harmonic_mean_positive(&[100.0, 0.0, 100.0]) - 100.0).abs() < 1e-12);
+        assert!((harmonic_mean_positive(&[1.0, 4.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!(
+            (harmonic_mean_positive(&[-5.0, f64::INFINITY, f64::NAN, 2.0]) - 2.0).abs() < 1e-12
+        );
+        assert!(harmonic_mean_positive(&[]).is_nan());
+        assert!(harmonic_mean_positive(&[0.0, -1.0]).is_nan());
+    }
+
+    #[test]
+    fn percentile_tolerates_nans() {
+        // Regression: this panicked ("NaN in percentile input") before
+        // NaNs were filtered like Ecdf::new does.
+        let xs = [1.0, f64::NAN, 3.0];
+        assert_eq!(percentile(&xs, 50.0), 2.0);
+        assert_eq!(median(&xs), 2.0);
+        assert!(percentile(&[f64::NAN, f64::NAN], 50.0).is_nan());
     }
 
     #[test]
@@ -302,6 +469,43 @@ mod tests {
         assert_eq!(curve.len(), 4);
         assert_eq!(curve[0].0, 1.0);
         assert_eq!(curve[3], (4.0, 1.0));
+    }
+
+    #[test]
+    fn ecdf_curve_degenerate_all_equal_sample() {
+        // All-equal samples span zero range: every evaluation point is the
+        // sample itself, where the CDF has already jumped to 1.
+        let cdf = Ecdf::new(&[5.0, 5.0, 5.0]);
+        let curve = cdf.curve(4);
+        assert_eq!(curve.len(), 4);
+        for (x, f) in curve {
+            assert_eq!(x, 5.0);
+            assert_eq!(f, 1.0);
+        }
+    }
+
+    #[test]
+    fn tolerance_grades_in_bands() {
+        let tol = Tolerance::pct(5.0, 20.0);
+        assert_eq!(tol.grade(100.0, 103.0), Grade::Pass);
+        assert_eq!(tol.grade(100.0, 110.0), Grade::Warn);
+        assert_eq!(tol.grade(100.0, 130.0), Grade::Fail);
+        assert_eq!(tol.grade(100.0, f64::NAN), Grade::Fail);
+        // Zero expectations use absolute drift ×100 against the bands.
+        assert_eq!(tol.grade(0.0, 0.0003), Grade::Pass);
+        assert_eq!(tol.grade(0.0, 0.5), Grade::Fail);
+        assert!((Tolerance::drift_pct(200.0, 190.0) + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numbers_in_scans_report_cells() {
+        assert_eq!(numbers_in("1097 (1092)"), vec![1097.0, 1092.0]);
+        assert_eq!(numbers_in("84.7%"), vec![84.7]);
+        assert_eq!(numbers_in("[-110,-100)"), vec![-110.0, -100.0]);
+        assert_eq!(numbers_in("10-20"), vec![10.0, 20.0]);
+        assert_eq!(numbers_in("N/A - inf"), Vec::<f64>::new());
+        assert_eq!(first_number("T=1s (J)"), Some(1.0));
+        assert_eq!(first_number("none"), None);
     }
 
     #[test]

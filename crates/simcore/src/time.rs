@@ -235,7 +235,10 @@ mod tests {
 
     #[test]
     fn duration_scaling() {
-        assert_eq!(SimDuration::from_secs(2).mul_f64(1.5).as_micros(), 3_000_000);
+        assert_eq!(
+            SimDuration::from_secs(2).mul_f64(1.5).as_micros(),
+            3_000_000
+        );
         assert_eq!(SimDuration::from_secs(2).mul_f64(-1.0), SimDuration::ZERO);
     }
 

@@ -146,8 +146,12 @@ impl TraceGenerator {
         let mut share = rng.gen_range(0.09..0.14);
         // The only LTE-class band is the mid-band macro, so one budget
         // covers every candidate the filter below can select.
-        let budget =
-            LinkBudget::new(UeModel::GalaxyS10, Band::LteMidBand, false, Direction::Downlink);
+        let budget = LinkBudget::new(
+            UeModel::GalaxyS10,
+            Band::LteMidBand,
+            false,
+            Direction::Downlink,
+        );
         let mut samples = Vec::with_capacity(TRACE_LEN_S);
         for s in 0..TRACE_LEN_S {
             let t = (start_offset + s as f64) % mobility.duration_s();
@@ -176,7 +180,10 @@ impl TraceGenerator {
 
 /// Pools every sample of a corpus (for corpus-level statistics).
 pub fn pooled_samples(corpus: &[BandwidthTrace]) -> Vec<f64> {
-    corpus.iter().flat_map(|t| t.samples().iter().copied()).collect()
+    corpus
+        .iter()
+        .flat_map(|t| t.samples().iter().copied())
+        .collect()
 }
 
 #[cfg(test)]

@@ -248,10 +248,19 @@ mod tests {
             network: NetworkKind::MmWave,
         };
         let samples = c.campaign(3, 42);
-        let mm = samples.iter().filter(|s| s.network == NetworkKind::MmWave).count();
-        let lb = samples.iter().filter(|s| s.network == NetworkKind::LowBandNsa).count();
+        let mm = samples
+            .iter()
+            .filter(|s| s.network == NetworkKind::MmWave)
+            .count();
+        let lb = samples
+            .iter()
+            .filter(|s| s.network == NetworkKind::LowBandNsa)
+            .count();
         assert!(mm > 0 && lb > 0, "mm {mm}, lb {lb}");
-        assert!(mm as f64 / (mm + lb) as f64 > 0.3, "mmWave should dominate LoS walks");
+        assert!(
+            mm as f64 / (mm + lb) as f64 > 0.3,
+            "mmWave should dominate LoS walks"
+        );
     }
 
     #[test]
@@ -275,7 +284,11 @@ mod tests {
         };
         let samples = c.campaign(2, 7);
         let model = DataPowerModel::lookup(UeModel::GalaxyS10, NetworkKind::MmWave);
-        for s in samples.iter().filter(|s| s.network == NetworkKind::MmWave).take(200) {
+        for s in samples
+            .iter()
+            .filter(|s| s.network == NetworkKind::MmWave)
+            .take(200)
+        {
             let expected =
                 model.power_mw_with_rsrp(Direction::Downlink, s.throughput_mbps, s.rsrp_dbm);
             assert!(
@@ -345,8 +358,15 @@ mod tests {
     fn dataset_builder_filters_by_network() {
         let c = WalkingCampaign::fig15_settings()[1];
         let samples = c.campaign(2, 3);
-        let d = to_dataset(&samples, NetworkKind::MmWave, PowerFeatures::ThroughputAndSignal);
-        let total_mm = samples.iter().filter(|s| s.network == NetworkKind::MmWave).count();
+        let d = to_dataset(
+            &samples,
+            NetworkKind::MmWave,
+            PowerFeatures::ThroughputAndSignal,
+        );
+        let total_mm = samples
+            .iter()
+            .filter(|s| s.network == NetworkKind::MmWave)
+            .count();
         assert_eq!(d.len(), total_mm);
         assert_eq!(d.n_features(), 2);
     }

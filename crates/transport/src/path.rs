@@ -99,7 +99,10 @@ mod tests {
     #[test]
     fn local_server_rtt_is_about_6ms() {
         let pool = carrier_pool(Carrier::Verizon);
-        let local = pool.iter().find(|s| s.name.contains("Minneapolis")).expect("local");
+        let local = pool
+            .iter()
+            .find(|s| s.name.contains("Minneapolis"))
+            .expect("local");
         let p = PathModel::build(
             UeModel::GalaxyS20Ultra,
             &mmwave_link(),
@@ -107,7 +110,11 @@ mod tests {
             default_ue_location(),
             Direction::Downlink,
         );
-        assert!((5.0..8.0).contains(&p.rtt_ms), "Fig 1: min RTT ≈ 6 ms, got {}", p.rtt_ms);
+        assert!(
+            (5.0..8.0).contains(&p.rtt_ms),
+            "Fig 1: min RTT ≈ 6 ms, got {}",
+            p.rtt_ms
+        );
     }
 
     #[test]
@@ -116,7 +123,11 @@ mod tests {
         let ue = default_ue_location();
         let far = pool
             .iter()
-            .max_by(|a, b| a.distance_km(ue).partial_cmp(&b.distance_km(ue)).expect("finite"))
+            .max_by(|a, b| {
+                a.distance_km(ue)
+                    .partial_cmp(&b.distance_km(ue))
+                    .expect("finite")
+            })
             .expect("non-empty");
         let p = PathModel::build(
             UeModel::GalaxyS20Ultra,

@@ -246,8 +246,8 @@ impl TcpSim {
             budget::charge(1);
             telemetry::clock(t);
             let (rtt_s, loss_per_pkt, stalled) = if faults::enabled() {
-                let rtt_mult = faults::magnitude(FaultKind::RttSpike, t)
-                    .map_or(1.0, |m| 1.0 + m.max(0.0));
+                let rtt_mult =
+                    faults::magnitude(FaultKind::RttSpike, t).map_or(1.0, |m| 1.0 + m.max(0.0));
                 let loss_mult =
                     faults::magnitude(FaultKind::LossBurst, t).map_or(1.0, |m| m.max(1.0));
                 (
@@ -427,7 +427,10 @@ mod tests {
         let near = measure_throughput(path(6.0, 3400.0, 3.0), TcpSimConfig::single_tuned(), 2);
         let far = measure_throughput(path(55.0, 3400.0, 2500.0), TcpSimConfig::single_tuned(), 2);
         assert!(near > 2.0 * far, "near {near} vs far {far} (Fig 3 shape)");
-        assert!(near > 2000.0, "near-server single conn approaches capacity: {near}");
+        assert!(
+            near > 2000.0,
+            "near-server single conn approaches capacity: {near}"
+        );
     }
 
     #[test]
@@ -437,7 +440,11 @@ mod tests {
         // at the farther regions).
         let thr = measure_throughput(path(14.0, 2200.0, 374.0), TcpSimConfig::single_default(), 3);
         assert!((300.0..650.0).contains(&thr), "default 1-TCP: {thr}");
-        let far = measure_throughput(path(40.0, 2200.0, 2044.0), TcpSimConfig::single_default(), 3);
+        let far = measure_throughput(
+            path(40.0, 2200.0, 2044.0),
+            TcpSimConfig::single_default(),
+            3,
+        );
         assert!(far < 500.0, "far default 1-TCP ≤ 500 Mbps: {far}");
     }
 
@@ -445,8 +452,10 @@ mod tests {
     fn tuned_wmem_multiplies_default() {
         // Fig 8: tuning tcp_wmem lifts single-conn throughput 2.1–3×.
         for (rtt, km, seed) in [(14.0, 374.0, 4), (21.0, 1444.0, 5)] {
-            let default = measure_throughput(path(rtt, 2200.0, km), TcpSimConfig::single_default(), seed);
-            let tuned = measure_throughput(path(rtt, 2200.0, km), TcpSimConfig::single_tuned(), seed);
+            let default =
+                measure_throughput(path(rtt, 2200.0, km), TcpSimConfig::single_default(), seed);
+            let tuned =
+                measure_throughput(path(rtt, 2200.0, km), TcpSimConfig::single_tuned(), seed);
             let ratio = tuned / default;
             assert!(
                 (1.8..4.5).contains(&ratio),
@@ -487,7 +496,11 @@ mod tests {
         );
         let res = sim.run(15.0);
         assert!(res.loss_events > 0, "some losses over 15 s at 2 Gbps");
-        assert!(res.loss_events < 500, "but not a storm: {}", res.loss_events);
+        assert!(
+            res.loss_events < 500,
+            "but not a storm: {}",
+            res.loss_events
+        );
     }
 
     #[test]

@@ -95,7 +95,11 @@ mod tests {
     #[test]
     fn udp_reaches_capacity() {
         let r = UdpFlow::new(5000.0).run(&path(2200.0));
-        assert!((r.achieved_mbps - 2200.0).abs() < 1.0, "{}", r.achieved_mbps);
+        assert!(
+            (r.achieved_mbps - 2200.0).abs() < 1.0,
+            "{}",
+            r.achieved_mbps
+        );
     }
 
     #[test]

@@ -240,7 +240,9 @@ impl Abr for Festive {
     }
 
     fn choose(&mut self, ctx: &AbrContext) -> usize {
-        let est = self.predictor.predict_mbps(ctx.past_tput_mbps, ctx.wall_t_s);
+        let est = self
+            .predictor
+            .predict_mbps(ctx.past_tput_mbps, ctx.wall_t_s);
         let target = highest_affordable(ctx.asset, est / 1.2);
         let cur = ctx.last_track;
         if ctx.past_tput_mbps.is_empty() {
@@ -294,7 +296,11 @@ impl Mpc {
 
     /// RobustMPC with its default harmonic-mean predictor.
     pub fn robust() -> Self {
-        Mpc::with_predictor(Box::new(HarmonicMeanPredictor::default()), true, "robustMPC")
+        Mpc::with_predictor(
+            Box::new(HarmonicMeanPredictor::default()),
+            true,
+            "robustMPC",
+        )
     }
 
     /// An MPC with an arbitrary predictor (Fig 18a plugs in GBDT and the
@@ -369,7 +375,9 @@ impl Abr for Mpc {
                 self.history.push((pred, actual));
             }
         }
-        let raw = self.predictor.predict_mbps(ctx.past_tput_mbps, ctx.wall_t_s);
+        let raw = self
+            .predictor
+            .predict_mbps(ctx.past_tput_mbps, ctx.wall_t_s);
         let pred = raw * self.robust_discount();
         self.pending_prediction = Some(raw);
 
@@ -433,7 +441,9 @@ pub fn build(algo: AbrAlgo) -> Box<dyn Abr> {
         AbrAlgo::FastMpc => Box::new(Mpc::fast()),
         AbrAlgo::RobustMpc => Box::new(Mpc::robust()),
         AbrAlgo::Festive => Box::new(Festive::default()),
-        AbrAlgo::Pensieve => panic!("Pensieve requires a trained policy; see pensieve::PensieveAbr"),
+        AbrAlgo::Pensieve => {
+            panic!("Pensieve requires a trained policy; see pensieve::PensieveAbr")
+        }
     }
 }
 
@@ -469,7 +479,10 @@ mod tests {
             "cushion top"
         );
         let mid = bba.choose(&ctx(&asset, 11.0, 0, &[]));
-        assert!(mid > 0 && mid < asset.n_tracks() - 1, "linear region: {mid}");
+        assert!(
+            mid > 0 && mid < asset.n_tracks() - 1,
+            "linear region: {mid}"
+        );
     }
 
     #[test]

@@ -6,7 +6,6 @@
 //! "to identify rate adaptation challenges … avoiding any trivial bitrate
 //! selection."
 
-
 /// An encoded video: a bitrate ladder plus chunking parameters.
 #[derive(Debug, Clone)]
 pub struct VideoAsset {

@@ -13,7 +13,7 @@ use crate::player::{ChunkRecord, PlayerConfig, SessionResult};
 use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
 use fiveg_radio::band::Direction;
 use fiveg_radio::ue::UeModel;
-use fiveg_simcore::stats::harmonic_mean;
+use fiveg_simcore::stats::harmonic_mean_positive;
 use fiveg_simcore::{faults, recovery};
 use fiveg_transport::shaper::BandwidthTrace;
 
@@ -67,6 +67,20 @@ impl IfSelectConfig {
     }
 }
 
+/// The leave-5G trigger: true when the stall-tolerant harmonic mean of
+/// the recent 5G throughput window sinks below `threshold_mbps`.
+///
+/// Stall samples (zero or negative throughput, e.g. a chaos-shaped
+/// outage recorded as a dead chunk) are excluded from the window: a
+/// single zero used to collapse the plain harmonic mean to 0 and force a
+/// spurious 5G→4G failover even when every real measurement was healthy.
+/// A window with no positive sample at all triggers the switch — there
+/// is no evidence the 5G leg still carries traffic.
+pub fn should_leave_5g(recent_5g_mbps: &[f64], threshold_mbps: f64) -> bool {
+    let hm = harmonic_mean_positive(recent_5g_mbps);
+    !hm.is_finite() || hm < threshold_mbps
+}
+
 /// Result of an interface-selected session.
 #[derive(Debug, Clone)]
 pub struct IfSelectResult {
@@ -114,7 +128,7 @@ pub fn stream_with_selection(
         if cfg.enabled {
             if on_5g && past_5g.len() >= 3 {
                 let recent: Vec<f64> = past_5g.iter().rev().take(5).cloned().collect();
-                if harmonic_mean(&recent) < cfg.to_4g_below_mbps {
+                if should_leave_5g(&recent, cfg.to_4g_below_mbps) {
                     on_5g = false;
                     iface_switches += 1;
                     // The switch stalls playback if the buffer can't cover it.
@@ -158,7 +172,11 @@ pub fn stream_with_selection(
         buffer_s = (buffer_s - dl).max(0.0) + asset.chunk_len_s;
         wall += dl;
 
-        let tput = if dl > 0.0 { bytes * 8.0 / 1e6 / dl } else { f64::INFINITY };
+        let tput = if dl > 0.0 {
+            bytes * 8.0 / 1e6 / dl
+        } else {
+            f64::INFINITY
+        };
         // Radio energy: active download at `tput` over `dl` seconds.
         let model = if on_5g { &p5 } else { &p4 };
         energy_mj += model.power_mw(Direction::Downlink, tput.min(1e4)) * dl;
@@ -347,6 +365,19 @@ mod tests {
             &PlayerConfig::default(),
         );
         assert!(ideal.session.stall_time_s <= real.session.stall_time_s + 1e-9);
+    }
+
+    #[test]
+    fn one_stall_sample_does_not_force_failover() {
+        // Regression: a single zero-throughput sample (a stall under
+        // chaos) collapsed the harmonic mean to 0 and forced a spurious
+        // 5G→4G switch despite four healthy 400 Mbps measurements.
+        assert!(!should_leave_5g(&[400.0, 400.0, 0.0, 400.0, 400.0], 25.0));
+        // A genuinely sunk window still triggers the switch...
+        assert!(should_leave_5g(&[5.0, 4.0, 6.0, 5.0, 5.0], 25.0));
+        // ...and so does a window with no positive sample at all.
+        assert!(should_leave_5g(&[0.0, 0.0, 0.0], 25.0));
+        assert!(should_leave_5g(&[], 25.0));
     }
 
     #[test]

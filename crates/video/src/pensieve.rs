@@ -30,14 +30,19 @@ pub fn features(ctx: &AbrContext) -> Vec<f64> {
         .map(finite)
         .unwrap_or(0.0);
     let start = ctx.past_tput_mbps.len().saturating_sub(5);
+    // Stall samples (zero or negative throughput, e.g. a chaos-shaped
+    // outage) are dropped from the window instead of being floored: a
+    // floor near zero still collapses the harmonic mean — the min of the
+    // window dominates it — and zeroes the policy's throughput signal.
     let window: Vec<f64> = ctx.past_tput_mbps[start..]
         .iter()
-        .map(|&x| finite(x).max(0.01))
+        .map(|&x| finite(x))
+        .filter(|&x| x > 0.0)
         .collect();
     let hm = if window.is_empty() {
         0.0
     } else {
-        fiveg_simcore::stats::harmonic_mean(&window)
+        fiveg_simcore::stats::harmonic_mean_positive(&window)
     };
     let min5 = window.iter().cloned().fold(f64::INFINITY, f64::min);
     vec![
@@ -172,6 +177,36 @@ mod tests {
         let f = features(&ctx);
         assert_eq!(f.len(), N_FEATURES);
         assert!(f.iter().all(|x| x.is_finite() && *x >= 0.0 && *x <= 4.0));
+    }
+
+    #[test]
+    fn one_stall_sample_does_not_zero_the_throughput_signal() {
+        // Regression: a zero-throughput sample (stall under chaos) in the
+        // 5-chunk window used to collapse the harmonic-mean feature to ~0
+        // even when the other four chunks measured 800 Mbps.
+        let asset = VideoAsset::five_g_default();
+        let past = vec![800.0, 800.0, 800.0, 800.0, 0.0];
+        let ctx = AbrContext {
+            asset: &asset,
+            buffer_s: 15.0,
+            last_track: 3,
+            past_tput_mbps: &past,
+            chunks_remaining: 30,
+            wall_t_s: 0.0,
+        };
+        let f = features(&ctx);
+        assert!(
+            f[1] >= 1.0,
+            "harmonic-mean feature collapsed to {} despite healthy history",
+            f[1]
+        );
+        // An all-stall window carries no signal: the feature reads 0.
+        let dead = vec![0.0; 5];
+        let ctx_dead = AbrContext {
+            past_tput_mbps: &dead,
+            ..ctx
+        };
+        assert_eq!(features(&ctx_dead)[1], 0.0);
     }
 
     #[test]

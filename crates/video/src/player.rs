@@ -197,7 +197,11 @@ pub fn stream(
             buffer_s = cfg.max_buffer_s;
         }
 
-        let tput = if dl > 0.0 { bytes * 8.0 / 1e6 / dl } else { f64::INFINITY };
+        let tput = if dl > 0.0 {
+            bytes * 8.0 / 1e6 / dl
+        } else {
+            f64::INFINITY
+        };
         past_tput.push(tput);
         if index > 0 && track != last_track {
             telemetry::count("video/bitrate_switch", 1);

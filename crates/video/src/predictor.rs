@@ -35,11 +35,19 @@ impl ThroughputPredictor for HarmonicMeanPredictor {
             return 1.0;
         }
         let start = past.len().saturating_sub(self.window);
+        // Stall samples (zero throughput) are dropped, not floored: a
+        // floored near-zero sample dominates the harmonic mean and
+        // collapses the prediction for the whole window.
         let window: Vec<f64> = past[start..]
             .iter()
-            .map(|&x| if x.is_finite() { x.max(0.01) } else { 1e4 })
+            .map(|&x| if x.is_finite() { x } else { 1e4 })
             .collect();
-        fiveg_simcore::stats::harmonic_mean(&window).max(0.01)
+        let hm = fiveg_simcore::stats::harmonic_mean_positive(&window);
+        if hm.is_finite() {
+            hm.max(0.01)
+        } else {
+            0.01
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -104,7 +112,9 @@ impl GbdtPredictor {
     ) -> Self {
         assert!(!corpus.is_empty(), "need training traces");
         assert!(window > 0, "window must be positive");
-        let names: Vec<String> = (0..window).map(|i| format!("tput_m{}", window - i)).collect();
+        let names: Vec<String> = (0..window)
+            .map(|i| format!("tput_m{}", window - i))
+            .collect();
         let mut data = Dataset::new(names, vec![], vec![]);
         let mid_bytes = asset.chunk_bytes(asset.n_tracks() / 2);
         for trace in corpus {
@@ -148,7 +158,9 @@ impl GbdtPredictor {
     pub fn train(corpus: &[BandwidthTrace], window: usize) -> Self {
         assert!(!corpus.is_empty(), "need training traces");
         assert!(window > 0, "window must be positive");
-        let names: Vec<String> = (0..window).map(|i| format!("tput_m{}", window - i)).collect();
+        let names: Vec<String> = (0..window)
+            .map(|i| format!("tput_m{}", window - i))
+            .collect();
         let mut data = Dataset::new(names, vec![], vec![]);
         for trace in corpus {
             let s = trace.samples();
@@ -177,10 +189,14 @@ impl GbdtPredictor {
 impl ThroughputPredictor for GbdtPredictor {
     fn predict_mbps(&self, past: &[f64], _wall_t_s: f64) -> f64 {
         if past.len() < self.window {
-            return fiveg_simcore::stats::harmonic_mean(
-                &past.iter().map(|&x| x.max(0.01)).collect::<Vec<_>>(),
-            )
-            .clamp(0.01, 1e4);
+            // Stall-tolerant warm-up window: zero samples are dropped so
+            // one stall can't zero the prediction (NaN = nothing usable).
+            let hm = fiveg_simcore::stats::harmonic_mean_positive(past);
+            return if hm.is_finite() {
+                hm.clamp(0.01, 1e4)
+            } else {
+                0.01
+            };
         }
         let row: Vec<f64> = past[past.len() - self.window..]
             .iter()
@@ -230,8 +246,9 @@ impl ContextGbdtPredictor {
     ) -> Self {
         assert!(!corpus.is_empty(), "need training traces");
         assert!(window > 0, "window must be positive");
-        let mut names: Vec<String> =
-            (0..window).map(|i| format!("tput_m{}", window - i)).collect();
+        let mut names: Vec<String> = (0..window)
+            .map(|i| format!("tput_m{}", window - i))
+            .collect();
         names.push("rsrp_now".into());
         let mut data = Dataset::new(names, vec![], vec![]);
         let mid_bytes = asset.chunk_bytes(asset.n_tracks() / 2);
@@ -292,10 +309,13 @@ impl ThroughputPredictor for BoundContextPredictor {
             self.rsrp_per_s[(wall_t_s.max(0.0) as usize) % self.rsrp_per_s.len()]
         };
         if past.len() < self.inner.window {
-            return fiveg_simcore::stats::harmonic_mean(
-                &past.iter().map(|&x| x.max(0.01)).collect::<Vec<_>>(),
-            )
-            .clamp(0.01, 1e4);
+            // Same stall-tolerant warm-up as GbdtPredictor::predict_mbps.
+            let hm = fiveg_simcore::stats::harmonic_mean_positive(past);
+            return if hm.is_finite() {
+                hm.clamp(0.01, 1e4)
+            } else {
+                0.01
+            };
         }
         let mut row: Vec<f64> = past[past.len() - self.inner.window..]
             .iter()
@@ -328,6 +348,44 @@ mod tests {
         let p = HarmonicMeanPredictor::default();
         assert!(p.predict_mbps(&[], 0.0) > 0.0);
         assert!(p.predict_mbps(&[f64::INFINITY, 10.0], 0.0).is_finite());
+    }
+
+    #[test]
+    fn one_stall_sample_does_not_zero_the_prediction() {
+        // Regression: a zero-throughput sample (a stall under chaos) in
+        // the window used to drag the prediction to the floor (~0.01)
+        // even with four healthy 100 Mbps samples alongside it.
+        let p = HarmonicMeanPredictor::default();
+        let pred = p.predict_mbps(&[100.0, 100.0, 0.0, 100.0, 100.0], 0.0);
+        assert!(pred > 50.0, "prediction collapsed to {pred}");
+        // With no positive sample at all there is nothing to average:
+        // fall to the conservative floor instead of NaN.
+        assert_eq!(p.predict_mbps(&[0.0, 0.0], 0.0), 0.01);
+    }
+
+    #[test]
+    fn gbdt_warmup_window_tolerates_stall_samples() {
+        // Same regression on the short-history fallback path of the
+        // learned predictors (past shorter than the trained window).
+        let mut corpus = Vec::new();
+        for _ in 0..2 {
+            corpus.push(BandwidthTrace::new(vec![100.0; 60], 1.0));
+        }
+        let p = GbdtPredictor::train(&corpus, 5);
+        let pred = p.predict_mbps(&[100.0, 0.0], 0.0);
+        assert!(pred > 50.0, "warm-up prediction collapsed to {pred}");
+
+        let ctx = ContextGbdtPredictor::train(
+            &corpus
+                .iter()
+                .map(|t| (t.clone(), vec![-90.0; 60]))
+                .collect::<Vec<_>>(),
+            &crate::asset::VideoAsset::five_g_default(),
+            5,
+        );
+        let bound = ctx.bind(vec![-90.0; 60]);
+        let pred = bound.predict_mbps(&[100.0, 0.0], 0.0);
+        assert!(pred > 50.0, "bound warm-up prediction collapsed to {pred}");
     }
 
     #[test]

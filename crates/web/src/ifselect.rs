@@ -77,7 +77,11 @@ pub struct SiteMeasurement {
 }
 
 /// Measures the whole corpus over both radios.
-pub fn measure_corpus(corpus: &WebsiteCorpus, loader: &PageLoader, reps: usize) -> Vec<SiteMeasurement> {
+pub fn measure_corpus(
+    corpus: &WebsiteCorpus,
+    loader: &PageLoader,
+    reps: usize,
+) -> Vec<SiteMeasurement> {
     corpus
         .sites
         .iter()
@@ -305,10 +309,7 @@ mod tests {
         let (train, test) = split_data(measured(700));
         let balanced = SelectionModel::train(&train, ModelSpec::table6()[2], 1);
         let (saving, penalty) = balanced.savings_vs_5g(&test);
-        assert!(
-            (0.15..0.85).contains(&saving),
-            "energy saving {saving}"
-        );
+        assert!((0.15..0.85).contains(&saving), "energy saving {saving}");
         assert!(penalty < 1.0, "PLT penalty {penalty}");
     }
 
@@ -321,8 +322,7 @@ mod tests {
         let mut meaningful = 0;
         for spec in &ModelSpec::table6()[..3] {
             let model = SelectionModel::train(&train, *spec, 1);
-            let names: Vec<String> =
-                model.splits().iter().map(|s| s.feature.clone()).collect();
+            let names: Vec<String> = model.splits().iter().map(|s| s.feature.clone()).collect();
             if names
                 .iter()
                 .any(|n| ["PS_MB", "NO", "DNO", "DSO", "AOS_KB"].contains(&n.as_str()))

@@ -102,7 +102,11 @@ impl WebsiteCorpus {
                     .map(|_| rng.pareto(6_000.0, 1.2).min(8e6))
                     .collect();
                 let n_images = ((n_objects as f64) * rng.gen_range(0.2..0.5)).round() as usize;
-                let n_videos = if rng.chance(0.15) { rng.gen_range(1..4) } else { 0 };
+                let n_videos = if rng.chance(0.15) {
+                    rng.gen_range(1..4)
+                } else {
+                    0
+                };
                 Website {
                     id,
                     n_objects,
@@ -135,13 +139,21 @@ mod tests {
     fn page_sizes_span_the_fig19_buckets() {
         // Fig 19b buckets: <1 MB, 1–10 MB, >10 MB — all must be populated.
         let corpus = WebsiteCorpus::generate(1500, 1);
-        let small = corpus.sites.iter().filter(|s| s.total_bytes() < 1e6).count();
+        let small = corpus
+            .sites
+            .iter()
+            .filter(|s| s.total_bytes() < 1e6)
+            .count();
         let mid = corpus
             .sites
             .iter()
             .filter(|s| (1e6..10e6).contains(&s.total_bytes()))
             .count();
-        let large = corpus.sites.iter().filter(|s| s.total_bytes() >= 10e6).count();
+        let large = corpus
+            .sites
+            .iter()
+            .filter(|s| s.total_bytes() >= 10e6)
+            .count();
         assert!(small > 50, "small {small}");
         assert!(mid > 300, "mid {mid}");
         assert!(large > 25, "large {large}");

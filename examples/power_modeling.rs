@@ -20,7 +20,10 @@ fn main() {
     println!("== Fig 11 crossovers (S20U, calibrated ground truth) ==");
     let mm = DataPowerModel::lookup(UeModel::GalaxyS20Ultra, NetworkKind::MmWave);
     let lte = DataPowerModel::lookup(UeModel::GalaxyS20Ultra, NetworkKind::Lte);
-    for (dir, label) in [(Direction::Downlink, "downlink"), (Direction::Uplink, "uplink")] {
+    for (dir, label) in [
+        (Direction::Downlink, "downlink"),
+        (Direction::Uplink, "uplink"),
+    ] {
         if let Some(x) = crossover_mbps(&lte.curve(dir), &mm.curve(dir)) {
             println!("  mmWave beats 4G above {x:.0} Mbps ({label})");
         }
@@ -29,7 +32,11 @@ fn main() {
     println!("\n== Fig 15: power-model MAPE from a walking campaign ==");
     let campaign = WalkingCampaign::fig15_settings()[1]; // S20/VZ/NSA-HB
     let samples = campaign.campaign(10, 42);
-    println!("  campaign {} collected {} samples", campaign.label(), samples.len());
+    println!(
+        "  campaign {} collected {} samples",
+        campaign.label(),
+        samples.len()
+    );
     for features in [
         PowerFeatures::ThroughputAndSignal,
         PowerFeatures::ThroughputOnly,

@@ -32,9 +32,18 @@ fn main() {
 
     println!("\n== ABR comparison on the 5G trace ==");
     let sessions: Vec<(&str, _)> = vec![
-        ("BBA", stream(&asset, &trace_5g, &mut Bba::default(), &cfg, 0.0)),
-        ("fastMPC", stream(&asset, &trace_5g, &mut Mpc::fast(), &cfg, 0.0)),
-        ("robustMPC", stream(&asset, &trace_5g, &mut Mpc::robust(), &cfg, 0.0)),
+        (
+            "BBA",
+            stream(&asset, &trace_5g, &mut Bba::default(), &cfg, 0.0),
+        ),
+        (
+            "fastMPC",
+            stream(&asset, &trace_5g, &mut Mpc::fast(), &cfg, 0.0),
+        ),
+        (
+            "robustMPC",
+            stream(&asset, &trace_5g, &mut Mpc::robust(), &cfg, 0.0),
+        ),
     ];
     for (name, r) in &sessions {
         println!(

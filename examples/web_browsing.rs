@@ -20,9 +20,24 @@ fn main() {
     let mut measurements = measure_corpus(&corpus, &loader, 6);
 
     let plt4 = mean(&measurements.iter().map(|m| m.lte.plt_s).collect::<Vec<_>>());
-    let plt5 = mean(&measurements.iter().map(|m| m.mmwave.plt_s).collect::<Vec<_>>());
-    let e4 = mean(&measurements.iter().map(|m| m.lte.energy_j).collect::<Vec<_>>());
-    let e5 = mean(&measurements.iter().map(|m| m.mmwave.energy_j).collect::<Vec<_>>());
+    let plt5 = mean(
+        &measurements
+            .iter()
+            .map(|m| m.mmwave.plt_s)
+            .collect::<Vec<_>>(),
+    );
+    let e4 = mean(
+        &measurements
+            .iter()
+            .map(|m| m.lte.energy_j)
+            .collect::<Vec<_>>(),
+    );
+    let e5 = mean(
+        &measurements
+            .iter()
+            .map(|m| m.mmwave.energy_j)
+            .collect::<Vec<_>>(),
+    );
     println!("== corpus means over {} sites ==", corpus.sites.len());
     println!("  4G:  PLT {plt4:.2} s   energy {e4:.2} J");
     println!("  5G:  PLT {plt5:.2} s   energy {e5:.2} J");
@@ -33,7 +48,10 @@ fn main() {
     );
 
     let test = measurements.split_off(measurements.len() * 7 / 10);
-    println!("== Table 6: DT interface selection on {} test sites ==", test.len());
+    println!(
+        "== Table 6: DT interface selection on {} test sites ==",
+        test.len()
+    );
     for spec in ModelSpec::table6() {
         let model = SelectionModel::train(&measurements, spec, 1);
         let counts = model.evaluate(&test);

@@ -51,7 +51,11 @@ fn fig2_latency_ordering_holds_at_every_server() {
             lb.latency_ms(s, 10),
             lte.latency_ms(s, 10),
         );
-        assert!(r_mm < r_lb && r_lb < r_lte, "{}: {r_mm} {r_lb} {r_lte}", s.name);
+        assert!(
+            r_mm < r_lb && r_lb < r_lte,
+            "{}: {r_mm} {r_lb} {r_lte}",
+            s.name
+        );
         assert!(
             (5.0..10.0).contains(&(r_lb - r_mm)),
             "low-band adds 6-8 ms: {}",
@@ -68,13 +72,25 @@ fn fig3_multi_conn_flat_single_conn_decays() {
     let pool = sorted_pool(Carrier::Verizon);
     let near = &pool[0];
     let far = pool.last().expect("non-empty");
-    let near_multi = h.run(near, Direction::Downlink, ConnMode::Multi, 4).p95_mbps;
+    let near_multi = h
+        .run(near, Direction::Downlink, ConnMode::Multi, 4)
+        .p95_mbps;
     let far_multi = h.run(far, Direction::Downlink, ConnMode::Multi, 4).p95_mbps;
     assert!(near_multi > 3_000.0 && far_multi > 3_000.0);
-    assert!((near_multi - far_multi).abs() / near_multi < 0.1, "flat vs distance");
-    let near_single = h.run(near, Direction::Downlink, ConnMode::SingleTuned, 4).p95_mbps;
-    let far_single = h.run(far, Direction::Downlink, ConnMode::SingleTuned, 4).p95_mbps;
-    assert!(near_single > 2.0 * far_single, "{near_single} vs {far_single}");
+    assert!(
+        (near_multi - far_multi).abs() / near_multi < 0.1,
+        "flat vs distance"
+    );
+    let near_single = h
+        .run(near, Direction::Downlink, ConnMode::SingleTuned, 4)
+        .p95_mbps;
+    let far_single = h
+        .run(far, Direction::Downlink, ConnMode::SingleTuned, 4)
+        .p95_mbps;
+    assert!(
+        near_single > 2.0 * far_single,
+        "{near_single} vs {far_single}"
+    );
 }
 
 #[test]
@@ -83,8 +99,12 @@ fn fig6_sa_throughput_is_half_of_nsa() {
     let nsa = harness(UeModel::GalaxyS20Ultra, Band::N71, false);
     let pool = sorted_pool(Carrier::TMobile);
     let near = &pool[0];
-    let r_sa = sa.run(near, Direction::Downlink, ConnMode::Multi, 4).p95_mbps;
-    let r_nsa = nsa.run(near, Direction::Downlink, ConnMode::Multi, 4).p95_mbps;
+    let r_sa = sa
+        .run(near, Direction::Downlink, ConnMode::Multi, 4)
+        .p95_mbps;
+    let r_nsa = nsa
+        .run(near, Direction::Downlink, ConnMode::Multi, 4)
+        .p95_mbps;
     let ratio = r_sa / r_nsa;
     assert!((0.4..0.6).contains(&ratio), "SA/NSA = {ratio}");
 }
@@ -94,17 +114,33 @@ fn fig8_transport_setting_ordering() {
     // UDP ≥ TCP-8 > 1-TCP tuned > 1-TCP default at every Azure region.
     let h = harness(UeModel::Pixel5, Band::N261, false);
     for region in azure_regions() {
-        let udp = h.run(&region, Direction::Downlink, ConnMode::Udp, 2).p95_mbps;
-        let tcp8 = h.run(&region, Direction::Downlink, ConnMode::TcpN(8), 4).p95_mbps;
+        let udp = h
+            .run(&region, Direction::Downlink, ConnMode::Udp, 2)
+            .p95_mbps;
+        let tcp8 = h
+            .run(&region, Direction::Downlink, ConnMode::TcpN(8), 4)
+            .p95_mbps;
         let tuned = h
             .run(&region, Direction::Downlink, ConnMode::SingleTuned, 4)
             .p95_mbps;
         let default = h
             .run(&region, Direction::Downlink, ConnMode::SingleDefault, 4)
             .p95_mbps;
-        assert!(udp >= tcp8 * 0.98, "{}: udp {udp} vs tcp8 {tcp8}", region.name);
-        assert!(tcp8 > tuned, "{}: tcp8 {tcp8} vs tuned {tuned}", region.name);
-        assert!(tuned > default, "{}: tuned {tuned} vs default {default}", region.name);
+        assert!(
+            udp >= tcp8 * 0.98,
+            "{}: udp {udp} vs tcp8 {tcp8}",
+            region.name
+        );
+        assert!(
+            tcp8 > tuned,
+            "{}: tcp8 {tcp8} vs tuned {tuned}",
+            region.name
+        );
+        assert!(
+            tuned > default,
+            "{}: tuned {tuned} vs default {default}",
+            region.name
+        );
     }
 }
 
@@ -128,7 +164,13 @@ fn fig24_capped_servers_are_bound() {
     for s in fiveg_wild::geo::servers::minnesota_pool() {
         let r = h.run(&s, Direction::Downlink, ConnMode::Multi, 3);
         if let Some(cap) = s.cap_mbps {
-            assert!(r.p95_mbps <= cap * 1.01, "{}: {} > cap {}", s.name, r.p95_mbps, cap);
+            assert!(
+                r.p95_mbps <= cap * 1.01,
+                "{}: {} > cap {}",
+                s.name,
+                r.p95_mbps,
+                cap
+            );
             assert!(r.p95_mbps > cap * 0.9, "{}: should reach its cap", s.name);
         }
     }

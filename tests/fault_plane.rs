@@ -5,6 +5,7 @@
 
 use fiveg_bench::experiments;
 use fiveg_bench::runner::{RunStatus, Supervisor};
+use fiveg_geo::mobility::MobilityModel;
 use fiveg_wild::radio::blockage::{BlockageConfig, BlockageProcess};
 use fiveg_wild::radio::cell::{NetworkLayout, RadioTech};
 use fiveg_wild::radio::handoff::{simulate_drive, BandSetting, HandoffConfig};
@@ -19,7 +20,6 @@ use fiveg_wild::transport::udp::UdpFlow;
 use fiveg_wild::video::abr::{build, AbrAlgo};
 use fiveg_wild::video::asset::VideoAsset;
 use fiveg_wild::video::player::{stream, PlayerConfig};
-use fiveg_geo::mobility::MobilityModel;
 
 fn chaos_guard(seed: u64) -> faults::PlaneGuard {
     faults::install(FaultSchedule::generate(seed, &FaultScenario::chaos()))
@@ -86,21 +86,39 @@ fn dropped_plane_leaves_no_residue() {
     let baseline = {
         let layout = NetworkLayout::tmobile_drive_corridor(5);
         let m = MobilityModel::driving_10km();
-        simulate_drive(&layout, &m, BandSetting::NsaPlusLte, &HandoffConfig::default(), 5)
-            .total_handoffs()
+        simulate_drive(
+            &layout,
+            &m,
+            BandSetting::NsaPlusLte,
+            &HandoffConfig::default(),
+            5,
+        )
+        .total_handoffs()
     };
     let chaotic = {
         let _guard = chaos_guard(5);
         let layout = NetworkLayout::tmobile_drive_corridor(5);
         let m = MobilityModel::driving_10km();
-        simulate_drive(&layout, &m, BandSetting::NsaPlusLte, &HandoffConfig::default(), 5)
-            .total_handoffs()
+        simulate_drive(
+            &layout,
+            &m,
+            BandSetting::NsaPlusLte,
+            &HandoffConfig::default(),
+            5,
+        )
+        .total_handoffs()
     };
     let after = {
         let layout = NetworkLayout::tmobile_drive_corridor(5);
         let m = MobilityModel::driving_10km();
-        simulate_drive(&layout, &m, BandSetting::NsaPlusLte, &HandoffConfig::default(), 5)
-            .total_handoffs()
+        simulate_drive(
+            &layout,
+            &m,
+            BandSetting::NsaPlusLte,
+            &HandoffConfig::default(),
+            5,
+        )
+        .total_handoffs()
     };
     assert_eq!(baseline, after, "guard drop restores the default path");
     // The chaos run is valid either way; record that it ran to completion.
@@ -112,7 +130,11 @@ fn dropped_plane_leaves_no_residue() {
 #[test]
 fn tcp_survives_chaos() {
     let _guard = chaos_guard(11);
-    let mut sim = TcpSim::new(test_path(), TcpSimConfig::multi(4), RngStream::new(11, "tcp"));
+    let mut sim = TcpSim::new(
+        test_path(),
+        TcpSimConfig::multi(4),
+        RngStream::new(11, "tcp"),
+    );
     let res = sim.run(30.0);
     assert!(res.mean_mbps >= 0.0 && res.mean_mbps.is_finite());
     assert!(res.mean_mbps <= test_path().capacity_mbps * 1.001);
@@ -142,7 +164,10 @@ fn shaper_survives_chaos() {
     let clean = trace.transfer_time_s(5e6, 2.0);
     let _guard = chaos_guard(17);
     let chaotic = trace.transfer_time_s(5e6, 2.0);
-    assert!(chaotic.is_finite(), "stall windows must not wedge transfers");
+    assert!(
+        chaotic.is_finite(),
+        "stall windows must not wedge transfers"
+    );
     assert!(chaotic >= clean - 1e-9, "faults only slow transfers down");
 }
 
@@ -157,7 +182,10 @@ fn drive_survives_chaos() {
         let r = simulate_drive(&layout, &m, setting, &HandoffConfig::default(), 19);
         assert!(!r.timeline.is_empty());
         let expected = (m.duration_s() / HandoffConfig::default().step_s) as usize;
-        assert!(r.timeline.len() >= expected, "{setting:?} timeline truncated");
+        assert!(
+            r.timeline.len() >= expected,
+            "{setting:?} timeline truncated"
+        );
         for w in r.events.windows(2) {
             assert!(w[0].t_s <= w[1].t_s, "{setting:?} events out of order");
         }
@@ -193,14 +221,20 @@ fn cell_outage_darkens_targeted_towers() {
     assert!(!dark.is_empty());
     for &idx in &dark {
         let p = layout.towers[idx].pos;
-        let timeless = layout.best_cell(p, false, |t| t.tech() == RadioTech::Lte
-            || t.tech() == RadioTech::Nr);
-        let timed = layout.best_cell_at(p, false, mid, |t| t.tech() == RadioTech::Lte
-            || t.tech() == RadioTech::Nr);
+        let timeless = layout.best_cell(p, false, |t| {
+            t.tech() == RadioTech::Lte || t.tech() == RadioTech::Nr
+        });
+        let timed = layout.best_cell_at(p, false, mid, |t| {
+            t.tech() == RadioTech::Lte || t.tech() == RadioTech::Nr
+        });
         // Standing at the dark tower, the timeless query picks it; the
         // timed query must pick something else (or nothing).
         if timeless.map(|(i, _)| i) == Some(idx) {
-            assert_ne!(timed.map(|(i, _)| i), Some(idx), "tower {idx} still serving");
+            assert_ne!(
+                timed.map(|(i, _)| i),
+                Some(idx),
+                "tower {idx} still serving"
+            );
         }
     }
 }
@@ -210,7 +244,10 @@ fn cell_outage_darkens_targeted_towers() {
 fn blockage_storm_increases_blocked_fraction() {
     let frac = |guard: bool, seed: u64| {
         let _g = guard.then(|| {
-            faults::install(FaultSchedule::generate(seed, &FaultScenario::blockage_storm()))
+            faults::install(FaultSchedule::generate(
+                seed,
+                &FaultScenario::blockage_storm(),
+            ))
         });
         let mut p = BlockageProcess::new(BlockageConfig::default(), RngStream::new(seed, "blk"));
         let steps = 7200;
@@ -275,7 +312,8 @@ fn power_monitor_dropouts_leave_gaps_not_garbage() {
     };
     let _guard = faults::install(FaultSchedule::generate(41, &FaultScenario::power_glitch()));
     let mut rng = RngStream::new(41, "sw");
-    let trace = SoftwareMonitor::new(10.0).record(|_| 1000.0, Activity::IdleScreenOn, 600.0, &mut rng);
+    let trace =
+        SoftwareMonitor::new(10.0).record(|_| 1000.0, Activity::IdleScreenOn, 600.0, &mut rng);
     assert!(trace.len() < clean_len, "dropouts must swallow samples");
     assert!(trace.len() > clean_len / 2, "but not most of the trace");
 }

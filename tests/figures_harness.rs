@@ -16,10 +16,10 @@ fn registry_covers_every_paper_artifact() {
     let ids: Vec<&str> = experiments::registry().iter().map(|(id, _)| *id).collect();
     // Every §3–§6 table/figure with quantitative content.
     for required in [
-        "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-        "fig10", "table2", "table7", "fig11", "fig12", "table8", "fig13", "fig14", "fig26",
-        "fig15", "fig16", "table3", "table9", "fig17", "fig18a", "fig18b", "fig18c", "fig19",
-        "fig20", "fig21", "table6", "fig23", "fig24",
+        "table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "table2", "table7", "fig11", "fig12", "table8", "fig13", "fig14", "fig26", "fig15",
+        "fig16", "table3", "table9", "fig17", "fig18a", "fig18b", "fig18c", "fig19", "fig20",
+        "fig21", "table6", "fig23", "fig24",
     ] {
         assert!(ids.contains(&required), "missing experiment {required}");
     }

@@ -121,7 +121,9 @@ fn cached_shadowing_matches_uncached_over_dense_grid() {
         let p = Point { x: -31.9, y: 57.7 };
         assert_eq!(
             field.sample_db(tower, BandClass::MmWave, p).to_bits(),
-            field.sample_db_uncached(tower, BandClass::MmWave, p).to_bits(),
+            field
+                .sample_db_uncached(tower, BandClass::MmWave, p)
+                .to_bits(),
         );
     }
 }

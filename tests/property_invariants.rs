@@ -28,7 +28,13 @@ fn cases() -> usize {
 #[test]
 fn rsrp_decreases_with_distance() {
     let mut rng = RngStream::new(1, "prop/rsrp-mono");
-    let bands = [Band::LteMidBand, Band::N5Dss, Band::N71, Band::N260, Band::N261];
+    let bands = [
+        Band::LteMidBand,
+        Band::N5Dss,
+        Band::N71,
+        Band::N260,
+        Band::N261,
+    ];
     for _ in 0..cases() {
         let d1 = rng.gen_range(1.0..5_000.0);
         let delta = rng.gen_range(1.0..5_000.0);
@@ -47,14 +53,19 @@ fn capacity_monotone_in_rsrp() {
     for _ in 0..cases() {
         let r1 = rng.gen_range(-125.0..-44.0);
         let bump = rng.gen_range(0.0..40.0);
-        let weak = LinkState { band: Band::N261, rsrp_dbm: r1, sa: false };
-        let strong = LinkState { rsrp_dbm: (r1 + bump).min(-44.0), ..weak };
+        let weak = LinkState {
+            band: Band::N261,
+            rsrp_dbm: r1,
+            sa: false,
+        };
+        let strong = LinkState {
+            rsrp_dbm: (r1 + bump).min(-44.0),
+            ..weak
+        };
         let c_weak = link_capacity_mbps(ue, &weak, Direction::Downlink);
         let c_strong = link_capacity_mbps(ue, &strong, Direction::Downlink);
         assert!(c_strong + 1e-9 >= c_weak, "r1={r1} bump={bump}");
-        assert!(
-            c_strong <= ue.max_throughput_mbps(Band::N261.class(), Direction::Downlink) + 1e-9
-        );
+        assert!(c_strong <= ue.max_throughput_mbps(Band::N261.class(), Direction::Downlink) + 1e-9);
     }
 }
 
@@ -107,7 +118,10 @@ fn energy_integration_is_additive() {
         let n = rng.gen_range(3usize..40);
         let mut ts = TimeSeries::new();
         for i in 0..n {
-            ts.push(SimTime::from_millis(i as u64 * 100), rng.gen_range(0.0..5_000.0));
+            ts.push(
+                SimTime::from_millis(i as u64 * 100),
+                rng.gen_range(0.0..5_000.0),
+            );
         }
         let cut_frac = rng.gen_range(0.1..0.9);
         let start = ts.start().expect("non-empty");
@@ -116,7 +130,10 @@ fn energy_integration_is_additive() {
         let cut = start + SimDuration::from_micros((span.as_micros() as f64 * cut_frac) as u64);
         let whole = ts.integrate_between(start, end);
         let parts = ts.integrate_between(start, cut) + ts.integrate_between(cut, end);
-        assert!((whole - parts).abs() < 1e-6 * whole.max(1.0), "{whole} vs {parts}");
+        assert!(
+            (whole - parts).abs() < 1e-6 * whole.max(1.0),
+            "{whole} vs {parts}"
+        );
     }
 }
 

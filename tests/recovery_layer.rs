@@ -28,7 +28,10 @@ fn recovery_stream_is_deterministic() {
         let b = sup.run_one(sid, f, 2021);
         assert_eq!(a.status, RunStatus::Ok, "{id}");
         assert_eq!(a.recovery, b.recovery, "{id} event stream differs");
-        assert!(!a.recovery.is_empty(), "{id} took no recovery actions under chaos");
+        assert!(
+            !a.recovery.is_empty(),
+            "{id} took no recovery actions under chaos"
+        );
         assert_eq!(a.report.render(), b.report.render(), "{id}");
     }
 }
@@ -41,13 +44,18 @@ fn chaos_triggers_radio_and_rrc_recoveries() {
     let (sid, f) = registry_entry("fig9");
     let drive = sup.run_one(sid, f, 2021);
     assert!(
-        drive.recovery.iter().any(|e| e.kind == RecoveryKind::NsaFallback),
+        drive
+            .recovery
+            .iter()
+            .any(|e| e.kind == RecoveryKind::NsaFallback),
         "drive under chaos must ride out anchor losses on the LTE leg"
     );
     let (sid, f) = registry_entry("fig10");
     let idle = sup.run_one(sid, f, 2021);
     assert!(
-        idle.recovery.iter().any(|e| e.kind == RecoveryKind::RrcReestablish),
+        idle.recovery
+            .iter()
+            .any(|e| e.kind == RecoveryKind::RrcReestablish),
         "idle RRC under chaos must re-establish after resets"
     );
     for e in drive.recovery.iter().chain(idle.recovery.iter()) {
@@ -68,7 +76,10 @@ fn disabled_plane_means_zero_events_and_identical_reports() {
         let (sid, f) = registry_entry(id);
         let out = sup.run_one(sid, f, 2021);
         assert_eq!(out.status, RunStatus::Ok);
-        assert!(out.recovery.is_empty(), "{id} emitted events without a scenario");
+        assert!(
+            out.recovery.is_empty(),
+            "{id} emitted events without a scenario"
+        );
         assert_eq!(out.report.render(), direct, "{id} output drifted");
         let entry = ManifestEntry::from_outcome(&out);
         assert_eq!(entry.recovery.events, 0);
@@ -116,7 +127,10 @@ fn quiet_plane_never_trips_video_recovery() {
         );
         s
     };
-    assert!(clean.stall_time_s > 0.0, "the fade must actually stall playback");
+    assert!(
+        clean.stall_time_s > 0.0,
+        "the fade must actually stall playback"
+    );
     assert_eq!(clean.stall_time_s, quiet.stall_time_s);
     assert_eq!(clean.qoe, quiet.qoe);
     assert_eq!(clean.chunks.len(), quiet.chunks.len());
@@ -130,12 +144,18 @@ fn quiet_plane_never_declares_rlf() {
     use fiveg_wild::radio::cell::NetworkLayout;
     use fiveg_wild::radio::handoff::{simulate_drive, BandSetting, HandoffConfig};
     let run = |quiet: bool| {
-        let _g = quiet
-            .then(|| faults::install(FaultSchedule::generate(9, &FaultScenario::quiet())));
+        let _g =
+            quiet.then(|| faults::install(FaultSchedule::generate(9, &FaultScenario::quiet())));
         let _c = quiet.then(recovery::collect);
         let layout = NetworkLayout::tmobile_drive_corridor(9);
         let m = MobilityModel::driving_10km();
-        let r = simulate_drive(&layout, &m, BandSetting::NsaPlusLte, &HandoffConfig::default(), 9);
+        let r = simulate_drive(
+            &layout,
+            &m,
+            BandSetting::NsaPlusLte,
+            &HandoffConfig::default(),
+            9,
+        );
         if quiet {
             assert!(recovery::drain().is_empty(), "quiet drive recovered");
         }

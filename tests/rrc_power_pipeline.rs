@@ -15,7 +15,12 @@ fn probe_recovers_every_table7_tail_within_3_percent() {
         let truth = RrcProfile::for_config(config);
         let inferred = RrcProbe::new(truth, 3.0, 99).infer();
         let rel = (inferred.tail_ms - truth.tail_ms).abs() / truth.tail_ms;
-        assert!(rel < 0.03, "{config:?}: tail {} vs {}", inferred.tail_ms, truth.tail_ms);
+        assert!(
+            rel < 0.03,
+            "{config:?}: tail {} vs {}",
+            inferred.tail_ms,
+            truth.tail_ms
+        );
     }
 }
 
@@ -56,7 +61,10 @@ fn nsa_churn_makes_5g_tails_expensive_end_to_end() {
     let lte = RrcConfigId::Vz4g;
     let e_mm = RrcPowerParams::for_config(mm).tail_energy_mj(&RrcProfile::for_config(mm));
     let e_lte = RrcPowerParams::for_config(lte).tail_energy_mj(&RrcProfile::for_config(lte));
-    assert!(e_mm > 5.0 * e_lte, "mmWave tail {e_mm:.0} mJ vs 4G {e_lte:.0} mJ");
+    assert!(
+        e_mm > 5.0 * e_lte,
+        "mmWave tail {e_mm:.0} mJ vs 4G {e_lte:.0} mJ"
+    );
 }
 
 #[test]

@@ -23,9 +23,19 @@ fn player_stall_accounting_is_conserved() {
     // and chunk wall times must be non-overlapping and ordered.
     let trace = TraceGenerator::new(5).lumos5g_trace(2);
     let asset = VideoAsset::five_g_default();
-    let r = stream(&asset, &trace, &mut Mpc::fast(), &PlayerConfig::default(), 0.0);
+    let r = stream(
+        &asset,
+        &trace,
+        &mut Mpc::fast(),
+        &PlayerConfig::default(),
+        0.0,
+    );
     let sum: f64 = r.chunks.iter().map(|c| c.stall_s).sum();
-    assert!((sum - r.stall_time_s).abs() < 1e-9, "{sum} vs {}", r.stall_time_s);
+    assert!(
+        (sum - r.stall_time_s).abs() < 1e-9,
+        "{sum} vs {}",
+        r.stall_time_s
+    );
     for w in r.chunks.windows(2) {
         assert!(w[1].start_s >= w[0].start_s + w[0].download_s - 1e-9);
     }
@@ -37,7 +47,13 @@ fn player_wall_clock_accounts_for_content_plus_stalls() {
     // final buffer): the player cannot create time.
     let trace = TraceGenerator::new(6).lumos5g_trace(4);
     let asset = VideoAsset::five_g_default();
-    let r = stream(&asset, &trace, &mut fixed_track_abr(2), &PlayerConfig::default(), 0.0);
+    let r = stream(
+        &asset,
+        &trace,
+        &mut fixed_track_abr(2),
+        &PlayerConfig::default(),
+        0.0,
+    );
     let last = r.chunks.last().expect("non-empty");
     let wall_span = last.start_s + last.download_s;
     assert!(
@@ -101,7 +117,11 @@ fn page_load_time_is_monotone_in_payload() {
             *s *= 2.0;
         }
         let slower = loader.load(&bigger, WebRadio::Lte, 0).plt_s;
-        assert!(slower >= base - 1e-9, "site {}: {base} -> {slower}", site.id);
+        assert!(
+            slower >= base - 1e-9,
+            "site {}: {base} -> {slower}",
+            site.id
+        );
     }
 }
 

@@ -101,7 +101,10 @@ fn telemetry_renders_are_identical_serial_vs_jobs_4() {
     }
     let serial = renders(serial_on());
     let parallel = renders(&run(true, 4));
-    assert_eq!(serial, parallel, "worker count must not leak into sim-time data");
+    assert_eq!(
+        serial, parallel,
+        "worker count must not leak into sim-time data"
+    );
 }
 
 #[test]
@@ -123,7 +126,10 @@ fn campaign_spans_cover_radio_rrc_transport_and_video() {
         "video/session",
         "video/segment",
     ] {
-        assert!(names.contains(expected), "missing span {expected}; got {names:?}");
+        assert!(
+            names.contains(expected),
+            "missing span {expected}; got {names:?}"
+        );
     }
     let counters: BTreeSet<&str> = total.counters.iter().map(|(n, _)| *n).collect();
     assert!(counters.iter().any(|n| n.starts_with("radio/handoff/")));

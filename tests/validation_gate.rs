@@ -1,0 +1,55 @@
+//! The paper-fidelity gate, end to end: the committed goldens validate
+//! clean with full coverage, a perturbed artifact fails the gate, and the
+//! report is byte-stable across reruns.
+
+use fiveg_bench::expect;
+use std::path::Path;
+
+#[test]
+fn committed_goldens_validate_clean_with_full_coverage() {
+    let v = expect::validate_dir(Path::new("results"));
+    assert_eq!(v.fails, 0, "committed results must pass:\n{}", v.report);
+    assert_eq!(v.skipped, 0, "every expectation's artifact is committed");
+    assert!(
+        v.report.contains("artifacts covered: 39/39"),
+        "all 39 artifacts covered:\n{}",
+        v.report
+    );
+}
+
+#[test]
+fn committed_validation_txt_matches_a_fresh_run() {
+    let fresh = expect::validate_dir(Path::new("results")).report;
+    let committed =
+        std::fs::read_to_string("results/validation.txt").expect("golden validation.txt");
+    assert_eq!(
+        fresh, committed,
+        "results/validation.txt is stale — rerun `figures --validate results`"
+    );
+}
+
+#[test]
+fn perturbed_artifact_fails_the_gate() {
+    let dir = std::env::temp_dir().join(format!("fiveg-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let fig1 = std::fs::read_to_string("results/fig1.txt").expect("fig1 golden");
+    // Shift the 0-km RTT an order of magnitude: 6.0 → 60.0 ms.
+    let broken = fig1.replace("     0     6.0", "     0    60.0");
+    assert_ne!(fig1, broken, "perturbation must hit the artifact");
+    std::fs::write(dir.join("fig1.txt"), broken).expect("write");
+    let v = expect::validate_dir(&dir);
+    assert!(v.fails >= 1, "out-of-band value must FAIL:\n{}", v.report);
+    assert!(v.report.contains("FAIL"));
+    assert!(
+        v.skipped > 0,
+        "expectations for absent artifacts are skipped, not failed"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn validation_report_is_byte_stable_across_runs() {
+    let a = expect::validate_dir(Path::new("results")).report;
+    let b = expect::validate_dir(Path::new("results")).report;
+    assert_eq!(a, b);
+}

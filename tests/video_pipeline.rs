@@ -48,7 +48,10 @@ fn oracle_prediction_dominates_harmonic_mean() {
     let (_, oracle_qoe) = mean_stall_and_qoe(&traces, |t| {
         Mpc::with_predictor(Box::new(OraclePredictor::new(t.clone(), 8.0)), false, "o")
     });
-    assert!(oracle_qoe > hm_qoe, "oracle {oracle_qoe:.1} vs hm {hm_qoe:.1}");
+    assert!(
+        oracle_qoe > hm_qoe,
+        "oracle {oracle_qoe:.1} vs hm {hm_qoe:.1}"
+    );
 }
 
 #[test]
@@ -69,7 +72,12 @@ fn five_g_aware_selection_saves_energy_on_the_corpus() {
             .collect();
         (
             mean(&results.iter().map(|r| r.energy_j).collect::<Vec<_>>()),
-            mean(&results.iter().map(|r| r.session.stall_time_s).collect::<Vec<_>>()),
+            mean(
+                &results
+                    .iter()
+                    .map(|r| r.session.stall_time_s)
+                    .collect::<Vec<_>>(),
+            ),
         )
     };
     let (only_energy, only_stall) = run(&IfSelectConfig::five_g_only());

@@ -35,7 +35,12 @@ fn trained_models_route_like_table6_poles() {
     let m1 = SelectionModel::train(&ms, specs[0], 3).evaluate(&test);
     assert!(m1.use_5g > 2 * m1.use_4g, "M1: {}/{}", m1.use_4g, m1.use_5g);
     let m5 = SelectionModel::train(&ms, specs[4], 3).evaluate(&test);
-    assert!(m5.use_4g > 20 * m5.use_5g.max(1), "M5: {}/{}", m5.use_4g, m5.use_5g);
+    assert!(
+        m5.use_4g > 20 * m5.use_5g.max(1),
+        "M5: {}/{}",
+        m5.use_4g,
+        m5.use_5g
+    );
 }
 
 #[test]
