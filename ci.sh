@@ -144,6 +144,47 @@ done
 # Restore the default (telemetry-enabled) binary for anything downstream.
 cargo build --release --offline -p fiveg-bench
 
+# --- Guard plane & stress harness ---------------------------------------------
+# Guards-off feature gate: a binary with the telemetry plane still on but
+# the `guards` feature compiled out must render byte-identical campaign
+# output — isolating the guard hooks specifically (the nofeat gate above
+# drops both planes at once).
+echo "==> guard feature gate: --no-default-features --features telemetry build"
+cargo build --release --offline -p fiveg-bench --no-default-features --features telemetry
+"$FIG" --seed 2021 --out "$SMOKE_DIR/guard-off" table2 fig9 > /dev/null
+cmp "$SMOKE_DIR/telo-plain/manifest.json" "$SMOKE_DIR/guard-off/manifest.json"
+for id in table2 fig9; do
+    cmp "$SMOKE_DIR/telo-plain/$id.txt" "$SMOKE_DIR/guard-off/$id.txt"
+done
+cargo build --release --offline -p fiveg-bench
+
+# Stress smoke: a fixed quiet sweep must pass with zero failures (exit 0),
+# and the summary table must be byte-identical across a rerun with a
+# different worker count (stress.txt carries sim-side facts only).
+echo "==> stress smoke: quiet sweep, fixed seed"
+"$FIG" --stress 6 --stress-seed 2021 --stress-scenario quiet --jobs 4 \
+    --out "$SMOKE_DIR/stress-a" > /dev/null
+"$FIG" --stress 6 --stress-seed 2021 --stress-scenario quiet --jobs 2 \
+    --out "$SMOKE_DIR/stress-b" > /dev/null
+cmp "$SMOKE_DIR/stress-a/stress/stress.txt" "$SMOKE_DIR/stress-b/stress/stress.txt"
+
+# Canary smoke: the find→shrink→replay loop end to end. A deliberately
+# broken invariant must fail the sweep (exit 1), produce a reproducer,
+# and that reproducer must replay to the identical violation (exit 0).
+echo "==> stress smoke: canary find, shrink, replay"
+if "$FIG" --stress 1 --stress-seed 7 --stress-canary \
+    --out "$SMOKE_DIR/stress-c" > /dev/null 2>&1; then
+    echo "error: canary sweep exited 0 — broken invariant not detected" >&2
+    exit 1
+fi
+repro=$(ls "$SMOKE_DIR"/stress-c/stress/repro-c0-*.json)
+grep -q '"verdict":"guard-violation"' "$repro"
+"$FIG" --repro "$repro" > /dev/null
+
+# Strict gate: a healthy campaign under --strict still exits 0.
+echo "==> strict gate: healthy campaign"
+"$FIG" --seed 2021 --strict --out "$SMOKE_DIR/strict-ok" table2 > /dev/null
+
 # --- Campaign perf baseline ---------------------------------------------------
 # Record the full-campaign wall clock and events/sec on all cores into
 # results/BENCH_campaign.json (kept out of manifest.json so manifests stay

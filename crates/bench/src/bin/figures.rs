@@ -14,6 +14,10 @@
 //! figures --list-scenarios     # print fault scenarios, one per line
 //! figures --check-manifest results/manifest.json   # CI gate
 //! figures --validate [dir]     # paper-fidelity gate (default: results)
+//! figures --strict all         # exit non-zero if any experiment degraded
+//! figures --stress 32          # randomized stress sweep + shrinker
+//! figures --stress 32 --stress-seed 7 --stress-scenario chaos
+//! figures --repro results/stress/repro-c3-fig9.json   # replay a repro
 //! ```
 //!
 //! Every experiment runs under the supervised runner: a panic, runaway
@@ -52,11 +56,22 @@
 //! (the only artifact carrying wall-clock numbers). Without the flag the
 //! plane is never installed and every output byte matches an
 //! uninstrumented build.
+//!
+//! `--stress N` switches the binary into the stress harness
+//! (`fiveg_bench::stress`): `N` seeded cases of experiment × fault
+//! scenario × perturbed seed/budget run on the worker pool; every panic,
+//! budget blow-out, guard-plane violation, or non-finite artifact number
+//! is shrunk to a minimal case and written as a replayable reproducer
+//! under `<out>/stress/`, next to a deterministic `stress.txt` summary
+//! (byte-identical across reruns of the same `--stress-seed`).
+//! `--repro <file>` replays one reproducer and exits 0 iff the recorded
+//! failure reproduces exactly. `--strict` makes a campaign exit non-zero
+//! when any experiment finished degraded.
 
 use fiveg_bench::json::Json;
 use fiveg_bench::report::{f, Table};
 use fiveg_bench::runner::{self, ManifestEntry, RunStatus, Supervisor};
-use fiveg_bench::{experiments, telemetry as telexport, CAMPAIGN_SEED};
+use fiveg_bench::{experiments, stress, telemetry as telexport, CAMPAIGN_SEED};
 use fiveg_simcore::faults::FaultScenario;
 use fiveg_simcore::recovery::RecoveryKind;
 use fiveg_simcore::telemetry::AttemptTelemetry;
@@ -183,6 +198,105 @@ fn validate(dir: &str) -> ! {
         std::process::exit(2);
     }
     std::process::exit(if v.ok() { 0 } else { 1 });
+}
+
+/// `--repro <file>`: replay a stress reproducer and exit 0 iff the
+/// recorded failure reproduces exactly (same verdict, same signature).
+fn replay_repro(path: &str) -> ! {
+    let doc = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let deadline = std::time::Duration::from_secs(120);
+    match stress::replay_repro(&doc, deadline) {
+        Ok((case, expected, observed, matches)) => {
+            println!(
+                "case {}: experiment {}, scenario {}, seed {}, budget {}, {} fault event(s)",
+                case.id,
+                case.experiment,
+                case.scenario.as_deref().unwrap_or("none"),
+                case.seed,
+                case.event_budget,
+                case.size()
+            );
+            println!(
+                "expected: {} — {}",
+                expected.verdict.as_str(),
+                expected.signature
+            );
+            println!(
+                "observed: {} — {}",
+                observed.verdict.as_str(),
+                observed.signature
+            );
+            if matches {
+                println!("{path}: reproduced");
+                std::process::exit(0);
+            }
+            eprintln!("{path}: did NOT reproduce");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `--stress N`: run the randomized stress sweep, shrink every failure,
+/// and write `stress.txt` plus one reproducer per failing case under
+/// `<out>/stress/`. Exits non-zero iff any case failed.
+fn run_stress_mode(cfg: &stress::StressConfig, out_dir: &Path) -> ! {
+    let dir = out_dir.join("stress");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        std::process::exit(2);
+    }
+    if !fiveg_simcore::guard::compiled() {
+        eprintln!(
+            "warning: built without the `guards` feature — invariant \
+             violations cannot be detected, only panics and budget trips"
+        );
+    }
+    println!(
+        "stress: {} case(s), seed {}, scenario {}, {} worker(s)",
+        cfg.cases,
+        cfg.seed,
+        cfg.scenario.as_deref().unwrap_or("randomized"),
+        cfg.jobs
+    );
+    let report = stress::run_stress(cfg);
+    let table = stress::stress_table(&report);
+    print!("{table}");
+    write_or_die(&dir.join("stress.txt"), &table);
+    let mut repros = 0usize;
+    for r in &report.results {
+        if let Some((case, outcome, runs)) = &r.shrunk {
+            let name = format!("repro-c{}-{}.json", case.id, case.experiment);
+            write_or_die(
+                &dir.join(&name),
+                &stress::repro_json(report.seed, case, outcome).render(),
+            );
+            println!(
+                "case {}: shrunk to {} fault event(s) in {runs} run(s) — wrote {}",
+                case.id,
+                case.size(),
+                dir.join(&name).display()
+            );
+            repros += 1;
+        }
+    }
+    let failures = report.failures();
+    println!(
+        "stress: {}/{} case(s) failed, {repros} reproducer(s) written to {}",
+        failures,
+        report.results.len(),
+        dir.display()
+    );
+    std::process::exit(if failures == 0 { 0 } else { 1 });
 }
 
 /// Renders the campaign resilience table from finished manifest rows.
@@ -314,6 +428,18 @@ fn main() {
             .unwrap_or_else(|| "results".to_string());
         validate(&dir);
     }
+    if let Some(pos) = args.iter().position(|a| a == "--repro") {
+        let path = args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--repro needs a reproducer file path");
+            std::process::exit(2);
+        });
+        replay_repro(&path);
+    }
+    let mut strict = false;
+    if let Some(pos) = args.iter().position(|a| a == "--strict") {
+        args.remove(pos);
+        strict = true;
+    }
     let mut seed = CAMPAIGN_SEED;
     if let Some(pos) = args.iter().position(|a| a == "--seed") {
         args.remove(pos);
@@ -419,6 +545,72 @@ fn main() {
             );
         }
         telemetry_dir = Some(path);
+    }
+
+    // Stress flags: parsed after the shared flags (`--out`, `--jobs`) so
+    // the harness inherits them, dispatched before the campaign path.
+    let mut stress_cases: Option<usize> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--stress") {
+        args.remove(pos);
+        stress_cases = Some(
+            args.get(pos)
+                .and_then(|s| s.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| {
+                    eprintln!("--stress needs a positive case count");
+                    std::process::exit(2);
+                }),
+        );
+        args.remove(pos);
+    }
+    let mut stress_seed = CAMPAIGN_SEED;
+    if let Some(pos) = args.iter().position(|a| a == "--stress-seed") {
+        args.remove(pos);
+        stress_seed = args
+            .get(pos)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--stress-seed needs an integer");
+                std::process::exit(2);
+            });
+        args.remove(pos);
+    }
+    let mut stress_scenario: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--stress-scenario") {
+        args.remove(pos);
+        let name = args
+            .get(pos)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| {
+                eprintln!("--stress-scenario needs a scenario name; available scenarios:");
+                print_scenarios();
+                std::process::exit(2);
+            });
+        args.remove(pos);
+        if FaultScenario::by_name(&name).is_none() {
+            eprintln!("unknown scenario: {name}; available scenarios:");
+            print_scenarios();
+            std::process::exit(2);
+        }
+        stress_scenario = Some(name);
+    }
+    let mut stress_canary = false;
+    if let Some(pos) = args.iter().position(|a| a == "--stress-canary") {
+        args.remove(pos);
+        stress_canary = true;
+    }
+    if let Some(cases) = stress_cases {
+        let cfg = stress::StressConfig {
+            cases,
+            seed: stress_seed,
+            scenario: stress_scenario,
+            canary: stress_canary,
+            jobs,
+            ..stress::StressConfig::default()
+        };
+        let out = out_dir.unwrap_or_else(|| PathBuf::from("results"));
+        run_stress_mode(&cfg, &out);
     }
 
     let registry = experiments::registry();
@@ -586,7 +778,27 @@ fn main() {
         }
     }
 
+    // Guard-plane findings go to stderr only — never into any artifact,
+    // which must stay byte-identical with the plane on or off.
+    let total_violations: u64 = outcomes.iter().map(|o| o.guards.violation_count()).sum();
+    if total_violations > 0 {
+        eprintln!("warning: guard plane recorded {total_violations} invariant violation(s):");
+        for o in &outcomes {
+            if let Some(v) = o.guards.violations.first() {
+                eprintln!(
+                    "  {}: {} violation(s), first: {}",
+                    o.id,
+                    o.guards.violation_count(),
+                    v.signature()
+                );
+            }
+        }
+    }
+
     if degraded > 0 {
         eprintln!("{degraded}/{} experiments degraded", rows.len());
+        if strict {
+            std::process::exit(1);
+        }
     }
 }

@@ -19,6 +19,7 @@ use crate::experiments::Experiment;
 use crate::json::Json;
 use crate::report::Report;
 use fiveg_simcore::faults::FaultScenario;
+use fiveg_simcore::guard::{self, AttemptGuards, GuardPolicy};
 use fiveg_simcore::recovery::{self, RecoveryEvent, RecoverySummary};
 use fiveg_simcore::telemetry::{self, AttemptTelemetry};
 use fiveg_simcore::{ambient, budget, RngStream};
@@ -87,6 +88,13 @@ pub struct RunOutcome {
     /// degraded runs). Like `wall_s`/`events`, this never reaches
     /// `manifest.json` — the `figures` CLI renders it into its own files.
     pub telemetry: Option<AttemptTelemetry>,
+    /// Invariant-guard records drained from the successful attempt (empty
+    /// for degraded runs, when the supervisor runs with
+    /// [`Supervisor::guards`] `None`, or when the `guards` feature is
+    /// compiled out). In-memory only — violations are surfaced on stderr
+    /// and by the stress harness, never persisted into `manifest.json`,
+    /// which must stay byte-identical with the plane on or off.
+    pub guards: AttemptGuards,
 }
 
 impl RunOutcome {
@@ -113,6 +121,12 @@ pub struct Supervisor {
     /// with it off the plane is never installed and campaign output is
     /// byte-identical to an uninstrumented build.
     pub telemetry: bool,
+    /// Guard-plane policy installed on each attempt thread; `None` leaves
+    /// the invariant collector uninstalled. Defaults to
+    /// [`GuardPolicy::Record`]: checks run and violations are drained into
+    /// the outcome, but (since hooks never mutate simulation state) every
+    /// artifact stays byte-identical to a run with the plane off.
+    pub guards: Option<GuardPolicy>,
 }
 
 impl Default for Supervisor {
@@ -125,6 +139,7 @@ impl Default for Supervisor {
             deadline: Duration::from_secs(120),
             retries: 1,
             telemetry: false,
+            guards: Some(GuardPolicy::Record),
         }
     }
 }
@@ -156,17 +171,18 @@ impl Supervisor {
         for attempt in 0..=self.retries {
             let attempt_seed = self.attempt_seed(id, seed, attempt);
             match self.attempt(id, f, attempt_seed) {
-                Ok((report, recovery, events, telemetry)) => {
+                Ok(done) => {
                     return RunOutcome {
                         id,
                         status: RunStatus::Ok,
                         attempts: attempt + 1,
                         note: (attempt > 0).then(|| last_note.clone()),
-                        report,
-                        recovery,
+                        report: done.report,
+                        recovery: done.recovery,
                         wall_s: t0.elapsed().as_secs_f64(),
-                        events,
-                        telemetry,
+                        events: done.events,
+                        telemetry: done.telemetry,
+                        guards: done.guards,
                     }
                 }
                 Err(note) => last_note = note,
@@ -182,6 +198,7 @@ impl Supervisor {
             wall_s: t0.elapsed().as_secs_f64(),
             events: 0,
             telemetry: None,
+            guards: AttemptGuards::default(),
         }
     }
 
@@ -240,60 +257,21 @@ impl Supervisor {
     where
         F: Fn(usize, &RunOutcome) + Sync,
     {
-        let n = entries.len();
-        let workers = jobs.clamp(1, n.max(1));
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let busy: Vec<Mutex<f64>> = (0..workers).map(|_| Mutex::new(0.0)).collect();
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let next = &next;
-                let slots = &slots;
-                let busy = &busy;
-                let on_done = &on_done;
-                scope.spawn(move || loop {
-                    // Work-stealing via a shared cursor: a worker that lands
-                    // a long experiment simply claims fewer entries.
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let (id, f) = entries[i];
-                    let t0 = Instant::now();
-                    let outcome = self.run_one(id, f, seed);
-                    *busy[w].lock().expect("busy lock") += t0.elapsed().as_secs_f64();
-                    on_done(i, &outcome);
-                    *slots[i].lock().expect("slot lock") = Some(outcome);
-                });
-            }
-        });
-        let outcomes = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot lock")
-                    .expect("every queue entry was claimed by a worker")
-            })
-            .collect();
-        let busy = busy
-            .into_iter()
-            .map(|m| m.into_inner().expect("busy lock"))
-            .collect();
-        (outcomes, busy)
+        pool_map(entries.len(), jobs, |i| {
+            let (id, f) = entries[i];
+            let outcome = self.run_one(id, f, seed);
+            on_done(i, &outcome);
+            outcome
+        })
     }
 
     /// One supervised attempt: spawn, install, arm, catch, wait.
-    #[allow(clippy::type_complexity)]
-    fn attempt(
-        &self,
-        id: &str,
-        f: Experiment,
-        seed: u64,
-    ) -> Result<(Report, Vec<RecoveryEvent>, u64, Option<AttemptTelemetry>), String> {
+    fn attempt(&self, id: &str, f: Experiment, seed: u64) -> Result<AttemptOutput, String> {
         let (tx, rx) = mpsc::channel();
         let scenario = self.scenario.clone();
         let events = self.event_budget;
         let telemetry_on = self.telemetry;
+        let guards = self.guards;
         let spawned = std::thread::Builder::new()
             .name(format!("exp-{id}"))
             .spawn(move || {
@@ -301,18 +279,36 @@ impl Supervisor {
                 // fault plane, the recovery collector (only alongside a
                 // scenario, so fault-free campaigns report zero recovery
                 // events by construction), the telemetry collector (only
-                // when the supervisor asks), and arm the budget — all for
-                // this attempt only.
+                // when the supervisor asks), the invariant guard collector
+                // (under the supervisor's policy), and arm the budget — all
+                // for this attempt only.
                 let _ambient =
-                    ambient::install_attempt(scenario.as_ref(), seed, events, telemetry_on);
+                    ambient::install_attempt(scenario.as_ref(), seed, events, telemetry_on, guards);
                 let result = std::panic::catch_unwind(|| f(seed));
                 let consumed = budget::consumed().unwrap_or(0);
                 let telem = telemetry_on.then(telemetry::drain);
-                let _ = tx.send(
-                    result
-                        .map(|report| (report, recovery::drain(), consumed, telem))
-                        .map_err(|payload| panic_note(payload.as_ref())),
-                );
+                let guard_records = guard::drain();
+                let send = match result {
+                    Ok(report) => Ok(AttemptOutput {
+                        report,
+                        recovery: recovery::drain(),
+                        events: consumed,
+                        telemetry: telem,
+                        guards: guard_records,
+                    }),
+                    Err(payload) => {
+                        // Attempt-state hygiene: a panicked experiment may
+                        // have half-filled its collectors. They uninstall
+                        // when `_ambient` drops (and the retry runs on a
+                        // fresh thread with freshly-installed planes), but
+                        // drain them explicitly too so no poisoned state
+                        // can outlive this scope even if the attempt
+                        // threading model ever changes.
+                        let _ = recovery::drain();
+                        Err(panic_note(payload.as_ref()))
+                    }
+                };
+                let _ = tx.send(send);
             });
         if let Err(e) = spawned {
             return Err(format!("spawn failed: {e}"));
@@ -328,6 +324,65 @@ impl Supervisor {
             }
         }
     }
+}
+
+/// Runs `n` independent tasks on a pool of `jobs` worker threads pulling
+/// indices from a shared cursor (work-stealing: a worker that lands a long
+/// task simply claims fewer indices), collecting results **in index
+/// order** regardless of completion order. Also returns per-worker busy
+/// time in seconds (wall-clock telemetry only — it must never reach a
+/// deterministic artifact). The campaign scheduler and the stress harness
+/// both run on this pool; determinism is the caller's contract (each
+/// task's result must be a pure function of its index).
+pub fn pool_map<T, F>(n: usize, jobs: usize, run: F) -> (Vec<T>, Vec<f64>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = jobs.clamp(1, n.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let busy: Vec<Mutex<f64>> = (0..workers).map(|_| Mutex::new(0.0)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let next = &next;
+            let slots = &slots;
+            let busy = &busy;
+            let run = &run;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let t0 = Instant::now();
+                let out = run(i);
+                *busy[w].lock().expect("busy lock") += t0.elapsed().as_secs_f64();
+                *slots[i].lock().expect("slot lock") = Some(out);
+            });
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every queue index was claimed by a worker")
+        })
+        .collect();
+    let busy = busy
+        .into_iter()
+        .map(|m| m.into_inner().expect("busy lock"))
+        .collect();
+    (results, busy)
+}
+
+/// What one successful supervised attempt hands back to the retry loop.
+struct AttemptOutput {
+    report: Report,
+    recovery: Vec<RecoveryEvent>,
+    events: u64,
+    telemetry: Option<AttemptTelemetry>,
+    guards: AttemptGuards,
 }
 
 /// Extracts a readable note from a panic payload.
@@ -1002,6 +1057,131 @@ mod tests {
     #[test]
     fn write_atomic_rejects_pathless_targets() {
         assert!(write_atomic(Path::new("/"), "x").is_err());
+    }
+
+    #[test]
+    fn guard_violations_flow_into_the_outcome_not_the_manifest() {
+        fn violating_exp(_seed: u64) -> Report {
+            guard::check("test", "deliberately-broken", false, 2.5, || {
+                "canary".into()
+            });
+            Report {
+                id: "viol",
+                title: "t".into(),
+                body: "b".into(),
+            }
+        }
+        let out = Supervisor::default().run_one("viol", violating_exp, 1);
+        assert_eq!(out.status, RunStatus::Ok, "Record policy never degrades");
+        if guard::compiled() {
+            assert_eq!(out.guards.violations.len(), 1);
+            assert_eq!(out.guards.violations[0].invariant, "deliberately-broken");
+        } else {
+            assert!(out.guards.is_clean());
+        }
+        // The manifest row never carries guard state — bit-identity with
+        // the plane off depends on it.
+        let rendered = ManifestEntry::from_outcome(&out).to_json().render();
+        assert!(!rendered.contains("guard"), "manifest row: {rendered}");
+
+        let off = Supervisor {
+            guards: None,
+            ..Supervisor::default()
+        }
+        .run_one("viol", violating_exp, 1);
+        assert!(off.guards.is_clean());
+        assert_eq!(off.guards.checks, 0, "no collector, no checks counted");
+    }
+
+    #[test]
+    fn fail_fast_policy_degrades_on_violation() {
+        fn violating_exp(_seed: u64) -> Report {
+            guard::check("test", "broken", false, 0.0, || "x".into());
+            Report {
+                id: "ff",
+                title: "t".into(),
+                body: "b".into(),
+            }
+        }
+        let sup = Supervisor {
+            guards: Some(GuardPolicy::FailFast),
+            ..Supervisor::default()
+        };
+        let out = sup.run_one("ff", violating_exp, 1);
+        if guard::compiled() {
+            assert_eq!(out.status, RunStatus::Degraded);
+            assert!(
+                out.note.as_deref().unwrap().contains(guard::VIOLATION_MSG),
+                "note: {:?}",
+                out.note
+            );
+        } else {
+            assert_eq!(out.status, RunStatus::Ok);
+        }
+    }
+
+    #[test]
+    fn retry_after_panic_starts_with_clean_planes() {
+        use std::sync::atomic::AtomicBool;
+        static POISONED_ONCE: AtomicBool = AtomicBool::new(false);
+        fn poisoning_exp(_seed: u64) -> Report {
+            if !POISONED_ONCE.swap(true, Ordering::SeqCst) {
+                // First attempt: dirty every per-attempt plane, then die
+                // mid-experiment with the collectors still half-full.
+                recovery::record(
+                    fiveg_simcore::recovery::RecoveryKind::TcpRto,
+                    1.0,
+                    0.5,
+                    2.0,
+                    || "poison".into(),
+                );
+                telemetry::count("test/poison", 1);
+                guard::check("test", "poison", false, 1.0, || "poison".into());
+                fiveg_simcore::budget::charge(1_000);
+                panic!("first attempt dies with dirty planes");
+            }
+            // The retry must see freshly-installed, empty planes: nothing
+            // recorded by the panicked attempt may leak across.
+            let rec = recovery::drain();
+            assert!(rec.is_empty(), "retry inherited recovery events: {rec:?}");
+            let telem = telemetry::drain();
+            assert!(
+                telem.counters.iter().all(|(n, _)| *n != "test/poison"),
+                "retry inherited telemetry: {:?}",
+                telem.counters
+            );
+            let guards = guard::drain();
+            assert!(guards.is_clean(), "retry inherited guard state: {guards:?}");
+            assert!(
+                fiveg_simcore::budget::consumed() == Some(0),
+                "retry inherited budget consumption"
+            );
+            Report {
+                id: "poison",
+                title: "clean".into(),
+                body: "retry saw empty planes".into(),
+            }
+        }
+        let sup = Supervisor {
+            scenario: Some(FaultScenario::chaos()),
+            telemetry: true,
+            ..Supervisor::default()
+        };
+        let out = sup.run_one("poison", poisoning_exp, 7);
+        assert_eq!(out.status, RunStatus::Ok, "note: {:?}", out.note);
+        assert_eq!(out.attempts, 2);
+    }
+
+    #[test]
+    fn pool_map_collects_in_index_order() {
+        let (results, busy) = pool_map(16, 4, |i| {
+            if i % 3 == 0 {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            i * i
+        });
+        assert_eq!(results, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(busy.len(), 4);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use fiveg_simcore::faults::{self, FaultKind};
 use fiveg_simcore::recovery::{self, RecoveryKind};
-use fiveg_simcore::{budget, telemetry, RngStream, SimTime, TimeSeries};
+use fiveg_simcore::{budget, guard, telemetry, RngStream, SimTime, TimeSeries};
 
 /// The benchmark activities of Table 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -150,6 +150,7 @@ impl HardwareMonitor {
                 );
             }
             let v = (truth(t) * (1.0 + rng.normal(0.0, self.noise_frac))).max(0.0);
+            guard::non_negative("power", "rail", v, 0.0, t);
             telemetry::count("power/sample", 1);
             telemetry::observe("power/rail_mw", v);
             ts.push(SimTime::from_secs_f64(t), v);
@@ -254,6 +255,7 @@ impl SoftwareMonitor {
                 );
             }
             let v = (truth(t) * ratio * (1.0 + rng.normal(0.0, noise))).max(0.0);
+            guard::non_negative("power", "rail", v, 0.0, t);
             telemetry::count("power/sample", 1);
             telemetry::observe("power/rail_mw", v);
             ts.push(SimTime::from_secs_f64(t), v);

@@ -7,7 +7,7 @@
 //! which Fig 9 shows happens *constantly* while driving.
 
 use fiveg_rrc::profile::{RrcConfigId, RrcProfile, RrcState};
-use fiveg_simcore::{telemetry, SimDuration, SimTime, TimeSeries};
+use fiveg_simcore::{guard, telemetry, SimDuration, SimTime, TimeSeries};
 
 /// Radio power parameters of one carrier configuration (Table 2 ground
 /// truth plus supporting states).
@@ -108,6 +108,9 @@ pub fn periodic_traffic_energy_mj(
     } else {
         // Full tail, an idle stretch, then a fresh promotion.
         cycle += params.tail_energy_mj(profile);
+        // This branch means the gap outlived the tail, so the idle dwell
+        // (gap − time-to-idle) must be a non-negative duration.
+        guard::non_negative("power", "idle-dwell", gap - tti_s, 1e-9, period_s);
         cycle += params.idle_mw * (gap - tti_s);
         let promo_s = if profile.standalone {
             profile.promo_5g_ms.expect("SA") / 1e3
@@ -127,6 +130,7 @@ pub fn periodic_traffic_energy_mj(
             }
         }
     }
+    guard::non_negative("power", "cycle-energy", cycle, 1e-9, period_s);
     cycle * (duration_s / period_s)
 }
 
@@ -226,6 +230,26 @@ pub fn promotion_scenario_trace(profile: &RrcProfile, params: &RrcPowerParams) -
     }
     // Tail: DRX square wave at the per-state mean.
     let tail_end = burst_end + profile.time_to_idle_ms();
+    if guard::enabled() {
+        // Scenario phases are contiguous, ordered dwells: idle lead →
+        // promotion → (switch) → burst → tail. Any inversion would make a
+        // phase's dwell negative.
+        guard::check(
+            "power",
+            "phase-order",
+            IDLE_LEAD_MS <= promo_end
+                && promo_end <= switch_end
+                && switch_end < burst_end
+                && burst_end < tail_end,
+            tail_end / 1e3,
+            || {
+                format!(
+                    "phase boundaries disordered: promo {promo_end} switch {switch_end} \
+                     burst {burst_end} tail {tail_end} ms"
+                )
+            },
+        );
+    }
     let drx = profile.long_drx_ms.max(1.0);
     while t < tail_end {
         let idle_for = t - burst_end;

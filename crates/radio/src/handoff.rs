@@ -16,7 +16,7 @@ use crate::cell::{NetworkLayout, RadioTech, Tower};
 use fiveg_geo::mobility::MobilityModel;
 use fiveg_simcore::faults::{self, FaultKind};
 use fiveg_simcore::recovery::{self, RecoveryKind};
-use fiveg_simcore::{budget, telemetry, RngStream};
+use fiveg_simcore::{budget, guard, telemetry, RngStream};
 
 /// The five band-enable settings of Fig 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -197,6 +197,7 @@ impl DriveState {
     fn set_active(&mut self, t: f64, radio: Option<ActiveRadio>) {
         if self.active != radio {
             telemetry::count("radio/handoff/vertical", 1);
+            self.check_order(t);
             self.events.push(HandoffEvent {
                 t_s: t,
                 kind: HandoffKind::Vertical,
@@ -208,11 +209,26 @@ impl DriveState {
 
     fn horizontal(&mut self, t: f64) {
         telemetry::count("radio/handoff/horizontal", 1);
+        self.check_order(t);
         self.events.push(HandoffEvent {
             t_s: t,
             kind: HandoffKind::Horizontal,
             to: self.active,
         });
+    }
+
+    /// Guard: the handoff log is append-only in sim-time order.
+    fn check_order(&self, t: f64) {
+        if guard::enabled() {
+            let last = self.events.last().map_or(0.0, |e| e.t_s);
+            guard::check(
+                "radio",
+                "handoff-order",
+                t.is_finite() && t >= last,
+                t,
+                || format!("handoff at t={t} precedes the last logged event at t={last}"),
+            );
+        }
     }
 }
 
@@ -247,6 +263,7 @@ impl ReselState {
         match (self.serving, best) {
             (None, None) => false,
             (None, Some((idx, rsrp))) => {
+                guard::in_range("radio", "rsrp-range", rsrp, -220.0, 0.0, 1e-9, t);
                 // Initial attach is immediate.
                 self.serving = Some(idx);
                 self.serving_rsrp = rsrp;
@@ -273,6 +290,10 @@ impl ReselState {
                 }
                 let cur_tower = &layout.towers[cur];
                 let cur_rsrp = layout.rsrp_at(cur_tower, p, false);
+                if guard::enabled() {
+                    guard::in_range("radio", "rsrp-range", cur_rsrp, -220.0, 0.0, 1e-9, t);
+                    guard::in_range("radio", "rsrp-range", best_rsrp, -220.0, 0.0, 1e-9, t);
+                }
                 // Radio-link failure: switch immediately when the serving
                 // cell falls through the floor — or its site goes dark under
                 // a cell-outage fault window.
@@ -300,6 +321,25 @@ impl ReselState {
                     match self.pending {
                         Some((pidx, since)) if pidx == idx => {
                             if t - since >= cfg.time_to_trigger_s {
+                                // Reselection legality: a hysteresis-path
+                                // commit requires the candidate to beat the
+                                // serving cell by the A3 offset AND to have
+                                // dwelled the full time-to-trigger.
+                                guard::check(
+                                    "radio",
+                                    "hysteresis-legal",
+                                    best_rsrp > cur_rsrp + cfg.hysteresis_db
+                                        && t - since >= cfg.time_to_trigger_s,
+                                    t,
+                                    || {
+                                        format!(
+                                            "commit {cur}->{idx} with margin \
+                                             {:.3} dB after {:.3}s dwell",
+                                            best_rsrp - cur_rsrp,
+                                            t - since
+                                        )
+                                    },
+                                );
                                 self.serving = Some(idx);
                                 self.serving_rsrp = best_rsrp;
                                 self.pending = None;

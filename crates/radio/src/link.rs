@@ -8,6 +8,7 @@
 use crate::band::{Band, BandClass, Direction};
 use crate::ue::UeModel;
 use fiveg_simcore::faults::{self, FaultKind};
+use fiveg_simcore::guard;
 
 /// The instantaneous radio link between a UE and its serving cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -79,6 +80,18 @@ impl LinkBudget {
 /// `link_capacity_mbps` when no fault plane is installed.
 pub fn link_capacity_mbps_at(ue: UeModel, link: &LinkState, dir: Direction, t_s: f64) -> f64 {
     let cap = link_capacity_mbps(ue, link, dir);
+    if guard::enabled() {
+        guard::in_range("radio", "rsrp-range", link.rsrp_dbm, -220.0, 0.0, 1e-9, t_s);
+        guard::in_range(
+            "radio",
+            "capacity-bounds",
+            cap,
+            0.0,
+            ue.max_throughput_mbps(link.band.class(), dir),
+            1e-9,
+            t_s,
+        );
+    }
     if link.band.class() != BandClass::MmWave {
         return cap;
     }

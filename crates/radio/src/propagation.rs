@@ -12,7 +12,7 @@
 
 use crate::band::{Band, BandClass};
 use fiveg_geo::route::Point;
-use fiveg_simcore::{telemetry, RngStream};
+use fiveg_simcore::{guard, telemetry, RngStream};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::OnceLock;
@@ -190,6 +190,19 @@ impl ShadowingField {
         let key = (tower, ix, iy);
         if let Some(&v) = self.nodes.borrow().get(&key) {
             telemetry::count("radio/shadow/hit", 1);
+            // Coherence guard: on a deterministic 1-in-64 subset of hits
+            // (keyed on the lattice index — no randomness drawn, bounded
+            // overhead) recompute the node from scratch and require the
+            // cached value to be bit-identical.
+            if guard::enabled() && (ix ^ iy) & 63 == 0 {
+                guard::check(
+                    "radio",
+                    "shadow-cache-coherent",
+                    v.to_bits() == self.node_uncached(tower, ix, iy).to_bits(),
+                    0.0,
+                    || format!("cached node {key:?} = {v} diverged from recompute"),
+                );
+            }
             return v;
         }
         telemetry::count("radio/shadow/miss", 1);

@@ -20,7 +20,7 @@ use crate::profile::{RrcProfile, RrcState};
 use fiveg_radio::band::BandClass;
 use fiveg_simcore::faults::{self, FaultKind};
 use fiveg_simcore::recovery::{self, RecoveryKind};
-use fiveg_simcore::{telemetry, RngStream};
+use fiveg_simcore::{guard, telemetry, RngStream};
 
 /// Result of a packet arrival at the UE.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -147,6 +147,25 @@ impl RrcMachine {
             Some(m) => delay * m.max(1.0),
             None => delay,
         };
+
+        if guard::enabled() {
+            // Transition legality: the state a packet finds must follow
+            // from the dwell since the last activity — unless an RRC-reset
+            // fault window tore the connection down underneath the timers.
+            let natural = self
+                .last_activity_ms
+                .map_or(RrcState::Idle, |l| p.state_after_idle(now_ms - l));
+            guard::check(
+                "rrc",
+                "state-legal",
+                state == natural || faults::is_active(FaultKind::RrcReset, now_ms / 1_000.0),
+                now_ms / 1_000.0,
+                || format!("packet found {state:?} but dwell {idle_ms:.1} ms implies {natural:?}"),
+            );
+            // Access delays are waits; a negative or non-finite one would
+            // silently rewind the activity clock below.
+            guard::non_negative("rrc", "delay", delay, 0.0, now_ms / 1_000.0);
+        }
 
         // An Idle found only because an RRC-reset window tore the connection
         // down (the natural timers would not have idled yet) means this

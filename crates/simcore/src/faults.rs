@@ -426,6 +426,42 @@ impl FaultSchedule {
                 .any(|e| e.covers(t_s) && e.target % n_targets == id % n_targets)
     }
 
+    /// The schedule restricted to the events whose (time-sorted) indices
+    /// appear in `keep`. Identity (seed, scenario) is preserved, so a
+    /// restricted schedule installs and replays exactly like the original
+    /// minus the dropped windows. The stress shrinker's "drop fault
+    /// events" dimension; out-of-range indices are ignored.
+    pub fn restricted(&self, keep: &[usize]) -> FaultSchedule {
+        FaultSchedule {
+            seed: self.seed,
+            scenario: self.scenario.clone(),
+            events: self
+                .events
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep.contains(i))
+                .map(|(_, e)| e.clone())
+                .collect(),
+        }
+    }
+
+    /// The schedule truncated to events *starting* before `horizon_s` —
+    /// the stress shrinker's "shorten duration" dimension. A window that
+    /// starts before the horizon keeps its full duration (truncating
+    /// mid-window would create a schedule no generator could produce).
+    pub fn truncated(&self, horizon_s: f64) -> FaultSchedule {
+        FaultSchedule {
+            seed: self.seed,
+            scenario: self.scenario.clone(),
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.start_s < horizon_s)
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// The `(start_s, duration_s)` of the `kind` window covering `t_s`, if
     /// any; with overlapping windows, the earliest-starting one. Recovery
     /// hooks use this to compute detection latency (`t_s - start_s`) and the
@@ -613,6 +649,26 @@ mod tests {
             assert_eq!(s.name, name);
         }
         assert!(FaultScenario::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn restricted_and_truncated_preserve_identity() {
+        let s = FaultSchedule::generate(17, &FaultScenario::chaos());
+        assert!(s.events().len() >= 4, "chaos schedules are busy");
+        let keep: Vec<usize> = (0..s.events().len()).step_by(2).collect();
+        let r = s.restricted(&keep);
+        assert_eq!(r.seed(), s.seed());
+        assert_eq!(r.scenario(), s.scenario());
+        assert_eq!(r.events().len(), keep.len());
+        assert_eq!(r.events()[0], s.events()[0]);
+        let horizon = s.events()[2].start_s;
+        let t = s.truncated(horizon);
+        assert!(t.events().iter().all(|e| e.start_s < horizon));
+        assert!(t.events().len() < s.events().len());
+        assert_eq!(s.restricted(&[]).events().len(), 0);
+        // Restricting to everything is the identity.
+        let all: Vec<usize> = (0..s.events().len()).collect();
+        assert_eq!(s.restricted(&all), s);
     }
 
     #[test]

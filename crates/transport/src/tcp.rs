@@ -16,7 +16,7 @@
 use crate::path::PathModel;
 use fiveg_simcore::faults::{self, FaultKind};
 use fiveg_simcore::recovery::{self, RecoveryKind};
-use fiveg_simcore::{budget, telemetry, RngStream};
+use fiveg_simcore::{budget, guard, telemetry, RngStream};
 
 /// Congestion-control algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -297,6 +297,16 @@ impl TcpSim {
                     }
                     rto_s *= 2.0;
                     next_rto_at = t + rto_s;
+                    // The backoff sequence only ever doubles from the RFC
+                    // 6298 floor; a shrinking or non-finite RTO would let a
+                    // stall window fire timers unboundedly often.
+                    guard::check(
+                        "transport",
+                        "rto-bounds",
+                        rto_s.is_finite() && rto_s >= (2.0 * base_rtt_s).max(1.0),
+                        t,
+                        || format!("RTO {rto_s}s below the floor after backoff #{backoffs}"),
+                    );
                 }
                 t += dt;
                 if t >= next_second {
@@ -359,6 +369,15 @@ impl TcpSim {
                         f.epoch_s = 0.0;
                     }
                 }
+                guard::in_range(
+                    "transport",
+                    "cwnd-bounds",
+                    f.cwnd_pkts,
+                    1.0,
+                    cwnd_cap,
+                    1e-9,
+                    t,
+                );
             }
             t += dt;
             if t >= next_second {
@@ -368,6 +387,20 @@ impl TcpSim {
             }
         }
 
+        if guard::enabled() {
+            // Conservation: the per-second ledger re-partitions exactly the
+            // megabits the running total delivered (modulo float
+            // re-association across partial sums).
+            let ledger: f64 = per_second.iter().sum::<f64>() + second_acc;
+            guard::check(
+                "transport",
+                "bytes-conserved",
+                (ledger - delivered_mb).abs() <= 1e-6 * delivered_mb.abs() + 1e-9,
+                duration_s,
+                || format!("per-second ledger {ledger} vs delivered {delivered_mb}"),
+            );
+            guard::non_negative("transport", "goodput", delivered_mb, 0.0, duration_s);
+        }
         telemetry::gauge("transport/mean_mbps", delivered_mb / duration_s);
         TcpRunResult {
             mean_mbps: delivered_mb / duration_s,

@@ -8,7 +8,7 @@
 
 use crate::abr::{Abr, AbrContext};
 use crate::asset::VideoAsset;
-use fiveg_simcore::{faults, recovery, telemetry};
+use fiveg_simcore::{faults, guard, recovery, telemetry};
 use fiveg_transport::shaper::BandwidthTrace;
 
 /// Player configuration.
@@ -196,6 +196,17 @@ pub fn stream(
             wall += wait;
             buffer_s = cfg.max_buffer_s;
         }
+        // The playback buffer lives in [0, cap] between requests; leaving
+        // that range means the drain/refill arithmetic went wrong.
+        guard::in_range(
+            "video",
+            "buffer-bounds",
+            buffer_s,
+            0.0,
+            cfg.max_buffer_s,
+            1e-9,
+            wall,
+        );
 
         let tput = if dl > 0.0 {
             bytes * 8.0 / 1e6 / dl
@@ -217,6 +228,25 @@ pub fn stream(
             qoe -= cfg.smooth_penalty * (q - pq).abs();
         }
         prev_q = Some(q);
+        if guard::enabled() {
+            // Chunk download windows are sequential: this chunk starts at
+            // or after the previous one finished.
+            let prev_end = chunks
+                .last()
+                .map_or(trace_offset_s, |c| c.start_s + c.download_s);
+            guard::check(
+                "video",
+                "chunk-order",
+                wall - dl >= prev_end - 1e-9,
+                wall,
+                || {
+                    format!(
+                        "chunk {index} starts at {} before previous end {prev_end}",
+                        wall - dl
+                    )
+                },
+            );
+        }
         chunks.push(ChunkRecord {
             index,
             track,
@@ -234,6 +264,19 @@ pub fn stream(
         .map(|c| c.bitrate_mbps / asset.top_bitrate())
         .sum::<f64>()
         / chunks.len().max(1) as f64;
+
+    if guard::enabled() {
+        // Conservation: the per-chunk stall records partition the session's
+        // stall total exactly (same additions, same order).
+        let ledger: f64 = chunks.iter().map(|c| c.stall_s).sum();
+        guard::check(
+            "video",
+            "stall-conserved",
+            (ledger - stall_total).abs() <= 1e-9,
+            wall,
+            || format!("per-chunk stalls {ledger}s vs session total {stall_total}s"),
+        );
+    }
 
     SessionResult {
         avg_norm_bitrate: avg_norm,

@@ -19,7 +19,7 @@ use fiveg_power::datamodel::{DataPowerModel, NetworkKind};
 use fiveg_radio::band::{BandClass, Direction};
 use fiveg_radio::ue::UeModel;
 use fiveg_simcore::faults::{self, FaultKind};
-use fiveg_simcore::{recovery, telemetry, RngStream};
+use fiveg_simcore::{guard, recovery, telemetry, RngStream};
 
 /// The radio a page is loaded over.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -168,6 +168,16 @@ impl PageLoader {
                 }
             }
             t += rtt_s + per_wave_bytes * 8.0 / (bw * 1e6);
+            // Wave windows are ordered: a wave closes at or after it
+            // opened, and never before the previous wave's close (time
+            // only advances inside the loop).
+            guard::check(
+                "web",
+                "wave-order",
+                t.is_finite() && t >= wave_t0,
+                t,
+                || format!("wave {w} closed at {t} before it opened at {wave_t0}"),
+            );
             telemetry::clock(t);
             telemetry::span_closed("web/object_wave", wave_t0, t);
         }
@@ -179,6 +189,9 @@ impl PageLoader {
         // Client-side parse/render (dropped objects are never rendered).
         t += 0.15 + (site.n_objects - objects_dropped) as f64 * self.render_per_object_s;
 
+        guard::check("web", "plt-positive", t.is_finite() && t > 0.0, t, || {
+            format!("page load time {t}s is not a positive duration")
+        });
         telemetry::clock(t);
         telemetry::span_closed("web/page", 0.0, t);
         telemetry::count("web/object", (site.n_objects - objects_dropped) as u64);
