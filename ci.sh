@@ -93,6 +93,57 @@ echo "==> parallel determinism: --resume with --jobs 4"
 "$FIG" --seed 2021 --jobs 4 --out "$SMOKE_DIR/par-r" --resume table1 fig1 fig2 fig9 table2 fig11 > /dev/null
 cmp "$SMOKE_DIR/par-s/manifest.json" "$SMOKE_DIR/par-r/manifest.json"
 
+# --- Cancellation plane --------------------------------------------------------
+# Disarmed-path determinism: the cooperative cancel token must never touch
+# simulation state, so a campaign with the plane off (`--no-cancel`, the
+# legacy abandon-on-deadline behavior) renders byte-identical manifests,
+# quiet and under chaos.
+echo "==> cancel plane: --no-cancel byte-identity"
+"$FIG" --seed 2021 --no-cancel --out "$SMOKE_DIR/nocancel" table1 fig1 fig2 fig9 table2 fig11 > /dev/null
+cmp "$SMOKE_DIR/par-s/manifest.json" "$SMOKE_DIR/nocancel/manifest.json"
+"$FIG" --seed 2021 --chaos chaos --no-cancel --out "$SMOKE_DIR/nocancel-chaos" table2 fig9 fig10 > /dev/null
+cmp "$SMOKE_DIR/chaos/manifest.json" "$SMOKE_DIR/nocancel-chaos/manifest.json"
+
+# Interrupt safety: SIGINT a campaign mid-flight; the binary must stop
+# claiming work, cancel the in-flight attempt cooperatively, flush a
+# parseable manifest, and exit 130. `--resume` then finishes the campaign
+# and every artifact must be byte-identical to an uninterrupted run.
+echo "==> interrupt safety: SIGINT mid-campaign, then --resume"
+INT_IDS="fig3 fig4 fig6 fig7 fig16 fig17"
+# shellcheck disable=SC2086
+"$FIG" --seed 2021 --jobs 1 --out "$SMOKE_DIR/int-ref" $INT_IDS > /dev/null
+# shellcheck disable=SC2086
+"$FIG" --seed 2021 --jobs 1 --out "$SMOKE_DIR/int" $INT_IDS > /dev/null 2> "$SMOKE_DIR/int.err" &
+fig_pid=$!
+sleep 1.5
+kill -INT "$fig_pid"
+rc=0; wait "$fig_pid" || rc=$?
+if [ "$rc" -ne 130 ]; then
+    echo "error: interrupted campaign exited $rc, expected 130" >&2
+    cat "$SMOKE_DIR/int.err" >&2
+    exit 1
+fi
+# The kill landed mid-campaign: the flushed manifest must parse but be
+# incomplete (different bytes than the finished reference).
+if cmp -s "$SMOKE_DIR/int-ref/manifest.json" "$SMOKE_DIR/int/manifest.json"; then
+    echo "error: SIGINT landed after the campaign finished — gate proved nothing" >&2
+    exit 1
+fi
+# An in-flight row cancelled at kill time is recorded `interrupted`, and
+# --check-manifest must then refuse the manifest as incomplete.
+if grep -q '"status":"interrupted"' "$SMOKE_DIR/int/manifest.json"; then
+    if "$FIG" --check-manifest "$SMOKE_DIR/int/manifest.json" > /dev/null 2>&1; then
+        echo "error: --check-manifest accepted an interrupted manifest" >&2
+        exit 1
+    fi
+fi
+# shellcheck disable=SC2086
+"$FIG" --seed 2021 --jobs 1 --out "$SMOKE_DIR/int" --resume $INT_IDS > /dev/null
+cmp "$SMOKE_DIR/int-ref/manifest.json" "$SMOKE_DIR/int/manifest.json"
+for f in "$SMOKE_DIR"/int-ref/*.txt; do
+    cmp "$f" "$SMOKE_DIR/int/$(basename "$f")"
+done
+
 # --- Telemetry smoke -----------------------------------------------------------
 # The observability plane: per-experiment JSONL/Chrome-trace files must be
 # non-empty, deterministic across reruns, and identical serial vs --jobs 4

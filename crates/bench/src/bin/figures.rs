@@ -9,6 +9,9 @@
 //! figures --chaos chaos all    # inject a named fault scenario
 //! figures --resume --out results/ all   # continue a killed campaign
 //! figures --jobs 4 all         # run the campaign on 4 worker threads
+//! figures --deadline-s 30 all  # per-attempt wall-clock deadline
+//! figures --event-budget 5000000 all    # per-attempt event budget
+//! figures --no-cancel all      # disarm the cooperative cancel plane
 //! figures --bench-out results/BENCH_campaign.json all   # record perf
 //! figures --telemetry tel/ table2 fig9   # export spans/counters/hists
 //! figures --list-scenarios     # print fault scenarios, one per line
@@ -67,6 +70,21 @@
 //! `--repro <file>` replays one reproducer and exits 0 iff the recorded
 //! failure reproduces exactly. `--strict` makes a campaign exit non-zero
 //! when any experiment finished degraded.
+//!
+//! Campaigns are interrupt-safe: SIGINT (^C) or SIGTERM stops the worker
+//! pool from claiming new experiments, cancels in-flight attempts
+//! cooperatively (their threads observe the kill at the next budget
+//! charge, unwind, and exit — no leaked threads), flushes the manifest
+//! atomically with the in-flight rows marked `interrupted`, and exits
+//! with code 130. `--resume` then re-runs only the interrupted and
+//! never-started experiments; the completed prefix is re-emitted
+//! verbatim, so the resumed campaign's artifacts are byte-identical to
+//! an uninterrupted run. `--deadline-s <secs>` and `--event-budget <n>`
+//! tighten the per-attempt wall-clock deadline and event budget (they
+//! also bound stress-mode cases and `--repro` replays); `--no-cancel`
+//! disarms the cooperative cancellation plane, restoring the legacy
+//! abandon-on-deadline behavior (deadline-blown threads leak) — campaign
+//! artifacts are bit-identical either way.
 
 use fiveg_bench::json::Json;
 use fiveg_bench::report::{f, Table};
@@ -86,8 +104,10 @@ fn print_scenarios() {
     }
 }
 
-/// `--check-manifest <path>`: exit 0 iff the manifest parses and no
-/// experiment degraded. The CI gate for chaos campaigns.
+/// `--check-manifest <path>`: exit 0 iff the manifest parses, no
+/// experiment degraded, and no row was left `interrupted` (an interrupted
+/// campaign is incomplete until `--resume` finishes it). The CI gate for
+/// chaos campaigns.
 fn check_manifest(path: &str) -> ! {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
@@ -103,6 +123,24 @@ fn check_manifest(path: &str) -> ! {
             std::process::exit(1);
         }
     };
+    let interrupted: Vec<&ManifestEntry> = entries
+        .iter()
+        .filter(|e| e.status == RunStatus::Interrupted)
+        .collect();
+    if !interrupted.is_empty() {
+        for e in &interrupted {
+            eprintln!(
+                "{path}: `{}` interrupted: {}",
+                e.id,
+                e.note.as_deref().unwrap_or("campaign stopped mid-run")
+            );
+        }
+        eprintln!(
+            "{path}: campaign incomplete ({} interrupted row(s)) — finish it with --resume",
+            interrupted.len()
+        );
+        std::process::exit(1);
+    }
     let degraded: Vec<&ManifestEntry> = entries
         .iter()
         .filter(|e| e.status == RunStatus::Degraded)
@@ -202,7 +240,7 @@ fn validate(dir: &str) -> ! {
 
 /// `--repro <file>`: replay a stress reproducer and exit 0 iff the
 /// recorded failure reproduces exactly (same verdict, same signature).
-fn replay_repro(path: &str) -> ! {
+fn replay_repro(path: &str, deadline: std::time::Duration) -> ! {
     let doc = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -210,7 +248,6 @@ fn replay_repro(path: &str) -> ! {
             std::process::exit(2);
         }
     };
-    let deadline = std::time::Duration::from_secs(120);
     match stress::replay_repro(&doc, deadline) {
         Ok((case, expected, observed, matches)) => {
             println!(
@@ -358,6 +395,25 @@ fn resilience_table(entries: &[ManifestEntry], scenario: &str, seed: u64) -> Str
             body.push_str(&format!("  {:<20} {n}\n", kind.name()));
         }
     }
+    // Non-ok rows carry their supervisor note (why the run degraded, how
+    // far it got — e.g. "deadline exceeded (30.0 s); cancelled
+    // cooperatively (wedged; 84211 events charged at kill)"). Healthy
+    // campaigns have none, so this section never perturbs their bytes.
+    let flagged: Vec<&ManifestEntry> = entries
+        .iter()
+        .filter(|e| e.status != RunStatus::Ok)
+        .collect();
+    if !flagged.is_empty() {
+        body.push_str("degraded rows:\n");
+        for e in flagged {
+            body.push_str(&format!(
+                "  {:<10} {:<11} {}\n",
+                e.id,
+                e.status.as_str(),
+                e.note.as_deref().unwrap_or("no note recorded")
+            ));
+        }
+    }
     body
 }
 
@@ -428,12 +484,53 @@ fn main() {
             .unwrap_or_else(|| "results".to_string());
         validate(&dir);
     }
+    // `--deadline-s` / `--event-budget` / `--no-cancel` are parsed before
+    // the `--repro` dispatch so a replay inherits a tightened deadline.
+    // Both track "was the flag given" (`None` = flag absent) because the
+    // campaign supervisor and the stress harness have *different* built-in
+    // defaults that must not clobber each other.
+    let mut deadline_s: Option<f64> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--deadline-s") {
+        args.remove(pos);
+        let secs: f64 = args
+            .get(pos)
+            .and_then(|s| s.parse().ok())
+            .filter(|&s: &f64| s > 0.0 && s.is_finite())
+            .unwrap_or_else(|| {
+                eprintln!("--deadline-s needs a positive number of seconds");
+                std::process::exit(2);
+            });
+        args.remove(pos);
+        deadline_s = Some(secs);
+    }
+    let mut event_budget: Option<u64> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--event-budget") {
+        args.remove(pos);
+        let n: u64 = args
+            .get(pos)
+            .and_then(|s| s.parse().ok())
+            // u64::MAX is the budget plane's "disarmed" sentinel; a real
+            // budget must stay below it.
+            .filter(|n| (1..u64::MAX).contains(n))
+            .unwrap_or_else(|| {
+                eprintln!("--event-budget needs a positive event count");
+                std::process::exit(2);
+            });
+        args.remove(pos);
+        event_budget = Some(n);
+    }
+    let mut cancel = true;
+    if let Some(pos) = args.iter().position(|a| a == "--no-cancel") {
+        args.remove(pos);
+        cancel = false;
+    }
     if let Some(pos) = args.iter().position(|a| a == "--repro") {
         let path = args.get(pos + 1).cloned().unwrap_or_else(|| {
             eprintln!("--repro needs a reproducer file path");
             std::process::exit(2);
         });
-        replay_repro(&path);
+        let deadline = std::time::Duration::from_secs_f64(deadline_s.unwrap_or(120.0));
+        replay_repro(&path, deadline);
     }
     let mut strict = false;
     if let Some(pos) = args.iter().position(|a| a == "--strict") {
@@ -601,7 +698,7 @@ fn main() {
         stress_canary = true;
     }
     if let Some(cases) = stress_cases {
-        let cfg = stress::StressConfig {
+        let mut cfg = stress::StressConfig {
             cases,
             seed: stress_seed,
             scenario: stress_scenario,
@@ -609,6 +706,12 @@ fn main() {
             jobs,
             ..stress::StressConfig::default()
         };
+        if let Some(secs) = deadline_s {
+            cfg.deadline = std::time::Duration::from_secs_f64(secs);
+        }
+        if let Some(budget) = event_budget {
+            cfg.max_budget = budget;
+        }
         let out = out_dir.unwrap_or_else(|| PathBuf::from("results"));
         run_stress_mode(&cfg, &out);
     }
@@ -649,6 +752,18 @@ fn main() {
         None => Supervisor::default(),
     };
     supervisor.telemetry = telemetry_dir.is_some();
+    if let Some(secs) = deadline_s {
+        supervisor.deadline = std::time::Duration::from_secs_f64(secs);
+    }
+    if let Some(budget) = event_budget {
+        supervisor.event_budget = budget;
+    }
+    supervisor.cancel = cancel;
+    // Graceful interrupt: the first SIGINT/SIGTERM stops the pool from
+    // claiming new experiments and cancels in-flight attempts; the
+    // manifest flush below then records them as `interrupted` rows for
+    // `--resume` to pick up.
+    supervisor.interrupt = Some(fiveg_bench::signal::install());
 
     let prior: HashMap<String, ManifestEntry> = match (&out_dir, resume) {
         (Some(dir), true) => resumable_entries(dir, seed, scenario_name.as_deref()),
@@ -687,25 +802,36 @@ fn main() {
 
     let campaign_t0 = Instant::now();
     let slots = Mutex::new(slots);
-    let (outcomes, worker_busy_s) =
-        supervisor.run_registry_jobs_timed(&work, seed, jobs, |wi, outcome| {
+    let (outcome_slots, worker_busy_s) =
+        supervisor.run_registry_jobs_partial(&work, seed, jobs, |wi, outcome| {
             // The lock also serializes stdout/stderr and the manifest rewrite,
             // so interleaved workers cannot tear a report or a manifest write.
             let mut slots = slots.lock().expect("slots lock");
-            println!("{}", outcome.report.render());
-            if outcome.degraded() {
+            if outcome.interrupted() {
+                // No report file for an interrupted row: `--resume` re-runs
+                // it, and a half-baked `<id>.txt` must never shadow the
+                // re-run's real one.
                 eprintln!(
-                    "warning: {} degraded after {} attempt(s): {}",
+                    "{}: interrupted — {}",
                     outcome.id,
-                    outcome.attempts,
-                    outcome.note.as_deref().unwrap_or("unknown failure")
+                    outcome.note.as_deref().unwrap_or("campaign stopped")
                 );
-            }
-            if let Some(dir) = &out_dir {
-                write_or_die(
-                    &dir.join(format!("{}.txt", outcome.id)),
-                    &outcome.report.render(),
-                );
+            } else {
+                println!("{}", outcome.report.render());
+                if outcome.degraded() {
+                    eprintln!(
+                        "warning: {} degraded after {} attempt(s): {}",
+                        outcome.id,
+                        outcome.attempts,
+                        outcome.note.as_deref().unwrap_or("unknown failure")
+                    );
+                }
+                if let Some(dir) = &out_dir {
+                    write_or_die(
+                        &dir.join(format!("{}.txt", outcome.id)),
+                        &outcome.report.render(),
+                    );
+                }
             }
             slots[work_to_slot[wi]] = Some(ManifestEntry::from_outcome(outcome));
             // Rewrite the manifest after every experiment: a kill mid-campaign
@@ -716,6 +842,11 @@ fn main() {
             }
         });
     let campaign_wall_s = campaign_t0.elapsed().as_secs_f64();
+    let was_interrupted = supervisor.interrupted();
+    // An uninterrupted partial run returns all-`Some` (same as the
+    // non-partial variant); an interrupted one leaves the unclaimed tail
+    // as `None` — those experiments never started and have no outcome.
+    let outcomes: Vec<runner::RunOutcome> = outcome_slots.into_iter().flatten().collect();
 
     // Telemetry export: per-experiment sim-time artifacts (deterministic),
     // then the campaign summary (the only file with wall-clock numbers).
@@ -752,16 +883,52 @@ fn main() {
         );
     }
 
-    let rows: Vec<ManifestEntry> = slots
-        .into_inner()
-        .expect("slots lock")
-        .into_iter()
-        .map(|s| s.expect("every registry entry ran or resumed"))
-        .collect();
+    let final_slots = slots.into_inner().expect("slots lock");
+    let rows: Vec<ManifestEntry> = if was_interrupted {
+        // Unclaimed slots are empty by design; the manifest on disk already
+        // records exactly the rows that exist (ok / degraded / interrupted).
+        final_slots.into_iter().flatten().collect()
+    } else {
+        final_slots
+            .into_iter()
+            .map(|s| s.expect("every registry entry ran or resumed"))
+            .collect()
+    };
     let degraded = rows
         .iter()
         .filter(|r| r.status == RunStatus::Degraded)
         .count();
+
+    if was_interrupted {
+        let cancelled = rows
+            .iter()
+            .filter(|r| r.status == RunStatus::Interrupted)
+            .count();
+        let finished = rows.len() - cancelled;
+        let never_started = entries.len() - rows.len();
+        eprintln!(
+            "interrupted: {finished} experiment(s) finished, {cancelled} cancelled in flight, \
+             {never_started} never started{}",
+            match &out_dir {
+                Some(dir) => format!(
+                    " — resume with `figures --resume --out {} ...`",
+                    dir.display()
+                ),
+                None => String::new(),
+            }
+        );
+        let leaked = runner::leaked_threads();
+        if leaked > 0 {
+            eprintln!(
+                "warning: {leaked} attempt thread(s) ignored cancellation and were \
+                 abandoned (leaked)"
+            );
+        }
+        // Skip the bench report and resilience table: both summarize a
+        // *complete* campaign, and the resumed run rewrites them from the
+        // full row set anyway.
+        std::process::exit(fiveg_bench::signal::INTERRUPT_EXIT_CODE);
+    }
 
     if let Some(path) = &bench_out {
         let report =
@@ -793,6 +960,14 @@ fn main() {
                 );
             }
         }
+    }
+
+    let leaked = runner::leaked_threads();
+    if leaked > 0 {
+        eprintln!(
+            "warning: {leaked} attempt thread(s) ignored cancellation and were \
+             abandoned (leaked) this campaign"
+        );
     }
 
     if degraded > 0 {

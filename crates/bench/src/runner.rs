@@ -8,16 +8,25 @@
 //!   deterministic fault plane of `fiveg_simcore::faults`),
 //! * an armed event budget (`fiveg_simcore::budget`) so runaway loops die
 //!   by panic instead of spinning forever,
+//! * a cooperative cancellation token (`fiveg_simcore::cancel`) observed
+//!   from the budget hot path, so a deadline, a progress-watchdog stall,
+//!   or a campaign interrupt unwinds the attempt instead of abandoning
+//!   its thread,
 //! * `catch_unwind` around the experiment body,
-//! * a wall-clock deadline enforced via a result channel,
+//! * a wall-clock deadline and a no-progress watchdog enforced by a
+//!   supervising poll loop, escalating cancel → grace period →
+//!   abandon-with-leak-report,
 //! * one retry with a deterministically perturbed seed.
 //!
 //! An experiment that still fails yields a synthesized [`Report`] marked
 //! `DEGRADED`, so every other experiment's output is written regardless.
+//! A campaign interrupt (SIGINT/SIGTERM via [`Supervisor::interrupt`])
+//! instead yields `INTERRUPTED` rows that `--resume` re-runs.
 
 use crate::experiments::Experiment;
 use crate::json::Json;
 use crate::report::Report;
+use fiveg_simcore::cancel::{self, CancelToken};
 use fiveg_simcore::faults::FaultScenario;
 use fiveg_simcore::guard::{self, AttemptGuards, GuardPolicy};
 use fiveg_simcore::recovery::{self, RecoveryEvent, RecoverySummary};
@@ -25,9 +34,21 @@ use fiveg_simcore::telemetry::{self, AttemptTelemetry};
 use fiveg_simcore::{ambient, budget, RngStream};
 use std::io::Write;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Attempt threads abandoned because they never answered a cancellation
+/// request within the grace period (process lifetime total). A healthy
+/// campaign keeps this at zero; the `figures` CLI reports a non-zero
+/// count on stderr at campaign end.
+static LEAKED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Attempt threads abandoned (leaked) so far in this process.
+pub fn leaked_threads() -> usize {
+    LEAKED_THREADS.load(Ordering::Relaxed)
+}
 
 /// How one supervised run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +57,10 @@ pub enum RunStatus {
     Ok,
     /// Every attempt failed; the report is a synthesized placeholder.
     Degraded,
+    /// A campaign interrupt (SIGINT/SIGTERM) cancelled the run before it
+    /// could finish; `--resume` re-runs it. Not a failure of the
+    /// experiment itself.
+    Interrupted,
 }
 
 impl RunStatus {
@@ -44,6 +69,7 @@ impl RunStatus {
         match self {
             RunStatus::Ok => "ok",
             RunStatus::Degraded => "degraded",
+            RunStatus::Interrupted => "interrupted",
         }
     }
 
@@ -52,6 +78,7 @@ impl RunStatus {
         match s {
             "ok" => Some(RunStatus::Ok),
             "degraded" => Some(RunStatus::Degraded),
+            "interrupted" => Some(RunStatus::Interrupted),
             _ => None,
         }
     }
@@ -102,6 +129,11 @@ impl RunOutcome {
     pub fn degraded(&self) -> bool {
         self.status == RunStatus::Degraded
     }
+
+    /// True iff the run was cut short by a campaign interrupt.
+    pub fn interrupted(&self) -> bool {
+        self.status == RunStatus::Interrupted
+    }
 }
 
 /// Supervision policy for a campaign.
@@ -127,6 +159,27 @@ pub struct Supervisor {
     /// the outcome, but (since hooks never mutate simulation state) every
     /// artifact stays byte-identical to a run with the plane off.
     pub guards: Option<GuardPolicy>,
+    /// Arm a cooperative cancellation token on each attempt thread (on by
+    /// default). With it off, a blown deadline abandons the thread the
+    /// old way — it leaks and keeps running — and interrupts cannot stop
+    /// an in-flight attempt; the observable artifacts are bit-identical
+    /// either way, since the token never mutates simulation state.
+    pub cancel: bool,
+    /// How long a cancelled attempt gets to unwind and report before the
+    /// supervisor gives up and abandons its thread (leak of last resort).
+    pub grace: Duration,
+    /// Progress-watchdog window: an attempt that has charged budget
+    /// events before but charges none for this long is classified
+    /// *wedged* and cancelled early, before the full deadline. Attempts
+    /// that never charge events are exempt (some experiments legitimately
+    /// run long without touching the budget) — the deadline covers them.
+    pub stall: Duration,
+    /// Campaign interrupt flag (typically the SIGINT/SIGTERM handler's
+    /// static). When it flips, in-flight attempts are cancelled, retries
+    /// are skipped, and runs report [`RunStatus::Interrupted`];
+    /// [`Supervisor::run_registry_jobs_partial`] also stops claiming new
+    /// entries.
+    pub interrupt: Option<&'static AtomicBool>,
 }
 
 impl Default for Supervisor {
@@ -140,6 +193,10 @@ impl Default for Supervisor {
             retries: 1,
             telemetry: false,
             guards: Some(GuardPolicy::Record),
+            cancel: true,
+            grace: Duration::from_secs(2),
+            stall: Duration::from_secs(30),
+            interrupt: None,
         }
     }
 }
@@ -164,11 +221,26 @@ impl Supervisor {
         }
     }
 
+    /// True iff the campaign interrupt flag has flipped.
+    pub fn interrupted(&self) -> bool {
+        self.interrupt.is_some_and(|f| f.load(Ordering::SeqCst))
+    }
+
     /// Runs one experiment under supervision.
     pub fn run_one(&self, id: &'static str, f: Experiment, seed: u64) -> RunOutcome {
         let t0 = Instant::now();
         let mut last_note = String::new();
         for attempt in 0..=self.retries {
+            if self.interrupted() {
+                // Interrupt between attempts (or before the first): don't
+                // start more work the user asked us to stop.
+                let note = if attempt == 0 {
+                    "interrupted before start".to_string()
+                } else {
+                    last_note.clone()
+                };
+                return self.interrupted_outcome(id, attempt, note, t0);
+            }
             let attempt_seed = self.attempt_seed(id, seed, attempt);
             match self.attempt(id, f, attempt_seed) {
                 Ok(done) => {
@@ -185,7 +257,15 @@ impl Supervisor {
                         guards: done.guards,
                     }
                 }
-                Err(note) => last_note = note,
+                Err(note) => {
+                    last_note = note;
+                    if self.interrupted() {
+                        // The attempt died because (or while) the campaign
+                        // was interrupted — not the experiment's fault, so
+                        // no retry and no DEGRADED verdict.
+                        return self.interrupted_outcome(id, attempt + 1, last_note, t0);
+                    }
+                }
             }
         }
         RunOutcome {
@@ -194,6 +274,28 @@ impl Supervisor {
             attempts: self.retries + 1,
             note: Some(last_note.clone()),
             report: degraded_report(id, &last_note),
+            recovery: Vec::new(),
+            wall_s: t0.elapsed().as_secs_f64(),
+            events: 0,
+            telemetry: None,
+            guards: AttemptGuards::default(),
+        }
+    }
+
+    /// The outcome for a run cut short by a campaign interrupt.
+    fn interrupted_outcome(
+        &self,
+        id: &'static str,
+        attempts: u32,
+        note: String,
+        t0: Instant,
+    ) -> RunOutcome {
+        RunOutcome {
+            id,
+            status: RunStatus::Interrupted,
+            attempts,
+            note: Some(note.clone()),
+            report: interrupted_report(id, &note),
             recovery: Vec::new(),
             wall_s: t0.elapsed().as_secs_f64(),
             events: 0,
@@ -265,13 +367,42 @@ impl Supervisor {
         })
     }
 
-    /// One supervised attempt: spawn, install, arm, catch, wait.
+    /// Like [`Supervisor::run_registry_jobs_timed`], but interrupt-aware:
+    /// when [`Supervisor::interrupt`] flips, workers stop claiming new
+    /// registry entries and the unclaimed tail comes back as `None` (an
+    /// uninterrupted run returns all `Some`, identical to the non-partial
+    /// variant). In-flight entries still finish — cancelled, they land as
+    /// [`RunStatus::Interrupted`] outcomes via `on_done` like any other.
+    pub fn run_registry_jobs_partial<F>(
+        &self,
+        entries: &[(&'static str, Experiment)],
+        seed: u64,
+        jobs: usize,
+        on_done: F,
+    ) -> (Vec<Option<RunOutcome>>, Vec<f64>)
+    where
+        F: Fn(usize, &RunOutcome) + Sync,
+    {
+        let stop = self.interrupt.map(|f| f as &AtomicBool);
+        pool_map_partial(entries.len(), jobs, stop, |i| {
+            let (id, f) = entries[i];
+            let outcome = self.run_one(id, f, seed);
+            on_done(i, &outcome);
+            outcome
+        })
+    }
+
+    /// One supervised attempt: spawn, install, arm, catch, supervise.
     fn attempt(&self, id: &str, f: Experiment, seed: u64) -> Result<AttemptOutput, String> {
         let (tx, rx) = mpsc::channel();
+        let token = self
+            .cancel
+            .then(|| Arc::new(CancelToken::with_deadline(Instant::now() + self.deadline)));
         let scenario = self.scenario.clone();
         let events = self.event_budget;
         let telemetry_on = self.telemetry;
         let guards = self.guards;
+        let attempt_token = token.clone();
         let spawned = std::thread::Builder::new()
             .name(format!("exp-{id}"))
             .spawn(move || {
@@ -280,10 +411,16 @@ impl Supervisor {
                 // scenario, so fault-free campaigns report zero recovery
                 // events by construction), the telemetry collector (only
                 // when the supervisor asks), the invariant guard collector
-                // (under the supervisor's policy), and arm the budget — all
-                // for this attempt only.
-                let _ambient =
-                    ambient::install_attempt(scenario.as_ref(), seed, events, telemetry_on, guards);
+                // (under the supervisor's policy), arm the budget, and arm
+                // the cancellation token — all for this attempt only.
+                let _ambient = ambient::install_attempt(
+                    scenario.as_ref(),
+                    seed,
+                    events,
+                    telemetry_on,
+                    guards,
+                    attempt_token,
+                );
                 let result = std::panic::catch_unwind(|| f(seed));
                 let consumed = budget::consumed().unwrap_or(0);
                 let telem = telemetry_on.then(telemetry::drain);
@@ -310,19 +447,184 @@ impl Supervisor {
                 };
                 let _ = tx.send(send);
             });
-        if let Err(e) = spawned {
-            return Err(format!("spawn failed: {e}"));
-        }
-        match rx.recv_timeout(self.deadline) {
-            Ok(result) => result,
-            Err(mpsc::RecvTimeoutError::Timeout) => Err(format!(
-                "deadline exceeded ({:.1} s); thread abandoned",
-                self.deadline.as_secs_f64()
-            )),
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                Err("experiment thread died without reporting".to_string())
+        let handle = match spawned {
+            Ok(h) => h,
+            Err(e) => return Err(format!("spawn failed: {e}")),
+        };
+        match token {
+            Some(token) => self.supervise(handle, &rx, &token),
+            None => {
+                // Cancellation plane disarmed: the legacy single-wait path.
+                // A blown deadline abandons the thread, which keeps running
+                // (and keeps its core) until it finishes on its own.
+                match rx.recv_timeout(self.deadline) {
+                    Ok(result) => {
+                        let _ = handle.join();
+                        result
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        LEAKED_THREADS.fetch_add(1, Ordering::Relaxed);
+                        Err(format!(
+                            "deadline exceeded ({:.1} s); thread abandoned (cancellation plane disarmed)",
+                            self.deadline.as_secs_f64()
+                        ))
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => Err(disconnect_note(handle)),
+                }
             }
         }
+    }
+
+    /// The supervising poll loop for one attempt: waits for the result in
+    /// short ticks, sampling the token's published progress, and escalates
+    /// on the first of interrupt / deadline / watchdog stall.
+    fn supervise(
+        &self,
+        handle: JoinHandle<()>,
+        rx: &mpsc::Receiver<Result<AttemptOutput, String>>,
+        token: &CancelToken,
+    ) -> Result<AttemptOutput, String> {
+        let started = Instant::now();
+        let deadline_at = started + self.deadline;
+        // Tick fast enough that short test deadlines stay accurate, slow
+        // enough that a 120 s campaign deadline costs ~10 wakeups/s.
+        let tick = (self.deadline / 4).clamp(Duration::from_millis(5), Duration::from_millis(100));
+        let mut last_events: u64 = 0;
+        let mut last_change = started;
+        loop {
+            let wait = tick
+                .min(deadline_at.saturating_duration_since(Instant::now()))
+                .max(Duration::from_millis(1));
+            match rx.recv_timeout(wait) {
+                Ok(result) => {
+                    let _ = handle.join();
+                    return match result {
+                        // The token's own deadline fired inside the attempt
+                        // (its `poll` self-kills) before this loop ticked —
+                        // the same cooperative kill the escalation ladder
+                        // performs, so report it in the same shape.
+                        Err(note) if cancel::is_cancel_panic(&note) => {
+                            let class = self.classify(last_events, last_change);
+                            let events = token.progress().max(last_events);
+                            Err(format!(
+                                "deadline exceeded ({:.1} s); cancelled cooperatively \
+                                 ({class}; {events} events charged at kill)",
+                                self.deadline.as_secs_f64()
+                            ))
+                        }
+                        other => other,
+                    };
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Err(disconnect_note(handle)),
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+            }
+            let now = Instant::now();
+            let progress = token.progress();
+            if progress != last_events {
+                last_events = progress;
+                last_change = now;
+            }
+            let reason = if self.interrupted() {
+                Some("interrupted".to_string())
+            } else if now >= deadline_at {
+                Some(format!(
+                    "deadline exceeded ({:.1} s)",
+                    self.deadline.as_secs_f64()
+                ))
+            } else if last_events > 0 && now.duration_since(last_change) >= self.stall {
+                // Only experiments that have charged events can be declared
+                // wedged early: some legitimately run long without touching
+                // the budget, and the deadline still covers those.
+                Some(format!(
+                    "stalled: no progress for {:.1} s",
+                    self.stall.as_secs_f64()
+                ))
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                return self.escalate(&reason, handle, rx, token, last_events, last_change);
+            }
+        }
+    }
+
+    /// Classification for the degraded report: an attempt that charged
+    /// events within the stall window is *slow* (still progressing, just
+    /// not fast enough); one that stopped charging — or never charged —
+    /// is *wedged*.
+    fn classify(&self, last_events: u64, last_change: Instant) -> &'static str {
+        if last_events > 0 && last_change.elapsed() < self.stall {
+            "slow"
+        } else {
+            "wedged"
+        }
+    }
+
+    /// The escalation ladder once a kill is warranted: cancel the token,
+    /// give the attempt a grace period to unwind and report, and only then
+    /// abandon the thread (counting the leak).
+    fn escalate(
+        &self,
+        reason: &str,
+        handle: JoinHandle<()>,
+        rx: &mpsc::Receiver<Result<AttemptOutput, String>>,
+        token: &CancelToken,
+        last_events: u64,
+        last_change: Instant,
+    ) -> Result<AttemptOutput, String> {
+        let class = self.classify(last_events, last_change);
+        token.kill(reason);
+        match rx.recv_timeout(self.grace) {
+            Ok(Ok(output)) => {
+                // The attempt crossed the finish line before observing the
+                // kill — its report is complete and deterministic, so keep
+                // it rather than discarding finished work.
+                let _ = handle.join();
+                Ok(output)
+            }
+            Ok(Err(note)) => {
+                let _ = handle.join();
+                let events = token.progress().max(last_events);
+                if cancel::is_cancel_panic(&note) {
+                    Err(format!(
+                        "{reason}; cancelled cooperatively ({class}; {events} events charged at kill)"
+                    ))
+                } else {
+                    // It died of its own panic just as we killed it; the
+                    // real note is the more useful one.
+                    Err(note)
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                LEAKED_THREADS.fetch_add(1, Ordering::Relaxed);
+                drop(handle);
+                Err(format!(
+                    "{reason}; cancel unanswered after {:.1} s grace ({class}; {} events charged at kill); thread abandoned — leaked",
+                    self.grace.as_secs_f64(),
+                    token.progress().max(last_events),
+                ))
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(disconnect_note(handle)),
+        }
+    }
+}
+
+/// The note for a result channel that disconnected without a report: the
+/// attempt thread is gone (its sender dropped), so join it and attach how
+/// it died — a send-side panic *after* `catch_unwind` (draining planes,
+/// serializing the output) carries its payload here, distinguishing it
+/// from a genuine silent drop.
+fn disconnect_note(handle: JoinHandle<()>) -> String {
+    match handle.join() {
+        Ok(()) => {
+            "experiment thread died without reporting (thread exited cleanly but never sent; \
+             result channel dropped)"
+                .to_string()
+        }
+        Err(payload) => format!(
+            "experiment thread died without reporting (send-side {})",
+            panic_note(payload.as_ref())
+        ),
     }
 }
 
@@ -339,6 +641,29 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let (slots, busy) = pool_map_partial(n, jobs, None, run);
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.expect("every queue index was claimed by a worker"))
+        .collect();
+    (results, busy)
+}
+
+/// Like [`pool_map`], but workers stop claiming new indices once `stop`
+/// flips, so the result vector may end with unclaimed `None` slots (every
+/// claimed index still completes and lands in order). The campaign driver
+/// passes the SIGINT/SIGTERM flag here: an interrupt drains the pool
+/// without starting new experiments.
+pub fn pool_map_partial<T, F>(
+    n: usize,
+    jobs: usize,
+    stop: Option<&AtomicBool>,
+    run: F,
+) -> (Vec<Option<T>>, Vec<f64>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let workers = jobs.clamp(1, n.max(1));
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
@@ -350,6 +675,9 @@ where
             let busy = &busy;
             let run = &run;
             scope.spawn(move || loop {
+                if stop.is_some_and(|s| s.load(Ordering::SeqCst)) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -363,11 +691,7 @@ where
     });
     let results = slots
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("slot lock")
-                .expect("every queue index was claimed by a worker")
-        })
+        .map(|slot| slot.into_inner().expect("slot lock"))
         .collect();
     let busy = busy
         .into_iter()
@@ -402,6 +726,20 @@ fn degraded_report(id: &'static str, note: &str) -> Report {
         title: "DEGRADED — experiment failed under supervision".to_string(),
         body: format!(
             "This experiment did not complete; the rest of the campaign ran on.\nlast failure: {note}\n"
+        ),
+    }
+}
+
+/// The placeholder report for a run cut short by a campaign interrupt.
+/// Never written to disk as the experiment's artifact — the campaign
+/// driver skips report files for interrupted rows so `--resume` re-runs
+/// them from scratch.
+fn interrupted_report(id: &'static str, note: &str) -> Report {
+    Report {
+        id,
+        title: "INTERRUPTED — campaign stopped before this experiment completed".to_string(),
+        body: format!(
+            "This experiment was cancelled by a campaign interrupt; rerun with --resume.\ninterrupt: {note}\n"
         ),
     }
 }
@@ -782,14 +1120,193 @@ mod tests {
 
     #[test]
     fn deadline_abandons_wedged_threads() {
+        // A sleeper never charges the budget, so it cannot observe the
+        // cancel — the escalation ladder runs to its end: kill, grace,
+        // abandon (the leak of last resort, now at least counted).
+        let leaked_before = leaked_threads();
         let sup = Supervisor {
             deadline: Duration::from_millis(50),
+            grace: Duration::from_millis(50),
             retries: 0,
             ..Supervisor::default()
         };
         let out = sup.run_one("sleepy", sleepy_exp, 1);
         assert_eq!(out.status, RunStatus::Degraded);
-        assert!(out.note.as_deref().unwrap().contains("deadline"));
+        let note = out.note.as_deref().unwrap();
+        assert!(note.contains("deadline"), "note: {note}");
+        assert!(note.contains("wedged"), "note: {note}");
+        assert!(note.contains("abandoned"), "note: {note}");
+        assert!(leaked_threads() > leaked_before, "the leak is counted");
+    }
+
+    #[test]
+    fn cancelled_attempt_thread_terminates_cooperatively() {
+        // Regression for the abandoned-thread leak: a deadline kill on an
+        // experiment that charges the budget must unwind the attempt
+        // thread — observed by a canary whose destructor only runs if the
+        // thread actually exits (the supervisor joins it on the
+        // cooperative path, so the flag is settled by the time run_one
+        // returns).
+        static CANARY_DROPPED: AtomicBool = AtomicBool::new(false);
+        struct Canary;
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                CANARY_DROPPED.store(true, Ordering::SeqCst);
+            }
+        }
+        fn charging_forever_exp(_seed: u64) -> Report {
+            let _canary = Canary;
+            loop {
+                fiveg_simcore::budget::charge(64);
+            }
+        }
+        let leaked_before = leaked_threads();
+        let sup = Supervisor {
+            deadline: Duration::from_millis(100),
+            // Huge but not the u64::MAX disarm sentinel: only the cancel
+            // plane may kill this loop, never budget exhaustion.
+            event_budget: 1 << 60,
+            grace: Duration::from_secs(10),
+            retries: 0,
+            ..Supervisor::default()
+        };
+        let out = sup.run_one("charger", charging_forever_exp, 1);
+        assert_eq!(out.status, RunStatus::Degraded);
+        let note = out.note.as_deref().unwrap();
+        assert!(note.contains("deadline"), "note: {note}");
+        assert!(note.contains("cancelled cooperatively"), "note: {note}");
+        assert!(note.contains("events charged at kill"), "note: {note}");
+        assert!(
+            CANARY_DROPPED.load(Ordering::SeqCst),
+            "the attempt thread unwound and exited"
+        );
+        assert_eq!(leaked_threads(), leaked_before, "no thread leaked");
+    }
+
+    #[test]
+    fn stall_watchdog_kills_silent_experiments_early() {
+        // Charges events, then goes silent for far longer than the stall
+        // window while the deadline is still an hour away: the watchdog
+        // must cancel it, and the resumed charge loop must observe the
+        // kill and unwind.
+        fn stall_then_charge_exp(_seed: u64) -> Report {
+            fiveg_simcore::budget::charge(3 * fiveg_simcore::cancel::POLL_INTERVAL);
+            std::thread::sleep(Duration::from_secs(1));
+            loop {
+                fiveg_simcore::budget::charge(64);
+            }
+        }
+        let sup = Supervisor {
+            deadline: Duration::from_secs(3600),
+            event_budget: 1 << 60,
+            stall: Duration::from_millis(100),
+            grace: Duration::from_secs(10),
+            retries: 0,
+            ..Supervisor::default()
+        };
+        let out = sup.run_one("staller", stall_then_charge_exp, 1);
+        assert_eq!(out.status, RunStatus::Degraded);
+        let note = out.note.as_deref().unwrap();
+        assert!(note.contains("stalled"), "note: {note}");
+        assert!(note.contains("cancelled cooperatively"), "note: {note}");
+    }
+
+    #[test]
+    fn zero_charge_experiments_are_exempt_from_the_stall_watchdog() {
+        // Some experiments legitimately run long without ever touching the
+        // budget (pure-compute reports); the watchdog must not kill them.
+        fn quiet_compute_exp(_seed: u64) -> Report {
+            std::thread::sleep(Duration::from_millis(300));
+            ok_exp(0)
+        }
+        let sup = Supervisor {
+            deadline: Duration::from_secs(3600),
+            stall: Duration::from_millis(50),
+            retries: 0,
+            ..Supervisor::default()
+        };
+        let out = sup.run_one("quiet", quiet_compute_exp, 1);
+        assert_eq!(out.status, RunStatus::Ok, "note: {:?}", out.note);
+    }
+
+    #[test]
+    fn interrupt_before_start_skips_the_run() {
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(true)));
+        let sup = Supervisor {
+            interrupt: Some(flag),
+            ..Supervisor::default()
+        };
+        let out = sup.run_one("never", ok_exp, 1);
+        assert_eq!(out.status, RunStatus::Interrupted);
+        assert_eq!(out.attempts, 0);
+        assert!(out
+            .note
+            .as_deref()
+            .unwrap()
+            .contains("interrupted before start"));
+        assert!(out.report.title.contains("INTERRUPTED"));
+    }
+
+    #[test]
+    fn interrupt_mid_run_cancels_in_flight_attempts() {
+        fn charging_exp_2(_seed: u64) -> Report {
+            loop {
+                fiveg_simcore::budget::charge(64);
+            }
+        }
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let sup = Supervisor {
+            deadline: Duration::from_secs(3600),
+            event_budget: 1 << 60,
+            grace: Duration::from_secs(10),
+            interrupt: Some(flag),
+            ..Supervisor::default()
+        };
+        let setter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            flag.store(true, Ordering::SeqCst);
+        });
+        let out = sup.run_one("interruptee", charging_exp_2, 1);
+        setter.join().unwrap();
+        assert_eq!(out.status, RunStatus::Interrupted, "note: {:?}", out.note);
+        assert_eq!(out.attempts, 1, "no retry after an interrupt");
+        let note = out.note.as_deref().unwrap();
+        assert!(note.contains("interrupted"), "note: {note}");
+        assert!(note.contains("cancelled cooperatively"), "note: {note}");
+    }
+
+    #[test]
+    fn pool_map_partial_stops_claiming_after_the_flag() {
+        let stop = AtomicBool::new(false);
+        let (slots, busy) = pool_map_partial(4, 1, Some(&stop), |i| {
+            if i == 1 {
+                stop.store(true, Ordering::SeqCst);
+            }
+            i
+        });
+        assert_eq!(slots, vec![Some(0), Some(1), None, None]);
+        assert_eq!(busy.len(), 1);
+    }
+
+    #[test]
+    fn interrupted_status_round_trips_through_the_manifest() {
+        assert_eq!(
+            RunStatus::parse("interrupted"),
+            Some(RunStatus::Interrupted)
+        );
+        assert_eq!(RunStatus::Interrupted.as_str(), "interrupted");
+        let entry = ManifestEntry {
+            id: "x".to_string(),
+            status: RunStatus::Interrupted,
+            attempts: 1,
+            note: Some("interrupted".to_string()),
+            recovery: RecoverySummary::empty(),
+            wall_s: 0.0,
+            events: 0,
+            resumed: false,
+        };
+        let parsed = ManifestEntry::from_json(&entry.to_json()).expect("parses");
+        assert_eq!(parsed.status, RunStatus::Interrupted);
     }
 
     #[test]

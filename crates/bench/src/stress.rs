@@ -26,11 +26,12 @@ use crate::json::Json;
 use crate::report::Table;
 use fiveg_simcore::ambient;
 use fiveg_simcore::budget::EXHAUSTED_MSG;
+use fiveg_simcore::cancel::{self, CancelToken};
 use fiveg_simcore::faults::{FaultScenario, FaultSchedule};
 use fiveg_simcore::guard::{self, GuardPolicy, VIOLATION_MSG};
 use fiveg_simcore::RngStream;
-use std::sync::mpsc;
-use std::time::Duration;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// Reproducer file format version.
 pub const REPRO_VERSION: f64 = 1.0;
@@ -60,8 +61,16 @@ pub struct StressConfig {
     pub jobs: usize,
     /// Wall-clock deadline per case run (safety net only — a triggered
     /// deadline is nondeterministic, so it must be generous enough to
-    /// never fire on healthy experiments).
+    /// never fire on healthy experiments). A cooperative cancellation
+    /// token armed with this deadline lets a case that blows it unwind
+    /// instead of leaking its thread.
     pub deadline: Duration,
+    /// Upper bound on the event budgets the generator draws (the
+    /// campaign's `--event-budget` threads through here, so a lowered
+    /// campaign budget also lowers the stress sweep's — and with it the
+    /// starting point of the shrinker's budget-halving phase). At the
+    /// default [`MAX_CASE_BUDGET`] the draw is unchanged.
+    pub max_budget: u64,
     /// Restrict generation to these experiment ids (`None` = whole
     /// registry). Test hook for cheap, targeted sweeps.
     pub experiments: Option<Vec<String>>,
@@ -76,6 +85,7 @@ impl Default for StressConfig {
             canary: false,
             jobs: 1,
             deadline: Duration::from_secs(120),
+            max_budget: MAX_CASE_BUDGET,
             experiments: None,
         }
     }
@@ -337,14 +347,25 @@ pub fn run_case(case: &StressCase, deadline: Duration) -> Result<CaseOutcome, St
     let seed = case.seed;
     let event_budget = case.event_budget;
     let canary = case.canary;
+    // The case thread arms a deadline-bearing cancellation token: a case
+    // that blows the wall-clock safety net unwinds at its next budget poll
+    // and exits, instead of leaking a spinning thread for the rest of the
+    // stress sweep.
+    let token = Arc::new(CancelToken::with_deadline(Instant::now() + deadline));
+    let case_token = Arc::clone(&token);
     let (tx, rx) = mpsc::channel();
     let spawned = std::thread::Builder::new()
         .name(format!("stress-{}", case.id))
         .spawn(move || {
             // Same ambient world as a supervised campaign attempt, except
             // the schedule may be a shrunk reproducer's.
-            let _ambient =
-                ambient::install_schedule(schedule, event_budget, false, Some(GuardPolicy::Record));
+            let _ambient = ambient::install_schedule(
+                schedule,
+                event_budget,
+                false,
+                Some(GuardPolicy::Record),
+                Some(case_token),
+            );
             if canary {
                 guard::check("stress", "canary", false, 0.0, || {
                     "deliberately broken invariant (canary)".to_string()
@@ -384,8 +405,19 @@ pub fn run_case(case: &StressCase, deadline: Duration) -> Result<CaseOutcome, St
         }
         Ok(Err((msg, guards))) => {
             // A panic outranks recorded violations, except that a budget
-            // trip and a fail-fast guard panic each classify as themselves.
-            if msg.starts_with(EXHAUSTED_MSG) {
+            // trip, a fail-fast guard panic, and a deadline cancellation
+            // each classify as themselves.
+            if cancel::is_cancel_panic(&msg) {
+                // The token's deadline fired and the case unwound
+                // cooperatively: same verdict and signature as the
+                // abandon path below, so `stress.txt` never depends on
+                // which side of the race the kill landed.
+                CaseOutcome {
+                    verdict: Verdict::Deadline,
+                    signature: format!("deadline exceeded ({:.1}s)", deadline.as_secs_f64()),
+                    violations: 0,
+                }
+            } else if msg.starts_with(EXHAUSTED_MSG) {
                 CaseOutcome {
                     verdict: Verdict::BudgetExhausted,
                     signature: EXHAUSTED_MSG.to_string(),
@@ -409,7 +441,19 @@ pub fn run_case(case: &StressCase, deadline: Duration) -> Result<CaseOutcome, St
                 }
             }
         }
-        Err(_) => CaseOutcome {
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            // The armed token self-cancels at the case's next budget poll;
+            // give the thread a short grace to unwind before abandoning it
+            // (a case that never polls — e.g. wedged outside the budgeted
+            // loops — still leaks, as before, but now only those do).
+            let _ = rx.recv_timeout(Duration::from_secs(2));
+            CaseOutcome {
+                verdict: Verdict::Deadline,
+                signature: format!("deadline exceeded ({:.1}s)", deadline.as_secs_f64()),
+                violations: 0,
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => CaseOutcome {
             verdict: Verdict::Deadline,
             signature: format!("deadline exceeded ({:.1}s)", deadline.as_secs_f64()),
             violations: 0,
@@ -441,8 +485,13 @@ pub fn generate_cases(cfg: &StressConfig) -> Vec<StressCase> {
                 None => Some(rng.choose(&scenarios).to_string()),
             };
             let seed = rng.next_u64();
-            let event_budget =
-                MIN_CASE_BUDGET + rng.next_u64() % (MAX_CASE_BUDGET - MIN_CASE_BUDGET);
+            // Draw in [lo, max_budget): at the default cap this is exactly
+            // the historical `MIN + r % (MAX - MIN)` draw (byte-identical
+            // cases); a lowered campaign `--event-budget` pulls the whole
+            // band down with it.
+            let lo = MIN_CASE_BUDGET.min(cfg.max_budget);
+            let span = cfg.max_budget.saturating_sub(lo).max(1);
+            let event_budget = lo + rng.next_u64() % span;
             StressCase {
                 id: i,
                 experiment,
@@ -791,6 +840,30 @@ mod tests {
         assert_eq!(a.len(), 5);
         let c = generate_cases(&StressConfig { seed: 12, ..cfg });
         assert_ne!(a, c, "a different seed draws different cases");
+    }
+
+    #[test]
+    fn lowered_max_budget_bounds_the_draws_without_reshuffling() {
+        let cfg = StressConfig {
+            cases: 8,
+            seed: 11,
+            ..StressConfig::default()
+        };
+        let default_cases = generate_cases(&cfg);
+        let lowered_cfg = StressConfig {
+            max_budget: 300_000_000,
+            ..cfg
+        };
+        let lowered = generate_cases(&lowered_cfg);
+        for (a, b) in default_cases.iter().zip(&lowered) {
+            // Only the budget band moves: the cap changes the modulus of
+            // the last draw, never the experiment/scenario/seed stream.
+            assert_eq!(a.experiment, b.experiment);
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.seed, b.seed);
+            assert!(b.event_budget < 300_000_000, "got {}", b.event_budget);
+            assert!(b.event_budget >= MIN_CASE_BUDGET.min(300_000_000));
+        }
     }
 
     #[test]

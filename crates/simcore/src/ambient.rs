@@ -26,17 +26,22 @@
 //! * everything uninstalls when the returned guard drops, even on panic,
 //!   so a pooled worker can never leak one attempt's planes into the next.
 
+use std::sync::Arc;
+
 use crate::budget::{self, BudgetGuard};
+use crate::cancel::{self, CancelGuard, CancelToken};
 use crate::faults::{self, FaultScenario, FaultSchedule, PlaneGuard};
 use crate::guard::{self, GuardPolicy, GuardsGuard};
 use crate::recovery::{self, CollectorGuard};
 use crate::telemetry::{self, TelemetryGuard};
 
 /// Guards for one attempt's ambient planes; dropping uninstalls all of
-/// them (guards, budget, telemetry collector, recovery collector, fault
-/// plane) in reverse install order.
+/// them (cancel token, guards, budget, telemetry collector, recovery
+/// collector, fault plane) in reverse install order. The cancel token
+/// disarms first, so no later teardown step can observe a kill.
 #[must_use = "the ambient planes uninstall when this guard drops"]
 pub struct AmbientGuard {
+    _cancel: Option<CancelGuard>,
     _guards: Option<GuardsGuard>,
     _budget: BudgetGuard,
     _telemetry: Option<TelemetryGuard>,
@@ -51,19 +56,23 @@ pub struct AmbientGuard {
 /// default, so uninstrumented campaigns stay byte-identical by
 /// construction), the invariant guard collector (when `guards` names a
 /// policy — the supervised runner defaults to [`GuardPolicy::Record`]),
-/// and an armed event budget.
+/// an armed event budget, and the cooperative cancellation token (when
+/// `cancel` carries the supervisor's end — `None` leaves the plane
+/// disarmed and free).
 pub fn install_attempt(
     scenario: Option<&FaultScenario>,
     seed: u64,
     event_budget: u64,
     telemetry: bool,
     guards: Option<GuardPolicy>,
+    cancel: Option<Arc<CancelToken>>,
 ) -> AmbientGuard {
     install_schedule(
         scenario.map(|sc| FaultSchedule::generate(seed, sc)),
         event_budget,
         telemetry,
         guards,
+        cancel,
     )
 }
 
@@ -77,6 +86,7 @@ pub fn install_schedule(
     event_budget: u64,
     telemetry: bool,
     guards: Option<GuardPolicy>,
+    cancel: Option<Arc<CancelToken>>,
 ) -> AmbientGuard {
     let has_schedule = schedule.is_some();
     AmbientGuard {
@@ -85,6 +95,7 @@ pub fn install_schedule(
         _telemetry: telemetry.then(telemetry::collect),
         _budget: budget::arm(event_budget),
         _guards: guards.map(guard::collect),
+        _cancel: cancel.map(cancel::arm),
     }
 }
 
@@ -95,7 +106,7 @@ mod tests {
     #[test]
     fn no_scenario_installs_budget_only() {
         {
-            let _g = install_attempt(None, 7, 100, false, None);
+            let _g = install_attempt(None, 7, 100, false, None, None);
             assert!(!faults::enabled());
             assert!(!recovery::enabled());
             assert!(!telemetry::enabled());
@@ -108,7 +119,7 @@ mod tests {
     #[test]
     fn scenario_installs_all_three_and_uninstalls_on_drop() {
         {
-            let _g = install_attempt(Some(&FaultScenario::chaos()), 7, 100, false, None);
+            let _g = install_attempt(Some(&FaultScenario::chaos()), 7, 100, false, None, None);
             assert!(faults::enabled());
             assert!(recovery::enabled());
             assert!(!telemetry::enabled(), "telemetry stays opt-in");
@@ -123,7 +134,7 @@ mod tests {
     #[cfg(feature = "telemetry")]
     fn telemetry_flag_installs_the_collector() {
         {
-            let _g = install_attempt(None, 7, 100, true, None);
+            let _g = install_attempt(None, 7, 100, true, None, None);
             assert!(telemetry::enabled());
             assert!(!faults::enabled(), "telemetry does not drag faults in");
         }
@@ -134,7 +145,7 @@ mod tests {
     #[cfg(feature = "guards")]
     fn guard_policy_installs_the_collector() {
         {
-            let _g = install_attempt(None, 7, 100, false, Some(GuardPolicy::Record));
+            let _g = install_attempt(None, 7, 100, false, Some(GuardPolicy::Record), None);
             assert!(guard::enabled());
             assert!(!faults::enabled(), "guards do not drag faults in");
             assert!(!telemetry::enabled());
@@ -147,7 +158,7 @@ mod tests {
         let sc = FaultScenario::chaos();
         let schedule = FaultSchedule::generate(11, &sc);
         {
-            let _g = install_schedule(Some(schedule), 100, false, None);
+            let _g = install_schedule(Some(schedule), 100, false, None, None);
             assert!(faults::enabled());
             assert!(
                 recovery::enabled(),

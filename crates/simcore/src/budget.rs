@@ -46,12 +46,16 @@ pub fn arm(events: u64) -> BudgetGuard {
     BudgetGuard { _private: () }
 }
 
-/// Charges `n` events against the armed budget.
+/// Charges `n` events against the armed budget, then lets the
+/// cancellation plane observe the charge (`crate::cancel::observe` — one
+/// extra thread-local load and branch when no token is armed).
 ///
 /// # Panics
 ///
-/// Panics with [`EXHAUSTED_MSG`] when the budget runs out. Never panics
-/// when no budget is armed.
+/// Panics with [`EXHAUSTED_MSG`] when the budget runs out, or with
+/// [`crate::cancel::CANCELLED_MSG`] when an armed cancellation token was
+/// killed or passed its deadline. Never panics when neither plane is
+/// armed.
 #[inline]
 pub fn charge(n: u64) {
     REMAINING.with(|r| {
@@ -65,6 +69,7 @@ pub fn charge(n: u64) {
         }
         r.set(left - n);
     });
+    crate::cancel::observe(n);
 }
 
 /// Events charged against the armed budget so far, or `None` when no

@@ -20,6 +20,11 @@
 //!   schedule, off by default and free when off,
 //! * [`budget`] — per-thread event budgets so a supervised runner can kill
 //!   runaway experiments deterministically,
+//! * [`cancel`] — the cooperative cancellation plane: a per-attempt shared
+//!   token (kill flag + optional deadline) observed from the budget hot
+//!   path, so a supervising thread can ask an experiment to unwind and
+//!   actually exit instead of abandoning its thread; bit-identical and one
+//!   branch when disarmed,
 //! * [`recovery`] — the reaction side of the fault plane: a thread-local
 //!   collector of structured recovery events (link re-establishments, TCP
 //!   RTOs, segment retries, interface failovers, …) emitted by the stack's
@@ -42,6 +47,7 @@
 
 pub mod ambient;
 pub mod budget;
+pub mod cancel;
 pub mod event;
 pub mod faults;
 pub mod guard;
