@@ -9,10 +9,14 @@
 //! figures --chaos chaos all    # inject a named fault scenario
 //! figures --resume --out results/ all   # continue a killed campaign
 //! figures --jobs 4 all         # run the campaign on 4 worker threads
+//! figures --no-shard all       # schedule experiments whole (no shard fan-out)
+//! figures --profile all        # wall-sorted profile with hottest spans
 //! figures --deadline-s 30 all  # per-attempt wall-clock deadline
 //! figures --event-budget 5000000 all    # per-attempt event budget
 //! figures --no-cancel all      # disarm the cooperative cancel plane
 //! figures --bench-out results/BENCH_campaign.json all   # record perf
+//! figures --bench-baseline results/BENCH_campaign.json all  # drift check
+//! figures --bench-strict ...   # exit non-zero on perf regression
 //! figures --telemetry tel/ table2 fig9   # export spans/counters/hists
 //! figures --list-scenarios     # print fault scenarios, one per line
 //! figures --check-manifest results/manifest.json   # CI gate
@@ -70,6 +74,20 @@
 //! `--repro <file>` replays one reproducer and exits 0 iff the recorded
 //! failure reproduces exactly. `--strict` makes a campaign exit non-zero
 //! when any experiment finished degraded.
+//!
+//! Shardable experiments (see `fiveg_bench::shard`) are decomposed into
+//! independent units that feed the same worker pool as whole experiments,
+//! so `--jobs N` parallelism applies *inside* the longest experiments too.
+//! The decomposition itself runs in every mode — `--no-shard` only turns
+//! off the pool fan-out (each shardable experiment runs its shards
+//! in-line on one worker), so artifacts are byte-identical either way.
+//! `--profile` forces span collection on every attempt and prints a
+//! wall-clock-sorted experiment profile with each experiment's hottest
+//! telemetry spans — the map for deciding what to shard or optimize next.
+//! `--bench-baseline <path>` compares the finished campaign's
+//! per-experiment wall clock against a recorded `BENCH_campaign.json` and
+//! warns about regressions (generous 2× + 0.25 s tolerance, wall noise is
+//! real); `--bench-strict` turns those warnings into a non-zero exit.
 //!
 //! Campaigns are interrupt-safe: SIGINT (^C) or SIGTERM stops the worker
 //! pool from claiming new experiments, cancels in-flight attempts
@@ -456,6 +474,108 @@ fn resumable_entries(
         .collect()
 }
 
+/// `--profile`: experiments sorted by wall clock, each with its three
+/// hottest telemetry spans (by cumulative simulated time). This is the
+/// entry point of the profile → shard → verify loop: the top rows are the
+/// sharding/optimization candidates, the spans say which inner phase to
+/// attack. Wall numbers are host-dependent and go to stdout only — never
+/// into an artifact.
+fn profile_summary(outcomes: &[runner::RunOutcome], campaign_wall_s: f64) -> String {
+    let serial_s: f64 = outcomes.iter().map(|o| o.wall_s).sum();
+    let mut by_wall: Vec<&runner::RunOutcome> = outcomes.iter().collect();
+    by_wall.sort_by(|a, b| b.wall_s.total_cmp(&a.wall_s));
+    let mut body = format!(
+        "==== PROFILE — campaign wall {campaign_wall_s:.2} s, \
+         serial experiment time {serial_s:.2} s ====\n"
+    );
+    for o in by_wall {
+        let pct = if serial_s > 0.0 {
+            100.0 * o.wall_s / serial_s
+        } else {
+            0.0
+        };
+        body.push_str(&format!(
+            "{:<20} {:>8.3} s  {:>5.1}%  {:>12} events\n",
+            o.id, o.wall_s, pct, o.events
+        ));
+        let Some(telem) = &o.telemetry else { continue };
+        let mut spans: Vec<_> = telem.spans.iter().collect();
+        spans.sort_by(|a, b| b.1.total_s.total_cmp(&a.1.total_s));
+        for (name, stat) in spans.into_iter().take(3) {
+            body.push_str(&format!(
+                "    {:<26} {:>10} span(s) {:>12.2} sim-s\n",
+                name, stat.count, stat.total_s
+            ));
+        }
+    }
+    body
+}
+
+/// `--bench-baseline`: compare the finished campaign's per-experiment wall
+/// clock against a recorded bench report. Returns the number of
+/// regressions found (always also warned on stderr). The tolerance is
+/// deliberately generous — wall-clock noise on shared runners is real —
+/// so anything flagged is a genuine slowdown, not jitter.
+fn compare_bench_baseline(
+    rows: &[ManifestEntry],
+    wall_by_id: &HashMap<String, f64>,
+    path: &Path,
+) -> usize {
+    /// Flag only slowdowns beyond both a ratio and an absolute floor.
+    const TOL_RATIO: f64 = 2.0;
+    const TOL_FLOOR_S: f64 = 0.25;
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("--bench-baseline: cannot read {}: {e}", path.display());
+            return 1;
+        }
+    };
+    let base = match Json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("--bench-baseline: {} unparseable: {e}", path.display());
+            return 1;
+        }
+    };
+    let base_rows = base.get("results").and_then(Json::as_arr).unwrap_or(&[]);
+    let mut regressions = 0usize;
+    for row in rows {
+        let Some(&wall) = wall_by_id.get(&row.id) else {
+            continue;
+        };
+        let base_wall = base_rows
+            .iter()
+            .find(|r| r.get("id").and_then(Json::as_str) == Some(row.id.as_str()))
+            .and_then(|r| r.get("wall_s"))
+            .and_then(Json::as_f64);
+        let Some(base_wall) = base_wall else {
+            eprintln!(
+                "--bench-baseline: `{}` has no row in {} — new experiment?",
+                row.id,
+                path.display()
+            );
+            continue;
+        };
+        if wall > base_wall * TOL_RATIO && wall - base_wall > TOL_FLOOR_S {
+            eprintln!(
+                "--bench-baseline: `{}` regressed: {:.3} s vs baseline {:.3} s \
+                 (>{TOL_RATIO}x and >{TOL_FLOOR_S} s slower)",
+                row.id, wall, base_wall
+            );
+            regressions += 1;
+        }
+    }
+    if regressions == 0 {
+        println!(
+            "bench baseline {}: no wall-clock regression in {} experiment(s)",
+            path.display(),
+            rows.len()
+        );
+    }
+    regressions
+}
+
 fn write_or_die(path: &Path, contents: &str) {
     if let Err(e) = runner::write_atomic(path, contents) {
         eprintln!("cannot write {}: {e}", path.display());
@@ -605,6 +725,41 @@ fn main() {
             });
         args.remove(pos);
     }
+    let mut no_shard = false;
+    if let Some(pos) = args.iter().position(|a| a == "--no-shard") {
+        args.remove(pos);
+        no_shard = true;
+    }
+    let mut profile = false;
+    if let Some(pos) = args.iter().position(|a| a == "--profile") {
+        args.remove(pos);
+        profile = true;
+        if !fiveg_simcore::telemetry::compiled() {
+            eprintln!(
+                "warning: built without the `telemetry` feature — \
+                 --profile will show no spans"
+            );
+        }
+    }
+    let mut bench_baseline: Option<PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--bench-baseline") {
+        args.remove(pos);
+        let path = args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--bench-baseline needs a BENCH_campaign.json path");
+            std::process::exit(2);
+        });
+        args.remove(pos);
+        bench_baseline = Some(PathBuf::from(path));
+    }
+    let mut bench_strict = false;
+    if let Some(pos) = args.iter().position(|a| a == "--bench-strict") {
+        args.remove(pos);
+        bench_strict = true;
+        if bench_baseline.is_none() {
+            eprintln!("--bench-strict needs --bench-baseline <path> to compare against");
+            std::process::exit(2);
+        }
+    }
     let mut bench_out: Option<PathBuf> = None;
     if let Some(pos) = args.iter().position(|a| a == "--bench-out") {
         args.remove(pos);
@@ -751,7 +906,8 @@ fn main() {
         Some(sc) => Supervisor::with_scenario(sc),
         None => Supervisor::default(),
     };
-    supervisor.telemetry = telemetry_dir.is_some();
+    supervisor.telemetry = telemetry_dir.is_some() || profile;
+    supervisor.shard = !no_shard;
     if let Some(secs) = deadline_s {
         supervisor.deadline = std::time::Duration::from_secs_f64(secs);
     }
@@ -935,6 +1091,27 @@ fn main() {
             runner::bench_report(&rows, seed, scenario_name.as_deref(), jobs, campaign_wall_s);
         write_or_die(path, &report.render());
         println!("wrote campaign bench report to {}", path.display());
+    }
+
+    if profile {
+        print!("{}", profile_summary(&outcomes, campaign_wall_s));
+    }
+
+    if let Some(path) = &bench_baseline {
+        let wall_by_id: HashMap<String, f64> = outcomes
+            .iter()
+            .map(|o| (o.id.to_string(), o.wall_s))
+            .collect();
+        let regressions = compare_bench_baseline(&rows, &wall_by_id, path);
+        if regressions > 0 {
+            eprintln!(
+                "--bench-baseline: {regressions} wall-clock regression(s) vs {}",
+                path.display()
+            );
+            if bench_strict {
+                std::process::exit(1);
+            }
+        }
     }
 
     if let Some(name) = scenario_name.as_deref() {

@@ -133,49 +133,67 @@ pub fn ablation_blockage(seed: u64) -> Report {
     }
 }
 
-/// Pensieve trained on 5G traces — the paper's "a larger (5G) dataset is
-/// needed" hypothesis, §5.2.
-pub fn ablation_pensieve(seed: u64) -> Report {
+/// Ablation-pensieve shard count: one shard per training corpus.
+pub(crate) const ABLATION_PENSIEVE_SHARDS: usize = 2;
+
+/// One ablation-pensieve shard: train Pensieve on one corpus (shard 0 =
+/// 4G, shard 1 = 5G) and evaluate on the shared 5G eval set, returning
+/// `[stall, bitrate]`. The two trainings are the experiment's only heavy
+/// work and are fully independent — each shard re-derives the trace
+/// generator from the seed.
+pub(crate) fn ablation_pensieve_shard(seed: u64, shard: usize) -> Vec<f64> {
     let gen = TraceGenerator::new(seed);
-    let g5_train = gen.lumos5g_corpus(36);
-    let g4_train = gen.lte_corpus(36);
     let g5_eval: Vec<_> = (36..56).map(|i| gen.lumos5g_trace(i)).collect();
     let asset5 = VideoAsset::five_g_default();
-    let asset4 = VideoAsset::four_g_default();
     let cfg = PlayerConfig::default();
-    let eval = |abr: &mut pensieve::PensieveAbr| {
-        let sessions: Vec<_> = g5_eval
-            .iter()
-            .map(|t| stream(&asset5, t, abr, &cfg, 0.0))
-            .collect();
-        (
-            mean(&sessions.iter().map(|s| s.stall_pct()).collect::<Vec<_>>()),
-            mean(
-                &sessions
-                    .iter()
-                    .map(|s| s.avg_norm_bitrate)
-                    .collect::<Vec<_>>(),
-            ),
-        )
+    let mut abr = if shard == 0 {
+        let g4_train = gen.lte_corpus(36);
+        pensieve::train(&g4_train, &VideoAsset::four_g_default(), seed)
+    } else {
+        let g5_train = gen.lumos5g_corpus(36);
+        pensieve::train(&g5_train, &asset5, seed)
     };
-    let mut on_4g = pensieve::train(&g4_train, &asset4, seed);
-    let mut on_5g = pensieve::train(&g5_train, &asset5, seed);
-    let (stall_4g_trained, br_4g_trained) = eval(&mut on_4g);
-    let (stall_5g_trained, br_5g_trained) = eval(&mut on_5g);
+    let sessions: Vec<_> = g5_eval
+        .iter()
+        .map(|t| stream(&asset5, t, &mut abr, &cfg, 0.0))
+        .collect();
+    vec![
+        mean(&sessions.iter().map(|s| s.stall_pct()).collect::<Vec<_>>()),
+        mean(
+            &sessions
+                .iter()
+                .map(|s| s.avg_norm_bitrate)
+                .collect::<Vec<_>>(),
+        ),
+    ]
+}
+
+/// Deterministic ablation-pensieve reducer: 4G-trained row then
+/// 5G-trained row.
+pub(crate) fn ablation_pensieve_merge(_seed: u64, parts: &[Vec<f64>]) -> Report {
     let mut t = Table::new(vec!["training corpus", "5G stall %", "5G bitrate"]);
     t.row(vec![
         "4G traces (paper's setup)".to_string(),
-        f(stall_4g_trained, 2),
-        f(br_4g_trained, 3),
+        f(parts[0][0], 2),
+        f(parts[0][1], 3),
     ]);
     t.row(vec![
         "5G traces (hypothesis)".to_string(),
-        f(stall_5g_trained, 2),
-        f(br_5g_trained, 3),
+        f(parts[1][0], 2),
+        f(parts[1][1], 3),
     ]);
     Report {
         id: "ablation-pensieve",
         title: "Ablation: Pensieve's training distribution vs 5G QoE".into(),
         body: t.render(),
     }
+}
+
+/// Pensieve trained on 5G traces — the paper's "a larger (5G) dataset is
+/// needed" hypothesis, §5.2.
+pub fn ablation_pensieve(seed: u64) -> Report {
+    let parts: Vec<Vec<f64>> = (0..ABLATION_PENSIEVE_SHARDS)
+        .map(|s| ablation_pensieve_shard(seed, s))
+        .collect();
+    ablation_pensieve_merge(seed, &parts)
 }

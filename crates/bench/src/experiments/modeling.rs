@@ -21,12 +21,20 @@ fn dtr_mape(data: &Dataset, seed: u64) -> f64 {
     mape(&test.targets, &model.predict_all(&test))
 }
 
-/// Fig 15: TH+SS vs TH vs SS model error across the five settings.
-pub fn fig15(seed: u64) -> Report {
-    let mut t = Table::new(vec!["setting", "TH+SS %", "TH %", "SS %"]);
-    for campaign in WalkingCampaign::fig15_settings() {
+/// Fig 15 shard count: one shard per walking-campaign setting (5) plus the
+/// held-out validation session.
+pub(crate) const FIG15_SHARDS: usize = 6;
+
+/// One Fig 15 shard: shards `0..5` train the three feature models on one
+/// setting's campaign and return the three MAPEs; the final shard runs the
+/// §4.5 held-out validation walk and returns its single MAPE. Every shard
+/// is a pure function of `(seed, shard)` — no state crosses shards.
+pub(crate) fn fig15_shard(seed: u64, shard: usize) -> Vec<f64> {
+    let settings = WalkingCampaign::fig15_settings();
+    if shard < settings.len() {
+        let campaign = settings[shard];
         let samples = campaign.campaign(10, seed);
-        let errs: Vec<f64> = [
+        return [
             PowerFeatures::ThroughputAndSignal,
             PowerFeatures::ThroughputOnly,
             PowerFeatures::SignalOnly,
@@ -34,16 +42,10 @@ pub fn fig15(seed: u64) -> Report {
         .into_iter()
         .map(|feat| dtr_mape(&to_dataset(&samples, campaign.network, feat), seed))
         .collect();
-        t.row(vec![
-            campaign.label(),
-            f(errs[0], 2),
-            f(errs[1], 2),
-            f(errs[2], 2),
-        ]);
     }
     // §4.5 validation on "real applications": hold out a fresh walk and
     // predict it with the TH+SS model (stand-ins for the video/web runs).
-    let campaign = WalkingCampaign::fig15_settings()[1];
+    let campaign = settings[1];
     let train_samples = campaign.campaign(10, seed);
     let train = to_dataset(
         &train_samples,
@@ -53,7 +55,23 @@ pub fn fig15(seed: u64) -> Report {
     let model = DecisionTreeRegressor::fit(&train, &TreeConfig::default());
     let fresh = campaign.walk(99, seed, 10.0);
     let val = to_dataset(&fresh, campaign.network, PowerFeatures::ThroughputAndSignal);
-    let val_err = mape(&val.targets, &model.predict_all(&val));
+    vec![mape(&val.targets, &model.predict_all(&val))]
+}
+
+/// Deterministic Fig 15 reducer: formats the shard MAPEs into the table in
+/// setting order, then appends the validation note.
+pub(crate) fn fig15_merge(_seed: u64, parts: &[Vec<f64>]) -> Report {
+    let settings = WalkingCampaign::fig15_settings();
+    let mut t = Table::new(vec!["setting", "TH+SS %", "TH %", "SS %"]);
+    for (campaign, errs) in settings.iter().zip(parts) {
+        t.row(vec![
+            campaign.label(),
+            f(errs[0], 2),
+            f(errs[1], 2),
+            f(errs[2], 2),
+        ]);
+    }
+    let val_err = parts[settings.len()][0];
     let body = format!(
         "{}\nvalidation on a held-out session (S20U mmWave): MAPE {}%\n",
         t.render(),
@@ -64,6 +82,14 @@ pub fn fig15(seed: u64) -> Report {
         title: "Power-model MAPE: TH+SS vs TH-only vs SS-only (DTR)".into(),
         body,
     }
+}
+
+/// Fig 15: TH+SS vs TH vs SS model error across the five settings. The
+/// unsharded path is the sharded one run in order — byte-identity between
+/// the two is by construction.
+pub fn fig15(seed: u64) -> Report {
+    let parts: Vec<Vec<f64>> = (0..FIG15_SHARDS).map(|s| fig15_shard(seed, s)).collect();
+    fig15_merge(seed, &parts)
 }
 
 /// The benchmark's true total-device power for an activity, mW (idle base
@@ -136,73 +162,97 @@ pub fn table3(_seed: u64) -> Report {
     }
 }
 
-/// Fig 16: DTR calibration of the software monitor vs the TH+SS model.
-pub fn fig16(seed: u64) -> Report {
+/// Fig 16 shard count: the TH+SS baseline plus one shard per software
+/// sampling rate (1 Hz, 10 Hz).
+pub(crate) const FIG16_SHARDS: usize = 3;
+
+/// One Fig 16 shard. Shard 0 reproduces the Fig 15 TH+SS baseline MAPE;
+/// shards 1 and 2 build one sampling rate's mixed-activity session and
+/// return `[uncalibrated, calibrated]` MAPEs. RNG streams are keyed by
+/// `(seed, activity, rate)` exactly as the unsharded loop keyed them.
+pub(crate) fn fig16_shard(seed: u64, shard: usize) -> Vec<f64> {
+    if shard == 0 {
+        // Baseline: TH+SS model error on the walking data (same as Fig 15).
+        let campaign = WalkingCampaign::fig15_settings()[1];
+        let samples = campaign.campaign(10, seed);
+        return vec![dtr_mape(
+            &to_dataset(
+                &samples,
+                campaign.network,
+                PowerFeatures::ThroughputAndSignal,
+            ),
+            seed,
+        )];
+    }
     // Build a mixed-activity session: the UE runs each activity in turn;
     // features are (sw reading, throughput) and the target is the hardware
     // reading.
     let hw = HardwareMonitor::default();
     let activities = Activity::all();
-    let mut t = Table::new(vec!["estimator", "MAPE %"]);
-
-    // Baseline: TH+SS model error on the walking data (same as Fig 15).
-    let campaign = WalkingCampaign::fig15_settings()[1];
-    let samples = campaign.campaign(10, seed);
-    let thss = dtr_mape(
-        &to_dataset(
-            &samples,
-            campaign.network,
-            PowerFeatures::ThroughputAndSignal,
-        ),
-        seed,
+    let rate = [1.0, 10.0][shard - 1];
+    let sw = SoftwareMonitor::new(rate);
+    let mut data = Dataset::new(
+        vec!["sw_reading_mw".into(), "throughput_mbps".into()],
+        vec![],
+        vec![],
     );
-    t.row(vec!["TH+SS".to_string(), f(thss, 2)]);
-
-    for rate in [1.0, 10.0] {
-        let sw = SoftwareMonitor::new(rate);
-        let mut data = Dataset::new(
-            vec!["sw_reading_mw".into(), "throughput_mbps".into()],
-            vec![],
-            vec![],
-        );
-        let mut raw_actual = Vec::new();
-        let mut raw_sw = Vec::new();
-        for (ai, activity) in activities.iter().enumerate() {
-            let truth = activity_power_mw(*activity);
-            let tput = match activity {
-                Activity::UdpDl50 => 50.0,
-                Activity::UdpDl400 => 400.0,
-                Activity::UdpDl800 => 800.0,
-                Activity::UdpDl1200 => 1200.0,
-                Activity::VideoStreaming => 80.0,
-                _ => 0.0,
-            };
-            let rng = RngStream::new(seed, &format!("fig16/{ai}/{rate}"));
-            // Real device power fluctuates within an activity (DVFS, screen
-            // content, scheduler bursts) — that is what makes calibration a
-            // learning problem rather than a lookup.
-            let true_fn = |t: f64| {
-                truth * (1.0 + 0.08 * (t * std::f64::consts::TAU / 7.3).sin()) + sw.overhead_mw()
-            };
-            let hw_trace = hw.record(true_fn, 60.0, &mut rng.fork("hw"));
-            let sw_trace = sw.record(true_fn, *activity, 60.0, &mut rng.fork("sw"));
-            for (t_sw, reading) in sw_trace.iter() {
-                // Pair each software reading with the hardware reading of
-                // the same instant.
-                let hw_now = hw_trace.sample_at(t_sw).unwrap_or(truth);
-                data.push(vec![reading, tput], hw_now);
-                raw_actual.push(hw_now);
-                raw_sw.push(reading);
-            }
+    let mut raw_actual = Vec::new();
+    let mut raw_sw = Vec::new();
+    for (ai, activity) in activities.iter().enumerate() {
+        let truth = activity_power_mw(*activity);
+        let tput = match activity {
+            Activity::UdpDl50 => 50.0,
+            Activity::UdpDl400 => 400.0,
+            Activity::UdpDl800 => 800.0,
+            Activity::UdpDl1200 => 1200.0,
+            Activity::VideoStreaming => 80.0,
+            _ => 0.0,
+        };
+        let rng = RngStream::new(seed, &format!("fig16/{ai}/{rate}"));
+        // Real device power fluctuates within an activity (DVFS, screen
+        // content, scheduler bursts) — that is what makes calibration a
+        // learning problem rather than a lookup.
+        let true_fn = |t: f64| {
+            truth * (1.0 + 0.08 * (t * std::f64::consts::TAU / 7.3).sin()) + sw.overhead_mw()
+        };
+        let hw_trace = hw.record(true_fn, 60.0, &mut rng.fork("hw"));
+        let sw_trace = sw.record(true_fn, *activity, 60.0, &mut rng.fork("sw"));
+        for (t_sw, reading) in sw_trace.iter() {
+            // Pair each software reading with the hardware reading of
+            // the same instant.
+            let hw_now = hw_trace.sample_at(t_sw).unwrap_or(truth);
+            data.push(vec![reading, tput], hw_now);
+            raw_actual.push(hw_now);
+            raw_sw.push(reading);
         }
-        let uncal = mape(&raw_actual, &raw_sw);
-        let cal = dtr_mape(&data, seed ^ rate as u64);
-        t.row(vec![format!("SW-{rate:.0}Hz uncalibrated"), f(uncal, 2)]);
-        t.row(vec![format!("SW-{rate:.0}Hz calibrated (DTR)"), f(cal, 2)]);
+    }
+    vec![
+        mape(&raw_actual, &raw_sw),
+        dtr_mape(&data, seed ^ rate as u64),
+    ]
+}
+
+/// Deterministic Fig 16 reducer: baseline row, then per-rate
+/// uncalibrated/calibrated rows in rate order.
+pub(crate) fn fig16_merge(_seed: u64, parts: &[Vec<f64>]) -> Report {
+    let mut t = Table::new(vec!["estimator", "MAPE %"]);
+    t.row(vec!["TH+SS".to_string(), f(parts[0][0], 2)]);
+    for (rate, part) in [1.0f64, 10.0].iter().zip(&parts[1..]) {
+        t.row(vec![format!("SW-{rate:.0}Hz uncalibrated"), f(part[0], 2)]);
+        t.row(vec![
+            format!("SW-{rate:.0}Hz calibrated (DTR)"),
+            f(part[1], 2),
+        ]);
     }
     Report {
         id: "fig16",
         title: "Software power monitor calibration".into(),
         body: t.render(),
     }
+}
+
+/// Fig 16: DTR calibration of the software monitor vs the TH+SS model.
+pub fn fig16(seed: u64) -> Report {
+    let parts: Vec<Vec<f64>> = (0..FIG16_SHARDS).map(|s| fig16_shard(seed, s)).collect();
+    fig16_merge(seed, &parts)
 }

@@ -12,6 +12,7 @@ pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod runner;
+pub mod shard;
 pub mod signal;
 pub mod stress;
 pub mod telemetry;

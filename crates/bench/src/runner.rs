@@ -26,6 +26,7 @@
 use crate::experiments::Experiment;
 use crate::json::Json;
 use crate::report::Report;
+use crate::shard::{self, ShardableExperiment};
 use fiveg_simcore::cancel::{self, CancelToken};
 use fiveg_simcore::faults::FaultScenario;
 use fiveg_simcore::guard::{self, AttemptGuards, GuardPolicy};
@@ -180,6 +181,14 @@ pub struct Supervisor {
     /// [`Supervisor::run_registry_jobs_partial`] also stops claiming new
     /// entries.
     pub interrupt: Option<&'static AtomicBool>,
+    /// Fan the shards of [`crate::shard::shardable`] experiments out to the
+    /// pool as independent work units (on by default). Off, each sharded
+    /// experiment runs its shards sequentially inside its own registry
+    /// slot. Either way the *decomposition* is identical — same per-shard
+    /// plane installs, same order-fixed merge — so every artifact is
+    /// byte-identical between the two; the flag only changes scheduling
+    /// granularity.
+    pub shard: bool,
 }
 
 impl Default for Supervisor {
@@ -197,6 +206,7 @@ impl Default for Supervisor {
             grace: Duration::from_secs(2),
             stall: Duration::from_secs(30),
             interrupt: None,
+            shard: true,
         }
     }
 }
@@ -226,8 +236,19 @@ impl Supervisor {
         self.interrupt.is_some_and(|f| f.load(Ordering::SeqCst))
     }
 
-    /// Runs one experiment under supervision.
+    /// Runs one experiment under supervision. Experiments with a shard
+    /// declaration run shard-by-shard (sequentially here; the pool
+    /// scheduler fans the same shards out as independent units) and their
+    /// outcome is the order-fixed merge of the shard runs.
     pub fn run_one(&self, id: &'static str, f: Experiment, seed: u64) -> RunOutcome {
+        if let Some(spec) = shard::find(id) {
+            return self.run_sharded(&spec, seed);
+        }
+        self.run_monolithic(id, f, seed)
+    }
+
+    /// The classic whole-experiment supervised retry loop.
+    fn run_monolithic(&self, id: &'static str, f: Experiment, seed: u64) -> RunOutcome {
         let t0 = Instant::now();
         let mut last_note = String::new();
         for attempt in 0..=self.retries {
@@ -249,7 +270,7 @@ impl Supervisor {
                         status: RunStatus::Ok,
                         attempts: attempt + 1,
                         note: (attempt > 0).then(|| last_note.clone()),
-                        report: done.report,
+                        report: done.value,
                         recovery: done.recovery,
                         wall_s: t0.elapsed().as_secs_f64(),
                         events: done.events,
@@ -290,6 +311,18 @@ impl Supervisor {
         note: String,
         t0: Instant,
     ) -> RunOutcome {
+        self.interrupted_outcome_wall(id, attempts, note, t0.elapsed().as_secs_f64())
+    }
+
+    /// [`Supervisor::interrupted_outcome`] with an explicit wall-clock
+    /// (shard merges sum per-shard walls instead of re-reading a clock).
+    fn interrupted_outcome_wall(
+        &self,
+        id: &'static str,
+        attempts: u32,
+        note: String,
+        wall_s: f64,
+    ) -> RunOutcome {
         RunOutcome {
             id,
             status: RunStatus::Interrupted,
@@ -297,10 +330,172 @@ impl Supervisor {
             note: Some(note.clone()),
             report: interrupted_report(id, &note),
             recovery: Vec::new(),
+            wall_s,
+            events: 0,
+            telemetry: None,
+            guards: AttemptGuards::default(),
+        }
+    }
+
+    /// Runs every shard of a sharded experiment sequentially, then merges.
+    /// The pooled scheduler instead claims each shard as its own work unit
+    /// and performs the identical merge — the two paths share
+    /// [`Supervisor::run_shard`] and [`Supervisor::merge_shard_runs`], so
+    /// their artifacts are byte-equal by construction.
+    pub fn run_sharded(&self, spec: &ShardableExperiment, seed: u64) -> RunOutcome {
+        let shards: Vec<ShardRun> = (0..spec.shards)
+            .map(|s| self.run_shard(spec, seed, s))
+            .collect();
+        self.merge_shard_runs(spec, seed, shards)
+    }
+
+    /// One shard's supervised retry loop — the shard-granular mirror of
+    /// [`Supervisor::run_monolithic`]. The shard *data* seed is the attempt
+    /// seed verbatim (so shard bodies compute exactly what the monolithic
+    /// experiment computed); only the ambient planes are keyed by
+    /// [`crate::shard::shard_plane_seed`], giving each shard a distinct,
+    /// scheduling-independent fault world.
+    pub fn run_shard(&self, spec: &ShardableExperiment, seed: u64, shard_idx: usize) -> ShardRun {
+        let t0 = Instant::now();
+        let id = spec.id;
+        let mut last_note = String::new();
+        for attempt in 0..=self.retries {
+            if self.interrupted() {
+                let note = if attempt == 0 {
+                    "interrupted before start".to_string()
+                } else {
+                    last_note.clone()
+                };
+                return ShardRun::interrupted(shard_idx, attempt, note, t0);
+            }
+            let attempt_seed = self.attempt_seed(id, seed, attempt);
+            let plane_seed = shard::shard_plane_seed(attempt_seed, id, shard_idx);
+            let run = spec.run;
+            match self.attempt_payload(format!("exp-{id}-s{shard_idx}"), plane_seed, move || {
+                run(attempt_seed, shard_idx)
+            }) {
+                Ok(done) => {
+                    return ShardRun {
+                        shard: shard_idx,
+                        status: RunStatus::Ok,
+                        attempts: attempt + 1,
+                        note: (attempt > 0).then(|| last_note.clone()),
+                        values: done.value,
+                        recovery: done.recovery,
+                        wall_s: t0.elapsed().as_secs_f64(),
+                        events: done.events,
+                        telemetry: done.telemetry,
+                        guards: done.guards,
+                    }
+                }
+                Err(note) => {
+                    last_note = note;
+                    if self.interrupted() {
+                        return ShardRun::interrupted(shard_idx, attempt + 1, last_note, t0);
+                    }
+                }
+            }
+        }
+        ShardRun {
+            shard: shard_idx,
+            status: RunStatus::Degraded,
+            attempts: self.retries + 1,
+            note: Some(last_note),
+            values: Vec::new(),
+            recovery: Vec::new(),
             wall_s: t0.elapsed().as_secs_f64(),
             events: 0,
             telemetry: None,
             guards: AttemptGuards::default(),
+        }
+    }
+
+    /// Reduces one experiment's shard runs (indexed by shard) into a single
+    /// [`RunOutcome`], deterministically: the report comes from the
+    /// experiment's order-fixed `merge` reducer over the raw shard values;
+    /// recovery events and telemetry concatenate in shard order (span ids
+    /// re-based so the merged stream keeps unique ids); events sum;
+    /// attempts take the max. Any interrupted shard makes the whole run
+    /// interrupted; otherwise any degraded shard degrades it (first failing
+    /// shard's note wins, prefixed with its index).
+    pub fn merge_shard_runs(
+        &self,
+        spec: &ShardableExperiment,
+        seed: u64,
+        shards: Vec<ShardRun>,
+    ) -> RunOutcome {
+        let id = spec.id;
+        let n = spec.shards;
+        let wall_s: f64 = shards.iter().map(|s| s.wall_s).sum();
+        let attempts = shards.iter().map(|s| s.attempts).max().unwrap_or(1);
+        let shard_note = |status: RunStatus| {
+            shards
+                .iter()
+                .find(|s| s.status == status && s.note.is_some())
+                .map(|s| {
+                    format!(
+                        "shard {}/{n}: {}",
+                        s.shard,
+                        s.note.as_deref().unwrap_or_default()
+                    )
+                })
+        };
+        if shards.iter().any(|s| s.status == RunStatus::Interrupted) {
+            let note = shard_note(RunStatus::Interrupted)
+                .unwrap_or_else(|| "interrupted before start".to_string());
+            return self.interrupted_outcome_wall(id, attempts, note, wall_s);
+        }
+        if shards.iter().any(|s| s.status == RunStatus::Degraded) {
+            let note = shard_note(RunStatus::Degraded).unwrap_or_default();
+            return RunOutcome {
+                id,
+                status: RunStatus::Degraded,
+                attempts,
+                note: Some(note.clone()),
+                report: degraded_report(id, &note),
+                recovery: Vec::new(),
+                wall_s,
+                events: 0,
+                telemetry: None,
+                guards: AttemptGuards::default(),
+            };
+        }
+        let parts: Vec<Vec<f64>> = shards.iter().map(|s| s.values.clone()).collect();
+        let report = (spec.merge)(seed, &parts);
+        let recovery: Vec<RecoveryEvent> = shards
+            .iter()
+            .flat_map(|s| s.recovery.iter().cloned())
+            .collect();
+        let events: u64 = shards.iter().map(|s| s.events).sum();
+        let telemetry = self
+            .telemetry
+            .then(|| merge_shard_telemetry(shards.iter().filter_map(|s| s.telemetry.as_ref())));
+        let mut guards = AttemptGuards::default();
+        for s in &shards {
+            guards
+                .violations
+                .extend(s.guards.violations.iter().cloned());
+            guards.dropped += s.guards.dropped;
+            guards.checks += s.guards.checks;
+        }
+        let note = shards.iter().find(|s| s.note.is_some()).map(|s| {
+            format!(
+                "shard {}/{n}: {}",
+                s.shard,
+                s.note.as_deref().unwrap_or_default()
+            )
+        });
+        RunOutcome {
+            id,
+            status: RunStatus::Ok,
+            attempts,
+            note,
+            report,
+            recovery,
+            wall_s,
+            events,
+            telemetry,
+            guards,
         }
     }
 
@@ -359,12 +554,12 @@ impl Supervisor {
     where
         F: Fn(usize, &RunOutcome) + Sync,
     {
-        pool_map(entries.len(), jobs, |i| {
-            let (id, f) = entries[i];
-            let outcome = self.run_one(id, f, seed);
-            on_done(i, &outcome);
-            outcome
-        })
+        let (slots, busy) = self.run_units(entries, seed, jobs, None, on_done);
+        let outcomes = slots
+            .into_iter()
+            .map(|slot| slot.expect("every unit was claimed (no stop flag)"))
+            .collect();
+        (outcomes, busy)
     }
 
     /// Like [`Supervisor::run_registry_jobs_timed`], but interrupt-aware:
@@ -384,16 +579,125 @@ impl Supervisor {
         F: Fn(usize, &RunOutcome) + Sync,
     {
         let stop = self.interrupt.map(|f| f as &AtomicBool);
-        pool_map_partial(entries.len(), jobs, stop, |i| {
-            let (id, f) = entries[i];
-            let outcome = self.run_one(id, f, seed);
-            on_done(i, &outcome);
-            outcome
-        })
+        self.run_units(entries, seed, jobs, stop, on_done)
     }
 
-    /// One supervised attempt: spawn, install, arm, catch, supervise.
-    fn attempt(&self, id: &str, f: Experiment, seed: u64) -> Result<AttemptOutput, String> {
+    /// The shared pool core behind the registry runners: expands each entry
+    /// into its work units — one `Whole` unit for unsharded experiments,
+    /// one `Shard` unit per shard for sharded ones (when
+    /// [`Supervisor::shard`] is on) — and schedules the flattened unit list
+    /// on one work-stealing pool. Shards of a long experiment therefore
+    /// interleave with other experiments on the same workers: no second
+    /// thread layer, no per-experiment barrier.
+    ///
+    /// Outcome slots stay in entry order. A sharded experiment's slot fills
+    /// (and its `on_done` fires) when its *last* shard completes, merged by
+    /// [`Supervisor::merge_shard_runs`]. On interrupt, an experiment whose
+    /// shards were only partly claimed never merges — its slot stays `None`
+    /// and `--resume` re-runs it whole, exactly like an unclaimed entry.
+    fn run_units<F>(
+        &self,
+        entries: &[(&'static str, Experiment)],
+        seed: u64,
+        jobs: usize,
+        stop: Option<&AtomicBool>,
+        on_done: F,
+    ) -> (Vec<Option<RunOutcome>>, Vec<f64>)
+    where
+        F: Fn(usize, &RunOutcome) + Sync,
+    {
+        enum Unit {
+            Whole(usize),
+            Shard { exp: usize, shard: usize },
+        }
+        struct Acc {
+            spec: ShardableExperiment,
+            pieces: Vec<Mutex<Option<ShardRun>>>,
+            remaining: AtomicUsize,
+        }
+        let accs: Vec<Option<Acc>> = entries
+            .iter()
+            .map(|(id, _)| {
+                if !self.shard {
+                    return None;
+                }
+                shard::find(id).map(|spec| Acc {
+                    spec,
+                    pieces: (0..spec.shards).map(|_| Mutex::new(None)).collect(),
+                    remaining: AtomicUsize::new(spec.shards),
+                })
+            })
+            .collect();
+        let mut units = Vec::new();
+        for (i, acc) in accs.iter().enumerate() {
+            match acc {
+                Some(acc) => {
+                    units.extend((0..acc.spec.shards).map(|s| Unit::Shard { exp: i, shard: s }))
+                }
+                None => units.push(Unit::Whole(i)),
+            }
+        }
+        let outcomes: Vec<Mutex<Option<RunOutcome>>> =
+            entries.iter().map(|_| Mutex::new(None)).collect();
+        let finish = |i: usize, outcome: RunOutcome| {
+            on_done(i, &outcome);
+            *outcomes[i].lock().expect("outcome lock") = Some(outcome);
+        };
+        let (_, busy) = pool_map_partial(units.len(), jobs, stop, |u| match units[u] {
+            Unit::Whole(i) => {
+                let (id, f) = entries[i];
+                finish(i, self.run_one(id, f, seed));
+            }
+            Unit::Shard { exp, shard } => {
+                let acc = accs[exp].as_ref().expect("shard unit has an accumulator");
+                let piece = self.run_shard(&acc.spec, seed, shard);
+                *acc.pieces[shard].lock().expect("piece lock") = Some(piece);
+                if acc.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    // Last shard in: this worker performs the merge. The
+                    // mutexes synchronize the sibling pieces written by
+                    // other workers.
+                    let shards: Vec<ShardRun> = acc
+                        .pieces
+                        .iter()
+                        .map(|m| {
+                            m.lock()
+                                .expect("piece lock")
+                                .take()
+                                .expect("all pieces present at merge")
+                        })
+                        .collect();
+                    finish(exp, self.merge_shard_runs(&acc.spec, seed, shards));
+                }
+            }
+        });
+        let slots = outcomes
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("outcome lock"))
+            .collect();
+        (slots, busy)
+    }
+
+    /// One supervised attempt of a whole experiment (plane seed = data
+    /// seed).
+    fn attempt(&self, id: &str, f: Experiment, seed: u64) -> Result<AttemptOutput<Report>, String> {
+        self.attempt_payload(format!("exp-{id}"), seed, move || f(seed))
+    }
+
+    /// One supervised attempt of an arbitrary payload: spawn, install the
+    /// ambient planes keyed by `plane_seed`, arm, catch, supervise. Whole
+    /// experiments pass their data seed as the plane seed; shards pass the
+    /// derived [`crate::shard::shard_plane_seed`] so sibling shards get
+    /// distinct fault worlds while their data stays seed-pure.
+    fn attempt_payload<T, F>(
+        &self,
+        thread_name: String,
+        plane_seed: u64,
+        body: F,
+    ) -> Result<AttemptOutput<T>, String>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + std::panic::UnwindSafe + 'static,
+    {
         let (tx, rx) = mpsc::channel();
         let token = self
             .cancel
@@ -404,7 +708,7 @@ impl Supervisor {
         let guards = self.guards;
         let attempt_token = token.clone();
         let spawned = std::thread::Builder::new()
-            .name(format!("exp-{id}"))
+            .name(thread_name)
             .spawn(move || {
                 // Thread-locals start clean on a fresh thread; install the
                 // fault plane, the recovery collector (only alongside a
@@ -415,19 +719,19 @@ impl Supervisor {
                 // the cancellation token — all for this attempt only.
                 let _ambient = ambient::install_attempt(
                     scenario.as_ref(),
-                    seed,
+                    plane_seed,
                     events,
                     telemetry_on,
                     guards,
                     attempt_token,
                 );
-                let result = std::panic::catch_unwind(|| f(seed));
+                let result = std::panic::catch_unwind(body);
                 let consumed = budget::consumed().unwrap_or(0);
                 let telem = telemetry_on.then(telemetry::drain);
                 let guard_records = guard::drain();
                 let send = match result {
-                    Ok(report) => Ok(AttemptOutput {
-                        report,
+                    Ok(value) => Ok(AttemptOutput {
+                        value,
                         recovery: recovery::drain(),
                         events: consumed,
                         telemetry: telem,
@@ -478,12 +782,12 @@ impl Supervisor {
     /// The supervising poll loop for one attempt: waits for the result in
     /// short ticks, sampling the token's published progress, and escalates
     /// on the first of interrupt / deadline / watchdog stall.
-    fn supervise(
+    fn supervise<T>(
         &self,
         handle: JoinHandle<()>,
-        rx: &mpsc::Receiver<Result<AttemptOutput, String>>,
+        rx: &mpsc::Receiver<Result<AttemptOutput<T>, String>>,
         token: &CancelToken,
-    ) -> Result<AttemptOutput, String> {
+    ) -> Result<AttemptOutput<T>, String> {
         let started = Instant::now();
         let deadline_at = started + self.deadline;
         // Tick fast enough that short test deadlines stay accurate, slow
@@ -563,15 +867,15 @@ impl Supervisor {
     /// The escalation ladder once a kill is warranted: cancel the token,
     /// give the attempt a grace period to unwind and report, and only then
     /// abandon the thread (counting the leak).
-    fn escalate(
+    fn escalate<T>(
         &self,
         reason: &str,
         handle: JoinHandle<()>,
-        rx: &mpsc::Receiver<Result<AttemptOutput, String>>,
+        rx: &mpsc::Receiver<Result<AttemptOutput<T>, String>>,
         token: &CancelToken,
         last_events: u64,
         last_change: Instant,
-    ) -> Result<AttemptOutput, String> {
+    ) -> Result<AttemptOutput<T>, String> {
         let class = self.classify(last_events, last_change);
         token.kill(reason);
         match rx.recv_timeout(self.grace) {
@@ -700,13 +1004,93 @@ where
     (results, busy)
 }
 
-/// What one successful supervised attempt hands back to the retry loop.
-struct AttemptOutput {
-    report: Report,
+/// What one successful supervised attempt hands back to the retry loop:
+/// the payload (a rendered [`Report`] for whole experiments, raw shard
+/// values for shard attempts) plus everything drained from the attempt
+/// thread's ambient planes.
+struct AttemptOutput<T> {
+    value: T,
     recovery: Vec<RecoveryEvent>,
     events: u64,
     telemetry: Option<AttemptTelemetry>,
     guards: AttemptGuards,
+}
+
+/// One shard's supervised run: the shard-granular [`RunOutcome`], carrying
+/// raw values instead of a rendered report (the report exists only after
+/// [`Supervisor::merge_shard_runs`]).
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// Shard index within the experiment.
+    pub shard: usize,
+    /// How this shard's run ended.
+    pub status: RunStatus,
+    /// Attempts consumed.
+    pub attempts: u32,
+    /// Failure note from the last failed attempt, if any attempt failed.
+    pub note: Option<String>,
+    /// The shard body's raw values (empty unless `status` is `Ok`).
+    pub values: Vec<f64>,
+    /// Recovery events of the successful attempt.
+    pub recovery: Vec<RecoveryEvent>,
+    /// Wall-clock across this shard's attempts, seconds.
+    pub wall_s: f64,
+    /// Budget events charged by the successful attempt.
+    pub events: u64,
+    /// Telemetry drained from the successful attempt.
+    pub telemetry: Option<AttemptTelemetry>,
+    /// Guard records drained from the successful attempt.
+    pub guards: AttemptGuards,
+}
+
+impl ShardRun {
+    /// The shard run for an attempt cut short by a campaign interrupt.
+    fn interrupted(shard: usize, attempts: u32, note: String, t0: Instant) -> ShardRun {
+        ShardRun {
+            shard,
+            status: RunStatus::Interrupted,
+            attempts,
+            note: Some(note),
+            values: Vec::new(),
+            recovery: Vec::new(),
+            wall_s: t0.elapsed().as_secs_f64(),
+            events: 0,
+            telemetry: None,
+            guards: AttemptGuards::default(),
+        }
+    }
+}
+
+/// Concatenates per-shard telemetry in shard order into one attempt-shaped
+/// stream: span events append with their ids re-based past the previous
+/// shards' ids (each shard numbers spans from 0, so a plain concat would
+/// collide), dropped counts sum, and the sorted aggregates merge through
+/// [`AttemptTelemetry::merge_aggregates`].
+fn merge_shard_telemetry<'a, I>(parts: I) -> AttemptTelemetry
+where
+    I: Iterator<Item = &'a AttemptTelemetry>,
+{
+    let mut merged = AttemptTelemetry::default();
+    let mut id_base = 0u64;
+    for part in parts {
+        let mut max_id = None;
+        for ev in &part.events {
+            let mut ev = *ev;
+            max_id = Some(max_id.map_or(ev.id, |m: u64| m.max(ev.id)));
+            ev.id += id_base;
+            merged.events.push(ev);
+        }
+        if let Some(m) = max_id {
+            id_base += m + 1;
+        }
+        merged.dropped_events += part.dropped_events;
+        merged.merge_aggregates(&AttemptTelemetry {
+            events: Vec::new(),
+            dropped_events: 0,
+            ..part.clone()
+        });
+    }
+    merged
 }
 
 /// Extracts a readable note from a panic payload.
@@ -928,13 +1312,27 @@ pub fn bench_report(
                 entries
                     .iter()
                     .map(|e| {
+                        // An experiment that never charges the budget has
+                        // no meaningful throughput — report null, not a
+                        // misleading 0 (which reads as "infinitely slow").
+                        let eps = if e.events == 0 {
+                            Json::Null
+                        } else {
+                            Json::Num(rate(e.events, e.wall_s))
+                        };
+                        let wall_pct = if serial_wall_s > 0.0 {
+                            100.0 * e.wall_s / serial_wall_s
+                        } else {
+                            0.0
+                        };
                         Json::obj(vec![
                             ("id", Json::str(e.id.as_str())),
                             ("status", Json::str(e.status.as_str())),
                             ("resumed", Json::Bool(e.resumed)),
                             ("wall_s", Json::Num(e.wall_s)),
+                            ("wall_pct", Json::Num(wall_pct)),
                             ("events", Json::Num(e.events as f64)),
-                            ("events_per_s", Json::Num(rate(e.events, e.wall_s))),
+                            ("events_per_s", eps),
                         ])
                     })
                     .collect(),
@@ -1507,6 +1905,12 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!((eps - 200.0 / 3.0).abs() < 1e-12);
+        // A zero-event row reports null throughput, not a misleading 0.
+        assert_eq!(results[1].get("events_per_s"), Some(&Json::Null));
+        // wall_pct is the row's share of the serial wall (resumed row: 0).
+        let pct = results[2].get("wall_pct").and_then(Json::as_f64).unwrap();
+        assert!((pct - 60.0).abs() < 1e-12, "pct {pct}");
+        assert_eq!(results[1].get("wall_pct").and_then(Json::as_f64), Some(0.0));
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! The intra-experiment sharding layer: long experiments declare their
+//! independent units here, and the supervised runner fans those units out
+//! to the *same* work-stealing pool it already uses for whole experiments
+//! (nested work units on one shared pool — no second thread layer).
+//!
+//! The contract that keeps every artifact byte-identical to the unsharded
+//! path:
+//!
+//! * a shard body is a **pure function of `(seed, shard_index)`** — it
+//!   re-derives whatever inputs it needs (trace corpora, campaign
+//!   settings) from the seed instead of sharing state with its siblings;
+//! * a shard returns **raw `f64` values**, never formatted text; the
+//!   experiment's [`ShardableExperiment::merge`] reducer runs the exact
+//!   formatting code of the original monolithic experiment over the parts
+//!   in fixed shard order, so the rendered report is bit-equal no matter
+//!   how the shards were scheduled;
+//! * the registry function of every sharded experiment (`fig15(seed)`,
+//!   …) is itself implemented as "run every shard in order, then merge" —
+//!   the unsharded serial path and the pooled path execute the *same*
+//!   decomposition, so their equality is by construction, and
+//!   `figures --validate` pins the decomposition itself against the
+//!   committed goldens;
+//! * ambient planes (faults/recovery/telemetry/guards/budget/cancel) are
+//!   installed **per shard attempt** by the runner, keyed by the pure
+//!   [`shard_plane_seed`] derivation — so a shard's fault world depends
+//!   only on `(attempt seed, experiment, shard)`, never on scheduling.
+
+use crate::experiments::{ablations, modeling, video};
+use crate::report::Report;
+use fiveg_simcore::RngStream;
+
+/// One experiment's shard declaration: how many independent units it
+/// splits into, how to run one, and how to reduce the parts back into the
+/// rendered report.
+#[derive(Clone, Copy)]
+pub struct ShardableExperiment {
+    /// Registry experiment id.
+    pub id: &'static str,
+    /// Number of shards; `run` accepts `0..shards`.
+    pub shards: usize,
+    /// Runs one shard: pure in `(seed, shard_index)`, returns raw values.
+    pub run: fn(u64, usize) -> Vec<f64>,
+    /// Order-fixed deterministic reducer: parts are indexed by shard.
+    pub merge: fn(u64, &[Vec<f64>]) -> Report,
+}
+
+/// Every experiment that declares shards, in registry order.
+pub fn shardable() -> Vec<ShardableExperiment> {
+    vec![
+        ShardableExperiment {
+            id: "fig15",
+            shards: modeling::FIG15_SHARDS,
+            run: modeling::fig15_shard,
+            merge: modeling::fig15_merge,
+        },
+        ShardableExperiment {
+            id: "fig16",
+            shards: modeling::FIG16_SHARDS,
+            run: modeling::fig16_shard,
+            merge: modeling::fig16_merge,
+        },
+        ShardableExperiment {
+            id: "fig17",
+            shards: video::FIG17_SHARDS,
+            run: video::fig17_shard,
+            merge: video::fig17_merge,
+        },
+        ShardableExperiment {
+            id: "fig18a",
+            shards: video::FIG18A_SHARDS,
+            run: video::fig18a_shard,
+            merge: video::fig18a_merge,
+        },
+        ShardableExperiment {
+            id: "fig18b",
+            shards: video::FIG18B_SHARDS,
+            run: video::fig18b_shard,
+            merge: video::fig18b_merge,
+        },
+        ShardableExperiment {
+            id: "fig18c",
+            shards: video::FIG18C_SHARDS,
+            run: video::fig18c_shard,
+            merge: video::fig18c_merge,
+        },
+        ShardableExperiment {
+            id: "ablation-pensieve",
+            shards: ablations::ABLATION_PENSIEVE_SHARDS,
+            run: ablations::ablation_pensieve_shard,
+            merge: ablations::ablation_pensieve_merge,
+        },
+    ]
+}
+
+/// Looks up an experiment's shard declaration by registry id.
+pub fn find(id: &str) -> Option<ShardableExperiment> {
+    shardable().into_iter().find(|s| s.id == id)
+}
+
+/// The pure plane-seed derivation for one shard attempt: the fault plane
+/// (and nothing else — shard *data* seeds are the attempt seed verbatim,
+/// or the artifact bytes would change) is generated from this stream, so
+/// two shards of one attempt live in distinct, deterministic fault worlds
+/// regardless of which worker runs them or in what order.
+pub fn shard_plane_seed(attempt_seed: u64, id: &str, shard: usize) -> u64 {
+    RngStream::new(attempt_seed, &format!("runner/shard/{id}/{shard}")).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_sharded_experiment_is_in_the_registry() {
+        let registry = crate::experiments::registry();
+        for spec in shardable() {
+            assert!(
+                registry.iter().any(|(id, _)| *id == spec.id),
+                "{} is not a registry experiment",
+                spec.id
+            );
+            assert!(spec.shards >= 2, "{}: sharding needs >= 2 units", spec.id);
+        }
+    }
+
+    #[test]
+    fn find_hits_and_misses() {
+        assert_eq!(find("fig15").map(|s| s.shards), Some(6));
+        assert!(find("table1").is_none());
+    }
+
+    #[test]
+    fn plane_seed_derivation_is_pure_and_distinct() {
+        let a = shard_plane_seed(2021, "fig15", 0);
+        assert_eq!(a, shard_plane_seed(2021, "fig15", 0), "pure");
+        assert_ne!(a, shard_plane_seed(2021, "fig15", 1), "shard-distinct");
+        assert_ne!(a, shard_plane_seed(2021, "fig16", 0), "id-distinct");
+        assert_ne!(a, shard_plane_seed(2022, "fig15", 0), "seed-distinct");
+    }
+}

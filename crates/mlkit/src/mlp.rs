@@ -28,12 +28,39 @@ impl Layer {
     }
 
     fn forward(&self, input: &[f64]) -> Vec<f64> {
-        self.weights
-            .iter()
-            .zip(&self.biases)
-            .map(|(w, b)| w.iter().zip(input).map(|(wi, xi)| wi * xi).sum::<f64>() + b)
-            .collect()
+        let mut out = Vec::new();
+        self.forward_into(input, &mut out);
+        out
     }
+
+    /// [`Layer::forward`] into a reused buffer: same inner products, same
+    /// summation order, no allocation when `out` has capacity.
+    fn forward_into(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.weights
+                .iter()
+                .zip(&self.biases)
+                .map(|(w, b)| w.iter().zip(input).map(|(wi, xi)| wi * xi).sum::<f64>() + b),
+        );
+    }
+}
+
+/// Reusable per-step training buffers: one SGD step on the pensieve-sized
+/// nets costs ~10 small `Vec` allocations if taken naively, which rivals
+/// the arithmetic itself. [`Mlp::train`] allocates this once and reuses it
+/// for every step; the arithmetic (and therefore the trained weights) is
+/// bit-identical to the allocating path.
+#[derive(Debug, Default)]
+struct TrainScratch {
+    /// `activations[0]` = input; `activations[i + 1]` = layer `i` output.
+    activations: Vec<Vec<f64>>,
+    /// Pre-activation values per layer (for the ReLU derivative).
+    pre_acts: Vec<Vec<f64>>,
+    /// Backprop error for the current layer.
+    delta: Vec<f64>,
+    /// Backprop error for the previous layer.
+    prev_delta: Vec<f64>,
 }
 
 /// A feed-forward network: ReLU hidden layers, linear output.
@@ -97,22 +124,36 @@ impl Mlp {
     /// One SGD step on a single `(input, target)` pair with squared loss;
     /// returns the loss before the update.
     pub fn train_step(&mut self, input: &[f64], target: &[f64], lr: f64) -> f64 {
+        self.train_step_with(input, target, lr, &mut TrainScratch::default())
+    }
+
+    /// [`Mlp::train_step`] against caller-owned scratch buffers.
+    fn train_step_with(
+        &mut self,
+        input: &[f64],
+        target: &[f64],
+        lr: f64,
+        s: &mut TrainScratch,
+    ) -> f64 {
         assert_eq!(target.len(), self.output_dim(), "target dimension mismatch");
         // Forward, keeping activations.
         let n = self.layers.len();
-        let mut activations = vec![input.to_vec()];
-        let mut pre_acts = Vec::new();
-        for (i, layer) in self.layers.iter().enumerate() {
-            let z = layer.forward(activations.last().expect("non-empty"));
-            pre_acts.push(z.clone());
-            let a = if i + 1 < n {
-                z.iter().map(|v| v.max(0.0)).collect()
+        s.activations.resize_with(n + 1, Vec::new);
+        s.pre_acts.resize_with(n, Vec::new);
+        s.activations[0].clear();
+        s.activations[0].extend_from_slice(input);
+        for i in 0..n {
+            let (done, rest) = s.activations.split_at_mut(i + 1);
+            self.layers[i].forward_into(&done[i], &mut s.pre_acts[i]);
+            let a = &mut rest[0];
+            a.clear();
+            if i + 1 < n {
+                a.extend(s.pre_acts[i].iter().map(|v| v.max(0.0)));
             } else {
-                z
-            };
-            activations.push(a);
+                a.extend_from_slice(&s.pre_acts[i]);
+            }
         }
-        let output = activations.last().expect("non-empty").clone();
+        let output = &s.activations[n];
         let loss: f64 = output
             .iter()
             .zip(target)
@@ -121,35 +162,38 @@ impl Mlp {
             / output.len() as f64;
 
         // Backward.
-        let mut delta: Vec<f64> = output
-            .iter()
-            .zip(target)
-            .map(|(o, t)| 2.0 * (o - t) / output.len() as f64)
-            .collect();
+        s.delta.clear();
+        s.delta.extend(
+            output
+                .iter()
+                .zip(target)
+                .map(|(o, t)| 2.0 * (o - t) / output.len() as f64),
+        );
         for li in (0..n).rev() {
             // ReLU derivative for hidden layers (output layer is linear).
             if li + 1 < n {
-                for (d, z) in delta.iter_mut().zip(&pre_acts[li]) {
+                for (d, z) in s.delta.iter_mut().zip(&s.pre_acts[li]) {
                     if *z <= 0.0 {
                         *d = 0.0;
                     }
                 }
             }
-            let input_act = activations[li].clone();
+            let input_act = &s.activations[li];
             // Gradient wrt the previous activation, before updating weights.
-            let mut prev_delta = vec![0.0; input_act.len()];
-            for (o, d) in delta.iter().enumerate() {
-                for (i, pd) in prev_delta.iter_mut().enumerate() {
+            s.prev_delta.clear();
+            s.prev_delta.resize(input_act.len(), 0.0);
+            for (o, d) in s.delta.iter().enumerate() {
+                for (i, pd) in s.prev_delta.iter_mut().enumerate() {
                     *pd += self.layers[li].weights[o][i] * d;
                 }
             }
-            for (o, d) in delta.iter().enumerate() {
+            for (o, d) in s.delta.iter().enumerate() {
                 for (i, &a) in input_act.iter().enumerate() {
                     self.layers[li].weights[o][i] -= lr * d * a;
                 }
                 self.layers[li].biases[o] -= lr * d;
             }
-            delta = prev_delta;
+            std::mem::swap(&mut s.delta, &mut s.prev_delta);
         }
         loss
     }
@@ -168,11 +212,17 @@ impl Mlp {
         assert!(!inputs.is_empty(), "cannot train on an empty dataset");
         let mut order: Vec<usize> = (0..inputs.len()).collect();
         let mut last_loss = f64::NAN;
+        let mut scratch = TrainScratch::default();
         for _ in 0..epochs {
             rng.shuffle(&mut order);
             let mut total = 0.0;
             for &i in &order {
-                total += self.train_step(&inputs[i], &targets[i], lr);
+                // One budget event per SGD step: training is the hot loop
+                // of the Pensieve experiments, and charging here is what
+                // makes them visible to the progress watchdog and
+                // killable by deadlines/interrupts mid-epoch.
+                fiveg_simcore::budget::charge(1);
+                total += self.train_step_with(&inputs[i], &targets[i], lr, &mut scratch);
             }
             last_loss = total / inputs.len() as f64;
         }

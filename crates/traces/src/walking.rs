@@ -136,6 +136,11 @@ impl WalkingCampaign {
         let mut out = Vec::new();
         let mut t = 0.0;
         while t < mobility.duration_s() {
+            // One budget event per simulated log tick: the walking
+            // campaigns feed the Fig 13/14/15 experiments, and charging
+            // here keeps their longest loops cancellable and visible to
+            // the progress watchdog.
+            fiveg_simcore::budget::charge(1);
             let p = mobility.position_at(t);
             let speed = mobility.speed_at(t);
             let blocked = blockage.advance(dt, speed);

@@ -16,6 +16,11 @@ pub struct BandwidthTrace {
     samples: Vec<f64>,
     /// Sample granularity in seconds.
     granularity_s: f64,
+    /// Whether every sample is zero, precomputed at construction —
+    /// [`BandwidthTrace::transfer_time_s`] is called once per chunk by the
+    /// video player and rescanning the whole trace per call dwarfs the
+    /// transfer arithmetic itself.
+    all_zero: bool,
 }
 
 impl BandwidthTrace {
@@ -31,9 +36,11 @@ impl BandwidthTrace {
             samples.iter().all(|&s| s >= 0.0 && s.is_finite()),
             "samples must be finite and non-negative"
         );
+        let all_zero = samples.iter().all(|&s| s == 0.0);
         BandwidthTrace {
             samples,
             granularity_s,
+            all_zero,
         }
     }
 
@@ -79,7 +86,7 @@ impl BandwidthTrace {
         if bytes == 0.0 {
             return 0.0;
         }
-        if self.samples.iter().all(|&s| s == 0.0) {
+        if self.all_zero {
             return f64::INFINITY;
         }
         let mut remaining_bits = bytes * 8.0;

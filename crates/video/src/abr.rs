@@ -286,6 +286,13 @@ pub struct Mpc {
     history: Vec<(f64, f64)>,
     pending_prediction: Option<f64>,
     name: &'static str,
+    /// Reused per-decision buffers (per-track download times/qualities and
+    /// the odometer sequence) — one chunk decision per call, so keeping
+    /// them on the struct drops all steady-state allocation from the
+    /// per-chunk hot path.
+    scratch_dl: Vec<f64>,
+    scratch_quality: Vec<f64>,
+    scratch_seq: Vec<usize>,
 }
 
 impl Mpc {
@@ -319,6 +326,9 @@ impl Mpc {
             history: Vec::new(),
             pending_prediction: None,
             name,
+            scratch_dl: Vec::new(),
+            scratch_quality: Vec::new(),
+            scratch_seq: Vec::new(),
         }
     }
 
@@ -337,20 +347,24 @@ impl Mpc {
         1.0 / (1.0 + max_err)
     }
 
-    /// Simulated QoE of playing `seq` starting from the context state with
-    /// constant predicted throughput.
-    fn eval_sequence(&self, ctx: &AbrContext, pred_mbps: f64, seq: &[usize]) -> f64 {
+    /// Simulated QoE of playing `seq` starting from the context state,
+    /// against per-track download times and qualities precomputed by
+    /// [`Mpc::choose`] (they depend only on the prediction, not the
+    /// sequence, and hoisting them out of the 6^depth-sequence search is
+    /// most of the search's cost). The arithmetic per step is exactly the
+    /// inline computation's, so scores are bit-identical.
+    fn eval_sequence(&self, ctx: &AbrContext, dl_s: &[f64], quality: &[f64], seq: &[usize]) -> f64 {
         let asset = ctx.asset;
         let mut buffer = ctx.buffer_s;
         let mut qoe = 0.0;
-        let mut prev_q = asset.norm_bitrate(ctx.last_track);
+        let mut prev_q = quality[ctx.last_track];
         let first = ctx.past_tput_mbps.is_empty();
         for &track in seq {
-            let dl = asset.chunk_bytes(track) * 8.0 / 1e6 / pred_mbps.max(0.01);
+            let dl = dl_s[track];
             let stall = (dl - buffer).max(0.0);
             buffer = (buffer - dl).max(0.0) + asset.chunk_len_s;
             buffer = buffer.min(30.0);
-            let q = asset.norm_bitrate(track);
+            let q = quality[track];
             qoe += q - self.smooth_penalty * (q - prev_q).abs();
             if !first {
                 qoe -= self.rebuf_penalty * stall;
@@ -383,12 +397,23 @@ impl Abr for Mpc {
 
         let n_tracks = ctx.asset.n_tracks();
         let depth = self.lookahead.min(ctx.chunks_remaining).max(1);
+        // Per-track constants of this decision: download time at the
+        // predicted rate and normalized quality (taken out of `self` for
+        // the search so `eval_sequence` can borrow them alongside `self`).
+        let mut dl_s = std::mem::take(&mut self.scratch_dl);
+        dl_s.clear();
+        dl_s.extend((0..n_tracks).map(|t| ctx.asset.chunk_bytes(t) * 8.0 / 1e6 / pred.max(0.01)));
+        let mut quality = std::mem::take(&mut self.scratch_quality);
+        quality.clear();
+        quality.extend((0..n_tracks).map(|t| ctx.asset.norm_bitrate(t)));
         // Exhaustive search over track sequences.
         let mut best_first = 0usize;
         let mut best_score = f64::NEG_INFINITY;
-        let mut seq = vec![0usize; depth];
-        loop {
-            let score = self.eval_sequence(ctx, pred, &seq);
+        let mut seq = std::mem::take(&mut self.scratch_seq);
+        seq.clear();
+        seq.resize(depth, 0);
+        'search: loop {
+            let score = self.eval_sequence(ctx, &dl_s, &quality, &seq);
             if score > best_score {
                 best_score = score;
                 best_first = seq[0];
@@ -397,7 +422,7 @@ impl Abr for Mpc {
             let mut i = 0;
             loop {
                 if i == depth {
-                    return best_first;
+                    break 'search;
                 }
                 seq[i] += 1;
                 if seq[i] < n_tracks {
@@ -407,6 +432,10 @@ impl Abr for Mpc {
                 i += 1;
             }
         }
+        self.scratch_dl = dl_s;
+        self.scratch_quality = quality;
+        self.scratch_seq = seq;
+        best_first
     }
 }
 
