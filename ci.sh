@@ -245,6 +245,53 @@ for id in table2 fig9; do
 done
 cargo build --release --offline -p fiveg-bench
 
+# --- Campaign observatory ------------------------------------------------------
+# `--obs` artifacts carry sim-time facts only: metrics.json, observatory.txt,
+# and the collapsed-stack flamegraphs must be byte-identical across reruns,
+# across --jobs 4, and with shard fan-out disabled — quiet and under chaos.
+# fig18c keeps a sharded experiment in the matrix.
+OBS_IDS="table2 fig9 fig18c"
+echo "==> observatory: quiet byte-identity (rerun, --jobs 4, --no-shard)"
+# shellcheck disable=SC2086
+"$FIG" --seed 2021 --obs "$SMOKE_DIR/obs-a" --out "$SMOKE_DIR/obso-a" $OBS_IDS > /dev/null
+# shellcheck disable=SC2086
+"$FIG" --seed 2021 --obs "$SMOKE_DIR/obs-b" --out "$SMOKE_DIR/obso-b" $OBS_IDS > /dev/null
+# shellcheck disable=SC2086
+"$FIG" --seed 2021 --jobs 4 --obs "$SMOKE_DIR/obs-j" --out "$SMOKE_DIR/obso-j" $OBS_IDS > /dev/null
+# shellcheck disable=SC2086
+"$FIG" --seed 2021 --jobs 4 --no-shard --obs "$SMOKE_DIR/obs-n" --out "$SMOKE_DIR/obso-n" $OBS_IDS > /dev/null
+for f in metrics.json observatory.txt campaign.folded table2.folded fig9.folded fig18c.folded; do
+    cmp "$SMOKE_DIR/obs-a/$f" "$SMOKE_DIR/obs-b/$f"
+    cmp "$SMOKE_DIR/obs-a/$f" "$SMOKE_DIR/obs-j/$f"
+    cmp "$SMOKE_DIR/obs-a/$f" "$SMOKE_DIR/obs-n/$f"
+done
+grep -q '"schema":"obs-v1"' "$SMOKE_DIR/obs-a/metrics.json"
+grep -q '^radio/drive' "$SMOKE_DIR/obs-a/fig9.folded"
+
+# Observing must not change the world: the campaign run with --obs renders
+# the same manifest as one without it.
+# shellcheck disable=SC2086
+"$FIG" --seed 2021 --out "$SMOKE_DIR/obso-plain" $OBS_IDS > /dev/null
+cmp "$SMOKE_DIR/obso-plain/manifest.json" "$SMOKE_DIR/obso-a/manifest.json"
+
+echo "==> observatory: chaos byte-identity"
+"$FIG" --seed 2021 --chaos chaos --obs "$SMOKE_DIR/obs-ca" --out "$SMOKE_DIR/obso-ca" table2 fig9 fig10 > /dev/null
+"$FIG" --seed 2021 --chaos chaos --jobs 4 --obs "$SMOKE_DIR/obs-cj" --out "$SMOKE_DIR/obso-cj" table2 fig9 fig10 > /dev/null
+cmp "$SMOKE_DIR/obs-ca/metrics.json" "$SMOKE_DIR/obs-cj/metrics.json"
+cmp "$SMOKE_DIR/obs-ca/campaign.folded" "$SMOKE_DIR/obs-cj/campaign.folded"
+
+# Self-diff discipline: a store diffed against an identical rerun reports
+# zero drift even under --obs-strict …
+echo "==> observatory: self-diff is empty"
+"$FIG" --obs-strict --obs-diff "$SMOKE_DIR/obs-a" "$SMOKE_DIR/obs-b" > /dev/null
+
+# … while a genuinely different campaign (chaos vs quiet, different id set)
+# must breach the fail band and exit non-zero under strict.
+if "$FIG" --obs-strict --obs-diff "$SMOKE_DIR/obs-a" "$SMOKE_DIR/obs-ca" > /dev/null 2>&1; then
+    echo "error: --obs-strict accepted chaos-vs-quiet telemetry drift" >&2
+    exit 1
+fi
+
 # Stress smoke: a fixed quiet sweep must pass with zero failures (exit 0),
 # and the summary table must be byte-identical across a rerun with a
 # different worker count (stress.txt carries sim-side facts only).
@@ -306,6 +353,20 @@ if [ -z "${fig15_events:-}" ] || [ "$fig15_events" -eq 0 ]; then
     echo "error: fig15 recorded zero budget events in BENCH_campaign.json" >&2
     exit 1
 fi
+
+# The freshly regenerated baseline must accept the manifest it was derived
+# from under --check-strict (seed, scenario, statuses, and recovery-event
+# counts all within the tolerance bands).
+echo "==> manifest gate: --check-strict against the fresh perf baseline"
+"$FIG" --check-strict --check-manifest "$SMOKE_DIR/quiet-all/manifest.json" > /dev/null
+
+# --- Observatory baseline ------------------------------------------------------
+# The full quiet campaign's telemetry rollup must sit inside the tolerance
+# bands of the committed observatory baseline. Run separately from the
+# timed perf samples above so --obs never skews the wall clocks.
+echo "==> observatory gate: full campaign vs results/OBS_baseline.json"
+"$FIG" --seed 2021 --obs "$SMOKE_DIR/obs-full" --out "$SMOKE_DIR/obs-full-out" all > /dev/null
+"$FIG" --obs-strict --obs-diff results/OBS_baseline.json "$SMOKE_DIR/obs-full"
 
 # --- Paper-fidelity gate -------------------------------------------------------
 # Every artifact the quiet campaign just rendered must sit inside its

@@ -18,8 +18,12 @@
 //! figures --bench-baseline results/BENCH_campaign.json all  # drift check
 //! figures --bench-strict ...   # exit non-zero on perf regression
 //! figures --telemetry tel/ table2 fig9   # export spans/counters/hists
+//! figures --obs obs/ all       # campaign metrics observatory
+//! figures --obs-diff results/OBS_baseline.json obs/   # telemetry drift
+//! figures --obs-strict --obs-diff <base> <cur>   # gate FAIL-grade drift
 //! figures --list-scenarios     # print fault scenarios, one per line
 //! figures --check-manifest results/manifest.json   # CI gate
+//! figures --check-strict --check-manifest <m>  # also gate baseline drift
 //! figures --validate [dir]     # paper-fidelity gate (default: results)
 //! figures --strict all         # exit non-zero if any experiment degraded
 //! figures --stress 32          # randomized stress sweep + shrinker
@@ -64,6 +68,19 @@
 //! plane is never installed and every output byte matches an
 //! uninstrumented build.
 //!
+//! `--obs <dir>` feeds the same per-attempt telemetry into the campaign
+//! metrics observatory (`fiveg_bench::observe`): `metrics.json` — the
+//! catalog-annotated campaign rollup (per-layer span/counter totals,
+//! histogram quantiles, fixed-bin sim-time series) — plus the
+//! `observatory.txt` dashboard and collapsed-stack flamegraphs
+//! (`<id>.folded` per experiment, `campaign.folded` campaign-wide),
+//! all byte-identical across reruns, `--jobs N`, and `--no-shard`.
+//! `--obs-diff <baseline> <current>` compares two such stores under the
+//! shared tolerance bands and prints a deterministic drift report;
+//! `--obs-strict` exits non-zero on FAIL-grade drift (CI gates against
+//! the committed `results/OBS_baseline.json`). `--check-strict` applies
+//! the same bands to `--check-manifest`'s baseline drift report.
+//!
 //! `--stress N` switches the binary into the stress harness
 //! (`fiveg_bench::stress`): `N` seeded cases of experiment × fault
 //! scenario × perturbed seed/budget run on the worker pool; every panic,
@@ -107,11 +124,12 @@
 use fiveg_bench::json::Json;
 use fiveg_bench::report::{f, Table};
 use fiveg_bench::runner::{self, ManifestEntry, RunStatus, Supervisor};
-use fiveg_bench::{experiments, stress, telemetry as telexport, CAMPAIGN_SEED};
+use fiveg_bench::{experiments, observe, stress, telemetry as telexport, CAMPAIGN_SEED};
 use fiveg_simcore::faults::FaultScenario;
 use fiveg_simcore::recovery::RecoveryKind;
+use fiveg_simcore::stats::Grade;
 use fiveg_simcore::telemetry::AttemptTelemetry;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -125,8 +143,10 @@ fn print_scenarios() {
 /// `--check-manifest <path>`: exit 0 iff the manifest parses, no
 /// experiment degraded, and no row was left `interrupted` (an interrupted
 /// campaign is incomplete until `--resume` finishes it). The CI gate for
-/// chaos campaigns.
-fn check_manifest(path: &str) -> ! {
+/// chaos campaigns. With `--check-strict`, the baseline drift report
+/// (warn-only by default) also gates: any drift past the shared
+/// [`observe::OBS_TOLERANCE`] fail band exits non-zero.
+fn check_manifest(path: &str, strict: bool) -> ! {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -179,27 +199,53 @@ fn check_manifest(path: &str) -> ! {
         scenario.as_deref().unwrap_or("none"),
         entries.len()
     );
-    report_baseline_drift(seed, scenario.as_deref(), &entries);
+    let breaches = report_baseline_drift(seed, scenario.as_deref(), &entries, strict);
+    if strict && breaches > 0 {
+        eprintln!(
+            "--check-strict: {breaches} baseline drift breach(es) beyond the \
+             {}%/{}% tolerance bands",
+            observe::OBS_TOLERANCE.warn_pct,
+            observe::OBS_TOLERANCE.fail_pct
+        );
+        std::process::exit(1);
+    }
     std::process::exit(0);
 }
 
-/// Warn-only companion to `--check-manifest`: when the tracked perf
-/// baseline (`results/BENCH_campaign.json`) is present, report each
-/// manifest experiment's baseline wall-clock and event count and warn
-/// about drift the manifest itself cannot show (the manifest carries no
-/// timings by design). Never changes the exit code.
-fn report_baseline_drift(seed: u64, scenario: Option<&str>, entries: &[ManifestEntry]) {
+/// Companion to `--check-manifest`: when the tracked perf baseline
+/// (`results/BENCH_campaign.json`) is present, report each manifest
+/// experiment's baseline wall-clock and event count and flag drift the
+/// manifest itself cannot show (the manifest carries no timings by
+/// design). Deterministic drift — seed/scenario mismatch, status changes,
+/// missing rows, and recovery-event counts outside
+/// [`observe::OBS_TOLERANCE`] — counts toward the returned breach tally,
+/// which `--check-strict` turns into a non-zero exit; without it the
+/// report stays warn-only.
+fn report_baseline_drift(
+    seed: u64,
+    scenario: Option<&str>,
+    entries: &[ManifestEntry],
+    strict: bool,
+) -> usize {
     let base_path = Path::new("results/BENCH_campaign.json");
     let Ok(text) = std::fs::read_to_string(base_path) else {
-        return; // no baseline tracked — nothing to compare
+        if strict {
+            eprintln!(
+                "--check-strict: no tracked baseline at {} — nothing to gate against",
+                base_path.display()
+            );
+            return 1;
+        }
+        return 0; // no baseline tracked — nothing to compare
     };
     let base = match Json::parse(&text) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("warning: {} unparseable: {e}", base_path.display());
-            return;
+            return 1;
         }
     };
+    let mut breaches = 0usize;
     println!("-- baseline comparison ({}) --", base_path.display());
     let base_seed = base.get("seed").and_then(Json::as_f64);
     if base_seed != Some(seed as f64) {
@@ -207,6 +253,7 @@ fn report_baseline_drift(seed: u64, scenario: Option<&str>, entries: &[ManifestE
             "warning: baseline seed {:?} != manifest seed {seed} — timings may not be comparable",
             base_seed
         );
+        breaches += 1;
     }
     let base_scenario = base.get("scenario").and_then(Json::as_str);
     if base_scenario != scenario {
@@ -215,6 +262,7 @@ fn report_baseline_drift(seed: u64, scenario: Option<&str>, entries: &[ManifestE
             base_scenario.unwrap_or("none"),
             scenario.unwrap_or("none")
         );
+        breaches += 1;
     }
     let rows = base.get("results").and_then(Json::as_arr).unwrap_or(&[]);
     for e in entries {
@@ -223,6 +271,7 @@ fn report_baseline_drift(seed: u64, scenario: Option<&str>, entries: &[ManifestE
             .find(|r| r.get("id").and_then(Json::as_str) == Some(e.id.as_str()));
         let Some(row) = row else {
             eprintln!("warning: `{}` has no row in the perf baseline", e.id);
+            breaches += 1;
             continue;
         };
         let wall = row.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0);
@@ -238,8 +287,67 @@ fn report_baseline_drift(seed: u64, scenario: Option<&str>, entries: &[ManifestE
                 e.id,
                 e.status.as_str()
             );
+            breaches += 1;
+        }
+        // Recovery-event counts are deterministic, so they grade under the
+        // same tolerance bands as --obs-diff (older baselines without the
+        // field are simply not graded).
+        if let Some(base_re) = row.get("recovery_events").and_then(Json::as_f64) {
+            let actual = e.recovery.events as f64;
+            match observe::OBS_TOLERANCE.grade(base_re, actual) {
+                Grade::Pass => {}
+                Grade::Warn => eprintln!(
+                    "warning: `{}` recovery events drifted: baseline {}, manifest {}",
+                    e.id, base_re as u64, actual as u64
+                ),
+                Grade::Fail => {
+                    eprintln!(
+                        "warning: `{}` recovery events drifted past the fail band: \
+                         baseline {}, manifest {}",
+                        e.id, base_re as u64, actual as u64
+                    );
+                    breaches += 1;
+                }
+            }
         }
     }
+    breaches
+}
+
+/// `--obs-diff <baseline> <current>`: compare two `metrics.json` documents
+/// (a directory argument means `<dir>/metrics.json`) under the shared
+/// tolerance bands and print the deterministic drift report. Exits
+/// non-zero on FAIL-grade drift only with `--obs-strict`.
+fn obs_diff(baseline: &str, current: &str, strict: bool) -> ! {
+    let read = |arg: &str| -> Json {
+        let mut path = PathBuf::from(arg);
+        if path.is_dir() {
+            path = path.join("metrics.json");
+        }
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("--obs-diff: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        match Json::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("--obs-diff: {} unparseable: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    };
+    let d = observe::diff_metrics(&read(baseline), &read(current));
+    print!("{}", d.report);
+    if d.fails > 0 {
+        eprintln!("--obs-diff: {} FAIL-grade drift row(s)", d.fails);
+        if strict {
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(0);
 }
 
 /// `--validate [dir]`: grade every artifact in `dir` against the
@@ -589,12 +697,36 @@ fn main() {
         print_scenarios();
         return;
     }
+    // The strict toggles are parsed before their dispatching flags so
+    // `--check-strict --check-manifest <m>` and `--obs-strict --obs-diff
+    // <a> <b>` work in any argument order.
+    let mut check_strict = false;
+    if let Some(pos) = args.iter().position(|a| a == "--check-strict") {
+        args.remove(pos);
+        check_strict = true;
+    }
+    let mut obs_strict = false;
+    if let Some(pos) = args.iter().position(|a| a == "--obs-strict") {
+        args.remove(pos);
+        obs_strict = true;
+    }
     if let Some(pos) = args.iter().position(|a| a == "--check-manifest") {
         let path = args.get(pos + 1).cloned().unwrap_or_else(|| {
             eprintln!("--check-manifest needs a manifest path");
             std::process::exit(2);
         });
-        check_manifest(&path);
+        check_manifest(&path, check_strict);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--obs-diff") {
+        let baseline = args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--obs-diff needs <baseline> <current> metrics.json paths");
+            std::process::exit(2);
+        });
+        let current = args.get(pos + 2).cloned().unwrap_or_else(|| {
+            eprintln!("--obs-diff needs <baseline> <current> metrics.json paths");
+            std::process::exit(2);
+        });
+        obs_diff(&baseline, &current, obs_strict);
     }
     if let Some(pos) = args.iter().position(|a| a == "--validate") {
         let dir = args
@@ -798,6 +930,27 @@ fn main() {
         }
         telemetry_dir = Some(path);
     }
+    let mut obs_dir: Option<PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--obs") {
+        args.remove(pos);
+        let dir = args.get(pos).cloned().unwrap_or_else(|| {
+            eprintln!("--obs needs a directory");
+            std::process::exit(2);
+        });
+        args.remove(pos);
+        let path = PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&path) {
+            eprintln!("cannot create {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        if !fiveg_simcore::telemetry::compiled() {
+            eprintln!(
+                "warning: built without the `telemetry` feature — \
+                 observatory files will be empty"
+            );
+        }
+        obs_dir = Some(path);
+    }
 
     // Stress flags: parsed after the shared flags (`--out`, `--jobs`) so
     // the harness inherits them, dispatched before the campaign path.
@@ -906,7 +1059,7 @@ fn main() {
         Some(sc) => Supervisor::with_scenario(sc),
         None => Supervisor::default(),
     };
-    supervisor.telemetry = telemetry_dir.is_some() || profile;
+    supervisor.telemetry = telemetry_dir.is_some() || obs_dir.is_some() || profile;
     supervisor.shard = !no_shard;
     if let Some(secs) = deadline_s {
         supervisor.deadline = std::time::Duration::from_secs_f64(secs);
@@ -1084,6 +1237,50 @@ fn main() {
         // *complete* campaign, and the resumed run rewrites them from the
         // full row set anyway.
         std::process::exit(fiveg_bench::signal::INTERRUPT_EXIT_CODE);
+    }
+
+    // Observatory export: the campaign metrics store, human dashboard, and
+    // collapsed-stack flamegraphs — all pure sim-time data, byte-identical
+    // across reruns, `--jobs N`, and `--no-shard`. Placed after the
+    // interrupt exit above: a partial campaign must never write a partial
+    // (yet plausible-looking) metrics baseline.
+    if let Some(dir) = &obs_dir {
+        let per: Vec<(String, AttemptTelemetry)> = outcomes
+            .iter()
+            .map(|o| (o.id.to_string(), o.telemetry.clone().unwrap_or_default()))
+            .collect();
+        if per.len() != entries.len() {
+            eprintln!(
+                "warning: --obs: {} of {} experiments were resumed without telemetry — \
+                 the observatory covers only the rows that ran this campaign",
+                entries.len() - per.len(),
+                entries.len()
+            );
+        }
+        let metrics = observe::campaign_metrics(seed, scenario_name.as_deref(), &per);
+        write_or_die(&dir.join("metrics.json"), &metrics.render());
+        write_or_die(
+            &dir.join("observatory.txt"),
+            &observe::observatory_txt(seed, scenario_name.as_deref(), &per),
+        );
+        let mut campaign: BTreeMap<String, u64> = BTreeMap::new();
+        for (id, telem) in &per {
+            let map = observe::folded_map(telem);
+            write_or_die(
+                &dir.join(format!("{id}.folded")),
+                &observe::render_folded(&map),
+            );
+            observe::merge_folded(&mut campaign, &map);
+        }
+        write_or_die(
+            &dir.join("campaign.folded"),
+            &observe::render_folded(&campaign),
+        );
+        println!(
+            "wrote campaign observatory ({} experiments) to {}",
+            per.len(),
+            dir.display()
+        );
     }
 
     if let Some(path) = &bench_out {

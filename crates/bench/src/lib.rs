@@ -10,6 +10,7 @@
 pub mod expect;
 pub mod experiments;
 pub mod json;
+pub mod observe;
 pub mod report;
 pub mod runner;
 pub mod shard;

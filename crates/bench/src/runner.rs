@@ -1288,6 +1288,15 @@ pub fn bench_report(
             0.0
         }
     };
+    // Largest-remainder apportionment: per-row rounding of raw shares can
+    // make the wall_pct column sum to 99.8 or 100.2; apportioning keeps it
+    // exactly 100.0. Resumed rows weigh zero (their cost was paid by a
+    // previous run).
+    let weights: Vec<f64> = entries
+        .iter()
+        .map(|e| if e.resumed { 0.0 } else { e.wall_s })
+        .collect();
+    let wall_pcts = crate::observe::apportion_pct(&weights);
     Json::obj(vec![
         ("seed", Json::Num(seed as f64)),
         ("scenario", scenario.map_or(Json::Null, Json::str)),
@@ -1311,7 +1320,8 @@ pub fn bench_report(
             Json::Arr(
                 entries
                     .iter()
-                    .map(|e| {
+                    .zip(&wall_pcts)
+                    .map(|(e, &wall_pct)| {
                         // An experiment that never charges the budget has
                         // no meaningful throughput — report null, not a
                         // misleading 0 (which reads as "infinitely slow").
@@ -1319,11 +1329,6 @@ pub fn bench_report(
                             Json::Null
                         } else {
                             Json::Num(rate(e.events, e.wall_s))
-                        };
-                        let wall_pct = if serial_wall_s > 0.0 {
-                            100.0 * e.wall_s / serial_wall_s
-                        } else {
-                            0.0
                         };
                         Json::obj(vec![
                             ("id", Json::str(e.id.as_str())),
@@ -1333,6 +1338,9 @@ pub fn bench_report(
                             ("wall_pct", Json::Num(wall_pct)),
                             ("events", Json::Num(e.events as f64)),
                             ("events_per_s", eps),
+                            // Deterministic row: `--check-strict` grades the
+                            // manifest's recovery-event count against this.
+                            ("recovery_events", Json::Num(e.recovery.events as f64)),
                         ])
                     })
                     .collect(),
@@ -1911,6 +1919,36 @@ mod tests {
         let pct = results[2].get("wall_pct").and_then(Json::as_f64).unwrap();
         assert!((pct - 60.0).abs() < 1e-12, "pct {pct}");
         assert_eq!(results[1].get("wall_pct").and_then(Json::as_f64), Some(0.0));
+        // The recovery-event count rides along for --check-strict.
+        assert_eq!(
+            results[0].get("recovery_events").and_then(Json::as_f64),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn bench_report_wall_pct_column_sums_to_exactly_one_hundred() {
+        let mk = |id: &str, wall_s: f64| ManifestEntry {
+            id: id.to_string(),
+            status: RunStatus::Ok,
+            attempts: 1,
+            note: None,
+            recovery: RecoverySummary::empty(),
+            wall_s,
+            events: 1,
+            resumed: false,
+        };
+        // Three equal thirds: naive per-row rounding gives 33.3 × 3 = 99.9.
+        let rows = vec![mk("a", 1.0), mk("b", 1.0), mk("c", 1.0)];
+        let j = bench_report(&rows, 7, None, 1, 3.0);
+        let results = j.get("results").and_then(Json::as_arr).expect("results");
+        let pcts: Vec<f64> = results
+            .iter()
+            .map(|r| r.get("wall_pct").and_then(Json::as_f64).unwrap())
+            .collect();
+        assert_eq!(pcts, vec![33.4, 33.3, 33.3]);
+        let sum: f64 = pcts.iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9, "sum {sum}");
     }
 
     #[test]

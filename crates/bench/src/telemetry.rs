@@ -19,8 +19,8 @@
 //!   here — the per-experiment files must stay deterministic.
 
 use crate::json::Json;
-use crate::report::{f, Table};
-use fiveg_simcore::telemetry::{AttemptTelemetry, SpanPhase};
+use crate::report::{f, sparkline, Table};
+use fiveg_simcore::telemetry::{AttemptTelemetry, SpanPhase, SERIES_BIN_S};
 
 /// Renders one attempt's telemetry as a JSONL event stream.
 ///
@@ -96,6 +96,26 @@ pub fn jsonl(t: &AttemptTelemetry) -> String {
                 ("p90", Json::Num(h.quantile(0.90))),
                 ("p99", Json::Num(h.quantile(0.99))),
                 ("max", Json::Num(if h.count == 0 { 0.0 } else { h.max })),
+            ])
+            .render(),
+        );
+        out.push('\n');
+    }
+    for (name, s) in &t.series {
+        out.push_str(
+            &Json::obj(vec![
+                ("type", Json::str("series")),
+                ("name", Json::str(*name)),
+                ("bin_s", Json::Num(SERIES_BIN_S)),
+                ("samples", Json::Num(s.samples() as f64)),
+                (
+                    "sums",
+                    Json::Arr(s.sums.iter().map(|&v| Json::Num(v)).collect()),
+                ),
+                (
+                    "counts",
+                    Json::Arr(s.counts.iter().map(|&n| Json::Num(n as f64)).collect()),
+                ),
             ])
             .render(),
         );
@@ -250,6 +270,23 @@ pub fn summary(total: &AttemptTelemetry, runner: &RunnerStats) -> String {
         out.push_str(&t.render());
     }
 
+    if !total.series.is_empty() {
+        out.push_str("\n-- Series (bin means over sim time) --\n");
+        let mut t = Table::new(vec!["series", "bin s", "samples", "shape"]);
+        for (name, s) in &total.series {
+            let means: Vec<f64> = (0..s.counts.len())
+                .map(|i| s.mean(i).unwrap_or(0.0))
+                .collect();
+            t.row(vec![
+                (*name).to_string(),
+                f(SERIES_BIN_S, 0),
+                s.samples().to_string(),
+                sparkline(&means),
+            ]);
+        }
+        out.push_str(&t.render());
+    }
+
     if total.dropped_events > 0 {
         out.push_str(&format!(
             "\nspan events dropped past the per-attempt buffer cap: {}\n",
@@ -332,6 +369,7 @@ mod tests {
                 },
             )],
             hists: vec![("rrc/delay_ms", h)],
+            series: Vec::new(),
         }
     }
 

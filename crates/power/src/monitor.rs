@@ -153,6 +153,7 @@ impl HardwareMonitor {
             guard::non_negative("power", "rail", v, 0.0, t);
             telemetry::count("power/sample", 1);
             telemetry::observe("power/rail_mw", v);
+            telemetry::series("power/rail_mw_t", t, v);
             ts.push(SimTime::from_secs_f64(t), v);
         }
         ts
@@ -258,6 +259,7 @@ impl SoftwareMonitor {
             guard::non_negative("power", "rail", v, 0.0, t);
             telemetry::count("power/sample", 1);
             telemetry::observe("power/rail_mw", v);
+            telemetry::series("power/rail_mw_t", t, v);
             ts.push(SimTime::from_secs_f64(t), v);
         }
         ts

@@ -454,6 +454,9 @@ pub fn simulate_drive(
         // instead of paying another shadowing evaluation.
         let nr_rsrp = st.nr.serving.map(|_| st.nr.serving_rsrp);
         let nr_supports_sa = st.nr.serving.map(|i| layout.towers[i].supports_sa);
+        if let Some(r) = nr_rsrp {
+            telemetry::series("radio/rsrp_dbm_t", t, r);
+        }
 
         // --- NSA leg lifecycle ---
         if nsa_enabled && booted {

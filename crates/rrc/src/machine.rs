@@ -191,7 +191,14 @@ impl RrcMachine {
         telemetry::clock(now_ms / 1_000.0);
         telemetry::span_closed("rrc/packet", now_ms / 1_000.0, (now_ms + delay) / 1_000.0);
         telemetry::observe("rrc/delay_ms", delay);
-        telemetry::count(state_counter(state), 1);
+        // One literal call per state so the catalog lint can see every
+        // emitted name at the call site.
+        match state {
+            RrcState::Connected => telemetry::count("rrc/state/connected", 1),
+            RrcState::ConnectedLte => telemetry::count("rrc/state/connected-lte", 1),
+            RrcState::Inactive => telemetry::count("rrc/state/inactive", 1),
+            RrcState::Idle => telemetry::count("rrc/state/idle", 1),
+        }
         if idle_ms.is_finite() {
             telemetry::observe("rrc/dwell_s", idle_ms / 1_000.0);
         }
@@ -211,16 +218,6 @@ impl RrcMachine {
             Some(last) => now_ms.max(last),
             None => now_ms,
         });
-    }
-}
-
-/// Telemetry counter name for packets arriving in each RRC state.
-fn state_counter(state: RrcState) -> &'static str {
-    match state {
-        RrcState::Connected => "rrc/state/connected",
-        RrcState::ConnectedLte => "rrc/state/connected-lte",
-        RrcState::Inactive => "rrc/state/inactive",
-        RrcState::Idle => "rrc/state/idle",
     }
 }
 

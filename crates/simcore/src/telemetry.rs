@@ -45,6 +45,163 @@ pub const MAX_EVENTS: usize = 1 << 18;
 /// packets). Underflow and overflow clamp to the end buckets.
 pub const HIST_BUCKETS: usize = 64;
 
+/// Number of fixed simulated-time bins in a [`SeriesStat`].
+pub const SERIES_BINS: usize = 64;
+
+/// Width of one series bin, simulated seconds. With [`SERIES_BINS`] bins
+/// the series covers `[0, 512)` s of simulated time, which brackets every
+/// experiment's drive loop; later samples clamp into the last bin.
+pub const SERIES_BIN_S: f64 = 8.0;
+
+/// What a metric name denotes. Every name in [`CATALOG`] is registered
+/// under exactly one kind per emitting hook; the same name may appear
+/// under two kinds only when two hooks deliberately share it (none do
+/// today — the lint in `tests/observatory.rs` keeps it that way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A timed region recorded via [`span`] / [`span_closed`].
+    Span,
+    /// A monotonic total recorded via [`count`].
+    Counter,
+    /// A last/min/max sample recorded via [`gauge`].
+    Gauge,
+    /// A log2-bucketed distribution recorded via [`observe`].
+    Histogram,
+    /// A fixed-bin sim-time series recorded via [`series`].
+    Series,
+}
+
+impl MetricKind {
+    /// Stable lowercase label, used in `metrics.json` and lint output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Span => "span",
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+            MetricKind::Series => "series",
+        }
+    }
+}
+
+/// One registered metric: its emitted name, hook kind, owning stack layer,
+/// and physical unit. The observatory renders layer/unit next to every
+/// rollup, and the catalog lint cross-checks this table against every
+/// `telemetry::` call site in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricDef {
+    /// The exact `&'static str` passed to the emitting hook.
+    pub name: &'static str,
+    /// Which hook family emits it.
+    pub kind: MetricKind,
+    /// Owning layer (crate) — `radio`, `rrc`, `transport`, `video`, `web`,
+    /// or `power`.
+    pub layer: &'static str,
+    /// Physical unit of the recorded value (`"1"` for dimensionless counts).
+    pub unit: &'static str,
+}
+
+/// The complete metric catalog: every span, counter, gauge, histogram, and
+/// series name emitted anywhere in the workspace. Kept name-sorted within
+/// each kind. Adding an instrumentation site without registering it here
+/// fails the catalog lint in `tests/observatory.rs`.
+pub const CATALOG: &[MetricDef] = &[
+    // Spans.
+    def("power/record", MetricKind::Span, "power", "sim-s"),
+    def("radio/drive", MetricKind::Span, "radio", "sim-s"),
+    def("rrc/packet", MetricKind::Span, "rrc", "sim-s"),
+    def("rrc/promotion", MetricKind::Span, "rrc", "sim-s"),
+    def("rrc/switch", MetricKind::Span, "rrc", "sim-s"),
+    def("rrc/tail", MetricKind::Span, "rrc", "sim-s"),
+    def("transport/run", MetricKind::Span, "transport", "sim-s"),
+    def("video/segment", MetricKind::Span, "video", "sim-s"),
+    def("video/session", MetricKind::Span, "video", "sim-s"),
+    def("web/object_wave", MetricKind::Span, "web", "sim-s"),
+    def("web/page", MetricKind::Span, "web", "sim-s"),
+    // Counters.
+    def("power/sample", MetricKind::Counter, "power", "1"),
+    def(
+        "radio/handoff/horizontal",
+        MetricKind::Counter,
+        "radio",
+        "1",
+    ),
+    def("radio/handoff/vertical", MetricKind::Counter, "radio", "1"),
+    def("radio/rlf", MetricKind::Counter, "radio", "1"),
+    def("radio/shadow/hit", MetricKind::Counter, "radio", "1"),
+    def("radio/shadow/miss", MetricKind::Counter, "radio", "1"),
+    def("rrc/state/connected", MetricKind::Counter, "rrc", "1"),
+    def("rrc/state/connected-lte", MetricKind::Counter, "rrc", "1"),
+    def("rrc/state/idle", MetricKind::Counter, "rrc", "1"),
+    def("rrc/state/inactive", MetricKind::Counter, "rrc", "1"),
+    def(
+        "transport/conn_reset",
+        MetricKind::Counter,
+        "transport",
+        "1",
+    ),
+    def("transport/loss", MetricKind::Counter, "transport", "1"),
+    def("transport/rto", MetricKind::Counter, "transport", "1"),
+    def("video/bitrate_switch", MetricKind::Counter, "video", "1"),
+    def("video/stall", MetricKind::Counter, "video", "1"),
+    def("web/object", MetricKind::Counter, "web", "1"),
+    // Gauges.
+    def(
+        "transport/mean_mbps",
+        MetricKind::Gauge,
+        "transport",
+        "Mbit/s",
+    ),
+    // Histograms.
+    def("power/rail_mw", MetricKind::Histogram, "power", "mW"),
+    def("rrc/delay_ms", MetricKind::Histogram, "rrc", "ms"),
+    def("rrc/dwell_s", MetricKind::Histogram, "rrc", "s"),
+    def("rrc/tail_s", MetricKind::Histogram, "rrc", "s"),
+    def(
+        "transport/cwnd_pkts",
+        MetricKind::Histogram,
+        "transport",
+        "pkts",
+    ),
+    def(
+        "transport/rto_backoff_s",
+        MetricKind::Histogram,
+        "transport",
+        "s",
+    ),
+    def("video/stall_s", MetricKind::Histogram, "video", "s"),
+    def("web/plt_s", MetricKind::Histogram, "web", "s"),
+    // Series.
+    def("power/rail_mw_t", MetricKind::Series, "power", "mW"),
+    def("radio/rsrp_dbm_t", MetricKind::Series, "radio", "dBm"),
+    def(
+        "transport/cwnd_pkts_t",
+        MetricKind::Series,
+        "transport",
+        "pkts",
+    ),
+];
+
+/// Const constructor keeping [`CATALOG`] entries one line each.
+const fn def(
+    name: &'static str,
+    kind: MetricKind,
+    layer: &'static str,
+    unit: &'static str,
+) -> MetricDef {
+    MetricDef {
+        name,
+        kind,
+        layer,
+        unit,
+    }
+}
+
+/// Looks up the catalog entry for `name` emitted as `kind`.
+pub fn registered(name: &str, kind: MetricKind) -> Option<&'static MetricDef> {
+    CATALOG.iter().find(|d| d.name == name && d.kind == kind)
+}
+
 /// Enter/exit marker of a span event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SpanPhase {
@@ -184,6 +341,75 @@ impl Default for Histogram {
     }
 }
 
+/// A fixed-bin simulated-time series: per-bin value sums and sample counts
+/// over `[0, SERIES_BINS * SERIES_BIN_S)` seconds of sim time. Fixed bins
+/// (rather than raw samples) keep campaign rollups bounded and make merging
+/// shards / attempts a per-bin addition, which is order-independent — the
+/// property the byte-identity contract needs under `--jobs N`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesStat {
+    /// Per-bin sum of observed values.
+    pub sums: Vec<f64>,
+    /// Per-bin number of samples.
+    pub counts: Vec<u64>,
+}
+
+/// The bin index of simulated time `t_s` (negative and NaN clamp to bin 0,
+/// late samples clamp to the last bin).
+fn series_bin(t_s: f64) -> usize {
+    if t_s.is_nan() || t_s <= 0.0 {
+        return 0;
+    }
+    ((t_s / SERIES_BIN_S) as usize).min(SERIES_BINS - 1)
+}
+
+impl SeriesStat {
+    /// An empty series.
+    pub fn new() -> Self {
+        SeriesStat {
+            sums: vec![0.0; SERIES_BINS],
+            counts: vec![0; SERIES_BINS],
+        }
+    }
+
+    /// Records value `v` at simulated time `t_s`.
+    pub fn observe(&mut self, t_s: f64, v: f64) {
+        let i = series_bin(t_s);
+        self.sums[i] += v;
+        self.counts[i] += 1;
+    }
+
+    /// Mean of bin `i`, or `None` when the bin holds no samples.
+    pub fn mean(&self, i: usize) -> Option<f64> {
+        if self.counts[i] == 0 {
+            None
+        } else {
+            Some(self.sums[i] / self.counts[i] as f64)
+        }
+    }
+
+    /// Total samples across all bins.
+    pub fn samples(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges `other` into `self` bin-wise.
+    pub fn merge(&mut self, other: &SeriesStat) {
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+impl Default for SeriesStat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Everything one attempt recorded: the bounded span-event stream plus the
 /// name-sorted aggregates. Produced by [`drain`]; rendered by the bench
 /// crate into JSONL, Chrome `trace_event` files, and the campaign summary.
@@ -201,6 +427,8 @@ pub struct AttemptTelemetry {
     pub gauges: Vec<(&'static str, GaugeStat)>,
     /// Histograms, sorted by name.
     pub hists: Vec<(&'static str, Histogram)>,
+    /// Fixed-bin sim-time series, sorted by name.
+    pub series: Vec<(&'static str, SeriesStat)>,
 }
 
 impl AttemptTelemetry {
@@ -211,6 +439,7 @@ impl AttemptTelemetry {
             && self.counters.is_empty()
             && self.gauges.is_empty()
             && self.hists.is_empty()
+            && self.series.is_empty()
     }
 
     /// Merges `other`'s aggregates into `self` (campaign roll-up). The
@@ -251,11 +480,15 @@ impl AttemptTelemetry {
         for (name, h) in &other.hists {
             slot(&mut self.hists, name, Histogram::new).merge(h);
         }
+        for (name, s) in &other.series {
+            slot(&mut self.series, name, SeriesStat::new).merge(s);
+        }
         self.dropped_events += other.dropped_events;
         self.spans.sort_by_key(|(n, _)| *n);
         self.counters.sort_by_key(|(n, _)| *n);
         self.gauges.sort_by_key(|(n, _)| *n);
         self.hists.sort_by_key(|(n, _)| *n);
+        self.series.sort_by_key(|(n, _)| *n);
     }
 }
 
@@ -275,6 +508,7 @@ struct Collector {
     counters: Vec<(&'static str, u64)>,
     gauges: Vec<(&'static str, GaugeStat)>,
     hists: Vec<(&'static str, Histogram)>,
+    series: Vec<(&'static str, SeriesStat)>,
 }
 
 #[cfg(feature = "telemetry")]
@@ -289,6 +523,7 @@ impl Collector {
             counters: Vec::new(),
             gauges: Vec::new(),
             hists: Vec::new(),
+            series: Vec::new(),
         }
     }
 
@@ -523,6 +758,19 @@ pub fn observe(name: &'static str, v: f64) {
     }
 }
 
+/// Records `v` at simulated time `t_s` into the fixed-bin series `name`.
+/// Unlike [`gauge`], which keeps only last/min/max, a series preserves the
+/// *shape* over sim time (bin means), which the observatory renders as a
+/// sparkline and ROADMAP item 5 will consume as calibration features.
+pub fn series(name: &'static str, t_s: f64, v: f64) {
+    #[cfg(feature = "telemetry")]
+    with_collector(|c| agg(&mut c.series, name, SeriesStat::new).observe(t_s, v));
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = (name, t_s, v);
+    }
+}
+
 /// Snapshots and clears this thread's collected telemetry. Aggregates come
 /// out sorted by name, so rendering the result is deterministic. Returns
 /// an empty [`AttemptTelemetry`] when no collector is installed (or the
@@ -538,6 +786,7 @@ pub fn drain() -> AttemptTelemetry {
                 counters: std::mem::take(&mut c.counters),
                 gauges: std::mem::take(&mut c.gauges),
                 hists: std::mem::take(&mut c.hists),
+                series: std::mem::take(&mut c.series),
             };
             c.next_id = 0;
             c.clock_s = 0.0;
@@ -545,6 +794,7 @@ pub fn drain() -> AttemptTelemetry {
             t.counters.sort_by_key(|(n, _)| *n);
             t.gauges.sort_by_key(|(n, _)| *n);
             t.hists.sort_by_key(|(n, _)| *n);
+            t.series.sort_by_key(|(n, _)| *n);
             t
         })
         .unwrap_or_default()
@@ -688,5 +938,148 @@ mod tests {
     #[test]
     fn compiled_reports_the_feature() {
         assert!(compiled());
+    }
+
+    #[test]
+    fn series_bins_by_sim_time_and_clamps_edges() {
+        let _g = collect();
+        series("s", 0.0, 10.0);
+        series("s", SERIES_BIN_S - 0.001, 20.0); // same first bin
+        series("s", SERIES_BIN_S, 30.0); // second bin
+        series("s", -5.0, 1.0); // clamps to bin 0
+        series("s", f64::NAN, 2.0); // clamps to bin 0
+        series("s", 1e9, 99.0); // clamps to last bin
+        let t = drain();
+        let st = &t.series[0].1;
+        assert_eq!(st.counts[0], 4);
+        assert_eq!(st.counts[1], 1);
+        assert_eq!(st.counts[SERIES_BINS - 1], 1);
+        assert_eq!(st.mean(1), Some(30.0));
+        assert_eq!(st.mean(2), None);
+        assert_eq!(st.samples(), 6);
+    }
+
+    #[test]
+    fn series_merge_is_binwise() {
+        let mut a = SeriesStat::new();
+        a.observe(1.0, 4.0);
+        let mut b = SeriesStat::new();
+        b.observe(1.0, 8.0);
+        b.observe(100.0, 2.0);
+        a.merge(&b);
+        assert_eq!(a.counts[0], 2);
+        assert_eq!(a.mean(0), Some(6.0));
+        assert_eq!(a.counts[series_bin(100.0)], 1);
+    }
+
+    #[test]
+    fn catalog_names_are_unique_per_kind_and_sorted_within_kind() {
+        for (i, d) in CATALOG.iter().enumerate() {
+            for other in &CATALOG[i + 1..] {
+                assert!(
+                    !(d.name == other.name && d.kind == other.kind),
+                    "duplicate catalog entry {} ({})",
+                    d.name,
+                    d.kind.as_str()
+                );
+            }
+        }
+        for w in CATALOG.windows(2) {
+            if w[0].kind == w[1].kind {
+                assert!(
+                    w[0].name < w[1].name,
+                    "catalog not sorted within kind: {} >= {}",
+                    w[0].name,
+                    w[1].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_lookup_matches_name_and_kind() {
+        let d = registered("radio/drive", MetricKind::Span).expect("radio/drive");
+        assert_eq!(d.layer, "radio");
+        assert!(registered("radio/drive", MetricKind::Counter).is_none());
+        assert!(registered("no/such/metric", MetricKind::Span).is_none());
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_side_is_identity() {
+        let mut a = Histogram::new();
+        a.observe(4.0);
+        a.observe(64.0);
+        let before = a.clone();
+        a.merge(&Histogram::new()); // empty right side
+        assert_eq!(a.counts, before.counts);
+        assert_eq!(a.count, before.count);
+        assert_eq!(a.sum, before.sum);
+        assert_eq!(a.min, before.min);
+        assert_eq!(a.max, before.max);
+        let mut e = Histogram::new(); // empty left side
+        e.merge(&before);
+        assert_eq!(e.counts, before.counts);
+        assert_eq!(e.min, before.min);
+        assert_eq!(e.max, before.max);
+    }
+
+    #[test]
+    fn histogram_quantile_on_single_sample_reports_the_sample() {
+        let mut h = Histogram::new();
+        h.observe(7.0);
+        // min == max == 7.0, so every quantile clamps to exactly 7.0.
+        assert_eq!(h.quantile(0.0), 7.0);
+        assert_eq!(h.quantile(0.5), 7.0);
+        assert_eq!(h.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn histogram_quantile_handles_end_buckets() {
+        let mut h = Histogram::new();
+        h.observe(0.0); // underflow clamps to bucket 0
+        h.observe(-3.0); // non-positive clamps to bucket 0
+        h.observe(1e300); // overflow clamps to the last bucket
+        assert_eq!(h.counts[0], 2);
+        assert_eq!(h.counts[HIST_BUCKETS - 1], 1);
+        let p99 = h.quantile(0.99);
+        assert!(
+            p99.is_finite(),
+            "overflow-bucket quantile stays finite: {p99}"
+        );
+        assert!(p99 <= h.max);
+        assert!(h.quantile(0.1) >= h.min);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_on_summaries() {
+        // Dyadic values make every float sum exact, so the associativity
+        // check is on semantics, not float rounding.
+        let mk = |vals: &[f64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.observe(v);
+            }
+            h
+        };
+        let a = mk(&[0.25, 2.0, 2.0]);
+        let b = mk(&[16.0]);
+        let c = mk(&[0.5, 1024.0, 4096.0]);
+        let left = {
+            let mut ab = a.clone();
+            ab.merge(&b);
+            ab.merge(&c);
+            ab
+        };
+        let right = {
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut abc = a.clone();
+            abc.merge(&bc);
+            abc
+        };
+        assert_eq!(left, right);
+        assert_eq!(left.quantile(0.5), right.quantile(0.5));
+        assert_eq!(left.quantile(0.99), right.quantile(0.99));
+        assert_eq!(left.mean(), right.mean());
     }
 }

@@ -346,6 +346,7 @@ impl TcpSim {
                 if self.rng.chance(p_loss + p_overflow) {
                     telemetry::count("transport/loss", 1);
                     telemetry::observe("transport/cwnd_pkts", f.cwnd_pkts);
+                    telemetry::series("transport/cwnd_pkts_t", t, f.cwnd_pkts);
                     f.on_loss(self.cfg.algo);
                     loss_events += 1;
                     // Under a loss-burst window the repair is a fast
