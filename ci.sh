@@ -46,7 +46,7 @@ smoke() {
 smoke blockage-storm        fig9 fig17
 smoke dead-zone-drive       fig9
 smoke rrc-flaky             fig10
-smoke transport-turbulence  fig8 fig17 fig19
+smoke transport-turbulence  fig8 fig17 fig19 bonded-uplink
 smoke power-glitch          table2
 smoke chaos                 table2 fig9 fig10
 
@@ -95,10 +95,11 @@ cmp "$SMOKE_DIR/par-s/manifest.json" "$SMOKE_DIR/par-r/manifest.json"
 
 # --- Intra-experiment sharding -------------------------------------------------
 # Shard fan-out is a scheduling decision, never a semantics decision: the
-# sharded experiments (fig15/fig16/fig17/fig18*/ablation-pensieve) must
-# render byte-identical artifacts serially, on a --jobs 4 pool (where each
-# shard is its own work unit), and with fan-out disabled (--no-shard).
-SHARD_IDS="fig15 fig16 fig18c"
+# sharded experiments (fig15/fig16/fig17/fig18*/ablation-pensieve/
+# bonded-uplink) must render byte-identical artifacts serially, on a
+# --jobs 4 pool (where each shard is its own work unit), and with fan-out
+# disabled (--no-shard).
+SHARD_IDS="fig15 fig16 fig18c bonded-uplink"
 echo "==> shard plane: --jobs 1 vs --jobs 4 vs --no-shard"
 # shellcheck disable=SC2086
 "$FIG" --seed 2021 --jobs 1 --out "$SMOKE_DIR/shard-s" $SHARD_IDS > /dev/null
@@ -116,9 +117,17 @@ done
 # Same contract under chaos: per-shard fault worlds are keyed by
 # (attempt seed, id, shard) — never by which worker ran the shard when.
 echo "==> shard plane: chaos byte-identity"
-"$FIG" --seed 2021 --chaos chaos --jobs 4 --out "$SMOKE_DIR/shard-ca" fig17 fig18c > /dev/null
-"$FIG" --seed 2021 --chaos chaos --jobs 1 --no-shard --out "$SMOKE_DIR/shard-cb" fig17 fig18c > /dev/null
+"$FIG" --seed 2021 --chaos chaos --jobs 4 --out "$SMOKE_DIR/shard-ca" fig17 fig18c bonded-uplink > /dev/null
+"$FIG" --seed 2021 --chaos chaos --jobs 1 --no-shard --out "$SMOKE_DIR/shard-cb" fig17 fig18c bonded-uplink > /dev/null
 cmp "$SMOKE_DIR/shard-ca/manifest.json" "$SMOKE_DIR/shard-cb/manifest.json"
+# Double-run determinism for the bonded family specifically, quiet and
+# chaos: the same campaign twice must render identical artifact bytes.
+echo "==> shard plane: bonded-uplink double-run determinism"
+"$FIG" --seed 2021 --chaos chaos --jobs 4 --out "$SMOKE_DIR/shard-ca2" fig17 fig18c bonded-uplink > /dev/null
+cmp "$SMOKE_DIR/shard-ca/bonded-uplink.txt" "$SMOKE_DIR/shard-ca2/bonded-uplink.txt"
+"$FIG" --seed 2021 --out "$SMOKE_DIR/bond-q1" bonded-uplink > /dev/null
+"$FIG" --seed 2021 --out "$SMOKE_DIR/bond-q2" bonded-uplink > /dev/null
+cmp "$SMOKE_DIR/bond-q1/bonded-uplink.txt" "$SMOKE_DIR/bond-q2/bonded-uplink.txt"
 
 # --profile must render the hot-spot table (campaign wall ranking plus the
 # heaviest telemetry spans) without touching the artifacts.

@@ -10,6 +10,7 @@ fn path(rtt_ms: f64, capacity: f64) -> PathModel {
         loss_per_pkt: 1e-6,
         capacity_mbps: capacity,
         mss_bytes: 1460.0,
+        queue_bdp: fiveg_transport::path::DEFAULT_QUEUE_BDP,
     }
 }
 

@@ -5,6 +5,7 @@
 //! figures all                  # run everything, in paper order
 //! figures fig3 fig9            # run specific experiments
 //! figures --seed 7 all         # re-roll the simulated world
+//! figures --cc bbr bonded-uplink   # bonded-family controller override
 //! figures --out results/ all   # also write one .txt per experiment
 //! figures --chaos chaos all    # inject a named fault scenario
 //! figures --resume --out results/ all   # continue a killed campaign
@@ -800,6 +801,31 @@ fn main() {
                 std::process::exit(2);
             });
         args.remove(pos);
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--cc") {
+        args.remove(pos);
+        let name = args
+            .get(pos)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| {
+                eprintln!("--cc needs a controller name (bbr or nada)");
+                std::process::exit(2);
+            });
+        args.remove(pos);
+        let algo = fiveg_transport::tcp::CcAlgo::parse(&name)
+            .filter(|a| a.is_rate_based())
+            .unwrap_or_else(|| {
+                eprintln!("--cc: unknown or non-rate-based controller `{name}` (want bbr or nada)");
+                std::process::exit(2);
+            });
+        experiments::bonded::set_cc(algo);
+        if algo != fiveg_transport::tcp::CcAlgo::Nada {
+            eprintln!(
+                "--cc {name}: bonded-uplink will diverge from the committed golden \
+                 (the default controller is nada)"
+            );
+        }
     }
     let mut out_dir: Option<PathBuf> = None;
     if let Some(pos) = args.iter().position(|a| a == "--out") {

@@ -812,6 +812,15 @@ pub fn expectations() -> Vec<Expectation> {
         e("ablation-cc.cubic-8ms", "ablation-cc", "§3.4 ablation",
           "short-RTT throughput is healthy either way",
           cell("", "8|", "CUBIC Mbps"), Check::Within { lo: 2000.0, hi: 3400.0 }),
+        e("ablation-cc.bbr-loss-resilient", "ablation-cc", "§3.4 ablation",
+          "BBR holds goodput on the lossy long-haul path where CUBIC folds",
+          cell("", "50|", "BBR/CUBIC"), Check::AtLeast(1.0)),
+        e("ablation-cc.bbr-8ms", "ablation-cc", "§3.4 ablation",
+          "BBR fills the short-RTT mmWave pipe too",
+          cell("", "8|", "BBR Mbps"), Check::Within { lo: 2000.0, hi: 3400.0 }),
+        e("ablation-cc.nada-long-haul", "ablation-cc", "§3.4 ablation",
+          "NADA shrugs off random long-haul loss (quadratic loss term)",
+          cell("", "50|", "NADA Mbps"), Check::AtLeast(1500.0)),
         e("ablation-hysteresis.damping", "ablation-hysteresis", "§3.5 ablation",
           "low hysteresis churns the most handoffs",
           cell("", "1|", "NSA total"), Check::MaxInColumn),
@@ -830,6 +839,27 @@ pub fn expectations() -> Vec<Expectation> {
         e("ablation-wmem.saturation", "ablation-wmem", "§3.4 ablation",
           "large buffers saturate the path",
           cell("", "16.0|", "1-TCP"), Check::AtLeast(2500.0)),
+        e("ablation-wmem.bbr-small-buffer", "ablation-wmem", "§3.4 ablation",
+          "rate-based pacing hits the same wmem/RTT wall",
+          cell("", "0.5|", "BBR Mbps"), Check::AtMost(220.0)),
+        e("ablation-wmem.nada-saturation", "ablation-wmem", "§3.4 ablation",
+          "a big buffer frees NADA to saturate the path",
+          cell("", "16.0|", "NADA Mbps"), Check::AtLeast(2500.0)),
+        e("bonded-uplink.metro-agg", "bonded-uplink", "§6 extension",
+          "a metro 4G+5G bond aggregates well past the LTE leg alone",
+          cell("throughput", "metro ", "agg Mbps"), near(1018.0, 10.0, 30.0)),
+        e("bonded-uplink.metro-two-groups", "bonded-uplink", "§6 extension",
+          "independent metro bottlenecks stay in separate SBD groups",
+          cell("sbd", "metro ", "groups"), Check::Within { lo: 2.0, hi: 2.0 }),
+        e("bonded-uplink.capped-one-group", "bonded-uplink", "§6 extension",
+          "a capped carrier core collapses the bond into one SBD group",
+          cell("sbd", "capped ", "groups"), Check::Within { lo: 1.0, hi: 1.0 }),
+        e("bonded-uplink.capped-under-cap", "bonded-uplink", "§6 extension",
+          "behind a 600 Mbps core the bond cannot beat the core",
+          cell("throughput", "capped ", "agg Mbps"), Check::AtMost(600.0)),
+        e("bonded-uplink.dual-lte-sbd-confound", "bonded-uplink", "§6 extension",
+          "one sender saturating both legs correlates them (RFC 8382 caveat)",
+          cell("sbd", "dual LTE|", "groups"), Check::Within { lo: 1.0, hi: 1.0 }),
         e("ext-periodic.mmwave-worst", "ext-periodic", "§4.2 extension",
           "keep-alives are most expensive on NSA mmWave",
           cell("", "Verizon NSA mmWave|", "T=1s"), Check::MaxInColumn),

@@ -21,24 +21,45 @@ fn mmwave_path(rtt_ms: f64, dist_km: f64) -> PathModel {
             + fiveg_transport::path::LOSS_PER_KM * dist_km,
         capacity_mbps: 3400.0,
         mss_bytes: 1460.0,
+        queue_bdp: fiveg_transport::path::DEFAULT_QUEUE_BDP,
     }
 }
 
-/// CUBIC vs Reno for a single flow as the path lengthens: why the paper's
-/// carriers (and our transport model) run CUBIC.
+fn single_tuned_with(algo: CcAlgo) -> TcpSimConfig {
+    TcpSimConfig {
+        algo,
+        ..TcpSimConfig::single_tuned()
+    }
+}
+
+/// Congestion control for a single flow as the path lengthens: CUBIC vs
+/// Reno (why the paper's carriers run CUBIC), plus the rate-based
+/// controllers — BBR's model-based pacing holds goodput on the lossy
+/// long-haul rows where the loss-based laws keep cutting their windows.
 pub fn ablation_cc(seed: u64) -> Report {
-    let mut t = Table::new(vec!["RTT ms", "CUBIC Mbps", "Reno Mbps", "CUBIC/Reno"]);
+    let mut t = Table::new(vec![
+        "RTT ms",
+        "CUBIC Mbps",
+        "Reno Mbps",
+        "BBR Mbps",
+        "NADA Mbps",
+        "CUBIC/Reno",
+        "BBR/CUBIC",
+    ]);
     for (rtt, km) in [(8.0, 100.0), (20.0, 800.0), (35.0, 1600.0), (50.0, 2500.0)] {
         let cubic = measure_throughput(mmwave_path(rtt, km), TcpSimConfig::single_tuned(), seed);
-        let reno = measure_throughput(
-            mmwave_path(rtt, km),
-            TcpSimConfig {
-                algo: CcAlgo::Reno,
-                ..TcpSimConfig::single_tuned()
-            },
-            seed,
-        );
-        t.row(vec![f(rtt, 0), f(cubic, 0), f(reno, 0), f(cubic / reno, 2)]);
+        let reno = measure_throughput(mmwave_path(rtt, km), single_tuned_with(CcAlgo::Reno), seed);
+        let bbr = measure_throughput(mmwave_path(rtt, km), single_tuned_with(CcAlgo::Bbr), seed);
+        let nada = measure_throughput(mmwave_path(rtt, km), single_tuned_with(CcAlgo::Nada), seed);
+        t.row(vec![
+            f(rtt, 0),
+            f(cubic, 0),
+            f(reno, 0),
+            f(bbr, 0),
+            f(nada, 0),
+            f(cubic / reno, 2),
+            f(bbr / cubic, 2),
+        ]);
     }
     Report {
         id: "ablation-cc",
@@ -47,19 +68,21 @@ pub fn ablation_cc(seed: u64) -> Report {
     }
 }
 
-/// `tcp_wmem` sweep: the Fig 8 mechanism isolated.
+/// `tcp_wmem` sweep: the Fig 8 mechanism isolated. BBR and NADA columns
+/// show the rate-based controllers hit the same `wmem/RTT` wall — the
+/// send buffer caps the data in flight no matter who paces it.
 pub fn ablation_wmem(seed: u64) -> Report {
-    let mut t = Table::new(vec!["wmem MB", "1-TCP Mbps @20ms"]);
+    let mut t = Table::new(vec!["wmem MB", "1-TCP Mbps @20ms", "BBR Mbps", "NADA Mbps"]);
     for mb in [0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
-        let thr = measure_throughput(
-            mmwave_path(20.0, 800.0),
-            TcpSimConfig {
-                wmem_bytes: mb * 1e6,
-                ..TcpSimConfig::single_default()
-            },
-            seed,
-        );
-        t.row(vec![f(mb, 1), f(thr, 0)]);
+        let wmem = |algo| TcpSimConfig {
+            wmem_bytes: mb * 1e6,
+            algo,
+            ..TcpSimConfig::single_default()
+        };
+        let thr = measure_throughput(mmwave_path(20.0, 800.0), wmem(CcAlgo::Cubic), seed);
+        let bbr = measure_throughput(mmwave_path(20.0, 800.0), wmem(CcAlgo::Bbr), seed);
+        let nada = measure_throughput(mmwave_path(20.0, 800.0), wmem(CcAlgo::Nada), seed);
+        t.row(vec![f(mb, 1), f(thr, 0), f(bbr, 0), f(nada, 0)]);
     }
     Report {
         id: "ablation-wmem",

@@ -1,0 +1,213 @@
+//! The bonded-uplink scenario family: one flow striped across a 4G and a
+//! 5G interface by `fiveg_transport::bond` (DWRR scheduling, per-link
+//! capacity estimation, RFC 8382 shared-bottleneck detection).
+//!
+//! Four scenarios, one shard each (independent, pure in `(seed, shard)`):
+//! metro and long-haul LTE+mmWave bonds (independent bottlenecks — the
+//! bond aggregates, and SBD keeps the links in separate groups), the same
+//! metro bond behind a capped carrier core (SBD collapses the links into
+//! one group — bonding buys redundancy, not bandwidth), and a dual-LTE
+//! bond. The dual-LTE row doubles as an honest SBD caveat: both legs
+//! saturate, both queues track the single aggregate controller's
+//! oscillation, and the correlation test merges them — the classic
+//! false-positive mode RFC 8382 §1.2 warns about when one sender drives
+//! every member link.
+//!
+//! The aggregate controller defaults to NADA; `figures --cc <bbr|nada>`
+//! flips the family-wide selection for exploratory runs (the committed
+//! golden pins the default).
+
+use crate::report::{f, Report, Table};
+use fiveg_simcore::RngStream;
+use fiveg_transport::path::PathModel;
+use fiveg_transport::tcp::CcAlgo;
+use fiveg_transport::{BondedConfig, BondedSim};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Family-wide controller override: 0 = NADA (default), 1 = BBR. A
+/// process-global atomic (not a thread-local) because shards run on the
+/// supervisor's worker pool.
+static CC_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the controller for subsequent bonded-uplink runs. Only the
+/// rate-based controllers drive a bond.
+///
+/// # Panics
+/// Panics on `Cubic`/`Reno`.
+pub fn set_cc(algo: CcAlgo) {
+    assert!(
+        algo.is_rate_based(),
+        "bonded-uplink runs on a rate-based controller (bbr or nada)"
+    );
+    CC_OVERRIDE.store(
+        match algo {
+            CcAlgo::Bbr => 1,
+            _ => 0,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The currently selected controller.
+pub fn cc() -> CcAlgo {
+    match CC_OVERRIDE.load(Ordering::Relaxed) {
+        1 => CcAlgo::Bbr,
+        _ => CcAlgo::Nada,
+    }
+}
+
+fn link(rtt_ms: f64, capacity_mbps: f64, dist_km: f64) -> PathModel {
+    PathModel {
+        rtt_ms,
+        loss_per_pkt: fiveg_transport::path::BASE_LOSS
+            + fiveg_transport::path::LOSS_PER_KM * dist_km,
+        capacity_mbps,
+        mss_bytes: 1460.0,
+        queue_bdp: fiveg_transport::path::DEFAULT_QUEUE_BDP,
+    }
+}
+
+/// One scenario: display label (stable — expectations key on it), RNG
+/// label, member links, and the optional shared core cap.
+struct Scenario {
+    label: &'static str,
+    slug: &'static str,
+    links: fn() -> Vec<PathModel>,
+    shared_cap_mbps: Option<f64>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            label: "metro LTE+mmWave",
+            slug: "metro",
+            links: || vec![link(30.0, 150.0, 100.0), link(20.0, 1500.0, 100.0)],
+            shared_cap_mbps: None,
+        },
+        Scenario {
+            label: "long-haul LTE+mmWave",
+            slug: "long-haul",
+            links: || vec![link(45.0, 150.0, 1600.0), link(35.0, 1500.0, 1600.0)],
+            shared_cap_mbps: None,
+        },
+        Scenario {
+            label: "capped core LTE+mmWave",
+            slug: "capped",
+            links: || vec![link(30.0, 150.0, 100.0), link(20.0, 1500.0, 100.0)],
+            shared_cap_mbps: Some(600.0),
+        },
+        Scenario {
+            label: "dual LTE",
+            slug: "dual-lte",
+            links: || vec![link(30.0, 150.0, 100.0), link(28.0, 180.0, 100.0)],
+            shared_cap_mbps: None,
+        },
+    ]
+}
+
+/// Bonded-uplink shard count: one shard per scenario.
+pub(crate) const BONDED_UPLINK_SHARDS: usize = 4;
+
+/// Runs one scenario for 15 s and returns the raw values the reducer
+/// renders: `[agg Mbps, 4G share, 5G share, SBD groups, skew 4G,
+/// skew 5G, loss events, max queue delay ms]`.
+pub(crate) fn bonded_uplink_shard(seed: u64, shard: usize) -> Vec<f64> {
+    let sc = &scenarios()[shard];
+    let mut cfg = BondedConfig::new((sc.links)(), cc());
+    cfg.shared_cap_mbps = sc.shared_cap_mbps;
+    let mut sim = BondedSim::new(cfg, RngStream::new(seed, &format!("bonded/{}", sc.slug)));
+    let res = sim.run(15.0);
+    vec![
+        res.mean_mbps,
+        res.per_link_share[0],
+        res.per_link_share[1],
+        res.group_count() as f64,
+        res.skew_est[0],
+        res.skew_est[1],
+        res.loss_events as f64,
+        res.max_queue_delay_s * 1e3,
+    ]
+}
+
+/// Deterministic reducer: scenario rows in shard order, a throughput
+/// section and an SBD section.
+pub(crate) fn bonded_uplink_merge(_seed: u64, parts: &[Vec<f64>]) -> Report {
+    let mut thr = Table::new(vec!["scenario", "agg Mbps", "4G share", "5G share", "loss"]);
+    let mut sbd = Table::new(vec![
+        "scenario",
+        "groups",
+        "skew 4G",
+        "skew 5G",
+        "max qdelay ms",
+    ]);
+    for (sc, p) in scenarios().iter().zip(parts) {
+        thr.row(vec![
+            sc.label.to_string(),
+            f(p[0], 0),
+            f(p[1], 3),
+            f(p[2], 3),
+            f(p[6], 0),
+        ]);
+        sbd.row(vec![
+            sc.label.to_string(),
+            f(p[3], 0),
+            f(p[4], 2),
+            f(p[5], 2),
+            f(p[7], 1),
+        ]);
+    }
+    let body = format!(
+        "-- throughput --\n{}\n-- sbd --\n{}controller: {}\n",
+        thr.render(),
+        sbd.render(),
+        cc().as_str()
+    );
+    Report {
+        id: "bonded-uplink",
+        title: "Bonded 4G+5G uplink: DWRR striping with shared-bottleneck detection".into(),
+        body,
+    }
+}
+
+/// The bonded-uplink experiment: every scenario shard in order, merged.
+pub fn bonded_uplink(seed: u64) -> Report {
+    let parts: Vec<Vec<f64>> = (0..BONDED_UPLINK_SHARDS)
+        .map(|s| bonded_uplink_shard(seed, s))
+        .collect();
+    bonded_uplink_merge(seed, &parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_both_sections_and_all_scenarios() {
+        let r = bonded_uplink(7);
+        assert_eq!(r.id, "bonded-uplink");
+        assert!(r.body.contains("-- throughput --"));
+        assert!(r.body.contains("-- sbd --"));
+        for sc in scenarios() {
+            assert!(r.body.contains(sc.label), "missing {}", sc.label);
+        }
+        assert!(r.body.contains("controller: nada"));
+    }
+
+    #[test]
+    fn shards_compose_to_the_monolithic_report() {
+        let parts: Vec<Vec<f64>> = (0..BONDED_UPLINK_SHARDS)
+            .map(|s| bonded_uplink_shard(9, s))
+            .collect();
+        let merged = bonded_uplink_merge(9, &parts);
+        assert_eq!(merged.render(), bonded_uplink(9).render());
+    }
+
+    #[test]
+    fn cc_override_round_trips() {
+        assert_eq!(cc(), CcAlgo::Nada);
+        set_cc(CcAlgo::Bbr);
+        assert_eq!(cc(), CcAlgo::Bbr);
+        set_cc(CcAlgo::Nada);
+        assert_eq!(cc(), CcAlgo::Nada);
+    }
+}

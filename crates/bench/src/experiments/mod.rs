@@ -2,6 +2,7 @@
 //! table or figure of the paper and returns a [`Report`].
 
 pub mod ablations;
+pub mod bonded;
 pub mod extensions;
 pub mod handoff;
 pub mod modeling;
@@ -58,6 +59,7 @@ pub fn registry() -> Vec<(&'static str, Experiment)> {
         ("ablation-hysteresis", ablations::ablation_hysteresis),
         ("ablation-blockage", ablations::ablation_blockage),
         ("ablation-pensieve", ablations::ablation_pensieve),
+        ("bonded-uplink", bonded::bonded_uplink),
         ("ext-periodic", extensions::ext_periodic),
     ]
 }

@@ -25,7 +25,7 @@
 //!   [`shard_plane_seed`] derivation — so a shard's fault world depends
 //!   only on `(attempt seed, experiment, shard)`, never on scheduling.
 
-use crate::experiments::{ablations, modeling, video};
+use crate::experiments::{ablations, bonded, modeling, video};
 use crate::report::Report;
 use fiveg_simcore::RngStream;
 
@@ -88,6 +88,12 @@ pub fn shardable() -> Vec<ShardableExperiment> {
             shards: ablations::ABLATION_PENSIEVE_SHARDS,
             run: ablations::ablation_pensieve_shard,
             merge: ablations::ablation_pensieve_merge,
+        },
+        ShardableExperiment {
+            id: "bonded-uplink",
+            shards: bonded::BONDED_UPLINK_SHARDS,
+            run: bonded::bonded_uplink_shard,
+            merge: bonded::bonded_uplink_merge,
         },
     ]
 }

@@ -113,6 +113,7 @@ pub const CATALOG: &[MetricDef] = &[
     def("rrc/promotion", MetricKind::Span, "rrc", "sim-s"),
     def("rrc/switch", MetricKind::Span, "rrc", "sim-s"),
     def("rrc/tail", MetricKind::Span, "rrc", "sim-s"),
+    def("transport/bond/run", MetricKind::Span, "transport", "sim-s"),
     def("transport/run", MetricKind::Span, "transport", "sim-s"),
     def("video/segment", MetricKind::Span, "video", "sim-s"),
     def("video/session", MetricKind::Span, "video", "sim-s"),
@@ -135,19 +136,56 @@ pub const CATALOG: &[MetricDef] = &[
     def("rrc/state/idle", MetricKind::Counter, "rrc", "1"),
     def("rrc/state/inactive", MetricKind::Counter, "rrc", "1"),
     def(
+        "transport/bbr/state_change",
+        MetricKind::Counter,
+        "transport",
+        "1",
+    ),
+    def(
+        "transport/bond/overflow",
+        MetricKind::Counter,
+        "transport",
+        "1",
+    ),
+    def(
         "transport/conn_reset",
         MetricKind::Counter,
         "transport",
         "1",
     ),
     def("transport/loss", MetricKind::Counter, "transport", "1"),
+    def(
+        "transport/nada/rampup",
+        MetricKind::Counter,
+        "transport",
+        "1",
+    ),
     def("transport/rto", MetricKind::Counter, "transport", "1"),
     def("video/bitrate_switch", MetricKind::Counter, "video", "1"),
     def("video/stall", MetricKind::Counter, "video", "1"),
     def("web/object", MetricKind::Counter, "web", "1"),
     // Gauges.
     def(
+        "transport/bbr/btlbw_mbps",
+        MetricKind::Gauge,
+        "transport",
+        "Mbit/s",
+    ),
+    def(
+        "transport/bbr/rtprop_s",
+        MetricKind::Gauge,
+        "transport",
+        "s",
+    ),
+    def("transport/bond/groups", MetricKind::Gauge, "transport", "1"),
+    def(
         "transport/mean_mbps",
+        MetricKind::Gauge,
+        "transport",
+        "Mbit/s",
+    ),
+    def(
+        "transport/nada/rate_mbps",
         MetricKind::Gauge,
         "transport",
         "Mbit/s",
@@ -164,6 +202,12 @@ pub const CATALOG: &[MetricDef] = &[
         "pkts",
     ),
     def(
+        "transport/queue_delay_s",
+        MetricKind::Histogram,
+        "transport",
+        "s",
+    ),
+    def(
         "transport/rto_backoff_s",
         MetricKind::Histogram,
         "transport",
@@ -175,10 +219,22 @@ pub const CATALOG: &[MetricDef] = &[
     def("power/rail_mw_t", MetricKind::Series, "power", "mW"),
     def("radio/rsrp_dbm_t", MetricKind::Series, "radio", "dBm"),
     def(
+        "transport/bond/split_mbps_t",
+        MetricKind::Series,
+        "transport",
+        "Mbit/s",
+    ),
+    def(
         "transport/cwnd_pkts_t",
         MetricKind::Series,
         "transport",
         "pkts",
+    ),
+    def(
+        "transport/rate_mbps_t",
+        MetricKind::Series,
+        "transport",
+        "Mbit/s",
     ),
 ];
 

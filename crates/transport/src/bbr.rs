@@ -1,0 +1,467 @@
+//! BBR congestion control, fluid-model flavour.
+//!
+//! The controller keeps the two model parameters of real BBR — the
+//! bottleneck bandwidth `BtlBw` (windowed max of delivered rate) and the
+//! round-trip propagation delay `RTprop` (windowed min of measured RTT) —
+//! and drives the pacing rate through the classic state machine:
+//!
+//! * **STARTUP**: pacing gain 2/ln 2 ≈ 2.885 doubles the rate per RTT
+//!   until three rounds bring < 25% bandwidth growth (the pipe is full);
+//! * **DRAIN**: the inverse gain empties the queue STARTUP built;
+//! * **PROBE_BW**: the eight-phase gain cycle (1.25, 0.75, six × 1.0)
+//!   probes for more bandwidth, then drains what the probe queued;
+//! * **PROBE_RTT**: every 10 s the window collapses to 4 packets for
+//!   200 ms so RTprop can be re-observed without self-queueing.
+//!
+//! Loss is deliberately *not* a control signal (the controller is
+//! model-based, which is exactly why it holds goodput on the lossy
+//! long-haul paths where CUBIC collapses — see `ablation-cc`); an RTO is,
+//! and resets the model to STARTUP.
+
+use fiveg_simcore::{guard, telemetry};
+use std::collections::VecDeque;
+
+/// STARTUP/DRAIN pacing gains: 2/ln 2 and its inverse.
+pub const STARTUP_GAIN: f64 = 2.885;
+/// DRAIN pacing gain (1 / STARTUP_GAIN).
+pub const DRAIN_GAIN: f64 = 1.0 / 2.885;
+/// The PROBE_BW pacing-gain cycle: probe up, drain, then cruise.
+pub const PROBE_BW_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// cwnd gain outside PROBE_RTT: two BDPs of headroom for delayed ACKs.
+pub const CWND_GAIN: f64 = 2.0;
+/// BtlBw filter window, in RTprops.
+pub const BTLBW_WINDOW_RTTS: f64 = 10.0;
+/// RTprop filter window, seconds.
+pub const RTPROP_WINDOW_S: f64 = 10.0;
+/// How often PROBE_RTT re-measures the propagation delay, seconds.
+pub const PROBE_RTT_INTERVAL_S: f64 = 10.0;
+/// How long PROBE_RTT holds the floor window, seconds.
+pub const PROBE_RTT_DURATION_S: f64 = 0.2;
+/// The PROBE_RTT congestion window, packets.
+pub const PROBE_RTT_CWND_PKTS: f64 = 4.0;
+/// STARTUP exits when BtlBw grew less than this factor…
+pub const FULL_BW_THRESH: f64 = 1.25;
+/// …for this many consecutive rounds.
+pub const FULL_BW_ROUNDS: u32 = 3;
+
+/// BBR state machine states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BbrState {
+    /// Exponential rate ramp until the pipe is full.
+    Startup,
+    /// Empty the queue STARTUP built.
+    Drain,
+    /// Steady-state gain cycling around BtlBw.
+    ProbeBw,
+    /// Periodic floor-window RTprop re-measurement.
+    ProbeRtt,
+}
+
+impl BbrState {
+    /// Stable name, for telemetry and debugging.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BbrState::Startup => "startup",
+            BbrState::Drain => "drain",
+            BbrState::ProbeBw => "probe-bw",
+            BbrState::ProbeRtt => "probe-rtt",
+        }
+    }
+}
+
+/// Windowed max filter: the deque holds `(time, value)` with strictly
+/// descending values, so the front is always the max of the window.
+#[derive(Debug, Clone, Default)]
+pub struct WindowedMax {
+    samples: VecDeque<(f64, f64)>,
+}
+
+impl WindowedMax {
+    /// Admits a sample at time `t` and expires entries older than
+    /// `window_s`.
+    pub fn update(&mut self, t: f64, v: f64, window_s: f64) {
+        while self.samples.back().is_some_and(|&(_, bv)| bv <= v) {
+            self.samples.pop_back();
+        }
+        self.samples.push_back((t, v));
+        while self
+            .samples
+            .front()
+            .is_some_and(|&(ft, _)| ft < t - window_s)
+        {
+            self.samples.pop_front();
+        }
+    }
+
+    /// The windowed maximum (0 when empty).
+    pub fn get(&self) -> f64 {
+        self.samples.front().map_or(0.0, |&(_, v)| v)
+    }
+
+    /// The filter invariant: timestamps ascend and values descend
+    /// front-to-back. Checked by the guard plane each sample.
+    pub fn is_monotone(&self) -> bool {
+        self.samples
+            .iter()
+            .zip(self.samples.iter().skip(1))
+            .all(|(a, b)| a.0 <= b.0 && a.1 >= b.1)
+    }
+}
+
+/// Windowed min filter: ascending values front-to-back, front is the min.
+#[derive(Debug, Clone, Default)]
+pub struct WindowedMin {
+    samples: VecDeque<(f64, f64)>,
+}
+
+impl WindowedMin {
+    /// Admits a sample at time `t` and expires entries older than
+    /// `window_s`.
+    pub fn update(&mut self, t: f64, v: f64, window_s: f64) {
+        while self.samples.back().is_some_and(|&(_, bv)| bv >= v) {
+            self.samples.pop_back();
+        }
+        self.samples.push_back((t, v));
+        while self
+            .samples
+            .front()
+            .is_some_and(|&(ft, _)| ft < t - window_s)
+        {
+            self.samples.pop_front();
+        }
+    }
+
+    /// The windowed minimum (`f64::INFINITY` when empty).
+    pub fn get(&self) -> f64 {
+        self.samples.front().map_or(f64::INFINITY, |&(_, v)| v)
+    }
+
+    /// Timestamps ascend and values ascend front-to-back.
+    pub fn is_monotone(&self) -> bool {
+        self.samples
+            .iter()
+            .zip(self.samples.iter().skip(1))
+            .all(|(a, b)| a.0 <= b.0 && a.1 <= b.1)
+    }
+}
+
+/// One flow's BBR model and state machine.
+#[derive(Debug, Clone)]
+pub struct Bbr {
+    state: BbrState,
+    btlbw: WindowedMax,
+    rtprop: WindowedMin,
+    pacing_gain: f64,
+    /// STARTUP plateau detection.
+    full_bw_mbps: f64,
+    full_bw_rounds: u32,
+    round_start_s: f64,
+    /// PROBE_BW gain-cycle position and phase start.
+    cycle_idx: usize,
+    cycle_stamp_s: f64,
+    /// PROBE_RTT scheduling.
+    next_probe_rtt_s: f64,
+    probe_rtt_done_s: f64,
+    /// Floor estimate before any delivery sample arrives, Mbps.
+    init_rate_mbps: f64,
+}
+
+impl Bbr {
+    /// A fresh controller starting in STARTUP at `init_rate_mbps`.
+    pub fn new(init_rate_mbps: f64) -> Self {
+        Bbr {
+            state: BbrState::Startup,
+            btlbw: WindowedMax::default(),
+            rtprop: WindowedMin::default(),
+            pacing_gain: STARTUP_GAIN,
+            full_bw_mbps: 0.0,
+            full_bw_rounds: 0,
+            round_start_s: 0.0,
+            cycle_idx: 0,
+            cycle_stamp_s: 0.0,
+            next_probe_rtt_s: PROBE_RTT_INTERVAL_S,
+            probe_rtt_done_s: 0.0,
+            init_rate_mbps: init_rate_mbps.max(0.1),
+        }
+    }
+
+    /// Current state (for tests and reports).
+    pub fn state(&self) -> BbrState {
+        self.state
+    }
+
+    /// The bottleneck-bandwidth estimate, Mbps.
+    pub fn btlbw_mbps(&self) -> f64 {
+        let bw = self.btlbw.get();
+        if bw > 0.0 {
+            bw
+        } else {
+            self.init_rate_mbps
+        }
+    }
+
+    /// The propagation-delay estimate, seconds (`fallback_s` until a
+    /// sample lands).
+    pub fn rtprop_s(&self, fallback_s: f64) -> f64 {
+        let rt = self.rtprop.get();
+        if rt.is_finite() {
+            rt
+        } else {
+            fallback_s
+        }
+    }
+
+    /// Current pacing gain.
+    pub fn pacing_gain(&self) -> f64 {
+        self.pacing_gain
+    }
+
+    /// The paced send rate, Mbps.
+    pub fn pacing_rate_mbps(&self) -> f64 {
+        (self.pacing_gain * self.btlbw_mbps()).max(0.1)
+    }
+
+    /// The cwnd-implied rate cap at effective RTT `rtt_s`: `CWND_GAIN`
+    /// BDPs normally, the 4-packet floor window during PROBE_RTT.
+    pub fn cwnd_rate_cap_mbps(&self, mss_bytes: f64, rtt_s: f64) -> f64 {
+        let bdp_pkts = self.btlbw_mbps() * 1e6 / 8.0 * self.rtprop_s(rtt_s) / mss_bytes;
+        let cwnd_pkts = match self.state {
+            BbrState::ProbeRtt => PROBE_RTT_CWND_PKTS,
+            _ => (CWND_GAIN * bdp_pkts).max(PROBE_RTT_CWND_PKTS),
+        };
+        (cwnd_pkts * mss_bytes * 8.0 / 1e6 / rtt_s.max(1e-6)).max(0.1)
+    }
+
+    /// Feeds one feedback sample: the flow's delivered rate, the measured
+    /// RTT, and the bottleneck queueing delay at sim time `t`. Advances
+    /// the state machine.
+    pub fn on_sample(&mut self, t: f64, delivered_mbps: f64, rtt_s: f64, queue_delay_s: f64) {
+        self.rtprop.update(t, rtt_s, RTPROP_WINDOW_S);
+        let bw_window = BTLBW_WINDOW_RTTS * self.rtprop_s(rtt_s);
+        self.btlbw.update(t, delivered_mbps, bw_window);
+        let rtprop = self.rtprop_s(rtt_s);
+
+        match self.state {
+            BbrState::Startup => {
+                // One plateau check per round trip.
+                if t - self.round_start_s >= rtprop {
+                    self.round_start_s = t;
+                    if self.btlbw_mbps() < FULL_BW_THRESH * self.full_bw_mbps {
+                        self.full_bw_rounds += 1;
+                    } else {
+                        self.full_bw_mbps = self.btlbw_mbps();
+                        self.full_bw_rounds = 0;
+                    }
+                    if self.full_bw_rounds >= FULL_BW_ROUNDS {
+                        self.enter(BbrState::Drain, t);
+                    }
+                }
+            }
+            BbrState::Drain => {
+                if queue_delay_s <= 1e-4 {
+                    self.enter(BbrState::ProbeBw, t);
+                }
+            }
+            BbrState::ProbeBw => {
+                if t - self.cycle_stamp_s >= rtprop {
+                    self.cycle_idx = (self.cycle_idx + 1) % PROBE_BW_GAINS.len();
+                    self.cycle_stamp_s = t;
+                    self.pacing_gain = PROBE_BW_GAINS[self.cycle_idx];
+                }
+                if t >= self.next_probe_rtt_s {
+                    self.enter(BbrState::ProbeRtt, t);
+                }
+            }
+            BbrState::ProbeRtt => {
+                if t >= self.probe_rtt_done_s {
+                    self.next_probe_rtt_s = t + PROBE_RTT_INTERVAL_S;
+                    self.enter(BbrState::ProbeBw, t);
+                }
+            }
+        }
+
+        // Controller invariants, checked in-flight by the guard plane:
+        // the pacing gain must belong to the active state's gain set, and
+        // both filters must hold their deque monotonicity.
+        guard::check(
+            "transport",
+            "bbr-gain-cycle",
+            self.gain_is_valid(),
+            t,
+            || {
+                format!(
+                    "pacing gain {} invalid in state {}",
+                    self.pacing_gain,
+                    self.state.as_str()
+                )
+            },
+        );
+        guard::check(
+            "transport",
+            "bbr-filter-monotone",
+            self.btlbw.is_monotone() && self.rtprop.is_monotone(),
+            t,
+            || "BtlBw/RTprop filter deque lost monotonicity".to_string(),
+        );
+    }
+
+    /// Loss is not a BBR control signal; the model absorbs it.
+    pub fn on_loss(&mut self, _t: f64) {}
+
+    /// A retransmission timeout invalidates the model: restart discovery.
+    pub fn on_rto(&mut self, t: f64) {
+        self.full_bw_mbps = 0.0;
+        self.full_bw_rounds = 0;
+        self.round_start_s = t;
+        self.enter(BbrState::Startup, t);
+    }
+
+    fn enter(&mut self, next: BbrState, t: f64) {
+        self.state = next;
+        self.pacing_gain = match next {
+            BbrState::Startup => STARTUP_GAIN,
+            BbrState::Drain => DRAIN_GAIN,
+            BbrState::ProbeBw => {
+                self.cycle_idx = 0;
+                self.cycle_stamp_s = t;
+                PROBE_BW_GAINS[self.cycle_idx]
+            }
+            BbrState::ProbeRtt => {
+                self.probe_rtt_done_s = t + PROBE_RTT_DURATION_S;
+                1.0
+            }
+        };
+        telemetry::count("transport/bbr/state_change", 1);
+    }
+
+    fn gain_is_valid(&self) -> bool {
+        match self.state {
+            BbrState::Startup => self.pacing_gain == STARTUP_GAIN,
+            BbrState::Drain => self.pacing_gain == DRAIN_GAIN,
+            BbrState::ProbeBw => PROBE_BW_GAINS.contains(&self.pacing_gain),
+            BbrState::ProbeRtt => self.pacing_gain == 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_max_tracks_and_expires() {
+        let mut f = WindowedMax::default();
+        f.update(0.0, 5.0, 1.0);
+        f.update(0.2, 3.0, 1.0);
+        assert_eq!(f.get(), 5.0);
+        f.update(0.4, 8.0, 1.0);
+        assert_eq!(f.get(), 8.0, "larger sample displaces the front");
+        f.update(1.6, 2.0, 1.0);
+        assert_eq!(f.get(), 2.0, "the 8.0 at t=0.4 expired out of the window");
+        assert!(f.is_monotone());
+    }
+
+    #[test]
+    fn windowed_min_tracks_and_expires() {
+        let mut f = WindowedMin::default();
+        f.update(0.0, 0.020, 1.0);
+        f.update(0.2, 0.030, 1.0);
+        assert_eq!(f.get(), 0.020);
+        f.update(0.4, 0.010, 1.0);
+        assert_eq!(f.get(), 0.010);
+        f.update(1.6, 0.025, 1.0);
+        assert_eq!(f.get(), 0.025, "old min expired");
+        assert!(f.is_monotone());
+    }
+
+    #[test]
+    fn startup_exits_to_drain_on_plateau() {
+        let mut bbr = Bbr::new(10.0);
+        assert_eq!(bbr.state(), BbrState::Startup);
+        // Growing bandwidth keeps STARTUP alive…
+        let mut t = 0.0;
+        let mut bw = 10.0;
+        for _ in 0..20 {
+            bbr.on_sample(t, bw, 0.02, 0.0);
+            bw *= 1.5;
+            t += 0.02;
+        }
+        assert_eq!(bbr.state(), BbrState::Startup);
+        // …a plateau ends it within FULL_BW_ROUNDS rounds.
+        for _ in 0..8 {
+            bbr.on_sample(t, bw, 0.02, 0.005);
+            t += 0.02;
+        }
+        assert_ne!(bbr.state(), BbrState::Startup, "plateau must exit STARTUP");
+    }
+
+    #[test]
+    fn drain_hands_off_to_probe_bw_when_queue_empties() {
+        let mut bbr = Bbr::new(100.0);
+        let mut t = 0.0;
+        // Plateau out of STARTUP.
+        for _ in 0..30 {
+            bbr.on_sample(t, 100.0, 0.02, 0.01);
+            t += 0.02;
+        }
+        assert_eq!(bbr.state(), BbrState::Drain);
+        assert!((bbr.pacing_gain() - DRAIN_GAIN).abs() < 1e-12);
+        bbr.on_sample(t, 100.0, 0.02, 0.0);
+        assert_eq!(bbr.state(), BbrState::ProbeBw);
+        assert!(PROBE_BW_GAINS.contains(&bbr.pacing_gain()));
+    }
+
+    #[test]
+    fn probe_rtt_fires_on_schedule_and_returns() {
+        let mut bbr = Bbr::new(100.0);
+        let mut t = 0.0;
+        while t < PROBE_RTT_INTERVAL_S + 1.0 {
+            bbr.on_sample(t, 100.0, 0.02, 0.0);
+            if bbr.state() == BbrState::ProbeRtt {
+                break;
+            }
+            t += 0.01;
+        }
+        assert_eq!(
+            bbr.state(),
+            BbrState::ProbeRtt,
+            "10 s must trigger PROBE_RTT"
+        );
+        let cap = bbr.cwnd_rate_cap_mbps(1460.0, 0.02);
+        let floor = PROBE_RTT_CWND_PKTS * 1460.0 * 8.0 / 1e6 / 0.02;
+        assert!(
+            (cap - floor).abs() < 1e-6,
+            "PROBE_RTT pins the window to 4 packets: {cap} vs {floor}"
+        );
+        for _ in 0..((PROBE_RTT_DURATION_S / 0.01) as usize + 2) {
+            t += 0.01;
+            bbr.on_sample(t, 100.0, 0.02, 0.0);
+        }
+        assert_eq!(bbr.state(), BbrState::ProbeBw, "PROBE_RTT is 200 ms long");
+    }
+
+    #[test]
+    fn rto_resets_the_model_to_startup() {
+        let mut bbr = Bbr::new(100.0);
+        let mut t = 0.0;
+        for _ in 0..30 {
+            bbr.on_sample(t, 100.0, 0.02, 0.01);
+            t += 0.02;
+        }
+        assert_ne!(bbr.state(), BbrState::Startup);
+        bbr.on_rto(t);
+        assert_eq!(bbr.state(), BbrState::Startup);
+        assert!((bbr.pacing_gain() - STARTUP_GAIN).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pacing_rate_follows_gain_times_btlbw() {
+        let mut bbr = Bbr::new(50.0);
+        bbr.on_sample(0.0, 200.0, 0.02, 0.0);
+        let rate = bbr.pacing_rate_mbps();
+        assert!(
+            (rate - STARTUP_GAIN * 200.0).abs() < 1e-9,
+            "startup pacing {rate}"
+        );
+    }
+}

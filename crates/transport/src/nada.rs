@@ -1,0 +1,251 @@
+//! NADA congestion control (RFC 8698), fluid-model flavour.
+//!
+//! NADA folds every congestion signal the path offers into one composite
+//! delay value and steers the rate with a PI controller on it:
+//!
+//! ```text
+//! x_curr = d_queuing + DLOSS_REF · (p_loss / PLR_REF)²
+//! ```
+//!
+//! Queueing delay enters linearly; loss enters as an equivalent delay
+//! penalty, quadratic in the loss ratio so that the controller shrugs off
+//! the stray 10⁻⁷-grade random losses of a long fiber path (which would
+//! halve CUBIC's window) while still backing off hard when a bottleneck
+//! actually drops packets. Two update regimes per RFC 8698 §4.3:
+//!
+//! * **accelerated ramp-up** while the path shows no congestion
+//!   (`x_curr < QEPS`): multiplicative growth bounded by
+//!   `γ = min(GAMMA_MAX, QBOUND / (rtt + DELTA))`;
+//! * **gradual update** otherwise: the PI step on the offset between
+//!   `x_curr` and the reference congestion level for the current rate.
+
+use fiveg_simcore::guard;
+
+/// Minimum send rate, Mbps (RFC 8698 RMIN, scaled to our link class).
+pub const RMIN_MBPS: f64 = 1.0;
+/// Maximum send rate, Mbps.
+pub const RMAX_MBPS: f64 = 4000.0;
+/// Flow priority weight (1.0 = neutral).
+pub const PRIO: f64 = 1.0;
+/// Reference congestion level, ms.
+pub const XREF_MS: f64 = 10.0;
+/// Proportional gain of the gradual-update step.
+pub const KAPPA: f64 = 0.5;
+/// Derivative weight of the gradual-update step.
+pub const ETA: f64 = 2.0;
+/// Target feedback interval, ms (the PI time constant).
+pub const TAU_MS: f64 = 500.0;
+/// Actual feedback interval, ms.
+pub const DELTA_MS: f64 = 100.0;
+/// Reference delay penalty for loss, ms.
+pub const DLOSS_REF_MS: f64 = 10.0;
+/// Reference packet-loss ratio for the quadratic loss term.
+pub const PLR_REF: f64 = 0.01;
+/// Queueing-delay threshold below which ramp-up is allowed, ms.
+pub const QEPS_MS: f64 = 10.0;
+/// Upper bound of self-inflicted queueing delay during ramp-up, ms.
+pub const QBOUND_MS: f64 = 50.0;
+/// Hard cap on the per-interval ramp-up gain.
+pub const GAMMA_MAX: f64 = 0.5;
+/// EWMA weight for the loss-ratio estimator.
+pub const LOSS_EWMA_ALPHA: f64 = 0.1;
+
+/// One flow's NADA controller state.
+#[derive(Debug, Clone)]
+pub struct Nada {
+    rate_mbps: f64,
+    /// Smoothed loss ratio (EWMA over feedback intervals).
+    p_loss: f64,
+    /// Previous composite congestion signal, ms.
+    x_prev_ms: f64,
+    /// Time of the last feedback update, s.
+    last_update_s: f64,
+    /// True until the first gradual-update step runs.
+    first_update: bool,
+}
+
+impl Nada {
+    /// A fresh controller starting at `init_rate_mbps` (clamped to
+    /// `[RMIN, RMAX]`).
+    pub fn new(init_rate_mbps: f64) -> Self {
+        Nada {
+            rate_mbps: init_rate_mbps.clamp(RMIN_MBPS, RMAX_MBPS),
+            p_loss: 0.0,
+            x_prev_ms: 0.0,
+            last_update_s: 0.0,
+            first_update: true,
+        }
+    }
+
+    /// The current reference rate, Mbps.
+    pub fn rate_mbps(&self) -> f64 {
+        self.rate_mbps
+    }
+
+    /// The smoothed loss-ratio estimate.
+    pub fn loss_ratio(&self) -> f64 {
+        self.p_loss
+    }
+
+    /// Folds one interval's observed loss ratio into the EWMA.
+    pub fn on_loss_ratio_sample(&mut self, observed: f64) {
+        let observed = observed.clamp(0.0, 1.0);
+        self.p_loss += LOSS_EWMA_ALPHA * (observed - self.p_loss);
+    }
+
+    /// The composite congestion signal for a queueing delay of
+    /// `d_queue_ms`, in equivalent milliseconds.
+    pub fn aggregate_signal_ms(&self, d_queue_ms: f64) -> f64 {
+        let loss_term = DLOSS_REF_MS * (self.p_loss / PLR_REF).powi(2);
+        d_queue_ms.max(0.0) + loss_term
+    }
+
+    /// One feedback update at sim time `t`: queueing delay and RTT in ms.
+    /// Call every `DELTA_MS`; earlier calls are absorbed without a rate
+    /// change so a finer sim step cannot over-drive the PI loop.
+    pub fn on_feedback(&mut self, t: f64, d_queue_ms: f64, rtt_ms: f64) {
+        let delta_ms = if self.first_update {
+            DELTA_MS
+        } else {
+            (t - self.last_update_s) * 1e3
+        };
+        if !self.first_update && delta_ms < DELTA_MS - 1e-9 {
+            return;
+        }
+        self.first_update = false;
+        self.last_update_s = t;
+
+        let x_curr = self.aggregate_signal_ms(d_queue_ms);
+        if x_curr < QEPS_MS {
+            // Accelerated ramp-up: the multiplicative gain is capped so
+            // that one interval's growth cannot queue more than QBOUND.
+            let gamma = (QBOUND_MS / (rtt_ms.max(1.0) + DELTA_MS)).min(GAMMA_MAX);
+            self.rate_mbps *= 1.0 + gamma;
+            fiveg_simcore::telemetry::count("transport/nada/rampup", 1);
+        } else {
+            // Gradual update: PI step on the congestion-level offset. The
+            // RMAX-scaled step is additionally bounded to ±GAMMA_MAX of
+            // the current rate per interval: RFC 8698's gains are tuned
+            // for RTC-grade RMAX, and an unbounded step at Gbps-scale
+            // RMAX just slams between the clamps.
+            let x_offset = x_curr - PRIO * XREF_MS * RMAX_MBPS / self.rate_mbps;
+            let x_diff = x_curr - self.x_prev_ms;
+            let raw =
+                -KAPPA * (delta_ms / TAU_MS) * ((x_offset + ETA * x_diff) / TAU_MS) * RMAX_MBPS;
+            let bound = GAMMA_MAX * self.rate_mbps;
+            self.rate_mbps += raw.clamp(-bound, bound);
+        }
+        self.x_prev_ms = x_curr;
+        self.rate_mbps = self.rate_mbps.clamp(RMIN_MBPS, RMAX_MBPS);
+        guard::in_range(
+            "transport",
+            "nada-rate-bounds",
+            self.rate_mbps,
+            RMIN_MBPS,
+            RMAX_MBPS,
+            0.0,
+            t,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramps_up_on_an_uncongested_path() {
+        let mut nada = Nada::new(10.0);
+        let mut t = 0.0;
+        for _ in 0..20 {
+            nada.on_feedback(t, 0.0, 20.0);
+            t += DELTA_MS / 1e3;
+        }
+        assert!(
+            nada.rate_mbps() > 50.0,
+            "20 clean intervals must grow 10 Mbps several-fold, got {}",
+            nada.rate_mbps()
+        );
+    }
+
+    #[test]
+    fn ramp_up_gain_is_bounded() {
+        let mut nada = Nada::new(100.0);
+        nada.on_feedback(0.0, 0.0, 20.0);
+        let max_gain = 1.0 + GAMMA_MAX;
+        assert!(
+            nada.rate_mbps() <= 100.0 * max_gain + 1e-9,
+            "one interval's ramp-up exceeds γ_max: {}",
+            nada.rate_mbps()
+        );
+    }
+
+    #[test]
+    fn backs_off_under_queueing_delay() {
+        let mut nada = Nada::new(2000.0);
+        let mut t = 0.0;
+        for _ in 0..30 {
+            nada.on_feedback(t, 80.0, 20.0);
+            t += DELTA_MS / 1e3;
+        }
+        assert!(
+            nada.rate_mbps() < 2000.0,
+            "sustained 80 ms queueing must cut the rate, got {}",
+            nada.rate_mbps()
+        );
+    }
+
+    #[test]
+    fn rate_stays_within_rmin_rmax() {
+        // Drive both directions hard and check the clamps hold.
+        let mut down = Nada::new(RMIN_MBPS);
+        let mut up = Nada::new(RMAX_MBPS);
+        let mut t = 0.0;
+        for _ in 0..100 {
+            down.on_loss_ratio_sample(0.5);
+            down.on_feedback(t, 500.0, 20.0);
+            assert!(
+                (RMIN_MBPS..=RMAX_MBPS).contains(&down.rate_mbps()),
+                "rate escaped the clamp: {}",
+                down.rate_mbps()
+            );
+            up.on_feedback(t, 0.0, 20.0);
+            t += DELTA_MS / 1e3;
+        }
+        // Brutal congestion (50% loss, 500 ms queues) pins the rate near
+        // the floor; a clean path pins it at the ceiling.
+        assert!(down.rate_mbps() < 10.0, "floor: {}", down.rate_mbps());
+        assert_eq!(up.rate_mbps(), RMAX_MBPS);
+    }
+
+    #[test]
+    fn loss_enters_the_signal_quadratically() {
+        let mut nada = Nada::new(100.0);
+        for _ in 0..1000 {
+            nada.on_loss_ratio_sample(PLR_REF);
+        }
+        // p_loss → PLR_REF, so the loss term → DLOSS_REF exactly.
+        let x = nada.aggregate_signal_ms(0.0);
+        assert!((x - DLOSS_REF_MS).abs() < 0.1, "{x}");
+        // Double the loss ratio → 4× the penalty.
+        let mut nada2 = Nada::new(100.0);
+        for _ in 0..1000 {
+            nada2.on_loss_ratio_sample(2.0 * PLR_REF);
+        }
+        let x2 = nada2.aggregate_signal_ms(0.0);
+        assert!((x2 - 4.0 * DLOSS_REF_MS).abs() < 0.4, "{x2}");
+    }
+
+    #[test]
+    fn sub_interval_feedback_is_absorbed() {
+        let mut nada = Nada::new(100.0);
+        nada.on_feedback(0.0, 0.0, 20.0);
+        let after_first = nada.rate_mbps();
+        // 10 ms later — less than DELTA — must not move the rate.
+        nada.on_feedback(0.010, 0.0, 20.0);
+        assert_eq!(nada.rate_mbps(), after_first);
+        // A full interval later it moves again.
+        nada.on_feedback(0.0 + DELTA_MS / 1e3, 0.0, 20.0);
+        assert!(nada.rate_mbps() > after_first);
+    }
+}

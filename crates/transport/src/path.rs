@@ -32,6 +32,12 @@ pub const BASE_LOSS: f64 = 2.0e-7;
 /// Additional per-packet loss probability per kilometre of path.
 pub const LOSS_PER_KM: f64 = 1.2e-9;
 
+/// Default bottleneck buffer depth as a multiple of the path BDP — one
+/// BDP of buffering, the classic router-sizing rule. The rate-based
+/// controllers (BBR, NADA) turn this into a queueing-delay term; the
+/// fluid window engine keeps modelling the same buffer as overflow loss.
+pub const DEFAULT_QUEUE_BDP: f64 = 1.0;
+
 /// The transport-layer view of one UE↔server path.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PathModel {
@@ -43,6 +49,10 @@ pub struct PathModel {
     pub capacity_mbps: f64,
     /// Maximum segment size in bytes.
     pub mss_bytes: f64,
+    /// Bottleneck buffer depth as a multiple of the BDP (the queueing
+    /// model: a backlog of one full buffer adds `queue_bdp × rtt` of
+    /// queueing delay).
+    pub queue_bdp: f64,
 }
 
 impl PathModel {
@@ -68,6 +78,7 @@ impl PathModel {
             loss_per_pkt: BASE_LOSS + LOSS_PER_KM * dist_km,
             capacity_mbps: capacity,
             mss_bytes: 1460.0,
+            queue_bdp: DEFAULT_QUEUE_BDP,
         }
     }
 
@@ -79,6 +90,21 @@ impl PathModel {
     /// Packets per second at `mbps`.
     pub fn packets_per_sec(&self, mbps: f64) -> f64 {
         mbps * 1e6 / 8.0 / self.mss_bytes
+    }
+
+    /// The bottleneck buffer size in bits: `queue_bdp` BDPs.
+    pub fn buffer_bits(&self) -> f64 {
+        self.queue_bdp * self.capacity_mbps * 1e6 * (self.rtt_ms / 1e3)
+    }
+
+    /// The queueing delay in seconds a backlog of `backlog_bits` adds at
+    /// the bottleneck: the time the bottleneck needs to drain it.
+    pub fn queueing_delay_s(&self, backlog_bits: f64) -> f64 {
+        if self.capacity_mbps <= 0.0 {
+            0.0
+        } else {
+            backlog_bits.max(0.0) / (self.capacity_mbps * 1e6)
+        }
     }
 }
 
@@ -177,8 +203,27 @@ mod tests {
             loss_per_pkt: 0.0,
             capacity_mbps: 1168.0,
             mss_bytes: 1460.0,
+            queue_bdp: DEFAULT_QUEUE_BDP,
         };
         // 1168 Mbps × 10 ms = 1.46 MB = 1000 packets.
         assert!((p.bdp_packets() - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_buffer_queues_for_queue_bdp_rtts() {
+        let p = PathModel {
+            rtt_ms: 20.0,
+            loss_per_pkt: 0.0,
+            capacity_mbps: 1000.0,
+            mss_bytes: 1460.0,
+            queue_bdp: 1.0,
+        };
+        // A full one-BDP buffer drains in exactly one base RTT.
+        let d = p.queueing_delay_s(p.buffer_bits());
+        assert!((d - 0.020).abs() < 1e-12, "{d}");
+        // Queueing delay is linear in the backlog and never negative.
+        assert_eq!(p.queueing_delay_s(0.0), 0.0);
+        assert_eq!(p.queueing_delay_s(-5.0), 0.0);
+        assert!((p.queueing_delay_s(p.buffer_bits() / 2.0) - 0.010).abs() < 1e-12);
     }
 }

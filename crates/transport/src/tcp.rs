@@ -25,6 +25,41 @@ pub enum CcAlgo {
     Cubic,
     /// Classic Reno (ablation baseline).
     Reno,
+    /// BBR: model-based pacing from windowed BtlBw/RTprop filters
+    /// (runs on the rate engine, not the fluid window engine).
+    Bbr,
+    /// NADA (RFC 8698): delay-gradient rate control off the unified
+    /// congestion signal (rate engine).
+    Nada,
+}
+
+impl CcAlgo {
+    /// Stable name, for CLI flags and report labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CcAlgo::Cubic => "cubic",
+            CcAlgo::Reno => "reno",
+            CcAlgo::Bbr => "bbr",
+            CcAlgo::Nada => "nada",
+        }
+    }
+
+    /// Parses an algorithm name.
+    pub fn parse(s: &str) -> Option<CcAlgo> {
+        match s {
+            "cubic" => Some(CcAlgo::Cubic),
+            "reno" => Some(CcAlgo::Reno),
+            "bbr" => Some(CcAlgo::Bbr),
+            "nada" => Some(CcAlgo::Nada),
+            _ => None,
+        }
+    }
+
+    /// True for the controllers that pace a send *rate* (BBR, NADA)
+    /// rather than growing a congestion *window* (CUBIC, Reno).
+    pub fn is_rate_based(self) -> bool {
+        matches!(self, CcAlgo::Bbr | CcAlgo::Nada)
+    }
 }
 
 /// CUBIC constants (RFC 8312).
@@ -123,6 +158,9 @@ impl Flow {
         }
         self.epoch_s += dt_s;
         match algo {
+            CcAlgo::Bbr | CcAlgo::Nada => {
+                unreachable!("rate-based controllers run on the rate engine")
+            }
             CcAlgo::Cubic => {
                 let k = (self.w_max_pkts * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
                 let w_cubic = CUBIC_C * (self.epoch_s - k).powi(3) + self.w_max_pkts;
@@ -153,8 +191,19 @@ impl Flow {
         let beta = match algo {
             CcAlgo::Cubic => CUBIC_BETA,
             CcAlgo::Reno => RENO_BETA,
+            CcAlgo::Bbr | CcAlgo::Nada => {
+                unreachable!("rate-based controllers run on the rate engine")
+            }
         };
-        self.w_max_pkts = self.cwnd_pkts;
+        // RFC 8312 §4.6 fast convergence: a loss arriving while still
+        // below the previous saturation point means another flow is taking
+        // bandwidth — release the epoch target further so the flows
+        // converge instead of chasing a stale w_max.
+        self.w_max_pkts = if algo == CcAlgo::Cubic && self.cwnd_pkts < self.w_max_pkts {
+            self.cwnd_pkts * (1.0 + beta) / 2.0
+        } else {
+            self.cwnd_pkts
+        };
         self.cwnd_pkts = (self.cwnd_pkts * beta).max(1.0);
         self.ssthresh_pkts = self.cwnd_pkts;
         self.in_slow_start = false;
@@ -225,6 +274,12 @@ impl TcpSim {
     /// not a resumed plateau). With no plane installed the run is
     /// bit-identical to a plane-free build.
     pub fn run(&mut self, duration_s: f64) -> TcpRunResult {
+        if self.cfg.algo.is_rate_based() {
+            // BBR and NADA pace a rate against the explicit bottleneck
+            // queue; the fluid window engine below stays byte-identical
+            // for CUBIC/Reno.
+            return crate::rate::run_rate(&self.path, &self.cfg, &mut self.rng, duration_s);
+        }
         let base_rtt_s = self.path.rtt_ms / 1e3;
         let dt = self.cfg.dt_s;
         let mut t = 0.0;
@@ -233,6 +288,9 @@ impl TcpSim {
         let mut per_second = Vec::new();
         let mut second_acc = 0.0;
         let mut next_second = 1.0;
+        // Wall of the per-second window currently accumulating (for the
+        // final partial-second flush below).
+        let mut second_start = 0.0;
         // RTO state across a stall window (fault plane only).
         let mut stall_since: Option<f64> = None;
         let mut rto_s = 0.0;
@@ -313,6 +371,7 @@ impl TcpSim {
                     per_second.push(second_acc);
                     second_acc = 0.0;
                     next_second += 1.0;
+                    second_start = t;
                 }
                 continue;
             }
@@ -343,7 +402,7 @@ impl TcpSim {
                 } else {
                     0.0
                 };
-                if self.rng.chance(p_loss + p_overflow) {
+                if self.rng.chance(step_loss_probability(p_loss, p_overflow)) {
                     telemetry::count("transport/loss", 1);
                     telemetry::observe("transport/cwnd_pkts", f.cwnd_pkts);
                     telemetry::series("transport/cwnd_pkts_t", t, f.cwnd_pkts);
@@ -385,6 +444,7 @@ impl TcpSim {
                 per_second.push(second_acc);
                 second_acc = 0.0;
                 next_second += 1.0;
+                second_start = t;
             }
         }
 
@@ -402,6 +462,16 @@ impl TcpSim {
             );
             guard::non_negative("transport", "goodput", delivered_mb, 0.0, duration_s);
         }
+        // Flush the final partial second: when `duration_s` is not an
+        // integer number of seconds the tail accumulator still holds real
+        // deliveries, and dropping it biased the per-second goodput CDFs.
+        // The sample is normalized by its actual window so it is a rate
+        // comparable to the full-second samples. (For integer durations
+        // the accumulator is exactly zero here and nothing changes.)
+        let tail_s = t - second_start;
+        if second_acc > 0.0 && tail_s > 0.0 {
+            per_second.push(second_acc / tail_s);
+        }
         telemetry::gauge("transport/mean_mbps", delivered_mb / duration_s);
         TcpRunResult {
             mean_mbps: delivered_mb / duration_s,
@@ -416,6 +486,15 @@ impl TcpSim {
     pub fn debug_cwnd(&self, i: usize) -> f64 {
         self.flows[i].cwnd_pkts
     }
+}
+
+/// The per-step loss probability fed to the RNG: random path loss plus
+/// bottleneck-overflow loss, clamped into `[0, 1]`. The two components
+/// are probabilities of distinct events; their sum can exceed 1 at large
+/// steps (`p_overflow` scales with `dt`), which would silently degenerate
+/// into loss-every-step.
+pub(crate) fn step_loss_probability(p_loss: f64, p_overflow: f64) -> f64 {
+    (p_loss + p_overflow).clamp(0.0, 1.0)
 }
 
 /// Convenience: run one Speedtest-style 15 s transfer and report the mean
@@ -442,6 +521,7 @@ mod tests {
             loss_per_pkt: crate::path::BASE_LOSS + crate::path::LOSS_PER_KM * dist_km,
             capacity_mbps: capacity,
             mss_bytes: 1460.0,
+            queue_bdp: crate::path::DEFAULT_QUEUE_BDP,
         }
     }
 
@@ -553,5 +633,111 @@ mod tests {
             ..TcpSimConfig::single_default()
         };
         TcpSim::new(path(10.0, 100.0, 10.0), cfg, RngStream::new(1, "t"));
+    }
+
+    #[test]
+    fn fast_convergence_releases_wmax_below_previous_peak() {
+        // RFC 8312 §4.6: a loss arriving while cwnd is still below the
+        // previous w_max must set the new w_max to cwnd·(1+β)/2, not cwnd.
+        // (Failed before the fix: w_max was always set to cwnd.)
+        let mut flow = Flow::new();
+        flow.in_slow_start = false;
+        flow.w_max_pkts = 100.0;
+        flow.cwnd_pkts = 60.0;
+        flow.on_loss(CcAlgo::Cubic);
+        let expected = 60.0 * (1.0 + CUBIC_BETA) / 2.0;
+        assert!(
+            (flow.w_max_pkts - expected).abs() < 1e-9,
+            "fast convergence: w_max {} != {expected}",
+            flow.w_max_pkts
+        );
+        // Above the previous peak the classic update still applies.
+        let mut flow = Flow::new();
+        flow.in_slow_start = false;
+        flow.w_max_pkts = 50.0;
+        flow.cwnd_pkts = 80.0;
+        flow.on_loss(CcAlgo::Cubic);
+        assert_eq!(flow.w_max_pkts, 80.0);
+        // Reno keeps its memoryless halving either way.
+        let mut flow = Flow::new();
+        flow.in_slow_start = false;
+        flow.w_max_pkts = 100.0;
+        flow.cwnd_pkts = 60.0;
+        flow.on_loss(CcAlgo::Reno);
+        assert_eq!(flow.w_max_pkts, 60.0);
+    }
+
+    #[test]
+    fn step_loss_probability_is_clamped_to_unit_interval() {
+        // A large dt can push p_loss + p_overflow past 1 (the overflow
+        // term scales with dt); the combined probability must stay a
+        // probability. (Failed before the fix: the raw sum was 2.9.)
+        assert_eq!(step_loss_probability(0.9, 2.0), 1.0);
+        assert_eq!(step_loss_probability(0.0, 0.0), 0.0);
+        // In-range sums pass through untouched (bit-identical artifacts).
+        let p = step_loss_probability(1e-3, 2e-2);
+        assert_eq!(p, 1e-3 + 2e-2);
+    }
+
+    #[test]
+    fn partial_final_second_is_flushed() {
+        // A 3.5 s run must yield 4 per-second samples, the last one a
+        // rate normalized over its 0.5 s window. (Failed before the fix:
+        // the tail accumulator was dropped, so only 3 samples came back.)
+        let mut sim = TcpSim::new(
+            path(20.0, 1000.0, 500.0),
+            TcpSimConfig::single_tuned(),
+            RngStream::new(11, "tcp"),
+        );
+        let res = sim.run(3.5);
+        assert_eq!(
+            res.per_second_mbps.len(),
+            4,
+            "tail second missing: {:?}",
+            res.per_second_mbps
+        );
+        let tail = res.per_second_mbps[3];
+        let third = res.per_second_mbps[2];
+        assert!(
+            tail > 0.4 * third && tail < 2.5 * third,
+            "tail sample must be a normalized rate, not a half-window sum: \
+             tail {tail} vs previous {third}"
+        );
+        // Integer durations keep their exact shape (no spurious sample).
+        let mut sim = TcpSim::new(
+            path(20.0, 1000.0, 500.0),
+            TcpSimConfig::single_tuned(),
+            RngStream::new(11, "tcp"),
+        );
+        assert_eq!(sim.run(3.0).per_second_mbps.len(), 3);
+    }
+
+    #[test]
+    fn rate_based_algos_run_on_the_rate_engine() {
+        for algo in [CcAlgo::Bbr, CcAlgo::Nada] {
+            let cfg = TcpSimConfig {
+                algo,
+                ..TcpSimConfig::single_tuned()
+            };
+            let p = path(20.0, 2000.0, 800.0);
+            let a = measure_throughput(p, cfg, 12);
+            let b = measure_throughput(p, cfg, 12);
+            assert_eq!(a, b, "{} must be deterministic under seed", algo.as_str());
+            assert!(
+                a > 100.0 && a <= 2000.0,
+                "{} goodput plausible: {a}",
+                algo.as_str()
+            );
+        }
+    }
+
+    #[test]
+    fn cc_algo_names_round_trip() {
+        for algo in [CcAlgo::Cubic, CcAlgo::Reno, CcAlgo::Bbr, CcAlgo::Nada] {
+            assert_eq!(CcAlgo::parse(algo.as_str()), Some(algo));
+        }
+        assert_eq!(CcAlgo::parse("vegas"), None);
+        assert!(CcAlgo::Bbr.is_rate_based() && CcAlgo::Nada.is_rate_based());
+        assert!(!CcAlgo::Cubic.is_rate_based() && !CcAlgo::Reno.is_rate_based());
     }
 }

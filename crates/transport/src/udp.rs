@@ -89,6 +89,7 @@ mod tests {
             loss_per_pkt: 1e-6,
             capacity_mbps: capacity,
             mss_bytes: 1460.0,
+            queue_bdp: crate::path::DEFAULT_QUEUE_BDP,
         }
     }
 

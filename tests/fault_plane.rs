@@ -31,6 +31,7 @@ fn test_path() -> PathModel {
         loss_per_pkt: 1e-5,
         capacity_mbps: 2000.0,
         mss_bytes: 1460.0,
+        queue_bdp: 1.0,
     }
 }
 

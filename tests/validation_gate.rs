@@ -11,8 +11,8 @@ fn committed_goldens_validate_clean_with_full_coverage() {
     assert_eq!(v.fails, 0, "committed results must pass:\n{}", v.report);
     assert_eq!(v.skipped, 0, "every expectation's artifact is committed");
     assert!(
-        v.report.contains("artifacts covered: 39/39"),
-        "all 39 artifacts covered:\n{}",
+        v.report.contains("artifacts covered: 40/40"),
+        "all 40 artifacts covered:\n{}",
         v.report
     );
 }
